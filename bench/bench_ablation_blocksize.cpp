@@ -1,0 +1,44 @@
+// Ablation (Sections 3.1 / 3.1.2.2): block-size sweep for the tiled
+// implementation, compared with the Eq. 13 heuristic pick.
+//
+// The paper's guidance: the best block size must be found
+// experimentally; the heuristic (2:1 rule + 3B²d = C) gives the
+// estimate, and the search space must consider every cache level (the
+// L2-aware block often beats the L1-tuned one).
+#include <iostream>
+
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/benchlib/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cachegraph;
+  using namespace cachegraph::bench;
+  const Options opt = parse_options(argc, argv);
+
+  print_exhibit_header(std::cout, "Ablation: block size",
+                       "Tiled FW (BDL) execution time across block sizes",
+                       "best B found experimentally; heuristic is the estimate");
+
+  const std::size_t n = opt.full ? 2048 : 512;
+  const auto w = fw_input(n, opt.seed);
+  const std::size_t heuristic = host_block(sizeof(std::int32_t));
+  const int reps = n >= 2048 ? 1 : opt.reps;
+
+  Table t({"B", "tiled+BDL (s)", "note"});
+  double best = 1e100;
+  std::size_t best_b = 0;
+  for (const std::size_t b : {std::size_t{8}, std::size_t{16}, std::size_t{32}, std::size_t{64},
+                              std::size_t{128}, std::size_t{256}}) {
+    if (b > n) break;
+    const double s = fw_time(apsp::FwVariant::kTiledBdl, w, n, b, reps);
+    if (s < best) {
+      best = s;
+      best_b = b;
+    }
+    t.add_row({std::to_string(b), fmt(s, 3), b == heuristic ? "heuristic pick" : ""});
+  }
+  t.print(std::cout, opt.csv);
+  std::cout << "\nbest experimentally: B=" << best_b << " (" << fmt(best, 3)
+            << " s); heuristic predicted B=" << heuristic << "\n";
+  return 0;
+}

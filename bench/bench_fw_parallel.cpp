@@ -1,0 +1,51 @@
+// Extension bench (Conclusion / future work): OpenMP-parallel tiled FW.
+//
+// The paper argues its decomposition parallelizes with minimal sharing
+// because each task works on three cache-resident tiles. This bench
+// reports wall-clock vs thread count. (On a single-core host the
+// interesting output is simply that threading overhead stays small.)
+#include <iostream>
+
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/benchlib/workloads.hpp"
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+int main(int argc, char** argv) {
+  using namespace cachegraph;
+  using namespace cachegraph::bench;
+  const Options opt = parse_options(argc, argv);
+
+  print_exhibit_header(std::cout, "Extension: parallel FW",
+                       "OpenMP tiled FW (BDL) scaling with thread count",
+                       "future-work item of the paper; decomposition = tiled phases");
+
+  const std::size_t n = opt.full ? 2048 : 512;
+  const std::size_t block = host_block(sizeof(std::int32_t));
+  const auto w = fw_input(n, opt.seed);
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+  const int max_threads = omp_get_max_threads();
+#else
+  const int max_threads = 1;
+#endif
+
+  const double seq = fw_time(apsp::FwVariant::kTiledBdl, w, n, block, opt.reps);
+
+  Table t({"threads", "time (s)", "speedup vs sequential tiled"});
+  t.add_row({"sequential", fmt(seq, 3), "1.00x"});
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    const auto res = time_repeated(opt.reps, [&] {
+      using L = layout::BlockDataLayout;
+      const std::size_t np = layout::padded_size_tiled(n, block);
+      matrix::SquareMatrix<std::int32_t, L> m(L(np, block), n);
+      m.load_row_major(w.data(), n);
+      apsp::fw_parallel(m, threads);
+    });
+    t.add_row({std::to_string(threads), fmt(res.best_s, 3), fmt_speedup(seq, res.best_s)});
+  }
+  t.print(std::cout, opt.csv);
+  std::cout << "\n(host reports " << max_threads << " hardware thread(s); B=" << block << ")\n";
+  return 0;
+}

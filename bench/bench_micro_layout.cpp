@@ -1,0 +1,88 @@
+// google-benchmark micro suite: layout address computation and
+// layout-conversion costs (the O(N²) overhead the optimized FW variants
+// pay before their O(N³) computation).
+#include <benchmark/benchmark.h>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/layout/layouts.hpp"
+#include "cachegraph/matrix/square_matrix.hpp"
+
+namespace {
+
+using namespace cachegraph;
+
+template <typename L>
+L make_layout(std::size_t n, std::size_t b);
+template <>
+layout::RowMajorLayout make_layout(std::size_t n, std::size_t b) {
+  return layout::RowMajorLayout(n, b);
+}
+template <>
+layout::BlockDataLayout make_layout(std::size_t n, std::size_t b) {
+  return layout::BlockDataLayout(n, b);
+}
+template <>
+layout::MortonLayout make_layout(std::size_t n, std::size_t b) {
+  return layout::MortonLayout(n, b);
+}
+
+template <typename L>
+void BM_OffsetComputation(benchmark::State& state) {
+  const std::size_t n = 1024, b = 32;
+  const L lay = make_layout<L>(n, b);
+  Rng rng(7);
+  std::vector<std::size_t> is(4096), js(4096);
+  for (std::size_t k = 0; k < is.size(); ++k) {
+    is[k] = rng.below(n);
+    js[k] = rng.below(n);
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lay.offset(is[k & 4095], js[k & 4095]));
+    ++k;
+  }
+}
+BENCHMARK(BM_OffsetComputation<layout::RowMajorLayout>);
+BENCHMARK(BM_OffsetComputation<layout::BlockDataLayout>);
+BENCHMARK(BM_OffsetComputation<layout::MortonLayout>);
+
+template <typename L>
+void BM_LoadFromRowMajor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t b = 32;
+  std::vector<int> src(n * n, 3);
+  const L lay = make_layout<L>(n, b);
+  matrix::SquareMatrix<int, L> m(lay, n);
+  for (auto _ : state) {
+    m.load_row_major(src.data(), n);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * sizeof(int)));
+}
+BENCHMARK(BM_LoadFromRowMajor<layout::BlockDataLayout>)->Arg(256)->Arg(1024);
+BENCHMARK(BM_LoadFromRowMajor<layout::MortonLayout>)->Arg(256)->Arg(1024);
+
+void BM_SequentialTileScan_Bdl_vs_Strided(benchmark::State& state) {
+  // Read one 32x32 tile repeatedly: contiguous (BDL) when range(0)==1,
+  // strided rows of a 1024-wide row-major matrix otherwise.
+  const bool contiguous = state.range(0) == 1;
+  const std::size_t n = 1024, b = 32;
+  std::vector<int> buf(n * n, 1);
+  long sum = 0;
+  for (auto _ : state) {
+    if (contiguous) {
+      for (std::size_t i = 0; i < b * b; ++i) sum += buf[i];
+    } else {
+      for (std::size_t r = 0; r < b; ++r) {
+        for (std::size_t c = 0; c < b; ++c) sum += buf[r * n + c];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SequentialTileScan_Bdl_vs_Strided)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// google-benchmark micro suite: priority-queue operation costs under
+// the Dijkstra/Prim operation mix (insert-all, interleaved
+// decrease-key, extract-min).
+#include <benchmark/benchmark.h>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/pq/fibonacci_heap.hpp"
+#include "cachegraph/pq/pairing_heap.hpp"
+
+namespace {
+
+using namespace cachegraph;
+
+template <typename H>
+void BM_HeapDijkstraMix(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  Rng rng(13);
+  // Pre-generate the operation tape so every heap sees identical work.
+  struct Op {
+    vertex_t v;
+    int key;
+  };
+  std::vector<Op> decreases;
+  for (int i = 0; i < 4 * n; ++i) {
+    decreases.push_back(
+        Op{static_cast<vertex_t>(rng.below(static_cast<std::uint64_t>(n))),
+           static_cast<int>(rng.below(1000000))});
+  }
+
+  for (auto _ : state) {
+    H heap(n);
+    for (vertex_t v = 0; v < n; ++v) {
+      heap.insert(v, 1000000 + v);
+    }
+    for (const auto& op : decreases) {
+      if (heap.contains(op.v)) heap.decrease_key(op.v, op.key);
+    }
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.extract_min());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5 * n);
+}
+BENCHMARK(BM_HeapDijkstraMix<pq::BinaryHeap<int>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_HeapDijkstraMix<pq::DAryHeap<int, 4>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_HeapDijkstraMix<pq::DAryHeap<int, 8>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_HeapDijkstraMix<pq::PairingHeap<int>>)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_HeapDijkstraMix<pq::FibonacciHeap<int>>)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Tables 4 & 5: Z-Morton vs Block Data Layout execution time for the
+// recursive and the tiled implementation (paper: Pentium III and
+// UltraSPARC III, N = 2048 / 4096).
+//
+// Paper: all within ~15% of each other; Morton slightly ahead for the
+// recursive implementation, BDL slightly ahead for the tiled one (each
+// layout matches "its" algorithm's access pattern; most reuse is inside
+// the final block, contiguous in both).
+#include <iostream>
+
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/benchlib/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cachegraph;
+  using namespace cachegraph::bench;
+  const Options opt = parse_options(argc, argv);
+
+  print_exhibit_header(std::cout, "Tables 4/5",
+                       "Z-Morton vs BDL, recursive and tiled implementations",
+                       "within 15%; Morton wins recursive, BDL wins tiled (N=2048/4096)");
+
+  const std::vector<std::size_t> sizes = opt.full ? std::vector<std::size_t>{2048, 4096}
+                                                  : std::vector<std::size_t>{512, 1024};
+  const std::size_t block = host_block(sizeof(std::int32_t));
+
+  Table t({"N", "impl", "morton (s)", "BDL (s)", "morton/BDL"});
+  for (const std::size_t n : sizes) {
+    const auto w = fw_input(n, opt.seed);
+    const int reps = n >= 2048 ? 1 : opt.reps;
+
+    const double rec_m = fw_time(apsp::FwVariant::kRecursiveMorton, w, n, block, reps);
+    const double rec_b = fw_time(apsp::FwVariant::kRecursiveBdl, w, n, block, reps);
+    t.add_row({std::to_string(n), "recursive", fmt(rec_m, 3), fmt(rec_b, 3),
+               fmt(rec_m / rec_b, 3)});
+
+    const double til_m = fw_time(apsp::FwVariant::kTiledMorton, w, n, block, reps);
+    const double til_b = fw_time(apsp::FwVariant::kTiledBdl, w, n, block, reps);
+    t.add_row({std::to_string(n), "tiled", fmt(til_m, 3), fmt(til_b, 3),
+               fmt(til_m / til_b, 3)});
+  }
+  t.print(std::cout, opt.csv);
+  std::cout << "\n(B=" << block << "; ratio < 1 means Morton faster)\n";
+  return 0;
+}

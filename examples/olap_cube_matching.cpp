@@ -1,0 +1,65 @@
+// OLAP cube computation — the paper's introduction cites Sarawagi et
+// al.: bipartite matching is the key algorithm when computing the cube
+// operator (assigning group-by views to computation slots so that each
+// view is derived from a compatible parent).
+//
+//   $ ./olap_cube_matching [views] [slots_per_view_density] [seed]
+//
+// Builds a synthetic compatibility graph between group-by views and
+// materialization slots, then finds the assignment (maximum matching)
+// with the two-phase cache-friendly algorithm, comparing against the
+// primitive baseline.
+#include <iostream>
+#include <string>
+
+#include "cachegraph/common/timer.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/matching/cache_friendly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cachegraph;
+  using namespace cachegraph::matching;
+  const vertex_t views = argc > 1 ? std::stoi(argv[1]) : 2048;
+  const double density = argc > 2 ? std::stod(argv[2]) : 0.05;
+  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 5;
+
+  // Compatibility graph: view i can be computed in slot j.
+  const auto compat = graph::random_bipartite(views, views, density, seed);
+  std::cout << views << " group-by views x " << views << " slots, "
+            << compat.edges.size() << " compatible pairs\n";
+
+  // Baseline: the primitive augmenting-path matcher.
+  const BipartiteCsr rep(compat);
+  Timer tb;
+  Matching base = Matching::empty(views, views);
+  primitive_matching(rep, base);
+  const double base_s = tb.seconds();
+
+  // Optimized: partition first, match locally, finish globally.
+  Timer to;
+  const Partition part = two_way_partition(compat);
+  Matching opt;
+  const auto stats = cache_friendly_matching(compat, part, opt);
+  const double opt_s = to.seconds();
+
+  if (base.size() != stats.final_matched) {
+    std::cerr << "matchers disagree on cardinality!\n";
+    return 1;
+  }
+  std::cout << "assigned " << stats.final_matched << " views (" << stats.local_matched
+            << " already in the cache-local phase)\n";
+  std::cout << "baseline " << base_s << " s; two-phase " << opt_s << " s ("
+            << base_s / opt_s << "x)\n";
+
+  // A few concrete assignments.
+  std::cout << "sample assignment:";
+  int shown = 0;
+  for (vertex_t v = 0; v < views && shown < 5; ++v) {
+    if (opt.match_left[static_cast<std::size_t>(v)] != kNoVertex) {
+      std::cout << " view" << v << "->slot" << opt.match_left[static_cast<std::size_t>(v)];
+      ++shown;
+    }
+  }
+  std::cout << '\n';
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Baseline Floyd-Warshall (paper Fig. 1): the classic triple loop over
+// a row-major matrix. This is exactly the implementation the paper's
+// speedup figures normalize against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cachegraph/apsp/fwi_kernel.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::apsp {
+
+/// In-place APSP on a row-major N×N distance matrix: d[i*n+j] holds the
+/// edge weight (inf<W> for "no edge", 0 on the diagonal) and, on
+/// return, the shortest-path weight.
+template <KernelMode Mode = KernelMode::kChecked, Weight W,
+          memsim::MemPolicy Mem = memsim::NullMem>
+void fw_iterative(W* d, std::size_t n, Mem mem = Mem{}) {
+  fwi_kernel<Mode>(d, n, d, n, d, n, n, mem);
+}
+
+/// Baseline FW that additionally produces the next-hop matrix:
+/// next[i*n+j] is the vertex that follows i on a shortest i→j path
+/// (kNoVertex if unreachable or i == j).
+template <Weight W>
+void fw_iterative_with_paths(W* d, vertex_t* next, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      next[i * n + j] =
+          (i != j && !is_inf(d[i * n + j])) ? static_cast<vertex_t>(j) : kNoVertex;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const W d_ik = d[i * n + k];
+      if (is_inf(d_ik)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const W via = sat_add(d_ik, d[k * n + j]);
+        if (via < d[i * n + j]) {
+          d[i * n + j] = via;
+          next[i * n + j] = next[i * n + k];
+        }
+      }
+    }
+  }
+}
+
+/// True iff the completed distance matrix certifies a negative cycle
+/// (some d[i][i] < 0).
+template <Weight W>
+[[nodiscard]] bool has_negative_cycle(const W* d, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i * n + i] < W{0}) return true;
+  }
+  return false;
+}
+
+/// Walk the next-hop matrix from i to j. Returns the vertex sequence
+/// including both endpoints, or an empty vector if j is unreachable.
+inline std::vector<vertex_t> extract_path(const vertex_t* next, std::size_t n, vertex_t from,
+                                          vertex_t to) {
+  std::vector<vertex_t> path;
+  if (from == to) return {from};
+  if (next[static_cast<std::size_t>(from) * n + static_cast<std::size_t>(to)] == kNoVertex) {
+    return path;
+  }
+  vertex_t u = from;
+  path.push_back(u);
+  while (u != to) {
+    u = next[static_cast<std::size_t>(u) * n + static_cast<std::size_t>(to)];
+    path.push_back(u);
+  }
+  return path;
+}
+
+}  // namespace cachegraph::apsp

@@ -1,0 +1,70 @@
+// Parallel tiled Floyd-Warshall (the paper's Conclusion / future-work
+// item: "our recursive implementation can be used to decompose data and
+// computation for a parallel version").
+//
+// Within one block-iteration b of the tiled algorithm the dependency
+// structure is: diagonal tile → {block-row b, block-column b} → rest.
+// Tiles inside each phase are independent, so phases 2 and 3
+// parallelize directly with OpenMP. Because each task is one FWI over
+// three B×B tiles, the per-core working set — and hence the per-core
+// cache behaviour — is identical to the sequential tiled variant, which
+// is exactly the paper's argument for why locality-optimized
+// decompositions parallelize with minimal sharing.
+//
+// Compiles to the sequential tiled algorithm when OpenMP is absent.
+#pragma once
+
+#include "cachegraph/apsp/fwi_kernel.hpp"
+#include "cachegraph/matrix/square_matrix.hpp"
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace cachegraph::apsp {
+
+template <KernelMode Mode = KernelMode::kChecked, Weight W, layout::MatrixLayout L>
+void fw_parallel(matrix::SquareMatrix<W, L>& m, int num_threads = 0) {
+  const std::size_t nb = m.layout().num_blocks();
+  const std::size_t bsz = m.layout().block();
+  const std::size_t ld = m.layout().tile_row_stride();
+  memsim::NullMem mem;
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+  if (num_threads > 0) omp_set_num_threads(num_threads);
+#else
+  (void)num_threads;
+#endif
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    fwi_kernel<Mode>(m.tile(b, b), ld, m.tile(b, b), ld, m.tile(b, b), ld, bsz, mem);
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::size_t t = 0; t < 2 * nb; ++t) {
+      // First nb tasks: block-row b; last nb: block-column b.
+      if (t < nb) {
+        const std::size_t j = t;
+        if (j == b) continue;
+        fwi_kernel<Mode>(m.tile(b, j), ld, m.tile(b, b), ld, m.tile(b, j), ld, bsz, mem);
+      } else {
+        const std::size_t i = t - nb;
+        if (i == b) continue;
+        fwi_kernel<Mode>(m.tile(i, b), ld, m.tile(i, b), ld, m.tile(b, b), ld, bsz, mem);
+      }
+    }
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (std::size_t i = 0; i < nb; ++i) {
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (i == b || j == b) continue;
+        fwi_kernel<Mode>(m.tile(i, j), ld, m.tile(i, b), ld, m.tile(b, j), ld, bsz, mem);
+      }
+    }
+  }
+}
+
+}  // namespace cachegraph::apsp

@@ -1,0 +1,78 @@
+// FWR — the cache-oblivious recursive Floyd-Warshall (paper Fig. 3,
+// Section 3.1.1).
+//
+//   FWR(A, B, C):
+//     if base case: FWI(A, B, C)
+//     else, with X11/X12/X21/X22 the quadrants of X:
+//       FWR(A11,B11,C11); FWR(A12,B11,C12); FWR(A21,B21,C11);
+//       FWR(A22,B21,C12); FWR(A22,B22,C22); FWR(A21,B22,C21);
+//       FWR(A12,B12,C22); FWR(A11,B12,C21);
+//
+// The first four calls run NW→SE, the last four in exactly the reverse
+// order — this ordering is what satisfies the extra FW dependencies
+// (Claim 1 / Theorem 3.1). Traffic is Θ(N³/√C) at *every* level of the
+// hierarchy without knowing C (Theorems 3.2-3.4).
+//
+// The recursion operates on the tile grid of the underlying layout, so
+// the physical matrix must have a power-of-two number of blocks per
+// side (padded_size_recursive). The base case runs FWI on one tile —
+// stopping recursion at tile size B rather than at 2×2 is the paper's
+// "up to 2×" base-case tuning (Section 3.1 last paragraphs, and our
+// bench_ablation_basecase).
+#pragma once
+
+#include "cachegraph/apsp/fwi_kernel.hpp"
+#include "cachegraph/matrix/square_matrix.hpp"
+
+namespace cachegraph::apsp {
+
+namespace detail {
+
+/// A square region of the block grid: tiles [bi, bi+nb) × [bj, bj+nb).
+struct BlockRegion {
+  std::size_t bi;
+  std::size_t bj;
+  std::size_t nb;
+
+  [[nodiscard]] BlockRegion quad(std::size_t qi, std::size_t qj) const noexcept {
+    const std::size_t h = nb / 2;
+    return BlockRegion{bi + qi * h, bj + qj * h, h};
+  }
+};
+
+template <KernelMode Mode, Weight W, layout::MatrixLayout L, memsim::MemPolicy Mem>
+void fwr(matrix::SquareMatrix<W, L>& m, BlockRegion a, BlockRegion b, BlockRegion c, Mem& mem) {
+  if (a.nb == 1) {
+    const std::size_t bsz = m.layout().block();
+    const std::size_t ld = m.layout().tile_row_stride();
+    fwi_kernel<Mode>(m.tile(a.bi, a.bj), ld, m.tile(b.bi, b.bj), ld, m.tile(c.bi, c.bj), ld, bsz,
+                     mem);
+    return;
+  }
+  const auto a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0), a22 = a.quad(1, 1);
+  const auto b11 = b.quad(0, 0), b12 = b.quad(0, 1), b21 = b.quad(1, 0), b22 = b.quad(1, 1);
+  const auto c11 = c.quad(0, 0), c12 = c.quad(0, 1), c21 = c.quad(1, 0), c22 = c.quad(1, 1);
+
+  fwr<Mode>(m, a11, b11, c11, mem);
+  fwr<Mode>(m, a12, b11, c12, mem);
+  fwr<Mode>(m, a21, b21, c11, mem);
+  fwr<Mode>(m, a22, b21, c12, mem);
+  fwr<Mode>(m, a22, b22, c22, mem);
+  fwr<Mode>(m, a21, b22, c21, mem);
+  fwr<Mode>(m, a12, b12, c22, mem);
+  fwr<Mode>(m, a11, b12, c21, mem);
+}
+
+}  // namespace detail
+
+template <KernelMode Mode = KernelMode::kChecked, Weight W, layout::MatrixLayout L,
+          memsim::MemPolicy Mem = memsim::NullMem>
+void fw_recursive(matrix::SquareMatrix<W, L>& m, Mem mem = Mem{}) {
+  const std::size_t nb = m.layout().num_blocks();
+  CG_CHECK(nb > 0 && (nb & (nb - 1)) == 0,
+           "recursive FW needs a power-of-two block grid (pad with padded_size_recursive)");
+  const detail::BlockRegion whole{0, 0, nb};
+  detail::fwr<Mode>(m, whole, whole, whole, mem);
+}
+
+}  // namespace cachegraph::apsp

@@ -1,0 +1,75 @@
+// FWI — the 3-argument iterative Floyd-Warshall kernel (paper Fig. 2).
+//
+//   for k, i, j:  a[i][j] = min(a[i][j], b[i][k] + c[k][j])
+//
+// Used directly as the baseline (A = B = C = whole matrix) and as the
+// base case of both the tiled (Fig. 4) and recursive (Fig. 3)
+// implementations, where A, B, C are tiles that may alias each other in
+// any combination (see the Appendix "Clarifications"). Each argument is
+// a (pointer, row-stride) pair so the same kernel serves strided tiles
+// of a row-major matrix and contiguous tiles of BDL/Morton matrices.
+//
+// Two kernel modes:
+//   - kChecked: saturating adds; correct for any weights (including
+//     negative edges, as long as there is no negative cycle) and used
+//     for every traced (SimMem) run so the access accounting never
+//     depends on value-dependent shortcuts.
+//   - kFast: branchless `min(a, b + c)`. Requires non-negative weights.
+//     Sound because every stored value is <= inf<W> (values only
+//     decrease from their initialization), so b + c <= 2*inf never
+//     overflows (inf = max/2 for integers), and with b, c >= 0 any sum
+//     involving an inf operand is >= inf and thus never selected by the
+//     min. The j-loop is a pure min/add stream the compiler vectorizes;
+//     rows with b[i][k] == inf are skipped outright.
+//
+// Precondition for both modes: no negative cycles. Under that
+// precondition diagonal entries never go negative and hoisting b[i][k]
+// out of the j-loop is exact even when A aliases B.
+//
+// Memory-model accounting (kChecked + tracing): per inner iteration we
+// count the loads and stores the natural compiled loop performs — load
+// c[k][j], load a[i][j], store a[i][j]; b[i][k] is loaded once per
+// (k, i) and held in a register.
+#pragma once
+
+#include <cstddef>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::apsp {
+
+enum class KernelMode {
+  kChecked,  ///< saturating arithmetic; any weights; faithful tracing
+  kFast,     ///< branchless vectorizable min/add; non-negative weights
+};
+
+template <KernelMode Mode = KernelMode::kChecked, Weight W,
+          memsim::MemPolicy Mem = memsim::NullMem>
+void fwi_kernel(W* a, std::size_t lda, const W* b, std::size_t ldb, const W* c, std::size_t ldc,
+                std::size_t n, Mem& mem) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const W* c_row = c + k * ldc;
+    for (std::size_t i = 0; i < n; ++i) {
+      W* a_row = a + i * lda;
+      const W b_ik = b[i * ldb + k];
+      if constexpr (Mode == KernelMode::kFast) {
+        if (is_inf(b_ik)) continue;  // inf + c >= inf can never improve
+        for (std::size_t j = 0; j < n; ++j) {
+          const W via = static_cast<W>(b_ik + c_row[j]);
+          a_row[j] = via < a_row[j] ? via : a_row[j];
+        }
+      } else {
+        mem.read(&b[i * ldb + k]);
+        for (std::size_t j = 0; j < n; ++j) {
+          mem.read(&c_row[j]);
+          mem.read(&a_row[j]);
+          a_row[j] = relax_min(a_row[j], b_ik, c_row[j]);
+          mem.write(&a_row[j]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cachegraph::apsp

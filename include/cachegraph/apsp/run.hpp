@@ -1,0 +1,169 @@
+// Uniform drivers for every Floyd-Warshall variant.
+//
+// Benchmarks and tests hand the same row-major weight matrix to each
+// variant; these helpers deal with padding, layout conversion, running,
+// and copying the logical region back out, so callers compare apples to
+// apples. The conversion cost is *included* by the timed benches when
+// the paper includes it (layout construction is part of the optimized
+// implementations' runtime there, and is O(N²) against an O(N³)
+// computation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cachegraph/apsp/fw_iterative.hpp"
+#include "cachegraph/apsp/fw_parallel.hpp"
+#include "cachegraph/apsp/fw_recursive.hpp"
+#include "cachegraph/apsp/fw_tiled.hpp"
+#include "cachegraph/layout/padding.hpp"
+
+namespace cachegraph::apsp {
+
+enum class FwVariant {
+  kBaseline,        ///< iterative, row-major (the paper's baseline)
+  kTiledRowMajor,   ///< tiled over strided row-major tiles
+  kTiledBdl,        ///< tiled + Block Data Layout (paper's best tiled)
+  kTiledMorton,     ///< tiled + Z-Morton (Table 4/5 comparison)
+  kRecursiveRowMajor,
+  kRecursiveBdl,    ///< recursive + BDL (Table 4/5 comparison)
+  kRecursiveMorton, ///< recursive + Z-Morton (paper's cache-oblivious pick)
+  kParallelBdl,     ///< OpenMP tiled + BDL (future-work extension)
+};
+
+[[nodiscard]] constexpr const char* variant_name(FwVariant v) noexcept {
+  switch (v) {
+    case FwVariant::kBaseline: return "baseline";
+    case FwVariant::kTiledRowMajor: return "tiled/row-major";
+    case FwVariant::kTiledBdl: return "tiled/BDL";
+    case FwVariant::kTiledMorton: return "tiled/morton";
+    case FwVariant::kRecursiveRowMajor: return "recursive/row-major";
+    case FwVariant::kRecursiveBdl: return "recursive/BDL";
+    case FwVariant::kRecursiveMorton: return "recursive/morton";
+    case FwVariant::kParallelBdl: return "parallel/BDL";
+  }
+  return "?";
+}
+
+namespace detail {
+
+template <Weight W, layout::MatrixLayout L, typename RunFn>
+std::vector<W> run_on_layout(L lay, const std::vector<W>& w, std::size_t n, RunFn&& run) {
+  matrix::SquareMatrix<W, L> m(lay, n);
+  m.load_row_major(w.data(), n);
+  run(m);
+  std::vector<W> out(n * n);
+  m.store_row_major(out.data(), n);
+  return out;
+}
+
+}  // namespace detail
+
+/// Run the requested FW variant on a logical row-major n×n weight
+/// matrix and return the row-major distance matrix. `block` is the tile
+/// size B (ignored by the baseline).
+template <Weight W, memsim::MemPolicy Mem = memsim::NullMem>
+std::vector<W> run_fw(FwVariant v, const std::vector<W>& w, std::size_t n, std::size_t block,
+                      Mem mem = Mem{}) {
+  CG_CHECK(w.size() == n * n, "weight matrix must be n*n row-major");
+  using layout::BlockDataLayout;
+  using layout::MortonLayout;
+  using layout::RowMajorLayout;
+  const std::size_t nt = layout::padded_size_tiled(n, block);
+  const std::size_t nr = layout::padded_size_recursive(n, block);
+
+  // Kernel-mode selection: the branchless fast kernel needs
+  // non-negative weights, and traced runs always use the checked kernel
+  // so access accounting never depends on value-dependent shortcuts.
+  bool fast = true;
+  if constexpr (Mem::tracing) {
+    fast = false;
+  } else {
+    for (const W x : w) {
+      if (x < W{0}) {
+        fast = false;
+        break;
+      }
+    }
+  }
+
+  switch (v) {
+    case FwVariant::kBaseline: {
+      std::vector<W> d = w;
+      if constexpr (Mem::tracing) mem.map_buffer(d.data(), d.size() * sizeof(W));
+      if (fast) {
+        fw_iterative<KernelMode::kFast>(d.data(), n, mem);
+      } else {
+        fw_iterative(d.data(), n, mem);
+      }
+      return d;
+    }
+    case FwVariant::kTiledRowMajor:
+      return detail::run_on_layout<W>(RowMajorLayout(nt, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_tiled<KernelMode::kFast>(m, mem);
+        } else {
+          fw_tiled(m, mem);
+        }
+      });
+    case FwVariant::kTiledBdl:
+      return detail::run_on_layout<W>(BlockDataLayout(nt, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_tiled<KernelMode::kFast>(m, mem);
+        } else {
+          fw_tiled(m, mem);
+        }
+      });
+    case FwVariant::kTiledMorton:
+      return detail::run_on_layout<W>(MortonLayout(nr, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_tiled<KernelMode::kFast>(m, mem);
+        } else {
+          fw_tiled(m, mem);
+        }
+      });
+    case FwVariant::kRecursiveRowMajor:
+      return detail::run_on_layout<W>(RowMajorLayout(nr, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_recursive<KernelMode::kFast>(m, mem);
+        } else {
+          fw_recursive(m, mem);
+        }
+      });
+    case FwVariant::kRecursiveBdl:
+      return detail::run_on_layout<W>(BlockDataLayout(nr, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_recursive<KernelMode::kFast>(m, mem);
+        } else {
+          fw_recursive(m, mem);
+        }
+      });
+    case FwVariant::kRecursiveMorton:
+      return detail::run_on_layout<W>(MortonLayout(nr, block), w, n, [&](auto& m) {
+        if constexpr (Mem::tracing) mem.map_buffer(m.data(), m.storage_bytes());
+        if (fast) {
+          fw_recursive<KernelMode::kFast>(m, mem);
+        } else {
+          fw_recursive(m, mem);
+        }
+      });
+    case FwVariant::kParallelBdl:
+      return detail::run_on_layout<W>(BlockDataLayout(nt, block), w, n,
+                                      [&](auto& m) {
+                                        if (fast) {
+                                          fw_parallel<KernelMode::kFast>(m);
+                                        } else {
+                                          fw_parallel(m);
+                                        }
+                                      });
+  }
+  CG_CHECK(false, "unknown variant");
+  return {};
+}
+
+}  // namespace cachegraph::apsp

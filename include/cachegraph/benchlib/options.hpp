@@ -1,0 +1,32 @@
+// Shared command-line options for the bench harnesses.
+//
+//   --full        paper-scale problem sizes (default: laptop-scale that
+//                 finishes in seconds)
+//   --reps=N      timing repetitions (min is reported)
+//   --seed=N      workload seed
+//   --csv         machine-readable output
+//   --machine=M   cache preset for simulation benches
+//                 (pentium3 | ultrasparc3 | alpha21264 | mips |
+//                  simplescalar | modern)
+#pragma once
+
+#include <string>
+
+#include "cachegraph/memsim/machine_configs.hpp"
+
+namespace cachegraph::bench {
+
+struct Options {
+  bool full = false;
+  bool csv = false;
+  int reps = 3;
+  std::uint64_t seed = 42;
+  std::string machine = "simplescalar";
+
+  [[nodiscard]] memsim::MachineConfig machine_config() const;
+};
+
+/// Parses argv; exits(2) with a usage message on unknown flags.
+[[nodiscard]] Options parse_options(int argc, char** argv);
+
+}  // namespace cachegraph::bench

@@ -1,0 +1,47 @@
+// Paper-style table printing for the bench harnesses.
+//
+// Every bench binary regenerates one exhibit (table or figure) of the
+// paper: it prints the exhibit header, the paper's reported reference
+// result for context, and then a column-aligned table (or CSV with
+// --csv) of our measurements.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cachegraph::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os, bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double → string ("12.34").
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Engineering formatting of counters ("1.23e9" style for big values,
+/// plain for small).
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+/// "3.42x" speedup string of base/optimized.
+[[nodiscard]] std::string fmt_speedup(double base_seconds, double optimized_seconds);
+
+/// Percentage string ("4.28%") of a ratio in [0,1].
+[[nodiscard]] std::string fmt_pct(double ratio);
+
+/// Prints the standard exhibit banner: id, title, and the paper's
+/// reported reference values.
+void print_exhibit_header(std::ostream& os, const std::string& exhibit,
+                          const std::string& title, const std::string& paper_reference);
+
+}  // namespace cachegraph::bench

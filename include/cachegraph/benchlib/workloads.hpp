@@ -1,0 +1,89 @@
+// Shared workload runners for the bench harnesses: build the input,
+// time or simulate one algorithm variant, return comparable numbers.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/common/timer.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/layout/block_size.hpp"
+#include "cachegraph/memsim/machine_configs.hpp"
+
+namespace cachegraph::bench {
+
+/// Reads one cache size in bytes from sysfs ("48K" / "2048K" / "8M").
+/// Returns `fallback` when the file is absent (non-Linux, containers).
+[[nodiscard]] std::size_t read_sysfs_cache_size(const char* path, std::size_t fallback);
+
+/// The host L1 data cache, detected from sysfs where possible
+/// (fallback 32 KB). Associativity is approximated as 8-way.
+[[nodiscard]] memsim::CacheConfig host_l1();
+
+/// The host L2 cache (fallback 1 MB), 16-way approximation.
+[[nodiscard]] memsim::CacheConfig host_l2();
+
+/// Heuristic block size for timing on this host. Following the paper's
+/// Section 3.1.2.2 guidance ("with an on-chip level-2 cache often the
+/// best block size is larger than the level-1"), the pick targets the
+/// host L2 via Equation 13; bench_ablation_blocksize validates it
+/// against a sweep.
+[[nodiscard]] inline std::size_t host_block(std::size_t elem_bytes) {
+  return layout::pick_block_size(host_l2(), elem_bytes, /*round_to_pow2=*/true);
+}
+
+/// Random dense weight matrix for the FW benches.
+[[nodiscard]] inline std::vector<std::int32_t> fw_input(std::size_t n, std::uint64_t seed) {
+  std::vector<std::int32_t> w(n * n, inf<std::int32_t>());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i * n + i] = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.chance(0.5)) {
+        w[i * n + j] = static_cast<std::int32_t>(rng.uniform_int(1, 1000));
+      }
+    }
+  }
+  return w;
+}
+
+/// Best wall-clock seconds for one FW variant (input regenerated copy
+/// per rep; the run includes layout conversion, as the paper's timed
+/// optimized implementations do).
+[[nodiscard]] inline double fw_time(apsp::FwVariant v, const std::vector<std::int32_t>& w,
+                                    std::size_t n, std::size_t block, int reps) {
+  const auto res = time_repeated(reps, [&] { (void)apsp::run_fw(v, w, n, block); });
+  return res.best_s;
+}
+
+/// Simulated cache statistics for one FW variant.
+[[nodiscard]] inline memsim::SimStats fw_sim(apsp::FwVariant v, const std::vector<std::int32_t>& w,
+                                             std::size_t n, std::size_t block,
+                                             const memsim::MachineConfig& machine) {
+  memsim::CacheHierarchy h(machine);
+  memsim::SimMem mem(h);
+  (void)apsp::run_fw(v, w, n, block, mem);
+  return h.stats();
+}
+
+/// Time `algo(rep)` over the representation, best of `reps`.
+template <typename Rep, typename Algo>
+[[nodiscard]] double time_on_rep(const Rep& rep, int reps, Algo&& algo) {
+  const auto res = time_repeated(reps, [&] { algo(rep); });
+  return res.best_s;
+}
+
+/// Simulate `algo(rep, mem)` on a fresh hierarchy; returns the stats.
+template <typename Rep, typename Algo>
+[[nodiscard]] memsim::SimStats sim_on_rep(const Rep& rep, const memsim::MachineConfig& machine,
+                                          Algo&& algo) {
+  memsim::CacheHierarchy h(machine);
+  memsim::SimMem mem(h);
+  algo(rep, mem);
+  return h.stats();
+}
+
+}  // namespace cachegraph::bench

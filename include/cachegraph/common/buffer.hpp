@@ -1,0 +1,64 @@
+// Cache-line- and page-aligned owning buffer.
+//
+// Matrix storage is aligned to 64 bytes so that block boundaries in the
+// Block Data Layout coincide with cache-line boundaries — the layout
+// experiments in the paper assume tiles start on line boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer frees storage without running destructors");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLineBytes)
+      : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), alignment);
+    void* p = std::aligned_alloc(alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_.reset(static_cast<T*>(p));
+    // Value-initialize: weights default to zero; callers overwrite.
+    std::uninitialized_value_construct_n(data_.get(), count);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_.get(); }
+  [[nodiscard]] T* end() noexcept { return data_.get() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_.get(); }
+  [[nodiscard]] const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  static constexpr std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cachegraph

@@ -1,0 +1,41 @@
+// Precondition checking.
+//
+// CG_CHECK is always on (it guards API misuse: wrong matrix sizes,
+// negative densities, ...). CG_DCHECK compiles out in release builds
+// and guards internal invariants on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cachegraph {
+
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw PreconditionError(std::string("CG_CHECK failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace cachegraph
+
+#define CG_CHECK(expr, ...)                                                              \
+  do {                                                                                   \
+    if (!(expr)) {                                                                       \
+      ::cachegraph::detail::check_failed(#expr, __FILE__, __LINE__, std::string{__VA_ARGS__}); \
+    }                                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define CG_DCHECK(expr, ...) \
+  do {                       \
+  } while (false)
+#else
+#define CG_DCHECK(expr, ...) CG_CHECK(expr, ##__VA_ARGS__)
+#endif

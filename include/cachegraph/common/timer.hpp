@@ -1,0 +1,64 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+//
+// The paper reports "real execution time"; we follow the standard
+// practice of taking the minimum over R repetitions (least noisy
+// estimator of the true cost on an otherwise idle machine) and also
+// expose the median for sanity checking.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace cachegraph {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+struct TimingResult {
+  double best_s = 0.0;    ///< minimum over repetitions
+  double median_s = 0.0;  ///< median over repetitions
+  int reps = 0;
+};
+
+/// Times `fn()` `reps` times (after `setup()` before each rep) and
+/// returns min/median wall-clock seconds. `setup` re-creates any state
+/// the measured function mutates.
+template <typename Setup, typename Fn>
+TimingResult time_repeated(int reps, Setup&& setup, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    setup();
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  TimingResult out;
+  out.reps = reps;
+  out.best_s = samples.front();
+  out.median_s = samples[samples.size() / 2];
+  return out;
+}
+
+/// Convenience overload when no per-rep setup is needed.
+template <typename Fn>
+TimingResult time_repeated(int reps, Fn&& fn) {
+  return time_repeated(reps, [] {}, static_cast<Fn&&>(fn));
+}
+
+}  // namespace cachegraph

@@ -1,0 +1,68 @@
+// Core scalar types and weight arithmetic shared by every module.
+//
+// All algorithm templates are parameterized on a weight type W. Both
+// integral (int32_t, int64_t) and floating-point (float, double) weights
+// are supported. "Infinity" is represented so that `sat_add` never
+// overflows: for integral W we use max()/2, for floating W the IEEE
+// infinity. Padding regions of matrices are filled with inf<W>() and
+// remain inert under min/+ updates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace cachegraph {
+
+/// Vertex id. 32-bit keeps graph representations compact (half the
+/// memory traffic of int64 indices, which is the whole point here).
+using vertex_t = std::int32_t;
+
+/// Edge/element counts: 64-bit since E can exceed 2^31 at paper scale.
+using index_t = std::int64_t;
+
+/// Marker for "no vertex" (predecessor of a source, unreached, ...).
+inline constexpr vertex_t kNoVertex = -1;
+
+template <typename W>
+concept Weight = std::is_arithmetic_v<W> && !std::is_same_v<W, bool>;
+
+/// The value used for "no edge" / "unreachable".
+template <Weight W>
+[[nodiscard]] constexpr W inf() noexcept {
+  if constexpr (std::is_floating_point_v<W>) {
+    return std::numeric_limits<W>::infinity();
+  } else {
+    // Half of max so that inf + (any real edge weight) stays representable.
+    return std::numeric_limits<W>::max() / 2;
+  }
+}
+
+template <Weight W>
+[[nodiscard]] constexpr bool is_inf(W w) noexcept {
+  return w >= inf<W>();
+}
+
+/// Addition that saturates at inf<W>(): inf + x == inf, never overflow.
+template <Weight W>
+[[nodiscard]] constexpr W sat_add(W a, W b) noexcept {
+  if constexpr (std::is_floating_point_v<W>) {
+    return a + b;  // IEEE inf already saturates.
+  } else {
+    if (is_inf(a) || is_inf(b)) return inf<W>();
+    // Finite operands are each < max/2, so the sum cannot overflow; it
+    // can still land at or above the inf threshold — clamp it there so
+    // downstream is_inf() stays consistent.
+    const W s = static_cast<W>(a + b);
+    return s >= inf<W>() ? inf<W>() : s;
+  }
+}
+
+/// The FW relaxation primitive: min(a, b + c) with saturation.
+template <Weight W>
+[[nodiscard]] constexpr W relax_min(W a, W b, W c) noexcept {
+  const W via = sat_add(b, c);
+  return via < a ? via : a;
+}
+
+}  // namespace cachegraph

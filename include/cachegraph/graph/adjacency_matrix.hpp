@@ -1,0 +1,67 @@
+// Dense adjacency matrix: O(N²) space, perfectly contiguous row scans.
+// Cache-friendly but size-inefficient for sparse graphs — the third
+// point in the paper's representation comparison (Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::graph {
+
+template <Weight W>
+class AdjacencyMatrix {
+ public:
+  using weight_type = W;
+
+  explicit AdjacencyMatrix(const EdgeListGraph<W>& g)
+      : n_(static_cast<std::size_t>(g.num_vertices())), w_(n_ * n_, inf<W>()) {
+    for (std::size_t i = 0; i < n_; ++i) w_[i * n_ + i] = W{0};
+    for (const auto& e : g.edges()) {
+      W& slot = w_[static_cast<std::size_t>(e.from) * n_ + static_cast<std::size_t>(e.to)];
+      if (e.from != e.to && is_inf(slot)) ++num_edges_;
+      if (e.weight < slot) slot = e.weight;  // keep the lightest parallel edge
+    }
+  }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return static_cast<vertex_t>(n_); }
+  [[nodiscard]] index_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] W weight(vertex_t from, vertex_t to) const noexcept {
+    return w_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)];
+  }
+
+  /// Row-major weight matrix view — the direct input to the FW variants.
+  [[nodiscard]] const std::vector<W>& weights() const noexcept { return w_; }
+
+  /// Traced neighbour iteration: scans the whole row (that is the cost
+  /// of the dense representation for sparse graphs).
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t v, Mem& mem, Fn&& fn) const {
+    const W* row = w_.data() + static_cast<std::size_t>(v) * n_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      mem.read(&row[j]);
+      if (j != static_cast<std::size_t>(v) && !is_inf(row[j])) {
+        fn(Neighbor<W>{static_cast<vertex_t>(j), row[j]});
+      }
+    }
+  }
+
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    if constexpr (Mem::tracing) {
+      mem.map_buffer(w_.data(), w_.size() * sizeof(W));
+    }
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept { return w_.size() * sizeof(W); }
+
+ private:
+  std::size_t n_;
+  std::vector<W> w_;
+  index_t num_edges_ = 0;
+};
+
+}  // namespace cachegraph::graph

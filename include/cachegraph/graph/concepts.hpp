@@ -1,0 +1,23 @@
+// Concept satisfied by every graph representation (adjacency matrix,
+// adjacency list, adjacency array): the contract the SSSP/MST/matching
+// algorithm templates are written against.
+#pragma once
+
+#include <concepts>
+
+#include "cachegraph/graph/edge_list.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::graph {
+
+template <typename G>
+concept GraphRep = requires(const G g, vertex_t v, memsim::NullMem mem) {
+  typename G::weight_type;
+  { g.num_vertices() } -> std::convertible_to<vertex_t>;
+  { g.num_edges() } -> std::convertible_to<index_t>;
+  g.for_neighbors(v, mem, [](const Neighbor<typename G::weight_type>&) {});
+  g.map_buffers(mem);
+  { g.footprint_bytes() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace cachegraph::graph

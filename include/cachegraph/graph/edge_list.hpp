@@ -1,0 +1,66 @@
+// Edge-list graph: the neutral interchange format every generator
+// produces and every concrete representation is built from.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph::graph {
+
+template <Weight W>
+struct Edge {
+  vertex_t from = 0;
+  vertex_t to = 0;
+  W weight = W{};
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One neighbour record as handed to per-edge callbacks by every
+/// representation. Interleaving the cost with the index is deliberate
+/// (the paper: "Each element must store both the cost of the path and
+/// the index of the adjacent node"): a cache line holds complete
+/// records, so no second array is touched per edge.
+template <Weight W>
+struct Neighbor {
+  vertex_t to;
+  W weight;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+template <Weight W>
+class EdgeListGraph {
+ public:
+  explicit EdgeListGraph(vertex_t num_vertices) : n_(num_vertices) {
+    CG_CHECK(num_vertices >= 0);
+  }
+
+  void add_edge(vertex_t from, vertex_t to, W weight) {
+    CG_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_, "edge endpoint out of range");
+    edges_.push_back(Edge<W>{from, to, weight});
+  }
+
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] index_t num_edges() const noexcept {
+    return static_cast<index_t>(edges_.size());
+  }
+  [[nodiscard]] const std::vector<Edge<W>>& edges() const noexcept { return edges_; }
+
+  /// Directed edge density: E / (N * (N-1)).
+  [[nodiscard]] double density() const noexcept {
+    if (n_ < 2) return 0.0;
+    return static_cast<double>(edges_.size()) /
+           (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+  }
+
+ private:
+  vertex_t n_;
+  std::vector<Edge<W>> edges_;
+};
+
+}  // namespace cachegraph::graph

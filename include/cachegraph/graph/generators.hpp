@@ -1,0 +1,204 @@
+// Workload generators for the paper's experiments.
+//
+// All generators are deterministic in (parameters, seed) and use the
+// Batagelj-Brandes geometric-skip method for G(n, p), so building a
+// graph costs O(N + E) rather than O(N²) — necessary at the paper's
+// 64K-vertex scale.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+
+namespace cachegraph::graph {
+
+namespace detail {
+
+/// Visit each index in [0, total) independently with probability p,
+/// in increasing order, via geometric skips: O(p * total) work.
+template <typename Fn>
+void gnp_visit(std::uint64_t total, double p, Rng& rng, Fn&& fn) {
+  if (total == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  std::uint64_t i = 0;
+  while (true) {
+    const double u = rng.uniform01();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    // skip >= 0; advance past the skipped indices to the next edge.
+    if (skip >= static_cast<double>(total)) return;  // guard huge skips
+    i += static_cast<std::uint64_t>(skip);
+    if (i >= total) return;
+    fn(i);
+    ++i;
+    if (i >= total) return;
+  }
+}
+
+}  // namespace detail
+
+/// Random directed graph: each ordered pair (i, j), i != j, is an edge
+/// with probability `density`; weights uniform in [wmin, wmax].
+template <Weight W>
+EdgeListGraph<W> random_digraph(vertex_t n, double density, std::uint64_t seed, W wmin = W{1},
+                                W wmax = W{100}) {
+  CG_CHECK(n >= 0 && density >= 0.0 && density <= 1.0 && wmin <= wmax);
+  EdgeListGraph<W> g(n);
+  if (n < 2) return g;
+  const auto un = static_cast<std::uint64_t>(n);
+  g.reserve(static_cast<std::size_t>(density * static_cast<double>(un * (un - 1))));
+  Rng rng(seed);
+  detail::gnp_visit(un * (un - 1), density, rng, [&](std::uint64_t idx) {
+    // idx enumerates ordered pairs with the diagonal removed:
+    // row i contributes n-1 slots.
+    const auto i = static_cast<vertex_t>(idx / (un - 1));
+    auto j = static_cast<vertex_t>(idx % (un - 1));
+    if (j >= i) ++j;  // skip the diagonal
+    const W w = static_cast<W>(rng.uniform_int(static_cast<std::int64_t>(wmin),
+                                               static_cast<std::int64_t>(wmax)));
+    g.add_edge(i, j, w);
+  });
+  return g;
+}
+
+/// Random undirected graph (each unordered pair {i, j} becomes two
+/// directed arcs with the same weight). With `ensure_connected`, a
+/// random Hamiltonian path is added first so Prim's MST always spans
+/// all of V — matching the paper's MST workloads.
+template <Weight W>
+EdgeListGraph<W> random_undirected(vertex_t n, double density, std::uint64_t seed,
+                                   W wmin = W{1}, W wmax = W{100},
+                                   bool ensure_connected = true) {
+  CG_CHECK(n >= 0 && density >= 0.0 && density <= 1.0 && wmin <= wmax);
+  EdgeListGraph<W> g(n);
+  if (n < 2) return g;
+  Rng rng(seed);
+  const auto un = static_cast<std::uint64_t>(n);
+
+  auto add_undirected = [&](vertex_t a, vertex_t b, W w) {
+    g.add_edge(a, b, w);
+    g.add_edge(b, a, w);
+  };
+
+  if (ensure_connected) {
+    std::vector<vertex_t> perm(static_cast<std::size_t>(n));
+    for (vertex_t v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    shuffle(perm.begin(), perm.end(), rng);
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+      const W w = static_cast<W>(rng.uniform_int(static_cast<std::int64_t>(wmin),
+                                                 static_cast<std::int64_t>(wmax)));
+      add_undirected(perm[i], perm[i + 1], w);
+    }
+  }
+
+  detail::gnp_visit(un * (un - 1) / 2, density, rng, [&](std::uint64_t idx) {
+    // idx enumerates pairs i < j in row order: row i has n-1-i slots.
+    // Invert the triangular index.
+    const double dn = static_cast<double>(un);
+    auto i = static_cast<std::uint64_t>(
+        dn - 0.5 - std::sqrt((dn - 0.5) * (dn - 0.5) - 2.0 * static_cast<double>(idx)));
+    // Floating-point inversion can be off by one; correct it exactly.
+    auto row_start = [&](std::uint64_t r) { return r * un - r * (r + 1) / 2; };
+    while (i > 0 && row_start(i) > idx) --i;
+    while (row_start(i + 1) <= idx) ++i;
+    const std::uint64_t j = i + 1 + (idx - row_start(i));
+    const W w = static_cast<W>(rng.uniform_int(static_cast<std::int64_t>(wmin),
+                                               static_cast<std::int64_t>(wmax)));
+    add_undirected(static_cast<vertex_t>(i), static_cast<vertex_t>(j), w);
+  });
+  return g;
+}
+
+/// Unweighted bipartite graph for the matching experiments. Left
+/// vertices are 0..left-1, right vertices 0..right-1 (separate id
+/// spaces); `edges` holds (l, r) pairs.
+struct BipartiteGraph {
+  vertex_t left = 0;
+  vertex_t right = 0;
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+
+  [[nodiscard]] double density() const noexcept {
+    if (left == 0 || right == 0) return 0.0;
+    return static_cast<double>(edges.size()) /
+           (static_cast<double>(left) * static_cast<double>(right));
+  }
+};
+
+/// Random bipartite G(left x right, density) — the paper's Section 4.4
+/// workload ("edges from each vertex in the partition to randomly
+/// chosen vertices not in the partition").
+inline BipartiteGraph random_bipartite(vertex_t left, vertex_t right, double density,
+                                       std::uint64_t seed) {
+  CG_CHECK(left >= 0 && right >= 0 && density >= 0.0 && density <= 1.0);
+  BipartiteGraph g;
+  g.left = left;
+  g.right = right;
+  Rng rng(seed);
+  const auto ul = static_cast<std::uint64_t>(left);
+  const auto ur = static_cast<std::uint64_t>(right);
+  g.edges.reserve(static_cast<std::size_t>(density * static_cast<double>(ul * ur)));
+  detail::gnp_visit(ul * ur, density, rng, [&](std::uint64_t idx) {
+    g.edges.emplace_back(static_cast<vertex_t>(idx / ur), static_cast<vertex_t>(idx % ur));
+  });
+  return g;
+}
+
+/// Best-case input for the two-phase matching (paper Fig. 18): the
+/// graph decomposes into `parts` chunk-aligned sub-graphs, each with a
+/// perfect matching, so the local phase already finds a maximum
+/// matching and the global phase has nothing to do.
+inline BipartiteGraph best_case_bipartite(vertex_t n, vertex_t parts, double extra_density,
+                                          std::uint64_t seed) {
+  CG_CHECK(n > 0 && parts > 0 && n % parts == 0);
+  BipartiteGraph g;
+  g.left = n;
+  g.right = n;
+  Rng rng(seed);
+  const vertex_t chunk = n / parts;
+  // Perfect matching i -> i (inside chunk by construction)...
+  for (vertex_t i = 0; i < n; ++i) g.edges.emplace_back(i, i);
+  // ...plus noise edges confined to the same chunk pair.
+  for (vertex_t p = 0; p < parts; ++p) {
+    const auto base = static_cast<std::uint64_t>(p * chunk);
+    const auto uc = static_cast<std::uint64_t>(chunk);
+    detail::gnp_visit(uc * uc, extra_density, rng, [&](std::uint64_t idx) {
+      const auto l = static_cast<vertex_t>(base + idx / uc);
+      const auto r = static_cast<vertex_t>(base + idx % uc);
+      if (l != r) g.edges.emplace_back(l, r);
+    });
+  }
+  return g;
+}
+
+/// Worst-case input for chunk partitioning (paper Section 4.4's
+/// adversarial experiment): every edge crosses chunk boundaries — left
+/// chunk p only connects to right chunk (p+1) mod parts — so the local
+/// phase finds *no* matches at all and the optimized algorithm pays its
+/// overhead for nothing.
+inline BipartiteGraph worst_case_bipartite(vertex_t n, vertex_t parts, double density,
+                                           std::uint64_t seed) {
+  CG_CHECK(n > 0 && parts > 1 && n % parts == 0);
+  BipartiteGraph g;
+  g.left = n;
+  g.right = n;
+  Rng rng(seed);
+  const vertex_t chunk = n / parts;
+  const auto uc = static_cast<std::uint64_t>(chunk);
+  for (vertex_t p = 0; p < parts; ++p) {
+    const auto lbase = static_cast<std::uint64_t>(p * chunk);
+    const auto rbase = static_cast<std::uint64_t>(((p + 1) % parts) * chunk);
+    detail::gnp_visit(uc * uc, density, rng, [&](std::uint64_t idx) {
+      g.edges.emplace_back(static_cast<vertex_t>(lbase + idx / uc),
+                           static_cast<vertex_t>(rbase + idx % uc));
+    });
+  }
+  return g;
+}
+
+}  // namespace cachegraph::graph

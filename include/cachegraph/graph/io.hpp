@@ -1,0 +1,58 @@
+// DIMACS shortest-path format I/O ("p sp N M" header, "a u v w" arcs,
+// 1-based vertex ids) — the de-facto interchange format for graph
+// algorithm benchmarks, used by the examples to load/save inputs.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "cachegraph/graph/edge_list.hpp"
+
+namespace cachegraph::graph {
+
+template <Weight W>
+void write_dimacs(std::ostream& os, const EdgeListGraph<W>& g,
+                  const std::string& comment = {}) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  os << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) {
+    os << "a " << (e.from + 1) << ' ' << (e.to + 1) << ' ' << e.weight << '\n';
+  }
+}
+
+template <Weight W>
+[[nodiscard]] EdgeListGraph<W> read_dimacs(std::istream& is) {
+  std::string line;
+  vertex_t n = -1;
+  index_t m_declared = 0;
+  EdgeListGraph<W> g(0);
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      ls >> kind >> n >> m_declared;
+      CG_CHECK(!ls.fail() && n >= 0, "malformed 'p' line");
+      g = EdgeListGraph<W>(n);
+      g.reserve(static_cast<std::size_t>(m_declared));
+    } else if (tag == 'a') {
+      CG_CHECK(n >= 0, "'a' line before 'p' line");
+      vertex_t u = 0, v = 0;
+      W w{};
+      ls >> u >> v >> w;
+      CG_CHECK(!ls.fail(), "malformed 'a' line");
+      g.add_edge(u - 1, v - 1, w);
+    } else {
+      CG_CHECK(false, "unknown DIMACS line tag '" + std::string(1, tag) + "'");
+    }
+  }
+  CG_CHECK(n >= 0, "missing 'p' line");
+  CG_CHECK(g.num_edges() == m_declared, "edge count does not match 'p' line");
+  return g;
+}
+
+}  // namespace cachegraph::graph

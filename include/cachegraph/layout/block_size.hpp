@@ -1,0 +1,33 @@
+// Block-size selection heuristic (Section 3.1, Equation 13).
+//
+//   1. Apply the 2:1 rule of thumb [Hennessy & Patterson] to convert
+//      the cache to an equivalent 4-way set-associative size: each
+//      halving of associativity below 4 costs a factor of 2 in
+//      effective capacity (so direct-mapped counts at 1/4 capacity).
+//   2. Choose the largest B with 3*B^2*d <= C_adjusted — the working
+//      set of the FW kernel is 3 tiles.
+//
+// The paper stresses (Sec. 3.1.2.2) that the best block size should be
+// confirmed by a sweep over every cache level and the TLB;
+// `bench_ablation_blocksize` does exactly that.
+#pragma once
+
+#include <cstddef>
+
+#include "cachegraph/memsim/config.hpp"
+
+namespace cachegraph::layout {
+
+/// Effective capacity of a cache after the 2:1 associativity rule,
+/// normalized to 4-way behaviour.
+[[nodiscard]] std::size_t effective_capacity(const memsim::CacheConfig& cache);
+
+/// Largest B with 3*B*B*elem_bytes <= effective_capacity(cache),
+/// optionally rounded down to a power of two (the recursive
+/// implementation prefers power-of-two blocks). Never returns less
+/// than 2.
+[[nodiscard]] std::size_t pick_block_size(const memsim::CacheConfig& cache,
+                                          std::size_t elem_bytes,
+                                          bool round_to_pow2 = true);
+
+}  // namespace cachegraph::layout

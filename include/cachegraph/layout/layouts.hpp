@@ -1,0 +1,166 @@
+// Matrix data layouts (Section 3.1.2.2 / 3.1.3 of the paper).
+//
+// All three layouts expose a common interface over an N×N matrix that
+// is logically partitioned into B×B tiles (N must be a multiple of B;
+// see padding.hpp for the padding rules):
+//
+//   offset(i, j)        -> linear index of element (i, j)
+//   tile_offset(bi, bj) -> linear index of the first element of tile
+//                          (bi, bj)
+//   tile_row_stride()   -> distance between consecutive rows *within*
+//                          a tile (== N for row-major, == B for BDL
+//                          and Morton, whose tiles are contiguous)
+//
+// The FW kernels only ever touch tiles through (tile_offset,
+// tile_row_stride), so one kernel serves every layout:
+//   - RowMajorLayout: the usual layout; a tile is a strided window.
+//   - BlockDataLayout: tiles contiguous, tiles ordered row-major
+//     (Fig. 6).
+//   - MortonLayout: tiles contiguous, tiles ordered by Z-Morton index
+//     (Fig. 5) — matches the recursive algorithm's access pattern.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::layout {
+
+enum class Kind { kRowMajor, kBlock, kMorton };
+
+[[nodiscard]] constexpr const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kRowMajor: return "row-major";
+    case Kind::kBlock: return "block (BDL)";
+    case Kind::kMorton: return "z-morton";
+  }
+  return "?";
+}
+
+namespace detail {
+/// Spread the low 16 bits of x so bit k lands at position 2k
+/// (constant-time interleave; grids up to 65536x65536 blocks).
+[[nodiscard]] constexpr std::size_t spread_bits16(std::size_t x) noexcept {
+  x &= 0xFFFFu;
+  x = (x | (x << 8)) & 0x00FF00FFu;
+  x = (x | (x << 4)) & 0x0F0F0F0Fu;
+  x = (x | (x << 2)) & 0x33333333u;
+  x = (x | (x << 1)) & 0x55555555u;
+  return x;
+}
+
+/// Interleave the bits of (bi, bj) into the Z-Morton tile index with bi
+/// contributing the higher bit of each pair: quadrant order NW, NE, SW,
+/// SE as in Fig. 5. Called per element during layout conversion, so it
+/// must be O(1), not a loop over bit positions.
+[[nodiscard]] constexpr std::size_t morton_index(std::size_t bi, std::size_t bj) noexcept {
+  return (spread_bits16(bi) << 1) | spread_bits16(bj);
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace detail
+
+class RowMajorLayout {
+ public:
+  static constexpr Kind kind = Kind::kRowMajor;
+
+  RowMajorLayout(std::size_t n, std::size_t block) : n_(n), block_(block) {
+    CG_CHECK(block > 0 && n % block == 0, "N must be a multiple of the block size");
+  }
+  /// Un-tiled view (baseline algorithms): one N×N "tile".
+  explicit RowMajorLayout(std::size_t n) : RowMajorLayout(n, n == 0 ? 1 : n) {}
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return n_ / block_; }
+  [[nodiscard]] std::size_t storage_elements() const noexcept { return n_ * n_; }
+
+  [[nodiscard]] std::size_t offset(std::size_t i, std::size_t j) const noexcept {
+    return i * n_ + j;
+  }
+  [[nodiscard]] std::size_t tile_offset(std::size_t bi, std::size_t bj) const noexcept {
+    return bi * block_ * n_ + bj * block_;
+  }
+  [[nodiscard]] std::size_t tile_row_stride() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t block_;
+};
+
+class BlockDataLayout {
+ public:
+  static constexpr Kind kind = Kind::kBlock;
+
+  BlockDataLayout(std::size_t n, std::size_t block) : n_(n), block_(block) {
+    CG_CHECK(block > 0 && n % block == 0, "N must be a multiple of the block size");
+  }
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return n_ / block_; }
+  [[nodiscard]] std::size_t storage_elements() const noexcept { return n_ * n_; }
+
+  [[nodiscard]] std::size_t offset(std::size_t i, std::size_t j) const noexcept {
+    const std::size_t bi = i / block_, bj = j / block_;
+    return tile_offset(bi, bj) + (i % block_) * block_ + (j % block_);
+  }
+  [[nodiscard]] std::size_t tile_offset(std::size_t bi, std::size_t bj) const noexcept {
+    return (bi * num_blocks() + bj) * block_ * block_;
+  }
+  [[nodiscard]] std::size_t tile_row_stride() const noexcept { return block_; }
+
+ private:
+  std::size_t n_;
+  std::size_t block_;
+};
+
+class MortonLayout {
+ public:
+  static constexpr Kind kind = Kind::kMorton;
+
+  MortonLayout(std::size_t n, std::size_t block) : n_(n), block_(block) {
+    CG_CHECK(block > 0 && n % block == 0, "N must be a multiple of the block size");
+    CG_CHECK(detail::is_pow2(n / block), "Morton layout needs a power-of-two block grid");
+    CG_CHECK(n / block <= 65536, "Morton index spreads 16 bits per axis");
+  }
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return n_ / block_; }
+  [[nodiscard]] std::size_t storage_elements() const noexcept { return n_ * n_; }
+
+  [[nodiscard]] std::size_t offset(std::size_t i, std::size_t j) const noexcept {
+    const std::size_t bi = i / block_, bj = j / block_;
+    return tile_offset(bi, bj) + (i % block_) * block_ + (j % block_);
+  }
+  [[nodiscard]] std::size_t tile_offset(std::size_t bi, std::size_t bj) const noexcept {
+    return detail::morton_index(bi, bj) * block_ * block_;
+  }
+  [[nodiscard]] std::size_t tile_row_stride() const noexcept { return block_; }
+
+ private:
+  std::size_t n_;
+  std::size_t block_;
+};
+
+template <typename L>
+concept MatrixLayout = requires(const L l, std::size_t i) {
+  { l.n() } -> std::convertible_to<std::size_t>;
+  { l.block() } -> std::convertible_to<std::size_t>;
+  { l.num_blocks() } -> std::convertible_to<std::size_t>;
+  { l.storage_elements() } -> std::convertible_to<std::size_t>;
+  { l.offset(i, i) } -> std::convertible_to<std::size_t>;
+  { l.tile_offset(i, i) } -> std::convertible_to<std::size_t>;
+  { l.tile_row_stride() } -> std::convertible_to<std::size_t>;
+};
+
+static_assert(MatrixLayout<RowMajorLayout>);
+static_assert(MatrixLayout<BlockDataLayout>);
+static_assert(MatrixLayout<MortonLayout>);
+
+}  // namespace cachegraph::layout

@@ -1,0 +1,32 @@
+// Padding rules (Section 4.1, "Data Layout Issues").
+//
+// Both optimized FW implementations pad the input with +inf:
+//   - the tiled implementation needs N to be a multiple of the block
+//     size B;
+//   - the recursive implementation needs N = B * 2^k so the matrix can
+//     be halved down to the base case.
+// Padding with inf<W>() is inert under min/saturating-plus, so padded
+// rows/columns never alter real shortest paths.
+#pragma once
+
+#include <cstddef>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::layout {
+
+/// Smallest multiple of `block` that is >= n.
+[[nodiscard]] constexpr std::size_t padded_size_tiled(std::size_t n, std::size_t block) {
+  CG_CHECK(block > 0);
+  return (n + block - 1) / block * block;
+}
+
+/// Smallest `block * 2^k` that is >= n.
+[[nodiscard]] constexpr std::size_t padded_size_recursive(std::size_t n, std::size_t block) {
+  CG_CHECK(block > 0);
+  std::size_t p = block;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace cachegraph::layout

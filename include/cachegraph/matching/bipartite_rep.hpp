@@ -1,0 +1,155 @@
+// Bipartite graph representations for the matching algorithms.
+//
+// Mirrors the Section 3.2 story inside Section 3.3: the breadth-first
+// search for augmenting paths streams over each left vertex's
+// neighbours, so the contiguous adjacency array (BipartiteCsr) beats
+// the pointer-chasing list (BipartiteList) — that swap is the paper's
+// *first* matching optimization; the two-phase algorithm is the second.
+//
+// Unlike the weighted GraphRep interface, neighbour callbacks here may
+// return false to stop early (an augmenting BFS stops as soon as it
+// reaches a free vertex).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::matching {
+
+/// CSR over left vertices: neighbours of left vertex l are the
+/// contiguous run targets_[offsets_[l] .. offsets_[l+1]).
+class BipartiteCsr {
+ public:
+  explicit BipartiteCsr(const graph::BipartiteGraph& g) : left_(g.left), right_(g.right) {
+    const auto nl = static_cast<std::size_t>(g.left);
+    offsets_.assign(nl + 1, 0);
+    for (const auto& [l, r] : g.edges) {
+      (void)r;
+      ++offsets_[static_cast<std::size_t>(l) + 1];
+    }
+    for (std::size_t v = 0; v < nl; ++v) offsets_[v + 1] += offsets_[v];
+    targets_.resize(g.edges.size());
+    std::vector<index_t> fill(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [l, r] : g.edges) {
+      targets_[static_cast<std::size_t>(fill[static_cast<std::size_t>(l)]++)] = r;
+    }
+  }
+
+  [[nodiscard]] vertex_t left_vertices() const noexcept { return left_; }
+  [[nodiscard]] vertex_t right_vertices() const noexcept { return right_; }
+  [[nodiscard]] index_t num_edges() const noexcept {
+    return static_cast<index_t>(targets_.size());
+  }
+
+  /// fn(right_vertex) -> bool; return false to stop the scan.
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t l, Mem& mem, Fn&& fn) const {
+    const auto u = static_cast<std::size_t>(l);
+    mem.read(&offsets_[u]);
+    mem.read(&offsets_[u + 1]);
+    const vertex_t* first = targets_.data() + offsets_[u];
+    const vertex_t* last = targets_.data() + offsets_[u + 1];
+    for (const vertex_t* p = first; p != last; ++p) {
+      mem.read(p);
+      if (!fn(*p)) return;
+    }
+  }
+
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    if constexpr (Mem::tracing) {
+      mem.map_buffer(offsets_.data(), offsets_.size() * sizeof(index_t));
+      mem.map_buffer(targets_.data(), targets_.size() * sizeof(vertex_t));
+    }
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return offsets_.size() * sizeof(index_t) + targets_.size() * sizeof(vertex_t);
+  }
+
+ private:
+  vertex_t left_;
+  vertex_t right_;
+  std::vector<index_t> offsets_;
+  std::vector<vertex_t> targets_;
+};
+
+/// Linked-list representation — the baseline the CSR replaces. Node
+/// placement defaults to allocation order (a freshly built list); pass
+/// a non-zero seed to scatter nodes (long-lived-heap adversarial case).
+class BipartiteList {
+ public:
+  explicit BipartiteList(const graph::BipartiteGraph& g, std::uint64_t placement_seed = 0)
+      : left_(g.left),
+        right_(g.right),
+        pool_(g.edges.size()),
+        heads_(static_cast<std::size_t>(g.left), nullptr) {
+    const auto m = g.edges.size();
+    std::vector<std::size_t> slot(m);
+    std::iota(slot.begin(), slot.end(), std::size_t{0});
+    if (placement_seed != 0) {
+      Rng rng(placement_seed);
+      shuffle(slot.begin(), slot.end(), rng);
+    }
+    for (std::size_t idx = m; idx-- > 0;) {
+      const auto& [l, r] = g.edges[idx];
+      Node& node = pool_[slot[idx]];
+      node = Node{r, heads_[static_cast<std::size_t>(l)]};
+      heads_[static_cast<std::size_t>(l)] = &node;
+    }
+  }
+
+  [[nodiscard]] vertex_t left_vertices() const noexcept { return left_; }
+  [[nodiscard]] vertex_t right_vertices() const noexcept { return right_; }
+  [[nodiscard]] index_t num_edges() const noexcept { return static_cast<index_t>(pool_.size()); }
+
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t l, Mem& mem, Fn&& fn) const {
+    mem.read(&heads_[static_cast<std::size_t>(l)]);
+    for (const Node* n = heads_[static_cast<std::size_t>(l)]; n != nullptr; n = n->next) {
+      mem.read(n);
+      if (!fn(n->to)) return;
+    }
+  }
+
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    if constexpr (Mem::tracing) {
+      mem.map_buffer(heads_.data(), heads_.size() * sizeof(Node*));
+      mem.map_buffer(pool_.data(), pool_.size() * sizeof(Node));
+    }
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return heads_.size() * sizeof(Node*) + pool_.size() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    vertex_t to;
+    const Node* next;
+  };
+  vertex_t left_;
+  vertex_t right_;
+  std::vector<Node> pool_;
+  std::vector<const Node*> heads_;
+};
+
+template <typename R>
+concept BipartiteRep = requires(const R r, vertex_t v, memsim::NullMem mem) {
+  { r.left_vertices() } -> std::convertible_to<vertex_t>;
+  { r.right_vertices() } -> std::convertible_to<vertex_t>;
+  { r.num_edges() } -> std::convertible_to<index_t>;
+  r.for_neighbors(v, mem, [](vertex_t) { return true; });
+  r.map_buffers(mem);
+};
+
+static_assert(BipartiteRep<BipartiteCsr>);
+static_assert(BipartiteRep<BipartiteList>);
+
+}  // namespace cachegraph::matching

@@ -1,0 +1,302 @@
+// Augmenting-path bipartite matching (paper Fig. 8).
+//
+// FindMatching(G, M): while an augmenting path exists, flip it. The
+// search is the breadth-first search the paper describes; starting from
+// a free left vertex it alternates unmatched/matched edges until it
+// reaches a free right vertex. O(N*E) worst case.
+//
+// `max_bipartite_matching` accepts a starting matching — that is the
+// hook the two-phase cache-friendly algorithm (Fig. 9) uses: pass the
+// union of the sub-problem matchings and only the residual augmenting
+// work remains.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/matching/bipartite_rep.hpp"
+
+namespace cachegraph::matching {
+
+struct Matching {
+  std::vector<vertex_t> match_left;   ///< match_left[l] = matched right vertex or kNoVertex
+  std::vector<vertex_t> match_right;  ///< match_right[r] = matched left vertex or kNoVertex
+
+  [[nodiscard]] static Matching empty(vertex_t left, vertex_t right) {
+    Matching m;
+    m.match_left.assign(static_cast<std::size_t>(left), kNoVertex);
+    m.match_right.assign(static_cast<std::size_t>(right), kNoVertex);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t s = 0;
+    for (const vertex_t r : match_left) s += (r != kNoVertex);
+    return s;
+  }
+};
+
+struct MatchingStats {
+  std::uint64_t searches = 0;       ///< BFS invocations
+  std::uint64_t augmentations = 0;  ///< successful ones (|M| increments)
+  std::uint64_t edges_scanned = 0;
+};
+
+namespace detail {
+
+/// Tightened augmenting-BFS engine: one search per free left vertex,
+/// timestamped visitation marks (O(1) reset), early exit at the first
+/// free right vertex. This is the engine the library APIs use.
+template <BipartiteRep Rep, memsim::MemPolicy Mem>
+MatchingStats augmenting_bfs_matching(const Rep& g, Matching& m, Mem mem) {
+  const auto nl = static_cast<std::size_t>(g.left_vertices());
+  const auto nr = static_cast<std::size_t>(g.right_vertices());
+  CG_CHECK(m.match_left.size() == nl && m.match_right.size() == nr,
+           "matching arrays must match graph dimensions");
+
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(m.match_left.data(), nl * sizeof(vertex_t));
+    mem.map_buffer(m.match_right.data(), nr * sizeof(vertex_t));
+  }
+
+  MatchingStats stats;
+  std::vector<vertex_t> prev_right(nr, kNoVertex);  // BFS predecessor on the right side
+  std::vector<std::uint32_t> visited(nr, 0);
+  std::uint32_t stamp = 0;
+  std::vector<vertex_t> queue;
+  queue.reserve(nl);
+  if constexpr (Mem::tracing) {
+    mem.map_buffer(prev_right.data(), nr * sizeof(vertex_t));
+    mem.map_buffer(visited.data(), nr * sizeof(std::uint32_t));
+  }
+
+  for (std::size_t start = 0; start < nl; ++start) {
+    mem.read(&m.match_left[start]);
+    if (m.match_left[start] != kNoVertex) continue;  // already matched
+    ++stats.searches;
+    ++stamp;
+    queue.clear();
+    queue.push_back(static_cast<vertex_t>(start));
+    vertex_t found_free_right = kNoVertex;
+
+    for (std::size_t qi = 0; qi < queue.size() && found_free_right == kNoVertex; ++qi) {
+      const vertex_t l = queue[qi];
+      mem.read(&queue[qi]);
+      g.for_neighbors(l, mem, [&](vertex_t r) {
+        const auto ur = static_cast<std::size_t>(r);
+        ++stats.edges_scanned;
+        mem.read(&visited[ur]);
+        if (visited[ur] == stamp) return true;  // keep scanning
+        visited[ur] = stamp;
+        mem.write(&visited[ur]);
+        prev_right[ur] = l;
+        mem.write(&prev_right[ur]);
+        mem.read(&m.match_right[ur]);
+        if (m.match_right[ur] == kNoVertex) {
+          found_free_right = r;  // augmenting path complete
+          return false;
+        }
+        queue.push_back(m.match_right[ur]);  // continue through the matched edge
+        return true;
+      });
+    }
+
+    if (found_free_right != kNoVertex) {
+      // Flip the alternating path back to `start`.
+      vertex_t r = found_free_right;
+      while (r != kNoVertex) {
+        const auto ur = static_cast<std::size_t>(r);
+        const vertex_t l = prev_right[ur];
+        const auto ul = static_cast<std::size_t>(l);
+        mem.read(&prev_right[ur]);
+        const vertex_t next_r = m.match_left[ul];
+        mem.read(&m.match_left[ul]);
+        m.match_left[ul] = r;
+        mem.write(&m.match_left[ul]);
+        m.match_right[ur] = l;
+        mem.write(&m.match_right[ur]);
+        r = next_r;
+      }
+      ++stats.augmentations;
+    }
+  }
+  return stats;
+}
+
+}  // namespace detail
+
+/// Maximum-cardinality matching by repeated BFS augmentation, starting
+/// from `m` (pass Matching::empty for the plain algorithm). Uses
+/// timestamped visitation marks (cheap search resets) and stops each
+/// search at the first free right vertex.
+template <BipartiteRep Rep, memsim::MemPolicy Mem = memsim::NullMem>
+MatchingStats max_bipartite_matching(const Rep& g, Matching& m, Mem mem = Mem{}) {
+  return detail::augmenting_bfs_matching(g, m, mem);
+}
+
+/// The paper's Fig. 8 "primitive" FindMatching, as the 2002 baseline
+/// would have been coded (Lawler's textbook algorithm): each iteration
+/// clears its working arrays in full, runs a breadth-first search of
+/// the entire alternating forest from *all* free left vertices, and
+/// flips ONE augmenting path — giving the O(N*E) running time and the
+/// access volumes the paper's Table 8 reports. This is the baseline for
+/// the matching benches (Figs. 17-19, Table 8); the two-phase variant
+/// runs this same routine over cache-sized sub-problems.
+template <BipartiteRep Rep, memsim::MemPolicy Mem = memsim::NullMem>
+MatchingStats primitive_matching(const Rep& g, Matching& m, Mem mem = Mem{}) {
+  const auto nl = static_cast<std::size_t>(g.left_vertices());
+  const auto nr = static_cast<std::size_t>(g.right_vertices());
+  CG_CHECK(m.match_left.size() == nl && m.match_right.size() == nr,
+           "matching arrays must match graph dimensions");
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(m.match_left.data(), nl * sizeof(vertex_t));
+    mem.map_buffer(m.match_right.data(), nr * sizeof(vertex_t));
+  }
+
+  MatchingStats stats;
+  std::vector<vertex_t> prev_right(nr, kNoVertex);
+  std::vector<char> enqueued_left(nl, 0);
+  std::vector<vertex_t> queue;
+  queue.reserve(nl);
+  if constexpr (Mem::tracing) {
+    mem.map_buffer(prev_right.data(), nr * sizeof(vertex_t));
+    mem.map_buffer(enqueued_left.data(), nl);
+  }
+
+  while (true) {
+    ++stats.searches;
+    // Full per-iteration reset — part of the primitive algorithm's cost.
+    std::fill(prev_right.begin(), prev_right.end(), kNoVertex);
+    std::fill(enqueued_left.begin(), enqueued_left.end(), 0);
+    mem.write_range(prev_right.data(), nr);
+    mem.write_range(enqueued_left.data(), nl);
+
+    // Seed the BFS with every free left vertex.
+    queue.clear();
+    for (std::size_t l = 0; l < nl; ++l) {
+      mem.read(&m.match_left[l]);
+      if (m.match_left[l] == kNoVertex) {
+        queue.push_back(static_cast<vertex_t>(l));
+        enqueued_left[l] = 1;
+      }
+    }
+
+    // One full BFS of the alternating forest (no early exit — the
+    // primitive implementation completes its search).
+    vertex_t found_free_right = kNoVertex;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const vertex_t l = queue[qi];
+      g.for_neighbors(l, mem, [&](vertex_t r) {
+        const auto ur = static_cast<std::size_t>(r);
+        ++stats.edges_scanned;
+        mem.read(&prev_right[ur]);
+        if (prev_right[ur] != kNoVertex) return true;
+        prev_right[ur] = l;
+        mem.write(&prev_right[ur]);
+        mem.read(&m.match_right[ur]);
+        const vertex_t ml = m.match_right[ur];
+        if (ml == kNoVertex) {
+          if (found_free_right == kNoVertex) found_free_right = r;
+        } else if (!enqueued_left[static_cast<std::size_t>(ml)]) {
+          enqueued_left[static_cast<std::size_t>(ml)] = 1;
+          mem.write(&enqueued_left[static_cast<std::size_t>(ml)]);
+          queue.push_back(ml);
+        }
+        return true;
+      });
+    }
+
+    if (found_free_right == kNoVertex) return stats;  // maximal: no augmenting path
+
+    // Flip the single augmenting path back to its free left endpoint.
+    vertex_t r = found_free_right;
+    while (r != kNoVertex) {
+      const auto ur = static_cast<std::size_t>(r);
+      const vertex_t l = prev_right[ur];
+      const auto ul = static_cast<std::size_t>(l);
+      const vertex_t next_r = m.match_left[ul];
+      m.match_left[ul] = r;
+      mem.write(&m.match_left[ul]);
+      m.match_right[ur] = l;
+      mem.write(&m.match_right[ur]);
+      r = next_r;
+    }
+    ++stats.augmentations;
+  }
+}
+
+/// Independent oracle for tests: Kuhn's algorithm with DFS instead of
+/// BFS (same maximum cardinality, different search order, no shared
+/// code path with the BFS implementation).
+template <BipartiteRep Rep>
+Matching kuhn_dfs_matching(const Rep& g) {
+  const auto nl = static_cast<std::size_t>(g.left_vertices());
+  const auto nr = static_cast<std::size_t>(g.right_vertices());
+  Matching m = Matching::empty(g.left_vertices(), g.right_vertices());
+  std::vector<std::uint32_t> visited(nr, 0);
+  std::uint32_t stamp = 0;
+  memsim::NullMem mem;
+
+  // Recursive try_kuhn via explicit lambda recursion.
+  auto try_augment = [&](auto&& self, vertex_t l) -> bool {
+    bool augmented = false;
+    g.for_neighbors(l, mem, [&](vertex_t r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (visited[ur] == stamp) return true;
+      visited[ur] = stamp;
+      if (m.match_right[ur] == kNoVertex || self(self, m.match_right[ur])) {
+        m.match_left[static_cast<std::size_t>(l)] = r;
+        m.match_right[ur] = l;
+        augmented = true;
+        return false;
+      }
+      return true;
+    });
+    return augmented;
+  };
+
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (m.match_left[l] != kNoVertex) continue;
+    ++stamp;
+    try_augment(try_augment, static_cast<vertex_t>(l));
+  }
+  return m;
+}
+
+/// Validity check: every matched pair is a real edge and the matching
+/// is an involution (match_left and match_right agree, no vertex used
+/// twice).
+template <BipartiteRep Rep>
+[[nodiscard]] bool is_valid_matching(const Rep& g, const Matching& m) {
+  const auto nl = static_cast<std::size_t>(g.left_vertices());
+  const auto nr = static_cast<std::size_t>(g.right_vertices());
+  if (m.match_left.size() != nl || m.match_right.size() != nr) return false;
+  memsim::NullMem mem;
+  for (std::size_t l = 0; l < nl; ++l) {
+    const vertex_t r = m.match_left[l];
+    if (r == kNoVertex) continue;
+    if (r < 0 || static_cast<std::size_t>(r) >= nr) return false;
+    if (m.match_right[static_cast<std::size_t>(r)] != static_cast<vertex_t>(l)) return false;
+    bool edge_exists = false;
+    g.for_neighbors(static_cast<vertex_t>(l), mem, [&](vertex_t to) {
+      if (to == r) {
+        edge_exists = true;
+        return false;
+      }
+      return true;
+    });
+    if (!edge_exists) return false;
+  }
+  for (std::size_t r = 0; r < nr; ++r) {
+    const vertex_t l = m.match_right[r];
+    if (l == kNoVertex) continue;
+    if (l < 0 || static_cast<std::size_t>(l) >= nl) return false;
+    if (m.match_left[static_cast<std::size_t>(l)] != static_cast<vertex_t>(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace cachegraph::matching

@@ -1,0 +1,55 @@
+// Graph partitioning for the two-phase matching algorithm (Section 3.3).
+//
+// A partition assigns every left and right vertex a part id in [0, p).
+// Phase 1 of the cache-friendly matching only sees edges whose two
+// endpoints share a part.
+//
+// Two schemes:
+//   - chunk_partition: "arbitrary" index-range chunks (the baseline the
+//     paper starts from, and what its worst-case experiment defeats).
+//   - two_way_partition: the paper's linear-time partitioner — split
+//     vertices arbitrarily into 4 equal parts, count edges between each
+//     pair of parts, then combine parts pairwise into 2 groups so as
+//     many edges as possible become internal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/graph/generators.hpp"
+
+namespace cachegraph::matching {
+
+struct Partition {
+  std::vector<std::uint8_t> left_part;   ///< part id per left vertex
+  std::vector<std::uint8_t> right_part;  ///< part id per right vertex
+  std::uint8_t parts = 1;
+
+  /// Edges with both endpoints in the same part.
+  [[nodiscard]] index_t internal_edges(const graph::BipartiteGraph& g) const {
+    index_t internal = 0;
+    for (const auto& [l, r] : g.edges) {
+      internal += (left_part[static_cast<std::size_t>(l)] ==
+                   right_part[static_cast<std::size_t>(r)]);
+    }
+    return internal;
+  }
+};
+
+/// Index-range chunks: part k holds left vertices [k*L/p, (k+1)*L/p)
+/// and the analogous right range.
+[[nodiscard]] Partition chunk_partition(const graph::BipartiteGraph& g, std::uint8_t parts);
+
+/// The paper's linear-time two-way edge partitioner. Returns a 2-part
+/// partition that maximizes internal edges over the three ways of
+/// pairing the 4 arbitrary chunks.
+[[nodiscard]] Partition two_way_partition(const graph::BipartiteGraph& g);
+
+/// Recursive bisection into 2^levels parts, applying two_way_partition
+/// to each side's induced subgraph (extension beyond the paper's p=2
+/// experiments).
+[[nodiscard]] Partition recursive_partition(const graph::BipartiteGraph& g, int levels);
+
+}  // namespace cachegraph::matching

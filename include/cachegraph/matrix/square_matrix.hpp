@@ -1,0 +1,95 @@
+// Owning N×N matrix over a configurable data layout.
+//
+// `SquareMatrix<W, L>` stores a *padded* physical matrix of size
+// `L::n()` while remembering the logical problem size. Padding elements
+// are initialized to inf<W>() (inert under FW relaxation, see
+// layout/padding.hpp). Conversions to/from a plain row-major matrix are
+// provided so the benchmarks can hand the same input to every variant.
+#pragma once
+
+#include <cstring>
+
+#include "cachegraph/common/buffer.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/layout/layouts.hpp"
+
+namespace cachegraph::matrix {
+
+template <Weight W, layout::MatrixLayout L>
+class SquareMatrix {
+ public:
+  using value_type = W;
+  using layout_type = L;
+
+  /// Build a padded matrix: `layout.n()` is the physical size,
+  /// `logical_n <= layout.n()` the problem size. Storage starts as
+  /// inf<W>() everywhere (so padding is correct by construction);
+  /// callers then fill the logical region.
+  SquareMatrix(L layout, std::size_t logical_n)
+      : layout_(layout), logical_n_(logical_n), data_(layout.storage_elements()) {
+    CG_CHECK(logical_n <= layout_.n(), "logical size exceeds physical size");
+    for (auto& w : data_) w = inf<W>();
+  }
+
+  [[nodiscard]] const L& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::size_t n() const noexcept { return logical_n_; }
+  [[nodiscard]] std::size_t padded_n() const noexcept { return layout_.n(); }
+
+  [[nodiscard]] W& at(std::size_t i, std::size_t j) noexcept {
+    return data_[layout_.offset(i, j)];
+  }
+  [[nodiscard]] const W& at(std::size_t i, std::size_t j) const noexcept {
+    return data_[layout_.offset(i, j)];
+  }
+
+  [[nodiscard]] W* data() noexcept { return data_.data(); }
+  [[nodiscard]] const W* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t storage_elements() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t storage_bytes() const noexcept { return data_.size() * sizeof(W); }
+
+  [[nodiscard]] W* tile(std::size_t bi, std::size_t bj) noexcept {
+    return data_.data() + layout_.tile_offset(bi, bj);
+  }
+  [[nodiscard]] const W* tile(std::size_t bi, std::size_t bj) const noexcept {
+    return data_.data() + layout_.tile_offset(bi, bj);
+  }
+
+  /// Copy the logical region in from a row-major source (stride n).
+  void load_row_major(const W* src, std::size_t n) {
+    CG_CHECK(n == logical_n_);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        at(i, j) = src[i * n + j];
+      }
+    }
+  }
+
+  /// Copy the logical region out to a row-major destination (stride n).
+  void store_row_major(W* dst, std::size_t n) const {
+    CG_CHECK(n == logical_n_);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dst[i * n + j] = at(i, j);
+      }
+    }
+  }
+
+ private:
+  L layout_;
+  std::size_t logical_n_;
+  AlignedBuffer<W> data_;
+};
+
+/// Equality over the logical region only (padding ignored).
+template <Weight W, layout::MatrixLayout LA, layout::MatrixLayout LB>
+[[nodiscard]] bool logically_equal(const SquareMatrix<W, LA>& a, const SquareMatrix<W, LB>& b) {
+  if (a.n() != b.n()) return false;
+  for (std::size_t i = 0; i < a.n(); ++i) {
+    for (std::size_t j = 0; j < a.n(); ++j) {
+      if (a.at(i, j) != b.at(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cachegraph::matrix

@@ -1,0 +1,104 @@
+// A single set-associative cache level with true-LRU replacement.
+//
+// Addresses are dealt with at line granularity: callers pass
+// `line_addr = byte_addr / line_bytes`. The level does not know about
+// its neighbours; CacheHierarchy composes levels and routes misses,
+// fills, and writebacks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cachegraph/memsim/config.hpp"
+
+namespace cachegraph::memsim {
+
+/// Result of installing a line: the evicted line, if any.
+struct Eviction {
+  std::uint64_t line_addr = 0;
+  bool dirty = false;
+  bool valid = false;
+};
+
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& config);
+
+  /// Demand access. Returns true on hit. Counters are updated; on a
+  /// write hit with write-back policy the line is marked dirty.
+  bool access(std::uint64_t line_addr, bool write);
+
+  /// Allocate `line_addr` (after a miss, or on a writeback from the
+  /// level above). Returns the evicted line if a valid one was displaced.
+  Eviction install(std::uint64_t line_addr, bool dirty);
+
+  /// True if the line is currently resident (no counter updates).
+  [[nodiscard]] bool contains(std::uint64_t line_addr) const;
+
+  /// Mark a resident line dirty (writeback from the level above that
+  /// hits here). Returns false if the line is not resident.
+  bool mark_dirty(std::uint64_t line_addr);
+
+  /// Remove a line if resident (used for victim-cache swaps).
+  void invalidate(std::uint64_t line_addr);
+
+  /// Drop all contents and reset LRU state; counters are kept.
+  void flush();
+
+  [[nodiscard]] const LevelStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = LevelStats{}; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< global timestamp; larger = more recent
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::size_t set_index(std::uint64_t line_addr) const noexcept {
+    return static_cast<std::size_t>(line_addr) & set_mask_;
+  }
+  [[nodiscard]] Line* find(std::uint64_t line_addr) noexcept;
+  [[nodiscard]] const Line* find(std::uint64_t line_addr) const noexcept;
+
+  CacheConfig config_;
+  std::size_t ways_;
+  std::size_t set_mask_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  ///< sets * ways, set-major
+  LevelStats stats_;
+};
+
+/// Small fully-associative victim buffer (Alpha 21264 style): holds the
+/// last few lines evicted from L1; a hit swaps the line back.
+class VictimCache {
+ public:
+  explicit VictimCache(std::size_t entries) : entries_(entries) {}
+
+  /// Look up a line; on hit, remove it (it moves back into L1) and
+  /// report whether it was dirty via `dirty_out`.
+  bool extract(std::uint64_t line_addr, bool* dirty_out);
+
+  /// Insert a line evicted from L1; returns the displaced victim if the
+  /// buffer was full.
+  Eviction insert(std::uint64_t line_addr, bool dirty);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t occupied() const noexcept { return slots_.size(); }
+  void flush() { slots_.clear(); }
+
+ private:
+  struct Slot {
+    std::uint64_t line_addr;
+    std::uint64_t lru;
+    bool dirty;
+  };
+  std::size_t entries_;
+  std::uint64_t tick_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace cachegraph::memsim

@@ -1,0 +1,88 @@
+// Cache hierarchy configuration.
+//
+// Geometry presets for the four machines in Section 4 of the paper and
+// the SimpleScalar default used for the simulation tables live in
+// machine_configs.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::memsim {
+
+/// One level of set-associative cache.
+struct CacheConfig {
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 64;
+  /// Ways per set; 0 means fully associative.
+  std::size_t associativity = 1;
+  bool write_allocate = true;
+  bool write_back = true;
+
+  [[nodiscard]] std::size_t ways() const {
+    return associativity == 0 ? size_bytes / line_bytes : associativity;
+  }
+  [[nodiscard]] std::size_t num_sets() const {
+    CG_CHECK(size_bytes % (line_bytes * ways()) == 0,
+             "cache size must be divisible by line*ways");
+    return size_bytes / (line_bytes * ways());
+  }
+  void validate() const {
+    CG_CHECK(size_bytes > 0 && line_bytes > 0);
+    CG_CHECK((line_bytes & (line_bytes - 1)) == 0, "line size must be a power of two");
+    const std::size_t sets = num_sets();
+    CG_CHECK((sets & (sets - 1)) == 0, "set count must be a power of two");
+  }
+};
+
+/// Per-level demand counters. `writebacks` counts dirty lines pushed to
+/// the next level (reported separately from demand misses, as
+/// SimpleScalar does).
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return accesses - misses; }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// Aggregate counters for a two- or three-level hierarchy + victim
+/// cache + TLB. `l3` stays all-zero when the machine has no L3.
+struct SimStats {
+  LevelStats l1;
+  LevelStats l2;
+  LevelStats l3;
+  LevelStats tlb;
+  std::uint64_t victim_hits = 0;
+  std::uint64_t mem_reads = 0;       ///< lines fetched from memory
+  std::uint64_t mem_writebacks = 0;  ///< dirty lines written to memory
+
+  /// Total processor-memory traffic in lines (the quantity the paper's
+  /// Theorems 3.2/3.5 bound).
+  [[nodiscard]] std::uint64_t memory_traffic_lines() const noexcept {
+    return mem_reads + mem_writebacks;
+  }
+};
+
+/// Whole-machine memory system description (Section 4 hardware table).
+/// `l3.size_bytes == 0` means the machine has no third level (all of
+/// the paper's machines; modern hosts set it).
+struct MachineConfig {
+  std::string name;
+  CacheConfig l1;
+  CacheConfig l2;
+  CacheConfig l3{0, 64, 16};
+  std::size_t victim_entries = 0;  ///< Alpha 21264 has an 8-entry victim cache
+  std::size_t tlb_entries = 64;
+  std::size_t page_bytes = 4096;
+
+  [[nodiscard]] bool has_l3() const noexcept { return l3.size_bytes > 0; }
+};
+
+}  // namespace cachegraph::memsim

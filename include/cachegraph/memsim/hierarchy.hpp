@@ -1,0 +1,97 @@
+// Multi-level cache hierarchy + TLB + optional victim cache.
+//
+// This is the SimpleScalar sim-cache substitute used for every
+// simulation table in the paper (Tables 1, 2, 3, 6, 7, 8). The model:
+//   - L1 data cache, set-associative, LRU, write-back, write-allocate.
+//   - Optional fully-associative victim buffer behind L1 (Alpha 21264).
+//   - L2 unified cache, same policies; non-inclusive.
+//   - Optional L3 (modern hosts; none of the paper's machines had one —
+//     it exists so Theorem 3.3's "every level of the hierarchy" claim
+//     can be demonstrated at depth three).
+//   - Dirty evictions write back to the next level without counting as
+//     demand accesses (matching how sim-cache reports them).
+//   - A data TLB (fully associative, LRU) counts page-translation misses.
+//
+// Accesses are split at cache-line granularity, so an unaligned access
+// spanning two lines costs two lookups — exactly what hardware does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachegraph/memsim/cache_level.hpp"
+#include "cachegraph/memsim/config.hpp"
+
+namespace cachegraph::memsim {
+
+/// Fully-associative LRU TLB over page numbers.
+class Tlb {
+ public:
+  Tlb(std::size_t entries, std::size_t page_bytes)
+      : entries_(entries), page_shift_(log2_exact(page_bytes)) {}
+
+  void access(std::uint64_t byte_addr);
+
+  [[nodiscard]] std::size_t page_shift() const noexcept { return page_shift_; }
+  [[nodiscard]] const LevelStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = LevelStats{}; }
+  void flush() { slots_.clear(); }
+
+ private:
+  static std::size_t log2_exact(std::size_t v);
+
+  struct Slot {
+    std::uint64_t page;
+    std::uint64_t lru;
+  };
+  std::size_t entries_;
+  std::size_t page_shift_;
+  std::uint64_t tick_ = 0;
+  std::vector<Slot> slots_;
+  LevelStats stats_;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const MachineConfig& machine);
+
+  /// Simulate a demand access of `bytes` bytes at `byte_addr`.
+  void access(std::uint64_t byte_addr, std::size_t bytes, bool write);
+
+  void read(std::uint64_t byte_addr, std::size_t bytes) { access(byte_addr, bytes, false); }
+  void write(std::uint64_t byte_addr, std::size_t bytes) { access(byte_addr, bytes, true); }
+
+  [[nodiscard]] SimStats stats() const;
+  void reset_stats();
+  /// Empty all caches (cold start) without touching counters.
+  void flush();
+
+  [[nodiscard]] const MachineConfig& machine() const noexcept { return machine_; }
+
+ private:
+  void access_line(std::uint64_t l1_line, bool write);
+  /// Demand fill of an L2 line (after an L2 miss): consult L3 if
+  /// present, else memory; install into L2 and propagate dirty spills.
+  void fetch_into_l2(std::uint64_t l1_line, bool write);
+  /// Handle a dirty line leaving L1 (or the victim buffer): merge into
+  /// L2, spilling downward as needed.
+  void writeback_to_l2(std::uint64_t l1_line);
+  /// Handle a dirty line leaving L2: merge into L3 or memory.
+  void writeback_from_l2(std::uint64_t l2_line);
+
+  MachineConfig machine_;
+  CacheLevel l1_;
+  CacheLevel l2_;
+  std::unique_ptr<CacheLevel> l3_;  ///< null when the machine has no L3
+  std::unique_ptr<VictimCache> victim_;
+  Tlb tlb_;
+  std::size_t l1_line_bytes_;
+  std::size_t l2_line_ratio_;  ///< l2_line / l1_line (>=1)
+  std::size_t l3_line_ratio_ = 1;  ///< l3_line / l2_line (>=1)
+  std::uint64_t victim_hits_ = 0;
+  std::uint64_t mem_reads_ = 0;
+  std::uint64_t mem_writebacks_ = 0;
+};
+
+}  // namespace cachegraph::memsim

@@ -1,0 +1,37 @@
+// Memory-system presets for the machines in Section 4 of the paper plus
+// the SimpleScalar configuration used for its simulation tables.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/memsim/config.hpp"
+
+namespace cachegraph::memsim {
+
+/// Pentium III Xeon: 32 KB 4-way L1 / 1 MB 8-way L2, both 32 B lines.
+[[nodiscard]] MachineConfig pentium3();
+
+/// UltraSPARC III: 64 KB 4-way 32 B-line L1 / 8 MB direct-mapped 64 B-line L2.
+[[nodiscard]] MachineConfig ultrasparc3();
+
+/// Alpha 21264: 64 KB 2-way 64 B-line L1 / 4 MB direct-mapped 64 B-line
+/// L2, plus an 8-entry fully associative victim cache.
+[[nodiscard]] MachineConfig alpha21264();
+
+/// MIPS R12000: 32 KB 2-way 32 B-line L1 / 8 MB direct-mapped 64 B-line L2.
+[[nodiscard]] MachineConfig mips_r12000();
+
+/// SimpleScalar default used for the paper's simulations: 16 KB 4-way
+/// L1 (32 B lines) and 256 KB 8-way L2 (64 B lines).
+[[nodiscard]] MachineConfig simplescalar_default();
+
+/// A modern server-class host: 32 KB 8-way L1 / 1 MB 16-way L2 /
+/// 32 MB 16-way L3 (64 B lines throughout). Not in the paper — used to
+/// show how 2020s-scale last-level caches flatten the paper's
+/// wall-clock gaps, and to exercise Theorem 3.3 at depth three.
+[[nodiscard]] MachineConfig modern_host();
+
+/// All presets, for parameterized tests and sweeps.
+[[nodiscard]] const std::vector<MachineConfig>& all_machines();
+
+}  // namespace cachegraph::memsim

@@ -1,0 +1,121 @@
+// Memory-access policies.
+//
+// Every instrumented algorithm in this library is a template
+//   template <..., class Mem = NullMem> result algo(..., Mem& mem);
+// where the algorithm reports each *logical* data access through `mem`.
+//
+//   - NullMem: the production policy. All hooks are empty inline
+//     functions; optimized builds pay literally nothing, so the timed
+//     benchmarks measure the pure algorithm.
+//   - SimMem: the tracing policy. Each access is routed through a
+//     CacheHierarchy, optionally after remapping the buffer's real heap
+//     address onto a deterministic virtual address (so simulated
+//     conflict misses do not depend on ASLR / allocator layout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachegraph/memsim/hierarchy.hpp"
+
+namespace cachegraph::memsim {
+
+struct NullMem {
+  static constexpr bool tracing = false;
+
+  template <typename T>
+  void read(const T*) noexcept {}
+  template <typename T>
+  void write(const T*) noexcept {}
+  template <typename T>
+  void read_range(const T*, std::size_t) noexcept {}
+  template <typename T>
+  void write_range(const T*, std::size_t) noexcept {}
+};
+
+/// Remaps registered host buffers onto a deterministic virtual address
+/// space: buffers are placed one after another, each starting on a
+/// fresh page plus a small stagger so distinct buffers do not all map
+/// to set 0 of a direct-mapped cache.
+class AddressMap {
+ public:
+  /// Register a buffer; returns its assigned virtual base.
+  std::uint64_t map(const void* host_base, std::size_t bytes) {
+    const auto base = reinterpret_cast<std::uint64_t>(host_base);
+    Region r;
+    r.host_begin = base;
+    r.host_end = base + bytes;
+    r.virt_base = next_;
+    regions_.push_back(r);
+    // Next buffer: page-align past this one, stagger by two lines.
+    next_ += (bytes + 4095) / 4096 * 4096 + 2 * 64;
+    return r.virt_base;
+  }
+
+  [[nodiscard]] std::uint64_t translate(std::uint64_t host_addr) const noexcept {
+    for (const Region& r : regions_) {
+      if (host_addr >= r.host_begin && host_addr < r.host_end) {
+        return r.virt_base + (host_addr - r.host_begin);
+      }
+    }
+    return host_addr;  // unregistered: identity (still simulated)
+  }
+
+ private:
+  struct Region {
+    std::uint64_t host_begin;
+    std::uint64_t host_end;
+    std::uint64_t virt_base;
+  };
+  std::vector<Region> regions_;
+  std::uint64_t next_ = 0x10000;  // skip "page zero"
+};
+
+class SimMem {
+ public:
+  static constexpr bool tracing = true;
+
+  explicit SimMem(CacheHierarchy& hierarchy) : hierarchy_(&hierarchy) {}
+
+  /// Register a buffer for deterministic address translation.
+  void map_buffer(const void* base, std::size_t bytes) { map_.map(base, bytes); }
+
+  template <typename T>
+  void read(const T* p) {
+    hierarchy_->read(translate(p), sizeof(T));
+  }
+  template <typename T>
+  void write(const T* p) {
+    hierarchy_->write(translate(p), sizeof(T));
+  }
+  template <typename T>
+  void read_range(const T* p, std::size_t n) {
+    hierarchy_->read(translate(p), n * sizeof(T));
+  }
+  template <typename T>
+  void write_range(const T* p, std::size_t n) {
+    hierarchy_->write(translate(p), n * sizeof(T));
+  }
+
+  [[nodiscard]] CacheHierarchy& hierarchy() noexcept { return *hierarchy_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::uint64_t translate(const T* p) const noexcept {
+    return map_.translate(reinterpret_cast<std::uint64_t>(p));
+  }
+
+  CacheHierarchy* hierarchy_;
+  AddressMap map_;
+};
+
+/// Concept satisfied by both policies; algorithm templates constrain on it.
+template <typename M>
+concept MemPolicy = requires(M m, const int* cp, std::size_t n) {
+  m.read(cp);
+  m.write(cp);
+  m.read_range(cp, n);
+  m.write_range(cp, n);
+};
+
+}  // namespace cachegraph::memsim

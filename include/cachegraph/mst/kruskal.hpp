@@ -1,0 +1,87 @@
+// Kruskal's algorithm + union-find.
+//
+// Included as the independent MST oracle for testing Prim (two
+// completely different algorithms must produce equal total weight on
+// every input), and as a baseline in the MST benches.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+
+namespace cachegraph::mst {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the sets were distinct (i.e. a merge happened).
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t component_size(std::size_t x) noexcept { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+template <Weight W>
+struct KruskalResult {
+  std::vector<graph::Edge<W>> tree_edges;
+  W total_weight = W{0};
+};
+
+/// MST (or minimum spanning forest) of an undirected graph given as a
+/// symmetric edge list; arcs (u,v) and (v,u) are deduplicated by
+/// keeping u < v.
+template <Weight W>
+KruskalResult<W> kruskal(const graph::EdgeListGraph<W>& g) {
+  std::vector<graph::Edge<W>> edges;
+  edges.reserve(g.edges().size() / 2 + 1);
+  for (const auto& e : g.edges()) {
+    if (e.from < e.to) edges.push_back(e);
+  }
+  std::sort(edges.begin(), edges.end(), [](const graph::Edge<W>& a, const graph::Edge<W>& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+
+  KruskalResult<W> r;
+  UnionFind uf(static_cast<std::size_t>(g.num_vertices()));
+  for (const auto& e : edges) {
+    if (uf.unite(static_cast<std::size_t>(e.from), static_cast<std::size_t>(e.to))) {
+      r.tree_edges.push_back(e);
+      r.total_weight = sat_add(r.total_weight, e.weight);
+    }
+  }
+  return r;
+}
+
+}  // namespace cachegraph::mst

@@ -1,0 +1,86 @@
+// Prim's algorithm for Minimum Spanning Tree (paper Section 3.2).
+//
+// Identical access pattern to Dijkstra — N Extract-Mins, E Updates —
+// differing only in the Update rule: a vertex's key is the weight of
+// the lightest edge connecting it to the tree (not the distance from
+// the root). Consequently the same representation optimization applies,
+// and bench_fig15/16 + bench_table7 mirror the Dijkstra exhibits.
+//
+// The input must be symmetric (every arc present in both directions);
+// on a disconnected graph the result spans only the root's component.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/concepts.hpp"
+
+namespace cachegraph::mst {
+
+template <Weight W>
+struct MstResult {
+  std::vector<vertex_t> parent;  ///< parent[v] in the MST, kNoVertex for root/unreached
+  std::vector<W> key;            ///< key[v] = weight of edge (parent[v], v)
+  W total_weight = W{0};
+  vertex_t tree_vertices = 0;    ///< vertices actually spanned
+  std::uint64_t extract_mins = 0;
+  std::uint64_t updates = 0;
+};
+
+template <template <class, class> class HeapT = pq::BinaryHeap, graph::GraphRep G,
+          memsim::MemPolicy Mem = memsim::NullMem>
+MstResult<typename G::weight_type> prim(const G& g, vertex_t root = 0, Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CG_CHECK(root >= 0 && static_cast<std::size_t>(root) < n, "root out of range");
+
+  MstResult<W> r;
+  r.key.assign(n, inf<W>());
+  r.parent.assign(n, kNoVertex);
+  std::vector<char> in_tree(n, 0);
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(r.key.data(), n * sizeof(W));
+    mem.map_buffer(r.parent.data(), n * sizeof(vertex_t));
+    mem.map_buffer(in_tree.data(), n);
+  }
+
+  using Heap = HeapT<W, Mem>;
+  static_assert(pq::IndexedHeap<Heap>);
+  Heap q(static_cast<vertex_t>(n), mem);
+  r.key[static_cast<std::size_t>(root)] = W{0};
+  for (std::size_t v = 0; v < n; ++v) {
+    q.insert(static_cast<vertex_t>(v), r.key[v]);
+  }
+
+  while (!q.empty()) {
+    const auto top = q.extract_min();
+    if (is_inf(top.key)) break;  // remaining vertices are in other components
+    ++r.extract_mins;
+    const vertex_t u = top.vertex;
+    const auto uu = static_cast<std::size_t>(u);
+    in_tree[uu] = 1;
+    mem.write(&in_tree[uu]);
+    r.total_weight = sat_add(r.total_weight, top.key);
+    ++r.tree_vertices;
+
+    g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+      const auto tv = static_cast<std::size_t>(nb.to);
+      mem.read(&in_tree[tv]);
+      if (in_tree[tv]) return;
+      mem.read(&r.key[tv]);
+      if (nb.weight < r.key[tv]) {  // Prim's Update: edge weight, not path length
+        r.key[tv] = nb.weight;
+        mem.write(&r.key[tv]);
+        r.parent[tv] = u;
+        mem.write(&r.parent[tv]);
+        q.decrease_key(nb.to, nb.weight);
+        ++r.updates;
+      }
+    });
+  }
+  return r;
+}
+
+}  // namespace cachegraph::mst

@@ -1,0 +1,138 @@
+// Indexed binary min-heap with decrease-key — the priority queue the
+// paper pairs with Dijkstra's and Prim's algorithms (the Update
+// operation is exactly decrease_key, which the highly-optimized heaps
+// in the literature, e.g. Sanders' sequential heap, do not support).
+//
+// Entries are {key, vertex} records stored contiguously; pos_[v] tracks
+// each vertex's slot so Update is O(lg N). All logical accesses are
+// reported to the memory model so the simulated tables include
+// heap traffic, as SimpleScalar's did.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::pq {
+
+template <Weight W, memsim::MemPolicy Mem = memsim::NullMem>
+class BinaryHeap {
+ public:
+  using weight_type = W;
+
+  struct Entry {
+    W key;
+    vertex_t vertex;
+  };
+
+  explicit BinaryHeap(vertex_t capacity, Mem mem = Mem{})
+      : pos_(static_cast<std::size_t>(capacity), kAbsent), mem_(mem) {
+    heap_.reserve(static_cast<std::size_t>(capacity));
+    if constexpr (Mem::tracing) {
+      mem_.map_buffer(heap_.data(), heap_.capacity() * sizeof(Entry));
+      mem_.map_buffer(pos_.data(), pos_.size() * sizeof(index_t));
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool contains(vertex_t v) const noexcept {
+    return pos_[static_cast<std::size_t>(v)] != kAbsent;
+  }
+  [[nodiscard]] W key_of(vertex_t v) const noexcept {
+    return heap_[static_cast<std::size_t>(pos_[static_cast<std::size_t>(v)])].key;
+  }
+
+  void insert(vertex_t v, W key) {
+    CG_DCHECK(!contains(v));
+    heap_.push_back(Entry{key, v});
+    const auto slot = static_cast<index_t>(heap_.size() - 1);
+    set_pos(v, slot);
+    write_entry(static_cast<std::size_t>(slot));
+    sift_up(static_cast<std::size_t>(slot));
+  }
+
+  Entry extract_min() {
+    CG_CHECK(!heap_.empty(), "extract_min on empty heap");
+    read_entry(0);
+    const Entry top = heap_.front();
+    set_pos(top.vertex, kAbsent);
+    const Entry last = heap_.back();
+    read_entry(heap_.size() - 1);
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      write_entry(0);
+      set_pos(last.vertex, 0);
+      sift_down(0);
+    }
+    return top;
+  }
+
+  /// The paper's Update operation: lower v's key (no-op if not lower).
+  void decrease_key(vertex_t v, W key) {
+    const auto slot = static_cast<std::size_t>(pos_[static_cast<std::size_t>(v)]);
+    read_entry(slot);
+    CG_DCHECK(contains(v));
+    if (key >= heap_[slot].key) return;
+    heap_[slot].key = key;
+    write_entry(slot);
+    sift_up(slot);
+  }
+
+ private:
+  static constexpr index_t kAbsent = -1;
+
+  void read_entry(std::size_t i) { mem_.read(&heap_[i]); }
+  void write_entry(std::size_t i) { mem_.write(&heap_[i]); }
+  void set_pos(vertex_t v, index_t slot) {
+    pos_[static_cast<std::size_t>(v)] = slot;
+    mem_.write(&pos_[static_cast<std::size_t>(v)]);
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      read_entry(parent);
+      if (heap_[parent].key <= e.key) break;
+      heap_[i] = heap_[parent];
+      write_entry(i);
+      set_pos(heap_[i].vertex, static_cast<index_t>(i));
+      i = parent;
+    }
+    heap_[i] = e;
+    write_entry(i);
+    set_pos(e.vertex, static_cast<index_t>(i));
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      read_entry(child);
+      if (child + 1 < n) {
+        read_entry(child + 1);
+        if (heap_[child + 1].key < heap_[child].key) ++child;
+      }
+      if (heap_[child].key >= e.key) break;
+      heap_[i] = heap_[child];
+      write_entry(i);
+      set_pos(heap_[i].vertex, static_cast<index_t>(i));
+      i = child;
+    }
+    heap_[i] = e;
+    write_entry(i);
+    set_pos(e.vertex, static_cast<index_t>(i));
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<index_t> pos_;
+  Mem mem_;
+};
+
+}  // namespace cachegraph::pq

@@ -1,0 +1,24 @@
+// Concept for indexed priority queues with the Update (decrease-key)
+// operation — the contract Dijkstra's and Prim's algorithm templates
+// require (paper Section 3.2: O(N) Extract-Mins and O(E) Updates).
+#pragma once
+
+#include <concepts>
+
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph::pq {
+
+template <typename H>
+concept IndexedHeap = requires(H h, const H ch, vertex_t v, typename H::weight_type k) {
+  typename H::weight_type;
+  { ch.empty() } -> std::convertible_to<bool>;
+  { ch.size() } -> std::convertible_to<std::size_t>;
+  { ch.contains(v) } -> std::convertible_to<bool>;
+  h.insert(v, k);
+  h.decrease_key(v, k);
+  { h.extract_min().vertex } -> std::convertible_to<vertex_t>;
+  { h.extract_min().key } -> std::convertible_to<typename H::weight_type>;
+};
+
+}  // namespace cachegraph::pq

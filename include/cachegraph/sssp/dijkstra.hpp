@@ -1,0 +1,80 @@
+// Dijkstra's algorithm (paper Fig. 7), templated on the graph
+// representation, the priority queue, and the memory model.
+//
+// The paper's Section 3.2 point is that the *representation* dominates:
+// the graph structure is the largest data touched (O(N+E), each element
+// exactly once), so swapping the pointer-chasing adjacency list for the
+// streaming adjacency array is worth up to 2x wall-clock — reproduced
+// by bench_fig12/13 and simulated by bench_table6.
+#pragma once
+
+#include <vector>
+
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/concepts.hpp"
+
+namespace cachegraph::sssp {
+
+template <Weight W>
+struct SsspResult {
+  std::vector<W> dist;          ///< dist[v] = shortest distance from source
+  std::vector<vertex_t> parent; ///< parent[v] on a shortest path tree
+  std::uint64_t extract_mins = 0;
+  std::uint64_t updates = 0;    ///< successful decrease-key operations
+};
+
+/// Dijkstra over any GraphRep with any IndexedHeap.
+/// `HeapT<W, Mem>` defaults to the indexed binary heap. All N vertices
+/// are inserted up front (Fig. 7 line 2: Q = V[G]); edge relaxations
+/// use the Update operation.
+///
+/// Requires non-negative edge weights.
+template <template <class, class> class HeapT = pq::BinaryHeap, graph::GraphRep G,
+          memsim::MemPolicy Mem = memsim::NullMem>
+SsspResult<typename G::weight_type> dijkstra(const G& g, vertex_t source, Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CG_CHECK(source >= 0 && static_cast<std::size_t>(source) < n, "source out of range");
+
+  SsspResult<W> r;
+  r.dist.assign(n, inf<W>());
+  r.parent.assign(n, kNoVertex);
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(r.dist.data(), n * sizeof(W));
+    mem.map_buffer(r.parent.data(), n * sizeof(vertex_t));
+  }
+
+  using Heap = HeapT<W, Mem>;
+  static_assert(pq::IndexedHeap<Heap>);
+  Heap q(static_cast<vertex_t>(n), mem);
+  r.dist[static_cast<std::size_t>(source)] = W{0};
+  for (std::size_t v = 0; v < n; ++v) {
+    q.insert(static_cast<vertex_t>(v), r.dist[v]);
+  }
+
+  while (!q.empty()) {
+    const auto top = q.extract_min();
+    if (is_inf(top.key)) break;  // everything left is unreachable
+    ++r.extract_mins;
+    const vertex_t u = top.vertex;
+    const W du = top.key;
+    g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+      const auto tv = static_cast<std::size_t>(nb.to);
+      const W nd = sat_add(du, nb.weight);
+      mem.read(&r.dist[tv]);
+      if (nd < r.dist[tv]) {
+        r.dist[tv] = nd;
+        mem.write(&r.dist[tv]);
+        r.parent[tv] = u;
+        mem.write(&r.parent[tv]);
+        q.decrease_key(nb.to, nd);
+        ++r.updates;
+      }
+    });
+  }
+  return r;
+}
+
+}  // namespace cachegraph::sssp

@@ -1,0 +1,211 @@
+// Graph traversals — BFS, DFS, connected components, Tarjan SCC — over
+// any GraphRep. The paper's Conclusion: "graph traversals such as depth
+// and breadth first search and algorithms built on top of those, such
+// as finding strongly connected components, can also benefit from our
+// data layout optimization" — these templates make that claim testable
+// (bench_ablation_traversal) because the representation is a parameter.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/graph/concepts.hpp"
+
+namespace cachegraph::traversal {
+
+struct BfsResult {
+  std::vector<index_t> depth;     ///< -1 if unreached
+  std::vector<vertex_t> parent;
+  std::vector<vertex_t> order;    ///< visit order
+};
+
+template <graph::GraphRep G, memsim::MemPolicy Mem = memsim::NullMem>
+BfsResult bfs(const G& g, vertex_t source, Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CG_CHECK(source >= 0 && static_cast<std::size_t>(source) < n, "source out of range");
+  BfsResult r;
+  r.depth.assign(n, -1);
+  r.parent.assign(n, kNoVertex);
+  r.order.reserve(n);
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(r.depth.data(), n * sizeof(index_t));
+    mem.map_buffer(r.parent.data(), n * sizeof(vertex_t));
+  }
+
+  std::vector<vertex_t> queue;
+  queue.reserve(n);
+  queue.push_back(source);
+  r.depth[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const vertex_t u = queue[qi];
+    r.order.push_back(u);
+    g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+      const auto tv = static_cast<std::size_t>(nb.to);
+      mem.read(&r.depth[tv]);
+      if (r.depth[tv] >= 0) return;
+      r.depth[tv] = r.depth[static_cast<std::size_t>(u)] + 1;
+      mem.write(&r.depth[tv]);
+      r.parent[tv] = u;
+      mem.write(&r.parent[tv]);
+      queue.push_back(nb.to);
+    });
+  }
+  return r;
+}
+
+struct DfsResult {
+  std::vector<index_t> pre;   ///< preorder number, -1 if unreached
+  std::vector<index_t> post;  ///< postorder number
+  std::vector<vertex_t> parent;
+};
+
+/// Iterative DFS over the whole graph (restarts at every unvisited
+/// vertex, in id order).
+template <graph::GraphRep G, memsim::MemPolicy Mem = memsim::NullMem>
+DfsResult dfs(const G& g, Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  DfsResult r;
+  r.pre.assign(n, -1);
+  r.post.assign(n, -1);
+  r.parent.assign(n, kNoVertex);
+  if constexpr (Mem::tracing) g.map_buffers(mem);
+
+  index_t pre_counter = 0, post_counter = 0;
+  // Explicit stack of (vertex, child iterator state). We pre-collect
+  // each vertex's neighbours when it is first opened; this keeps the
+  // representation access pattern identical to the recursive algorithm.
+  struct Frame {
+    vertex_t v;
+    std::vector<vertex_t> children;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (r.pre[s] >= 0) continue;
+    r.pre[s] = pre_counter++;
+    stack.push_back(Frame{static_cast<vertex_t>(s), {}, 0});
+    g.for_neighbors(static_cast<vertex_t>(s), mem,
+                    [&](const graph::Neighbor<W>& nb) { stack.back().children.push_back(nb.to); });
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.children.size()) {
+        const vertex_t c = f.children[f.next++];
+        const auto uc = static_cast<std::size_t>(c);
+        if (r.pre[uc] >= 0) continue;
+        r.pre[uc] = pre_counter++;
+        r.parent[uc] = f.v;
+        stack.push_back(Frame{c, {}, 0});
+        g.for_neighbors(c, mem,
+                        [&](const graph::Neighbor<W>& nb) { stack.back().children.push_back(nb.to); });
+      } else {
+        r.post[static_cast<std::size_t>(f.v)] = post_counter++;
+        stack.pop_back();
+      }
+    }
+  }
+  return r;
+}
+
+/// Connected components of a symmetric (undirected) graph via repeated
+/// BFS. Returns component id per vertex and the component count.
+template <graph::GraphRep G, memsim::MemPolicy Mem = memsim::NullMem>
+std::pair<std::vector<vertex_t>, vertex_t> connected_components(const G& g, Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<vertex_t> comp(n, kNoVertex);
+  vertex_t count = 0;
+  std::vector<vertex_t> queue;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (comp[s] != kNoVertex) continue;
+    const vertex_t id = count++;
+    comp[s] = id;
+    queue.clear();
+    queue.push_back(static_cast<vertex_t>(s));
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      g.for_neighbors(queue[qi], mem, [&](const graph::Neighbor<W>& nb) {
+        const auto tv = static_cast<std::size_t>(nb.to);
+        if (comp[tv] != kNoVertex) return;
+        comp[tv] = id;
+        queue.push_back(nb.to);
+      });
+    }
+  }
+  return {std::move(comp), count};
+}
+
+/// Tarjan's strongly connected components (iterative). Returns scc id
+/// per vertex (ids in reverse topological order of the condensation)
+/// and the scc count.
+template <graph::GraphRep G, memsim::MemPolicy Mem = memsim::NullMem>
+std::pair<std::vector<vertex_t>, vertex_t> strongly_connected_components(const G& g,
+                                                                         Mem mem = Mem{}) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  constexpr index_t kUnvisited = -1;
+  std::vector<index_t> idx(n, kUnvisited), low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<vertex_t> scc_stack, comp(n, kNoVertex);
+  index_t counter = 0;
+  vertex_t scc_count = 0;
+
+  struct Frame {
+    vertex_t v;
+    std::vector<vertex_t> children;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> call_stack;
+
+  auto open = [&](vertex_t v) {
+    const auto uv = static_cast<std::size_t>(v);
+    idx[uv] = low[uv] = counter++;
+    scc_stack.push_back(v);
+    on_stack[uv] = 1;
+    call_stack.push_back(Frame{v, {}, 0});
+    g.for_neighbors(
+        v, mem, [&](const graph::Neighbor<W>& nb) { call_stack.back().children.push_back(nb.to); });
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (idx[s] != kUnvisited) continue;
+    open(static_cast<vertex_t>(s));
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      const auto uv = static_cast<std::size_t>(f.v);
+      if (f.next < f.children.size()) {
+        const vertex_t c = f.children[f.next++];
+        const auto uc = static_cast<std::size_t>(c);
+        if (idx[uc] == kUnvisited) {
+          open(c);
+        } else if (on_stack[uc]) {
+          low[uv] = std::min(low[uv], idx[uc]);
+        }
+      } else {
+        if (low[uv] == idx[uv]) {
+          // f.v roots an SCC: pop it off.
+          while (true) {
+            const vertex_t w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            comp[static_cast<std::size_t>(w)] = scc_count;
+            if (w == f.v) break;
+          }
+          ++scc_count;
+        }
+        const vertex_t child = f.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const auto up = static_cast<std::size_t>(call_stack.back().v);
+          low[up] = std::min(low[up], low[static_cast<std::size_t>(child)]);
+        }
+      }
+    }
+  }
+  return {std::move(comp), scc_count};
+}
+
+}  // namespace cachegraph::traversal

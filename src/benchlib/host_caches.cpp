@@ -1,0 +1,47 @@
+#include <fstream>
+#include <string>
+
+#include "cachegraph/benchlib/workloads.hpp"
+
+namespace cachegraph::bench {
+
+std::size_t read_sysfs_cache_size(const char* path, std::size_t fallback) {
+  std::ifstream f(path);
+  if (!f) return fallback;
+  std::string text;
+  f >> text;
+  if (text.empty()) return fallback;
+  std::size_t multiplier = 1;
+  if (text.back() == 'K') {
+    multiplier = 1024;
+    text.pop_back();
+  } else if (text.back() == 'M') {
+    multiplier = 1024 * 1024;
+    text.pop_back();
+  }
+  try {
+    const std::size_t v = std::stoul(text) * multiplier;
+    // Geometry sanity: the simulator needs power-of-two set counts; the
+    // heuristic only uses the size, but round odd sizes (e.g. 48K) down
+    // to the nearest power of two to stay conservative.
+    std::size_t p = 1;
+    while (p * 2 <= v) p *= 2;
+    return p;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+memsim::CacheConfig host_l1() {
+  const std::size_t size = read_sysfs_cache_size(
+      "/sys/devices/system/cpu/cpu0/cache/index0/size", 32 * 1024);
+  return memsim::CacheConfig{size, 64, 8};
+}
+
+memsim::CacheConfig host_l2() {
+  const std::size_t size = read_sysfs_cache_size(
+      "/sys/devices/system/cpu/cpu0/cache/index2/size", 1024 * 1024);
+  return memsim::CacheConfig{size, 64, 16};
+}
+
+}  // namespace cachegraph::bench

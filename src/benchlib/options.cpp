@@ -1,0 +1,48 @@
+#include "cachegraph/benchlib/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace cachegraph::bench {
+
+memsim::MachineConfig Options::machine_config() const {
+  if (machine == "pentium3") return memsim::pentium3();
+  if (machine == "ultrasparc3") return memsim::ultrasparc3();
+  if (machine == "alpha21264") return memsim::alpha21264();
+  if (machine == "mips") return memsim::mips_r12000();
+  if (machine == "simplescalar") return memsim::simplescalar_default();
+  if (machine == "modern") return memsim::modern_host();
+  std::cerr << "unknown --machine=" << machine
+            << " (want pentium3|ultrasparc3|alpha21264|mips|simplescalar|modern)\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--full") {
+      o.full = true;
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else if (arg.starts_with("--reps=")) {
+      o.reps = std::atoi(arg.substr(7).data());
+      if (o.reps < 1) o.reps = 1;
+    } else if (arg.starts_with("--seed=")) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(arg.substr(7).data()));
+    } else if (arg.starts_with("--machine=")) {
+      o.machine = std::string(arg.substr(10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--full] [--csv] [--reps=N] [--seed=N] [--machine=NAME]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+}  // namespace cachegraph::bench

@@ -1,0 +1,81 @@
+#include "cachegraph/benchlib/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  CG_CHECK(cells.size() == headers_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return;
+  }
+
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 2;
+  for (const std::size_t w : width) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  if (v < 1000000) return std::to_string(v);
+  std::ostringstream ss;
+  ss << std::setprecision(3) << static_cast<double>(v) / 1e6 << "e6";
+  return ss.str();
+}
+
+std::string fmt_speedup(double base_seconds, double optimized_seconds) {
+  if (optimized_seconds <= 0.0) return "inf";
+  return fmt(base_seconds / optimized_seconds, 2) + "x";
+}
+
+std::string fmt_pct(double ratio) { return fmt(ratio * 100.0, 2) + "%"; }
+
+void print_exhibit_header(std::ostream& os, const std::string& exhibit, const std::string& title,
+                          const std::string& paper_reference) {
+  os << "==================================================================\n";
+  os << exhibit << ": " << title << '\n';
+  os << "paper reports: " << paper_reference << '\n';
+  os << "==================================================================\n";
+}
+
+}  // namespace cachegraph::bench

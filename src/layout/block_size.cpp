@@ -1,0 +1,33 @@
+#include "cachegraph/layout/block_size.hpp"
+
+#include <cmath>
+
+namespace cachegraph::layout {
+
+std::size_t effective_capacity(const memsim::CacheConfig& cache) {
+  std::size_t cap = cache.size_bytes;
+  std::size_t assoc = cache.ways();
+  while (assoc < 4) {
+    cap /= 2;
+    assoc *= 2;
+  }
+  return cap;
+}
+
+std::size_t pick_block_size(const memsim::CacheConfig& cache, std::size_t elem_bytes,
+                            bool round_to_pow2) {
+  CG_CHECK(elem_bytes > 0);
+  const std::size_t cap = effective_capacity(cache);
+  // Largest B with 3*B^2*d <= cap.
+  std::size_t b = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(cap) / (3.0 * static_cast<double>(elem_bytes))));
+  if (b < 2) b = 2;
+  if (round_to_pow2) {
+    std::size_t p = 2;
+    while (p * 2 <= b) p *= 2;
+    b = p;
+  }
+  return b;
+}
+
+}  // namespace cachegraph::layout

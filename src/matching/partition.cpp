@@ -1,0 +1,143 @@
+#include "cachegraph/matching/partition.hpp"
+
+#include <algorithm>
+
+namespace cachegraph::matching {
+
+namespace {
+
+/// part of index i when n items are divided into `parts` near-equal
+/// ranges.
+std::uint8_t range_part(vertex_t i, vertex_t n, std::uint8_t parts) {
+  if (n == 0) return 0;
+  const auto p = static_cast<std::uint64_t>(i) * parts / static_cast<std::uint64_t>(n);
+  return static_cast<std::uint8_t>(std::min<std::uint64_t>(p, parts - 1u));
+}
+
+}  // namespace
+
+Partition chunk_partition(const graph::BipartiteGraph& g, std::uint8_t parts) {
+  CG_CHECK(parts >= 1);
+  Partition p;
+  p.parts = parts;
+  p.left_part.resize(static_cast<std::size_t>(g.left));
+  p.right_part.resize(static_cast<std::size_t>(g.right));
+  for (vertex_t l = 0; l < g.left; ++l) {
+    p.left_part[static_cast<std::size_t>(l)] = range_part(l, g.left, parts);
+  }
+  for (vertex_t r = 0; r < g.right; ++r) {
+    p.right_part[static_cast<std::size_t>(r)] = range_part(r, g.right, parts);
+  }
+  return p;
+}
+
+Partition two_way_partition(const graph::BipartiteGraph& g) {
+  // Step 1: arbitrarily partition the vertices into 4 equal parts
+  // (index ranges — "arbitrary" in the paper's sense of not looking at
+  // the edges).
+  const Partition quarters = chunk_partition(g, 4);
+
+  // Step 2: count the edges between each (left-part, right-part) pair.
+  std::array<std::array<index_t, 4>, 4> e{};
+  for (const auto& [l, r] : g.edges) {
+    ++e[quarters.left_part[static_cast<std::size_t>(l)]]
+       [quarters.right_part[static_cast<std::size_t>(r)]];
+  }
+
+  // Step 3: combine the 4 parts into 2 groups; try the three pairings
+  // and keep the one creating the most internal edges.
+  constexpr std::array<std::array<std::uint8_t, 4>, 3> kPairings = {{
+      {0, 0, 1, 1},  // {0,1} vs {2,3}
+      {0, 1, 0, 1},  // {0,2} vs {1,3}
+      {0, 1, 1, 0},  // {0,3} vs {1,2}
+  }};
+
+  index_t best_internal = -1;
+  std::array<std::uint8_t, 4> best = kPairings[0];
+  for (const auto& grouping : kPairings) {
+    index_t internal = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        if (grouping[i] == grouping[j]) internal += e[i][j];
+      }
+    }
+    if (internal > best_internal) {
+      best_internal = internal;
+      best = grouping;
+    }
+  }
+
+  Partition p;
+  p.parts = 2;
+  p.left_part.resize(static_cast<std::size_t>(g.left));
+  p.right_part.resize(static_cast<std::size_t>(g.right));
+  for (vertex_t l = 0; l < g.left; ++l) {
+    p.left_part[static_cast<std::size_t>(l)] =
+        best[quarters.left_part[static_cast<std::size_t>(l)]];
+  }
+  for (vertex_t r = 0; r < g.right; ++r) {
+    p.right_part[static_cast<std::size_t>(r)] =
+        best[quarters.right_part[static_cast<std::size_t>(r)]];
+  }
+  return p;
+}
+
+Partition recursive_partition(const graph::BipartiteGraph& g, int levels) {
+  CG_CHECK(levels >= 0 && levels <= 7, "at most 128 parts (uint8 part ids)");
+  Partition p;
+  p.parts = 1;
+  p.left_part.assign(static_cast<std::size_t>(g.left), 0);
+  p.right_part.assign(static_cast<std::size_t>(g.right), 0);
+
+  for (int level = 0; level < levels; ++level) {
+    const std::uint8_t groups = p.parts;
+    // Split each current group independently with the 2-way partitioner
+    // on its induced subgraph.
+    for (std::uint8_t grp = 0; grp < groups; ++grp) {
+      // Collect the group's vertices and build local index maps.
+      std::vector<vertex_t> lmap, rmap;
+      std::vector<vertex_t> llocal(static_cast<std::size_t>(g.left), kNoVertex);
+      std::vector<vertex_t> rlocal(static_cast<std::size_t>(g.right), kNoVertex);
+      for (vertex_t l = 0; l < g.left; ++l) {
+        if (p.left_part[static_cast<std::size_t>(l)] == grp) {
+          llocal[static_cast<std::size_t>(l)] = static_cast<vertex_t>(lmap.size());
+          lmap.push_back(l);
+        }
+      }
+      for (vertex_t r = 0; r < g.right; ++r) {
+        if (p.right_part[static_cast<std::size_t>(r)] == grp) {
+          rlocal[static_cast<std::size_t>(r)] = static_cast<vertex_t>(rmap.size());
+          rmap.push_back(r);
+        }
+      }
+      graph::BipartiteGraph sub;
+      sub.left = static_cast<vertex_t>(lmap.size());
+      sub.right = static_cast<vertex_t>(rmap.size());
+      for (const auto& [l, r] : g.edges) {
+        if (p.left_part[static_cast<std::size_t>(l)] == grp &&
+            p.right_part[static_cast<std::size_t>(r)] == grp) {
+          sub.edges.emplace_back(llocal[static_cast<std::size_t>(l)],
+                                 rlocal[static_cast<std::size_t>(r)]);
+        }
+      }
+      const Partition half = two_way_partition(sub);
+      // New id: children of group g are (g) and (g + groups).
+      for (std::size_t i = 0; i < lmap.size(); ++i) {
+        if (half.left_part[i] == 1) {
+          p.left_part[static_cast<std::size_t>(lmap[i])] =
+              static_cast<std::uint8_t>(grp + groups);
+        }
+      }
+      for (std::size_t i = 0; i < rmap.size(); ++i) {
+        if (half.right_part[i] == 1) {
+          p.right_part[static_cast<std::size_t>(rmap[i])] =
+              static_cast<std::uint8_t>(grp + groups);
+        }
+      }
+    }
+    p.parts = static_cast<std::uint8_t>(p.parts * 2);
+  }
+  return p;
+}
+
+}  // namespace cachegraph::matching

@@ -1,0 +1,133 @@
+#include "cachegraph/memsim/cache_level.hpp"
+
+#include <algorithm>
+
+namespace cachegraph::memsim {
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  ways_ = config_.ways();
+  const std::size_t sets = config_.num_sets();
+  set_mask_ = sets - 1;
+  lines_.assign(sets * ways_, Line{});
+}
+
+CacheLevel::Line* CacheLevel::find(std::uint64_t line_addr) noexcept {
+  Line* set = &lines_[set_index(line_addr) * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) return &set[w];
+  }
+  return nullptr;
+}
+
+const CacheLevel::Line* CacheLevel::find(std::uint64_t line_addr) const noexcept {
+  return const_cast<CacheLevel*>(this)->find(line_addr);
+}
+
+bool CacheLevel::access(std::uint64_t line_addr, bool write) {
+  ++stats_.accesses;
+  if (Line* line = find(line_addr)) {
+    line->lru = ++tick_;
+    if (write) {
+      if (config_.write_back) {
+        line->dirty = true;
+      }
+      // Write-through caches forward the write; the hierarchy accounts
+      // for that traffic, the line itself stays clean.
+    }
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+Eviction CacheLevel::install(std::uint64_t line_addr, bool dirty) {
+  Line* set = &lines_[set_index(line_addr) * ways_];
+  // Prefer an invalid way; otherwise evict true-LRU.
+  Line* slot = nullptr;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      slot = &set[w];
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    slot = set;
+    for (std::size_t w = 1; w < ways_; ++w) {
+      if (set[w].lru < slot->lru) slot = &set[w];
+    }
+  }
+
+  Eviction out;
+  if (slot->valid) {
+    out.valid = true;
+    out.line_addr = slot->tag;
+    out.dirty = slot->dirty;
+    if (out.dirty) ++stats_.writebacks;
+  }
+  slot->valid = true;
+  slot->tag = line_addr;
+  slot->dirty = dirty;
+  slot->lru = ++tick_;
+  return out;
+}
+
+bool CacheLevel::contains(std::uint64_t line_addr) const { return find(line_addr) != nullptr; }
+
+bool CacheLevel::mark_dirty(std::uint64_t line_addr) {
+  if (Line* line = find(line_addr)) {
+    line->dirty = true;
+    line->lru = ++tick_;
+    return true;
+  }
+  return false;
+}
+
+void CacheLevel::invalidate(std::uint64_t line_addr) {
+  if (Line* line = find(line_addr)) {
+    line->valid = false;
+    line->dirty = false;
+  }
+}
+
+void CacheLevel::flush() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  tick_ = 0;
+}
+
+bool VictimCache::extract(std::uint64_t line_addr, bool* dirty_out) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].line_addr == line_addr) {
+      *dirty_out = slots_[i].dirty;
+      slots_[i] = slots_.back();
+      slots_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+Eviction VictimCache::insert(std::uint64_t line_addr, bool dirty) {
+  Eviction out;
+  if (entries_ == 0) {
+    // Degenerate victim buffer: everything falls straight through.
+    out.valid = true;
+    out.line_addr = line_addr;
+    out.dirty = dirty;
+    return out;
+  }
+  if (slots_.size() == entries_) {
+    auto lru = slots_.begin();
+    for (auto it = slots_.begin() + 1; it != slots_.end(); ++it) {
+      if (it->lru < lru->lru) lru = it;
+    }
+    out.valid = true;
+    out.line_addr = lru->line_addr;
+    out.dirty = lru->dirty;
+    slots_.erase(lru);
+  }
+  slots_.push_back(Slot{line_addr, ++tick_, dirty});
+  return out;
+}
+
+}  // namespace cachegraph::memsim

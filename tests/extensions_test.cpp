@@ -1,0 +1,74 @@
+// Tests for the future-work extensions: lazy-deletion Dijkstra (no
+// Update operation needed) and the parallel two-phase matching.
+#include <gtest/gtest.h>
+
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/matching/cache_friendly.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "cachegraph/sssp/dijkstra_lazy.hpp"
+
+namespace cachegraph {
+namespace {
+
+TEST(DijkstraLazy, MatchesIndexedHeapDijkstra) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto el = graph::random_digraph<int>(150, 0.08, seed);
+    const graph::AdjacencyArray<int> g(el);
+    const auto indexed = sssp::dijkstra(g, 0);
+    const auto lazy = sssp::dijkstra_lazy(g, 0);
+    EXPECT_EQ(lazy.dist, indexed.dist) << "seed " << seed;
+  }
+}
+
+TEST(DijkstraLazy, CountsStalePops) {
+  // Dense graph with varied weights: lazy insertion necessarily creates
+  // superseded entries.
+  const auto el = graph::random_digraph<int>(100, 0.5, 9);
+  const graph::AdjacencyArray<int> g(el);
+  const auto r = sssp::dijkstra_lazy(g, 0);
+  EXPECT_GT(r.pops, 100u) << "more pops than vertices";
+  EXPECT_EQ(r.pops - r.stale_pops, 100u) << "exactly one useful pop per reached vertex";
+}
+
+TEST(DijkstraLazy, HandlesUnreachableAndTrivial) {
+  graph::EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 4);
+  const graph::AdjacencyArray<int> g(el);
+  const auto r = sssp::dijkstra_lazy(g, 0);
+  EXPECT_EQ(r.dist[1], 4);
+  EXPECT_TRUE(is_inf(r.dist[2]));
+  EXPECT_EQ(r.parent[1], 0);
+}
+
+TEST(ParallelMatching, MatchesSequentialCardinality) {
+  for (const std::uint64_t seed : {1u, 5u}) {
+    const auto g = graph::random_bipartite(128, 128, 0.1, seed);
+    const auto partition = matching::chunk_partition(g, 4);
+
+    matching::Matching seq, par;
+    const auto s1 = matching::cache_friendly_matching(g, partition, seq);
+    const auto s2 = matching::cache_friendly_matching_parallel(g, partition, par, 2);
+    EXPECT_EQ(s1.final_matched, s2.final_matched) << "seed " << seed;
+    EXPECT_TRUE(is_valid_matching(matching::BipartiteCsr(g), par));
+  }
+}
+
+TEST(ParallelMatching, WorksWithSmartPartition) {
+  const auto g = graph::best_case_bipartite(64, 4, 0.1, 3);
+  matching::Matching m;
+  const auto stats =
+      matching::cache_friendly_matching_parallel(g, matching::chunk_partition(g, 4), m);
+  EXPECT_EQ(stats.local_matched, 64u);
+  EXPECT_EQ(stats.final_matched, 64u);
+}
+
+TEST(ParallelMatching, RejectsMismatchedPartition) {
+  const auto g = graph::random_bipartite(10, 10, 0.2, 1);
+  const auto p = matching::chunk_partition(graph::random_bipartite(5, 5, 0.2, 1), 2);
+  matching::Matching m;
+  EXPECT_THROW(matching::cache_friendly_matching_parallel(g, p, m), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cachegraph

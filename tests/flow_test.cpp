@@ -1,0 +1,147 @@
+// Max-flow network tests: hand-checked networks, min-cut duality on
+// random graphs, matching equivalence, Johnson's APSP.
+#include <gtest/gtest.h>
+
+#include "cachegraph/apsp/johnson.hpp"
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/flow/max_flow.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/matching/matching.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::flow {
+namespace {
+
+TEST(MaxFlow, HandCheckedClassicNetwork) {
+  // CLRS figure-style network, max flow 23.
+  FlowNetwork<int> net(6);
+  const vertex_t s = 0, t = 5;
+  net.add_arc(s, 1, 16);
+  net.add_arc(s, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, t, 20);
+  net.add_arc(4, t, 4);
+  EXPECT_EQ(net.max_flow(s, t), 23);
+}
+
+TEST(MaxFlow, NoPathMeansZero) {
+  FlowNetwork<int> net(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(MaxFlow, SingleEdgeBottleneck) {
+  FlowNetwork<int> net(3);
+  net.add_arc(0, 1, 100);
+  net.add_arc(1, 2, 7);
+  EXPECT_EQ(net.max_flow(0, 2), 7);
+  EXPECT_EQ(net.flow_on(0), 7);
+  EXPECT_EQ(net.flow_on(1), 7);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork<int> net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(1, 3, 3);
+  net.add_arc(0, 2, 4);
+  net.add_arc(2, 3, 4);
+  EXPECT_EQ(net.max_flow(0, 3), 7);
+}
+
+TEST(MaxFlow, FlowConservationOnRandomNetwork) {
+  const auto el = graph::random_digraph<int>(40, 0.15, 61, 1, 20);
+  FlowNetwork<int> net(40);
+  std::vector<graph::Edge<int>> arcs;
+  for (const auto& e : el.edges()) {
+    net.add_arc(e.from, e.to, e.weight);
+    arcs.push_back(e);
+  }
+  const int value = net.max_flow(0, 39);
+  ASSERT_GE(value, 0);
+
+  // Conservation: net flow out of each internal vertex is zero; out of
+  // the source it equals the flow value.
+  std::vector<int> net_out(40, 0);
+  for (std::size_t k = 0; k < arcs.size(); ++k) {
+    const int f = net.flow_on(k);
+    EXPECT_GE(f, 0);
+    EXPECT_LE(f, arcs[k].weight) << "capacity violated";
+    net_out[static_cast<std::size_t>(arcs[k].from)] += f;
+    net_out[static_cast<std::size_t>(arcs[k].to)] -= f;
+  }
+  EXPECT_EQ(net_out[0], value);
+  EXPECT_EQ(net_out[39], -value);
+  for (std::size_t v = 1; v < 39; ++v) EXPECT_EQ(net_out[v], 0) << "vertex " << v;
+}
+
+TEST(MaxFlow, EqualsMatchingCardinality) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = graph::random_bipartite(32, 32, 0.15, seed);
+    const matching::BipartiteCsr rep(g);
+    matching::Matching m = matching::Matching::empty(g.left, g.right);
+    matching::max_bipartite_matching(rep, m);
+    EXPECT_EQ(bipartite_max_flow(g), m.size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cachegraph::flow
+
+namespace cachegraph::apsp {
+namespace {
+
+TEST(Johnson, MatchesFwOnNonNegativeGraphs) {
+  const auto el = graph::random_digraph<int>(48, 0.15, 71);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto expected = testutil::reference_apsp(m.weights(), 48);
+  const auto got = johnson(el);
+  EXPECT_FALSE(got.negative_cycle);
+  EXPECT_EQ(got.dist, expected);
+}
+
+TEST(Johnson, HandlesNegativeEdges) {
+  graph::EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 3);
+  el.add_edge(1, 2, -2);
+  el.add_edge(2, 3, 4);
+  el.add_edge(0, 3, 10);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto expected = testutil::reference_apsp(m.weights(), 4);
+  const auto got = johnson(el);
+  EXPECT_FALSE(got.negative_cycle);
+  EXPECT_EQ(got.dist, expected);
+  EXPECT_EQ(got.dist[0 * 4 + 3], 5);  // 0->1->2->3 = 3-2+4
+}
+
+TEST(Johnson, ReportsNegativeCycle) {
+  graph::EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, -4);
+  el.add_edge(2, 0, 2);
+  const auto got = johnson(el);
+  EXPECT_TRUE(got.negative_cycle);
+  EXPECT_TRUE(got.dist.empty());
+}
+
+TEST(Johnson, NegativeEdgesWithUnreachablePairs) {
+  graph::EdgeListGraph<int> el(5);
+  el.add_edge(0, 1, -1);
+  el.add_edge(1, 2, -1);
+  // 3, 4 disconnected
+  const auto got = johnson(el);
+  EXPECT_FALSE(got.negative_cycle);
+  EXPECT_EQ(got.dist[0 * 5 + 2], -2);
+  EXPECT_TRUE(is_inf(got.dist[0 * 5 + 3]));
+  EXPECT_TRUE(is_inf(got.dist[3 * 5 + 0]));
+  EXPECT_EQ(got.dist[3 * 5 + 3], 0);
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp

@@ -1,0 +1,284 @@
+// Correctness of every Floyd-Warshall variant against an independent
+// oracle, plus kernel aliasing semantics, padding behaviour, path
+// reconstruction, and negative-weight handling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cachegraph/apsp/run.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::apsp {
+namespace {
+
+using testutil::random_weight_matrix;
+using testutil::reference_apsp;
+
+const std::vector<FwVariant> kAllVariants = {
+    FwVariant::kBaseline,         FwVariant::kTiledRowMajor, FwVariant::kTiledBdl,
+    FwVariant::kTiledMorton,      FwVariant::kRecursiveRowMajor,
+    FwVariant::kRecursiveBdl,     FwVariant::kRecursiveMorton,
+    FwVariant::kParallelBdl,
+};
+
+// ------------------------------------------------- hand-checked example
+
+TEST(FwBaseline, HandCheckedFiveVertexGraph) {
+  //        0 --3--> 1 --4--> 2
+  //        |                 ^
+  //        +------12---------+     3 isolated-ish, 4 unreachable
+  const std::size_t n = 5;
+  const int INF = inf<int>();
+  std::vector<int> w = {
+      0,   3,   12,  INF, INF,  //
+      INF, 0,   4,   INF, INF,  //
+      INF, INF, 0,   1,   INF,  //
+      INF, INF, INF, 0,   INF,  //
+      INF, 2,   INF, INF, 0,
+  };
+  auto d = w;
+  fw_iterative(d.data(), n);
+  EXPECT_EQ(d[0 * n + 1], 3);
+  EXPECT_EQ(d[0 * n + 2], 7);   // 0->1->2 beats direct 12
+  EXPECT_EQ(d[0 * n + 3], 8);   // 0->1->2->3
+  EXPECT_EQ(d[4 * n + 3], 7);   // 4->1->2->3
+  EXPECT_TRUE(is_inf(d[0 * n + 4]));
+  EXPECT_TRUE(is_inf(d[3 * n + 0]));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(d[i * n + i], 0);
+}
+
+// ------------------------------------------ variants vs oracle (TEST_P)
+
+struct VariantCase {
+  FwVariant variant;
+  std::size_t n;
+  std::size_t block;
+  double density;
+};
+
+class FwVariantsAgree : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(FwVariantsAgree, MatchesReferenceInt) {
+  const auto& p = GetParam();
+  const auto w = random_weight_matrix<int>(p.n, p.density, /*seed=*/p.n * 1000 + p.block);
+  const auto expected = reference_apsp(w, p.n);
+  const auto got = run_fw(p.variant, w, p.n, p.block);
+  EXPECT_EQ(got, expected) << variant_name(p.variant) << " n=" << p.n << " B=" << p.block;
+}
+
+TEST_P(FwVariantsAgree, MatchesReferenceDouble) {
+  const auto& p = GetParam();
+  const auto w = random_weight_matrix<double>(p.n, p.density, /*seed=*/p.n * 77 + p.block);
+  const auto expected = reference_apsp(w, p.n);
+  const auto got = run_fw(p.variant, w, p.n, p.block);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Different association orders of exact small integers stored in
+    // doubles still compare equal; weights are integral-valued.
+    EXPECT_EQ(got[i], expected[i]) << variant_name(p.variant);
+  }
+}
+
+std::vector<VariantCase> variant_cases() {
+  std::vector<VariantCase> cases;
+  for (const FwVariant v : kAllVariants) {
+    for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 16u, 23u, 32u, 45u}) {
+      for (const std::size_t b : {2u, 4u, 8u}) {
+        // b > n is fine: padding handles it (see BlockLargerThanProblem).
+        for (const double density : {0.15, 0.6}) {
+          cases.push_back({v, n, b, density});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FwVariantsAgree, ::testing::ValuesIn(variant_cases()),
+                         [](const ::testing::TestParamInfo<VariantCase>& param_info) {
+                           const auto& p = param_info.param;
+                           std::string name = variant_name(p.variant);
+                           for (char& c : name) {
+                             if (c == '/' || c == '-' || c == '(' || c == ')' || c == ' ') c = '_';
+                           }
+                           return name + "_n" + std::to_string(p.n) + "_b" +
+                                  std::to_string(p.block) + "_d" +
+                                  std::to_string(static_cast<int>(p.density * 100));
+                         });
+
+// --------------------------------------------------- specific behaviours
+
+TEST(FwVariants, LargerRandomGraphAllVariantsAgree) {
+  const std::size_t n = 96;
+  const auto w = random_weight_matrix<int>(n, 0.3, 4242);
+  const auto expected = reference_apsp(w, n);
+  for (const FwVariant v : kAllVariants) {
+    EXPECT_EQ(run_fw(v, w, n, 16), expected) << variant_name(v);
+  }
+}
+
+TEST(FwVariants, DisconnectedGraphStaysInf) {
+  // Two components; cross-component distances must remain inf after
+  // every variant (padding must not leak finite values).
+  const std::size_t n = 12;
+  std::vector<int> w(n * n, inf<int>());
+  for (std::size_t i = 0; i < n; ++i) w[i * n + i] = 0;
+  for (std::size_t i = 0; i + 1 < 6; ++i) w[i * n + i + 1] = 1;        // component A: 0..5
+  for (std::size_t i = 6; i + 1 < 12; ++i) w[i * n + i + 1] = 1;       // component B: 6..11
+  for (const FwVariant v : kAllVariants) {
+    const auto d = run_fw(v, w, n, 4);
+    EXPECT_TRUE(is_inf(d[0 * n + 7])) << variant_name(v);
+    EXPECT_TRUE(is_inf(d[11 * n + 2])) << variant_name(v);
+    EXPECT_EQ(d[0 * n + 5], 5) << variant_name(v);
+    EXPECT_EQ(d[6 * n + 11], 5) << variant_name(v);
+  }
+}
+
+TEST(FwVariants, NegativeEdgesWithoutNegativeCycles) {
+  const std::size_t n = 8;
+  std::vector<int> w(n * n, inf<int>());
+  for (std::size_t i = 0; i < n; ++i) w[i * n + i] = 0;
+  // A DAG with negative edges can't have a negative cycle.
+  Rng rng(31);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.chance(0.5)) w[i * n + j] = static_cast<int>(rng.uniform_int(-5, 10));
+    }
+  }
+  const auto expected = reference_apsp(w, n);
+  for (const FwVariant v : kAllVariants) {
+    EXPECT_EQ(run_fw(v, w, n, 4), expected) << variant_name(v);
+  }
+  EXPECT_FALSE(has_negative_cycle(expected.data(), n));
+}
+
+TEST(FwVariants, NegativeCycleIsDetected) {
+  const std::size_t n = 4;
+  std::vector<int> w(n * n, inf<int>());
+  for (std::size_t i = 0; i < n; ++i) w[i * n + i] = 0;
+  w[0 * n + 1] = 1;
+  w[1 * n + 2] = -3;
+  w[2 * n + 0] = 1;  // cycle 0->1->2->0 weighs -1
+  auto d = w;
+  fw_iterative(d.data(), n);
+  EXPECT_TRUE(has_negative_cycle(d.data(), n));
+}
+
+TEST(FwVariants, BlockLargerThanProblemStillWorks) {
+  const std::size_t n = 5;
+  const auto w = random_weight_matrix<int>(n, 0.5, 99);
+  const auto expected = reference_apsp(w, n);
+  // B=8 > n=5: everything is padding-handled inside one tile.
+  for (const FwVariant v : kAllVariants) {
+    EXPECT_EQ(run_fw(v, w, n, 8), expected) << variant_name(v);
+  }
+}
+
+TEST(FwVariants, IdempotentOnCompletedMatrix) {
+  // Running FW on an already-complete distance matrix changes nothing
+  // (shortest paths are a fixed point).
+  const std::size_t n = 16;
+  const auto w = random_weight_matrix<int>(n, 0.4, 123);
+  auto d = reference_apsp(w, n);
+  const auto again = run_fw(FwVariant::kRecursiveMorton, d, n, 4);
+  EXPECT_EQ(again, d);
+}
+
+// ----------------------------------------------------- kernel aliasing
+
+TEST(FwiKernel, ThreeDistinctMatricesMatchesTripleLoop) {
+  const std::size_t n = 8;
+  auto a = random_weight_matrix<int>(n, 0.5, 1);
+  const auto b = random_weight_matrix<int>(n, 0.5, 2);
+  const auto c = random_weight_matrix<int>(n, 0.5, 3);
+  auto expected = a;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        expected[i * n + j] =
+            relax_min(expected[i * n + j], b[i * n + k], c[k * n + j]);
+      }
+    }
+  }
+  memsim::NullMem mem;
+  fwi_kernel(a.data(), n, b.data(), n, c.data(), n, n, mem);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(FwiKernel, FullAliasingEqualsIterativeFw) {
+  const std::size_t n = 12;
+  const auto w = random_weight_matrix<int>(n, 0.4, 5);
+  auto a = w;
+  memsim::NullMem mem;
+  fwi_kernel(a.data(), n, a.data(), n, a.data(), n, n, mem);
+  EXPECT_EQ(a, reference_apsp(w, n));
+}
+
+TEST(FwiKernel, StridedTileViewUpdatesOnlyTheTile) {
+  // Run the kernel on the top-left 2x2 tile of a 4x4 matrix; the rest
+  // must be untouched.
+  const std::size_t n = 4;
+  std::vector<int> a = {
+      0, 9, 5, 5,  //
+      1, 0, 5, 5,  //
+      5, 5, 0, 5,  //
+      5, 5, 5, 0,
+  };
+  const auto before = a;
+  memsim::NullMem mem;
+  fwi_kernel(a.data(), n, a.data(), n, a.data(), n, 2, mem);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i < 2 && j < 2) continue;
+      EXPECT_EQ(a[i * n + j], before[i * n + j]);
+    }
+  }
+  EXPECT_EQ(a[0 * n + 1], 9);  // no shorter path inside the tile
+  EXPECT_EQ(a[1 * n + 0], 1);
+}
+
+// ------------------------------------------------- path reconstruction
+
+TEST(FwPaths, NextHopMatrixReconstructsOptimalPaths) {
+  const std::size_t n = 24;
+  const auto w = random_weight_matrix<int>(n, 0.25, 7);
+  auto d = w;
+  std::vector<vertex_t> next(n * n);
+  fw_iterative_with_paths(d.data(), next.data(), n);
+  EXPECT_EQ(d, reference_apsp(w, n));
+
+  for (vertex_t i = 0; i < static_cast<vertex_t>(n); ++i) {
+    for (vertex_t j = 0; j < static_cast<vertex_t>(n); ++j) {
+      const auto ui = static_cast<std::size_t>(i), uj = static_cast<std::size_t>(j);
+      const auto path = extract_path(next.data(), n, i, j);
+      if (is_inf(d[ui * n + uj])) {
+        EXPECT_TRUE(path.empty());
+        continue;
+      }
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), i);
+      EXPECT_EQ(path.back(), j);
+      // Sum of edge weights along the path equals the distance.
+      int total = 0;
+      for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+        const auto u = static_cast<std::size_t>(path[s]);
+        const auto v = static_cast<std::size_t>(path[s + 1]);
+        ASSERT_FALSE(is_inf(w[u * n + v])) << "path uses a non-edge";
+        total += w[u * n + v];
+      }
+      EXPECT_EQ(total, d[ui * n + uj]);
+    }
+  }
+}
+
+TEST(FwPaths, TrivialSelfPath) {
+  std::vector<vertex_t> next = {kNoVertex};
+  const auto p = extract_path(next.data(), 1, 0, 0);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0);
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp

@@ -1,0 +1,169 @@
+// Simulated-cache properties of the FW variants (Theorems 3.2/3.5 and
+// the paper's simulation tables in miniature): the optimized variants
+// must move asymptotically less data than the baseline once the matrix
+// exceeds the cache.
+#include <gtest/gtest.h>
+
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/memsim/machine_configs.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::apsp {
+namespace {
+
+using memsim::CacheConfig;
+using memsim::CacheHierarchy;
+using memsim::MachineConfig;
+using memsim::SimMem;
+using memsim::SimStats;
+
+/// Small hierarchy so that modest N already exceeds L2 and simulation
+/// stays fast: 1 KB L1 / 8 KB L2.
+MachineConfig tiny_machine() {
+  MachineConfig m;
+  m.name = "tiny";
+  m.l1 = CacheConfig{1024, 32, 4};
+  m.l2 = CacheConfig{8192, 64, 8};
+  m.tlb_entries = 8;
+  return m;
+}
+
+template <Weight W>
+SimStats simulate(FwVariant v, std::size_t n, std::size_t block, const MachineConfig& machine,
+                  std::uint64_t seed = 11) {
+  const auto w = testutil::random_weight_matrix<W>(n, 0.3, seed);
+  CacheHierarchy h(machine);
+  SimMem mem(h);
+  run_fw(v, w, n, block, mem);
+  return h.stats();
+}
+
+TEST(FwTraffic, OptimizedVariantsReduceL2MissesVsBaseline) {
+  // N=64 ints = 16 KB matrix = 2x the tiny L2. Block 8 -> 3 tiles =
+  // 768 B fit in L1.
+  const std::size_t n = 64, b = 8;
+  const auto base = simulate<int>(FwVariant::kBaseline, n, b, tiny_machine());
+  const auto tiled = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  const auto rec = simulate<int>(FwVariant::kRecursiveMorton, n, b, tiny_machine());
+
+  EXPECT_LT(tiled.l2.misses, base.l2.misses / 2) << "tiled should at least halve L2 misses";
+  EXPECT_LT(rec.l2.misses, base.l2.misses / 2) << "recursive should at least halve L2 misses";
+  EXPECT_LT(tiled.memory_traffic_lines(), base.memory_traffic_lines());
+  EXPECT_LT(rec.memory_traffic_lines(), base.memory_traffic_lines());
+}
+
+TEST(FwTraffic, OptimizedVariantsReduceL1Misses) {
+  const std::size_t n = 64, b = 8;
+  const auto base = simulate<int>(FwVariant::kBaseline, n, b, tiny_machine());
+  const auto tiled = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  const auto rec = simulate<int>(FwVariant::kRecursiveMorton, n, b, tiny_machine());
+  EXPECT_LT(tiled.l1.misses, base.l1.misses);
+  EXPECT_LT(rec.l1.misses, base.l1.misses);
+}
+
+TEST(FwTraffic, TrafficScalesInverselyWithBlockSize) {
+  // Theorem 3.5: traffic ~ N^3 / B while 3 B^2 fits the cache. Going
+  // from B=4 to B=8 should cut memory traffic roughly in half
+  // (tolerance for boundary effects).
+  const std::size_t n = 64;
+  const auto b4 = simulate<int>(FwVariant::kTiledBdl, n, 4, tiny_machine());
+  const auto b8 = simulate<int>(FwVariant::kTiledBdl, n, 8, tiny_machine());
+  const double ratio = static_cast<double>(b4.memory_traffic_lines()) /
+                       static_cast<double>(b8.memory_traffic_lines());
+  EXPECT_GT(ratio, 1.5) << "doubling B should nearly halve traffic";
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(FwTraffic, RecursiveIsCacheOblivious) {
+  // The same recursive executable (fixed base block) must adapt to
+  // different cache sizes: quadrupling L2 should cut its L2 misses
+  // substantially *without retuning B* — and by at least as much,
+  // proportionally, as it helps the baseline.
+  const std::size_t n = 64, b = 4;
+  MachineConfig small = tiny_machine();
+  MachineConfig big = tiny_machine();
+  big.l2.size_bytes *= 4;
+
+  const auto rec_small = simulate<int>(FwVariant::kRecursiveMorton, n, b, small);
+  const auto rec_big = simulate<int>(FwVariant::kRecursiveMorton, n, b, big);
+  EXPECT_LT(rec_big.l2.misses, rec_small.l2.misses / 2);
+}
+
+TEST(FwTraffic, BdlBeatsRowMajorTilesOnL2) {
+  // Table 2's effect: identical tiled compute, different layout. The
+  // strided row-major tiles pollute L2 lines; BDL tiles are contiguous.
+  const std::size_t n = 128, b = 8;
+  const auto rm = simulate<int>(FwVariant::kTiledRowMajor, n, b, tiny_machine());
+  const auto bdl = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  EXPECT_LT(bdl.l2.misses, rm.l2.misses);
+}
+
+TEST(FwTraffic, BdlReducesTlbMissesVsRowMajorTiles) {
+  // The BDL's second advantage (Section 3.1.2.2): a tile touches B*B
+  // contiguous bytes = few pages, instead of B separate rows = B pages.
+  // Scaled-down geometry: 512 B pages and a 4-entry TLB make one row of
+  // the 128x128 int matrix exactly one page, so a strided 8-row tile
+  // needs 8 TLB entries while a contiguous BDL tile (256 B) needs one.
+  MachineConfig m = tiny_machine();
+  m.page_bytes = 512;
+  m.tlb_entries = 4;
+  const std::size_t n = 128, b = 8;
+  const auto rm = simulate<int>(FwVariant::kTiledRowMajor, n, b, m);
+  const auto bdl = simulate<int>(FwVariant::kTiledBdl, n, b, m);
+  EXPECT_LT(bdl.tlb.misses, rm.tlb.misses / 4);
+}
+
+TEST(FwTraffic, MortonAndBdlAreClose) {
+  // Tables 4/5: the two contiguous-tile layouts should be within ~15%
+  // of each other (most reuse happens inside the final block, which is
+  // contiguous in both).
+  const std::size_t n = 64, b = 8;
+  const auto bdl = simulate<int>(FwVariant::kRecursiveBdl, n, b, tiny_machine());
+  const auto mor = simulate<int>(FwVariant::kRecursiveMorton, n, b, tiny_machine());
+  const double lo = static_cast<double>(mor.l2.misses) * 0.5;
+  const double hi = static_cast<double>(mor.l2.misses) * 2.0;
+  EXPECT_GT(static_cast<double>(bdl.l2.misses), lo);
+  EXPECT_LT(static_cast<double>(bdl.l2.misses), hi);
+}
+
+TEST(FwTraffic, AllVariantsTouchSameLogicalWorkload) {
+  // Same number of kernel relaxations => L1 *accesses* of tiled/BDL and
+  // recursive/Morton agree exactly (identical instrumented kernels over
+  // identical padded sizes).
+  const std::size_t n = 64, b = 8;
+  const auto tiled = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  const auto rec = simulate<int>(FwVariant::kRecursiveBdl, n, b, tiny_machine());
+  EXPECT_EQ(tiled.l1.accesses, rec.l1.accesses);
+}
+
+TEST(FwTraffic, TracedRunsProduceSameDistancesAsUntraced) {
+  // Tracing must be observation-only: for every variant the simulated
+  // run returns bit-identical distances to the plain run.
+  const std::size_t n = 48, b = 8;
+  const auto w = testutil::random_weight_matrix<int>(n, 0.3, 21);
+  for (const FwVariant v :
+       {FwVariant::kBaseline, FwVariant::kTiledRowMajor, FwVariant::kTiledBdl,
+        FwVariant::kTiledMorton, FwVariant::kRecursiveRowMajor, FwVariant::kRecursiveBdl,
+        FwVariant::kRecursiveMorton}) {
+    const auto plain = run_fw(v, w, n, b);
+    CacheHierarchy h(tiny_machine());
+    SimMem mem(h);
+    const auto traced = run_fw(v, w, n, b, mem);
+    EXPECT_EQ(traced, plain) << variant_name(v);
+    EXPECT_GT(h.stats().l1.accesses, 0u) << variant_name(v);
+  }
+}
+
+TEST(FwTraffic, DeterministicAcrossRuns) {
+  const std::size_t n = 32, b = 4;
+  const auto s1 = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  const auto s2 = simulate<int>(FwVariant::kTiledBdl, n, b, tiny_machine());
+  EXPECT_EQ(s1.l1.accesses, s2.l1.accesses);
+  EXPECT_EQ(s1.l1.misses, s2.l1.misses);
+  EXPECT_EQ(s1.l2.misses, s2.l2.misses);
+  EXPECT_EQ(s1.mem_reads, s2.mem_reads);
+  EXPECT_EQ(s1.mem_writebacks, s2.mem_writebacks);
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp

@@ -1,0 +1,130 @@
+// Tests for the workload generators: determinism, density accuracy,
+// structural guarantees of the special-case bipartite inputs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/mst/kruskal.hpp"
+
+namespace cachegraph::graph {
+namespace {
+
+TEST(RandomDigraph, DeterministicForSeed) {
+  const auto a = random_digraph<int>(100, 0.2, 42);
+  const auto b = random_digraph<int>(100, 0.2, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto c = random_digraph<int>(100, 0.2, 43);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(RandomDigraph, DensityIsAccurate) {
+  for (const double d : {0.05, 0.3, 0.7}) {
+    const auto g = random_digraph<int>(300, d, 7);
+    EXPECT_NEAR(g.density(), d, 0.02) << "density " << d;
+  }
+}
+
+TEST(RandomDigraph, NoSelfLoopsNoDuplicates) {
+  const auto g = random_digraph<int>(80, 0.4, 5);
+  std::set<std::pair<vertex_t, vertex_t>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second) << "duplicate edge";
+  }
+}
+
+TEST(RandomDigraph, WeightsInRange) {
+  const auto g = random_digraph<int>(60, 0.3, 11, 5, 9);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 5);
+    EXPECT_LE(e.weight, 9);
+  }
+}
+
+TEST(RandomDigraph, EdgeCases) {
+  EXPECT_EQ(random_digraph<int>(0, 0.5, 1).num_edges(), 0);
+  EXPECT_EQ(random_digraph<int>(1, 0.5, 1).num_edges(), 0);
+  EXPECT_EQ(random_digraph<int>(10, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(random_digraph<int>(10, 1.0, 1).num_edges(), 90);
+}
+
+TEST(RandomUndirected, ArcsComeInSymmetricPairs) {
+  const auto g = random_undirected<int>(50, 0.2, 9);
+  std::multiset<std::tuple<vertex_t, vertex_t, int>> arcs;
+  for (const auto& e : g.edges()) arcs.insert({e.from, e.to, e.weight});
+  for (const auto& e : g.edges()) {
+    EXPECT_TRUE(arcs.contains({e.to, e.from, e.weight}))
+        << "missing reverse of " << e.from << "->" << e.to;
+  }
+}
+
+TEST(RandomUndirected, EnsureConnectedSpansAllVertices) {
+  // Density 0 + connectivity: exactly the Hamiltonian path (2(n-1) arcs),
+  // and Kruskal spans all N vertices.
+  const auto g = random_undirected<int>(64, 0.0, 17, 1, 100, true);
+  EXPECT_EQ(g.num_edges(), 2 * 63);
+  const auto mst = mst::kruskal(g);
+  EXPECT_EQ(mst.tree_edges.size(), 63u);
+}
+
+TEST(RandomUndirected, WithoutConnectivityRespectsDensityOnly) {
+  const auto g = random_undirected<int>(200, 0.1, 23, 1, 100, false);
+  // Arc count ~= 2 * density * n(n-1)/2.
+  const double expected = 0.1 * 200.0 * 199.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(RandomUndirected, TriangularIndexInversionIsExact) {
+  // Density 1 without connectivity must produce every pair exactly once.
+  const auto g = random_undirected<int>(40, 1.0, 3, 1, 9, false);
+  EXPECT_EQ(g.num_edges(), 40 * 39);
+  std::set<std::pair<vertex_t, vertex_t>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second);
+  }
+}
+
+TEST(RandomBipartite, DeterministicAndInRange) {
+  const auto a = random_bipartite(64, 64, 0.1, 5);
+  const auto b = random_bipartite(64, 64, 0.1, 5);
+  EXPECT_EQ(a.edges, b.edges);
+  for (const auto& [l, r] : a.edges) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 64);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 64);
+  }
+  EXPECT_NEAR(a.density(), 0.1, 0.03);
+}
+
+TEST(BestCaseBipartite, ContainsChunkLocalPerfectMatching) {
+  const auto g = best_case_bipartite(64, 4, 0.2, 7);
+  const vertex_t chunk = 64 / 4;
+  // Every i->i edge exists, and every edge stays inside its chunk pair.
+  std::set<std::pair<vertex_t, vertex_t>> edges(g.edges.begin(), g.edges.end());
+  for (vertex_t i = 0; i < 64; ++i) EXPECT_TRUE(edges.contains({i, i}));
+  for (const auto& [l, r] : g.edges) {
+    EXPECT_EQ(l / chunk, r / chunk) << "edge escapes its chunk";
+  }
+}
+
+TEST(WorstCaseBipartite, NoEdgeIsChunkInternal) {
+  const auto g = worst_case_bipartite(64, 4, 0.3, 9);
+  const vertex_t chunk = 64 / 4;
+  EXPECT_FALSE(g.edges.empty());
+  for (const auto& [l, r] : g.edges) {
+    EXPECT_NE(l / chunk, r / chunk) << "edge must cross chunks";
+    EXPECT_EQ((l / chunk + 1) % 4, r / chunk);
+  }
+}
+
+TEST(Generators, RejectBadParameters) {
+  EXPECT_THROW(random_digraph<int>(10, -0.1, 1), PreconditionError);
+  EXPECT_THROW(random_digraph<int>(10, 1.1, 1), PreconditionError);
+  EXPECT_THROW(best_case_bipartite(10, 3, 0.1, 1), PreconditionError);  // 10 % 3 != 0
+  EXPECT_THROW(worst_case_bipartite(10, 1, 0.1, 1), PreconditionError); // needs >= 2 parts
+}
+
+}  // namespace
+}  // namespace cachegraph::graph

@@ -1,0 +1,275 @@
+// Unit tests for graph representations, conversions, and DIMACS I/O.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/graph/io.hpp"
+
+namespace cachegraph::graph {
+namespace {
+
+static_assert(GraphRep<AdjacencyArray<int>>);
+static_assert(GraphRep<AdjacencyList<int>>);
+static_assert(GraphRep<AdjacencyMatrix<int>>);
+static_assert(GraphRep<AdjacencyArray<double>>);
+
+EdgeListGraph<int> small_graph() {
+  EdgeListGraph<int> g(5);
+  g.add_edge(0, 1, 10);
+  g.add_edge(0, 2, 20);
+  g.add_edge(1, 2, 30);
+  g.add_edge(3, 0, 40);
+  g.add_edge(3, 4, 50);
+  g.add_edge(4, 3, 60);
+  return g;
+}
+
+/// Collect (to, weight) pairs via the traced iterator.
+template <typename G>
+std::multiset<std::pair<vertex_t, int>> neighbors_of(const G& g, vertex_t v) {
+  std::multiset<std::pair<vertex_t, int>> out;
+  memsim::NullMem mem;
+  g.for_neighbors(v, mem, [&](const Neighbor<int>& nb) { out.insert({nb.to, nb.weight}); });
+  return out;
+}
+
+// ------------------------------------------------------------- EdgeList
+
+TEST(EdgeList, BasicAccounting) {
+  const auto g = small_graph();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_NEAR(g.density(), 6.0 / 20.0, 1e-12);
+}
+
+TEST(EdgeList, RejectsOutOfRangeEndpoints) {
+  EdgeListGraph<int> g(3);
+  EXPECT_THROW(g.add_edge(0, 3, 1), PreconditionError);
+  EXPECT_THROW(g.add_edge(-1, 0, 1), PreconditionError);
+}
+
+// ----------------------------------------------- representations agree
+
+template <typename Rep>
+class RepresentationTest : public ::testing::Test {};
+
+using Reps = ::testing::Types<AdjacencyArray<int>, AdjacencyList<int>, AdjacencyMatrix<int>>;
+TYPED_TEST_SUITE(RepresentationTest, Reps);
+
+TYPED_TEST(RepresentationTest, NeighborsMatchEdgeList) {
+  const auto el = small_graph();
+  const TypeParam rep(el);
+  EXPECT_EQ(rep.num_vertices(), el.num_vertices());
+
+  std::map<vertex_t, std::multiset<std::pair<vertex_t, int>>> expected;
+  for (const auto& e : el.edges()) expected[e.from].insert({e.to, e.weight});
+  for (vertex_t v = 0; v < el.num_vertices(); ++v) {
+    EXPECT_EQ(neighbors_of(rep, v), expected[v]) << "vertex " << v;
+  }
+}
+
+TYPED_TEST(RepresentationTest, EmptyGraph) {
+  const EdgeListGraph<int> el(4);
+  const TypeParam rep(el);
+  EXPECT_EQ(rep.num_vertices(), 4);
+  EXPECT_EQ(rep.num_edges(), 0);
+  for (vertex_t v = 0; v < 4; ++v) EXPECT_TRUE(neighbors_of(rep, v).empty());
+}
+
+TYPED_TEST(RepresentationTest, LargeRandomGraphMatches) {
+  const auto el = random_digraph<int>(200, 0.05, 99);
+  const TypeParam rep(el);
+  std::map<vertex_t, std::multiset<std::pair<vertex_t, int>>> expected;
+  for (const auto& e : el.edges()) expected[e.from].insert({e.to, e.weight});
+  for (vertex_t v = 0; v < el.num_vertices(); ++v) {
+    ASSERT_EQ(neighbors_of(rep, v), expected[v]) << "vertex " << v;
+  }
+}
+
+TYPED_TEST(RepresentationTest, FootprintIsPositiveForNonEmpty) {
+  const TypeParam rep(small_graph());
+  EXPECT_GT(rep.footprint_bytes(), 0u);
+}
+
+// ----------------------------------------------------- array specifics
+
+TEST(AdjacencyArrayTest, EdgeCountAndDegrees) {
+  const AdjacencyArray<int> a(small_graph());
+  EXPECT_EQ(a.num_edges(), 6);
+  EXPECT_EQ(a.out_degree(0), 2);
+  EXPECT_EQ(a.out_degree(1), 1);
+  EXPECT_EQ(a.out_degree(2), 0);
+  EXPECT_EQ(a.out_degree(3), 2);
+  EXPECT_EQ(a.out_degree(4), 1);
+}
+
+TEST(AdjacencyArrayTest, NeighborsSpanIsContiguousAndOrdered) {
+  const AdjacencyArray<int> a(small_graph());
+  const auto nb = a.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  // Construction preserves edge insertion order per vertex.
+  EXPECT_EQ(nb[0], (Neighbor<int>{1, 10}));
+  EXPECT_EQ(nb[1], (Neighbor<int>{2, 20}));
+  // Contiguity: records are adjacent in memory.
+  EXPECT_EQ(&nb[1], &nb[0] + 1);
+}
+
+TEST(AdjacencyArrayTest, FootprintIsLinearInNAndE) {
+  const auto g = random_digraph<int>(500, 0.02, 3);
+  const AdjacencyArray<int> a(g);
+  const std::size_t expected = 501 * sizeof(index_t) +
+                               static_cast<std::size_t>(g.num_edges()) * sizeof(Neighbor<int>);
+  EXPECT_EQ(a.footprint_bytes(), expected);
+}
+
+// ------------------------------------------------------ list specifics
+
+TEST(AdjacencyListTest, WalkPreservesEdgeOrder) {
+  const AdjacencyList<int> l(small_graph());
+  std::vector<std::pair<vertex_t, int>> walk;
+  for (const auto* n = l.head(0); n != nullptr; n = n->next) {
+    walk.emplace_back(n->to, n->weight);
+  }
+  ASSERT_EQ(walk.size(), 2u);
+  EXPECT_EQ(walk[0], (std::pair<vertex_t, int>{1, 10}));
+  EXPECT_EQ(walk[1], (std::pair<vertex_t, int>{2, 20}));
+}
+
+TEST(AdjacencyListTest, ShuffledPlacementScattersNodes) {
+  const auto g = random_digraph<int>(100, 0.2, 7);
+  const AdjacencyList<int> scattered(g, /*placement_seed=*/123);
+  const AdjacencyList<int> sequential(g, AdjacencyList<int>::kSequentialPlacement);
+
+  // Sequential placement: following a list the node addresses are not
+  // generally adjacent either (lists interleave), but *scattered*
+  // placement must produce strictly more long jumps between consecutive
+  // nodes of the same list.
+  auto long_jumps = [](const AdjacencyList<int>& l) {
+    std::size_t jumps = 0;
+    for (vertex_t v = 0; v < l.num_vertices(); ++v) {
+      for (const auto* n = l.head(v); n != nullptr && n->next != nullptr; n = n->next) {
+        const auto delta = reinterpret_cast<const char*>(n->next) -
+                           reinterpret_cast<const char*>(n);
+        if (delta < 0 || delta > 256) ++jumps;
+      }
+    }
+    return jumps;
+  };
+  EXPECT_GT(long_jumps(scattered), long_jumps(sequential));
+}
+
+TEST(AdjacencyListTest, OutDegreeCountsNodes) {
+  const AdjacencyList<int> l(small_graph());
+  EXPECT_EQ(l.out_degree(0), 2);
+  EXPECT_EQ(l.out_degree(2), 0);
+  EXPECT_EQ(l.num_edges(), 6);
+}
+
+// ---------------------------------------------------- matrix specifics
+
+TEST(AdjacencyMatrixTest, WeightsAndDefaults) {
+  const AdjacencyMatrix<int> m(small_graph());
+  EXPECT_EQ(m.weight(0, 1), 10);
+  EXPECT_TRUE(is_inf(m.weight(1, 0)));
+  EXPECT_EQ(m.weight(2, 2), 0);
+  EXPECT_EQ(m.num_edges(), 6);
+}
+
+TEST(AdjacencyMatrixTest, ParallelEdgesKeepLightest) {
+  EdgeListGraph<int> g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 4);
+  g.add_edge(0, 1, 7);
+  const AdjacencyMatrix<int> m(g);
+  EXPECT_EQ(m.weight(0, 1), 4);
+  EXPECT_EQ(m.num_edges(), 1);  // dense representation dedupes
+}
+
+TEST(AdjacencyMatrixTest, WeightsVectorFeedsFw) {
+  const AdjacencyMatrix<int> m(small_graph());
+  EXPECT_EQ(m.weights().size(), 25u);
+  EXPECT_EQ(m.weights()[0 * 5 + 1], 10);
+}
+
+// --------------------------------------------------------------- tracing
+
+TEST(TracedIteration, ArrayTouchesFewerLinesThanList) {
+  const auto g = random_digraph<int>(400, 0.05, 21);
+  const AdjacencyArray<int> arr(g);
+  const AdjacencyList<int> list(g, 42);
+
+  auto misses = [&](const auto& rep) {
+    memsim::MachineConfig mc;
+    mc.name = "t";
+    mc.l1 = memsim::CacheConfig{4096, 64, 2};
+    mc.l2 = memsim::CacheConfig{32768, 64, 8};
+    mc.tlb_entries = 0;
+    memsim::CacheHierarchy h(mc);
+    memsim::SimMem mem(h);
+    rep.map_buffers(mem);
+    long total = 0;
+    for (vertex_t v = 0; v < rep.num_vertices(); ++v) {
+      rep.for_neighbors(v, mem, [&](const Neighbor<int>& nb) { total += nb.weight; });
+    }
+    EXPECT_GT(total, 0);
+    return h.stats().l1.misses;
+  };
+  EXPECT_LT(misses(arr), misses(list) / 2)
+      << "streaming records must miss far less than pointer chasing";
+}
+
+// ------------------------------------------------------------------- io
+
+TEST(DimacsIo, RoundTrip) {
+  const auto g = random_digraph<int>(50, 0.1, 5);
+  std::stringstream ss;
+  write_dimacs(ss, g, "round trip test");
+  const auto back = read_dimacs<int>(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(DimacsIo, ReadsKnownText) {
+  std::stringstream ss("c tiny\np sp 3 2\na 1 2 5\na 3 1 7\n");
+  const auto g = read_dimacs<int>(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  ASSERT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edges()[0], (Edge<int>{0, 1, 5}));
+  EXPECT_EQ(g.edges()[1], (Edge<int>{2, 0, 7}));
+}
+
+TEST(DimacsIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("a 1 2 5\n");  // arc before header
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("p sp 3 5\na 1 2 5\n");  // wrong edge count
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("x nonsense\n");
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+}
+
+TEST(DimacsIo, DoubleWeightsSurvive) {
+  EdgeListGraph<double> g(2);
+  g.add_edge(0, 1, 2.5);
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const auto back = read_dimacs<double>(ss);
+  ASSERT_EQ(back.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(back.edges()[0].weight, 2.5);
+}
+
+}  // namespace
+}  // namespace cachegraph::graph

@@ -1,0 +1,206 @@
+// Unit tests for data layouts: bijectivity, tile contiguity, Morton
+// ordering, padding rules, and the block-size selection heuristic.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cachegraph/layout/block_size.hpp"
+#include "cachegraph/layout/layouts.hpp"
+#include "cachegraph/layout/padding.hpp"
+#include "cachegraph/memsim/machine_configs.hpp"
+
+namespace cachegraph::layout {
+namespace {
+
+template <MatrixLayout L>
+void expect_bijective(const L& l) {
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < l.n(); ++i) {
+    for (std::size_t j = 0; j < l.n(); ++j) {
+      const std::size_t off = l.offset(i, j);
+      EXPECT_LT(off, l.storage_elements());
+      EXPECT_TRUE(seen.insert(off).second) << "duplicate offset at " << i << "," << j;
+    }
+  }
+  EXPECT_EQ(seen.size(), l.n() * l.n());
+}
+
+TEST(RowMajor, OffsetsAreRowMajor) {
+  RowMajorLayout l(8, 4);
+  EXPECT_EQ(l.offset(0, 0), 0u);
+  EXPECT_EQ(l.offset(0, 7), 7u);
+  EXPECT_EQ(l.offset(1, 0), 8u);
+  EXPECT_EQ(l.offset(3, 5), 29u);
+}
+
+TEST(RowMajor, Bijective) { expect_bijective(RowMajorLayout(16, 4)); }
+
+TEST(RowMajor, TilesAreStridedWindows) {
+  RowMajorLayout l(8, 4);
+  EXPECT_EQ(l.tile_row_stride(), 8u);
+  EXPECT_EQ(l.tile_offset(0, 0), 0u);
+  EXPECT_EQ(l.tile_offset(0, 1), 4u);
+  EXPECT_EQ(l.tile_offset(1, 0), 32u);
+  // Tile origin matches elementwise offset of its top-left element.
+  EXPECT_EQ(l.tile_offset(1, 1), l.offset(4, 4));
+}
+
+TEST(RowMajor, UntiledConvenienceCtor) {
+  RowMajorLayout l(10);
+  EXPECT_EQ(l.block(), 10u);
+  EXPECT_EQ(l.num_blocks(), 1u);
+}
+
+TEST(RowMajor, RejectsNonDividingBlock) {
+  EXPECT_THROW(RowMajorLayout(10, 4), PreconditionError);
+}
+
+TEST(Bdl, TilesAreContiguous) {
+  BlockDataLayout l(8, 4);
+  EXPECT_EQ(l.tile_row_stride(), 4u);
+  // Tile (0,0) occupies [0,16), tile (0,1) [16,32), (1,0) [32,48)...
+  EXPECT_EQ(l.tile_offset(0, 0), 0u);
+  EXPECT_EQ(l.tile_offset(0, 1), 16u);
+  EXPECT_EQ(l.tile_offset(1, 0), 32u);
+  EXPECT_EQ(l.tile_offset(1, 1), 48u);
+  // Inside a tile: row-major with stride B.
+  EXPECT_EQ(l.offset(0, 0), 0u);
+  EXPECT_EQ(l.offset(0, 3), 3u);
+  EXPECT_EQ(l.offset(1, 0), 4u);
+  EXPECT_EQ(l.offset(4, 4), 48u);
+  EXPECT_EQ(l.offset(5, 6), 48u + 4u + 2u);
+}
+
+TEST(Bdl, Bijective) { expect_bijective(BlockDataLayout(16, 4)); }
+
+TEST(Bdl, BlockEqualsNDegeneratesToRowMajor) {
+  BlockDataLayout l(8, 8);
+  RowMajorLayout r(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(l.offset(i, j), r.offset(i, j));
+    }
+  }
+}
+
+TEST(Morton, QuadrantOrderIsNwNeSwSe) {
+  // 4x4 blocks of size 1: tile index equals the Morton code.
+  MortonLayout l(4, 1);
+  // First level: NW quadrant tiles come first, then NE, SW, SE.
+  EXPECT_EQ(l.tile_offset(0, 0), 0u);
+  EXPECT_EQ(l.tile_offset(0, 1), 1u);
+  EXPECT_EQ(l.tile_offset(1, 0), 2u);
+  EXPECT_EQ(l.tile_offset(1, 1), 3u);
+  EXPECT_EQ(l.tile_offset(0, 2), 4u);  // NE quadrant starts
+  EXPECT_EQ(l.tile_offset(2, 0), 8u);  // SW quadrant starts
+  EXPECT_EQ(l.tile_offset(2, 2), 12u); // SE quadrant starts
+  EXPECT_EQ(l.tile_offset(3, 3), 15u);
+}
+
+TEST(Morton, Bijective) { expect_bijective(MortonLayout(16, 4)); }
+
+TEST(Morton, TilesContiguousRowMajorInside) {
+  MortonLayout l(8, 4);
+  EXPECT_EQ(l.tile_row_stride(), 4u);
+  EXPECT_EQ(l.offset(0, 0), 0u);
+  EXPECT_EQ(l.offset(1, 1), 5u);
+  // Tile (0,1) is the second tile in Morton order.
+  EXPECT_EQ(l.tile_offset(0, 1), 16u);
+  EXPECT_EQ(l.offset(0, 4), 16u);
+}
+
+TEST(Morton, RequiresPow2Grid) {
+  EXPECT_THROW(MortonLayout(12, 4), PreconditionError);  // 3x3 grid
+  EXPECT_NO_THROW(MortonLayout(16, 4));
+}
+
+TEST(Morton, RecursiveQuadrantsAreContiguousRanges) {
+  // The defining property used by FWR: each quadrant of the block grid
+  // occupies one contiguous storage range.
+  MortonLayout l(8, 1);  // 8x8 grid of 1x1 tiles
+  auto range_of_quadrant = [&](std::size_t bi0, std::size_t bj0, std::size_t h) {
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (std::size_t i = bi0; i < bi0 + h; ++i) {
+      for (std::size_t j = bj0; j < bj0 + h; ++j) {
+        lo = std::min(lo, l.tile_offset(i, j));
+        hi = std::max(hi, l.tile_offset(i, j));
+      }
+    }
+    return std::pair{lo, hi};
+  };
+  for (std::size_t h : {4u, 2u}) {
+    for (std::size_t bi = 0; bi < 8; bi += h) {
+      for (std::size_t bj = 0; bj < 8; bj += h) {
+        const auto [lo, hi] = range_of_quadrant(bi, bj, h);
+        EXPECT_EQ(hi - lo + 1, h * h) << "quadrant at " << bi << "," << bj;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- padding
+
+TEST(Padding, TiledRoundsUpToMultiple) {
+  EXPECT_EQ(padded_size_tiled(100, 32), 128u);
+  EXPECT_EQ(padded_size_tiled(128, 32), 128u);
+  EXPECT_EQ(padded_size_tiled(1, 32), 32u);
+  EXPECT_EQ(padded_size_tiled(129, 32), 160u);
+}
+
+TEST(Padding, RecursiveRoundsUpToBlockTimesPow2) {
+  EXPECT_EQ(padded_size_recursive(100, 32), 128u);
+  EXPECT_EQ(padded_size_recursive(128, 32), 128u);
+  EXPECT_EQ(padded_size_recursive(129, 32), 256u);
+  EXPECT_EQ(padded_size_recursive(1000, 32), 1024u);
+  EXPECT_EQ(padded_size_recursive(20, 32), 32u);
+}
+
+TEST(Padding, RecursivePaddingMayExceedTiledPadding) {
+  // The efficiency note in Section 4.1: recursive padding can be larger.
+  EXPECT_GT(padded_size_recursive(129, 32), padded_size_tiled(129, 32));
+}
+
+// ----------------------------------------------------------- block size
+
+TEST(BlockSize, EffectiveCapacityAppliesTwoToOneRule) {
+  using memsim::CacheConfig;
+  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 4}), 32768u);   // 4-way: as-is
+  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 8}), 32768u);   // >=4-way: as-is
+  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 2}), 16384u);   // 2-way: half
+  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 1}), 8192u);    // direct: quarter
+}
+
+TEST(BlockSize, SatisfiesWorkingSetEquation) {
+  // 3*B^2*d <= effective capacity must hold for the picked B.
+  for (const auto& m : memsim::all_machines()) {
+    for (std::size_t d : {4u, 8u}) {
+      const std::size_t b = pick_block_size(m.l1, d, /*round_to_pow2=*/false);
+      EXPECT_LE(3 * b * b * d, effective_capacity(m.l1)) << m.name;
+      // And B is maximal: B+1 must violate the bound.
+      EXPECT_GT(3 * (b + 1) * (b + 1) * d, effective_capacity(m.l1)) << m.name;
+    }
+  }
+}
+
+TEST(BlockSize, Pow2RoundingRoundsDown) {
+  using memsim::CacheConfig;
+  const CacheConfig p3l1{32 * 1024, 32, 4};
+  const std::size_t exact = pick_block_size(p3l1, 4, false);
+  const std::size_t pow2 = pick_block_size(p3l1, 4, true);
+  EXPECT_LE(pow2, exact);
+  EXPECT_EQ(pow2 & (pow2 - 1), 0u);
+  // Pentium III L1 = 32 KB 4-way, int32 elements:
+  // B = floor(sqrt(32768/12)) = 52 -> pow2 32.
+  EXPECT_EQ(exact, 52u);
+  EXPECT_EQ(pow2, 32u);
+}
+
+TEST(BlockSize, NeverBelowTwo) {
+  using memsim::CacheConfig;
+  EXPECT_GE(pick_block_size(CacheConfig{64, 32, 2}, 8), 2u);
+}
+
+}  // namespace
+}  // namespace cachegraph::layout

@@ -1,0 +1,110 @@
+// Unit tests for SquareMatrix: construction, padding semantics,
+// round-trip layout conversion, tile pointers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/matrix/square_matrix.hpp"
+
+namespace cachegraph::matrix {
+namespace {
+
+using layout::BlockDataLayout;
+using layout::MortonLayout;
+using layout::RowMajorLayout;
+
+template <typename L>
+class MatrixLayoutTest : public ::testing::Test {};
+
+struct RowMajorFactory {
+  static RowMajorLayout make(std::size_t n, std::size_t b) { return RowMajorLayout(n, b); }
+};
+struct BdlFactory {
+  static BlockDataLayout make(std::size_t n, std::size_t b) { return BlockDataLayout(n, b); }
+};
+struct MortonFactory {
+  static MortonLayout make(std::size_t n, std::size_t b) { return MortonLayout(n, b); }
+};
+
+using Factories = ::testing::Types<RowMajorFactory, BdlFactory, MortonFactory>;
+TYPED_TEST_SUITE(MatrixLayoutTest, Factories);
+
+TYPED_TEST(MatrixLayoutTest, StartsAsAllInf) {
+  auto m = SquareMatrix<int, decltype(TypeParam::make(8, 4))>(TypeParam::make(8, 4), 6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_TRUE(is_inf(m.at(i, j)));
+  }
+}
+
+TYPED_TEST(MatrixLayoutTest, RoundTripPreservesLogicalRegion) {
+  const std::size_t n = 6;
+  std::vector<int> src(n * n);
+  Rng rng(77);
+  for (auto& v : src) v = static_cast<int>(rng.below(1000));
+
+  auto m = SquareMatrix<int, decltype(TypeParam::make(8, 4))>(TypeParam::make(8, 4), n);
+  m.load_row_major(src.data(), n);
+  std::vector<int> dst(n * n, -1);
+  m.store_row_major(dst.data(), n);
+  EXPECT_EQ(src, dst);
+}
+
+TYPED_TEST(MatrixLayoutTest, PaddingStaysInfAfterLoad) {
+  const std::size_t n = 5;
+  std::vector<int> src(n * n, 3);
+  auto m = SquareMatrix<int, decltype(TypeParam::make(8, 4))>(TypeParam::make(8, 4), n);
+  m.load_row_major(src.data(), n);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i < n && j < n) {
+        EXPECT_EQ(m.at(i, j), 3);
+      } else {
+        EXPECT_TRUE(is_inf(m.at(i, j)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(MatrixLayoutTest, AtAndDataAgree) {
+  auto m = SquareMatrix<int, decltype(TypeParam::make(8, 4))>(TypeParam::make(8, 4), 8);
+  m.at(3, 5) = 42;
+  EXPECT_EQ(m.data()[m.layout().offset(3, 5)], 42);
+}
+
+TEST(SquareMatrix, TilePointerMatchesTileOffset) {
+  BlockDataLayout l(8, 4);
+  SquareMatrix<int, BlockDataLayout> m(l, 8);
+  EXPECT_EQ(m.tile(1, 1), m.data() + l.tile_offset(1, 1));
+  // First element of tile (1,1) is logical element (4,4).
+  m.at(4, 4) = 7;
+  EXPECT_EQ(*m.tile(1, 1), 7);
+}
+
+TEST(SquareMatrix, RejectsLogicalLargerThanPhysical) {
+  EXPECT_THROW((SquareMatrix<int, RowMajorLayout>(RowMajorLayout(4), 5)), PreconditionError);
+}
+
+TEST(SquareMatrix, LogicallyEqualComparesAcrossLayouts) {
+  const std::size_t n = 6;
+  std::vector<int> src(n * n);
+  Rng rng(9);
+  for (auto& v : src) v = static_cast<int>(rng.below(50));
+
+  SquareMatrix<int, RowMajorLayout> a(RowMajorLayout(8, 4), n);
+  SquareMatrix<int, MortonLayout> b(MortonLayout(8, 4), n);
+  a.load_row_major(src.data(), n);
+  b.load_row_major(src.data(), n);
+  EXPECT_TRUE(logically_equal(a, b));
+  b.at(2, 2) += 1;
+  EXPECT_FALSE(logically_equal(a, b));
+}
+
+TEST(SquareMatrix, StorageBytesAccountsForPadding) {
+  SquareMatrix<double, BlockDataLayout> m(BlockDataLayout(8, 4), 5);
+  EXPECT_EQ(m.storage_elements(), 64u);
+  EXPECT_EQ(m.storage_bytes(), 64u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace cachegraph::matrix

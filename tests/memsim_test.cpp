@@ -1,0 +1,477 @@
+// Unit tests for the cache simulator: single-level behaviour (LRU,
+// associativity, write-back), victim cache, TLB, two-level hierarchy
+// accounting, machine presets, and the deterministic address map.
+#include <gtest/gtest.h>
+
+#include "cachegraph/memsim/cache_level.hpp"
+#include "cachegraph/memsim/hierarchy.hpp"
+#include "cachegraph/memsim/machine_configs.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::memsim {
+namespace {
+
+CacheConfig tiny(std::size_t size, std::size_t line, std::size_t assoc) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.line_bytes = line;
+  c.associativity = assoc;
+  return c;
+}
+
+// ------------------------------------------------------------ CacheLevel
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel l(tiny(1024, 64, 2));
+  EXPECT_FALSE(l.access(0, false));
+  l.install(0, false);
+  EXPECT_TRUE(l.access(0, false));
+  EXPECT_EQ(l.stats().accesses, 2u);
+  EXPECT_EQ(l.stats().misses, 1u);
+}
+
+TEST(CacheLevel, DirectMappedConflict) {
+  // 1024 B direct-mapped, 64 B lines -> 16 sets. Lines 0 and 16 share set 0.
+  CacheLevel l(tiny(1024, 64, 1));
+  l.install(0, false);
+  const Eviction ev = l.install(16, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 0u);
+  EXPECT_FALSE(l.contains(0));
+  EXPECT_TRUE(l.contains(16));
+}
+
+TEST(CacheLevel, TwoWayHoldsBothConflictingLines) {
+  CacheLevel l(tiny(1024, 64, 2));  // 8 sets; lines 0 and 8 share set 0
+  l.install(0, false);
+  const Eviction ev = l.install(8, false);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_TRUE(l.contains(0));
+  EXPECT_TRUE(l.contains(8));
+}
+
+TEST(CacheLevel, LruEvictsLeastRecentlyUsed) {
+  CacheLevel l(tiny(1024, 64, 2));  // 8 sets; set 0: lines 0, 8, 16, ...
+  l.install(0, false);
+  l.install(8, false);
+  l.access(0, false);  // 0 becomes MRU
+  const Eviction ev = l.install(16, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 8u);  // 8 was LRU
+  EXPECT_TRUE(l.contains(0));
+  EXPECT_TRUE(l.contains(16));
+}
+
+TEST(CacheLevel, WriteMarksDirtyAndEvictionReportsIt) {
+  CacheLevel l(tiny(1024, 64, 1));
+  l.install(0, false);
+  l.access(0, true);  // dirty the line
+  const Eviction ev = l.install(16, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(l.stats().writebacks, 1u);
+}
+
+TEST(CacheLevel, CleanEvictionIsNotAWriteback) {
+  CacheLevel l(tiny(1024, 64, 1));
+  l.install(0, false);
+  l.install(16, false);
+  EXPECT_EQ(l.stats().writebacks, 0u);
+}
+
+TEST(CacheLevel, FullyAssociativeUsesWholeCapacity) {
+  CacheLevel l(tiny(512, 64, 0));  // 8 lines, fully associative
+  for (std::uint64_t a = 0; a < 8; ++a) l.install(a * 100, false);
+  for (std::uint64_t a = 0; a < 8; ++a) EXPECT_TRUE(l.contains(a * 100));
+  const Eviction ev = l.install(9999, false);
+  EXPECT_TRUE(ev.valid);
+}
+
+TEST(CacheLevel, FlushEmptiesContentsKeepsStats) {
+  CacheLevel l(tiny(1024, 64, 2));
+  l.access(0, false);
+  l.install(0, false);
+  l.flush();
+  EXPECT_FALSE(l.contains(0));
+  EXPECT_EQ(l.stats().accesses, 1u);
+}
+
+TEST(CacheLevel, InvalidateRemovesLine) {
+  CacheLevel l(tiny(1024, 64, 2));
+  l.install(0, false);
+  l.invalidate(0);
+  EXPECT_FALSE(l.contains(0));
+}
+
+TEST(CacheLevel, MarkDirtyOnlyWhenResident) {
+  CacheLevel l(tiny(1024, 64, 2));
+  EXPECT_FALSE(l.mark_dirty(5));
+  l.install(5, false);
+  EXPECT_TRUE(l.mark_dirty(5));
+}
+
+TEST(CacheLevel, RejectsNonPow2Geometry) {
+  EXPECT_THROW(CacheLevel(tiny(1000, 64, 2)), PreconditionError);
+  const CacheConfig bad_line = tiny(1024, 48, 1);
+  EXPECT_THROW(CacheLevel{bad_line}, PreconditionError);
+}
+
+TEST(CacheLevel, MissRateComputation) {
+  CacheLevel l(tiny(1024, 64, 2));
+  l.access(0, false);
+  l.install(0, false);
+  l.access(0, false);
+  l.access(0, false);
+  l.access(64 / 64 * 99, false);  // miss
+  EXPECT_NEAR(l.stats().miss_rate(), 2.0 / 4.0, 1e-12);
+}
+
+// ------------------------------------------------------------ VictimCache
+
+TEST(VictimCache, HoldsUpToCapacity) {
+  VictimCache v(2);
+  EXPECT_FALSE(v.insert(1, false).valid);
+  EXPECT_FALSE(v.insert(2, false).valid);
+  const Eviction ev = v.insert(3, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 1u);  // LRU slot
+}
+
+TEST(VictimCache, ExtractRemovesAndReportsDirty) {
+  VictimCache v(4);
+  v.insert(7, true);
+  bool dirty = false;
+  EXPECT_TRUE(v.extract(7, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(v.extract(7, &dirty));  // gone now
+}
+
+// ------------------------------------------------------------------ Tlb
+
+TEST(Tlb, CountsPageMisses) {
+  Tlb t(2, 4096);
+  t.access(0);       // miss
+  t.access(100);     // same page: hit
+  t.access(4096);    // miss
+  t.access(8192);    // miss, evicts page 0 (LRU)
+  t.access(0);       // miss again
+  EXPECT_EQ(t.stats().accesses, 5u);
+  EXPECT_EQ(t.stats().misses, 4u);
+}
+
+// -------------------------------------------------------- CacheHierarchy
+
+MachineConfig micro_machine() {
+  MachineConfig m;
+  m.name = "micro";
+  m.l1 = CacheConfig{1024, 64, 2, true, true};
+  m.l2 = CacheConfig{4096, 64, 4, true, true};
+  m.tlb_entries = 4;
+  return m;
+}
+
+TEST(Hierarchy, FirstTouchMissesBothLevels) {
+  CacheHierarchy h(micro_machine());
+  h.read(0, 4);
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.accesses, 1u);
+  EXPECT_EQ(s.l1.misses, 1u);
+  EXPECT_EQ(s.l2.accesses, 1u);
+  EXPECT_EQ(s.l2.misses, 1u);
+  EXPECT_EQ(s.mem_reads, 1u);
+}
+
+TEST(Hierarchy, SecondTouchHitsL1) {
+  CacheHierarchy h(micro_machine());
+  h.read(0, 4);
+  h.read(8, 4);  // same 64 B line
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.accesses, 2u);
+  EXPECT_EQ(s.l1.misses, 1u);
+  EXPECT_EQ(s.l2.accesses, 1u);
+}
+
+TEST(Hierarchy, LineSpanningAccessCostsTwoLookups) {
+  CacheHierarchy h(micro_machine());
+  h.read(60, 8);  // spans lines 0 and 1
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.accesses, 2u);
+  EXPECT_EQ(s.l1.misses, 2u);
+}
+
+TEST(Hierarchy, EvictedFromL1StillHitsL2) {
+  CacheHierarchy h(micro_machine());
+  // L1: 1 KB 2-way 64 B lines -> 8 sets. Lines 0, 8*64=512 B apart map
+  // to the same set; three of them overflow L1's two ways but fit L2.
+  h.read(0, 4);
+  h.read(512, 4);
+  h.read(1024, 4);  // evicts line 0 from L1
+  h.read(0, 4);     // L1 miss, L2 hit
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.misses, 4u);
+  EXPECT_EQ(s.l2.accesses, 4u);
+  EXPECT_EQ(s.l2.misses, 3u);
+  EXPECT_EQ(s.mem_reads, 3u);
+}
+
+TEST(Hierarchy, DirtyEvictionWritesBackToL2NotMemory) {
+  CacheHierarchy h(micro_machine());
+  h.write(0, 4);
+  h.read(512, 4);
+  h.read(1024, 4);  // dirty line 0 leaves L1, lands in L2
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.mem_writebacks, 0u);
+  EXPECT_EQ(s.l1.writebacks, 1u);
+}
+
+TEST(Hierarchy, SequentialStreamMissesOncePerLine) {
+  CacheHierarchy h(micro_machine());
+  for (std::uint64_t b = 0; b < 1024; b += 4) h.read(b, 4);
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.accesses, 256u);
+  EXPECT_EQ(s.l1.misses, 16u);  // 1024 B / 64 B lines
+}
+
+TEST(Hierarchy, VictimCacheCatchesConflictMisses) {
+  MachineConfig m = micro_machine();
+  m.l1.associativity = 1;  // 16 sets direct-mapped: 0 and 1024 conflict
+  m.victim_entries = 4;
+  CacheHierarchy h(m);
+  h.read(0, 4);
+  h.read(1024, 4);  // evicts 0 into victim
+  h.read(0, 4);     // victim hit, not an L2 access
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.victim_hits, 1u);
+  EXPECT_EQ(s.l2.accesses, 2u);
+}
+
+TEST(Hierarchy, ResetStatsZeroesCounters) {
+  CacheHierarchy h(micro_machine());
+  h.read(0, 4);
+  h.reset_stats();
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.accesses, 0u);
+  EXPECT_EQ(s.mem_reads, 0u);
+}
+
+TEST(Hierarchy, FlushForcesColdMisses) {
+  CacheHierarchy h(micro_machine());
+  h.read(0, 4);
+  h.flush();
+  h.read(0, 4);
+  EXPECT_EQ(h.stats().l1.misses, 2u);
+}
+
+TEST(Hierarchy, L2LinesWiderThanL1) {
+  MachineConfig m = micro_machine();
+  m.l1.line_bytes = 32;
+  m.l2.line_bytes = 64;
+  CacheHierarchy h(m);
+  h.read(0, 4);   // miss both
+  h.read(32, 4);  // L1 miss (different 32 B line) but L2 hit (same 64 B line)
+  const SimStats s = h.stats();
+  EXPECT_EQ(s.l1.misses, 2u);
+  EXPECT_EQ(s.l2.misses, 1u);
+  EXPECT_EQ(s.mem_reads, 1u);
+}
+
+TEST(Hierarchy, MemoryTrafficLinesAddsReadsAndWritebacks) {
+  SimStats s;
+  s.mem_reads = 10;
+  s.mem_writebacks = 4;
+  EXPECT_EQ(s.memory_traffic_lines(), 14u);
+}
+
+// ------------------------------------------- analytic access patterns
+
+TEST(HierarchyAnalytic, ResidentWorkingSetHitsAfterWarmup) {
+  // Working set == half of L1: after one warm-up pass, every access hits.
+  CacheHierarchy h(micro_machine());  // 1 KB L1
+  for (std::uint64_t b = 0; b < 512; b += 4) h.read(b, 4);
+  const auto warm = h.stats();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t b = 0; b < 512; b += 4) h.read(b, 4);
+  }
+  const auto after = h.stats();
+  EXPECT_EQ(after.l1.misses, warm.l1.misses) << "no further misses once resident";
+}
+
+TEST(HierarchyAnalytic, DirectMappedThrashingMissesEveryAccess) {
+  // Two lines mapping to the same set of a direct-mapped cache,
+  // accessed alternately: every access misses (classic ping-pong).
+  MachineConfig m = micro_machine();
+  m.l1.associativity = 1;  // 16 sets of 64 B
+  CacheHierarchy h(m);
+  for (int i = 0; i < 50; ++i) {
+    h.read(0, 4);     // set 0
+    h.read(1024, 4);  // also set 0
+  }
+  EXPECT_EQ(h.stats().l1.misses, 100u);
+  // The same pattern on a 2-way cache misses exactly twice (cold).
+  CacheHierarchy h2(micro_machine());
+  for (int i = 0; i < 50; ++i) {
+    h2.read(0, 4);
+    h2.read(1024, 4);
+  }
+  EXPECT_EQ(h2.stats().l1.misses, 2u);
+}
+
+TEST(HierarchyAnalytic, CyclicScanOverCapacityPlusOneThrashesUnderLru) {
+  // Scanning C+1 lines cyclically under true LRU evicts exactly the
+  // line needed next: every access misses (the classic LRU pathology).
+  MachineConfig m = micro_machine();
+  m.l1 = CacheConfig{1024, 64, 0};  // fully associative, 16 lines
+  CacheHierarchy h(m);
+  const int lines = 17;
+  const int passes = 10;
+  for (int p = 0; p < passes; ++p) {
+    for (int l = 0; l < lines; ++l) h.read(static_cast<std::uint64_t>(l) * 64, 4);
+  }
+  EXPECT_EQ(h.stats().l1.misses, static_cast<std::uint64_t>(lines * passes));
+}
+
+TEST(HierarchyAnalytic, StridedScanTouchesOneMissPerLine) {
+  // 8-byte stride over 4 KB: two accesses per 64 B L2 line... at the L1
+  // (64 B lines) exactly 4096/64 = 64 cold misses regardless of stride
+  // granularity, as long as the stride is below the line size.
+  CacheHierarchy h(micro_machine());
+  for (std::uint64_t b = 0; b < 4096; b += 8) h.read(b, 4);
+  EXPECT_EQ(h.stats().l1.misses, 64u);
+  EXPECT_EQ(h.stats().l1.accesses, 512u);
+}
+
+// ------------------------------------------------------------ three-level
+
+TEST(ThreeLevel, L3CatchesL2Evictions) {
+  MachineConfig m = micro_machine();  // 1 KB L1 / 4 KB L2
+  m.l3 = CacheConfig{16384, 64, 4};   // 16 KB L3
+  CacheHierarchy h(m);
+  // Stream 8 KB: overflows L2 but fits L3; second pass must hit L3 for
+  // the lines L2 lost, without touching memory again.
+  for (std::uint64_t b = 0; b < 8192; b += 64) h.read(b, 4);
+  const auto cold = h.stats();
+  EXPECT_EQ(cold.mem_reads, 128u);
+  for (std::uint64_t b = 0; b < 8192; b += 64) h.read(b, 4);
+  const auto warm = h.stats();
+  EXPECT_EQ(warm.mem_reads, 128u) << "no new memory reads: everything lives in L3";
+  EXPECT_GT(warm.l3.accesses, cold.l3.accesses);
+}
+
+TEST(ThreeLevel, DirtyChainReachesMemoryOnlyWhenL3Overflows) {
+  MachineConfig m = micro_machine();
+  m.l3 = CacheConfig{8192, 64, 0};  // fully associative 8 KB L3 (128 lines)
+  CacheHierarchy h(m);
+  // Dirty 4 KB (64 lines): fits L3, so no memory writebacks even after
+  // they age out of L1/L2.
+  for (std::uint64_t b = 0; b < 4096; b += 64) h.write(b, 4);
+  for (std::uint64_t b = 16384; b < 20480; b += 64) h.read(b, 4);  // push them out
+  EXPECT_EQ(h.stats().mem_writebacks, 0u);
+  // Now dirty far more than L3 holds: dirty lines must reach memory.
+  for (std::uint64_t b = 0; b < 65536; b += 64) h.write(b, 4);
+  EXPECT_GT(h.stats().mem_writebacks, 0u);
+}
+
+TEST(ThreeLevel, StatsStayZeroWithoutL3) {
+  CacheHierarchy h(micro_machine());
+  for (std::uint64_t b = 0; b < 4096; b += 64) h.read(b, 4);
+  EXPECT_EQ(h.stats().l3.accesses, 0u);
+  EXPECT_EQ(h.stats().l3.misses, 0u);
+}
+
+TEST(ThreeLevel, ModernHostPresetValidates) {
+  const auto m = modern_host();
+  EXPECT_TRUE(m.has_l3());
+  EXPECT_EQ(m.l3.size_bytes, 32u * 1024 * 1024);
+  EXPECT_NO_THROW(CacheHierarchy{m});
+}
+
+// --------------------------------------------------------- machine configs
+
+TEST(MachineConfigs, AllPresetsValidate) {
+  for (const auto& m : all_machines()) {
+    EXPECT_NO_THROW(m.l1.validate()) << m.name;
+    EXPECT_NO_THROW(m.l2.validate()) << m.name;
+    EXPECT_NO_THROW(CacheHierarchy{m}) << m.name;
+  }
+}
+
+TEST(MachineConfigs, PaperGeometry) {
+  const auto p3 = pentium3();
+  EXPECT_EQ(p3.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(p3.l1.associativity, 4u);
+  EXPECT_EQ(p3.l2.size_bytes, 1u * 1024 * 1024);
+
+  const auto us3 = ultrasparc3();
+  EXPECT_EQ(us3.l2.associativity, 1u);  // direct mapped
+  EXPECT_EQ(us3.l2.size_bytes, 8u * 1024 * 1024);
+
+  const auto alpha = alpha21264();
+  EXPECT_EQ(alpha.victim_entries, 8u);
+
+  const auto ss = simplescalar_default();
+  EXPECT_EQ(ss.l1.size_bytes, 16u * 1024);
+  EXPECT_EQ(ss.l2.size_bytes, 256u * 1024);
+}
+
+// -------------------------------------------------------------- policies
+
+TEST(AddressMapTest, TranslationIsDeterministicAndDisjoint) {
+  int x = 0, y = 0;
+  AddressMap m1, m2;
+  const auto a1 = m1.map(&x, sizeof x);
+  const auto b1 = m1.map(&y, sizeof y);
+  const auto a2 = m2.map(&x, sizeof x);
+  EXPECT_EQ(a1, a2);  // same registration order -> same virtual base
+  EXPECT_NE(a1, b1);
+  EXPECT_EQ(m1.translate(reinterpret_cast<std::uint64_t>(&x)), a1);
+  EXPECT_EQ(m1.translate(reinterpret_cast<std::uint64_t>(&y)), b1);
+}
+
+TEST(SimMemTest, RoutesAccessesToHierarchy) {
+  CacheHierarchy h(micro_machine());
+  SimMem mem(h);
+  int data[16] = {};
+  mem.map_buffer(data, sizeof data);
+  mem.read(&data[0]);
+  mem.write(&data[1]);
+  mem.read_range(&data[0], 16);
+  EXPECT_GT(h.stats().l1.accesses, 0u);
+}
+
+TEST(SimMemTest, SameAccessSequenceSameStats) {
+  // Run the same logical access pattern on two hierarchies through two
+  // different host buffers: mapped addressing must produce identical
+  // simulated counters.
+  auto run = [](int* buf) {
+    CacheHierarchy h(micro_machine());
+    SimMem mem(h);
+    mem.map_buffer(buf, 4096 * sizeof(int));
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int i = 0; i < 4096; i += 7) mem.read(&buf[i]);
+    }
+    return h.stats();
+  };
+  std::vector<int> b1(4096), b2(4096);
+  const SimStats s1 = run(b1.data());
+  const SimStats s2 = run(b2.data());
+  EXPECT_EQ(s1.l1.accesses, s2.l1.accesses);
+  EXPECT_EQ(s1.l1.misses, s2.l1.misses);
+  EXPECT_EQ(s1.l2.misses, s2.l2.misses);
+  EXPECT_EQ(s1.mem_reads, s2.mem_reads);
+}
+
+TEST(NullMemTest, SatisfiesConceptAndDoesNothing) {
+  static_assert(MemPolicy<NullMem>);
+  static_assert(MemPolicy<SimMem>);
+  static_assert(!NullMem::tracing);
+  static_assert(SimMem::tracing);
+  NullMem m;
+  int x = 3;
+  m.read(&x);
+  m.write(&x);
+  m.read_range(&x, 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cachegraph::memsim

@@ -1,0 +1,191 @@
+// Prim's algorithm vs the Kruskal oracle, across representations and
+// heaps; union-find unit tests; traced-run representation comparison.
+#include <gtest/gtest.h>
+
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/mst/kruskal.hpp"
+#include "cachegraph/mst/prim.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/pq/fibonacci_heap.hpp"
+#include "cachegraph/pq/pairing_heap.hpp"
+
+namespace cachegraph::mst {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::AdjacencyMatrix;
+using graph::EdgeListGraph;
+using graph::random_undirected;
+
+template <Weight W, class M>
+using FourAry = pq::DAryHeap<W, 4, M>;
+
+// ------------------------------------------------------------ UnionFind
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.connected(0, 1));
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));  // already merged
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_EQ(uf.component_size(2), 3u);
+  EXPECT_EQ(uf.component_size(4), 1u);
+}
+
+TEST(UnionFindTest, ManyMergesOneComponent) {
+  const std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 1; i < n; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.component_size(0), n);
+  EXPECT_TRUE(uf.connected(0, n - 1));
+}
+
+// --------------------------------------------------------------- Kruskal
+
+TEST(KruskalTest, HandChecked) {
+  // Triangle with weights 1,2,3: MST takes 1 and 2.
+  EdgeListGraph<int> g(3);
+  auto und = [&](vertex_t a, vertex_t b, int w) {
+    g.add_edge(a, b, w);
+    g.add_edge(b, a, w);
+  };
+  und(0, 1, 1);
+  und(1, 2, 2);
+  und(0, 2, 3);
+  const auto r = kruskal(g);
+  EXPECT_EQ(r.total_weight, 3);
+  EXPECT_EQ(r.tree_edges.size(), 2u);
+}
+
+TEST(KruskalTest, ForestOnDisconnectedInput) {
+  EdgeListGraph<int> g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 0, 5);
+  g.add_edge(2, 3, 7);
+  g.add_edge(3, 2, 7);
+  const auto r = kruskal(g);
+  EXPECT_EQ(r.tree_edges.size(), 2u);
+  EXPECT_EQ(r.total_weight, 12);
+}
+
+// ------------------------------------------------------------------ Prim
+
+TEST(PrimTest, HandChecked) {
+  EdgeListGraph<int> g(4);
+  auto und = [&](vertex_t a, vertex_t b, int w) {
+    g.add_edge(a, b, w);
+    g.add_edge(b, a, w);
+  };
+  und(0, 1, 4);
+  und(0, 2, 1);
+  und(2, 1, 2);
+  und(1, 3, 7);
+  const AdjacencyArray<int> rep(g);
+  const auto r = prim(rep, 0);
+  EXPECT_EQ(r.total_weight, 1 + 2 + 7);
+  EXPECT_EQ(r.tree_vertices, 4);
+  EXPECT_EQ(r.parent[2], 0);
+  EXPECT_EQ(r.parent[1], 2);
+  EXPECT_EQ(r.parent[3], 1);
+}
+
+class PrimMatchesKruskal : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PrimMatchesKruskal, TotalWeightAgrees) {
+  const auto [n, density] = GetParam();
+  const auto g = random_undirected<int>(static_cast<vertex_t>(n), density,
+                                        static_cast<std::uint64_t>(n * 7 + 1));
+  const auto oracle = kruskal(g);
+  const auto arr = prim(AdjacencyArray<int>(g), 0);
+  const auto list = prim(AdjacencyList<int>(g), 0);
+  const auto mat = prim(AdjacencyMatrix<int>(g), 0);
+  EXPECT_EQ(arr.total_weight, oracle.total_weight);
+  EXPECT_EQ(list.total_weight, oracle.total_weight);
+  EXPECT_EQ(mat.total_weight, oracle.total_weight);
+  EXPECT_EQ(arr.tree_vertices, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrimMatchesKruskal,
+                         ::testing::Combine(::testing::Values(8, 32, 64, 128),
+                                            ::testing::Values(0.05, 0.3, 0.8)),
+                         [](const ::testing::TestParamInfo<std::tuple<int, double>>& pi) {
+                           return "n" + std::to_string(std::get<0>(pi.param)) + "_d" +
+                                  std::to_string(static_cast<int>(std::get<1>(pi.param) * 100));
+                         });
+
+TEST(PrimTest, AllHeapsAgree) {
+  const auto g = random_undirected<int>(100, 0.1, 44);
+  const AdjacencyArray<int> rep(g);
+  const auto w0 = prim(rep, 0).total_weight;
+  EXPECT_EQ((prim<FourAry>(rep, 0).total_weight), w0);
+  EXPECT_EQ((prim<pq::PairingHeap>(rep, 0).total_weight), w0);
+  EXPECT_EQ((prim<pq::FibonacciHeap>(rep, 0).total_weight), w0);
+}
+
+TEST(PrimTest, DisconnectedGraphSpansRootComponentOnly) {
+  EdgeListGraph<int> g(5);
+  auto und = [&](vertex_t a, vertex_t b, int w) {
+    g.add_edge(a, b, w);
+    g.add_edge(b, a, w);
+  };
+  und(0, 1, 1);
+  und(1, 2, 1);
+  und(3, 4, 1);
+  const AdjacencyArray<int> rep(g);
+  const auto r = prim(rep, 0);
+  EXPECT_EQ(r.tree_vertices, 3);
+  EXPECT_EQ(r.total_weight, 2);
+  EXPECT_EQ(r.parent[3], kNoVertex);
+  EXPECT_EQ(r.parent[4], kNoVertex);
+}
+
+TEST(PrimTest, ParentEdgesExistWithClaimedWeight) {
+  const auto g = random_undirected<int>(60, 0.2, 5);
+  const AdjacencyMatrix<int> m(g);
+  const auto r = prim(AdjacencyArray<int>(g), 0);
+  int total = 0;
+  for (vertex_t v = 0; v < 60; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (r.parent[uv] == kNoVertex) continue;
+    ASSERT_FALSE(is_inf(m.weight(r.parent[uv], v)));
+    EXPECT_EQ(r.key[uv], m.weight(r.parent[uv], v));
+    total += r.key[uv];
+  }
+  EXPECT_EQ(total, r.total_weight);
+}
+
+TEST(PrimTest, DifferentRootsSameTotalWeight) {
+  const auto g = random_undirected<int>(50, 0.15, 9);
+  const AdjacencyArray<int> rep(g);
+  const auto w0 = prim(rep, 0).total_weight;
+  EXPECT_EQ(prim(rep, 17).total_weight, w0);
+  EXPECT_EQ(prim(rep, 49).total_weight, w0);
+}
+
+TEST(PrimTraced, ArrayBeatsListOnL2Misses) {
+  // Table 7 in miniature.
+  const auto g = random_undirected<int>(768, 0.1, 33);
+  auto run = [&](const auto& rep) {
+    memsim::MachineConfig mc;
+    mc.name = "t";
+    mc.l1 = memsim::CacheConfig{4096, 32, 4};
+    mc.l2 = memsim::CacheConfig{65536, 64, 8};
+    mc.tlb_entries = 16;
+    memsim::CacheHierarchy h(mc);
+    memsim::SimMem mem(h);
+    prim(rep, 0, mem);
+    return h.stats();
+  };
+  const auto arr = run(AdjacencyArray<int>(g));
+  const auto list = run(AdjacencyList<int>(g, 55));
+  EXPECT_LT(arr.l2.misses, list.l2.misses);
+}
+
+}  // namespace
+}  // namespace cachegraph::mst

@@ -1,0 +1,221 @@
+// Tests for all four priority queues against a common oracle, including
+// heavy randomized interleavings of insert / extract-min / decrease-key
+// — the exact operation mix Dijkstra and Prim generate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/concepts.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/pq/fibonacci_heap.hpp"
+#include "cachegraph/pq/pairing_heap.hpp"
+
+namespace cachegraph::pq {
+namespace {
+
+template <typename H>
+class HeapTest : public ::testing::Test {};
+
+using Heaps = ::testing::Types<BinaryHeap<int>, DAryHeap<int, 4>, DAryHeap<int, 8>,
+                               PairingHeap<int>, FibonacciHeap<int>>;
+TYPED_TEST_SUITE(HeapTest, Heaps);
+
+static_assert(IndexedHeap<BinaryHeap<int>>);
+static_assert(IndexedHeap<DAryHeap<int, 4>>);
+static_assert(IndexedHeap<PairingHeap<int>>);
+static_assert(IndexedHeap<FibonacciHeap<int>>);
+static_assert(IndexedHeap<BinaryHeap<double>>);
+
+TYPED_TEST(HeapTest, EmptyOnConstruction) {
+  TypeParam h(16);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(3));
+}
+
+TYPED_TEST(HeapTest, SingleElement) {
+  TypeParam h(4);
+  h.insert(2, 17);
+  EXPECT_FALSE(h.empty());
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_EQ(h.key_of(2), 17);
+  const auto e = h.extract_min();
+  EXPECT_EQ(e.vertex, 2);
+  EXPECT_EQ(e.key, 17);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+}
+
+TYPED_TEST(HeapTest, ExtractsInSortedOrder) {
+  const int n = 200;
+  std::vector<int> keys(n);
+  Rng rng(5);
+  for (auto& k : keys) k = static_cast<int>(rng.below(10000));
+  TypeParam h(n);
+  for (int v = 0; v < n; ++v) h.insert(v, keys[static_cast<std::size_t>(v)]);
+
+  std::vector<int> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) {
+    const auto e = h.extract_min();
+    EXPECT_EQ(e.key, sorted[static_cast<std::size_t>(i)]) << "extraction " << i;
+    EXPECT_EQ(e.key, keys[static_cast<std::size_t>(e.vertex)]);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyMovesToFront) {
+  TypeParam h(8);
+  for (int v = 0; v < 8; ++v) h.insert(v, 100 + v);
+  h.decrease_key(7, 1);
+  const auto e = h.extract_min();
+  EXPECT_EQ(e.vertex, 7);
+  EXPECT_EQ(e.key, 1);
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyWithHigherKeyIsNoOp) {
+  TypeParam h(4);
+  h.insert(0, 10);
+  h.insert(1, 20);
+  h.decrease_key(1, 30);  // not lower: ignored (Update semantics)
+  EXPECT_EQ(h.key_of(1), 20);
+  EXPECT_EQ(h.extract_min().vertex, 0);
+  EXPECT_EQ(h.extract_min().vertex, 1);
+}
+
+TYPED_TEST(HeapTest, DuplicateKeysAllComeOut) {
+  TypeParam h(10);
+  for (int v = 0; v < 10; ++v) h.insert(v, 7);
+  std::vector<bool> seen(10, false);
+  for (int i = 0; i < 10; ++i) {
+    const auto e = h.extract_min();
+    EXPECT_EQ(e.key, 7);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(e.vertex)]);
+    seen[static_cast<std::size_t>(e.vertex)] = true;
+  }
+}
+
+TYPED_TEST(HeapTest, ReinsertAfterExtract) {
+  TypeParam h(4);
+  h.insert(1, 5);
+  EXPECT_EQ(h.extract_min().vertex, 1);
+  h.insert(1, 3);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_EQ(h.extract_min().key, 3);
+}
+
+TYPED_TEST(HeapTest, ExtractFromEmptyThrows) {
+  TypeParam h(2);
+  EXPECT_THROW(h.extract_min(), PreconditionError);
+}
+
+TYPED_TEST(HeapTest, RandomizedDijkstraLikeWorkloadMatchesOracle) {
+  // Oracle: a sorted map from key to vertex set, supporting the same ops.
+  const int n = 500;
+  TypeParam h(n);
+  std::map<int, std::vector<int>> oracle;         // key -> vertices
+  std::vector<int> key_of(n, -1);                 // -1 = not in heap
+  Rng rng(31);
+
+  auto oracle_insert = [&](int v, int k) {
+    oracle[k].push_back(v);
+    key_of[static_cast<std::size_t>(v)] = k;
+  };
+  auto oracle_erase = [&](int v) {
+    const int k = key_of[static_cast<std::size_t>(v)];
+    auto& vec = oracle[k];
+    vec.erase(std::find(vec.begin(), vec.end(), v));
+    if (vec.empty()) oracle.erase(k);
+    key_of[static_cast<std::size_t>(v)] = -1;
+  };
+
+  int in_heap = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.below(10);
+    if (op < 4) {  // insert a random absent vertex
+      const int v = static_cast<int>(rng.below(n));
+      if (key_of[static_cast<std::size_t>(v)] != -1 || h.contains(v)) continue;
+      const int k = static_cast<int>(rng.below(100000)) + 1;
+      h.insert(v, k);
+      oracle_insert(v, k);
+      ++in_heap;
+    } else if (op < 8 && in_heap > 0) {  // decrease a random present vertex
+      const int v = static_cast<int>(rng.below(n));
+      const int cur = key_of[static_cast<std::size_t>(v)];
+      if (cur == -1) continue;
+      const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(cur) + 1));
+      h.decrease_key(v, k);
+      if (k < cur) {
+        oracle_erase(v);
+        oracle_insert(v, k);
+      }
+      EXPECT_EQ(h.key_of(v), std::min(cur, k));
+    } else if (in_heap > 0) {  // extract min
+      const auto e = h.extract_min();
+      ASSERT_FALSE(oracle.empty());
+      const int expect_key = oracle.begin()->first;
+      EXPECT_EQ(e.key, expect_key) << "step " << step;
+      EXPECT_EQ(key_of[static_cast<std::size_t>(e.vertex)], expect_key);
+      oracle_erase(e.vertex);
+      --in_heap;
+    }
+    ASSERT_EQ(h.size(), static_cast<std::size_t>(in_heap));
+  }
+
+  // Drain: remaining extractions must be globally sorted.
+  int last = -1;
+  while (!h.empty()) {
+    const auto e = h.extract_min();
+    EXPECT_GE(e.key, last);
+    last = e.key;
+    oracle_erase(e.vertex);
+  }
+  EXPECT_TRUE(oracle.empty());
+}
+
+TYPED_TEST(HeapTest, CascadeOfDecreasesKeepsHeapConsistent) {
+  const int n = 100;
+  TypeParam h(n);
+  for (int v = 0; v < n; ++v) h.insert(v, 1000 + v);
+  // Repeatedly make the current max the new min.
+  for (int round = 0; round < 50; ++round) {
+    h.decrease_key(n - 1 - round % n, round < 999 ? 999 - round : 0);
+  }
+  int last = std::numeric_limits<int>::min();
+  for (int i = 0; i < n; ++i) {
+    const auto e = h.extract_min();
+    EXPECT_GE(e.key, last);
+    last = e.key;
+  }
+}
+
+TEST(HeapsWithDoubles, WorkWithFloatingKeys) {
+  BinaryHeap<double> h(4);
+  h.insert(0, 0.5);
+  h.insert(1, 0.25);
+  h.insert(2, inf<double>());
+  EXPECT_EQ(h.extract_min().vertex, 1);
+  h.decrease_key(2, 0.1);
+  EXPECT_EQ(h.extract_min().vertex, 2);
+  EXPECT_EQ(h.extract_min().vertex, 0);
+}
+
+TEST(TracedHeap, BinaryHeapReportsTraffic) {
+  memsim::MachineConfig mc;
+  mc.name = "t";
+  mc.l1 = memsim::CacheConfig{1024, 64, 2};
+  mc.l2 = memsim::CacheConfig{8192, 64, 4};
+  memsim::CacheHierarchy h(mc);
+  memsim::SimMem mem(h);
+  BinaryHeap<int, memsim::SimMem> heap(100, mem);
+  for (int v = 0; v < 100; ++v) heap.insert(v, 1000 - v);
+  while (!heap.empty()) heap.extract_min();
+  EXPECT_GT(h.stats().l1.accesses, 100u);
+}
+
+}  // namespace
+}  // namespace cachegraph::pq

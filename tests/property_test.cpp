@@ -1,0 +1,205 @@
+// Cross-module property tests: algebraic invariants that must hold for
+// any input, checked over seeded random sweeps (TEST_P).
+#include <gtest/gtest.h>
+
+#include "cachegraph/apsp/johnson.hpp"
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/matching/cache_friendly.hpp"
+#include "cachegraph/mst/kruskal.hpp"
+#include "cachegraph/mst/prim.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph {
+namespace {
+
+struct Sweep {
+  vertex_t n;
+  double density;
+  std::uint64_t seed;
+};
+
+std::vector<Sweep> sweeps() {
+  std::vector<Sweep> out;
+  for (const vertex_t n : {10, 33, 64}) {
+    for (const double d : {0.08, 0.35}) {
+      for (const std::uint64_t s : {1u, 2u, 3u}) {
+        out.push_back({n, d, s});
+      }
+    }
+  }
+  return out;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Sweep>& pi) {
+  std::string name = "n";
+  name += std::to_string(pi.param.n);
+  name += "_d";
+  name += std::to_string(static_cast<int>(pi.param.density * 100));
+  name += "_s";
+  name += std::to_string(pi.param.seed);
+  return name;
+}
+
+class ApspProperties : public ::testing::TestWithParam<Sweep> {};
+INSTANTIATE_TEST_SUITE_P(Random, ApspProperties, ::testing::ValuesIn(sweeps()), sweep_name);
+
+TEST_P(ApspProperties, TriangleInequalityHolds) {
+  const auto [n, d, seed] = GetParam();
+  const auto un = static_cast<std::size_t>(n);
+  const auto el = graph::random_digraph<int>(n, d, seed);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto dist = apsp::run_fw(apsp::FwVariant::kRecursiveBdl, m.weights(), un, 8);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = 0; j < un; ++j) {
+      for (std::size_t k = 0; k < un; ++k) {
+        ASSERT_LE(dist[i * un + j], sat_add(dist[i * un + k], dist[k * un + j]))
+            << i << "->" << j << " via " << k;
+      }
+    }
+  }
+}
+
+TEST_P(ApspProperties, DistanceNeverExceedsDirectEdge) {
+  const auto [n, d, seed] = GetParam();
+  const auto un = static_cast<std::size_t>(n);
+  const auto el = graph::random_digraph<int>(n, d, seed);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto dist = apsp::run_fw(apsp::FwVariant::kTiledBdl, m.weights(), un, 8);
+  for (const auto& e : el.edges()) {
+    ASSERT_LE(dist[static_cast<std::size_t>(e.from) * un + static_cast<std::size_t>(e.to)],
+              e.weight);
+  }
+  for (std::size_t i = 0; i < un; ++i) ASSERT_EQ(dist[i * un + i], 0);
+}
+
+TEST_P(ApspProperties, DijkstraRowsEqualFwMatrix) {
+  const auto [n, d, seed] = GetParam();
+  const auto un = static_cast<std::size_t>(n);
+  const auto el = graph::random_digraph<int>(n, d, seed);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto fw = apsp::run_fw(apsp::FwVariant::kBaseline, m.weights(), un, 8);
+  const graph::AdjacencyArray<int> arr(el);
+  for (vertex_t s = 0; s < n; ++s) {
+    const auto dj = sssp::dijkstra(arr, s);
+    for (std::size_t v = 0; v < un; ++v) {
+      ASSERT_EQ(dj.dist[v], fw[static_cast<std::size_t>(s) * un + v]) << "src " << s;
+    }
+  }
+}
+
+TEST_P(ApspProperties, JohnsonEqualsFw) {
+  const auto [n, d, seed] = GetParam();
+  const auto un = static_cast<std::size_t>(n);
+  const auto el = graph::random_digraph<int>(n, d, seed);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto fw = apsp::run_fw(apsp::FwVariant::kRecursiveMorton, m.weights(), un, 4);
+  const auto jn = apsp::johnson(el);
+  ASSERT_FALSE(jn.negative_cycle);
+  ASSERT_EQ(jn.dist, fw);
+}
+
+class MstProperties : public ::testing::TestWithParam<Sweep> {};
+INSTANTIATE_TEST_SUITE_P(Random, MstProperties, ::testing::ValuesIn(sweeps()), sweep_name);
+
+TEST_P(MstProperties, CutPropertyOnTreeEdges) {
+  // Every MST edge is a minimum-weight edge across the cut it defines:
+  // removing it splits the tree; no non-tree edge across that split is
+  // lighter (ties allowed).
+  const auto [n, d, seed] = GetParam();
+  const auto g = graph::random_undirected<int>(n, d, seed);
+  const auto mst = mst::kruskal(g);
+  for (const auto& cut_edge : mst.tree_edges) {
+    // Union-find over all tree edges except cut_edge gives the split.
+    mst::UnionFind uf(static_cast<std::size_t>(n));
+    for (const auto& e : mst.tree_edges) {
+      if (e == cut_edge) continue;
+      uf.unite(static_cast<std::size_t>(e.from), static_cast<std::size_t>(e.to));
+    }
+    for (const auto& e : g.edges()) {
+      if (e.from >= e.to) continue;
+      const bool crosses = !uf.connected(static_cast<std::size_t>(e.from),
+                                         static_cast<std::size_t>(e.to));
+      if (crosses) {
+        ASSERT_GE(e.weight, cut_edge.weight)
+            << "edge " << e.from << "-" << e.to << " violates the cut property";
+      }
+    }
+  }
+}
+
+TEST_P(MstProperties, PrimTreeEdgeCountMatchesComponents) {
+  const auto [n, d, seed] = GetParam();
+  const auto g = graph::random_undirected<int>(n, d, seed);  // connected by generator
+  const auto r = mst::prim(graph::AdjacencyArray<int>(g), 0);
+  EXPECT_EQ(r.tree_vertices, n);
+  int edges = 0;
+  for (const vertex_t p : r.parent) edges += (p != kNoVertex);
+  EXPECT_EQ(edges, n - 1);
+}
+
+class MatchingProperties : public ::testing::TestWithParam<Sweep> {};
+INSTANTIATE_TEST_SUITE_P(Random, MatchingProperties, ::testing::ValuesIn(sweeps()), sweep_name);
+
+TEST_P(MatchingProperties, PrimitiveAndTightEnginesAgreeOnCardinality) {
+  const auto [n, d, seed] = GetParam();
+  const auto g = graph::random_bipartite(n, n, d, seed);
+  const matching::BipartiteCsr rep(g);
+  matching::Matching tight = matching::Matching::empty(n, n);
+  matching::Matching prim = matching::Matching::empty(n, n);
+  matching::max_bipartite_matching(rep, tight);
+  matching::primitive_matching(rep, prim);
+  EXPECT_EQ(tight.size(), prim.size());
+  EXPECT_TRUE(is_valid_matching(rep, prim));
+}
+
+TEST_P(MatchingProperties, TwoPhaseIsPartitionInvariantInCardinality) {
+  const auto [n, d, seed] = GetParam();
+  const auto g = graph::random_bipartite(n, n, d, seed);
+  const matching::BipartiteCsr rep(g);
+  const std::size_t maximum = matching::baseline_matching(rep).size();
+  for (const std::uint8_t parts : {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{5}}) {
+    matching::Matching m;
+    const auto stats =
+        matching::cache_friendly_matching(g, matching::chunk_partition(g, parts), m);
+    EXPECT_EQ(stats.final_matched, maximum) << int{parts} << " parts";
+  }
+  matching::Matching m;
+  const auto stats =
+      matching::cache_friendly_matching(g, matching::two_way_partition(g), m);
+  EXPECT_EQ(stats.final_matched, maximum) << "smart partition";
+}
+
+TEST_P(MatchingProperties, KonigBoundHolds) {
+  // |M| <= min(L, R) and |M| <= E, trivially; more interestingly the
+  // matching is maximAL: no edge joins two free vertices.
+  const auto [n, d, seed] = GetParam();
+  const auto g = graph::random_bipartite(n, n, d, seed);
+  const matching::BipartiteCsr rep(g);
+  const auto m = matching::baseline_matching(rep);
+  for (const auto& [l, r] : g.edges) {
+    const bool l_free = m.match_left[static_cast<std::size_t>(l)] == kNoVertex;
+    const bool r_free = m.match_right[static_cast<std::size_t>(r)] == kNoVertex;
+    ASSERT_FALSE(l_free && r_free) << "edge (" << l << "," << r << ") left unmatched ends";
+  }
+}
+
+class FwKernelModes : public ::testing::TestWithParam<Sweep> {};
+INSTANTIATE_TEST_SUITE_P(Random, FwKernelModes, ::testing::ValuesIn(sweeps()), sweep_name);
+
+TEST_P(FwKernelModes, FastAndCheckedKernelsAgreeOnNonNegative) {
+  const auto [n, d, seed] = GetParam();
+  const auto un = static_cast<std::size_t>(n);
+  const auto w = testutil::random_weight_matrix<int>(un, d, seed);
+  auto fast = w;
+  auto checked = w;
+  apsp::fw_iterative<apsp::KernelMode::kFast>(fast.data(), un);
+  apsp::fw_iterative<apsp::KernelMode::kChecked>(checked.data(), un);
+  ASSERT_EQ(fast, checked);
+}
+
+}  // namespace
+}  // namespace cachegraph

@@ -1,0 +1,233 @@
+// Dijkstra and Bellman-Ford: correctness across every graph
+// representation and every heap, cross-checked against Floyd-Warshall,
+// plus traced-run properties (the Table 6 effect in miniature).
+#include <gtest/gtest.h>
+
+#include "cachegraph/apsp/fw_iterative.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/pq/fibonacci_heap.hpp"
+#include "cachegraph/pq/pairing_heap.hpp"
+#include "cachegraph/sssp/bellman_ford.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+
+namespace cachegraph::sssp {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::AdjacencyMatrix;
+using graph::EdgeListGraph;
+using graph::random_digraph;
+
+template <Weight W, class M>
+using FourAry = pq::DAryHeap<W, 4, M>;
+
+/// Oracle: single-source distances via the baseline FW on the dense matrix.
+std::vector<int> fw_row(const EdgeListGraph<int>& g, vertex_t src) {
+  const AdjacencyMatrix<int> m(g);
+  auto d = m.weights();
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  apsp::fw_iterative(d.data(), n);
+  return {d.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(src) * n),
+          d.begin() + static_cast<std::ptrdiff_t>((static_cast<std::size_t>(src) + 1) * n)};
+}
+
+EdgeListGraph<int> line_graph() {
+  EdgeListGraph<int> g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(0, 3, 100);
+  return g;
+}
+
+TEST(Dijkstra, HandChecked) {
+  const AdjacencyArray<int> g(line_graph());
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist, (std::vector<int>{0, 1, 3, 6}));
+  EXPECT_EQ(r.parent[3], 2);
+  EXPECT_EQ(r.parent[1], 0);
+  EXPECT_EQ(r.parent[0], kNoVertex);
+  EXPECT_EQ(r.extract_mins, 4u);
+}
+
+TEST(Dijkstra, UnreachableVerticesStayInf) {
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 4);
+  const AdjacencyArray<int> g(el);
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[1], 4);
+  EXPECT_TRUE(is_inf(r.dist[2]));
+  EXPECT_EQ(r.parent[2], kNoVertex);
+  EXPECT_EQ(r.extract_mins, 2u);  // the inf vertex is never expanded
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  const AdjacencyArray<int> g(line_graph());
+  EXPECT_THROW(dijkstra(g, 4), PreconditionError);
+  EXPECT_THROW(dijkstra(g, -1), PreconditionError);
+}
+
+// Representations x sizes sweep.
+struct RepCase {
+  std::string rep;
+  vertex_t n;
+  double density;
+};
+
+class DijkstraAcrossReps : public ::testing::TestWithParam<RepCase> {};
+
+TEST_P(DijkstraAcrossReps, MatchesFwOracle) {
+  const auto& p = GetParam();
+  const auto el = random_digraph<int>(p.n, p.density, static_cast<std::uint64_t>(p.n) * 31);
+  const auto expected = fw_row(el, 0);
+
+  std::vector<int> got;
+  if (p.rep == "array") {
+    got = dijkstra(AdjacencyArray<int>(el), 0).dist;
+  } else if (p.rep == "list") {
+    got = dijkstra(AdjacencyList<int>(el), 0).dist;
+  } else {
+    got = dijkstra(AdjacencyMatrix<int>(el), 0).dist;
+  }
+  EXPECT_EQ(got, expected) << p.rep << " n=" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DijkstraAcrossReps,
+    ::testing::Values(RepCase{"array", 16, 0.2}, RepCase{"array", 64, 0.1},
+                      RepCase{"array", 128, 0.05}, RepCase{"array", 64, 0.9},
+                      RepCase{"list", 16, 0.2}, RepCase{"list", 64, 0.1},
+                      RepCase{"list", 128, 0.05}, RepCase{"list", 64, 0.9},
+                      RepCase{"matrix", 16, 0.2}, RepCase{"matrix", 64, 0.1},
+                      RepCase{"matrix", 128, 0.05}, RepCase{"matrix", 64, 0.9}),
+    [](const ::testing::TestParamInfo<RepCase>& pi) {
+      return pi.param.rep + "_n" + std::to_string(pi.param.n) + "_d" +
+             std::to_string(static_cast<int>(pi.param.density * 100));
+    });
+
+TEST(Dijkstra, AllHeapsAgree) {
+  const auto el = random_digraph<int>(120, 0.08, 77);
+  const AdjacencyArray<int> g(el);
+  const auto binary = dijkstra(g, 3).dist;
+  const auto fourary = dijkstra<FourAry>(g, 3).dist;
+  const auto pairing = dijkstra<pq::PairingHeap>(g, 3).dist;
+  const auto fib = dijkstra<pq::FibonacciHeap>(g, 3).dist;
+  EXPECT_EQ(binary, fourary);
+  EXPECT_EQ(binary, pairing);
+  EXPECT_EQ(binary, fib);
+}
+
+TEST(Dijkstra, ParentPointersFormShortestPathTree) {
+  const auto el = random_digraph<int>(80, 0.1, 13);
+  const AdjacencyMatrix<int> m(el);
+  const AdjacencyArray<int> g(el);
+  const auto r = dijkstra(g, 0);
+  for (vertex_t v = 0; v < 80; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (v == 0 || is_inf(r.dist[uv])) continue;
+    const vertex_t p = r.parent[uv];
+    ASSERT_NE(p, kNoVertex);
+    const auto up = static_cast<std::size_t>(p);
+    // The tree edge must exist and be tight.
+    ASSERT_FALSE(is_inf(m.weight(p, v)));
+    EXPECT_EQ(r.dist[uv], sat_add(r.dist[up], m.weight(p, v)));
+  }
+}
+
+TEST(Dijkstra, UpdateCountIsBoundedByEdges) {
+  const auto el = random_digraph<int>(100, 0.2, 5);
+  const AdjacencyArray<int> g(el);
+  const auto r = dijkstra(g, 0);
+  EXPECT_LE(r.updates, static_cast<std::uint64_t>(el.num_edges()));
+}
+
+TEST(Dijkstra, DoubleWeights) {
+  graph::EdgeListGraph<double> el(3);
+  el.add_edge(0, 1, 0.5);
+  el.add_edge(1, 2, 0.25);
+  el.add_edge(0, 2, 1.0);
+  const AdjacencyArray<double> g(el);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 0.75);
+}
+
+TEST(DijkstraTraced, ArrayHasFewerL2MissesThanList) {
+  // Table 6 in miniature: same graph, same algorithm, the only change
+  // is the representation.
+  const auto el = random_digraph<int>(1024, 0.1, 21);
+  auto run = [&](const auto& rep) {
+    memsim::MachineConfig mc;
+    mc.name = "t";
+    mc.l1 = memsim::CacheConfig{4096, 32, 4};
+    mc.l2 = memsim::CacheConfig{65536, 64, 8};
+    mc.tlb_entries = 16;
+    memsim::CacheHierarchy h(mc);
+    memsim::SimMem mem(h);
+    dijkstra(rep, 0, mem);
+    return h.stats();
+  };
+  const auto arr = run(AdjacencyArray<int>(el));
+  const auto list = run(AdjacencyList<int>(el, 77));
+  EXPECT_LT(arr.l2.misses, list.l2.misses);
+  EXPECT_LT(arr.l1.misses, list.l1.misses);
+}
+
+// ---------------------------------------------------------- BellmanFord
+
+TEST(BellmanFord, MatchesDijkstraOnNonNegative) {
+  const auto el = random_digraph<int>(90, 0.1, 3);
+  const AdjacencyArray<int> g(el);
+  const auto bf = bellman_ford(g, 0);
+  const auto dj = dijkstra(g, 0);
+  EXPECT_FALSE(bf.negative_cycle);
+  EXPECT_EQ(bf.dist, dj.dist);
+}
+
+TEST(BellmanFord, HandlesNegativeEdges) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 5);
+  el.add_edge(1, 2, -3);
+  el.add_edge(0, 2, 4);
+  el.add_edge(2, 3, 1);
+  const AdjacencyArray<int> g(el);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_FALSE(r.negative_cycle);
+  EXPECT_EQ(r.dist, (std::vector<int>{0, 5, 2, 3}));
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, -5);
+  el.add_edge(2, 1, 2);
+  const AdjacencyArray<int> g(el);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_TRUE(r.negative_cycle);
+}
+
+TEST(BellmanFord, NegativeCycleUnreachableFromSourceIsIgnored) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 1);
+  el.add_edge(2, 3, -5);
+  el.add_edge(3, 2, 2);  // negative cycle 2<->3, unreachable from 0
+  const AdjacencyArray<int> g(el);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_FALSE(r.negative_cycle);
+  EXPECT_EQ(r.dist[1], 1);
+  EXPECT_TRUE(is_inf(r.dist[2]));
+}
+
+TEST(BellmanFord, WorksOnListRepresentation) {
+  const auto el = random_digraph<int>(60, 0.15, 8);
+  const auto a = bellman_ford(AdjacencyArray<int>(el), 2).dist;
+  const auto l = bellman_ford(AdjacencyList<int>(el), 2).dist;
+  EXPECT_EQ(a, l);
+}
+
+}  // namespace
+}  // namespace cachegraph::sssp

@@ -1,0 +1,51 @@
+// Shared helpers for the test suite: deterministic random weight
+// matrices and an independent reference Floyd-Warshall used as the
+// oracle (deliberately written as differently as possible from the
+// library kernels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph::testutil {
+
+/// Random directed weight matrix: diagonal 0, each off-diagonal edge
+/// present with probability `density` and weight in [1, max_w].
+template <Weight W>
+std::vector<W> random_weight_matrix(std::size_t n, double density, std::uint64_t seed,
+                                    W max_w = W{100}) {
+  std::vector<W> w(n * n, inf<W>());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i * n + i] = W{0};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.chance(density)) {
+        w[i * n + j] = static_cast<W>(rng.uniform_int(1, static_cast<std::int64_t>(max_w)));
+      }
+    }
+  }
+  return w;
+}
+
+/// Reference APSP oracle: straightforward FW with explicit double
+/// buffering per k (no in-place tricks, no kernels shared with the
+/// library).
+template <Weight W>
+std::vector<W> reference_apsp(std::vector<W> d, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<W> next = d;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const W via = sat_add(d[i * n + k], d[k * n + j]);
+        if (via < next[i * n + j]) next[i * n + j] = via;
+      }
+    }
+    d = std::move(next);
+  }
+  return d;
+}
+
+}  // namespace cachegraph::testutil

@@ -1,0 +1,168 @@
+// Empirical verification of the paper's analytical results using the
+// cache simulator as the measurement instrument:
+//   Theorem 3.2/3.5 — optimized FW moves O(N^3 / B) words, so traffic
+//                     scales 8x per doubling of N and ~1/2 per doubling
+//                     of B (while 3B^2 fits the cache).
+//   Theorem 3.3     — the recursive variant reduces traffic at EVERY
+//                     level of the hierarchy simultaneously, with no
+//                     per-level tuning.
+//   Lemma 3.1       — baseline traffic is Θ(N^3) for matrices beyond
+//                     cache; the optimized/baseline traffic ratio is
+//                     therefore ~B (up to constants).
+#include <gtest/gtest.h>
+
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/matching/cache_friendly.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::apsp {
+namespace {
+
+using memsim::CacheConfig;
+using memsim::CacheHierarchy;
+using memsim::MachineConfig;
+using memsim::SimMem;
+using memsim::SimStats;
+
+MachineConfig micro(std::size_t l1 = 512, std::size_t l2 = 2048) {
+  MachineConfig m;
+  m.name = "micro";
+  m.l1 = CacheConfig{l1, 32, 4};
+  m.l2 = CacheConfig{l2, 32, 8};
+  m.tlb_entries = 0;  // isolate cache traffic
+  return m;
+}
+
+SimStats sim(FwVariant v, std::size_t n, std::size_t b, const MachineConfig& machine) {
+  const auto w = testutil::random_weight_matrix<int>(n, 0.4, 17);
+  CacheHierarchy h(machine);
+  SimMem mem(h);
+  run_fw(v, w, n, b, mem);
+  return h.stats();
+}
+
+TEST(TrafficTheory, TiledTrafficScalesAsNCubedOverB) {
+  // Fix B, double N twice: memory traffic must scale ~8x per doubling.
+  const std::size_t b = 4;  // 3*16*4B = 192 B fits the 512 B L1
+  const auto t32 = sim(FwVariant::kTiledBdl, 32, b, micro());
+  const auto t64 = sim(FwVariant::kTiledBdl, 64, b, micro());
+  const auto t128 = sim(FwVariant::kTiledBdl, 128, b, micro());
+  const double r1 = static_cast<double>(t64.memory_traffic_lines()) /
+                    static_cast<double>(t32.memory_traffic_lines());
+  const double r2 = static_cast<double>(t128.memory_traffic_lines()) /
+                    static_cast<double>(t64.memory_traffic_lines());
+  // Boundary effects at the smallest size (parts of the matrix still
+  // cached) push the first ratio slightly above 8.
+  EXPECT_GT(r1, 5.0);
+  EXPECT_LT(r1, 13.0);
+  EXPECT_GT(r2, 5.0);
+  EXPECT_LT(r2, 11.0);
+}
+
+TEST(TrafficTheory, RecursiveTrafficScalesAsNCubed) {
+  const std::size_t b = 4;
+  const auto t32 = sim(FwVariant::kRecursiveMorton, 32, b, micro());
+  const auto t128 = sim(FwVariant::kRecursiveMorton, 128, b, micro());
+  // Two doublings: expect ~64x.
+  const double r = static_cast<double>(t128.memory_traffic_lines()) /
+                   static_cast<double>(t32.memory_traffic_lines());
+  EXPECT_GT(r, 30.0);
+  EXPECT_LT(r, 130.0);
+}
+
+TEST(TrafficTheory, DoublingBHalvesTraffic) {
+  // Theorem 3.5: traffic ~ N^3/B while 3B^2 elements fit the cache.
+  // Use a larger L2 so B=8 (3*64*4=768 B) still fits.
+  const auto machine = micro(4096, 16384);
+  const std::size_t n = 128;
+  const auto b2 = sim(FwVariant::kTiledBdl, n, 2, machine);
+  const auto b4 = sim(FwVariant::kTiledBdl, n, 4, machine);
+  const auto b8 = sim(FwVariant::kTiledBdl, n, 8, machine);
+  const double r24 = static_cast<double>(b2.memory_traffic_lines()) /
+                     static_cast<double>(b4.memory_traffic_lines());
+  const double r48 = static_cast<double>(b4.memory_traffic_lines()) /
+                     static_cast<double>(b8.memory_traffic_lines());
+  EXPECT_GT(r24, 1.4);
+  EXPECT_LT(r24, 2.6);
+  EXPECT_GT(r48, 1.4);
+  EXPECT_LT(r48, 2.6);
+}
+
+TEST(TrafficTheory, BaselineTrafficIsCubicBeyondCache) {
+  // For matrices beyond L2, the baseline re-streams the matrix every
+  // k-iteration: traffic ~ N^3 (within line-granularity constants).
+  const auto t64 = sim(FwVariant::kBaseline, 64, 4, micro());
+  const auto t128 = sim(FwVariant::kBaseline, 128, 4, micro());
+  const double r = static_cast<double>(t128.memory_traffic_lines()) /
+                   static_cast<double>(t64.memory_traffic_lines());
+  EXPECT_GT(r, 6.0);
+  EXPECT_LT(r, 10.0);
+}
+
+TEST(TrafficTheory, RecursiveImprovesEveryLevelSimultaneously) {
+  // Theorem 3.3: one executable, no tuning knob touched, and misses
+  // drop at L1 AND L2 relative to the baseline.
+  const std::size_t n = 64, b = 4;
+  const auto base = sim(FwVariant::kBaseline, n, b, micro());
+  const auto rec = sim(FwVariant::kRecursiveMorton, n, b, micro());
+  EXPECT_LT(rec.l1.misses, base.l1.misses);
+  EXPECT_LT(rec.l2.misses, base.l2.misses);
+  EXPECT_LT(rec.memory_traffic_lines(), base.memory_traffic_lines());
+}
+
+TEST(TrafficTheory, RecursiveImprovesThreeLevelsSimultaneously) {
+  // Theorem 3.3 at depth three: with an L3 in the machine, the same
+  // untuned recursive executable still reduces misses at L1, L2 AND L3.
+  MachineConfig m = micro();
+  m.l3 = CacheConfig{8192, 32, 8};
+  const std::size_t n = 96, b = 2;
+  const auto base = sim(FwVariant::kBaseline, n, b, m);
+  const auto rec = sim(FwVariant::kRecursiveMorton, n, b, m);
+  EXPECT_LT(rec.l1.misses, base.l1.misses);
+  EXPECT_LT(rec.l2.misses, base.l2.misses);
+  EXPECT_LT(rec.l3.misses, base.l3.misses);
+  EXPECT_LT(rec.memory_traffic_lines(), base.memory_traffic_lines());
+}
+
+TEST(TrafficTheory, RecursiveTrafficWithinConstantOfTiled) {
+  // Theorem 3.4 + 3.6: both are asymptotically optimal, so their
+  // traffic differs by at most a small constant factor.
+  const std::size_t n = 96, b = 4;
+  const auto tiled = sim(FwVariant::kTiledBdl, n, b, micro());
+  const auto rec = sim(FwVariant::kRecursiveMorton, n, b, micro());
+  const double r = static_cast<double>(rec.memory_traffic_lines()) /
+                   static_cast<double>(tiled.memory_traffic_lines());
+  EXPECT_GT(r, 0.3);
+  EXPECT_LT(r, 3.0);
+}
+
+TEST(TrafficTheory, MatchingBestCaseTrafficIsTinyVsBaseline) {
+  // Section 3.3: when the maximum matching is found locally, the
+  // two-phase algorithm causes O(N+E) processor-memory TRAFFIC (each
+  // sub-problem is loaded into cache once and solved there), while the
+  // primitive baseline re-streams the whole out-of-cache graph once per
+  // augmentation — O(|M|) full passes.
+  const vertex_t n = 512;
+  const auto g = graph::best_case_bipartite(n, 4, 0.05, 3);
+  auto traffic = [&](bool optimized) {
+    memsim::MachineConfig m = micro(2048, 8192);
+    memsim::CacheHierarchy h(m);
+    memsim::SimMem mem(h);
+    if (optimized) {
+      matching::Matching out;
+      matching::cache_friendly_matching(g, matching::chunk_partition(g, 4), out, mem,
+                                        /*use_primitive_search=*/true);
+    } else {
+      const matching::BipartiteCsr rep(g);
+      matching::Matching out = matching::Matching::empty(g.left, g.right);
+      matching::primitive_matching(rep, out, mem);
+    }
+    return h.stats().memory_traffic_lines();
+  };
+  const auto opt = traffic(true);
+  const auto base = traffic(false);
+  EXPECT_LT(opt, base / 4) << "two-phase must move far less data on the best case";
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp

@@ -1,0 +1,192 @@
+// BFS / DFS / connected components / SCC over all representations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/traversal/traversal.hpp"
+
+namespace cachegraph::traversal {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::AdjacencyMatrix;
+using graph::EdgeListGraph;
+
+EdgeListGraph<int> diamond() {
+  //    0 -> 1 -> 3
+  //    0 -> 2 -> 3 -> 4
+  EdgeListGraph<int> g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  return g;
+}
+
+TEST(Bfs, DepthsAreShortestHopCounts) {
+  const AdjacencyArray<int> g(diamond());
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.depth, (std::vector<index_t>{0, 1, 1, 2, 3}));
+  EXPECT_EQ(r.order.size(), 5u);
+  EXPECT_EQ(r.order[0], 0);
+}
+
+TEST(Bfs, UnreachedVerticesStayMinusOne) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 1);
+  const AdjacencyArray<int> g(el);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.depth[2], -1);
+  EXPECT_EQ(r.depth[3], -1);
+  EXPECT_EQ(r.parent[1], 0);
+}
+
+TEST(Bfs, AllRepresentationsAgree) {
+  const auto el = graph::random_digraph<int>(120, 0.05, 19);
+  const auto a = bfs(AdjacencyArray<int>(el), 0).depth;
+  const auto l = bfs(AdjacencyList<int>(el), 0).depth;
+  const auto m = bfs(AdjacencyMatrix<int>(el), 0).depth;
+  EXPECT_EQ(a, l);
+  EXPECT_EQ(a, m);
+}
+
+TEST(Dfs, PrePostFormValidParenthesization) {
+  const auto el = graph::random_digraph<int>(60, 0.08, 23);
+  const AdjacencyArray<int> g(el);
+  const auto r = dfs(g);
+  std::set<index_t> pres, posts;
+  for (std::size_t v = 0; v < 60; ++v) {
+    EXPECT_GE(r.pre[v], 0) << "dfs must visit every vertex";
+    pres.insert(r.pre[v]);
+    posts.insert(r.post[v]);
+    // Parent opens before and closes after its child.
+    if (r.parent[v] != kNoVertex) {
+      const auto p = static_cast<std::size_t>(r.parent[v]);
+      EXPECT_LT(r.pre[p], r.pre[v]);
+      EXPECT_GT(r.post[p], r.post[v]);
+    }
+  }
+  EXPECT_EQ(pres.size(), 60u);
+  EXPECT_EQ(posts.size(), 60u);
+}
+
+TEST(ConnectedComponents, CountsIslands) {
+  EdgeListGraph<int> g(7);
+  auto und = [&](vertex_t a, vertex_t b) {
+    g.add_edge(a, b, 1);
+    g.add_edge(b, a, 1);
+  };
+  und(0, 1);
+  und(1, 2);
+  und(3, 4);
+  // 5 and 6 isolated
+  const auto [comp, count] = connected_components(AdjacencyArray<int>(g));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+}
+
+TEST(ConnectedComponents, ConnectedGeneratorYieldsOneComponent) {
+  const auto g = graph::random_undirected<int>(200, 0.01, 31, 1, 10, true);
+  const auto [comp, count] = connected_components(AdjacencyArray<int>(g));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scc, HandCheckedCondensation) {
+  // 0 -> 1 -> 2 -> 0 (one SCC), 2 -> 3, 3 -> 4, 4 -> 3 (another), 5 alone.
+  EdgeListGraph<int> g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 0, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 3, 1);
+  const auto [comp, count] = strongly_connected_components(AdjacencyArray<int>(g));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  // Tarjan emits SCCs in reverse topological order: the sink SCC {3,4}
+  // gets a smaller id than {0,1,2}.
+  EXPECT_LT(comp[3], comp[0]);
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  EdgeListGraph<int> g(50);
+  for (vertex_t v = 0; v < 50; ++v) g.add_edge(v, (v + 1) % 50, 1);
+  const auto [comp, count] = strongly_connected_components(AdjacencyArray<int>(g));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scc, DagHasOneComponentPerVertex) {
+  EdgeListGraph<int> g(20);
+  for (vertex_t v = 0; v + 1 < 20; ++v) g.add_edge(v, v + 1, 1);
+  const auto [comp, count] = strongly_connected_components(AdjacencyArray<int>(g));
+  EXPECT_EQ(count, 20);
+}
+
+TEST(Scc, AgreesAcrossRepresentationsOnComponentCount) {
+  const auto el = graph::random_digraph<int>(150, 0.02, 41);
+  const auto [c1, n1] = strongly_connected_components(AdjacencyArray<int>(el));
+  const auto [c2, n2] = strongly_connected_components(AdjacencyList<int>(el));
+  EXPECT_EQ(n1, n2);
+  // Component partitions must be identical up to relabeling: same
+  // equivalence classes.
+  for (std::size_t i = 0; i < 150; ++i) {
+    for (std::size_t j = i + 1; j < 150; ++j) {
+      EXPECT_EQ(c1[i] == c1[j], c2[i] == c2[j]);
+    }
+  }
+}
+
+TEST(Scc, MutualReachabilityDefinesComponents) {
+  // Property check against FW-style reachability on a small graph.
+  const auto el = graph::random_digraph<int>(40, 0.06, 47);
+  const auto [comp, count] = strongly_connected_components(AdjacencyArray<int>(el));
+
+  // Build boolean reachability via BFS from every vertex.
+  const AdjacencyArray<int> rep(el);
+  std::vector<std::vector<char>> reach(40, std::vector<char>(40, 0));
+  for (vertex_t s = 0; s < 40; ++s) {
+    const auto r = bfs(rep, s);
+    for (std::size_t v = 0; v < 40; ++v) {
+      reach[static_cast<std::size_t>(s)][v] = (r.depth[v] >= 0);
+    }
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      const bool same_scc = comp[i] == comp[j];
+      const bool mutual = reach[i][j] && reach[j][i];
+      EXPECT_EQ(same_scc, mutual) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(BfsTraced, ArrayBeatsListOnMisses) {
+  const auto el = graph::random_digraph<int>(1024, 0.05, 53);
+  auto misses = [&](const auto& rep) {
+    memsim::MachineConfig mc;
+    mc.name = "t";
+    mc.l1 = memsim::CacheConfig{4096, 32, 4};
+    mc.l2 = memsim::CacheConfig{65536, 64, 8};
+    memsim::CacheHierarchy h(mc);
+    memsim::SimMem mem(h);
+    bfs(rep, 0, mem);
+    return h.stats().l2.misses;
+  };
+  EXPECT_LT(misses(AdjacencyArray<int>(el)), misses(AdjacencyList<int>(el, 91)));
+}
+
+}  // namespace
+}  // namespace cachegraph::traversal
