@@ -14,9 +14,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Ablation: base case",
-                       "FWR stopped at base block B vs (near-)full recursion",
-                       "30% (PIII) to 2x (USIII) improvement from a tuned base case");
+  Harness h(std::cout, opt, "Ablation: base case",
+            "FWR stopped at base block B vs (near-)full recursion",
+            "30% (PIII) to 2x (USIII) improvement from a tuned base case");
 
   const std::size_t n = opt.full ? 2048 : 512;
   const auto w = fw_input(n, opt.seed);
@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   double t2 = 0.0;
   for (const std::size_t b : {std::size_t{2}, std::size_t{4}, std::size_t{8}, std::size_t{16},
                               std::size_t{32}, std::size_t{64}}) {
-    const double s = fw_time(apsp::FwVariant::kRecursiveMorton, w, n, b, reps);
+    const double s = fw_time(h, "recursive_morton", apsp::FwVariant::kRecursiveMorton, w, n, b,
+                             reps);
     if (b == 2) t2 = s;
     std::string label = std::to_string(b);
     if (b == heuristic) label += " (heuristic)";

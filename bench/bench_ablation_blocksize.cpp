@@ -15,9 +15,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Ablation: block size",
-                       "Tiled FW (BDL) execution time across block sizes",
-                       "best B found experimentally; heuristic is the estimate");
+  Harness h(std::cout, opt, "Ablation: block size",
+            "Tiled FW (BDL) execution time across block sizes",
+            "best B found experimentally; heuristic is the estimate");
 
   const std::size_t n = opt.full ? 2048 : 512;
   const auto w = fw_input(n, opt.seed);
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   for (const std::size_t b : {std::size_t{8}, std::size_t{16}, std::size_t{32}, std::size_t{64},
                               std::size_t{128}, std::size_t{256}}) {
     if (b > n) break;
-    const double s = fw_time(apsp::FwVariant::kTiledBdl, w, n, b, reps);
+    const double s = fw_time(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, b, reps);
     if (s < best) {
       best = s;
       best_b = b;

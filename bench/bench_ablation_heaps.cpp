@@ -28,35 +28,37 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Ablation: heaps",
-                       "Dijkstra with binary / 4-ary / 8-ary / pairing / Fibonacci heaps",
-                       "Fibonacci heap loses badly despite optimal asymptotics");
+  Harness h(std::cout, opt, "Ablation: heaps",
+            "Dijkstra with binary / 4-ary / 8-ary / pairing / Fibonacci heaps",
+            "Fibonacci heap loses badly despite optimal asymptotics");
 
   const vertex_t n = opt.full ? 16384 : 4096;
   const double density = 0.1;
   const auto el = graph::random_digraph<std::int32_t>(n, density, opt.seed);
   const graph::AdjacencyArray<std::int32_t> g(el);
 
+  const Params params{{"n", std::to_string(n)}, {"density", fmt(density, 1)}};
   Table t({"heap", "time (s)", "vs binary"});
-  const double tb =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra<pq::BinaryHeap>(gr, 0); });
+  const double tb = time_on_rep(h, "binary", params, g, opt.reps,
+                                [](const auto& gr) { sssp::dijkstra<pq::BinaryHeap>(gr, 0); });
   t.add_row({"binary", fmt(tb, 4), "1.00x"});
-  const double t4 =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra<FourAry>(gr, 0); });
+  const double t4 = time_on_rep(h, "4-ary", params, g, opt.reps,
+                                [](const auto& gr) { sssp::dijkstra<FourAry>(gr, 0); });
   t.add_row({"4-ary", fmt(t4, 4), fmt_speedup(tb, t4)});
-  const double t8 =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra<EightAry>(gr, 0); });
+  const double t8 = time_on_rep(h, "8-ary", params, g, opt.reps,
+                                [](const auto& gr) { sssp::dijkstra<EightAry>(gr, 0); });
   t.add_row({"8-ary", fmt(t8, 4), fmt_speedup(tb, t8)});
-  const double tp =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra<pq::PairingHeap>(gr, 0); });
+  const double tp = time_on_rep(h, "pairing", params, g, opt.reps,
+                                [](const auto& gr) { sssp::dijkstra<pq::PairingHeap>(gr, 0); });
   t.add_row({"pairing", fmt(tp, 4), fmt_speedup(tb, tp)});
   const double tf =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra<pq::FibonacciHeap>(gr, 0); });
+      time_on_rep(h, "fibonacci", params, g, opt.reps,
+                  [](const auto& gr) { sssp::dijkstra<pq::FibonacciHeap>(gr, 0); });
   t.add_row({"fibonacci", fmt(tf, 4), fmt_speedup(tb, tf)});
   // Lazy deletion: what one does when the heap lacks Update entirely
   // (the Section 2 situation with the fast update-free heaps).
-  const double tl =
-      time_on_rep(g, opt.reps, [](const auto& gr) { sssp::dijkstra_lazy(gr, 0); });
+  const double tl = time_on_rep(h, "lazy", params, g, opt.reps,
+                                [](const auto& gr) { sssp::dijkstra_lazy(gr, 0); });
   t.add_row({"lazy (no Update)", fmt(tl, 4), fmt_speedup(tb, tl)});
   t.print(std::cout, opt.csv);
   std::cout << "\n(values < 1.00x mean slower than the binary heap; N=" << n << ", density "

@@ -19,9 +19,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Ablation: list placement",
-                       "Dijkstra — adjacency array vs fresh vs scattered list nodes",
-                       "Section 3.2 attributes the win to pollution + lost prefetch");
+  Harness h(std::cout, opt, "Ablation: list placement",
+            "Dijkstra — adjacency array vs fresh vs scattered list nodes",
+            "Section 3.2 attributes the win to pollution + lost prefetch");
 
   const vertex_t n = opt.full ? 16384 : 4096;
   const double density = 0.1;
@@ -31,10 +31,13 @@ int main(int argc, char** argv) {
   const graph::AdjacencyList<std::int32_t> fresh(el);
   const graph::AdjacencyList<std::int32_t> scattered(el, /*placement_seed=*/0xdead);
 
-  const double ta = time_on_rep(arr, opt.reps, [](const auto& g) { sssp::dijkstra(g, 0); });
-  const double tf = time_on_rep(fresh, opt.reps, [](const auto& g) { sssp::dijkstra(g, 0); });
-  const double ts =
-      time_on_rep(scattered, opt.reps, [](const auto& g) { sssp::dijkstra(g, 0); });
+  const Params params{{"n", std::to_string(n)}, {"density", fmt(density, 1)}};
+  const double ta = time_on_rep(h, "adjacency_array", params, arr, opt.reps,
+                                [](const auto& g) { sssp::dijkstra(g, 0); });
+  const double tf = time_on_rep(h, "list_fresh", params, fresh, opt.reps,
+                                [](const auto& g) { sssp::dijkstra(g, 0); });
+  const double ts = time_on_rep(h, "list_scattered", params, scattered, opt.reps,
+                                [](const auto& g) { sssp::dijkstra(g, 0); });
 
   Table t({"representation", "time (s)", "vs array"});
   t.add_row({"adjacency array", fmt(ta, 4), "1.00x"});

@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Ablation: traversals",
-                       "BFS / DFS / SCC with adjacency array vs adjacency list",
-                       "conclusion predicts the same representation win as Dijkstra's");
+  Harness h(std::cout, opt, "Ablation: traversals",
+            "BFS / DFS / SCC with adjacency array vs adjacency list",
+            "conclusion predicts the same representation win as Dijkstra's");
 
   const vertex_t n = opt.full ? 16384 : 4096;
   const double density = 0.05;
@@ -22,22 +22,29 @@ int main(int argc, char** argv) {
   const graph::AdjacencyArray<std::int32_t> arr(el);
   const graph::AdjacencyList<std::int32_t> list(el);
 
+  const Params params{{"n", std::to_string(n)}, {"density", fmt(density, 2)}};
   Table t({"algorithm", "list (s)", "array (s)", "speedup"});
   {
-    const double tl = time_on_rep(list, opt.reps, [](const auto& g) { traversal::bfs(g, 0); });
-    const double ta = time_on_rep(arr, opt.reps, [](const auto& g) { traversal::bfs(g, 0); });
+    const double tl = time_on_rep(h, "bfs_list", params, list, opt.reps,
+                                  [](const auto& g) { traversal::bfs(g, 0); });
+    const double ta = time_on_rep(h, "bfs_array", params, arr, opt.reps,
+                                  [](const auto& g) { traversal::bfs(g, 0); });
     t.add_row({"BFS", fmt(tl, 4), fmt(ta, 4), fmt_speedup(tl, ta)});
   }
   {
-    const double tl = time_on_rep(list, opt.reps, [](const auto& g) { traversal::dfs(g); });
-    const double ta = time_on_rep(arr, opt.reps, [](const auto& g) { traversal::dfs(g); });
+    const double tl = time_on_rep(h, "dfs_list", params, list, opt.reps,
+                                  [](const auto& g) { traversal::dfs(g); });
+    const double ta = time_on_rep(h, "dfs_array", params, arr, opt.reps,
+                                  [](const auto& g) { traversal::dfs(g); });
     t.add_row({"DFS", fmt(tl, 4), fmt(ta, 4), fmt_speedup(tl, ta)});
   }
   {
-    const double tl = time_on_rep(
-        list, opt.reps, [](const auto& g) { traversal::strongly_connected_components(g); });
-    const double ta = time_on_rep(
-        arr, opt.reps, [](const auto& g) { traversal::strongly_connected_components(g); });
+    const double tl =
+        time_on_rep(h, "scc_list", params, list, opt.reps,
+                    [](const auto& g) { traversal::strongly_connected_components(g); });
+    const double ta =
+        time_on_rep(h, "scc_array", params, arr, opt.reps,
+                    [](const auto& g) { traversal::strongly_connected_components(g); });
     t.add_row({"SCC (Tarjan)", fmt(tl, 4), fmt(ta, 4), fmt_speedup(tl, ta)});
   }
   t.print(std::cout, opt.csv);

@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 10", "Recursive FW speedup over baseline",
-                       "2x-10x depending on architecture, N=1024..4096");
+  Harness h(std::cout, opt, "Figure 10", "Recursive FW speedup over baseline",
+            "2x-10x depending on architecture, N=1024..4096");
 
   const std::vector<std::size_t> sizes = opt.full
                                              ? std::vector<std::size_t>{1024, 2048, 4096}
@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
     const auto w = fw_input(n, opt.seed);
     // min-of-2 at large N: single-shot timings on shared hosts are noisy.
     const int reps = n >= 2048 ? 2 : opt.reps;
-    const double base = fw_time(apsp::FwVariant::kBaseline, w, n, block, reps);
-    const double rec = fw_time(apsp::FwVariant::kRecursiveMorton, w, n, block, reps);
+    const double base = fw_time(h, "baseline", apsp::FwVariant::kBaseline, w, n, block, reps);
+    const double rec =
+        fw_time(h, "recursive_morton", apsp::FwVariant::kRecursiveMorton, w, n, block, reps);
     t.add_row({std::to_string(n), fmt(base, 3), fmt(rec, 3), fmt_speedup(base, rec)});
   }
   t.print(std::cout, opt.csv);

@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 11", "Tiled FW (BDL) speedup over baseline",
-                       "3x-10x depending on architecture, N=1024..4096");
+  Harness h(std::cout, opt, "Figure 11", "Tiled FW (BDL) speedup over baseline",
+            "3x-10x depending on architecture, N=1024..4096");
 
   const std::vector<std::size_t> sizes = opt.full
                                              ? std::vector<std::size_t>{1024, 2048, 4096}
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
     const auto w = fw_input(n, opt.seed);
     // min-of-2 at large N: single-shot timings on shared hosts are noisy.
     const int reps = n >= 2048 ? 2 : opt.reps;
-    const double base = fw_time(apsp::FwVariant::kBaseline, w, n, block, reps);
-    const double tiled = fw_time(apsp::FwVariant::kTiledBdl, w, n, block, reps);
+    const double base = fw_time(h, "baseline", apsp::FwVariant::kBaseline, w, n, block, reps);
+    const double tiled = fw_time(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, block, reps);
     t.add_row({std::to_string(n), fmt(base, 3), fmt(tiled, 3), fmt_speedup(base, tiled)});
   }
   t.print(std::cout, opt.csv);

@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 12", "Dijkstra speedup vs density (array over list)",
-                       "~2x (PIII) / ~20% (USIII) at all densities, N=2K/4K");
+  Harness h(std::cout, opt, "Figure 12", "Dijkstra speedup vs density (array over list)",
+            "~2x (PIII) / ~20% (USIII) at all densities, N=2K/4K");
 
   const std::vector<vertex_t> sizes = opt.full ? std::vector<vertex_t>{2048, 4096}
                                                : std::vector<vertex_t>{1024, 2048};
@@ -27,8 +27,11 @@ int main(int argc, char** argv) {
       const auto el = graph::random_digraph<std::int32_t>(n, d, opt.seed + static_cast<std::uint64_t>(n));
       const graph::AdjacencyList<std::int32_t> list(el);
       const graph::AdjacencyArray<std::int32_t> arr(el);
-      const double tl = time_on_rep(list, opt.reps, [](const auto& g) { sssp::dijkstra(g, 0); });
-      const double ta = time_on_rep(arr, opt.reps, [](const auto& g) { sssp::dijkstra(g, 0); });
+      const Params params{{"n", std::to_string(n)}, {"density", fmt(d, 1)}};
+      const double tl = time_on_rep(h, "adjacency_list", params, list, opt.reps,
+                                    [](const auto& g) { sssp::dijkstra(g, 0); });
+      const double ta = time_on_rep(h, "adjacency_array", params, arr, opt.reps,
+                                    [](const auto& g) { sssp::dijkstra(g, 0); });
       t.add_row({std::to_string(n), fmt(d, 1), fmt(tl, 4), fmt(ta, 4), fmt_speedup(tl, ta)});
     }
   }

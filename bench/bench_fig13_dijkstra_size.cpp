@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 13", "Dijkstra speedup vs problem size (10% density)",
-                       "~2x (PIII) / ~20% (USIII), N=16K..64K");
+  Harness h(std::cout, opt, "Figure 13", "Dijkstra speedup vs problem size (10% density)",
+            "~2x (PIII) / ~20% (USIII), N=16K..64K");
 
   // 64K @ 10% is 430M edges (~3.4 GB as records) — paper hit the same
   // memory wall; default sweep stops at 8K and --full at 32K.
@@ -29,8 +29,11 @@ int main(int argc, char** argv) {
     const graph::AdjacencyList<std::int32_t> list(el);
     const graph::AdjacencyArray<std::int32_t> arr(el);
     const int reps = n >= 16384 ? 1 : opt.reps;
-    const double tl = time_on_rep(list, reps, [](const auto& g) { sssp::dijkstra(g, 0); });
-    const double ta = time_on_rep(arr, reps, [](const auto& g) { sssp::dijkstra(g, 0); });
+    const Params params{{"n", std::to_string(n)}, {"edges", std::to_string(el.num_edges())}};
+    const double tl = time_on_rep(h, "adjacency_list", params, list, reps,
+                                  [](const auto& g) { sssp::dijkstra(g, 0); });
+    const double ta = time_on_rep(h, "adjacency_array", params, arr, reps,
+                                  [](const auto& g) { sssp::dijkstra(g, 0); });
     t.add_row({std::to_string(n), std::to_string(el.num_edges()), fmt(tl, 4), fmt(ta, 4),
                fmt_speedup(tl, ta)});
   }

@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 14",
-                       "APSP on sparse graphs: all-sources Dijkstra vs best FW",
-                       "Dijkstra wins below ~20% density at N=2048; array widens its range");
+  Harness h(std::cout, opt, "Figure 14",
+            "APSP on sparse graphs: all-sources Dijkstra vs best FW",
+            "Dijkstra wins below ~20% density at N=2048; array widens its range");
 
   const vertex_t n = opt.full ? 2048 : 512;
   const std::size_t un = static_cast<std::size_t>(n);
@@ -31,15 +31,17 @@ int main(int argc, char** argv) {
     const auto el = graph::random_digraph<std::int32_t>(n, d, opt.seed);
     const graph::AdjacencyMatrix<std::int32_t> dense(el);
 
-    const double t_fw = fw_time(apsp::FwVariant::kTiledBdl, dense.weights(), un, block, 1);
+    const double t_fw = fw_time(h, "fw_tiled_bdl", apsp::FwVariant::kTiledBdl, dense.weights(),
+                                un, block, 1);
 
     const graph::AdjacencyArray<std::int32_t> arr(el);
     const graph::AdjacencyList<std::int32_t> list(el);
     auto all_sources = [n](const auto& g) {
       for (vertex_t s = 0; s < n; ++s) (void)sssp::dijkstra(g, s);
     };
-    const double t_arr = time_on_rep(arr, 1, all_sources);
-    const double t_list = time_on_rep(list, 1, all_sources);
+    const Params params{{"n", std::to_string(n)}, {"density", fmt(d, 3)}};
+    const double t_arr = time_on_rep(h, "dijkstra_array", params, arr, 1, all_sources);
+    const double t_list = time_on_rep(h, "dijkstra_list", params, list, 1, all_sources);
 
     t.add_row({fmt(d, 3), fmt(t_fw, 3), fmt(t_list, 3), fmt(t_arr, 3),
                fmt_speedup(t_fw, t_arr)});

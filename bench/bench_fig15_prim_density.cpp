@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 15", "Prim speedup vs density (array over list)",
-                       "~2x (PIII) / ~20% (USIII), N=2K/4K, 10..90% density");
+  Harness h(std::cout, opt, "Figure 15", "Prim speedup vs density (array over list)",
+            "~2x (PIII) / ~20% (USIII), N=2K/4K, 10..90% density");
 
   const std::vector<vertex_t> sizes = opt.full ? std::vector<vertex_t>{2048, 4096}
                                                : std::vector<vertex_t>{1024, 2048};
@@ -51,8 +51,11 @@ int main(int argc, char** argv) {
           n, d, opt.seed + static_cast<std::uint64_t>(n));
       const graph::AdjacencyList<std::int32_t> list(grouped_by_source(el));
       const graph::AdjacencyArray<std::int32_t> arr(el);
-      const double tl = time_on_rep(list, opt.reps, [](const auto& g) { mst::prim(g, 0); });
-      const double ta = time_on_rep(arr, opt.reps, [](const auto& g) { mst::prim(g, 0); });
+      const Params params{{"n", std::to_string(n)}, {"density", fmt(d, 1)}};
+      const double tl = time_on_rep(h, "adjacency_list", params, list, opt.reps,
+                                    [](const auto& g) { mst::prim(g, 0); });
+      const double ta = time_on_rep(h, "adjacency_array", params, arr, opt.reps,
+                                    [](const auto& g) { mst::prim(g, 0); });
       t.add_row({std::to_string(n), fmt(d, 1), fmt(tl, 4), fmt(ta, 4), fmt_speedup(tl, ta)});
     }
   }

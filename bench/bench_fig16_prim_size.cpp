@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 16", "Prim speedup vs problem size (10% density)",
-                       "~2x (PIII) / ~20% (USIII), N=16K..64K");
+  Harness h(std::cout, opt, "Figure 16", "Prim speedup vs problem size (10% density)",
+            "~2x (PIII) / ~20% (USIII), N=16K..64K");
 
   const std::vector<vertex_t> sizes = opt.full ? std::vector<vertex_t>{16384, 32768}
                                                : std::vector<vertex_t>{4096, 8192};
@@ -47,8 +47,11 @@ int main(int argc, char** argv) {
     const graph::AdjacencyList<std::int32_t> list(grouped_by_source(el));
     const graph::AdjacencyArray<std::int32_t> arr(el);
     const int reps = n >= 16384 ? 1 : opt.reps;
-    const double tl = time_on_rep(list, reps, [](const auto& g) { mst::prim(g, 0); });
-    const double ta = time_on_rep(arr, reps, [](const auto& g) { mst::prim(g, 0); });
+    const Params params{{"n", std::to_string(n)}, {"edges", std::to_string(el.num_edges())}};
+    const double tl = time_on_rep(h, "adjacency_list", params, list, reps,
+                                  [](const auto& g) { mst::prim(g, 0); });
+    const double ta = time_on_rep(h, "adjacency_array", params, arr, reps,
+                                  [](const auto& g) { mst::prim(g, 0); });
     t.add_row({std::to_string(n), std::to_string(el.num_edges()), fmt(tl, 4), fmt(ta, 4),
                fmt_speedup(tl, ta)});
   }

@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::matching;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 17", "Two-phase matching speedup vs density",
-                       "2x (10% density) to 4x+ (30%), 8192 nodes");
+  Harness h(std::cout, opt, "Figure 17", "Two-phase matching speedup vs density",
+            "2x (10% density) to 4x+ (30%), 8192 nodes");
 
   const vertex_t n = opt.full ? 8192 : 2048;
   const std::vector<double> densities = {0.05, 0.1, 0.2, 0.3};
@@ -29,15 +29,18 @@ int main(int argc, char** argv) {
     // list. Optimized: both of the paper's matching optimizations —
     // adjacency arrays + the two-phase algorithm — running the same
     // primitive search.
+    const Params params{{"n", std::to_string(n)}, {"density", fmt(d, 2)}};
     const BipartiteList list_rep(g);
-    const double tb = time_on_rep(list_rep, opt.reps, [](const auto& r) {
-      Matching m = Matching::empty(r.left_vertices(), r.right_vertices());
-      primitive_matching(r, m);
-    });
+    const double tb = time_on_rep(h, "baseline_list", params, list_rep, opt.reps,
+                                  [](const auto& r) {
+                                    Matching m = Matching::empty(r.left_vertices(),
+                                                                 r.right_vertices());
+                                    primitive_matching(r, m);
+                                  });
 
     const auto partition = chunk_partition(g, parts);
     TwoPhaseStats stats{};
-    const auto res = time_repeated(opt.reps, [&] {
+    const auto res = h.time("two_phase", params, opt.reps, [&] {
       Matching m;
       stats = cache_friendly_matching(g, partition, m, memsim::NullMem{},
                                       /*use_primitive_search=*/true);

@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::matching;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 18",
-                       "Matching speedup: best-case and worst-case partitioned inputs",
-                       "best case 3x-10x; worst case only ~10% degradation");
+  Harness h(std::cout, opt, "Figure 18",
+            "Matching speedup: best-case and worst-case partitioned inputs",
+            "best case 3x-10x; worst case only ~10% degradation");
 
   const vertex_t parts = 8;
   const std::vector<vertex_t> sizes =
@@ -35,15 +35,18 @@ int main(int argc, char** argv) {
       // isolates the partitioning effect (the paper's worst case shows
       // only ~10% degradation, which implies a representation-matched
       // baseline).
+      const Params params{{"n", std::to_string(n)}, {"case", best ? "best" : "worst"}};
       const BipartiteCsr csr_rep(g);
-      const double tb = time_on_rep(csr_rep, opt.reps, [](const auto& r) {
-        Matching m = Matching::empty(r.left_vertices(), r.right_vertices());
-        primitive_matching(r, m);
-      });
+      const double tb = time_on_rep(h, "baseline_csr", params, csr_rep, opt.reps,
+                                    [](const auto& r) {
+                                      Matching m = Matching::empty(r.left_vertices(),
+                                                                   r.right_vertices());
+                                      primitive_matching(r, m);
+                                    });
 
       const auto partition = chunk_partition(g, static_cast<std::uint8_t>(parts));
       TwoPhaseStats stats{};
-      const auto res = time_repeated(opt.reps, [&] {
+      const auto res = h.time("two_phase", params, opt.reps, [&] {
         Matching m;
         stats = cache_friendly_matching(g, partition, m, memsim::NullMem{},
                                         /*use_primitive_search=*/true);

@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::matching;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Figure 19",
-                       "Average matching speedup, random graphs + 2-way partitioner",
-                       "~2x at all problem sizes (average over 10 random graphs)");
+  Harness h(std::cout, opt, "Figure 19",
+            "Average matching speedup, random graphs + 2-way partitioner",
+            "~2x at all problem sizes (average over 10 random graphs)");
 
   const std::vector<vertex_t> sizes = opt.full ? std::vector<vertex_t>{2048, 4096, 8192}
                                                : std::vector<vertex_t>{512, 1024, 2048};
@@ -32,14 +32,15 @@ int main(int argc, char** argv) {
     for (int i = 0; i < graphs; ++i) {
       const auto g =
           graph::random_bipartite(n, n, density, opt.seed + static_cast<std::uint64_t>(i));
+      const Params params{{"n", std::to_string(n)}, {"graph", std::to_string(i)}};
       const BipartiteList list_rep(g);
-      sum_base += time_on_rep(list_rep, 1, [](const auto& r) {
+      sum_base += time_on_rep(h, "baseline_list", params, list_rep, 1, [](const auto& r) {
         Matching m = Matching::empty(r.left_vertices(), r.right_vertices());
         primitive_matching(r, m);
       });
 
       const auto partition = two_way_partition(g);
-      const auto res = time_repeated(1, [&] {
+      const auto res = h.time("two_phase", params, 1, [&] {
         Matching m;
         cache_friendly_matching(g, partition, m, memsim::NullMem{},
                                 /*use_primitive_search=*/true);

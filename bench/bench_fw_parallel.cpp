@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Extension: parallel FW",
-                       "OpenMP tiled FW (BDL) scaling with thread count",
-                       "future-work item of the paper; decomposition = tiled phases");
+  Harness h(std::cout, opt, "Extension: parallel FW",
+            "OpenMP tiled FW (BDL) scaling with thread count",
+            "future-work item of the paper; decomposition = tiled phases");
 
   const std::size_t n = opt.full ? 2048 : 512;
   const std::size_t block = host_block(sizeof(std::int32_t));
@@ -31,12 +31,16 @@ int main(int argc, char** argv) {
   const int max_threads = 1;
 #endif
 
-  const double seq = fw_time(apsp::FwVariant::kTiledBdl, w, n, block, opt.reps);
+  const double seq = fw_time(h, "tiled_bdl_sequential", apsp::FwVariant::kTiledBdl, w, n, block,
+                             opt.reps);
 
   Table t({"threads", "time (s)", "speedup vs sequential tiled"});
   t.add_row({"sequential", fmt(seq, 3), "1.00x"});
   for (int threads = 1; threads <= max_threads; threads *= 2) {
-    const auto res = time_repeated(opt.reps, [&] {
+    const Params params{{"n", std::to_string(n)},
+                        {"B", std::to_string(block)},
+                        {"threads", std::to_string(threads)}};
+    const auto res = h.time("fw_parallel", params, opt.reps, [&] {
       using L = layout::BlockDataLayout;
       const std::size_t np = layout::padded_size_tiled(n, block);
       matrix::SquareMatrix<std::int32_t, L> m(L(np, block), n);

@@ -15,9 +15,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(
-      std::cout, "Table 2", "Tiled FW: row-wise layout vs Block Data Layout",
-      "DL1 ~equal; DL2 miss rate 29.11% -> 2.68%; exec time -20..30% (N=2048)");
+  Harness h(std::cout, opt, "Table 2", "Tiled FW: row-wise layout vs Block Data Layout",
+            "DL1 ~equal; DL2 miss rate 29.11% -> 2.68%; exec time -20..30% (N=2048)");
 
   const std::size_t n = opt.full ? 2048 : 512;
   const memsim::MachineConfig machine = opt.machine_config();
@@ -28,8 +27,8 @@ int main(int argc, char** argv) {
   const std::size_t b_l2 = layout::pick_block_size(machine.l2, sizeof(std::int32_t));
   const auto w = fw_input(n, opt.seed);
 
-  const auto rm = fw_sim(apsp::FwVariant::kTiledRowMajor, w, n, b_l1, machine);
-  const auto bdl = fw_sim(apsp::FwVariant::kTiledBdl, w, n, b_l2, machine);
+  const auto rm = fw_sim(h, "tiled_row_major", apsp::FwVariant::kTiledRowMajor, w, n, b_l1, machine);
+  const auto bdl = fw_sim(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, b_l2, machine);
 
   Table t({"metric", "row-wise (B=" + std::to_string(b_l1) + ")",
            "BDL (B=" + std::to_string(b_l2) + ")"});
@@ -42,8 +41,8 @@ int main(int argc, char** argv) {
   // Execution-time comparison on the host.
   const std::size_t hb = host_block(sizeof(std::int32_t));
   const int reps = n >= 2048 ? 1 : opt.reps;
-  const double t_rm = fw_time(apsp::FwVariant::kTiledRowMajor, w, n, hb, reps);
-  const double t_bdl = fw_time(apsp::FwVariant::kTiledBdl, w, n, hb, reps);
+  const double t_rm = fw_time(h, "tiled_row_major", apsp::FwVariant::kTiledRowMajor, w, n, hb, reps);
+  const double t_bdl = fw_time(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, hb, reps);
   t.add_row({"exec time (s)", fmt(t_rm, 3), fmt(t_bdl, 3)});
   t.add_row({"speedup", "1.00x", fmt_speedup(t_rm, t_bdl)});
 

@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Table 3", "Tiled FW (BDL) simulation vs baseline",
-                       "DL1 misses -30%, DL2 misses -2x (N=1024/2048, SimpleScalar)");
+  Harness h(std::cout, opt, "Table 3", "Tiled FW (BDL) simulation vs baseline",
+            "DL1 misses -30%, DL2 misses -2x (N=1024/2048, SimpleScalar)");
 
   const std::vector<std::size_t> sizes = opt.full ? std::vector<std::size_t>{1024, 2048}
                                                   : std::vector<std::size_t>{256, 512};
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   Table t({"N", "impl", "DL1 accesses", "DL1 misses", "DL1 rate", "DL2 misses", "mem lines"});
   for (const std::size_t n : sizes) {
     const auto w = fw_input(n, opt.seed);
-    const auto base = fw_sim(apsp::FwVariant::kBaseline, w, n, block, machine);
-    const auto tiled = fw_sim(apsp::FwVariant::kTiledBdl, w, n, block, machine);
+    const auto base = fw_sim(h, "baseline", apsp::FwVariant::kBaseline, w, n, block, machine);
+    const auto tiled = fw_sim(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, block, machine);
     for (const auto& [name, s] : {std::pair{"baseline", base}, std::pair{"tiled+BDL", tiled}}) {
       t.add_row({std::to_string(n), name, fmt_count(s.l1.accesses), fmt_count(s.l1.misses),
                  fmt_pct(s.l1.miss_rate()), fmt_count(s.l2.misses),

@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Tables 4/5",
-                       "Z-Morton vs BDL, recursive and tiled implementations",
-                       "within 15%; Morton wins recursive, BDL wins tiled (N=2048/4096)");
+  Harness h(std::cout, opt, "Tables 4/5",
+            "Z-Morton vs BDL, recursive and tiled implementations",
+            "within 15%; Morton wins recursive, BDL wins tiled (N=2048/4096)");
 
   const std::vector<std::size_t> sizes = opt.full ? std::vector<std::size_t>{2048, 4096}
                                                   : std::vector<std::size_t>{512, 1024};
@@ -29,13 +29,16 @@ int main(int argc, char** argv) {
     const auto w = fw_input(n, opt.seed);
     const int reps = n >= 2048 ? 1 : opt.reps;
 
-    const double rec_m = fw_time(apsp::FwVariant::kRecursiveMorton, w, n, block, reps);
-    const double rec_b = fw_time(apsp::FwVariant::kRecursiveBdl, w, n, block, reps);
+    const double rec_m =
+        fw_time(h, "recursive_morton", apsp::FwVariant::kRecursiveMorton, w, n, block, reps);
+    const double rec_b =
+        fw_time(h, "recursive_bdl", apsp::FwVariant::kRecursiveBdl, w, n, block, reps);
     t.add_row({std::to_string(n), "recursive", fmt(rec_m, 3), fmt(rec_b, 3),
                fmt(rec_m / rec_b, 3)});
 
-    const double til_m = fw_time(apsp::FwVariant::kTiledMorton, w, n, block, reps);
-    const double til_b = fw_time(apsp::FwVariant::kTiledBdl, w, n, block, reps);
+    const double til_m =
+        fw_time(h, "tiled_morton", apsp::FwVariant::kTiledMorton, w, n, block, reps);
+    const double til_b = fw_time(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, n, block, reps);
     t.add_row({std::to_string(n), "tiled", fmt(til_m, 3), fmt(til_b, 3),
                fmt(til_m / til_b, 3)});
   }

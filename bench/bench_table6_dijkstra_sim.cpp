@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace cachegraph::bench;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Table 6", "Dijkstra: linked-list vs adjacency array (sim)",
-                       "DL1 misses -20%, DL2 misses -2x (16K nodes, 0.1 density)");
+  Harness h(std::cout, opt, "Table 6", "Dijkstra: linked-list vs adjacency array (sim)",
+            "DL1 misses -20%, DL2 misses -2x (16K nodes, 0.1 density)");
 
   const vertex_t n = opt.full ? 16384 : 4096;
   const double density = 0.1;
@@ -24,8 +24,11 @@ int main(int argc, char** argv) {
   const memsim::MachineConfig machine = opt.machine_config();
 
   auto algo = [](const auto& rep, memsim::SimMem& mem) { sssp::dijkstra(rep, 0, mem); };
-  const auto list = sim_on_rep(graph::AdjacencyList<std::int32_t>(el), machine, algo);
-  const auto arr = sim_on_rep(graph::AdjacencyArray<std::int32_t>(el), machine, algo);
+  const Params params{{"n", std::to_string(n)}, {"density", fmt(density, 1)}};
+  const auto list = sim_on_rep(h, "adjacency_list", params,
+                               graph::AdjacencyList<std::int32_t>(el), machine, algo);
+  const auto arr = sim_on_rep(h, "adjacency_array", params,
+                              graph::AdjacencyArray<std::int32_t>(el), machine, algo);
 
   Table t({"metric", "linked-list", "adj. array", "ratio"});
   t.add_row({"DL1 accesses", fmt_count(list.l1.accesses), fmt_count(arr.l1.accesses),

@@ -17,31 +17,38 @@ int main(int argc, char** argv) {
   using namespace cachegraph::matching;
   const Options opt = parse_options(argc, argv);
 
-  print_exhibit_header(std::cout, "Table 8", "Matching DL1 performance (sim)",
-                       "accesses 853e6->578e6, misses 127e6->32e6, rate 14.86%->5.56%");
+  Harness h(std::cout, opt, "Table 8", "Matching DL1 performance (sim)",
+            "accesses 853e6->578e6, misses 127e6->32e6, rate 14.86%->5.56%");
 
   const vertex_t n = opt.full ? 4096 : 1024;  // per side
   const double density = 0.1;
   const auto g = graph::random_bipartite(n, n, density, opt.seed);
   const memsim::MachineConfig machine = opt.machine_config();
 
+  const Params params{{"n", std::to_string(n)}, {"density", fmt(density, 1)},
+                      {"machine", machine.name}};
+
   memsim::CacheHierarchy hb(machine);
   {
+    obs::CounterRegistry::instance().reset();
     memsim::SimMem mem(hb);
     const BipartiteList rep(g);  // paper baseline: primitive search over lists
     Matching m = Matching::empty(g.left, g.right);
     primitive_matching(rep, m, mem);
   }
   const auto base = hb.stats();
+  h.sim("baseline_list", params, base);
 
   memsim::CacheHierarchy ho(machine);
   {
+    obs::CounterRegistry::instance().reset();
     memsim::SimMem mem(ho);
     Matching m;
     cache_friendly_matching(g, chunk_partition(g, 8), m, mem,
                             /*use_primitive_search=*/true);
   }
   const auto opt_stats = ho.stats();
+  h.sim("two_phase", params, opt_stats);
 
   Table t({"metric", "baseline", "optimized"});
   t.add_row({"DL1 accesses", fmt_count(base.l1.accesses), fmt_count(opt_stats.l1.accesses)});

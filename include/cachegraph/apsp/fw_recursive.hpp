@@ -23,6 +23,7 @@
 
 #include "cachegraph/apsp/fwi_kernel.hpp"
 #include "cachegraph/matrix/square_matrix.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::apsp {
 
@@ -41,26 +42,30 @@ struct BlockRegion {
 };
 
 template <KernelMode Mode, Weight W, layout::MatrixLayout L, memsim::MemPolicy Mem>
-void fwr(matrix::SquareMatrix<W, L>& m, BlockRegion a, BlockRegion b, BlockRegion c, Mem& mem) {
+void fwr(matrix::SquareMatrix<W, L>& m, BlockRegion a, BlockRegion b, BlockRegion c, Mem& mem,
+         std::size_t depth) {
   if (a.nb == 1) {
+    CG_COUNTER_INC("fwr.base_cases");
+    CG_COUNTER_MAX("fwr.max_depth", depth);
     const std::size_t bsz = m.layout().block();
     const std::size_t ld = m.layout().tile_row_stride();
     fwi_kernel<Mode>(m.tile(a.bi, a.bj), ld, m.tile(b.bi, b.bj), ld, m.tile(c.bi, c.bj), ld, bsz,
                      mem);
     return;
   }
+  CG_COUNTER_INC("fwr.recursive_splits");
   const auto a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0), a22 = a.quad(1, 1);
   const auto b11 = b.quad(0, 0), b12 = b.quad(0, 1), b21 = b.quad(1, 0), b22 = b.quad(1, 1);
   const auto c11 = c.quad(0, 0), c12 = c.quad(0, 1), c21 = c.quad(1, 0), c22 = c.quad(1, 1);
 
-  fwr<Mode>(m, a11, b11, c11, mem);
-  fwr<Mode>(m, a12, b11, c12, mem);
-  fwr<Mode>(m, a21, b21, c11, mem);
-  fwr<Mode>(m, a22, b21, c12, mem);
-  fwr<Mode>(m, a22, b22, c22, mem);
-  fwr<Mode>(m, a21, b22, c21, mem);
-  fwr<Mode>(m, a12, b12, c22, mem);
-  fwr<Mode>(m, a11, b12, c21, mem);
+  fwr<Mode>(m, a11, b11, c11, mem, depth + 1);
+  fwr<Mode>(m, a12, b11, c12, mem, depth + 1);
+  fwr<Mode>(m, a21, b21, c11, mem, depth + 1);
+  fwr<Mode>(m, a22, b21, c12, mem, depth + 1);
+  fwr<Mode>(m, a22, b22, c22, mem, depth + 1);
+  fwr<Mode>(m, a21, b22, c21, mem, depth + 1);
+  fwr<Mode>(m, a12, b12, c22, mem, depth + 1);
+  fwr<Mode>(m, a11, b12, c21, mem, depth + 1);
 }
 
 }  // namespace detail
@@ -72,7 +77,7 @@ void fw_recursive(matrix::SquareMatrix<W, L>& m, Mem mem = Mem{}) {
   CG_CHECK(nb > 0 && (nb & (nb - 1)) == 0,
            "recursive FW needs a power-of-two block grid (pad with padded_size_recursive)");
   const detail::BlockRegion whole{0, 0, nb};
-  detail::fwr<Mode>(m, whole, whole, whole, mem);
+  detail::fwr<Mode>(m, whole, whole, whole, mem, /*depth=*/0);
 }
 
 }  // namespace cachegraph::apsp

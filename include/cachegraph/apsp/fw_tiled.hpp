@@ -14,6 +14,8 @@
 
 #include "cachegraph/apsp/fwi_kernel.hpp"
 #include "cachegraph/matrix/square_matrix.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
 
 namespace cachegraph::apsp {
 
@@ -25,16 +27,24 @@ void fw_tiled(matrix::SquareMatrix<W, L>& m, Mem mem = Mem{}) {
   const std::size_t ld = m.layout().tile_row_stride();
 
   for (std::size_t b = 0; b < nb; ++b) {
+    // One timeline span per block-iteration (a no-op pointer test
+    // unless a TraceSession is installed).
+    CG_TRACE_SPAN("fw_tiled.block_iteration");
+    CG_COUNTER_INC("fw_tiled.block_iterations");
+
     // Phase 1: the diagonal tile (black tile in Fig. 4).
+    CG_COUNTER_INC("fw_tiled.tile_updates");
     fwi_kernel<Mode>(m.tile(b, b), ld, m.tile(b, b), ld, m.tile(b, b), ld, bsz, mem);
 
     // Phase 2: block-row b and block-column b (grey tiles).
     for (std::size_t j = 0; j < nb; ++j) {
       if (j == b) continue;
+      CG_COUNTER_INC("fw_tiled.tile_updates");
       fwi_kernel<Mode>(m.tile(b, j), ld, m.tile(b, b), ld, m.tile(b, j), ld, bsz, mem);
     }
     for (std::size_t i = 0; i < nb; ++i) {
       if (i == b) continue;
+      CG_COUNTER_INC("fw_tiled.tile_updates");
       fwi_kernel<Mode>(m.tile(i, b), ld, m.tile(i, b), ld, m.tile(b, b), ld, bsz, mem);
     }
 
@@ -43,6 +53,7 @@ void fw_tiled(matrix::SquareMatrix<W, L>& m, Mem mem = Mem{}) {
       if (i == b) continue;
       for (std::size_t j = 0; j < nb; ++j) {
         if (j == b) continue;
+        CG_COUNTER_INC("fw_tiled.tile_updates");
         fwi_kernel<Mode>(m.tile(i, j), ld, m.tile(i, b), ld, m.tile(b, j), ld, bsz, mem);
       }
     }

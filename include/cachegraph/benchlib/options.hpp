@@ -5,9 +5,18 @@
 //   --reps=N      timing repetitions (min is reported)
 //   --seed=N      workload seed
 //   --csv         machine-readable output
+//   --stats       add a mean ± stddev timing table (noise estimate)
+//   --json PATH   write a machine-readable BENCH_<exhibit>.json record
+//                 (wall-clock stats, perf counters, instrumentation
+//                 counters, memsim stats) — the perf-trajectory producer
+//   --tag LABEL   free-form label copied into the JSON record
+//   --trace PATH  write a Chrome trace_event JSON timeline of the run
+//                 (open in chrome://tracing or ui.perfetto.dev)
 //   --machine=M   cache preset for simulation benches
 //                 (pentium3 | ultrasparc3 | alpha21264 | mips |
 //                  simplescalar | modern)
+//
+// --json/--tag/--trace accept both "--flag value" and "--flag=value".
 #pragma once
 
 #include <string>
@@ -19,9 +28,13 @@ namespace cachegraph::bench {
 struct Options {
   bool full = false;
   bool csv = false;
+  bool stats = false;
   int reps = 3;
   std::uint64_t seed = 42;
   std::string machine = "simplescalar";
+  std::string json;   ///< path for the JSON report ("" = none)
+  std::string tag;    ///< free-form label for the JSON report
+  std::string trace;  ///< path for the Chrome trace ("" = none)
 
   [[nodiscard]] memsim::MachineConfig machine_config() const;
 };

@@ -1,0 +1,112 @@
+// Bench harness: one object that wires the observability layer through
+// a bench binary.
+//
+// A Harness prints the usual exhibit banner, then brokers every
+// measurement so each one is captured three ways at once:
+//   - wall-clock (best/median/mean/stddev over reps, common/timer.hpp),
+//   - hardware perf counters (obs::PerfCounters) around the rep loop,
+//     degrading to "perf_available": false where the PMU is off-limits,
+//   - instrumentation counters (obs::CounterRegistry), reset before and
+//     snapshotted after each measured region.
+// Simulation benches additionally hand their memsim::SimStats to sim()
+// so predicted misses land in the same record as measured ones.
+//
+// On destruction the Harness writes the machine-readable JSON report
+// (--json PATH — the BENCH_<exhibit>.json producer), the Chrome trace
+// timeline (--trace PATH), and, with --stats, a mean ± stddev table
+// next to the paper-style output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/common/timer.hpp"
+#include "cachegraph/memsim/config.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/perf_counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+
+namespace cachegraph::bench {
+
+/// Ordered key/value workload parameters ({"n","2048"}, {"density","0.1"}…).
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+/// "n=2048 density=0.1" — for table rows and span names.
+[[nodiscard]] std::string params_label(const Params& params);
+
+/// One measured (or simulated) data point of an exhibit.
+struct BenchRecord {
+  std::string variant;
+  Params params;
+  TimingResult timing;
+  bool has_timing = false;
+  obs::PerfReading perf;  ///< meaningful iff the harness has perf available
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  memsim::SimStats sim;
+  bool has_sim = false;
+};
+
+class Harness {
+ public:
+  /// Prints the exhibit banner to `os` and, when --trace was given,
+  /// installs a TraceSession so CG_TRACE_SPAN sites start recording.
+  Harness(std::ostream& os, const Options& opt, std::string exhibit, std::string title,
+          const std::string& paper_reference);
+  /// Calls finish().
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// Times `fn()` best-of-`reps` with perf + instrumentation counters
+  /// captured around the whole rep loop; records one data point.
+  template <typename Fn>
+  TimingResult time(const std::string& variant, Params params, int reps, Fn&& fn) {
+    obs::TraceSpan span(span_name(variant, params));
+    begin_measure();
+    const TimingResult res = time_repeated(reps, static_cast<Fn&&>(fn));
+    end_measure(variant, std::move(params), res);
+    return res;
+  }
+
+  /// time() returning just the best wall-clock seconds.
+  template <typename Fn>
+  double time_s(const std::string& variant, Params params, int reps, Fn&& fn) {
+    return time(variant, std::move(params), reps, static_cast<Fn&&>(fn)).best_s;
+  }
+
+  /// Records a simulated data point (memsim stats + any instrumentation
+  /// counters accumulated since the previous measurement).
+  void sim(const std::string& variant, Params params, const memsim::SimStats& stats);
+
+  /// True iff hardware perf counters opened on this host.
+  [[nodiscard]] bool perf_available() const noexcept;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+  [[nodiscard]] const std::vector<BenchRecord>& records() const noexcept { return records_; }
+
+  /// Emits the --stats table and writes the --json / --trace files.
+  /// Idempotent; called by the destructor.
+  void finish();
+
+ private:
+  [[nodiscard]] static std::string span_name(const std::string& variant, const Params& params);
+  void begin_measure();
+  void end_measure(const std::string& variant, Params params, const TimingResult& res);
+  bool write_json_report() const;
+  void print_stats_table() const;
+
+  std::ostream& os_;
+  Options opt_;
+  std::string exhibit_;
+  std::string title_;
+  std::unique_ptr<obs::PerfCounters> perf_;
+  std::unique_ptr<obs::TraceSession> trace_;
+  std::vector<BenchRecord> records_;
+  bool finished_ = false;
+};
+
+}  // namespace cachegraph::bench

@@ -6,6 +6,7 @@
 
 #include "cachegraph/apsp/run.hpp"
 #include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/benchlib/report.hpp"
 #include "cachegraph/common/timer.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/graph/adjacency_list.hpp"
@@ -84,6 +85,52 @@ template <typename Rep, typename Algo>
   memsim::SimMem mem(h);
   algo(rep, mem);
   return h.stats();
+}
+
+// ---- Harness-aware variants: same measurements, but every data point
+// also lands in the Harness's JSON report with perf counters and
+// instrumentation counters attached.
+
+/// fw_time through the harness; records {variant, n, B} + timing.
+[[nodiscard]] inline double fw_time(Harness& h, const std::string& variant, apsp::FwVariant v,
+                                    const std::vector<std::int32_t>& w, std::size_t n,
+                                    std::size_t block, int reps) {
+  return h.time_s(variant,
+                  Params{{"n", std::to_string(n)}, {"B", std::to_string(block)}}, reps,
+                  [&] { (void)apsp::run_fw(v, w, n, block); });
+}
+
+/// fw_sim through the harness; records {variant, n, B, machine} + SimStats.
+[[nodiscard]] inline memsim::SimStats fw_sim(Harness& h, const std::string& variant,
+                                             apsp::FwVariant v,
+                                             const std::vector<std::int32_t>& w, std::size_t n,
+                                             std::size_t block,
+                                             const memsim::MachineConfig& machine) {
+  obs::CounterRegistry::instance().reset();
+  const memsim::SimStats s = fw_sim(v, w, n, block, machine);
+  h.sim(variant,
+        Params{{"n", std::to_string(n)}, {"B", std::to_string(block)}, {"machine", machine.name}},
+        s);
+  return s;
+}
+
+/// time_on_rep through the harness.
+template <typename Rep, typename Algo>
+[[nodiscard]] double time_on_rep(Harness& h, const std::string& variant, Params params,
+                                 const Rep& rep, int reps, Algo&& algo) {
+  return h.time_s(variant, std::move(params), reps, [&] { algo(rep); });
+}
+
+/// sim_on_rep through the harness.
+template <typename Rep, typename Algo>
+[[nodiscard]] memsim::SimStats sim_on_rep(Harness& h, const std::string& variant, Params params,
+                                          const Rep& rep, const memsim::MachineConfig& machine,
+                                          Algo&& algo) {
+  obs::CounterRegistry::instance().reset();
+  const memsim::SimStats s = sim_on_rep(rep, machine, algo);
+  params.emplace_back("machine", machine.name);
+  h.sim(variant, std::move(params), s);
+  return s;
 }
 
 }  // namespace cachegraph::bench

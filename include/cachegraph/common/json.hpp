@@ -1,0 +1,159 @@
+// Minimal hand-rolled JSON writer (no external dependencies, in the
+// spirit of Table::print): a streaming emitter with automatic comma
+// management. Used by memsim::SimStats::to_json, the obs trace writer,
+// and the benchlib JSON report sink.
+//
+// Not a parser — the test suite carries its own tiny validity checker.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::json {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+[[nodiscard]] inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming JSON writer. Call sequence is checked lightly: `key` is
+/// only legal inside an object, values/containers alternate with keys
+/// there, and commas are inserted automatically.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& begin_object() {
+    pre_value();
+    os_ << '{';
+    stack_.push_back(Frame{/*object=*/true, /*first=*/true});
+    return *this;
+  }
+  Writer& end_object() {
+    CG_CHECK(!stack_.empty() && stack_.back().object, "end_object outside object");
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  Writer& begin_array() {
+    pre_value();
+    os_ << '[';
+    stack_.push_back(Frame{/*object=*/false, /*first=*/true});
+    return *this;
+  }
+  Writer& end_array() {
+    CG_CHECK(!stack_.empty() && !stack_.back().object, "end_array outside array");
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  Writer& key(std::string_view k) {
+    CG_CHECK(!stack_.empty() && stack_.back().object, "key outside object");
+    comma();
+    os_ << '"' << escape(k) << "\":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view v) {
+    pre_value();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+  }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v) {
+    pre_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+  }
+  Writer& value(std::int64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+  }
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no inf/nan
+    } else {
+      std::ostringstream tmp;
+      tmp.precision(12);
+      tmp << v;
+      os_ << tmp.str();
+    }
+    return *this;
+  }
+
+  /// Splices pre-serialized JSON in value position (e.g. the output of
+  /// SimStats::to_json). The caller vouches for its validity.
+  Writer& raw(std::string_view json_text) {
+    pre_value();
+    os_ << json_text;
+    return *this;
+  }
+
+  /// True once every container opened has been closed.
+  [[nodiscard]] bool complete() const noexcept { return stack_.empty(); }
+
+ private:
+  struct Frame {
+    bool object;
+    bool first;
+  };
+
+  void comma() {
+    if (!stack_.empty()) {
+      if (!stack_.back().first) os_ << ',';
+      stack_.back().first = false;
+    }
+  }
+  void pre_value() {
+    if (pending_key_) {
+      pending_key_ = false;  // comma already emitted with the key
+      return;
+    }
+    CG_CHECK(stack_.empty() || !stack_.back().object, "object member needs a key first");
+    comma();
+  }
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace cachegraph::json

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <vector>
 
 namespace cachegraph {
@@ -31,6 +32,8 @@ class Timer {
 struct TimingResult {
   double best_s = 0.0;    ///< minimum over repetitions
   double median_s = 0.0;  ///< median over repetitions
+  double mean_s = 0.0;    ///< arithmetic mean over repetitions
+  double stddev_s = 0.0;  ///< sample standard deviation (0 when reps < 2)
   int reps = 0;
 };
 
@@ -52,6 +55,14 @@ TimingResult time_repeated(int reps, Setup&& setup, Fn&& fn) {
   out.reps = reps;
   out.best_s = samples.front();
   out.median_s = samples[samples.size() / 2];
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  out.mean_s = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (const double s : samples) sq += (s - out.mean_s) * (s - out.mean_s);
+    out.stddev_s = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
   return out;
 }
 

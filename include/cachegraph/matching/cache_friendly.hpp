@@ -22,6 +22,8 @@
 
 #include "cachegraph/matching/matching.hpp"
 #include "cachegraph/matching/partition.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
 
 namespace cachegraph::matching {
 
@@ -60,53 +62,62 @@ TwoPhaseStats cache_friendly_matching(const graph::BipartiteGraph& g,
   std::vector<std::vector<vertex_t>> lmap(parts), rmap(parts);
   std::vector<vertex_t> llocal(static_cast<std::size_t>(g.left));
   std::vector<vertex_t> rlocal(static_cast<std::size_t>(g.right));
-  for (vertex_t l = 0; l < g.left; ++l) {
-    const std::uint8_t p = partition.left_part[static_cast<std::size_t>(l)];
-    llocal[static_cast<std::size_t>(l)] = static_cast<vertex_t>(lmap[p].size());
-    lmap[p].push_back(l);
-  }
-  for (vertex_t r = 0; r < g.right; ++r) {
-    const std::uint8_t p = partition.right_part[static_cast<std::size_t>(r)];
-    rlocal[static_cast<std::size_t>(r)] = static_cast<vertex_t>(rmap[p].size());
-    rmap[p].push_back(r);
-  }
-  for (const auto& [l, r] : g.edges) {
-    const std::uint8_t p = partition.left_part[static_cast<std::size_t>(l)];
-    if (p == partition.right_part[static_cast<std::size_t>(r)]) {
-      subs[p].edges.emplace_back(llocal[static_cast<std::size_t>(l)],
-                                 rlocal[static_cast<std::size_t>(r)]);
+  {
+    CG_TRACE_SPAN("matching.phase1.partition");
+    for (vertex_t l = 0; l < g.left; ++l) {
+      const std::uint8_t p = partition.left_part[static_cast<std::size_t>(l)];
+      llocal[static_cast<std::size_t>(l)] = static_cast<vertex_t>(lmap[p].size());
+      lmap[p].push_back(l);
+    }
+    for (vertex_t r = 0; r < g.right; ++r) {
+      const std::uint8_t p = partition.right_part[static_cast<std::size_t>(r)];
+      rlocal[static_cast<std::size_t>(r)] = static_cast<vertex_t>(rmap[p].size());
+      rmap[p].push_back(r);
+    }
+    for (const auto& [l, r] : g.edges) {
+      const std::uint8_t p = partition.left_part[static_cast<std::size_t>(l)];
+      if (p == partition.right_part[static_cast<std::size_t>(r)]) {
+        subs[p].edges.emplace_back(llocal[static_cast<std::size_t>(l)],
+                                   rlocal[static_cast<std::size_t>(r)]);
+      }
     }
   }
 
-  for (std::uint8_t part = 0; part < parts; ++part) {
-    graph::BipartiteGraph& sub = subs[part];
-    sub.left = static_cast<vertex_t>(lmap[part].size());
-    sub.right = static_cast<vertex_t>(rmap[part].size());
-    if (sub.left == 0 || sub.edges.empty()) continue;
+  {
+    CG_TRACE_SPAN("matching.phase1.local");
+    for (std::uint8_t part = 0; part < parts; ++part) {
+      graph::BipartiteGraph& sub = subs[part];
+      sub.left = static_cast<vertex_t>(lmap[part].size());
+      sub.right = static_cast<vertex_t>(rmap[part].size());
+      if (sub.left == 0 || sub.edges.empty()) continue;
 
-    const BipartiteCsr sub_rep(sub);
-    stats.largest_subproblem_bytes =
-        std::max(stats.largest_subproblem_bytes, sub_rep.footprint_bytes());
-    Matching local = Matching::empty(sub.left, sub.right);
-    if (use_primitive_search) {
-      primitive_matching(sub_rep, local, mem);
-    } else {
-      max_bipartite_matching(sub_rep, local, mem);
-    }
+      CG_COUNTER_INC("matching.local_subproblems");
+      const BipartiteCsr sub_rep(sub);
+      stats.largest_subproblem_bytes =
+          std::max(stats.largest_subproblem_bytes, sub_rep.footprint_bytes());
+      Matching local = Matching::empty(sub.left, sub.right);
+      if (use_primitive_search) {
+        primitive_matching(sub_rep, local, mem);
+      } else {
+        max_bipartite_matching(sub_rep, local, mem);
+      }
 
-    // ---- UnionAll: copy local matches back in global ids.
-    for (vertex_t ll = 0; ll < sub.left; ++ll) {
-      const vertex_t lr = local.match_left[static_cast<std::size_t>(ll)];
-      if (lr == kNoVertex) continue;
-      const vertex_t gl = lmap[part][static_cast<std::size_t>(ll)];
-      const vertex_t gr = rmap[part][static_cast<std::size_t>(lr)];
-      out.match_left[static_cast<std::size_t>(gl)] = gr;
-      out.match_right[static_cast<std::size_t>(gr)] = gl;
+      // ---- UnionAll: copy local matches back in global ids.
+      for (vertex_t ll = 0; ll < sub.left; ++ll) {
+        const vertex_t lr = local.match_left[static_cast<std::size_t>(ll)];
+        if (lr == kNoVertex) continue;
+        const vertex_t gl = lmap[part][static_cast<std::size_t>(ll)];
+        const vertex_t gr = rmap[part][static_cast<std::size_t>(lr)];
+        out.match_left[static_cast<std::size_t>(gl)] = gr;
+        out.match_right[static_cast<std::size_t>(gr)] = gl;
+      }
     }
   }
   stats.local_matched = out.size();
+  CG_COUNTER_ADD("matching.local_matched", stats.local_matched);
 
   // ---- Phase 2: finish on the whole graph starting from the union.
+  CG_TRACE_SPAN("matching.phase2.global");
   const BipartiteCsr full(g);
   const MatchingStats global = use_primitive_search
                                    ? primitive_matching(full, out, mem)
@@ -114,6 +125,8 @@ TwoPhaseStats cache_friendly_matching(const graph::BipartiteGraph& g,
   stats.global_searches = global.searches;
   stats.global_augmentations = global.augmentations;
   stats.final_matched = out.size();
+  CG_COUNTER_ADD("matching.global_searches", global.searches);
+  CG_COUNTER_ADD("matching.global_augmentations", global.augmentations);
   return stats;
 }
 

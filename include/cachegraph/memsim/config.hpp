@@ -68,6 +68,11 @@ struct SimStats {
   [[nodiscard]] std::uint64_t memory_traffic_lines() const noexcept {
     return mem_reads + mem_writebacks;
   }
+
+  /// Serialized as a JSON object (hand-rolled, no external deps) — the
+  /// machine-readable form the benchlib report sink embeds so predicted
+  /// misses sit next to measured perf counters in BENCH_*.json records.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Whole-machine memory system description (Section 4 hardware table).

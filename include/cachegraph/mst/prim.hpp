@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
 #include "cachegraph/pq/binary_heap.hpp"
 #include "cachegraph/pq/concepts.hpp"
 
@@ -77,6 +78,7 @@ MstResult<typename G::weight_type> prim(const G& g, vertex_t root = 0, Mem mem =
         mem.write(&r.parent[tv]);
         q.decrease_key(nb.to, nb.weight);
         ++r.updates;
+        CG_COUNTER_INC("prim.relaxations");
       }
     });
   }

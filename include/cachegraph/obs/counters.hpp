@@ -1,0 +1,91 @@
+// Instrumentation counters — cheap, named, process-wide tallies that
+// algorithm hot paths bump through the CG_COUNTER_* macros.
+//
+// The macros are compile-time toggled by CACHEGRAPH_INSTRUMENT (a CMake
+// option, default ON). When the toggle is off every macro expands to a
+// no-op that references no registry symbol, so instrumented kernels
+// compile to exactly the code they had before instrumentation. When on,
+// each use site resolves its counter slot once (a function-local static
+// reference into the registry) and the steady-state cost is one add to
+// a hot cache line — negligible next to any heap op or tile update.
+//
+// The registry itself is always compiled (tests and the bench report
+// sink use it regardless of the toggle). Counter *lookup* is mutex
+// guarded; the increments themselves are plain unsynchronized adds, so
+// only instrument code that runs on one thread at a time (all current
+// instrumentation sites are sequential; the OpenMP paths call the
+// uninstrumented kernels directly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cachegraph::obs {
+
+class CounterRegistry {
+ public:
+  /// The process-wide registry.
+  static CounterRegistry& instance();
+
+  /// Get-or-create the counter named `name`. The returned reference
+  /// stays valid (and is zeroed in place by reset()) for the process
+  /// lifetime — counters are created, never destroyed.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Current value; 0 if the counter has never been touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// Zero every counter in place (references stay valid).
+  void reset();
+
+  /// All counters, sorted by name. `nonzero_only` drops zero entries —
+  /// what the report sink wants after a measured region.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot(
+      bool nonzero_only = false) const;
+
+ private:
+  CounterRegistry() = default;
+
+  mutable std::mutex mu_;
+  // node-based map: stable addresses for the returned references.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace cachegraph::obs
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+
+#define CG_COUNTER_ADD(name, delta)                                          \
+  do {                                                                       \
+    static std::uint64_t& cg_obs_counter_ =                                  \
+        ::cachegraph::obs::CounterRegistry::instance().counter(name);        \
+    cg_obs_counter_ += static_cast<std::uint64_t>(delta);                    \
+  } while (false)
+
+#define CG_COUNTER_MAX(name, v)                                              \
+  do {                                                                       \
+    static std::uint64_t& cg_obs_counter_ =                                  \
+        ::cachegraph::obs::CounterRegistry::instance().counter(name);        \
+    const auto cg_obs_v_ = static_cast<std::uint64_t>(v);                    \
+    if (cg_obs_v_ > cg_obs_counter_) cg_obs_counter_ = cg_obs_v_;            \
+  } while (false)
+
+#else  // !CACHEGRAPH_INSTRUMENT — expand to nothing; sizeof keeps the
+       // operands "used" (no evaluation, no codegen, no warnings).
+
+#define CG_COUNTER_ADD(name, delta)   \
+  do {                                \
+    (void)sizeof((name));             \
+    (void)sizeof((delta));            \
+  } while (false)
+
+#define CG_COUNTER_MAX(name, v) CG_COUNTER_ADD(name, v)
+
+#endif  // CACHEGRAPH_INSTRUMENT
+
+#define CG_COUNTER_INC(name) CG_COUNTER_ADD(name, 1)

@@ -1,0 +1,101 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// The paper validates every optimization with *measured* cache
+// behaviour (SimpleScalar miss counts); on a live host the analogous
+// evidence is the PMU. PerfCounters samples, around a measured region:
+//   cycles, instructions, L1D loads + load misses, LLC loads + load
+//   misses, and dTLB load misses
+// so bench reports can put measured miss counts next to the memsim's
+// predicted ones.
+//
+// Counters are opened individually (no group) so the kernel can
+// multiplex freely; each value is scaled by time_enabled/time_running.
+// Where the syscall is unavailable — containers without
+// CAP_PERFMON / perf_event_paranoid >= 2, non-Linux hosts — every open
+// fails and the object degrades to a no-op with available() == false.
+// Individual events may also be missing (e.g. LLC events on some VMs):
+// those fields read 0 and are excluded from `mask`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cachegraph::obs {
+
+/// One sampled reading. A field is meaningful iff its bit is set in
+/// `mask` (see PerfCounters::Event); unavailable fields stay 0.
+struct PerfReading {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_loads = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t dtlb_misses = 0;
+  unsigned mask = 0;  ///< bit i set ⇔ event i was actually counted
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+  [[nodiscard]] double l1d_miss_rate() const noexcept {
+    return l1d_loads == 0
+               ? 0.0
+               : static_cast<double>(l1d_misses) / static_cast<double>(l1d_loads);
+  }
+  [[nodiscard]] double llc_miss_rate() const noexcept {
+    return llc_loads == 0
+               ? 0.0
+               : static_cast<double>(llc_misses) / static_cast<double>(llc_loads);
+  }
+};
+
+class PerfCounters {
+ public:
+  enum Event : unsigned {
+    kCycles = 0,
+    kInstructions,
+    kL1dLoads,
+    kL1dMisses,
+    kLlcLoads,
+    kLlcMisses,
+    kDtlbMisses,
+    kNumEvents,
+  };
+
+  /// Tries to open all events; never throws. Check available().
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True iff at least one hardware event opened successfully.
+  [[nodiscard]] bool available() const noexcept { return mask_ != 0; }
+
+  /// Bitmask of Events that opened (bit i ⇔ Event i).
+  [[nodiscard]] unsigned mask() const noexcept { return mask_; }
+
+  /// Zero and enable all opened counters. No-op when unavailable.
+  void start() noexcept;
+  /// Disable counting. No-op when unavailable.
+  void stop() noexcept;
+  /// Read the current (multiplex-scaled) values. All-zero reading with
+  /// mask == 0 when unavailable.
+  [[nodiscard]] PerfReading read() const noexcept;
+
+  /// start(); fn(); stop(); read().
+  template <typename Fn>
+  PerfReading measure(Fn&& fn) {
+    start();
+    fn();
+    stop();
+    return read();
+  }
+
+ private:
+  std::array<int, kNumEvents> fds_;
+  unsigned mask_ = 0;
+};
+
+}  // namespace cachegraph::obs

@@ -1,0 +1,94 @@
+// Scoped trace spans emitting Chrome trace_event JSON.
+//
+// A TraceSession collects begin/end ("B"/"E") events with microsecond
+// timestamps; write_json() emits the Chrome trace-event array format
+// that chrome://tracing and https://ui.perfetto.dev open directly, so
+// nested phases — partition → local match → global match, or the tiled
+// FW's per-block-iterations — are visible on a timeline.
+//
+// Instrumentation sites use CG_TRACE_SPAN(name): an RAII span that is a
+// single pointer test when no session is installed, so leaving the
+// spans compiled in costs nothing outside traced runs. Sessions nest
+// (the newest installed one records); begin/end are mutex-guarded so a
+// span opened inside an OpenMP region cannot corrupt the event list.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cachegraph::obs {
+
+class TraceSession {
+ public:
+  struct Event {
+    char phase;        ///< 'B', 'E', or 'i' (instant)
+    std::string name;
+    double ts_us;      ///< microseconds since session start
+  };
+
+  /// Installs this session as the current recording target.
+  TraceSession();
+  /// Uninstalls (restores the previously installed session, if any).
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The innermost installed session, or nullptr when none.
+  [[nodiscard]] static TraceSession* current() noexcept;
+
+  void begin(std::string_view name);
+  void end(std::string_view name);
+  void instant(std::string_view name);
+
+  [[nodiscard]] std::size_t num_events() const;
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...], ...}).
+  void write_json(std::ostream& os) const;
+  /// Writes the JSON to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void record(char phase, std::string_view name);
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  TraceSession* prev_ = nullptr;
+};
+
+/// RAII span: records a B event now and the matching E event on scope
+/// exit — if and only if a session is installed at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) {
+    if (TraceSession* s = TraceSession::current()) {
+      session_ = s;
+      name_.assign(name);
+      s->begin(name_);
+    }
+  }
+  ~TraceSpan() {
+    if (session_ != nullptr) session_->end(name_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSession* session_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace cachegraph::obs
+
+#define CG_OBS_CONCAT_IMPL(a, b) a##b
+#define CG_OBS_CONCAT(a, b) CG_OBS_CONCAT_IMPL(a, b)
+#define CG_TRACE_SPAN(name) \
+  const ::cachegraph::obs::TraceSpan CG_OBS_CONCAT(cg_trace_span_, __LINE__)(name)

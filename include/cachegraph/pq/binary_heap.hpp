@@ -14,6 +14,7 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::pq {
 
@@ -46,6 +47,7 @@ class BinaryHeap {
   }
 
   void insert(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.binary.inserts");
     CG_DCHECK(!contains(v));
     heap_.push_back(Entry{key, v});
     const auto slot = static_cast<index_t>(heap_.size() - 1);
@@ -55,6 +57,7 @@ class BinaryHeap {
   }
 
   Entry extract_min() {
+    CG_COUNTER_INC("pq.binary.extract_mins");
     CG_CHECK(!heap_.empty(), "extract_min on empty heap");
     read_entry(0);
     const Entry top = heap_.front();
@@ -73,6 +76,7 @@ class BinaryHeap {
 
   /// The paper's Update operation: lower v's key (no-op if not lower).
   void decrease_key(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.binary.decrease_keys");
     const auto slot = static_cast<std::size_t>(pos_[static_cast<std::size_t>(v)]);
     read_entry(slot);
     CG_DCHECK(contains(v));

@@ -12,6 +12,7 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::pq {
 
@@ -46,6 +47,7 @@ class DAryHeap {
   }
 
   void insert(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.dary.inserts");
     CG_DCHECK(!contains(v));
     heap_.push_back(Entry{key, v});
     const auto slot = heap_.size() - 1;
@@ -55,6 +57,7 @@ class DAryHeap {
   }
 
   Entry extract_min() {
+    CG_COUNTER_INC("pq.dary.extract_mins");
     CG_CHECK(!heap_.empty(), "extract_min on empty heap");
     mem_.read(&heap_[0]);
     const Entry top = heap_.front();
@@ -72,6 +75,7 @@ class DAryHeap {
   }
 
   void decrease_key(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.dary.decrease_keys");
     const auto slot = static_cast<std::size_t>(pos_[static_cast<std::size_t>(v)]);
     CG_DCHECK(contains(v));
     mem_.read(&heap_[slot]);

@@ -14,6 +14,7 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::pq {
 
@@ -44,6 +45,7 @@ class FibonacciHeap {
   }
 
   void insert(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.fibonacci.inserts");
     CG_DCHECK(!contains(v));
     Node& n = node(v);
     n = Node{};
@@ -58,6 +60,7 @@ class FibonacciHeap {
   }
 
   Entry extract_min() {
+    CG_COUNTER_INC("pq.fibonacci.extract_mins");
     CG_CHECK(size_ > 0, "extract_min on empty heap");
     const vertex_t z = min_;
     mem_.read(&node(z));
@@ -93,6 +96,7 @@ class FibonacciHeap {
   }
 
   void decrease_key(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.fibonacci.decrease_keys");
     Node& n = node(v);
     mem_.read(&n);
     CG_DCHECK(n.in_heap);

@@ -12,6 +12,7 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::pq {
 
@@ -42,6 +43,7 @@ class PairingHeap {
   }
 
   void insert(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.pairing.inserts");
     CG_DCHECK(!contains(v));
     Node& n = node(v);
     n = Node{key, kNoVertex, kNoVertex, kNoVertex, true};
@@ -51,6 +53,7 @@ class PairingHeap {
   }
 
   Entry extract_min() {
+    CG_COUNTER_INC("pq.pairing.extract_mins");
     CG_CHECK(size_ > 0, "extract_min on empty heap");
     const vertex_t min_v = root_;
     mem_.read(&node(min_v));
@@ -68,6 +71,7 @@ class PairingHeap {
   }
 
   void decrease_key(vertex_t v, W key) {
+    CG_COUNTER_INC("pq.pairing.decrease_keys");
     Node& n = node(v);
     mem_.read(&n);
     CG_DCHECK(n.in_heap);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
 #include "cachegraph/pq/binary_heap.hpp"
 #include "cachegraph/pq/concepts.hpp"
 
@@ -58,6 +59,7 @@ SsspResult<typename G::weight_type> dijkstra(const G& g, vertex_t source, Mem me
     const auto top = q.extract_min();
     if (is_inf(top.key)) break;  // everything left is unreachable
     ++r.extract_mins;
+    CG_COUNTER_INC("dijkstra.settled");
     const vertex_t u = top.vertex;
     const W du = top.key;
     g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
@@ -71,6 +73,7 @@ SsspResult<typename G::weight_type> dijkstra(const G& g, vertex_t source, Mem me
         mem.write(&r.parent[tv]);
         q.decrease_key(nb.to, nd);
         ++r.updates;
+        CG_COUNTER_INC("dijkstra.relaxations");
       }
     });
   }

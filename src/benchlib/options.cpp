@@ -18,6 +18,30 @@ memsim::MachineConfig Options::machine_config() const {
   std::exit(2);
 }
 
+namespace {
+
+/// Matches "--flag=value" or "--flag value" (consuming the next argv
+/// entry); returns true and stores into `out` on a match.
+bool parse_string_flag(std::string_view flag, int argc, char** argv, int& i, std::string& out) {
+  const std::string_view arg = argv[i];
+  const std::string eq = std::string(flag) + "=";
+  if (arg.starts_with(eq)) {
+    out = std::string(arg.substr(eq.size()));
+    return true;
+  }
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value\n";
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Options parse_options(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
@@ -26,6 +50,8 @@ Options parse_options(int argc, char** argv) {
       o.full = true;
     } else if (arg == "--csv") {
       o.csv = true;
+    } else if (arg == "--stats") {
+      o.stats = true;
     } else if (arg.starts_with("--reps=")) {
       o.reps = std::atoi(arg.substr(7).data());
       if (o.reps < 1) o.reps = 1;
@@ -33,9 +59,29 @@ Options parse_options(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::atoll(arg.substr(7).data()));
     } else if (arg.starts_with("--machine=")) {
       o.machine = std::string(arg.substr(10));
+    } else if (parse_string_flag("--json", argc, argv, i, o.json) ||
+               parse_string_flag("--tag", argc, argv, i, o.tag) ||
+               parse_string_flag("--trace", argc, argv, i, o.trace)) {
+      // handled
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0]
-                << " [--full] [--csv] [--reps=N] [--seed=N] [--machine=NAME]\n";
+      std::cout
+          << "usage: " << argv[0]
+          << " [--full] [--csv] [--stats] [--reps=N] [--seed=N] [--machine=NAME]\n"
+             "       [--json PATH] [--tag LABEL] [--trace PATH]\n"
+             "\n"
+             "  --full         paper-scale problem sizes (default: quick sizes)\n"
+             "  --csv          machine-readable table output\n"
+             "  --stats        also print a mean +/- stddev timing table\n"
+             "  --reps=N       timing repetitions (best is reported; default 3)\n"
+             "  --seed=N       workload seed (default 42)\n"
+             "  --machine=M    simulated cache preset: pentium3|ultrasparc3|\n"
+             "                 alpha21264|mips|simplescalar|modern\n"
+             "  --json PATH    write a JSON report: wall-clock stats, hardware perf\n"
+             "                 counters (or \"perf_available\": false), instrumentation\n"
+             "                 counters, and simulated cache stats where applicable\n"
+             "  --tag LABEL    free-form label copied into the JSON report\n"
+             "  --trace PATH   write a Chrome trace_event timeline (open in\n"
+             "                 chrome://tracing or https://ui.perfetto.dev)\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";

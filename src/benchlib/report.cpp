@@ -1,0 +1,185 @@
+#include "cachegraph/benchlib/report.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/common/json.hpp"
+
+namespace cachegraph::bench {
+
+std::string params_label(const Params& params) {
+  std::string out;
+  for (const auto& [k, v] : params) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+Harness::Harness(std::ostream& os, const Options& opt, std::string exhibit, std::string title,
+                 const std::string& paper_reference)
+    : os_(os),
+      opt_(opt),
+      exhibit_(std::move(exhibit)),
+      title_(std::move(title)),
+      perf_(std::make_unique<obs::PerfCounters>()) {
+  print_exhibit_header(os_, exhibit_, title_, paper_reference);
+  // Counters accrue between measurements too (e.g. during a simulated
+  // run that ends in sim()); start each exhibit from zero.
+  obs::CounterRegistry::instance().reset();
+  if (!opt_.trace.empty()) trace_ = std::make_unique<obs::TraceSession>();
+}
+
+Harness::~Harness() {
+  try {
+    finish();
+  } catch (...) {
+    // Never throw out of a destructor; report files are best-effort.
+  }
+}
+
+bool Harness::perf_available() const noexcept { return perf_->available(); }
+
+std::string Harness::span_name(const std::string& variant, const Params& params) {
+  std::string name = variant;
+  const std::string label = params_label(params);
+  if (!label.empty()) {
+    name += " [";
+    name += label;
+    name += ']';
+  }
+  return name;
+}
+
+void Harness::begin_measure() {
+  obs::CounterRegistry::instance().reset();
+  perf_->start();
+}
+
+void Harness::end_measure(const std::string& variant, Params params, const TimingResult& res) {
+  perf_->stop();
+  BenchRecord rec;
+  rec.variant = variant;
+  rec.params = std::move(params);
+  rec.timing = res;
+  rec.has_timing = true;
+  rec.perf = perf_->read();
+  rec.counters = obs::CounterRegistry::instance().snapshot(/*nonzero_only=*/true);
+  records_.push_back(std::move(rec));
+}
+
+void Harness::sim(const std::string& variant, Params params, const memsim::SimStats& stats) {
+  BenchRecord rec;
+  rec.variant = variant;
+  rec.params = std::move(params);
+  rec.sim = stats;
+  rec.has_sim = true;
+  rec.counters = obs::CounterRegistry::instance().snapshot(/*nonzero_only=*/true);
+  obs::CounterRegistry::instance().reset();
+  records_.push_back(std::move(rec));
+}
+
+void Harness::print_stats_table() const {
+  Table t({"variant", "params", "best (s)", "median (s)", "mean (s)", "stddev (s)", "reps"});
+  bool any = false;
+  for (const BenchRecord& r : records_) {
+    if (!r.has_timing) continue;
+    any = true;
+    t.add_row({r.variant, params_label(r.params), fmt(r.timing.best_s, 4),
+               fmt(r.timing.median_s, 4), fmt(r.timing.mean_s, 4), fmt(r.timing.stddev_s, 4),
+               std::to_string(r.timing.reps)});
+  }
+  if (!any) return;
+  os_ << "\ntiming stats (mean ± sample stddev over reps):\n";
+  t.print(os_, opt_.csv);
+}
+
+bool Harness::write_json_report() const {
+  std::ofstream f(opt_.json);
+  if (!f) {
+    std::cerr << "cannot write JSON report to " << opt_.json << "\n";
+    return false;
+  }
+  json::Writer w(f);
+  w.begin_object();
+  w.key("exhibit").value(exhibit_);
+  w.key("title").value(title_);
+  if (!opt_.tag.empty()) w.key("tag").value(opt_.tag);
+  w.key("options").begin_object();
+  w.key("full").value(opt_.full);
+  w.key("reps").value(opt_.reps);
+  w.key("seed").value(opt_.seed);
+  w.key("machine").value(opt_.machine);
+  w.end_object();
+  w.key("perf_available").value(perf_->available());
+  w.key("instrumented").value(
+#if defined(CACHEGRAPH_INSTRUMENT)
+      true
+#else
+      false
+#endif
+  );
+  w.key("records").begin_array();
+  for (const BenchRecord& r : records_) {
+    w.begin_object();
+    w.key("variant").value(r.variant);
+    w.key("params").begin_object();
+    for (const auto& [k, v] : r.params) w.key(k).value(v);
+    w.end_object();
+    if (r.has_timing) {
+      w.key("timing").begin_object();
+      w.key("best_s").value(r.timing.best_s);
+      w.key("median_s").value(r.timing.median_s);
+      w.key("mean_s").value(r.timing.mean_s);
+      w.key("stddev_s").value(r.timing.stddev_s);
+      w.key("reps").value(r.timing.reps);
+      w.end_object();
+    }
+    if (r.has_timing && perf_->available()) {
+      w.key("perf").begin_object();
+      w.key("cycles").value(r.perf.cycles);
+      w.key("instructions").value(r.perf.instructions);
+      w.key("ipc").value(r.perf.ipc());
+      w.key("l1d_loads").value(r.perf.l1d_loads);
+      w.key("l1d_misses").value(r.perf.l1d_misses);
+      w.key("l1d_miss_rate").value(r.perf.l1d_miss_rate());
+      w.key("llc_loads").value(r.perf.llc_loads);
+      w.key("llc_misses").value(r.perf.llc_misses);
+      w.key("llc_miss_rate").value(r.perf.llc_miss_rate());
+      w.key("dtlb_misses").value(r.perf.dtlb_misses);
+      w.key("event_mask").value(static_cast<std::uint64_t>(r.perf.mask));
+      w.end_object();
+    }
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : r.counters) w.key(name).value(v);
+    w.end_object();
+    if (r.has_sim) w.key("sim").raw(r.sim.to_json());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  f << "\n";
+  return static_cast<bool>(f);
+}
+
+void Harness::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (opt_.stats) print_stats_table();
+  if (!opt_.json.empty() && write_json_report()) {
+    os_ << "\n(JSON report written to " << opt_.json << ")\n";
+  }
+  if (trace_ != nullptr && !opt_.trace.empty()) {
+    if (trace_->write_file(opt_.trace)) {
+      os_ << "(trace written to " << opt_.trace
+          << " — open in chrome://tracing or https://ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "cannot write trace to " << opt_.trace << "\n";
+    }
+  }
+}
+
+}  // namespace cachegraph::bench

@@ -1,0 +1,37 @@
+#include <sstream>
+
+#include "cachegraph/common/json.hpp"
+#include "cachegraph/memsim/config.hpp"
+
+namespace cachegraph::memsim {
+
+namespace {
+
+void write_level(json::Writer& w, const char* name, const LevelStats& s) {
+  w.key(name).begin_object();
+  w.key("accesses").value(s.accesses);
+  w.key("misses").value(s.misses);
+  w.key("writebacks").value(s.writebacks);
+  w.key("miss_rate").value(s.miss_rate());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string SimStats::to_json() const {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  write_level(w, "l1", l1);
+  write_level(w, "l2", l2);
+  write_level(w, "l3", l3);
+  write_level(w, "tlb", tlb);
+  w.key("victim_hits").value(victim_hits);
+  w.key("mem_reads").value(mem_reads);
+  w.key("mem_writebacks").value(mem_writebacks);
+  w.key("memory_traffic_lines").value(memory_traffic_lines());
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace cachegraph::memsim

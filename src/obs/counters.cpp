@@ -1,0 +1,40 @@
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::obs {
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+std::uint64_t& CounterRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), 0).first->second;
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, v] : counters_) v = 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot(
+    bool nonzero_only) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, v] : counters_) {
+    if (nonzero_only && v == 0) continue;
+    out.emplace_back(name, v);
+  }
+  return out;  // std::map iteration order is already name-sorted
+}
+
+}  // namespace cachegraph::obs

@@ -1,0 +1,131 @@
+#include "cachegraph/obs/perf_counters.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define CACHEGRAPH_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace cachegraph::obs {
+
+#if defined(CACHEGRAPH_HAVE_PERF_EVENT)
+
+namespace {
+
+struct EventDesc {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::uint64_t hw_cache_config(std::uint64_t cache, std::uint64_t op,
+                                        std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// Index order must match PerfCounters::Event.
+constexpr EventDesc kEvents[PerfCounters::kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE, hw_cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE, hw_cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE, hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE, hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE, hw_cache_config(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                                         PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+int open_event(const EventDesc& e) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = e.type;
+  attr.config = e.config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  // Multiplex-aware read format: {value, time_enabled, time_running}.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);  // -1 on failure (EACCES/ENOENT/EINVAL…)
+}
+
+std::uint64_t read_scaled(int fd) noexcept {
+  std::uint64_t buf[3] = {0, 0, 0};  // value, enabled, running
+  if (::read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) return 0;
+  if (buf[2] == 0) return 0;  // never scheduled onto the PMU
+  if (buf[1] == buf[2]) return buf[0];
+  const double scale = static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+  return static_cast<std::uint64_t>(static_cast<double>(buf[0]) * scale);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fds_.fill(-1);
+  for (unsigned i = 0; i < kNumEvents; ++i) {
+    const int fd = open_event(kEvents[i]);
+    if (fd >= 0) {
+      fds_[i] = fd;
+      mask_ |= 1u << i;
+    }
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void PerfCounters::start() noexcept {
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounters::stop() noexcept {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+PerfReading PerfCounters::read() const noexcept {
+  PerfReading r;
+  r.mask = mask_;
+  std::uint64_t vals[kNumEvents] = {};
+  for (unsigned i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] >= 0) vals[i] = read_scaled(fds_[i]);
+  }
+  r.cycles = vals[kCycles];
+  r.instructions = vals[kInstructions];
+  r.l1d_loads = vals[kL1dLoads];
+  r.l1d_misses = vals[kL1dMisses];
+  r.llc_loads = vals[kLlcLoads];
+  r.llc_misses = vals[kLlcMisses];
+  r.dtlb_misses = vals[kDtlbMisses];
+  return r;
+}
+
+#else  // no perf_event_open on this platform: permanent no-op fallback
+
+PerfCounters::PerfCounters() { fds_.fill(-1); }
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() noexcept {}
+void PerfCounters::stop() noexcept {}
+PerfReading PerfCounters::read() const noexcept { return PerfReading{}; }
+
+#endif  // CACHEGRAPH_HAVE_PERF_EVENT
+
+}  // namespace cachegraph::obs

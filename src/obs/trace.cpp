@@ -1,0 +1,76 @@
+#include "cachegraph/obs/trace.hpp"
+
+#include <fstream>
+
+#include "cachegraph/common/json.hpp"
+
+namespace cachegraph::obs {
+
+namespace {
+TraceSession*& current_slot() noexcept {
+  static TraceSession* current = nullptr;
+  return current;
+}
+}  // namespace
+
+TraceSession::TraceSession() : start_(std::chrono::steady_clock::now()) {
+  prev_ = current_slot();
+  current_slot() = this;
+}
+
+TraceSession::~TraceSession() { current_slot() = prev_; }
+
+TraceSession* TraceSession::current() noexcept { return current_slot(); }
+
+void TraceSession::record(char phase, std::string_view name) {
+  const double ts_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{phase, std::string(name), ts_us});
+}
+
+void TraceSession::begin(std::string_view name) { record('B', name); }
+void TraceSession::end(std::string_view name) { record('E', name); }
+void TraceSession::instant(std::string_view name) { record('i', name); }
+
+std::size_t TraceSession::num_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceSession::Event> TraceSession::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSession::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json::Writer w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("cachegraph");
+    w.key("ph").value(std::string_view(&e.phase, 1));
+    w.key("pid").value(1);
+    w.key("tid").value(1);
+    w.key("ts").value(e.ts_us);
+    if (e.phase == 'i') w.key("s").value("t");  // instant scope: thread
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  os << "\n";
+}
+
+bool TraceSession::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return os.good();
+}
+
+}  // namespace cachegraph::obs

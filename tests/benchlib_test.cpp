@@ -2,6 +2,8 @@
 // formatting, option parsing, host-cache detection, workload builders.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cachegraph/benchlib/options.hpp"
@@ -126,6 +128,120 @@ TEST(Workloads, FwTimeAndSimAgreeOnResultShape) {
   EXPECT_GT(t, 0.0);
   const auto s = fw_sim(apsp::FwVariant::kTiledBdl, w, 32, 8, memsim::simplescalar_default());
   EXPECT_GT(s.l1.accesses, 0u);
+}
+
+TEST(OptionsTest, ParsesObservabilityFlags) {
+  char prog[] = "bench";
+  char f1[] = "--stats";
+  char f2[] = "--json=/tmp/report.json";
+  char f3[] = "--tag";
+  char f4[] = "nightly-run";
+  char f5[] = "--trace";
+  char f6[] = "/tmp/spans.trace";
+  char* argv[] = {prog, f1, f2, f3, f4, f5, f6};
+  const Options o = parse_options(7, argv);
+  EXPECT_TRUE(o.stats);
+  EXPECT_EQ(o.json, "/tmp/report.json");
+  EXPECT_EQ(o.tag, "nightly-run");
+  EXPECT_EQ(o.trace, "/tmp/spans.trace");
+}
+
+TEST(OptionsTest, ObservabilityFlagsDefaultOff) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const Options o = parse_options(1, argv);
+  EXPECT_FALSE(o.stats);
+  EXPECT_TRUE(o.json.empty());
+  EXPECT_TRUE(o.tag.empty());
+  EXPECT_TRUE(o.trace.empty());
+}
+
+TEST(TimerTest, MeanAndStddevAreConsistent) {
+  const TimingResult r = time_repeated(5, [] {
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  });
+  EXPECT_EQ(r.reps, 5);
+  EXPECT_GT(r.best_s, 0.0);
+  EXPECT_LE(r.best_s, r.median_s);
+  EXPECT_LE(r.best_s, r.mean_s);
+  EXPECT_GE(r.stddev_s, 0.0);
+
+  const TimingResult single = time_repeated(1, [] {});
+  EXPECT_EQ(single.stddev_s, 0.0);
+  EXPECT_EQ(single.mean_s, single.best_s);
+}
+
+TEST(Harness, WritesJsonReportWithCountersAndTiming) {
+  const std::string path = ::testing::TempDir() + "cachegraph_harness_test.json";
+  std::ostringstream console;
+  {
+    Options o;
+    o.json = path;
+    o.tag = "unit-test";
+    Harness h(console, o, "Test exhibit", "Harness round trip", "n/a");
+    const auto w = fw_input(16, 3);
+    const double t = fw_time(h, "recursive_morton", apsp::FwVariant::kRecursiveMorton, w, 16, 4, 2);
+    EXPECT_GT(t, 0.0);
+    h.finish();
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  EXPECT_NE(text.find("\"exhibit\":\"Test exhibit\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"tag\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(text.find("\"perf_available\""), std::string::npos);
+  EXPECT_NE(text.find("\"recursive_morton\""), std::string::npos);
+  EXPECT_NE(text.find("\"best_s\""), std::string::npos);
+#if defined(CACHEGRAPH_INSTRUMENT)
+  // Instrumented build: the FWR base-case counter must be present and
+  // scoped to this record.
+  EXPECT_NE(text.find("\"fwr.base_cases\""), std::string::npos) << text;
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(Harness, RecordsSimStats) {
+  const std::string path = ::testing::TempDir() + "cachegraph_harness_sim_test.json";
+  std::ostringstream console;
+  {
+    Options o;
+    o.json = path;
+    Harness h(console, o, "Sim exhibit", "Simulated record", "n/a");
+    const auto w = fw_input(16, 3);
+    const auto s = fw_sim(h, "tiled_bdl", apsp::FwVariant::kTiledBdl, w, 16, 4,
+                          memsim::simplescalar_default());
+    EXPECT_GT(s.l1.accesses, 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"sim\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"l1\""), std::string::npos);
+  EXPECT_NE(text.find("\"machine\":\"SimpleScalar\""), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
+TEST(Harness, StatsTablePrintsWhenRequested) {
+  std::ostringstream console;
+  Options o;
+  o.stats = true;
+  Harness h(console, o, "Stats exhibit", "Stats table", "n/a");
+  (void)h.time("quick", Params{{"n", "8"}}, 3, [] {
+    volatile int x = 0;
+    for (int i = 0; i < 100; ++i) x = x + i;
+  });
+  h.finish();
+  const std::string out = console.str();
+  EXPECT_NE(out.find("stddev"), std::string::npos) << out;
+  EXPECT_NE(out.find("quick"), std::string::npos);
+  EXPECT_NE(out.find("n=8"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+// Tests for the observability layer: instrumentation counters, the
+// perf_event wrapper's graceful fallback, trace-span JSON emission, and
+// the json::Writer underneath all of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cachegraph/common/json.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/perf_counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph {
+namespace {
+
+// ---- CounterRegistry ------------------------------------------------
+
+TEST(CounterRegistry, GetOrCreateAndIncrement) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  std::uint64_t& c = reg.counter("obs_test.alpha");
+  EXPECT_EQ(c, 0u);
+  c += 3;
+  EXPECT_EQ(reg.value("obs_test.alpha"), 3u);
+  // Same name returns the same slot.
+  reg.counter("obs_test.alpha") += 2;
+  EXPECT_EQ(reg.value("obs_test.alpha"), 5u);
+}
+
+TEST(CounterRegistry, ResetZeroesInPlace) {
+  auto& reg = obs::CounterRegistry::instance();
+  std::uint64_t& c = reg.counter("obs_test.beta");
+  c = 42;
+  reg.reset();
+  // reset() zeroes the slot without invalidating references to it —
+  // that is what makes the function-local-static caching in
+  // CG_COUNTER_ADD safe across Harness resets.
+  EXPECT_EQ(c, 0u);
+  c += 1;
+  EXPECT_EQ(reg.value("obs_test.beta"), 1u);
+}
+
+TEST(CounterRegistry, SnapshotIsSortedAndFilters) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  reg.counter("obs_test.z") = 7;
+  reg.counter("obs_test.a") = 0;
+  reg.counter("obs_test.m") = 9;
+
+  const auto all = reg.snapshot();
+  // Sorted by name.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].first, all[i].first);
+  }
+
+  const auto nonzero = reg.snapshot(/*nonzero_only=*/true);
+  for (const auto& [name, v] : nonzero) {
+    EXPECT_GT(v, 0u) << name;
+  }
+  const auto has = [&](const char* name) {
+    for (const auto& [n, v] : nonzero) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("obs_test.z"));
+  EXPECT_TRUE(has("obs_test.m"));
+  EXPECT_FALSE(has("obs_test.a"));
+}
+
+TEST(CounterRegistry, MacrosAccumulate) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  for (int i = 0; i < 5; ++i) {
+    CG_COUNTER_INC("obs_test.macro_inc");
+  }
+  CG_COUNTER_ADD("obs_test.macro_add", 10);
+  CG_COUNTER_MAX("obs_test.macro_max", 3);
+  CG_COUNTER_MAX("obs_test.macro_max", 9);
+  CG_COUNTER_MAX("obs_test.macro_max", 5);
+#if defined(CACHEGRAPH_INSTRUMENT)
+  EXPECT_EQ(reg.value("obs_test.macro_inc"), 5u);
+  EXPECT_EQ(reg.value("obs_test.macro_add"), 10u);
+  EXPECT_EQ(reg.value("obs_test.macro_max"), 9u);
+#else
+  EXPECT_EQ(reg.value("obs_test.macro_inc"), 0u);
+#endif
+}
+
+// ---- PerfCounters ---------------------------------------------------
+
+TEST(PerfCounters, FallbackIsGraceful) {
+  // Whether or not the kernel grants perf_event_open here (containers
+  // usually do not), the wrapper must never crash and must report its
+  // availability honestly.
+  obs::PerfCounters pc;
+  const obs::PerfReading r = pc.measure([] {
+    volatile std::uint64_t x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + static_cast<std::uint64_t>(i);
+  });
+  if (!pc.available()) {
+    EXPECT_EQ(pc.mask(), 0u);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.ipc(), 0.0);
+    EXPECT_EQ(r.l1d_miss_rate(), 0.0);
+  } else {
+    // At least one event opened; any opened counting event should have
+    // ticked over a 100k-iteration loop.
+    EXPECT_NE(r.mask, 0u);
+    if (r.mask & (1u << obs::PerfCounters::kInstructions)) {
+      EXPECT_GT(r.instructions, 0u);
+    }
+  }
+}
+
+TEST(PerfCounters, StartStopIdempotentWhenUnavailable) {
+  obs::PerfCounters pc;
+  pc.start();
+  pc.stop();
+  pc.start();
+  pc.stop();
+  const obs::PerfReading r = pc.read();
+  if (!pc.available()) {
+    EXPECT_EQ(r.mask, 0u);
+  }
+}
+
+// ---- TraceSession / TraceSpan ---------------------------------------
+
+TEST(Trace, SpansEmitMatchedBeginEndPairs) {
+  obs::TraceSession session;
+  {
+    obs::TraceSpan outer("outer");
+    {
+      obs::TraceSpan inner("inner");
+    }
+    session.instant("marker");
+  }
+  EXPECT_EQ(session.num_events(), 5u);  // B B E i E
+
+  std::ostringstream os;
+  session.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+
+  // Matched B/E pairs, properly nested.
+  int depth = 0;
+  std::size_t begins = 0, ends = 0;
+  for (const auto& e : session.events()) {
+    if (e.phase == 'B') {
+      ++depth;
+      ++begins;
+    } else if (e.phase == 'E') {
+      EXPECT_GT(depth, 0);
+      --depth;
+      ++ends;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"inner\""), std::string::npos);
+}
+
+TEST(Trace, NoSessionMeansNoOp) {
+  ASSERT_EQ(obs::TraceSession::current(), nullptr);
+  // Spans without an installed session must be harmless.
+  obs::TraceSpan span("orphan");
+  CG_TRACE_SPAN("orphan_macro");
+}
+
+TEST(Trace, SessionsNestAndRestore) {
+  obs::TraceSession a;
+  EXPECT_EQ(obs::TraceSession::current(), &a);
+  {
+    obs::TraceSession b;
+    EXPECT_EQ(obs::TraceSession::current(), &b);
+    obs::TraceSpan s("in_b");
+  }
+  EXPECT_EQ(obs::TraceSession::current(), &a);
+  EXPECT_EQ(a.num_events(), 0u);
+}
+
+TEST(Trace, TimestampsAreMonotonic) {
+  obs::TraceSession session;
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceSpan s("tick");
+  }
+  double prev = -1.0;
+  for (const auto& e : session.events()) {
+    EXPECT_GE(e.ts_us, prev);
+    prev = e.ts_us;
+  }
+}
+
+// ---- json::Writer ---------------------------------------------------
+
+TEST(JsonWriter, EmitsValidNestedDocument) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("name");
+  w.value("quote\"backslash\\newline\ncontrol\x01");
+  w.key("count");
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.key("neg");
+  w.value(std::int64_t{-42});
+  w.key("pi");
+  w.value(3.14159);
+  w.key("nan_becomes_null");
+  w.value(std::nan(""));
+  w.key("flag");
+  w.value(true);
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+
+  const std::string text = os.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(text.find("null"), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapeHandlesSpecials) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json::escape(std::string_view("\x1f", 1)), "\\u001f");
+}
+
+}  // namespace
+}  // namespace cachegraph

@@ -4,7 +4,10 @@
 // library kernels).
 #pragma once
 
+#include <cctype>
 #include <cstddef>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "cachegraph/common/rng.hpp"
@@ -28,6 +31,110 @@ std::vector<W> random_weight_matrix(std::size_t n, double density, std::uint64_t
     }
   }
   return w;
+}
+
+/// Minimal JSON well-formedness checker (objects, arrays, strings,
+/// numbers, true/false/null). Returns true iff `text` is one complete
+/// JSON value. Deliberately independent of the library's json::Writer
+/// so the two cannot share a bug.
+inline bool json_is_valid(const std::string& text) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' || text[i] == '\r')) {
+      ++i;
+    }
+  };
+  const std::function<bool()> value = [&]() -> bool {
+    skip_ws();
+    if (i >= text.size()) return false;
+    const char c = text[i];
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (i >= text.size() || text[i] != '"' || !value()) return false;  // key
+        skip_ws();
+        if (i >= text.size() || text[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < text.size() && text[i] == '}') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!value()) return false;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < text.size() && text[i] == ']') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= text.size()) return false;
+      ++i;
+      return true;
+    }
+    if (c == 't') {
+      if (text.compare(i, 4, "true") != 0) return false;
+      i += 4;
+      return true;
+    }
+    if (c == 'f') {
+      if (text.compare(i, 5, "false") != 0) return false;
+      i += 5;
+      return true;
+    }
+    if (c == 'n') {
+      if (text.compare(i, 4, "null") != 0) return false;
+      i += 4;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      ++i;
+      while (i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                                 text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+                                 text[i] == '+' || text[i] == '-')) {
+        ++i;
+      }
+      return true;
+    }
+    return false;
+  };
+  if (!value()) return false;
+  skip_ws();
+  return i == text.size();
 }
 
 /// Reference APSP oracle: straightforward FW with explicit double
