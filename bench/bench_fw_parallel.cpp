@@ -1,13 +1,30 @@
-// Extension bench (Conclusion / future work): OpenMP-parallel tiled FW.
+// Extension bench (Conclusion / future work): parallel FW two ways.
 //
-// The paper argues its decomposition parallelizes with minimal sharing
+// The paper argues its decompositions parallelize with minimal sharing
 // because each task works on three cache-resident tiles. This bench
-// reports wall-clock vs thread count. (On a single-core host the
-// interesting output is simply that threading overhead stays small.)
+// pits the two decompositions against each other over a thread ladder:
+//
+//   - fw_parallel_tiled_omp: the tiled phase-parallel schedule (OpenMP
+//     barriers between the k-th diagonal/panel/remainder phases);
+//   - fwr_parallel_tasks:    the recursive tile DAG on the library's
+//     work-stealing TaskPool (no OpenMP), phase barriers only where the
+//     Fig.-3 call order actually has a dependency.
+//
+// Both runs include the row-major -> BDL conversion (task-parallel for
+// the pool path), as the paper's timed optimized implementations do.
+// --threads=N pins a single thread count; the default ladder is
+// 1,2,4,8 capped at the host's hardware concurrency. (On a single-core
+// host the interesting output is simply that scheduling overhead stays
+// small; speedups need real cores.)
+#include <algorithm>
 #include <iostream>
+#include <thread>
+#include <vector>
 
+#include "cachegraph/apsp/fwr_parallel.hpp"
 #include "cachegraph/benchlib/table.hpp"
 #include "cachegraph/benchlib/workloads.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
 #if defined(CACHEGRAPH_HAVE_OPENMP)
 #include <omp.h>
 #endif
@@ -18,38 +35,70 @@ int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
 
   Harness h(std::cout, opt, "Extension: parallel FW",
-            "OpenMP tiled FW (BDL) scaling with thread count",
-            "future-work item of the paper; decomposition = tiled phases");
+            "tiled OpenMP vs task-parallel recursive FW (BDL) over a thread ladder",
+            "future-work item of the paper; tiled = phase barriers, FWR = tile DAG");
 
   const std::size_t n = opt.full ? 2048 : 512;
   const std::size_t block = host_block(sizeof(std::int32_t));
   const auto w = fw_input(n, opt.seed);
 
-#if defined(CACHEGRAPH_HAVE_OPENMP)
-  const int max_threads = omp_get_max_threads();
-#else
-  const int max_threads = 1;
-#endif
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> ladder;
+  if (opt.threads > 0) {
+    ladder.push_back(opt.threads);
+  } else {
+    for (int t = 1; t <= std::max(hw, 1); t *= 2) ladder.push_back(t);
+  }
 
-  const double seq = fw_time(h, "tiled_bdl_sequential", apsp::FwVariant::kTiledBdl, w, n, block,
-                             opt.reps);
+  const double seq_tiled =
+      fw_time(h, "tiled_bdl_sequential", apsp::FwVariant::kTiledBdl, w, n, block, opt.reps);
+  const double seq_rec =
+      fw_time(h, "recursive_bdl_sequential", apsp::FwVariant::kRecursiveBdl, w, n, block,
+              opt.reps);
 
-  Table t({"threads", "time (s)", "speedup vs sequential tiled"});
-  t.add_row({"sequential", fmt(seq, 3), "1.00x"});
-  for (int threads = 1; threads <= max_threads; threads *= 2) {
+  Table t({"threads", "tiled-omp (s)", "speedup", "fwr-task (s)", "speedup", "steals"});
+  t.add_row({"seq", fmt(seq_tiled, 3), "1.00x", fmt(seq_rec, 3), "1.00x", "-"});
+
+  for (const int threads : ladder) {
     const Params params{{"n", std::to_string(n)},
                         {"B", std::to_string(block)},
                         {"threads", std::to_string(threads)}};
-    const auto res = h.time("fw_parallel", params, opt.reps, [&] {
+
+#if defined(CACHEGRAPH_HAVE_OPENMP)
+    const auto omp_res = h.time("fw_parallel_tiled_omp", params, opt.reps, [&] {
       using L = layout::BlockDataLayout;
       const std::size_t np = layout::padded_size_tiled(n, block);
       matrix::SquareMatrix<std::int32_t, L> m(L(np, block), n);
       m.load_row_major(w.data(), n);
-      apsp::fw_parallel(m, threads);
+      apsp::fw_parallel<apsp::KernelMode::kFast>(m, threads);
     });
-    t.add_row({std::to_string(threads), fmt(res.best_s, 3), fmt_speedup(seq, res.best_s)});
+    const std::string omp_s = fmt(omp_res.best_s, 3);
+    const std::string omp_sp = fmt_speedup(seq_tiled, omp_res.best_s);
+#else
+    const std::string omp_s = "n/a";
+    const std::string omp_sp = "n/a";
+#endif
+
+    // The pool outlives the reps: worker startup is paid once, the way
+    // a long-lived application would run it.
+    parallel::TaskPool pool(threads);
+    std::uint64_t steals0 = pool.stats().steals;
+    const auto task_res = h.time("fwr_parallel_tasks", params, opt.reps, [&] {
+      using L = layout::BlockDataLayout;
+      const std::size_t np = layout::padded_size_recursive(n, block);
+      matrix::SquareMatrix<std::int32_t, L> m(L(np, block), n);
+      m.load_row_major(w.data(), n, pool);
+      apsp::fwr_parallel<apsp::KernelMode::kFast>(m, pool);
+    });
+    // fwr_parallel flushes the pool tallies into the registry; report
+    // per-thread-count steal volume from the pool's own running stats.
+    const std::uint64_t steals = pool.stats().steals - steals0;
+
+    t.add_row({std::to_string(threads), omp_s, omp_sp, fmt(task_res.best_s, 3),
+               fmt_speedup(seq_rec, task_res.best_s), fmt_count(steals)});
   }
   t.print(std::cout, opt.csv);
-  std::cout << "\n(host reports " << max_threads << " hardware thread(s); B=" << block << ")\n";
+  std::cout << "\n(host reports " << hw << " hardware thread(s); n=" << n << ", B=" << block
+            << ")\n";
   return 0;
 }

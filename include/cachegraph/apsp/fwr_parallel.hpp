@@ -1,0 +1,225 @@
+// Task-parallel FWR — the paper's Fig.-3 recursion scheduled as a tile
+// DAG on a work-stealing pool (the Conclusion's "our recursive
+// implementation can be used to decompose data and computation for a
+// parallel version", taken literally).
+//
+// Which of the eight recursive calls may run concurrently depends on
+// how their A (output), B (row operand) and C (column operand) regions
+// alias, so the recursion splits into four mutually recursive cases.
+// With quadrant phases written left-to-right and `|` separating tasks
+// that run in parallel:
+//
+//   diag(X)      — A = B = C       (the top-level call, Claim 1 order):
+//     diag(X11); col(X12,X11) | row(X21,X11); gen(X22,X21,X12);
+//     diag(X22); col(X21,X22) | row(X12,X22); gen(X11,X12,X21)
+//   col(A,B)     — C aliases A, B is the (already final) row operand:
+//     {col(A11,B11) | col(A12,B11)} ; {gen(A21,B21,A11) | gen(A22,B21,A12)} ;
+//     {col(A22,B22) | col(A21,B22)} ; {gen(A12,B12,A22) | gen(A11,B12,A21)}
+//   row(A,C)     — B aliases A, C is the column operand (symmetric):
+//     {row(A11,C11) | row(A21,C11)} ; {gen(A12,A11,C12) | gen(A22,A21,C12)} ;
+//     {row(A22,C22) | row(A12,C22)} ; {gen(A21,A22,C21) | gen(A11,A12,C21)}
+//   gen(A,B,C)   — all three regions distinct (a min-plus multiply):
+//     {gen(A11,B11,C11) | gen(A12,B11,C12) | gen(A21,B21,C11) | gen(A22,B21,C12)} ;
+//     {gen(A22,B22,C22) | gen(A21,B22,C21) | gen(A12,B12,C22) | gen(A11,B12,C21)}
+//
+// Each phase barrier is exactly the write->read / write->write
+// dependency set of the sequential call order, so every matrix element
+// experiences the same relaxations in the same order as sequential FWR
+// — the parallel result is bit-identical (tests assert this, doubles
+// included).
+//
+// Cut-off: regions at or below `cutoff` blocks per side run the plain
+// sequential recursion (detail::fwr handles every aliasing case), so
+// leaf tasks amortize scheduling overhead while the upper levels expose
+// the DAG. The default leaves at least kMinLeafElems elements per leaf
+// side — below that, task bookkeeping rivals the tile work itself.
+#pragma once
+
+#include <algorithm>
+
+#include "cachegraph/apsp/fw_recursive.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+
+namespace cachegraph::apsp {
+
+namespace detail {
+
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+struct FwrParCtx {
+  matrix::SquareMatrix<W, L>* m;
+  parallel::TaskPool* pool;
+  std::size_t cutoff;  ///< regions with nb <= cutoff run sequentially
+};
+
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+bool fwr_par_leaf(const FwrParCtx<Mode, W, L>& ctx, BlockRegion a, BlockRegion b, BlockRegion c,
+                  std::size_t depth) {
+  if (a.nb > ctx.cutoff) return false;
+  memsim::NullMem mem;
+  fwr<Mode>(*ctx.m, a, b, c, mem, depth);
+  return true;
+}
+
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+void fwr_par_gen(const FwrParCtx<Mode, W, L>& ctx, BlockRegion a, BlockRegion b, BlockRegion c,
+                 std::size_t depth);
+
+// C aliases A: per phase, the two sub-calls touch disjoint halves of A.
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+void fwr_par_col(const FwrParCtx<Mode, W, L>& ctx, BlockRegion a, BlockRegion b,
+                 std::size_t depth) {
+  if (fwr_par_leaf(ctx, a, b, a, depth)) return;
+  CG_COUNTER_INC("fwr_par.splits");
+  const auto a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0), a22 = a.quad(1, 1);
+  const auto b11 = b.quad(0, 0), b12 = b.quad(0, 1), b21 = b.quad(1, 0), b22 = b.quad(1, 1);
+  const std::size_t d = depth + 1;
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_col<Mode>(ctx, a11, b11, d); });
+    g.run([&, d] { fwr_par_col<Mode>(ctx, a12, b11, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a21, b21, a11, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a22, b21, a12, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_col<Mode>(ctx, a22, b22, d); });
+    g.run([&, d] { fwr_par_col<Mode>(ctx, a21, b22, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a12, b12, a22, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a11, b12, a21, d); });
+  }
+}
+
+// B aliases A: the mirror image of the column-panel case.
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+void fwr_par_row(const FwrParCtx<Mode, W, L>& ctx, BlockRegion a, BlockRegion c,
+                 std::size_t depth) {
+  if (fwr_par_leaf(ctx, a, a, c, depth)) return;
+  CG_COUNTER_INC("fwr_par.splits");
+  const auto a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0), a22 = a.quad(1, 1);
+  const auto c11 = c.quad(0, 0), c12 = c.quad(0, 1), c21 = c.quad(1, 0), c22 = c.quad(1, 1);
+  const std::size_t d = depth + 1;
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_row<Mode>(ctx, a11, c11, d); });
+    g.run([&, d] { fwr_par_row<Mode>(ctx, a21, c11, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a12, a11, c12, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a22, a21, c12, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_row<Mode>(ctx, a22, c22, d); });
+    g.run([&, d] { fwr_par_row<Mode>(ctx, a12, c22, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a21, a22, c21, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a11, a12, c21, d); });
+  }
+}
+
+// A, B, C pairwise distinct: the widest case — four-way parallel, two
+// phases (each A quadrant is written once per phase).
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+void fwr_par_gen(const FwrParCtx<Mode, W, L>& ctx, BlockRegion a, BlockRegion b, BlockRegion c,
+                 std::size_t depth) {
+  if (fwr_par_leaf(ctx, a, b, c, depth)) return;
+  CG_COUNTER_INC("fwr_par.splits");
+  const auto a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0), a22 = a.quad(1, 1);
+  const auto b11 = b.quad(0, 0), b12 = b.quad(0, 1), b21 = b.quad(1, 0), b22 = b.quad(1, 1);
+  const auto c11 = c.quad(0, 0), c12 = c.quad(0, 1), c21 = c.quad(1, 0), c22 = c.quad(1, 1);
+  const std::size_t d = depth + 1;
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a11, b11, c11, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a12, b11, c12, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a21, b21, c11, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a22, b21, c12, d); });
+  }
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a22, b22, c22, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a21, b22, c21, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a12, b12, c22, d); });
+    g.run([&, d] { fwr_par_gen<Mode>(ctx, a11, b12, c21, d); });
+  }
+}
+
+// A = B = C: the diagonal chain. The serial spine (diag -> gen -> diag
+// -> gen) runs inline on the current worker; only the panel pairs fork.
+template <KernelMode Mode, Weight W, layout::MatrixLayout L>
+void fwr_par_diag(const FwrParCtx<Mode, W, L>& ctx, BlockRegion x, std::size_t depth) {
+  if (fwr_par_leaf(ctx, x, x, x, depth)) return;
+  CG_COUNTER_INC("fwr_par.splits");
+  const auto x11 = x.quad(0, 0), x12 = x.quad(0, 1), x21 = x.quad(1, 0), x22 = x.quad(1, 1);
+  const std::size_t d = depth + 1;
+  fwr_par_diag<Mode>(ctx, x11, d);
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_col<Mode>(ctx, x12, x11, d); });
+    g.run([&, d] { fwr_par_row<Mode>(ctx, x21, x11, d); });
+  }
+  fwr_par_gen<Mode>(ctx, x22, x21, x12, d);
+  fwr_par_diag<Mode>(ctx, x22, d);
+  {
+    parallel::TaskGroup g(*ctx.pool);
+    g.run([&, d] { fwr_par_col<Mode>(ctx, x21, x22, d); });
+    g.run([&, d] { fwr_par_row<Mode>(ctx, x12, x22, d); });
+  }
+  fwr_par_gen<Mode>(ctx, x11, x12, x21, d);
+}
+
+}  // namespace detail
+
+/// Leaf subproblems smaller than this many elements per side are not
+/// worth a task of their own (scheduling overhead rivals tile work).
+inline constexpr std::size_t kFwrParMinLeafElems = 128;
+
+/// Default cut-off (in blocks per side) for a matrix with `nb` blocks
+/// of `block` elements: never recurse tasks below kFwrParMinLeafElems
+/// elements per side, and with a single thread skip tasking entirely.
+[[nodiscard]] inline std::size_t fwr_parallel_cutoff(std::size_t nb, std::size_t block,
+                                                     int num_threads) {
+  if (num_threads == 1) return nb;
+  std::size_t cutoff = 1;
+  while (cutoff * block < kFwrParMinLeafElems && cutoff < nb) cutoff *= 2;
+  return cutoff;
+}
+
+/// Task-parallel recursive Floyd-Warshall on an externally owned pool.
+/// Produces bit-identical results to fw_recursive for every weight type
+/// and layout. `cutoff_blocks == 0` picks the default heuristic.
+template <KernelMode Mode = KernelMode::kChecked, Weight W, layout::MatrixLayout L>
+void fwr_parallel(matrix::SquareMatrix<W, L>& m, parallel::TaskPool& pool,
+                  std::size_t cutoff_blocks = 0) {
+  const std::size_t nb = m.layout().num_blocks();
+  CG_CHECK(nb > 0 && (nb & (nb - 1)) == 0,
+           "recursive FW needs a power-of-two block grid (pad with padded_size_recursive)");
+  if (cutoff_blocks == 0) {
+    cutoff_blocks = fwr_parallel_cutoff(nb, m.layout().block(), pool.num_threads());
+  }
+  CG_TRACE_SPAN("fwr_parallel");
+  const detail::FwrParCtx<Mode, W, L> ctx{&m, &pool, cutoff_blocks};
+  detail::fwr_par_diag<Mode>(ctx, detail::BlockRegion{0, 0, nb}, /*depth=*/0);
+  pool.flush_counters();
+}
+
+/// Convenience overload: builds a pool of `num_threads` (0 = hardware
+/// concurrency) for the duration of the call.
+template <KernelMode Mode = KernelMode::kChecked, Weight W, layout::MatrixLayout L>
+void fwr_parallel(matrix::SquareMatrix<W, L>& m, int num_threads = 0,
+                  std::size_t cutoff_blocks = 0) {
+  parallel::TaskPool pool(num_threads);
+  fwr_parallel<Mode>(m, pool, cutoff_blocks);
+}
+
+}  // namespace cachegraph::apsp

@@ -16,6 +16,7 @@
 #include "cachegraph/apsp/fw_parallel.hpp"
 #include "cachegraph/apsp/fw_recursive.hpp"
 #include "cachegraph/apsp/fw_tiled.hpp"
+#include "cachegraph/apsp/fwr_parallel.hpp"
 #include "cachegraph/layout/padding.hpp"
 
 namespace cachegraph::apsp {
@@ -57,6 +58,30 @@ std::vector<W> run_on_layout(L lay, const std::vector<W>& w, std::size_t n, RunF
   return out;
 }
 
+/// Threaded twin of run_on_layout: layout conversion fans out over the
+/// pool too (at large N the sequential O(N²) conversion would otherwise
+/// serialize a measurable slice of the parallel run, per Amdahl).
+template <Weight W, layout::MatrixLayout L, typename RunFn>
+std::vector<W> run_on_layout(L lay, const std::vector<W>& w, std::size_t n,
+                             parallel::TaskPool& pool, RunFn&& run) {
+  matrix::SquareMatrix<W, L> m(lay, n);
+  m.load_row_major(w.data(), n, pool);
+  run(m);
+  std::vector<W> out(n * n);
+  m.store_row_major(out.data(), n, pool);
+  return out;
+}
+
+/// True when every weight is non-negative, so the branchless fast
+/// kernel is sound (see fwi_kernel.hpp).
+template <Weight W>
+[[nodiscard]] bool all_non_negative(const std::vector<W>& w) {
+  for (const W x : w) {
+    if (x < W{0}) return false;
+  }
+  return true;
+}
+
 }  // namespace detail
 
 /// Run the requested FW variant on a logical row-major n×n weight
@@ -79,12 +104,7 @@ std::vector<W> run_fw(FwVariant v, const std::vector<W>& w, std::size_t n, std::
   if constexpr (Mem::tracing) {
     fast = false;
   } else {
-    for (const W x : w) {
-      if (x < W{0}) {
-        fast = false;
-        break;
-      }
-    }
+    fast = detail::all_non_negative(w);
   }
 
   switch (v) {
@@ -161,6 +181,63 @@ std::vector<W> run_fw(FwVariant v, const std::vector<W>& w, std::size_t n, std::
                                           fw_parallel(m);
                                         }
                                       });
+  }
+  CG_CHECK(false, "unknown variant");
+  return {};
+}
+
+/// Threaded FW driver. With `num_threads > 1` the recursive variants
+/// take the task-parallel path (`fwr_parallel` on the variant's layout)
+/// and the tiled variants the OpenMP phase-parallel path
+/// (`fw_parallel`); layout conversion is task-parallel in both. With
+/// `num_threads <= 1` — or for the baseline, which has no decomposition
+/// to schedule — this is exactly `run_fw`. Results are bit-identical to
+/// the sequential driver either way. Parallel runs are never traced, so
+/// there is no Mem parameter.
+template <Weight W>
+std::vector<W> run_fw(FwVariant v, const std::vector<W>& w, std::size_t n, std::size_t block,
+                      int num_threads) {
+  if (num_threads <= 1 || v == FwVariant::kBaseline) return run_fw(v, w, n, block);
+  CG_CHECK(w.size() == n * n, "weight matrix must be n*n row-major");
+  using layout::BlockDataLayout;
+  using layout::MortonLayout;
+  using layout::RowMajorLayout;
+  const std::size_t nt = layout::padded_size_tiled(n, block);
+  const std::size_t nr = layout::padded_size_recursive(n, block);
+  const bool fast = detail::all_non_negative(w);
+  parallel::TaskPool pool(num_threads);
+
+  const auto run_recursive = [&](auto& m) {
+    if (fast) {
+      fwr_parallel<KernelMode::kFast>(m, pool);
+    } else {
+      fwr_parallel(m, pool);
+    }
+  };
+  const auto run_tiled = [&](auto& m) {
+    if (fast) {
+      fw_parallel<KernelMode::kFast>(m, num_threads);
+    } else {
+      fw_parallel(m, num_threads);
+    }
+  };
+
+  switch (v) {
+    case FwVariant::kBaseline:
+      break;  // handled above
+    case FwVariant::kTiledRowMajor:
+      return detail::run_on_layout<W>(RowMajorLayout(nt, block), w, n, pool, run_tiled);
+    case FwVariant::kTiledBdl:
+    case FwVariant::kParallelBdl:
+      return detail::run_on_layout<W>(BlockDataLayout(nt, block), w, n, pool, run_tiled);
+    case FwVariant::kTiledMorton:
+      return detail::run_on_layout<W>(MortonLayout(nr, block), w, n, pool, run_tiled);
+    case FwVariant::kRecursiveRowMajor:
+      return detail::run_on_layout<W>(RowMajorLayout(nr, block), w, n, pool, run_recursive);
+    case FwVariant::kRecursiveBdl:
+      return detail::run_on_layout<W>(BlockDataLayout(nr, block), w, n, pool, run_recursive);
+    case FwVariant::kRecursiveMorton:
+      return detail::run_on_layout<W>(MortonLayout(nr, block), w, n, pool, run_recursive);
   }
   CG_CHECK(false, "unknown variant");
   return {};

@@ -4,6 +4,8 @@
 //                 finishes in seconds)
 //   --reps=N      timing repetitions (min is reported)
 //   --seed=N      workload seed
+//   --threads=N   worker threads for the parallel FW benches
+//                 (0 = sequential / all cores, bench-specific)
 //   --csv         machine-readable output
 //   --stats       add a mean ± stddev timing table (noise estimate)
 //   --json PATH   write a machine-readable BENCH_<exhibit>.json record
@@ -17,19 +19,41 @@
 //                  simplescalar | modern)
 //
 // --json/--tag/--trace accept both "--flag value" and "--flag=value".
+// Integer payloads are parsed strictly (see parse_integer): "--reps=abc"
+// is a usage error, not a silent 1.
 #pragma once
 
+#include <charconv>
 #include <string>
+#include <string_view>
+#include <system_error>
 
 #include "cachegraph/memsim/machine_configs.hpp"
 
 namespace cachegraph::bench {
+
+/// Strict integer parse of the *entire* string: no leading junk, no
+/// trailing junk, no partial prefix, overflow is failure. Returns false
+/// without touching `out` on any failure — the caller decides whether
+/// that is a usage error. (std::atoi, which this replaces, returned 0
+/// for garbage and has undefined behavior on overflow.)
+template <typename T>
+[[nodiscard]] bool parse_integer(std::string_view text, T& out) {
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = value;
+  return true;
+}
 
 struct Options {
   bool full = false;
   bool csv = false;
   bool stats = false;
   int reps = 3;
+  int threads = 0;  ///< parallel-bench worker count (0 = bench default)
   std::uint64_t seed = 42;
   std::string machine = "simplescalar";
   std::string json;   ///< path for the JSON report ("" = none)

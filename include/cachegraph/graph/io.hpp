@@ -25,10 +25,12 @@ void write_dimacs(std::ostream& os, const EdgeListGraph<W>& g,
 template <Weight W>
 [[nodiscard]] EdgeListGraph<W> read_dimacs(std::istream& is) {
   std::string line;
+  std::size_t lineno = 0;
   vertex_t n = -1;
   index_t m_declared = 0;
   EdgeListGraph<W> g(0);
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream ls(line);
     char tag = 0;
@@ -36,18 +38,28 @@ template <Weight W>
     if (tag == 'p') {
       std::string kind;
       ls >> kind >> n >> m_declared;
-      CG_CHECK(!ls.fail() && n >= 0, "malformed 'p' line");
+      CG_CHECK(!ls.fail() && n >= 0,
+               "malformed 'p' line (line " + std::to_string(lineno) + ")");
       g = EdgeListGraph<W>(n);
       g.reserve(static_cast<std::size_t>(m_declared));
     } else if (tag == 'a') {
-      CG_CHECK(n >= 0, "'a' line before 'p' line");
+      CG_CHECK(n >= 0, "'a' line before 'p' line (line " + std::to_string(lineno) + ")");
       vertex_t u = 0, v = 0;
       W w{};
       ls >> u >> v >> w;
-      CG_CHECK(!ls.fail(), "malformed 'a' line");
+      CG_CHECK(!ls.fail(), "malformed 'a' line (line " + std::to_string(lineno) + ")");
+      // DIMACS ids are 1-based; anything outside [1, n] would silently
+      // index out of the vertex range after the -1 shift.
+      CG_CHECK(u >= 1 && u <= n,
+               "arc tail " + std::to_string(u) + " out of range [1, " + std::to_string(n) +
+                   "] (line " + std::to_string(lineno) + ")");
+      CG_CHECK(v >= 1 && v <= n,
+               "arc head " + std::to_string(v) + " out of range [1, " + std::to_string(n) +
+                   "] (line " + std::to_string(lineno) + ")");
       g.add_edge(u - 1, v - 1, w);
     } else {
-      CG_CHECK(false, "unknown DIMACS line tag '" + std::string(1, tag) + "'");
+      CG_CHECK(false, "unknown DIMACS line tag '" + std::string(1, tag) + "' (line " +
+                          std::to_string(lineno) + ")");
     }
   }
   CG_CHECK(n >= 0, "missing 'p' line");

@@ -1,9 +1,10 @@
 // Block-size selection heuristic (Section 3.1, Equation 13).
 //
-//   1. Apply the 2:1 rule of thumb [Hennessy & Patterson] to convert
-//      the cache to an equivalent 4-way set-associative size: each
-//      halving of associativity below 4 costs a factor of 2 in
-//      effective capacity (so direct-mapped counts at 1/4 capacity).
+//   1. Apply the 2:1 rule of thumb [Hennessy & Patterson] to discount
+//      conflict misses in low-associativity caches: a direct-mapped
+//      cache of size N misses about as often as a 2-way cache of size
+//      N/2, so caches below 4-way count at half capacity (half once —
+//      not once per associativity doubling).
 //   2. Choose the largest B with 3*B^2*d <= C_adjusted — the working
 //      set of the FW kernel is 3 tiles.
 //

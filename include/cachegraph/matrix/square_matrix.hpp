@@ -4,14 +4,20 @@
 // `L::n()` while remembering the logical problem size. Padding elements
 // are initialized to inf<W>() (inert under FW relaxation, see
 // layout/padding.hpp). Conversions to/from a plain row-major matrix are
-// provided so the benchmarks can hand the same input to every variant.
+// provided so the benchmarks can hand the same input to every variant;
+// the TaskPool overloads split the conversion into row strips (layout
+// offsets are bijective, so strips never write the same element) —
+// the sequential O(N²) conversion otherwise dominates setup at large N
+// once the O(N³) compute is spread over several cores.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 
 #include "cachegraph/common/buffer.hpp"
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/layout/layouts.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
 
 namespace cachegraph::matrix {
 
@@ -74,7 +80,47 @@ class SquareMatrix {
     }
   }
 
+  /// Parallel load: one task per strip of logical rows.
+  void load_row_major(const W* src, std::size_t n, parallel::TaskPool& pool) {
+    CG_CHECK(n == logical_n_);
+    for_row_strips(n, pool, [this, src, n](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          at(i, j) = src[i * n + j];
+        }
+      }
+    });
+  }
+
+  /// Parallel store: one task per strip of logical rows.
+  void store_row_major(W* dst, std::size_t n, parallel::TaskPool& pool) const {
+    CG_CHECK(n == logical_n_);
+    for_row_strips(n, pool, [this, dst, n](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          dst[i * n + j] = at(i, j);
+        }
+      }
+    });
+  }
+
  private:
+  /// Runs body(r0, r1) over row strips [r0, r1) covering [0, n). Strips
+  /// are block-aligned so a tile's interior is filled by one task, and
+  /// sized for ~4 strips per pool thread to give the stealer slack.
+  template <typename Body>
+  void for_row_strips(std::size_t n, parallel::TaskPool& pool, Body body) const {
+    const std::size_t want = static_cast<std::size_t>(pool.num_threads()) * 4;
+    std::size_t strip = std::max<std::size_t>(layout_.block(), (n + want - 1) / std::max<std::size_t>(want, 1));
+    strip = (strip + layout_.block() - 1) / layout_.block() * layout_.block();
+    parallel::TaskGroup g(pool);
+    for (std::size_t r0 = 0; r0 < n; r0 += strip) {
+      const std::size_t r1 = std::min(n, r0 + strip);
+      g.run([body, r0, r1] { body(r0, r1); });
+    }
+    g.wait();
+  }
+
   L layout_;
   std::size_t logical_n_;
   AlignedBuffer<W> data_;

@@ -6,17 +6,21 @@
 // no-op that references no registry symbol, so instrumented kernels
 // compile to exactly the code they had before instrumentation. When on,
 // each use site resolves its counter slot once (a function-local static
-// reference into the registry) and the steady-state cost is one add to
-// a hot cache line — negligible next to any heap op or tile update.
+// reference into the registry) and the steady-state cost is one relaxed
+// atomic add to a hot cache line — negligible next to any heap op or
+// tile update.
 //
 // The registry itself is always compiled (tests and the bench report
 // sink use it regardless of the toggle). Counter *lookup* is mutex
-// guarded; the increments themselves are plain unsynchronized adds, so
-// only instrument code that runs on one thread at a time (all current
-// instrumentation sites are sequential; the OpenMP paths call the
-// uninstrumented kernels directly).
+// guarded; the slots are std::atomic so increments are safe from any
+// thread — the task pool's workers bump counters concurrently (e.g.
+// "fwr.base_cases" from parallel leaf tasks), and the pool drains its
+// own tallies into the registry via CG_COUNTER_ADD. Relaxed ordering is
+// enough: counters are tallies read at quiescent points, not
+// synchronization.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -35,7 +39,7 @@ class CounterRegistry {
   /// Get-or-create the counter named `name`. The returned reference
   /// stays valid (and is zeroed in place by reset()) for the process
   /// lifetime — counters are created, never destroyed.
-  std::uint64_t& counter(std::string_view name);
+  std::atomic<std::uint64_t>& counter(std::string_view name);
 
   /// Current value; 0 if the counter has never been touched.
   [[nodiscard]] std::uint64_t value(std::string_view name) const;
@@ -53,8 +57,16 @@ class CounterRegistry {
 
   mutable std::mutex mu_;
   // node-based map: stable addresses for the returned references.
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> counters_;
 };
+
+/// Raise `slot` to at least `v` (atomic max via CAS; relaxed — a tally,
+/// not synchronization).
+inline void counter_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace cachegraph::obs
 
@@ -62,17 +74,18 @@ class CounterRegistry {
 
 #define CG_COUNTER_ADD(name, delta)                                          \
   do {                                                                       \
-    static std::uint64_t& cg_obs_counter_ =                                  \
+    static std::atomic<std::uint64_t>& cg_obs_counter_ =                     \
         ::cachegraph::obs::CounterRegistry::instance().counter(name);        \
-    cg_obs_counter_ += static_cast<std::uint64_t>(delta);                    \
+    cg_obs_counter_.fetch_add(static_cast<std::uint64_t>(delta),             \
+                              std::memory_order_relaxed);                    \
   } while (false)
 
 #define CG_COUNTER_MAX(name, v)                                              \
   do {                                                                       \
-    static std::uint64_t& cg_obs_counter_ =                                  \
+    static std::atomic<std::uint64_t>& cg_obs_counter_ =                     \
         ::cachegraph::obs::CounterRegistry::instance().counter(name);        \
-    const auto cg_obs_v_ = static_cast<std::uint64_t>(v);                    \
-    if (cg_obs_v_ > cg_obs_counter_) cg_obs_counter_ = cg_obs_v_;            \
+    ::cachegraph::obs::counter_max(cg_obs_counter_,                          \
+                                   static_cast<std::uint64_t>(v));           \
   } while (false)
 
 #else  // !CACHEGRAPH_INSTRUMENT — expand to nothing; sizeof keeps the

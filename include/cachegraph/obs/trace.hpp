@@ -9,8 +9,9 @@
 // Instrumentation sites use CG_TRACE_SPAN(name): an RAII span that is a
 // single pointer test when no session is installed, so leaving the
 // spans compiled in costs nothing outside traced runs. Sessions nest
-// (the newest installed one records); begin/end are mutex-guarded so a
-// span opened inside an OpenMP region cannot corrupt the event list.
+// (the newest installed one records); the install slot is atomic and
+// begin/end are mutex-guarded, so spans opened on task-pool workers or
+// inside an OpenMP region cannot corrupt the event list.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,126 @@
+// A small dependency-aware work-stealing task pool (no OpenMP).
+//
+// The paper's conclusion names parallelization as the natural next step
+// for the recursive decomposition: the FWR recursion tree *is* a task
+// DAG, and its tiles are cache-resident working sets, so a scheduler
+// that keeps child tasks on the spawning worker inherits the sequential
+// algorithm's locality for free. This pool implements the classic
+// fork-join recipe:
+//
+//   - one double-ended queue per worker; a worker pushes and pops its
+//     own tasks LIFO (depth-first — the cache-friendly order), and
+//     steals from a random victim FIFO (breadth-first — the largest
+//     available subtree, amortizing the steal);
+//   - `TaskGroup` provides fork-join structure: `run()` spawns,
+//     `wait()` *participates* — the waiting thread executes pending
+//     tasks instead of blocking, so nested groups (the FWR recursion)
+//     cannot deadlock and need no extra threads;
+//   - idle workers sleep on a condition variable with a short timeout,
+//     so an idle pool costs (almost) no CPU.
+//
+// Observability: the pool tallies tasks spawned, successful steals, and
+// empty barrier polls in plain atomics (cumulative, see stats());
+// `flush_counters()` adds the delta since the last flush to the
+// CounterRegistry (`parallel.tasks_spawned`, `parallel.steals`,
+// `parallel.barrier_waits`) at a single-threaded point. Every task executes under a `CG_TRACE_SPAN("parallel.task")`,
+// so traced runs show the task timeline.
+//
+// Threading contract: `TaskPool` and `TaskGroup` methods are safe to
+// call from any thread, including from inside tasks. Construction and
+// destruction of the pool itself are single-threaded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cachegraph::parallel {
+
+class TaskPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct Stats {
+    std::uint64_t tasks_spawned = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t barrier_waits = 0;
+  };
+
+  /// `num_threads <= 0` uses std::thread::hardware_concurrency(). The
+  /// count includes the caller: a pool of 1 spawns no worker threads
+  /// and runs every task inside TaskGroup::wait().
+  explicit TaskPool(int num_threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total execution slots (workers + the participating caller).
+  [[nodiscard]] int num_threads() const noexcept { return static_cast<int>(slots_.size()); }
+
+  /// Cumulative tallies over the pool's lifetime (never reset).
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Adds the tallies accumulated since the last flush to the counter
+  /// registry (parallel.tasks_spawned / .steals / .barrier_waits).
+  /// Call from one thread, outside any TaskGroup.
+  void flush_counters();
+
+ private:
+  friend class TaskGroup;
+
+  /// One worker's deque. A mutex per deque keeps the implementation
+  /// obviously correct (and ThreadSanitizer-clean); tasks here are
+  /// coarse tile subproblems, so queue traffic is not the hot path.
+  struct Slot {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  void submit(Task t);
+  /// Pops (or steals) one task and runs it; false if none available.
+  bool run_one();
+  void worker_loop(std::size_t id);
+  [[nodiscard]] std::size_t my_slot() const noexcept;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> tasks_spawned_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> barrier_waits_{0};
+  Stats flushed_;  ///< high-water mark of the last flush (flush thread only)
+};
+
+/// Fork-join scope over a TaskPool. `run()` spawns a task; `wait()`
+/// (also called by the destructor) executes pool tasks until every task
+/// of *this* group has finished. Groups nest freely — tasks may create
+/// their own groups — which is exactly how the FWR recursion schedules
+/// its tile DAG.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool& pool) noexcept : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(TaskPool::Task t);
+  void wait();
+
+ private:
+  TaskPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace cachegraph::parallel

@@ -40,6 +40,18 @@ bool parse_string_flag(std::string_view flag, int argc, char** argv, int& i, std
   return false;
 }
 
+/// Strict "--flag=payload" integer parse; usage error (exit 2) on
+/// anything from_chars does not consume completely.
+template <typename T>
+T parse_integer_or_die(std::string_view flag, std::string_view payload) {
+  T v{};
+  if (!parse_integer(payload, v)) {
+    std::cerr << flag << " wants an integer, got '" << payload << "' (try --help)\n";
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 Options parse_options(int argc, char** argv) {
@@ -53,10 +65,23 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--stats") {
       o.stats = true;
     } else if (arg.starts_with("--reps=")) {
-      o.reps = std::atoi(arg.substr(7).data());
-      if (o.reps < 1) o.reps = 1;
+      // NB: the old atoi(arg.substr(7).data()) parsed past the
+      // string_view's end (substr().data() still points into the full
+      // argv string — here that was benign, "=" terminated the number —
+      // and silently turned garbage into 1 rep).
+      o.reps = parse_integer_or_die<int>("--reps", arg.substr(7));
+      if (o.reps < 1) {
+        std::cerr << "--reps wants a positive count, got " << o.reps << " (try --help)\n";
+        std::exit(2);
+      }
     } else if (arg.starts_with("--seed=")) {
-      o.seed = static_cast<std::uint64_t>(std::atoll(arg.substr(7).data()));
+      o.seed = parse_integer_or_die<std::uint64_t>("--seed", arg.substr(7));
+    } else if (arg.starts_with("--threads=")) {
+      o.threads = parse_integer_or_die<int>("--threads", arg.substr(10));
+      if (o.threads < 0) {
+        std::cerr << "--threads wants a count >= 0, got " << o.threads << " (try --help)\n";
+        std::exit(2);
+      }
     } else if (arg.starts_with("--machine=")) {
       o.machine = std::string(arg.substr(10));
     } else if (parse_string_flag("--json", argc, argv, i, o.json) ||
@@ -66,14 +91,16 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: " << argv[0]
-          << " [--full] [--csv] [--stats] [--reps=N] [--seed=N] [--machine=NAME]\n"
-             "       [--json PATH] [--tag LABEL] [--trace PATH]\n"
+          << " [--full] [--csv] [--stats] [--reps=N] [--seed=N] [--threads=N]\n"
+             "       [--machine=NAME] [--json PATH] [--tag LABEL] [--trace PATH]\n"
              "\n"
              "  --full         paper-scale problem sizes (default: quick sizes)\n"
              "  --csv          machine-readable table output\n"
              "  --stats        also print a mean +/- stddev timing table\n"
              "  --reps=N       timing repetitions (best is reported; default 3)\n"
              "  --seed=N       workload seed (default 42)\n"
+             "  --threads=N    worker threads for the parallel FW benches\n"
+             "                 (default 0 = bench-specific: thread ladder / all cores)\n"
              "  --machine=M    simulated cache preset: pentium3|ultrasparc3|\n"
              "                 alpha21264|mips|simplescalar|modern\n"
              "  --json PATH    write a JSON report: wall-clock stats, hardware perf\n"

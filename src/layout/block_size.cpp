@@ -5,12 +5,14 @@
 namespace cachegraph::layout {
 
 std::size_t effective_capacity(const memsim::CacheConfig& cache) {
+  // 2:1 rule of thumb [Hennessy & Patterson]: a direct-mapped cache of
+  // size N has about the miss rate of a 2-way cache of size N/2 — one
+  // halving, total. The old loop here halved once per associativity
+  // doubling up to 4-way, compounding the penalty (direct-mapped was
+  // charged cap/4) and driving pick_block_size a full power of two too
+  // small on the paper's direct-mapped L2 machines.
   std::size_t cap = cache.size_bytes;
-  std::size_t assoc = cache.ways();
-  while (assoc < 4) {
-    cap /= 2;
-    assoc *= 2;
-  }
+  if (cache.ways() < 4) cap /= 2;
   return cap;
 }
 

@@ -7,7 +7,7 @@ CounterRegistry& CounterRegistry::instance() {
   return registry;
 }
 
-std::uint64_t& CounterRegistry::counter(std::string_view name) {
+std::atomic<std::uint64_t>& CounterRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
@@ -17,12 +17,12 @@ std::uint64_t& CounterRegistry::counter(std::string_view name) {
 std::uint64_t CounterRegistry::value(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);
 }
 
 void CounterRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, v] : counters_) v = 0;
+  for (auto& [name, v] : counters_) v.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot(
@@ -31,8 +31,9 @@ std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot(
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, v] : counters_) {
-    if (nonzero_only && v == 0) continue;
-    out.emplace_back(name, v);
+    const std::uint64_t val = v.load(std::memory_order_relaxed);
+    if (nonzero_only && val == 0) continue;
+    out.emplace_back(name, val);
   }
   return out;  // std::map iteration order is already name-sorted
 }

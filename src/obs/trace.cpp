@@ -1,5 +1,6 @@
 #include "cachegraph/obs/trace.hpp"
 
+#include <atomic>
 #include <fstream>
 
 #include "cachegraph/common/json.hpp"
@@ -7,20 +8,26 @@
 namespace cachegraph::obs {
 
 namespace {
-TraceSession*& current_slot() noexcept {
-  static TraceSession* current = nullptr;
+// Atomic so pool workers can observe the installed session without a
+// race against the owning thread installing/uninstalling it. Release
+// on install / acquire on read orders the session's construction
+// before any worker records into it.
+std::atomic<TraceSession*>& current_slot() noexcept {
+  static std::atomic<TraceSession*> current{nullptr};
   return current;
 }
 }  // namespace
 
 TraceSession::TraceSession() : start_(std::chrono::steady_clock::now()) {
-  prev_ = current_slot();
-  current_slot() = this;
+  prev_ = current_slot().load(std::memory_order_relaxed);
+  current_slot().store(this, std::memory_order_release);
 }
 
-TraceSession::~TraceSession() { current_slot() = prev_; }
+TraceSession::~TraceSession() { current_slot().store(prev_, std::memory_order_release); }
 
-TraceSession* TraceSession::current() noexcept { return current_slot(); }
+TraceSession* TraceSession::current() noexcept {
+  return current_slot().load(std::memory_order_acquire);
+}
 
 void TraceSession::record(char phase, std::string_view name) {
   const double ts_us =

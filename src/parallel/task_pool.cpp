@@ -1,0 +1,135 @@
+#include "cachegraph/parallel/task_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+
+namespace cachegraph::parallel {
+
+namespace {
+// Which pool slot the current thread owns: workers set their id on
+// startup; external threads (the pool's caller) share slot 0.
+thread_local const TaskPool* tls_pool = nullptr;
+thread_local std::size_t tls_slot = 0;
+}  // namespace
+
+TaskPool::TaskPool(int num_threads) {
+  std::size_t n = num_threads > 0 ? static_cast<std::size_t>(num_threads)
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  slots_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+  workers_.reserve(n - 1);
+  for (std::size_t id = 1; id < n; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  stop_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t TaskPool::my_slot() const noexcept {
+  return tls_pool == this ? tls_slot : 0;
+}
+
+void TaskPool::submit(Task t) {
+  const std::size_t slot = my_slot();
+  {
+    const std::lock_guard<std::mutex> lock(slots_[slot]->mu);
+    slots_[slot]->q.push_back(std::move(t));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_one();
+}
+
+bool TaskPool::run_one() {
+  const std::size_t self = my_slot();
+  Task t;
+  {
+    // Own deque first, newest task (LIFO = depth-first, cache-warm).
+    const std::lock_guard<std::mutex> lock(slots_[self]->mu);
+    if (!slots_[self]->q.empty()) {
+      t = std::move(slots_[self]->q.back());
+      slots_[self]->q.pop_back();
+    }
+  }
+  if (!t) {
+    // Steal the oldest task (FIFO = the largest pending subtree) from
+    // the first non-empty victim after us.
+    for (std::size_t k = 1; k < slots_.size() && !t; ++k) {
+      Slot& victim = *slots_[(self + k) % slots_.size()];
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.q.empty()) {
+        t = std::move(victim.q.front());
+        victim.q.pop_front();
+      }
+    }
+    if (t) steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!t) return false;
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  t();
+  return true;
+}
+
+void TaskPool::worker_loop(std::size_t id) {
+  tls_pool = this;
+  tls_slot = id;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!run_one()) {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+    }
+  }
+  tls_pool = nullptr;
+}
+
+TaskPool::Stats TaskPool::stats() const noexcept {
+  return Stats{tasks_spawned_.load(std::memory_order_relaxed),
+               steals_.load(std::memory_order_relaxed),
+               barrier_waits_.load(std::memory_order_relaxed)};
+}
+
+void TaskPool::flush_counters() {
+  // Deltas computed outside the macros: CG_COUNTER_ADD does not
+  // evaluate its arguments when CACHEGRAPH_INSTRUMENT is off, so side
+  // effects in the argument expressions would make pool behaviour
+  // depend on the build config.
+  const Stats now = stats();
+  CG_COUNTER_ADD("parallel.tasks_spawned", now.tasks_spawned - flushed_.tasks_spawned);
+  CG_COUNTER_ADD("parallel.steals", now.steals - flushed_.steals);
+  CG_COUNTER_ADD("parallel.barrier_waits", now.barrier_waits - flushed_.barrier_waits);
+  flushed_ = now;
+}
+
+void TaskGroup::run(TaskPool::Task t) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  pool_.tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+  pool_.submit([this, task = std::move(t)] {
+    {
+      CG_TRACE_SPAN("parallel.task");
+      task();
+    }
+    // Release: the waiter's acquire load of 0 must see the task's writes.
+    pending_.fetch_sub(1, std::memory_order_release);
+  });
+}
+
+void TaskGroup::wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!pool_.run_one()) {
+      // Nothing runnable — our tasks are in flight on other workers.
+      pool_.barrier_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace cachegraph::parallel

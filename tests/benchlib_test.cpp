@@ -2,6 +2,7 @@
 // formatting, option parsing, host-cache detection, workload builders.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -82,6 +83,80 @@ TEST(OptionsTest, ParsesAllFlags) {
   EXPECT_EQ(o.reps, 7);
   EXPECT_EQ(o.seed, 99u);
   EXPECT_EQ(o.machine_config().name, "PentiumIII");
+}
+
+TEST(ParseInteger, AcceptsExactIntegersOnly) {
+  int i = -1;
+  EXPECT_TRUE(parse_integer("42", i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(parse_integer("-7", i));
+  EXPECT_EQ(i, -7);
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_integer("18446744073709551615", u));
+  EXPECT_EQ(u, 18446744073709551615ull);
+
+  // Failures leave `out` untouched.
+  i = 5;
+  EXPECT_FALSE(parse_integer("", i));
+  EXPECT_FALSE(parse_integer("abc", i));
+  EXPECT_FALSE(parse_integer("12abc", i));  // trailing garbage
+  EXPECT_FALSE(parse_integer(" 12", i));    // leading space
+  EXPECT_FALSE(parse_integer("12 ", i));    // trailing space
+  EXPECT_FALSE(parse_integer("1.5", i));
+  EXPECT_FALSE(parse_integer("99999999999999999999", i));  // overflow
+  EXPECT_FALSE(parse_integer("-1", u));                    // negative into unsigned
+  EXPECT_EQ(i, 5);
+}
+
+TEST(OptionsTest, ParsesThreads) {
+  char prog[] = "bench";
+  char f1[] = "--threads=4";
+  char* argv[] = {prog, f1};
+  const Options o = parse_options(2, argv);
+  EXPECT_EQ(o.threads, 4);
+  char* argv0[] = {prog};
+  EXPECT_EQ(parse_options(1, argv0).threads, 0);
+}
+
+TEST(OptionsDeathTest, RejectsNonNumericReps) {
+  // Regression: "--reps=abc" used to atoi() to 0 and get clamped to a
+  // silent 1 rep; "--seed=junk" became seed 0. Both are usage errors.
+  char prog[] = "bench";
+  char bad[] = "--reps=abc";
+  char* argv[] = {prog, bad};
+  EXPECT_EXIT((void)parse_options(2, argv), testing::ExitedWithCode(2), "--reps wants an integer");
+}
+
+TEST(OptionsDeathTest, RejectsTrailingGarbageInReps) {
+  char prog[] = "bench";
+  char bad[] = "--reps=3x";
+  char* argv[] = {prog, bad};
+  EXPECT_EXIT((void)parse_options(2, argv), testing::ExitedWithCode(2), "--reps wants an integer");
+}
+
+TEST(OptionsDeathTest, RejectsNonPositiveReps) {
+  char prog[] = "bench";
+  char bad[] = "--reps=0";
+  char* argv[] = {prog, bad};
+  EXPECT_EXIT((void)parse_options(2, argv), testing::ExitedWithCode(2), "positive count");
+}
+
+TEST(OptionsDeathTest, RejectsNonNumericSeed) {
+  char prog[] = "bench";
+  char bad[] = "--seed=junk";
+  char* argv[] = {prog, bad};
+  EXPECT_EXIT((void)parse_options(2, argv), testing::ExitedWithCode(2), "--seed wants an integer");
+}
+
+TEST(OptionsDeathTest, RejectsBadThreads) {
+  char prog[] = "bench";
+  char bad[] = "--threads=two";
+  char* argv[] = {prog, bad};
+  EXPECT_EXIT((void)parse_options(2, argv), testing::ExitedWithCode(2),
+              "--threads wants an integer");
+  char neg[] = "--threads=-2";
+  char* argv2[] = {prog, neg};
+  EXPECT_EXIT((void)parse_options(2, argv2), testing::ExitedWithCode(2), "count >= 0");
 }
 
 TEST(OptionsTest, MachinePresetsResolve) {

@@ -1,0 +1,376 @@
+// Task pool semantics and the parallel Floyd-Warshall paths:
+// fwr_parallel (task-parallel recursion) and fw_parallel (OpenMP tiled)
+// against the sequential oracle, plus the bit-identity guarantee of the
+// phase-barrier schedule against sequential fw_recursive, across
+// layouts, thread counts, and adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "cachegraph/apsp/run.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::apsp {
+namespace {
+
+using testutil::random_weight_matrix;
+using testutil::reference_apsp;
+
+// ------------------------------------------------------------ TaskPool
+
+TEST(TaskPool, SingleThreadPoolRunsEverythingInWait) {
+  parallel::TaskPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> ran{0};
+  parallel::TaskGroup g(pool);
+  for (int i = 0; i < 100; ++i) {
+    g.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  g.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskPool, EveryTaskRunsExactlyOnce) {
+  parallel::TaskPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kTasks));
+  parallel::TaskGroup g(pool);
+  for (int i = 0; i < kTasks; ++i) {
+    g.run([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  g.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, NestedGroupsDoNotDeadlock) {
+  // Tasks spawn their own groups — the shape of the FWR recursion. The
+  // waiting thread must help execute, or a 2-thread pool with 4
+  // simultaneous waiters would wedge.
+  parallel::TaskPool pool(2);
+  std::atomic<int> leaves{0};
+  parallel::TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&pool, &leaves] {
+      parallel::TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+TEST(TaskPool, WaitObservesTaskWrites) {
+  // The release on task completion / acquire in wait() must publish
+  // plain (non-atomic) writes made inside tasks.
+  parallel::TaskPool pool(4);
+  std::vector<int> out(256, 0);
+  parallel::TaskGroup g(pool);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    g.run([&out, i] { out[i] = static_cast<int>(i) + 1; });
+  }
+  g.wait();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(TaskPool, StatsCountSpawns) {
+  parallel::TaskPool pool(2);
+  {
+    parallel::TaskGroup g(pool);
+    for (int i = 0; i < 10; ++i) g.run([] {});
+  }
+  EXPECT_EQ(pool.stats().tasks_spawned, 10u);
+  pool.flush_counters();
+  EXPECT_EQ(pool.stats().tasks_spawned, 10u);  // stats are cumulative
+#if defined(CACHEGRAPH_INSTRUMENT)
+  EXPECT_GE(obs::CounterRegistry::instance().value("parallel.tasks_spawned"), 10u);
+  // A second flush adds only the (empty) delta, not the tally again.
+  const auto before = obs::CounterRegistry::instance().value("parallel.tasks_spawned");
+  pool.flush_counters();
+  EXPECT_EQ(obs::CounterRegistry::instance().value("parallel.tasks_spawned"), before);
+#endif
+}
+
+TEST(TaskPool, GroupDestructorWaits) {
+  parallel::TaskPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    parallel::TaskGroup g(pool);
+    for (int i = 0; i < 64; ++i) {
+      g.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // no explicit wait
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// ------------------------------------------------------ cutoff heuristic
+
+TEST(FwrParallel, CutoffHeuristic) {
+  // One thread: no tasking at all (cutoff == whole grid).
+  EXPECT_EQ(fwr_parallel_cutoff(16, 32, 1), 16u);
+  // Large blocks already exceed the minimum leaf: split all the way.
+  EXPECT_EQ(fwr_parallel_cutoff(16, 128, 4), 1u);
+  EXPECT_EQ(fwr_parallel_cutoff(16, 256, 4), 1u);
+  // Small blocks: cutoff doubles until cutoff*block >= 128 elements.
+  EXPECT_EQ(fwr_parallel_cutoff(16, 32, 4), 4u);
+  EXPECT_EQ(fwr_parallel_cutoff(16, 16, 4), 8u);
+  // ...but never past the grid itself.
+  EXPECT_EQ(fwr_parallel_cutoff(2, 4, 4), 2u);
+}
+
+// --------------------------------------- bit-identity vs sequential FWR
+
+// Run sequential fw_recursive and task-parallel fwr_parallel on equal
+// inputs over layout L and require *bit-identical* storage — the
+// phase barriers reproduce the sequential relaxation order exactly, so
+// even double results (where association order matters) must match.
+template <Weight W, layout::MatrixLayout L>
+void expect_bit_identical(L lay, const std::vector<W>& w, std::size_t n, int threads,
+                          std::size_t cutoff) {
+  matrix::SquareMatrix<W, L> seq(lay, n);
+  matrix::SquareMatrix<W, L> par(lay, n);
+  seq.load_row_major(w.data(), n);
+  par.load_row_major(w.data(), n);
+  memsim::NullMem mem;
+  fw_recursive(seq, mem);
+  parallel::TaskPool pool(threads);
+  fwr_parallel(par, pool, cutoff);
+  ASSERT_EQ(seq.storage_bytes(), par.storage_bytes());
+  EXPECT_EQ(std::memcmp(seq.data(), par.data(), seq.storage_bytes()), 0)
+      << "threads=" << threads << " cutoff=" << cutoff << " n=" << n;
+}
+
+TEST(FwrParallel, BitIdenticalToSequentialAcrossLayoutsAndThreads) {
+  const std::size_t n = 45, block = 4;
+  const std::size_t np = layout::padded_size_recursive(n, block);
+  const auto wi = random_weight_matrix<int>(n, 0.3, 91);
+  const auto wd = random_weight_matrix<double>(n, 0.3, 92);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::size_t cutoff : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      expect_bit_identical(layout::RowMajorLayout(np, block), wi, n, threads, cutoff);
+      expect_bit_identical(layout::BlockDataLayout(np, block), wi, n, threads, cutoff);
+      expect_bit_identical(layout::MortonLayout(np, block), wi, n, threads, cutoff);
+      expect_bit_identical(layout::BlockDataLayout(np, block), wd, n, threads, cutoff);
+      expect_bit_identical(layout::MortonLayout(np, block), wd, n, threads, cutoff);
+    }
+  }
+}
+
+TEST(FwrParallel, BitIdenticalWithFastKernel) {
+  const std::size_t n = 32, block = 4;
+  const std::size_t np = layout::padded_size_recursive(n, block);
+  const auto w = random_weight_matrix<int>(n, 0.4, 17);
+  matrix::SquareMatrix<int, layout::BlockDataLayout> seq(layout::BlockDataLayout(np, block), n);
+  matrix::SquareMatrix<int, layout::BlockDataLayout> par(layout::BlockDataLayout(np, block), n);
+  seq.load_row_major(w.data(), n);
+  par.load_row_major(w.data(), n);
+  memsim::NullMem mem;
+  fw_recursive<KernelMode::kFast>(seq, mem);
+  fwr_parallel<KernelMode::kFast>(par, /*num_threads=*/4, /*cutoff_blocks=*/1);
+  EXPECT_EQ(std::memcmp(seq.data(), par.data(), seq.storage_bytes()), 0);
+}
+
+// -------------------------------------------- differential vs the oracle
+
+struct ParCase {
+  std::size_t n;
+  std::size_t block;
+  int threads;
+};
+
+class FwrParallelOracle : public ::testing::TestWithParam<ParCase> {};
+
+TEST_P(FwrParallelOracle, RandomMatrixMatchesReference) {
+  const auto& p = GetParam();
+  const auto w = random_weight_matrix<int>(p.n, 0.3, p.n * 13 + static_cast<std::size_t>(p.threads));
+  const auto expected = reference_apsp(w, p.n);
+  const std::size_t np = layout::padded_size_recursive(p.n, p.block);
+  matrix::SquareMatrix<int, layout::MortonLayout> m(layout::MortonLayout(np, p.block), p.n);
+  m.load_row_major(w.data(), p.n);
+  fwr_parallel(m, p.threads);
+  std::vector<int> got(p.n * p.n);
+  m.store_row_major(got.data(), p.n);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(FwrParallelOracle, InfHeavyMatrixMatchesReference) {
+  // Nearly disconnected graphs exercise the inf-propagation paths (and
+  // the checked kernel's saturating add) under the task schedule.
+  const auto& p = GetParam();
+  const auto w = random_weight_matrix<int>(p.n, 0.03, p.n * 7 + static_cast<std::size_t>(p.threads));
+  const auto expected = reference_apsp(w, p.n);
+  const std::size_t np = layout::padded_size_recursive(p.n, p.block);
+  matrix::SquareMatrix<int, layout::BlockDataLayout> m(layout::BlockDataLayout(np, p.block), p.n);
+  m.load_row_major(w.data(), p.n);
+  fwr_parallel(m, p.threads);
+  std::vector<int> got(p.n * p.n);
+  m.store_row_major(got.data(), p.n);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(FwrParallelOracle, ZeroWeightEdgesMatchReference) {
+  // All-zero weights: every relaxation ties, so any ordering bug that
+  // swaps a relaxation for a non-relaxation still shows up as a wrong
+  // inf/0 pattern, while ties stress the "no improvement" path.
+  const auto& p = GetParam();
+  std::vector<int> w(p.n * p.n, inf<int>());
+  Rng rng(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    w[i * p.n + i] = 0;
+    for (std::size_t j = 0; j < p.n; ++j) {
+      if (i != j && rng.chance(0.3)) w[i * p.n + j] = 0;
+    }
+  }
+  const auto expected = reference_apsp(w, p.n);
+  const std::size_t np = layout::padded_size_recursive(p.n, p.block);
+  matrix::SquareMatrix<int, layout::RowMajorLayout> m(layout::RowMajorLayout(np, p.block), p.n);
+  m.load_row_major(w.data(), p.n);
+  fwr_parallel(m, p.threads);
+  std::vector<int> got(p.n * p.n);
+  m.store_row_major(got.data(), p.n);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(FwrParallelOracle, NegativeDagMatchesReference) {
+  // Negative edges without negative cycles force the checked kernel
+  // (all_non_negative is false) on the parallel path.
+  const auto& p = GetParam();
+  std::vector<int> w(p.n * p.n, inf<int>());
+  for (std::size_t i = 0; i < p.n; ++i) w[i * p.n + i] = 0;
+  Rng rng(p.n * 3 + 1);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = i + 1; j < p.n; ++j) {
+      if (rng.chance(0.4)) w[i * p.n + j] = static_cast<int>(rng.uniform_int(-5, 10));
+    }
+  }
+  const auto expected = reference_apsp(w, p.n);
+  const std::size_t np = layout::padded_size_recursive(p.n, p.block);
+  matrix::SquareMatrix<int, layout::MortonLayout> m(layout::MortonLayout(np, p.block), p.n);
+  m.load_row_major(w.data(), p.n);
+  fwr_parallel(m, p.threads);
+  std::vector<int> got(p.n * p.n);
+  m.store_row_major(got.data(), p.n);
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FwrParallelOracle,
+                         ::testing::Values(ParCase{7, 4, 1}, ParCase{16, 4, 2}, ParCase{23, 4, 4},
+                                           ParCase{32, 8, 4}, ParCase{45, 4, 8},
+                                           ParCase{64, 8, 8}),
+                         [](const ::testing::TestParamInfo<ParCase>& param_info) {
+                           std::string name = "n";
+                           name += std::to_string(param_info.param.n);
+                           name += "_b";
+                           name += std::to_string(param_info.param.block);
+                           name += "_t";
+                           name += std::to_string(param_info.param.threads);
+                           return name;
+                         });
+
+// ------------------------------------------------- OpenMP tiled parallel
+
+TEST(FwParallelOmp, MatchesReferenceAcrossThreadCounts) {
+  const std::size_t n = 45, block = 8;
+  const auto w = random_weight_matrix<int>(n, 0.3, 55);
+  const auto expected = reference_apsp(w, n);
+  const std::size_t np = layout::padded_size_tiled(n, block);
+  for (const int threads : {1, 2, 4, 8}) {
+    matrix::SquareMatrix<int, layout::BlockDataLayout> m(layout::BlockDataLayout(np, block), n);
+    m.load_row_major(w.data(), n);
+    fw_parallel(m, threads);
+    std::vector<int> got(n * n);
+    m.store_row_major(got.data(), n);
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+// --------------------------------------------------- threaded run_fw API
+
+TEST(RunFwThreaded, AgreesWithSequentialDriverForEveryVariant) {
+  const std::size_t n = 45, block = 8;
+  const auto w = random_weight_matrix<int>(n, 0.3, 1234);
+  const std::vector<FwVariant> variants = {
+      FwVariant::kBaseline,      FwVariant::kTiledRowMajor,    FwVariant::kTiledBdl,
+      FwVariant::kTiledMorton,   FwVariant::kRecursiveRowMajor, FwVariant::kRecursiveBdl,
+      FwVariant::kRecursiveMorton, FwVariant::kParallelBdl,
+  };
+  for (const FwVariant v : variants) {
+    const auto sequential = run_fw(v, w, n, block);
+    for (const int threads : {1, 2, 4}) {
+      EXPECT_EQ(run_fw(v, w, n, block, threads), sequential)
+          << variant_name(v) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(RunFwThreaded, NegativeWeightsTakeCheckedKernel) {
+  const std::size_t n = 16, block = 4;
+  std::vector<int> w(n * n, inf<int>());
+  for (std::size_t i = 0; i < n; ++i) w[i * n + i] = 0;
+  Rng rng(77);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.chance(0.5)) w[i * n + j] = static_cast<int>(rng.uniform_int(-4, 9));
+    }
+  }
+  const auto expected = reference_apsp(w, n);
+  EXPECT_EQ(run_fw(FwVariant::kRecursiveMorton, w, n, block, 4), expected);
+  EXPECT_EQ(run_fw(FwVariant::kTiledBdl, w, n, block, 4), expected);
+}
+
+TEST(RunFwThreaded, DoublesAreBitIdenticalToSequential) {
+  const std::size_t n = 32, block = 4;
+  const auto w = random_weight_matrix<double>(n, 0.4, 4321);
+  const auto sequential = run_fw(FwVariant::kRecursiveBdl, w, n, block);
+  const auto parallel = run_fw(FwVariant::kRecursiveBdl, w, n, block, 8);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  EXPECT_EQ(std::memcmp(parallel.data(), sequential.data(), sequential.size() * sizeof(double)),
+            0);
+}
+
+// --------------------------------------- parallel layout conversion
+
+TEST(ParallelConversion, LoadStoreRoundTripsAcrossLayouts) {
+  const std::size_t n = 45, block = 4;
+  std::vector<int> w(n * n);
+  std::iota(w.begin(), w.end(), 1);
+  parallel::TaskPool pool(4);
+  const auto round_trip = [&](auto lay) {
+    matrix::SquareMatrix<int, decltype(lay)> m(lay, n);
+    m.load_row_major(w.data(), n, pool);
+    std::vector<int> out(n * n, -1);
+    m.store_row_major(out.data(), n, pool);
+    EXPECT_EQ(out, w);
+  };
+  const std::size_t np = layout::padded_size_recursive(n, block);
+  round_trip(layout::RowMajorLayout(np, block));
+  round_trip(layout::BlockDataLayout(np, block));
+  round_trip(layout::MortonLayout(np, block));
+}
+
+TEST(ParallelConversion, MatchesSequentialConversion) {
+  const std::size_t n = 37, block = 8;
+  const auto w = random_weight_matrix<int>(n, 0.5, 6);
+  const std::size_t np = layout::padded_size_tiled(n, block);
+  matrix::SquareMatrix<int, layout::BlockDataLayout> a(layout::BlockDataLayout(np, block), n);
+  matrix::SquareMatrix<int, layout::BlockDataLayout> b(layout::BlockDataLayout(np, block), n);
+  a.load_row_major(w.data(), n);
+  parallel::TaskPool pool(3);
+  b.load_row_major(w.data(), n, pool);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.storage_bytes()), 0);
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp

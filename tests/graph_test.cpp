@@ -261,6 +261,39 @@ TEST(DimacsIo, RejectsMalformedInput) {
   }
 }
 
+TEST(DimacsIo, RejectsOutOfRangeVertexIds) {
+  // Regression: ids outside [1, n] used to pass straight through the
+  // -1 shift into add_edge ("a 0 5 7" became add_edge(-1, 4, 7)).
+  {
+    std::stringstream ss("p sp 5 1\na 0 5 7\n");  // tail below range
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("p sp 5 1\na 6 1 7\n");  // tail above range
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("p sp 5 1\na 1 0 7\n");  // head below range
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("p sp 5 1\na 1 -3 7\n");  // negative head
+    EXPECT_THROW(read_dimacs<int>(ss), PreconditionError);
+  }
+  // The error names the offending line.
+  std::stringstream ss("c comment\np sp 5 2\na 1 2 3\na 9 1 7\n");
+  try {
+    (void)read_dimacs<int>(ss);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+  // Boundary ids 1 and n are legal.
+  std::stringstream ok("p sp 5 2\na 1 5 7\na 5 1 2\n");
+  const auto g = read_dimacs<int>(ok);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
 TEST(DimacsIo, DoubleWeightsSurvive) {
   EdgeListGraph<double> g(2);
   g.add_edge(0, 1, 2.5);

@@ -169,7 +169,36 @@ TEST(BlockSize, EffectiveCapacityAppliesTwoToOneRule) {
   EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 4}), 32768u);   // 4-way: as-is
   EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 8}), 32768u);   // >=4-way: as-is
   EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 2}), 16384u);   // 2-way: half
-  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 1}), 8192u);    // direct: quarter
+  // Direct-mapped is *also* half, not a quarter: the 2:1 rule halves
+  // once for low associativity; it does not compound per doubling.
+  // (Regression test — the old loop charged direct-mapped cap/4.)
+  EXPECT_EQ(effective_capacity(CacheConfig{32768, 32, 1}), 16384u);
+}
+
+TEST(BlockSize, PinnedBlockSizesForPaperMachines) {
+  // B = floor(sqrt(C_eff / (3*d))) with d = 4 (int32 weights), pinned
+  // for the four machines of Table 2 so an effective_capacity
+  // regression shows up as a concrete block-size change.
+  struct Expect {
+    memsim::MachineConfig m;
+    std::size_t l1_exact, l1_pow2, l2_exact, l2_pow2;
+  };
+  const Expect cases[] = {
+      // PIII: L1 32K 4-way -> 32768; L2 1M 8-way -> 1048576.
+      {memsim::pentium3(), 52, 32, 295, 256},
+      // USIII: L1 64K 4-way -> 65536; L2 8M direct -> 4M effective.
+      {memsim::ultrasparc3(), 73, 64, 591, 512},
+      // Alpha: L1 64K 2-way -> 32768; L2 4M direct -> 2M effective.
+      {memsim::alpha21264(), 52, 32, 418, 256},
+      // MIPS: L1 32K 2-way -> 16384; L2 8M direct -> 4M effective.
+      {memsim::mips_r12000(), 36, 32, 591, 512},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(pick_block_size(c.m.l1, 4, false), c.l1_exact) << c.m.name;
+    EXPECT_EQ(pick_block_size(c.m.l1, 4, true), c.l1_pow2) << c.m.name;
+    EXPECT_EQ(pick_block_size(c.m.l2, 4, false), c.l2_exact) << c.m.name;
+    EXPECT_EQ(pick_block_size(c.m.l2, 4, true), c.l2_pow2) << c.m.name;
+  }
 }
 
 TEST(BlockSize, SatisfiesWorkingSetEquation) {

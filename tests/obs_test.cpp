@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "cachegraph/common/json.hpp"
 #include "cachegraph/obs/counters.hpp"
@@ -20,7 +22,7 @@ namespace {
 TEST(CounterRegistry, GetOrCreateAndIncrement) {
   auto& reg = obs::CounterRegistry::instance();
   reg.reset();
-  std::uint64_t& c = reg.counter("obs_test.alpha");
+  auto& c = reg.counter("obs_test.alpha");
   EXPECT_EQ(c, 0u);
   c += 3;
   EXPECT_EQ(reg.value("obs_test.alpha"), 3u);
@@ -31,7 +33,7 @@ TEST(CounterRegistry, GetOrCreateAndIncrement) {
 
 TEST(CounterRegistry, ResetZeroesInPlace) {
   auto& reg = obs::CounterRegistry::instance();
-  std::uint64_t& c = reg.counter("obs_test.beta");
+  auto& c = reg.counter("obs_test.beta");
   c = 42;
   reg.reset();
   // reset() zeroes the slot without invalidating references to it —
@@ -86,6 +88,36 @@ TEST(CounterRegistry, MacrosAccumulate) {
   EXPECT_EQ(reg.value("obs_test.macro_max"), 9u);
 #else
   EXPECT_EQ(reg.value("obs_test.macro_inc"), 0u);
+#endif
+}
+
+TEST(CounterRegistry, ConcurrentIncrementsAreLossless) {
+  // Pool workers bump counters concurrently (fwr_parallel leaves, pool
+  // flushes); the atomic slots must not drop increments and lookup must
+  // be safe under contention. Run under TSan in CI.
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        CG_COUNTER_INC("obs_test.concurrent");
+        CG_COUNTER_MAX("obs_test.concurrent_max",
+                       static_cast<std::uint64_t>(t) * kIters + static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+#if defined(CACHEGRAPH_INSTRUMENT)
+  EXPECT_EQ(reg.value("obs_test.concurrent"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.value("obs_test.concurrent_max"),
+            static_cast<std::uint64_t>(kThreads - 1) * kIters + (kIters - 1));
+#else
+  EXPECT_EQ(reg.value("obs_test.concurrent"), 0u);
 #endif
 }
 
