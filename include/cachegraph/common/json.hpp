@@ -6,6 +6,7 @@
 // Not a parser — the test suite carries its own tiny validity checker.
 #pragma once
 
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -111,10 +112,12 @@ class Writer {
     if (!std::isfinite(v)) {
       os_ << "null";  // JSON has no inf/nan
     } else {
-      std::ostringstream tmp;
-      tmp.precision(12);
-      tmp << v;
-      os_ << tmp.str();
+      // Shortest round-trip form (std::to_chars with no precision):
+      // the emitted text parses back to the exact same IEEE double,
+      // which a fixed precision of 12 did not guarantee.
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+      os_.write(buf, res.ptr - buf);
     }
     return *this;
   }

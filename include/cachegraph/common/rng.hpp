@@ -11,6 +11,8 @@
 #include <array>
 #include <cstdint>
 
+#include "cachegraph/common/check.hpp"
+
 namespace cachegraph {
 
 /// splitmix64: used to expand a single 64-bit seed into generator state.
@@ -54,8 +56,10 @@ class Rng {
     return result;
   }
 
-  /// Unbiased uniform integer in [0, bound). bound must be > 0.
-  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+  /// Unbiased uniform integer in [0, bound). bound must be > 0 —
+  /// the modulo-threshold computation divides by it.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    CG_CHECK(bound > 0, "below() requires a positive bound");
     // Lemire-style rejection via the classic modulo-threshold method.
     const std::uint64_t threshold = (0ULL - bound) % bound;
     for (;;) {
@@ -64,10 +68,16 @@ class Rng {
     }
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
-  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
+  /// Uniform integer in [lo, hi] inclusive. The span is computed in
+  /// unsigned arithmetic (hi - lo as int64 overflows for wide ranges);
+  /// a span that wraps to 0 means [lo, hi] covers every int64 value,
+  /// where any raw 64-bit draw is already uniform.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CG_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t off = span == 0 ? (*this)() : below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
   }
 
   /// Uniform double in [0, 1).

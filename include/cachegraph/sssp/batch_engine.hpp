@@ -1,0 +1,277 @@
+// Batched multi-source SSSP engine on the work-stealing TaskPool.
+//
+// The paper's Section 3.2 result makes adjacency array + indexed heap
+// the right SSSP engine for sparse graphs; a batch service built on it
+// has two further cache obligations the serial `apsp::johnson` loop
+// ignores: (1) the graph is immutable and shared — build the adjacency
+// array once, let every query stream it; (2) the per-query working set
+// (heap storage, dist/parent/done buffers) should be *reused*, not
+// reallocated per source, so it stays resident in whichever worker's
+// cache ran the previous query ("Making Caches Work for Graph
+// Analytics" makes the same point for per-query state).
+//
+// Mechanics:
+//   - one `Scratch` per concurrently-running query, leased from a
+//     mutex-guarded free list (at most `pool.num_threads()` are ever
+//     live, so the engine allocates that many and then never again);
+//   - queries run Dijkstra with *lazy insertion* into the indexed
+//     binary heap: only the source starts in the heap, a vertex is
+//     inserted on first improvement and decrease-keyed afterwards.
+//     Every inserted vertex is eventually extracted, so the heap
+//     drains itself back to empty — its vectors (reserved to capacity
+//     up front) are reused with zero steady-state allocation;
+//   - `Scratch::reset()` undoes only the entries the previous query
+//     touched (O(touched), not O(N)) via an explicit touched list —
+//     on a sparse graph with unreachable regions a query pays only
+//     for the region it explored;
+//   - distances are bit-identical to `sssp::dijkstra` (the computed
+//     dist fixpoint is unique, independent of exploration order; the
+//     parent *pointers* may differ on ties but the parent-tree
+//     distances are equal).
+//
+// Observability: `sssp.batch.*` instrumentation counters (runs,
+// queries, settled, relaxations, scratch_allocs, scratch_reuses), a
+// per-batch `CG_TRACE_SPAN("sssp.batch.run")`, and a pool counter
+// flush after every batch so `parallel.*` tallies land in the same
+// registry snapshot.
+//
+// Threading contract: the graph must outlive the engine and stay
+// unmodified during batches. `run_batch` may be called repeatedly
+// (that is the point); call it from one thread at a time per engine.
+// The sink runs on worker threads, once per source, with distinct
+// sources running concurrently — writes to per-source output slots
+// need no locking, anything shared needs atomics.
+//
+// Requires non-negative edge weights (Johnson's reweighting supplies
+// them when the underlying graph has negative edges).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+
+namespace cachegraph::sssp {
+
+template <Weight W>
+class BatchEngine {
+ public:
+  /// Per-query reusable state: dist/parent/done buffers, the indexed
+  /// heap, and the touched list that makes reset O(touched).
+  class Scratch {
+   public:
+    explicit Scratch(vertex_t n)
+        : dist_(static_cast<std::size_t>(n), inf<W>()),
+          parent_(static_cast<std::size_t>(n), kNoVertex),
+          done_(static_cast<std::size_t>(n), 0),
+          heap_(n) {
+      touched_.reserve(static_cast<std::size_t>(n));
+    }
+
+    /// dist[v] = shortest distance from this query's source.
+    [[nodiscard]] const std::vector<W>& dist() const noexcept { return dist_; }
+    /// parent[v] on a shortest-path tree (kNoVertex for source/unreached).
+    [[nodiscard]] const std::vector<vertex_t>& parent() const noexcept { return parent_; }
+    /// Every vertex this query reached (the source included) — lets a
+    /// sink read sparse results without scanning all N entries.
+    [[nodiscard]] std::span<const vertex_t> touched() const noexcept { return touched_; }
+    /// Vertices settled (extracted with a final distance) this query.
+    [[nodiscard]] std::uint64_t settled() const noexcept { return settled_; }
+    /// Successful relaxations (insert + decrease-key) this query.
+    [[nodiscard]] std::uint64_t relaxations() const noexcept { return relaxations_; }
+
+   private:
+    friend class BatchEngine;
+
+    /// Undo the previous query's marks — O(touched), not O(N).
+    void reset() noexcept {
+      for (const vertex_t v : touched_) {
+        const auto u = static_cast<std::size_t>(v);
+        dist_[u] = inf<W>();
+        parent_[u] = kNoVertex;
+        done_[u] = 0;
+      }
+      touched_.clear();
+      settled_ = 0;
+      relaxations_ = 0;
+    }
+
+    std::vector<W> dist_;
+    std::vector<vertex_t> parent_;
+    std::vector<char> done_;
+    std::vector<vertex_t> touched_;
+    pq::BinaryHeap<W, memsim::NullMem> heap_;
+    std::uint64_t settled_ = 0;
+    std::uint64_t relaxations_ = 0;
+  };
+
+  /// Engine-lifetime tallies (atomic; readable any time).
+  struct Stats {
+    std::uint64_t queries = 0;         ///< sources processed
+    std::uint64_t scratch_allocs = 0;  ///< Scratch objects ever built
+    std::uint64_t scratch_reuses = 0;  ///< leases served from the free list
+  };
+
+  explicit BatchEngine(const graph::AdjacencyArray<W>& g) : g_(g), n_(g.num_vertices()) {}
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{queries_.load(std::memory_order_relaxed),
+                 scratch_allocs_.load(std::memory_order_relaxed),
+                 scratch_reuses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Runs one Dijkstra per source as TaskPool tasks and calls
+  /// `sink(index, source, scratch)` from the worker that finished it.
+  /// The scratch reference is only valid inside the sink call.
+  template <typename Sink>
+  void run_batch(std::span<const vertex_t> sources, parallel::TaskPool& pool, Sink&& sink) {
+    CG_TRACE_SPAN("sssp.batch.run");
+    for (const vertex_t s : sources) {
+      CG_CHECK(s >= 0 && s < n_, "batch source out of range");
+    }
+    {
+      parallel::TaskGroup group(pool);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const vertex_t s = sources[i];
+        group.run([this, i, s, &sink] {
+          const Lease lease(*this);
+          Scratch& sc = lease.scratch();
+          run_query(sc, s);
+          sink(i, s, static_cast<const Scratch&>(sc));
+        });
+      }
+      group.wait();
+    }
+    queries_.fetch_add(sources.size(), std::memory_order_relaxed);
+    CG_COUNTER_INC("sssp.batch.runs");
+    CG_COUNTER_ADD("sssp.batch.queries", sources.size());
+    pool.flush_counters();
+  }
+
+  /// One materialized result per source (allocates the output; the
+  /// sink form above is the zero-copy path).
+  struct QueryResult {
+    std::vector<W> dist;
+    std::vector<vertex_t> parent;
+  };
+
+  [[nodiscard]] std::vector<QueryResult> run_batch(std::span<const vertex_t> sources,
+                                                   parallel::TaskPool& pool) {
+    std::vector<QueryResult> out(sources.size());
+    run_batch(sources, pool, [&out](std::size_t i, vertex_t, const Scratch& sc) {
+      out[i].dist = sc.dist();
+      out[i].parent = sc.parent();
+    });
+    return out;
+  }
+
+  /// Convenience: run over a freshly spun-up pool of `threads` slots
+  /// (<= 0 uses the hardware concurrency). Long-lived callers should
+  /// keep their own pool and use the overloads above.
+  [[nodiscard]] std::vector<QueryResult> run_batch(std::span<const vertex_t> sources,
+                                                   int threads) {
+    parallel::TaskPool pool(threads);
+    return run_batch(sources, pool);
+  }
+
+ private:
+  /// RAII lease of a Scratch from the free list. At most one Scratch
+  /// per concurrently-running task is ever live, so after warm-up every
+  /// lease is a reuse and the engine performs no further allocation.
+  class Lease {
+   public:
+    explicit Lease(BatchEngine& e) : engine_(e) {
+      {
+        const std::lock_guard<std::mutex> lock(e.free_mu_);
+        if (!e.free_.empty()) {
+          scratch_ = std::move(e.free_.back());
+          e.free_.pop_back();
+        }
+      }
+      if (scratch_) {
+        e.scratch_reuses_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("sssp.batch.scratch_reuses");
+      } else {
+        scratch_ = std::make_unique<Scratch>(e.n_);
+        e.scratch_allocs_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("sssp.batch.scratch_allocs");
+      }
+    }
+    ~Lease() {
+      const std::lock_guard<std::mutex> lock(engine_.free_mu_);
+      engine_.free_.push_back(std::move(scratch_));
+    }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] Scratch& scratch() const noexcept { return *scratch_; }
+
+   private:
+    BatchEngine& engine_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
+  /// One Dijkstra with lazy heap insertion. The heap starts and ends
+  /// empty; dist/parent/done are clean (reset() undid the previous
+  /// query) except where this query writes and records in touched_.
+  void run_query(Scratch& sc, vertex_t source) const {
+    sc.reset();
+    CG_DCHECK(sc.heap_.empty());
+    const auto us = static_cast<std::size_t>(source);
+    sc.dist_[us] = W{0};
+    sc.touched_.push_back(source);
+    sc.heap_.insert(source, W{0});
+
+    memsim::NullMem mem;
+    while (!sc.heap_.empty()) {
+      const auto top = sc.heap_.extract_min();
+      const vertex_t u = top.vertex;
+      sc.done_[static_cast<std::size_t>(u)] = 1;
+      ++sc.settled_;
+      const W du = top.key;
+      g_.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+        const auto tv = static_cast<std::size_t>(nb.to);
+        const W nd = sat_add(du, nb.weight);
+        if (nd >= sc.dist_[tv]) return;
+        // A settled vertex cannot improve under non-negative weights.
+        CG_DCHECK(!sc.done_[tv], "negative edge weight in BatchEngine");
+        if (sc.done_[tv]) return;
+        if (is_inf(sc.dist_[tv])) {
+          sc.touched_.push_back(nb.to);
+          sc.heap_.insert(nb.to, nd);
+        } else {
+          sc.heap_.decrease_key(nb.to, nd);
+        }
+        sc.dist_[tv] = nd;
+        sc.parent_[tv] = u;
+        ++sc.relaxations_;
+      });
+    }
+    CG_COUNTER_ADD("sssp.batch.settled", sc.settled_);
+    CG_COUNTER_ADD("sssp.batch.relaxations", sc.relaxations_);
+  }
+
+  const graph::AdjacencyArray<W>& g_;
+  vertex_t n_;
+  std::mutex free_mu_;
+  std::vector<std::unique_ptr<Scratch>> free_;
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> scratch_allocs_{0};
+  std::atomic<std::uint64_t> scratch_reuses_{0};
+};
+
+}  // namespace cachegraph::sssp

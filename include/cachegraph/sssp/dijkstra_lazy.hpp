@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
 
 namespace cachegraph::sssp {
 
@@ -51,9 +52,11 @@ LazySsspResult<typename G::weight_type> dijkstra_lazy(const G& g, vertex_t sourc
     const Entry top = q.top();
     q.pop();
     ++r.pops;
+    CG_COUNTER_INC("dijkstra.lazy.pops");
     const auto u = static_cast<std::size_t>(top.vertex);
     if (done[u]) {
       ++r.stale_pops;  // superseded by an earlier, shorter entry
+      CG_COUNTER_INC("dijkstra.lazy.stale_pops");
       continue;
     }
     done[u] = 1;

@@ -4,12 +4,16 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "cachegraph/benchlib/options.hpp"
 #include "cachegraph/benchlib/table.hpp"
 #include "cachegraph/benchlib/workloads.hpp"
+#include "cachegraph/common/json.hpp"
 
 namespace cachegraph::bench {
 namespace {
@@ -229,6 +233,45 @@ TEST(OptionsTest, ObservabilityFlagsDefaultOff) {
   EXPECT_TRUE(o.json.empty());
   EXPECT_TRUE(o.tag.empty());
   EXPECT_TRUE(o.trace.empty());
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  // The report sink serializes timings as doubles; the emitted text
+  // must parse back to the exact same IEEE value (a fixed precision of
+  // 12 silently lost bits on values like 1/3 or denormals).
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          6.02214076e23,
+                          1e-300,
+                          5e-324,  // smallest denormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          -123456.789012345678,
+                          3.0000000000000004};
+  for (const double v : cases) {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.value(v);
+    const std::string text = os.str();
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(end, text.c_str() + text.size()) << "trailing garbage in " << text;
+    EXPECT_EQ(std::memcmp(&parsed, &v, sizeof(double)), 0)
+        << text << " parsed back to " << parsed << " not " << v;
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(-std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(os.str(), "[null,null,null]");
 }
 
 TEST(TimerTest, MeanAndStddevAreConsistent) {

@@ -109,6 +109,52 @@ TEST(Rng, BelowCoversAllResidues) {
   EXPECT_EQ(seen.size(), 8u);
 }
 
+TEST(Rng, BelowZeroBoundThrows) {
+  // Regression: bound 0 used to divide by zero in the rejection
+  // threshold ((0 - bound) % bound) before the precondition check.
+  Rng r(7);
+  EXPECT_THROW((void)r.below(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntFullInt64RangeDoesNotWrap) {
+  // Regression: hi - lo overflowed int64 for wide ranges; the span is
+  // now computed in unsigned arithmetic, and the full-range span (which
+  // wraps to 0) falls back to a raw 64-bit draw.
+  constexpr auto kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kHi = std::numeric_limits<std::int64_t>::max();
+  Rng r(21);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(kLo, kHi);
+    saw_negative |= (v < 0);
+    saw_positive |= (v > 0);
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Deterministic: same seed, same sequence.
+  Rng a(21), b(21);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(kLo, kHi), b.uniform_int(kLo, kHi));
+}
+
+TEST(Rng, UniformIntWideButNotFullRange) {
+  // Spans that overflow int64 but not uint64 (e.g. [min, max-1]) go
+  // through the rejection path with an unsigned span.
+  constexpr auto kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kHi = std::numeric_limits<std::int64_t>::max() - 1;
+  Rng r(22);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(kLo, kHi);
+    EXPECT_LE(v, kHi);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateAndInvalidBounds) {
+  Rng r(23);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+  EXPECT_EQ(r.uniform_int(-7, -7), -7);
+  EXPECT_THROW((void)r.uniform_int(3, 2), PreconditionError);
+}
+
 TEST(Rng, UniformIntInclusiveBounds) {
   Rng r(9);
   bool saw_lo = false, saw_hi = false;

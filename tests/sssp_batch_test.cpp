@@ -1,0 +1,454 @@
+// The batched multi-source SSSP engine: differential equality against
+// serial sssp::dijkstra and apsp::johnson across representations,
+// thread counts, and adversarial graphs; the scratch-reuse guarantee
+// (no steady-state allocation after warm-up, observed through the
+// engine's scratch counters); and the Johnson corner cases the serial
+// path shares with the batched one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "cachegraph/apsp/johnson.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/adjacency_matrix.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/sssp/batch_engine.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::sssp {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::AdjacencyMatrix;
+using graph::EdgeListGraph;
+using graph::random_digraph;
+
+std::vector<vertex_t> all_sources(vertex_t n) {
+  std::vector<vertex_t> s(static_cast<std::size_t>(n));
+  std::iota(s.begin(), s.end(), vertex_t{0});
+  return s;
+}
+
+/// Walks the parent tree from v to the root, summing edge weights. The
+/// engine may pick different parents than serial Dijkstra on ties, but
+/// the tree distances must agree exactly.
+template <Weight W>
+W tree_distance(const AdjacencyMatrix<W>& m, const std::vector<vertex_t>& parent, vertex_t source,
+                vertex_t v) {
+  W total = W{0};
+  int steps = 0;
+  while (v != source) {
+    const vertex_t p = parent[static_cast<std::size_t>(v)];
+    if (p == kNoVertex) return inf<W>();
+    EXPECT_FALSE(is_inf(m.weight(p, v))) << "parent edge " << p << "->" << v << " missing";
+    total = sat_add(total, m.weight(p, v));
+    v = p;
+    if (++steps > m.num_vertices()) {
+      ADD_FAILURE() << "parent chain cycles";
+      return inf<W>();
+    }
+  }
+  return total;
+}
+
+// ------------------------------------------- differential vs serial SSSP
+
+struct BatchCase {
+  vertex_t n;
+  double density;
+  int threads;
+};
+
+class BatchVsSerial : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchVsSerial, DistBitIdenticalAndParentTreeTight) {
+  const auto& p = GetParam();
+  const auto el = random_digraph<int>(p.n, p.density,
+                                      static_cast<std::uint64_t>(p.n) * 131 +
+                                          static_cast<std::uint64_t>(p.threads));
+  const AdjacencyArray<int> rep(el);
+  const AdjacencyMatrix<int> m(el);
+
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(p.threads);
+  const auto sources = all_sources(p.n);
+  const auto batch = engine.run_batch(sources, pool);
+  ASSERT_EQ(batch.size(), sources.size());
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto serial = dijkstra(rep, sources[i]);
+    ASSERT_EQ(batch[i].dist.size(), serial.dist.size());
+    EXPECT_EQ(std::memcmp(batch[i].dist.data(), serial.dist.data(),
+                          serial.dist.size() * sizeof(int)),
+              0)
+        << "source " << sources[i] << " threads=" << p.threads;
+    for (vertex_t v = 0; v < p.n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (is_inf(batch[i].dist[uv])) {
+        EXPECT_EQ(batch[i].parent[uv], kNoVertex);
+        continue;
+      }
+      EXPECT_EQ(tree_distance(m, batch[i].parent, sources[i], v), batch[i].dist[uv])
+          << "source " << sources[i] << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchVsSerial,
+                         ::testing::Values(BatchCase{1, 0.0, 1}, BatchCase{7, 0.3, 2},
+                                           BatchCase{33, 0.1, 4}, BatchCase{33, 0.1, 8},
+                                           BatchCase{64, 0.05, 1}, BatchCase{64, 0.05, 4},
+                                           BatchCase{90, 0.4, 8}, BatchCase{120, 0.02, 2}),
+                         [](const ::testing::TestParamInfo<BatchCase>& pi) {
+                           return "n" + std::to_string(pi.param.n) + "_d" +
+                                  std::to_string(static_cast<int>(pi.param.density * 100)) +
+                                  "_t" + std::to_string(pi.param.threads);
+                         });
+
+TEST(BatchEngine, AgreesWithEveryRepresentationSerially) {
+  // "Across layouts": serial Dijkstra over array, list, and matrix
+  // representations all agree with the batched engine's distances.
+  const auto el = random_digraph<int>(72, 0.08, 909);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  const auto batch = engine.run_batch(all_sources(72), /*threads=*/4);
+  const AdjacencyList<int> list(el);
+  const AdjacencyMatrix<int> matrix(el);
+  for (vertex_t s = 0; s < 72; s += 7) {
+    const auto us = static_cast<std::size_t>(s);
+    EXPECT_EQ(batch[us].dist, dijkstra(list, s).dist) << "list, source " << s;
+    EXPECT_EQ(batch[us].dist, dijkstra(matrix, s).dist) << "matrix, source " << s;
+  }
+}
+
+TEST(BatchEngine, ThreadCountsProduceIdenticalResults) {
+  const auto el = random_digraph<int>(60, 0.12, 5150);
+  const AdjacencyArray<int> rep(el);
+  const auto sources = all_sources(60);
+  BatchEngine<int> baseline_engine(rep);
+  const auto baseline = baseline_engine.run_batch(sources, 1);
+  for (const int threads : {2, 4, 8}) {
+    BatchEngine<int> engine(rep);
+    const auto got = engine.run_batch(sources, threads);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].dist, baseline[i].dist) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(BatchEngine, DoubleWeightsBitIdenticalToSerial) {
+  // The dist fixpoint is unique even in floating point: dist[v] is
+  // min over parents of dist[u] + w, independent of exploration order.
+  graph::EdgeListGraph<double> el(5);
+  el.add_edge(0, 1, 0.1);
+  el.add_edge(1, 2, 0.2);
+  el.add_edge(0, 2, 0.30000000000000004);  // ties 0.1+0.2 bitwise
+  el.add_edge(2, 3, 1e-3);
+  el.add_edge(0, 4, 0.7);
+  const AdjacencyArray<double> rep(el);
+  BatchEngine<double> engine(rep);
+  const auto batch = engine.run_batch(all_sources(5), 4);
+  for (vertex_t s = 0; s < 5; ++s) {
+    const auto serial = dijkstra(rep, s);
+    EXPECT_EQ(std::memcmp(batch[static_cast<std::size_t>(s)].dist.data(), serial.dist.data(),
+                          serial.dist.size() * sizeof(double)),
+              0)
+        << "source " << s;
+  }
+}
+
+// ------------------------------------------------------ adversarial graphs
+
+TEST(BatchEngine, DisconnectedComponentsStayInf) {
+  // Two components; queries from one must not leak into the other,
+  // and the touched-list reset must not leave stale marks behind when
+  // consecutive queries explore different components on one scratch.
+  EdgeListGraph<int> el(6);
+  el.add_edge(0, 1, 2);
+  el.add_edge(1, 2, 3);
+  el.add_edge(3, 4, 1);
+  el.add_edge(4, 5, 1);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(1);  // one scratch serves every query in order
+  const auto r = engine.run_batch(all_sources(6), pool);
+  EXPECT_EQ(r[0].dist, (std::vector<int>{0, 2, 5, inf<int>(), inf<int>(), inf<int>()}));
+  EXPECT_EQ(r[3].dist, (std::vector<int>{inf<int>(), inf<int>(), inf<int>(), 0, 1, 2}));
+  EXPECT_EQ(r[5].dist[4], inf<int>());  // edges are directed
+  EXPECT_EQ(r[5].dist[5], 0);
+  EXPECT_EQ(engine.stats().scratch_allocs, 1u);
+}
+
+TEST(BatchEngine, ZeroWeightEdgesMatchSerial) {
+  EdgeListGraph<int> el(8);
+  Rng rng(33);
+  for (vertex_t i = 0; i < 8; ++i) {
+    for (vertex_t j = 0; j < 8; ++j) {
+      if (i != j && rng.chance(0.4)) {
+        el.add_edge(i, j, rng.chance(0.5) ? 0 : static_cast<int>(rng.uniform_int(1, 5)));
+      }
+    }
+  }
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  const auto batch = engine.run_batch(all_sources(8), 4);
+  for (vertex_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(s)].dist, dijkstra(rep, s).dist) << "source " << s;
+  }
+}
+
+TEST(BatchEngine, SingleVertexGraph) {
+  EdgeListGraph<int> el(1);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  const auto r = engine.run_batch(all_sources(1), 2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].dist, std::vector<int>{0});
+  EXPECT_EQ(r[0].parent, std::vector<vertex_t>{kNoVertex});
+}
+
+TEST(BatchEngine, EmptyBatchIsANoOp) {
+  const auto el = random_digraph<int>(10, 0.2, 1);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(2);
+  const auto r = engine.run_batch(std::vector<vertex_t>{}, pool);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(engine.stats().queries, 0u);
+  EXPECT_EQ(engine.stats().scratch_allocs, 0u);
+}
+
+TEST(BatchEngine, RepeatedSourcesEachGetAResult) {
+  const auto el = random_digraph<int>(20, 0.2, 17);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  const std::vector<vertex_t> sources = {4, 4, 4, 9};
+  const auto r = engine.run_batch(sources, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].dist, r[1].dist);
+  EXPECT_EQ(r[1].dist, r[2].dist);
+  EXPECT_EQ(r[0].dist, dijkstra(rep, 4).dist);
+  EXPECT_EQ(r[3].dist, dijkstra(rep, 9).dist);
+}
+
+TEST(BatchEngine, OutOfRangeSourceThrowsBeforeRunning) {
+  const auto el = random_digraph<int>(5, 0.2, 2);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<vertex_t> bad = {0, 5};
+  EXPECT_THROW((void)engine.run_batch(bad, pool), PreconditionError);
+  const std::vector<vertex_t> negative = {-1};
+  EXPECT_THROW((void)engine.run_batch(negative, pool), PreconditionError);
+  EXPECT_EQ(engine.stats().queries, 0u);  // rejected before any task ran
+}
+
+TEST(BatchEngine, SinkRunsExactlyOncePerSource) {
+  const auto el = random_digraph<int>(40, 0.1, 8);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(4);
+  const auto sources = all_sources(40);
+  std::vector<std::atomic<int>> hits(sources.size());
+  engine.run_batch(sources, pool,
+                   [&hits](std::size_t i, vertex_t, const BatchEngine<int>::Scratch&) {
+                     hits[i].fetch_add(1, std::memory_order_relaxed);
+                   });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(BatchEngine, TouchedListCoversExactlyTheReachableSet) {
+  EdgeListGraph<int> el(5);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  // 3 and 4 unreachable from 0.
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(1);
+  engine.run_batch(std::vector<vertex_t>{0}, pool,
+                   [](std::size_t, vertex_t, const BatchEngine<int>::Scratch& sc) {
+                     EXPECT_EQ(sc.touched().size(), 3u);
+                     EXPECT_EQ(sc.settled(), 3u);
+                   });
+}
+
+// --------------------------------------------------- scratch reuse / allocs
+
+TEST(BatchEngine, ScratchAllocationsAreBoundedAndStopAfterWarmUp) {
+  const auto el = random_digraph<int>(64, 0.1, 4242);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(4);
+  const auto sources = all_sources(64);
+
+  (void)engine.run_batch(sources, pool);  // warm-up batch
+  const auto warm = engine.stats();
+  EXPECT_LE(warm.scratch_allocs, 4u);  // never more than one per slot
+  EXPECT_EQ(warm.scratch_reuses + warm.scratch_allocs, sources.size());
+
+  for (int round = 0; round < 3; ++round) {
+    (void)engine.run_batch(sources, pool);
+  }
+  const auto steady = engine.stats();
+  // The steady-state guarantee: the allocation count is bounded by the
+  // pool's slot count no matter how many queries run — 256 queries,
+  // at most 4 Scratch objects ever built, everything else a reuse.
+  EXPECT_LE(steady.scratch_allocs, 4u);
+  EXPECT_GE(steady.scratch_reuses, 4u * sources.size() - 4u);
+  EXPECT_EQ(steady.scratch_reuses + steady.scratch_allocs, 4u * sources.size());
+  EXPECT_EQ(steady.queries, 4u * sources.size());
+}
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+TEST(BatchEngine, EmitsBatchAndParallelCounters) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  const auto el = random_digraph<int>(32, 0.2, 99);
+  const AdjacencyArray<int> rep(el);
+  BatchEngine<int> engine(rep);
+  parallel::TaskPool pool(2);
+  (void)engine.run_batch(all_sources(32), pool);
+  EXPECT_EQ(reg.value("sssp.batch.runs"), 1u);
+  EXPECT_EQ(reg.value("sssp.batch.queries"), 32u);
+  EXPECT_EQ(reg.value("sssp.batch.settled"),
+            reg.value("pq.binary.extract_mins"));  // indexed heap: no stale pops
+  EXPECT_GT(reg.value("sssp.batch.relaxations"), 0u);
+  EXPECT_GT(reg.value("sssp.batch.scratch_allocs"), 0u);
+  // run_batch flushes the pool, so parallel.* lands in the registry too.
+  EXPECT_EQ(reg.value("parallel.tasks_spawned"), 32u);
+}
+#endif
+
+}  // namespace
+}  // namespace cachegraph::sssp
+
+// ------------------------------------------------- batched Johnson's APSP
+
+namespace cachegraph::apsp {
+namespace {
+
+using graph::EdgeListGraph;
+using sssp::BatchEngine;
+using testutil::reference_apsp;
+
+EdgeListGraph<int> negative_dag(vertex_t n, std::uint64_t seed) {
+  EdgeListGraph<int> el(n);
+  Rng rng(seed);
+  for (vertex_t i = 0; i < n; ++i) {
+    for (vertex_t j = i + 1; j < n; ++j) {
+      if (rng.chance(0.3)) el.add_edge(i, j, static_cast<int>(rng.uniform_int(-5, 12)));
+    }
+  }
+  return el;
+}
+
+TEST(JohnsonBatch, BitIdenticalToSerialAcrossThreadCounts) {
+  const auto el = negative_dag(40, 11);
+  const auto serial = johnson(el);
+  ASSERT_FALSE(serial.negative_cycle);
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto batch = johnson(el, threads);
+    EXPECT_FALSE(batch.negative_cycle);
+    ASSERT_EQ(batch.dist.size(), serial.dist.size());
+    EXPECT_EQ(std::memcmp(batch.dist.data(), serial.dist.data(),
+                          serial.dist.size() * sizeof(int)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(JohnsonBatch, MatchesReferenceOracle) {
+  const auto el = negative_dag(24, 7);
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto expected = reference_apsp(m.weights(), 24);
+  parallel::TaskPool pool(4);
+  const auto got = johnson(el, pool);
+  EXPECT_FALSE(got.negative_cycle);
+  EXPECT_EQ(got.dist, expected);
+}
+
+TEST(JohnsonBatch, LongLivedPoolServesManyCalls) {
+  // A service would keep one pool across requests; repeated calls on
+  // the same pool must keep agreeing with the serial path.
+  parallel::TaskPool pool(4);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto el = negative_dag(20, seed);
+    EXPECT_EQ(johnson(el, pool).dist, johnson(el).dist) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------- Johnson corner cases
+
+TEST(JohnsonCorners, NegativeCycleReturnsFlagAndEmptyDist) {
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, -4);
+  el.add_edge(2, 0, 2);
+  const auto serial = johnson(el);
+  EXPECT_TRUE(serial.negative_cycle);
+  EXPECT_TRUE(serial.dist.empty());
+  const auto batch = johnson(el, 4);  // batch path short-circuits identically
+  EXPECT_TRUE(batch.negative_cycle);
+  EXPECT_TRUE(batch.dist.empty());
+}
+
+TEST(JohnsonCorners, ReweightingProducingZeroWeightEdges) {
+  // Every shortest-path-tree edge of the Bellman-Ford stage reweights
+  // to exactly 0 — the batched Dijkstras must handle plateaus of
+  // zero-weight edges.
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, -5);
+  el.add_edge(1, 2, -3);
+  el.add_edge(0, 2, -7);
+  const auto rw = detail::johnson_reweight(el);
+  ASSERT_FALSE(rw.negative_cycle);
+  int zero_edges = 0;
+  for (const auto& e : rw.graph.edges()) {
+    EXPECT_GE(e.weight, 0);
+    if (e.weight == 0) ++zero_edges;
+  }
+  EXPECT_GE(zero_edges, 2);  // 0->1 and 1->2 are tree edges
+  const graph::AdjacencyMatrix<int> m(el);
+  const auto expected = reference_apsp(m.weights(), 3);
+  EXPECT_EQ(johnson(el).dist, expected);
+  EXPECT_EQ(johnson(el, 2).dist, expected);
+  EXPECT_EQ(johnson(el).dist[0 * 3 + 2], -8);  // via the zero plateau
+}
+
+TEST(JohnsonCorners, EmptyGraph) {
+  EdgeListGraph<int> el(0);
+  const auto serial = johnson(el);
+  EXPECT_FALSE(serial.negative_cycle);
+  EXPECT_TRUE(serial.dist.empty());
+  const auto batch = johnson(el, 2);
+  EXPECT_FALSE(batch.negative_cycle);
+  EXPECT_TRUE(batch.dist.empty());
+}
+
+TEST(JohnsonCorners, SingleVertex) {
+  EdgeListGraph<int> el(1);
+  const auto serial = johnson(el);
+  EXPECT_FALSE(serial.negative_cycle);
+  EXPECT_EQ(serial.dist, std::vector<int>{0});
+  EXPECT_EQ(johnson(el, 2).dist, std::vector<int>{0});
+}
+
+TEST(JohnsonCorners, SingleVertexWithNegativeSelfLoop) {
+  EdgeListGraph<int> el(1);
+  el.add_edge(0, 0, -1);  // a negative self-loop is a negative cycle
+  const auto serial = johnson(el);
+  EXPECT_TRUE(serial.negative_cycle);
+  EXPECT_TRUE(serial.dist.empty());
+  EXPECT_TRUE(johnson(el, 2).negative_cycle);
+}
+
+}  // namespace
+}  // namespace cachegraph::apsp
