@@ -1,0 +1,222 @@
+// Extension bench: the cachegraph::query serving layer.
+//
+// Three scenes:
+//
+//   1. Request-mix ladder — a realistic mix (25% each point-to-point /
+//      k-nearest / bounded / full SSSP) against an all-full-SSSP batch
+//      of the same size, across densities and a thread ladder. The
+//      "settled" column is the early-exit working-set ratio: how much
+//      of the graph the bounded shapes actually explored. The paper's
+//      cache argument in one number — less settled, less working set.
+//
+//   2. Queue policy — the same mix under the indexed binary heap
+//      (decrease-key) vs lazy deletion (duplicate entries, stale pops
+//      at extraction), the Section 2 Update-vs-no-Update ablation
+//      transplanted to the query path.
+//
+//   3. Incremental serving — a DynamicOverlay + ResultCache under
+//      rounds of localized edge flaps: hit rate, invalidations, and
+//      the time ensure() takes vs recomputing every source cold.
+//
+// All scenes honour --json/--csv/--trace like every other bench.
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/benchlib/report.hpp"
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/result_cache.hpp"
+
+namespace {
+
+using namespace cachegraph;
+
+/// Deterministic 25/25/25/25 request mix over a graph of n vertices.
+std::vector<query::Request<int>> make_mix(vertex_t n, std::size_t count, std::uint64_t seed) {
+  std::vector<query::Request<int>> reqs;
+  reqs.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = static_cast<vertex_t>(rng.uniform_int(0, n - 1));
+    switch (i % 4) {
+      case 0:
+        reqs.push_back(query::PointToPoint{s, static_cast<vertex_t>(rng.uniform_int(0, n - 1))});
+        break;
+      case 1:
+        reqs.push_back(query::KNearest{s, static_cast<vertex_t>(rng.uniform_int(1, 32))});
+        break;
+      case 2:
+        reqs.push_back(query::Bounded<int>{s, static_cast<int>(rng.uniform_int(1, 40))});
+        break;
+      default:
+        reqs.push_back(query::FullSSSP{s});
+        break;
+    }
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cachegraph::bench;
+  const Options opt = parse_options(argc, argv);
+
+  Harness h(std::cout, opt, "Extension: query engine",
+            "concurrent bounded-search serving over the task pool",
+            "early exit keeps the per-query working set a fraction of the graph");
+
+  const auto n = static_cast<vertex_t>(opt.full ? 4096 : 1024);
+  const std::size_t batch = opt.full ? 512 : 256;
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> ladder;
+  if (opt.threads > 0) {
+    ladder.push_back(opt.threads);
+  } else {
+    for (int t = 1; t <= hw; t *= 2) ladder.push_back(t);
+  }
+
+  // ---------------------------------------- scene 1: request-mix ladder
+  Table t1({"density", "threads", "full-only (s)", "mix (s)", "mix speedup",
+            "settled mix/full", "scratch allocs", "scratch reuses"});
+  for (const double density : {0.02, 0.1, 0.3}) {
+    const auto el = graph::random_digraph<int>(n, density, opt.seed);
+    const graph::AdjacencyArray<int> rep(el);
+    const std::string dlabel = fmt(density, 2);
+    const auto mix = make_mix(n, batch, opt.seed + 1);
+    std::vector<query::Request<int>> full_only;
+    for (const auto& r : mix) full_only.push_back(query::FullSSSP{query::source_of(r)});
+
+    for (const int threads : ladder) {
+      const Params params{{"n", std::to_string(n)},
+                          {"density", dlabel},
+                          {"threads", std::to_string(threads)}};
+      parallel::TaskPool pool(threads);
+
+      query::QueryEngine<graph::AdjacencyArray<int>> full_engine(rep);
+      std::atomic<std::uint64_t> full_settled{0};
+      const double tf = h.time_s("query_full_only", params, opt.reps, [&] {
+        full_settled = 0;
+        full_engine.run(std::span<const query::Request<int>>(full_only), pool,
+                        [&](std::size_t, const auto&, const auto& r, const auto&) {
+                          full_settled.fetch_add(r.settled, std::memory_order_relaxed);
+                        });
+      });
+
+      query::QueryEngine<graph::AdjacencyArray<int>> mix_engine(rep);
+      std::atomic<std::uint64_t> mix_settled{0};
+      const double tm = h.time_s("query_mix", params, opt.reps, [&] {
+        mix_settled = 0;
+        mix_engine.run(std::span<const query::Request<int>>(mix), pool,
+                       [&](std::size_t, const auto&, const auto& r, const auto&) {
+                         mix_settled.fetch_add(r.settled, std::memory_order_relaxed);
+                       });
+      });
+      const auto stats = mix_engine.stats();
+      const double ratio =
+          full_settled.load() == 0
+              ? 0.0
+              : static_cast<double>(mix_settled.load()) / static_cast<double>(full_settled.load());
+      t1.add_row({dlabel, std::to_string(threads), fmt(tf, 3), fmt(tm, 3),
+                  fmt_speedup(tf, tm), fmt(ratio, 3), fmt_count(stats.scratch_allocs),
+                  fmt_count(stats.scratch_reuses)});
+    }
+  }
+  std::cout << "\n-- request mix vs full-SSSP-only batches --\n";
+  t1.print(std::cout, opt.csv);
+
+  // ------------------------------------------- scene 2: queue policies
+  Table t2({"density", "indexed (s)", "lazy (s)", "indexed vs lazy"});
+  {
+    parallel::TaskPool pool(opt.threads > 0 ? opt.threads : hw);
+    for (const double density : {0.02, 0.1, 0.3}) {
+      const auto el = graph::random_digraph<int>(n, density, opt.seed);
+      const graph::AdjacencyArray<int> rep(el);
+      const std::string dlabel = fmt(density, 2);
+      const auto mix = make_mix(n, batch, opt.seed + 2);
+      const Params params{{"n", std::to_string(n)}, {"density", dlabel}};
+
+      query::QueryEngine<graph::AdjacencyArray<int>> indexed(rep);
+      const double ti = h.time_s("query_indexed", params, opt.reps, [&] {
+        (void)indexed.run(std::span<const query::Request<int>>(mix), pool);
+      });
+      query::QueryEngine<graph::AdjacencyArray<int>, query::LazyQueue<int>> lazy(rep);
+      const double tl = h.time_s("query_lazy", params, opt.reps, [&] {
+        (void)lazy.run(std::span<const query::Request<int>>(mix), pool);
+      });
+      t2.add_row({dlabel, fmt(ti, 3), fmt(tl, 3), fmt_speedup(tl, ti)});
+    }
+  }
+  std::cout << "\n-- queue policy under the same mix --\n";
+  t2.print(std::cout, opt.csv);
+
+  // -------------------------------------- scene 3: incremental serving
+  // Block-structured graph: flaps stay inside one block so the cache
+  // keeps serving every other component without recompute.
+  Table t3({"flaps/round", "hit rate", "invalidations", "ensure (s)", "cold (s)", "saved"});
+  {
+    const vertex_t blocks = 16;
+    const vertex_t bn = n / blocks;
+    graph::EdgeListGraph<int> el(n);
+    Rng gen(opt.seed);
+    for (vertex_t b = 0; b < blocks; ++b) {
+      const vertex_t lo = b * bn;
+      for (vertex_t i = 0; i < bn; ++i) {
+        for (int d = 0; d < 6; ++d) {  // ~6 out-edges per vertex, in-block
+          const auto to = static_cast<vertex_t>(lo + gen.uniform_int(0, bn - 1));
+          el.add_edge(lo + i, to, static_cast<int>(gen.uniform_int(1, 100)));
+        }
+      }
+    }
+    const graph::AdjacencyArray<int> base(el);
+    parallel::TaskPool pool(opt.threads > 0 ? opt.threads : hw);
+    std::vector<vertex_t> sources(static_cast<std::size_t>(n));
+    std::iota(sources.begin(), sources.end(), vertex_t{0});
+
+    for (const int flaps : {1, 4, 16}) {
+      query::DynamicOverlay<int> overlay(base);
+      query::ResultCache<int> cache(overlay);
+      const Params params{{"n", std::to_string(n)}, {"flaps", std::to_string(flaps)}};
+
+      (void)cache.ensure(sources, pool);  // warm: every tree cached
+      const double cold = h.time_s("query_cache_cold", params, opt.reps, [&] {
+        cache.clear();
+        (void)cache.ensure(sources, pool);
+      });
+
+      Rng flap(opt.seed + static_cast<std::uint64_t>(flaps));
+      std::uint64_t hits = 0, invals = 0, served = 0;
+      const double warm = h.time_s("query_cache_ensure", params, opt.reps, [&] {
+        for (int f = 0; f < flaps; ++f) {  // flap: remove + reinsert in one block
+          const auto lo = static_cast<vertex_t>(bn * flap.uniform_int(0, blocks - 1));
+          const auto u = static_cast<vertex_t>(lo + flap.uniform_int(0, bn - 1));
+          const auto v = static_cast<vertex_t>(lo + flap.uniform_int(0, bn - 1));
+          overlay.insert_edge(u, v, static_cast<int>(flap.uniform_int(1, 100)));
+        }
+        const auto report = cache.ensure(sources, pool);
+        hits += report.hits;
+        invals += report.invalidations;
+        served += sources.size();
+      });
+      const double hit_rate =
+          served == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(served);
+      t3.add_row({std::to_string(flaps), fmt(hit_rate, 3), fmt_count(invals), fmt(warm, 3),
+                  fmt(cold, 3), fmt_speedup(cold, warm)});
+    }
+  }
+  std::cout << "\n-- link flaps: incremental ensure vs cold recompute --\n";
+  t3.print(std::cout, opt.csv);
+
+  std::cout << "\n(host reports " << hw << " hardware thread(s); n=" << n << ", batch="
+            << batch << ")\n";
+  return 0;
+}

@@ -12,15 +12,32 @@
 // fan the sources out through sssp::BatchEngine — one shared immutable
 // adjacency array, per-worker scratch reused across sources — and
 // produce a distance matrix bit-identical to the serial loop.
+//
+// The reweighting stage runs SPFA (queue-based Bellman-Ford,
+// sssp/spfa.hpp) directly on the input graph with all-zero initial
+// potentials — the virtual-source formulation without materializing
+// the augmented (n+1)-vertex graph, and without the round-based scan
+// that made the old BF stage the serial bottleneck of the batched
+// path.
+//
+// At paper scale the N×N output matrix dominates memory (n=16384 of
+// int32 is 1 GiB); `johnson_stream` keeps the fan-out but hands each
+// finished row to a sink instead of materializing the matrix, so
+// full-scale APSP aggregation (row sums, eccentricities, histograms)
+// runs in O(N) extra space.
 #pragma once
 
+#include <cstring>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/sssp/batch_engine.hpp"
-#include "cachegraph/sssp/bellman_ford.hpp"
 #include "cachegraph/sssp/dijkstra.hpp"
+#include "cachegraph/sssp/spfa.hpp"
 
 namespace cachegraph::apsp {
 
@@ -43,20 +60,13 @@ struct Reweighted {
 
 template <Weight W>
 Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g) {
-  const vertex_t n = g.num_vertices();
   Reweighted<W> rw;
 
-  // 1. Bellman-Ford from a virtual source connected to every vertex
-  //    with weight 0. Equivalent formulation: potentials start at 0 for
-  //    every vertex, which is what running BF over an (n+1)-vertex
-  //    augmented graph computes.
-  graph::EdgeListGraph<W> augmented(n + 1);
-  augmented.reserve(static_cast<std::size_t>(g.num_edges()) + static_cast<std::size_t>(n));
-  for (const auto& e : g.edges()) augmented.add_edge(e.from, e.to, e.weight);
-  for (vertex_t v = 0; v < n; ++v) augmented.add_edge(n, v, W{0});
-
-  const graph::AdjacencyArray<W> aug_rep(augmented);
-  auto bf = sssp::bellman_ford(aug_rep, n);
+  // 1. SPFA with all-zero initial potentials — exactly the shortest
+  //    distances from a virtual source wired to every vertex with
+  //    weight 0, without building that augmented graph.
+  const graph::AdjacencyArray<W> rep(g);
+  auto bf = sssp::spfa_potentials(rep);
   if (bf.negative_cycle) {
     rw.negative_cycle = true;
     return rw;
@@ -64,7 +74,7 @@ Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g) {
   rw.h = std::move(bf.dist);
 
   // 2. Reweight: w'(u,v) = w(u,v) + h(u) - h(v) >= 0.
-  rw.graph = graph::EdgeListGraph<W>(n);
+  rw.graph = graph::EdgeListGraph<W>(g.num_vertices());
   rw.graph.reserve(static_cast<std::size_t>(g.num_edges()));
   for (const auto& e : g.edges()) {
     const W w = static_cast<W>(e.weight + rw.h[static_cast<std::size_t>(e.from)] -
@@ -145,6 +155,50 @@ template <Weight W>
 JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g, int threads) {
   parallel::TaskPool pool(threads);
   return johnson(g, pool);
+}
+
+/// Row-streaming batched Johnson's: the same fan-out, but each
+/// finished source calls `sink(source, row)` with its dense distance
+/// row (inf where unreachable; un-reweighted, identical to the row the
+/// matrix overloads would store) and the row buffer is immediately
+/// reused — the N×N matrix is never materialized, so n is bounded by
+/// time, not memory. Row buffers are leased per worker (at most
+/// `pool.num_threads()` live; reset is O(touched)).
+///
+/// The sink runs on worker threads, one call per source, distinct
+/// sources concurrently; the row span is only valid during the call.
+/// Returns false (without calling the sink) on a negative cycle.
+template <Weight W, typename RowSink>
+bool johnson_stream(const graph::EdgeListGraph<W>& g, parallel::TaskPool& pool,
+                    RowSink&& sink) {
+  const vertex_t n = g.num_vertices();
+
+  const auto rw = detail::johnson_reweight(g);
+  if (rw.negative_cycle) return false;
+  const std::vector<W>& h = rw.h;
+  const graph::AdjacencyArray<W> rep(rw.graph);
+
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<vertex_t> sources(un);
+  for (vertex_t s = 0; s < n; ++s) sources[static_cast<std::size_t>(s)] = s;
+
+  parallel::LeasePool<std::vector<W>> rows;
+  sssp::BatchEngine<W> engine(rep);
+  using Scratch = typename sssp::BatchEngine<W>::Scratch;
+  engine.run_batch(sources, pool, [&](std::size_t, vertex_t s, const Scratch& sc) {
+    const auto row_lease =
+        rows.acquire([un] { return std::make_unique<std::vector<W>>(un, inf<W>()); });
+    std::vector<W>& row = row_lease.get();
+    const auto us = static_cast<std::size_t>(s);
+    for (const vertex_t v : sc.touched()) {
+      const auto uv = static_cast<std::size_t>(v);
+      row[uv] = static_cast<W>(sc.dist()[uv] - h[us] + h[uv]);
+    }
+    sink(s, std::span<const W>(row));
+    // Undo only this row's writes so the next lease starts clean.
+    for (const vertex_t v : sc.touched()) row[static_cast<std::size_t>(v)] = inf<W>();
+  });
+  return true;
 }
 
 }  // namespace cachegraph::apsp

@@ -1,0 +1,50 @@
+// Union-find with path halving and union by size.
+//
+// Moved out of mst/kruskal.hpp once it grew a second client: Kruskal's
+// cycle test and the query subsystem's weak-connectivity component
+// tracking (query::DynamicOverlay) share this one implementation.
+#pragma once
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace cachegraph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the sets were distinct (i.e. a merge happened).
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t component_size(std::size_t x) noexcept { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace cachegraph

@@ -52,6 +52,16 @@ class AdjacencyArray {
             static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
   }
 
+  /// Index of v's first record in the flat records() span — lets an
+  /// overlay keep per-record side tables (e.g. removal marks) without
+  /// duplicating the CSR structure.
+  [[nodiscard]] index_t record_offset(vertex_t v) const noexcept {
+    return offsets_[static_cast<std::size_t>(v)];
+  }
+
+  /// The flat {target, weight} record array, all vertices end to end.
+  [[nodiscard]] std::span<const Neighbor<W>> records() const noexcept { return records_; }
+
   /// Traced neighbour iteration: reports the offset lookups and the
   /// streaming record reads to the memory model, then invokes
   /// fn(neighbor) for each edge.

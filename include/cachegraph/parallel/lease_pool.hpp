@@ -1,0 +1,97 @@
+// A mutex-guarded free list of reusable heap objects, factored out of
+// sssp::BatchEngine so every batch service (the SSSP batch engine, the
+// query engine, Johnson's row-streaming sink) shares one allocation
+// discipline: a task leases an object, uses it, and the lease's
+// destructor returns it. At most one object per concurrently-running
+// task is ever live, so a pool serving P parallel tasks allocates P
+// objects and then never allocates again — the leased object stays
+// resident in whichever worker's cache used it last, which is the
+// whole point of reusing it.
+//
+// Threading contract: acquire() and lease destruction are safe from
+// any thread (the free list is mutex-guarded; the counters are
+// relaxed atomics). The pool must outlive its leases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cachegraph::parallel {
+
+template <typename T>
+class LeasePool {
+ public:
+  LeasePool() = default;
+
+  LeasePool(const LeasePool&) = delete;
+  LeasePool& operator=(const LeasePool&) = delete;
+
+  struct Stats {
+    std::uint64_t allocs = 0;  ///< objects ever built by make()
+    std::uint64_t reuses = 0;  ///< leases served from the free list
+  };
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{allocs_.load(std::memory_order_relaxed),
+                 reuses_.load(std::memory_order_relaxed)};
+  }
+
+  /// RAII lease: holds the object until scope exit, then returns it to
+  /// the free list. Not copyable or movable — construct it in place.
+  class Lease {
+   public:
+    ~Lease() {
+      const std::lock_guard<std::mutex> lock(pool_.mu_);
+      pool_.free_.push_back(std::move(obj_));
+    }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] T& get() const noexcept { return *obj_; }
+    /// True iff this lease came from the free list (no allocation).
+    [[nodiscard]] bool reused() const noexcept { return reused_; }
+
+   private:
+    friend class LeasePool;
+    Lease(LeasePool& pool, std::unique_ptr<T> obj, bool reused) noexcept
+        : pool_(pool), obj_(std::move(obj)), reused_(reused) {}
+
+    LeasePool& pool_;
+    std::unique_ptr<T> obj_;
+    bool reused_;
+  };
+
+  /// Leases a free object, or builds one with `make()` (which must
+  /// return std::unique_ptr<T>) when the free list is empty.
+  template <typename Make>
+  [[nodiscard]] Lease acquire(Make&& make) {
+    std::unique_ptr<T> obj;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        obj = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (obj) {
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      return Lease(*this, std::move(obj), /*reused=*/true);
+    }
+    obj = make();
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    return Lease(*this, std::move(obj), /*reused=*/false);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+};
+
+}  // namespace cachegraph::parallel

@@ -85,6 +85,14 @@ class DAryHeap {
     sift_up(slot);
   }
 
+  /// Removes every entry in O(size), keeping the reserved capacity —
+  /// the reset an early-exiting search needs (an exhausted search
+  /// drains the heap itself and this is a no-op).
+  void clear() noexcept {
+    for (const Entry& e : heap_) pos_[static_cast<std::size_t>(e.vertex)] = kAbsent;
+    heap_.clear();
+  }
+
  private:
   static constexpr index_t kAbsent = -1;
 

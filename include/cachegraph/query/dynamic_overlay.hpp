@@ -1,0 +1,232 @@
+// DynamicOverlay — edge inserts/removes over a shared immutable
+// AdjacencyArray, with component tracking for incremental result
+// invalidation.
+//
+// The base CSR stays exactly as built (the paper's streaming layout
+// keeps serving the bulk of every neighbour scan); mutations live in
+// two thin side structures:
+//
+//   - removals mark base records in a bitmap indexed by CSR record
+//     position (the scan skips marked records — one predictable
+//     branch per record, no compaction, no pointer chasing);
+//   - insertions append to small per-vertex spill vectors scanned
+//     after the base run.
+//
+// A long-lived service would periodically fold the overlay into a
+// fresh CSR; until then queries pay one branch per base record and
+// one extra contiguous run per mutated vertex.
+//
+// Component tracking: a union-find over the *undirected support* of
+// the live edge set, each component carrying a version stamp.
+// `stamp_of(source)` is the invalidation token the ResultCache stores
+// with a computed tree: an edge update bumps the stamps of exactly
+// the components it touches, so cached trees for every other
+// component stay verifiably fresh. Removals cannot split a union-find
+// — the partition becomes a conservative over-approximation (stamps
+// still bump, so correctness never depends on precision) until
+// `rebuild_components()` recomputes it; the rebuild carries stamps
+// over, so it never invalidates by itself.
+//
+// Threading contract: mutations (insert/remove/rebuild) must be
+// externally quiesced — no concurrent queries or component lookups.
+// Read paths (for_neighbors) are safe to run concurrently with each
+// other and with stamp_of/connected; stamp_of and connected mutate
+// union-find internals (path halving) and must be called from one
+// thread at a time.
+//
+// Weights must be non-negative — this overlay feeds Dijkstra-family
+// searches only (CG_CHECK enforced at insert).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/union_find.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::query {
+
+template <Weight W>
+class DynamicOverlay {
+ public:
+  using weight_type = W;
+
+  explicit DynamicOverlay(const graph::AdjacencyArray<W>& base)
+      : base_(base),
+        base_removed_(static_cast<std::size_t>(base.num_edges()), 0),
+        added_(static_cast<std::size_t>(base.num_vertices())),
+        uf_(static_cast<std::size_t>(base.num_vertices())),
+        comp_version_(static_cast<std::size_t>(base.num_vertices()), 0) {
+    for (vertex_t v = 0; v < base.num_vertices(); ++v) {
+      for (const auto& nb : base.neighbors(v)) {
+        uf_.unite(static_cast<std::size_t>(v), static_cast<std::size_t>(nb.to));
+      }
+    }
+    live_edges_ = base.num_edges();
+  }
+
+  DynamicOverlay(const DynamicOverlay&) = delete;
+  DynamicOverlay& operator=(const DynamicOverlay&) = delete;
+
+  // ------------------------------------------------------- GraphRep view
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return base_.num_vertices(); }
+  [[nodiscard]] index_t num_edges() const noexcept { return live_edges_; }
+
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t v, Mem& mem, Fn&& fn) const {
+    const auto uv = static_cast<std::size_t>(v);
+    if (removed_count_ == 0) {
+      base_.for_neighbors(v, mem, fn);
+    } else {
+      const auto span = base_.neighbors(v);
+      const auto first = static_cast<std::size_t>(base_.record_offset(v));
+      for (std::size_t i = 0; i < span.size(); ++i) {
+        if (base_removed_[first + i]) continue;
+        mem.read(&span[i]);
+        fn(span[i]);
+      }
+    }
+    for (const auto& nb : added_[uv]) {
+      mem.read(&nb);
+      fn(nb);
+    }
+  }
+
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    base_.map_buffers(mem);
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t added = 0;
+    for (const auto& a : added_) added += a.size() * sizeof(graph::Neighbor<W>);
+    return base_.footprint_bytes() + base_removed_.size() + added;
+  }
+
+  [[nodiscard]] const graph::AdjacencyArray<W>& base() const noexcept { return base_; }
+
+  // --------------------------------------------------------- mutations
+
+  /// Adds a directed edge u->v. Affected component stamps bump; if u
+  /// and v were in different (weak) components, the merged component
+  /// gets a fresh stamp so cached trees of both sides invalidate.
+  void insert_edge(vertex_t u, vertex_t v, W w) {
+    CG_CHECK(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+             "edge endpoint out of range");
+    CG_CHECK(w >= W{0}, "query overlay requires non-negative weights");
+    added_[static_cast<std::size_t>(u)].push_back(graph::Neighbor<W>{v, w});
+    ++live_edges_;
+    ++structure_version_;
+    CG_COUNTER_INC("query.overlay.inserts");
+
+    const std::uint64_t vu = comp_version_[uf_.find(static_cast<std::size_t>(u))];
+    const std::uint64_t vv = comp_version_[uf_.find(static_cast<std::size_t>(v))];
+    uf_.unite(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+    comp_version_[uf_.find(static_cast<std::size_t>(u))] = std::max(vu, vv) + 1;
+  }
+
+  /// Removes one live directed edge u->v (any weight; insertion-order
+  /// preference: overlay additions first, then the base CSR). Returns
+  /// false if no such edge is live. The component stamp of the (still
+  /// conservatively merged) component bumps; the partition itself is
+  /// only re-tightened by rebuild_components().
+  bool remove_edge(vertex_t u, vertex_t v) {
+    CG_CHECK(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+             "edge endpoint out of range");
+    auto& spill = added_[static_cast<std::size_t>(u)];
+    bool found = false;
+    for (std::size_t i = 0; i < spill.size(); ++i) {
+      if (spill[i].to == v) {
+        spill.erase(spill.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      const auto span = base_.neighbors(u);
+      const auto first = static_cast<std::size_t>(base_.record_offset(u));
+      for (std::size_t i = 0; i < span.size(); ++i) {
+        if (span[i].to == v && !base_removed_[first + i]) {
+          base_removed_[first + i] = 1;
+          ++removed_count_;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return false;
+    --live_edges_;
+    ++structure_version_;
+    components_stale_ = true;
+    ++comp_version_[uf_.find(static_cast<std::size_t>(u))];
+    CG_COUNTER_INC("query.overlay.removes");
+    return true;
+  }
+
+  // ------------------------------------------------- component tracking
+
+  /// Invalidation token for v's component: changes whenever an edge
+  /// update could have changed any distance from a source in that
+  /// component (conservatively — it may also change when none did).
+  [[nodiscard]] std::uint64_t stamp_of(vertex_t v) const {
+    return comp_version_[uf_.find(static_cast<std::size_t>(v))];
+  }
+
+  /// Weak connectivity under the current (possibly conservative)
+  /// partition: true whenever the live edges connect u and v, but
+  /// after removals may also be true when they no longer do (until
+  /// rebuild_components()).
+  [[nodiscard]] bool connected(vertex_t u, vertex_t v) const {
+    return uf_.connected(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+  }
+
+  /// True after a removal until the next rebuild_components().
+  [[nodiscard]] bool components_stale() const noexcept { return components_stale_; }
+
+  /// Monotone counter bumped by every mutation.
+  [[nodiscard]] std::uint64_t structure_version() const noexcept { return structure_version_; }
+
+  /// Recomputes the weak-component partition from the live edge set
+  /// (removals can split components; union-find alone cannot). Each
+  /// new component inherits the maximum stamp among its members'
+  /// previous stamps: the rebuild only *refines* the conservative
+  /// partition, so every previously-handed-out stamp stays valid and
+  /// no cached result invalidates just because of the rebuild.
+  void rebuild_components() {
+    const auto n = static_cast<std::size_t>(num_vertices());
+    UnionFind fresh(n);
+    memsim::NullMem mem;
+    for (vertex_t v = 0; v < num_vertices(); ++v) {
+      for_neighbors(v, mem, [&](const graph::Neighbor<W>& nb) {
+        fresh.unite(static_cast<std::size_t>(v), static_cast<std::size_t>(nb.to));
+      });
+    }
+    std::vector<std::uint64_t> fresh_version(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t root = fresh.find(v);
+      fresh_version[root] = std::max(fresh_version[root], comp_version_[uf_.find(v)]);
+    }
+    uf_ = std::move(fresh);
+    comp_version_ = std::move(fresh_version);
+    components_stale_ = false;
+    CG_COUNTER_INC("query.overlay.rebuilds");
+  }
+
+ private:
+  const graph::AdjacencyArray<W>& base_;
+  std::vector<char> base_removed_;  ///< indexed by CSR record position
+  std::vector<std::vector<graph::Neighbor<W>>> added_;
+  index_t live_edges_ = 0;
+  index_t removed_count_ = 0;
+  std::uint64_t structure_version_ = 0;
+  bool components_stale_ = false;
+
+  mutable UnionFind uf_;  ///< find() path-halves — see threading contract
+  std::vector<std::uint64_t> comp_version_;  ///< meaningful at UF roots
+};
+
+}  // namespace cachegraph::query

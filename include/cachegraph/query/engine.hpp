@@ -1,0 +1,263 @@
+// QueryEngine — the concurrent shortest-path query service.
+//
+// Accepts typed requests (PointToPoint / KNearest / Bounded /
+// FullSSSP), executes them as TaskPool tasks over one shared graph
+// view, and early-exits each search the moment its request is
+// answered (see search_core.hpp for the bounding proof sketch). The
+// graph view is any GraphRep — the immutable AdjacencyArray for a
+// static service, or a DynamicOverlay when edges churn.
+//
+// Cache discipline (the reason this layer exists, per "Making Caches
+// Work for Graph Analytics"): per-query scratch is leased per worker
+// from a parallel::LeasePool and reset in O(touched), so a bounded
+// query pays only for the region it explored, and the scratch a
+// worker reuses is the one already resident in its cache. At most
+// `pool.num_threads()` scratches are ever allocated.
+//
+// The queue policy is a template parameter (indexed heap vs lazy
+// deletion) so the query path can be ablated under realistic request
+// mixes — bench_query_engine does exactly that.
+//
+// Observability: `query.*` counters (requests by kind, settled,
+// relaxations, stale_pops, early_exits), a per-batch
+// CG_TRACE_SPAN("query.run") plus one span per request named after
+// its kind, and a pool counter flush per batch.
+//
+// Threading contract: the graph view must stay unmodified while
+// requests run (mutate a DynamicOverlay only at quiescent points —
+// the ResultCache's revalidation flow). run() may be called from one
+// thread at a time per engine; the serial helpers (distance /
+// k_nearest / within / full) are safe from any thread, including
+// concurrently with each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/query/search_core.hpp"
+
+namespace cachegraph::query {
+
+template <graph::GraphRep G, class Queue = IndexedQueue<typename G::weight_type>>
+class QueryEngine {
+ public:
+  using weight_type = typename G::weight_type;
+  using W = weight_type;
+  using Scratch = SearchScratch<W, Queue>;
+
+  /// Per-request summary handed to sinks alongside the scratch.
+  struct Response {
+    Outcome outcome = Outcome::exhausted;
+    std::uint64_t settled = 0;     ///< vertices with exact final distances
+    W target_dist = inf<W>();      ///< PointToPoint answer; inf otherwise
+  };
+
+  /// Engine-lifetime tallies (atomic; readable any time).
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t settled = 0;
+    std::uint64_t early_exits = 0;     ///< requests that stopped before exhaustion
+    std::uint64_t scratch_allocs = 0;
+    std::uint64_t scratch_reuses = 0;
+  };
+
+  explicit QueryEngine(const G& g) : g_(g), n_(g.num_vertices()) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] Stats stats() const noexcept {
+    const auto lp = scratch_pool_.stats();
+    return Stats{requests_.load(std::memory_order_relaxed),
+                 settled_.load(std::memory_order_relaxed),
+                 early_exits_.load(std::memory_order_relaxed), lp.allocs, lp.reuses};
+  }
+
+  [[nodiscard]] const G& graph() const noexcept { return g_; }
+
+  // ------------------------------------------------------ batch serving
+
+  /// Runs every request as a TaskPool task; `sink(index, request,
+  /// response, scratch)` fires on the worker that finished it. The
+  /// scratch reference (dist/parent/touched/settled_order for the
+  /// request's explored region) is only valid inside the sink call.
+  template <typename Sink>
+  void run(std::span<const Request<W>> requests, parallel::TaskPool& pool, Sink&& sink) {
+    CG_TRACE_SPAN("query.run");
+    for (const auto& req : requests) validate(req);
+    {
+      parallel::TaskGroup group(pool);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Request<W>& req = requests[i];
+        group.run([this, i, &req, &sink] {
+          const auto lease =
+              scratch_pool_.acquire([this] { return std::make_unique<Scratch>(n_); });
+          Scratch& sc = lease.get();
+          const Response resp = execute(req, sc);
+          sink(i, req, resp, static_cast<const Scratch&>(sc));
+        });
+      }
+      group.wait();
+    }
+    requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+    CG_COUNTER_INC("query.runs");
+    pool.flush_counters();
+  }
+
+  /// Materialized overload: just the per-request summaries (the sink
+  /// form is the zero-copy path for payload-carrying answers).
+  [[nodiscard]] std::vector<Response> run(std::span<const Request<W>> requests,
+                                          parallel::TaskPool& pool) {
+    std::vector<Response> out(requests.size());
+    run(requests, pool,
+        [&out](std::size_t i, const Request<W>&, const Response& r, const Scratch&) {
+          out[i] = r;
+        });
+    return out;
+  }
+
+  // ------------------------------------- serial helpers (caller thread)
+
+  /// Exact shortest distance source→target (inf when unreachable).
+  [[nodiscard]] W distance(vertex_t source, vertex_t target) {
+    W out = inf<W>();
+    serve(Request<W>{PointToPoint{source, target}},
+          [&](const Response& r, const Scratch&) { out = r.target_dist; });
+    return out;
+  }
+
+  struct NearItem {
+    vertex_t vertex;
+    W dist;
+    friend bool operator==(const NearItem&, const NearItem&) = default;
+  };
+
+  /// The (up to) k nearest vertices, nearest first (source included,
+  /// distance 0). Fewer than k when the component is smaller.
+  [[nodiscard]] std::vector<NearItem> k_nearest(vertex_t source, vertex_t k) {
+    std::vector<NearItem> out;
+    serve(Request<W>{KNearest{source, k}}, [&](const Response&, const Scratch& sc) {
+      out.reserve(sc.settled_order().size());
+      for (const vertex_t v : sc.settled_order()) {
+        out.push_back(NearItem{v, sc.dist()[static_cast<std::size_t>(v)]});
+      }
+    });
+    return out;
+  }
+
+  /// Every vertex within `radius` of source (inclusive), nearest first.
+  [[nodiscard]] std::vector<NearItem> within(vertex_t source, W radius) {
+    std::vector<NearItem> out;
+    serve(Request<W>{Bounded<W>{source, radius}}, [&](const Response&, const Scratch& sc) {
+      out.reserve(sc.settled_order().size());
+      for (const vertex_t v : sc.settled_order()) {
+        out.push_back(NearItem{v, sc.dist()[static_cast<std::size_t>(v)]});
+      }
+    });
+    return out;
+  }
+
+  struct Tree {
+    std::vector<W> dist;
+    std::vector<vertex_t> parent;
+  };
+
+  /// The full single-source tree, materialized.
+  [[nodiscard]] Tree full(vertex_t source) {
+    Tree out;
+    serve(Request<W>{FullSSSP{source}}, [&](const Response&, const Scratch& sc) {
+      out.dist = sc.dist();
+      out.parent = sc.parent();
+    });
+    return out;
+  }
+
+  /// One request on the calling thread; `fn(response, scratch)` runs
+  /// before the scratch is returned to the lease pool. Thread-safe.
+  template <typename Fn>
+  void serve(const Request<W>& req, Fn&& fn) {
+    validate(req);
+    const auto lease = scratch_pool_.acquire([this] { return std::make_unique<Scratch>(n_); });
+    Scratch& sc = lease.get();
+    const Response resp = execute(req, sc);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    fn(static_cast<const Response&>(resp), static_cast<const Scratch&>(sc));
+  }
+
+ private:
+  void validate(const Request<W>& req) const {
+    const vertex_t s = source_of(req);
+    CG_CHECK(s >= 0 && s < n_, "query source out of range");
+    std::visit(
+        [this](const auto& r) {
+          using R = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<R, PointToPoint>) {
+            CG_CHECK(r.target >= 0 && r.target < n_, "query target out of range");
+          } else if constexpr (std::is_same_v<R, KNearest>) {
+            CG_CHECK(r.k >= 1, "k_nearest needs k >= 1");
+          } else if constexpr (std::is_same_v<R, Bounded<W>>) {
+            CG_CHECK(r.radius >= W{0}, "bounded query needs a non-negative radius");
+          }
+        },
+        req);
+  }
+
+  Response execute(const Request<W>& req, Scratch& sc) {
+    Limits<W> lim;
+    vertex_t target = kNoVertex;
+    std::visit(
+        [&](const auto& r) {
+          using R = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<R, PointToPoint>) {
+            lim.target = target = r.target;
+            CG_COUNTER_INC("query.requests.point_to_point");
+          } else if constexpr (std::is_same_v<R, KNearest>) {
+            lim.k = r.k;
+            CG_COUNTER_INC("query.requests.k_nearest");
+          } else if constexpr (std::is_same_v<R, Bounded<W>>) {
+            lim.radius = r.radius;
+            CG_COUNTER_INC("query.requests.bounded");
+          } else {
+            CG_COUNTER_INC("query.requests.full_sssp");
+          }
+        },
+        req);
+
+    const obs::TraceSpan span(kind_of(req));
+    Response resp;
+    resp.outcome = search<Queue>(g_, source_of(req), lim, sc);
+    resp.settled = sc.settled_order().size();
+    if (target != kNoVertex) {
+      // Settled ⇒ exact; otherwise the search exhausted the component
+      // without reaching it, and dist() already says inf.
+      resp.target_dist = sc.dist()[static_cast<std::size_t>(target)];
+    }
+    settled_.fetch_add(resp.settled, std::memory_order_relaxed);
+    if (resp.outcome != Outcome::exhausted) {
+      early_exits_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("query.early_exits");
+    }
+    return resp;
+  }
+
+  const G& g_;
+  vertex_t n_;
+  parallel::LeasePool<Scratch> scratch_pool_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> settled_{0};
+  std::atomic<std::uint64_t> early_exits_{0};
+};
+
+}  // namespace cachegraph::query

@@ -1,0 +1,89 @@
+// cachegraph::query — typed requests for the concurrent shortest-path
+// query engine.
+//
+// The ROADMAP's online serving layer needs more than "full SSSP from
+// s": most production queries want a single destination, the K closest
+// vertices, or everything within a radius — and each of those can stop
+// a Dijkstra search early, keeping the frontier (and therefore the
+// working set) a fraction of the graph. "Making Caches Work for Graph
+// Analytics" motivates exactly this bounding: the settled region is
+// the working set, so the less a query explores, the more of it stays
+// cache-resident. Four request shapes cover the ladder:
+//
+//   PointToPoint{source, target}  stop when target settles
+//   KNearest{source, k}           stop when k vertices settle
+//   Bounded<W>{source, radius}    stop when the frontier passes radius
+//   FullSSSP{source}              run to exhaustion (the batch case)
+#pragma once
+
+#include <variant>
+
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph::query {
+
+/// Exact distance (and settled tree prefix) from source to target;
+/// every other vertex settled on the way is a byproduct.
+struct PointToPoint {
+  vertex_t source = 0;
+  vertex_t target = 0;
+};
+
+/// The k vertices nearest to source (the source itself counts; ties
+/// beyond position k are dropped in settling order).
+struct KNearest {
+  vertex_t source = 0;
+  vertex_t k = 1;
+};
+
+/// Every vertex within distance `radius` of source (inclusive).
+template <Weight W>
+struct Bounded {
+  vertex_t source = 0;
+  W radius = W{0};
+};
+
+/// The classic full single-source tree (what sssp::BatchEngine runs).
+struct FullSSSP {
+  vertex_t source = 0;
+};
+
+template <Weight W>
+using Request = std::variant<PointToPoint, KNearest, Bounded<W>, FullSSSP>;
+
+template <Weight W>
+[[nodiscard]] constexpr vertex_t source_of(const Request<W>& r) noexcept {
+  return std::visit([](const auto& req) { return req.source; }, r);
+}
+
+/// Stable span/counter label per request shape.
+template <Weight W>
+[[nodiscard]] constexpr const char* kind_of(const Request<W>& r) noexcept {
+  struct Visitor {
+    constexpr const char* operator()(const PointToPoint&) const { return "point_to_point"; }
+    constexpr const char* operator()(const KNearest&) const { return "k_nearest"; }
+    constexpr const char* operator()(const Bounded<W>&) const { return "bounded"; }
+    constexpr const char* operator()(const FullSSSP&) const { return "full_sssp"; }
+  };
+  return std::visit(Visitor{}, r);
+}
+
+/// Why a search stopped.
+enum class Outcome {
+  exhausted,        ///< frontier drained — every reachable vertex settled
+  target_settled,   ///< PointToPoint: target extracted with final distance
+  k_settled,        ///< KNearest: k-th vertex settled
+  radius_exceeded,  ///< Bounded: the radius clipped the search short
+};
+
+[[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::exhausted: return "exhausted";
+    case Outcome::target_settled: return "target_settled";
+    case Outcome::k_settled: return "k_settled";
+    case Outcome::radius_exceeded: return "radius_exceeded";
+  }
+  return "?";
+}
+
+}  // namespace cachegraph::query

@@ -1,0 +1,199 @@
+// ResultCache — component-aware memoization of full SSSP trees over a
+// DynamicOverlay.
+//
+// Each cached tree stores the component stamp (DynamicOverlay::
+// stamp_of) of its source *as read immediately before the search ran*.
+// A lookup compares the stored stamp with the current one: equal means
+// no edge update has touched the source's component since the tree was
+// computed, so the tree is served as-is; different means the entry is
+// stale and must be recomputed. An edge update therefore invalidates
+// exactly the sources whose component it touched — every other cached
+// tree keeps serving without recomputation, which is the issue's
+// incremental-invalidation contract.
+//
+// Stamps are read BEFORE computing, never after: if that ordering were
+// reversed, an update landing between the search and the stamp read
+// would be stamped into the entry and silently missed. Reading first
+// errs the other way — the entry can only look *older* than the data
+// it holds, forcing a spurious recompute, never a stale serve. (The
+// overlay's threading contract quiesces mutations during compute, so
+// in practice the stamp cannot move mid-batch at all.)
+//
+// Trees are handed out as shared_ptr<const Tree>: a reader can hold a
+// consistent tree across later updates and recomputes without locking.
+//
+// Counters: query.cache.hits / query.cache.misses /
+// query.cache.invalidations (stale entries found), mirrored in plain
+// Stats for builds without CACHEGRAPH_INSTRUMENT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/request.hpp"
+
+namespace cachegraph::query {
+
+template <Weight W, class Queue = IndexedQueue<W>>
+class ResultCache {
+ public:
+  /// An immutable full single-source tree plus the invalidation token
+  /// it was computed under.
+  struct Tree {
+    std::vector<W> dist;
+    std::vector<vertex_t> parent;
+    std::uint64_t stamp = 0;  ///< source's component stamp before compute
+  };
+  using TreePtr = std::shared_ptr<const Tree>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;         ///< never-computed sources
+    std::uint64_t invalidations = 0;  ///< cached but stale (stamp moved)
+    std::uint64_t recomputes = 0;     ///< searches actually run
+  };
+
+  /// What one ensure() call did, for tests and bench tables.
+  struct EnsureReport {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t recomputed = 0;  ///< misses + invalidations
+  };
+
+  explicit ResultCache(DynamicOverlay<W>& overlay) : overlay_(overlay), engine_(overlay) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  [[nodiscard]] DynamicOverlay<W>& overlay() noexcept { return overlay_; }
+  [[nodiscard]] QueryEngine<DynamicOverlay<W>, Queue>& engine() noexcept { return engine_; }
+
+  [[nodiscard]] Stats stats() const {
+    const std::scoped_lock lock(mu_);
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return trees_.size();
+  }
+
+  /// Fresh tree if cached and still valid, nullptr otherwise (counts a
+  /// miss or an invalidation; does not compute).
+  [[nodiscard]] TreePtr get(vertex_t source) {
+    const std::uint64_t now = overlay_.stamp_of(source);
+    const std::scoped_lock lock(mu_);
+    return lookup(source, now);
+  }
+
+  /// The fresh tree for `source`, recomputing on the calling thread if
+  /// the cached one is missing or stale.
+  [[nodiscard]] TreePtr get_or_compute(vertex_t source) {
+    const std::uint64_t now = overlay_.stamp_of(source);
+    {
+      const std::scoped_lock lock(mu_);
+      if (TreePtr t = lookup(source, now)) return t;
+    }
+    auto tree = std::make_shared<Tree>();
+    tree->stamp = now;  // read before the search — see header comment
+    engine_.serve(Request<W>{FullSSSP{source}},
+                  [&](const auto&, const auto& sc) {
+                    tree->dist = sc.dist();
+                    tree->parent = sc.parent();
+                  });
+    TreePtr out = std::move(tree);
+    const std::scoped_lock lock(mu_);
+    ++stats_.recomputes;
+    trees_[source] = out;
+    return out;
+  }
+
+  /// Makes every listed source fresh, recomputing only the stale or
+  /// missing ones — as one batch on the pool. This is the incremental
+  /// re-convergence path: after edge updates, only sources whose
+  /// component stamp moved are re-run.
+  EnsureReport ensure(std::span<const vertex_t> sources, parallel::TaskPool& pool) {
+    EnsureReport report;
+    std::vector<vertex_t> stale;
+    std::vector<std::uint64_t> stamps;  // read before compute, stored after
+    {
+      const std::scoped_lock lock(mu_);
+      for (const vertex_t s : sources) {
+        const std::uint64_t now = overlay_.stamp_of(s);
+        if (lookup(s, now)) {
+          ++report.hits;
+        } else {
+          const auto it = trees_.find(s);
+          (it == trees_.end() ? report.misses : report.invalidations)++;
+          stale.push_back(s);
+          stamps.push_back(now);
+        }
+      }
+    }
+    report.recomputed = stale.size();
+    if (stale.empty()) return report;
+
+    std::vector<Request<W>> requests;
+    requests.reserve(stale.size());
+    for (const vertex_t s : stale) requests.push_back(Request<W>{FullSSSP{s}});
+
+    std::vector<TreePtr> computed(stale.size());
+    engine_.run(std::span<const Request<W>>(requests), pool,
+                [&](std::size_t i, const Request<W>&, const auto&, const auto& sc) {
+                  auto tree = std::make_shared<Tree>();
+                  tree->stamp = stamps[i];
+                  tree->dist = sc.dist();
+                  tree->parent = sc.parent();
+                  computed[i] = std::move(tree);
+                });
+
+    const std::scoped_lock lock(mu_);
+    stats_.recomputes += stale.size();
+    for (std::size_t i = 0; i < stale.size(); ++i) trees_[stale[i]] = std::move(computed[i]);
+    return report;
+  }
+
+  /// Drops every entry (stats keep accumulating).
+  void clear() {
+    const std::scoped_lock lock(mu_);
+    trees_.clear();
+  }
+
+ private:
+  /// Requires mu_ held. Counts the outcome.
+  [[nodiscard]] TreePtr lookup(vertex_t source, std::uint64_t now) {
+    const auto it = trees_.find(source);
+    if (it == trees_.end()) {
+      ++stats_.misses;
+      CG_COUNTER_INC("query.cache.misses");
+      return nullptr;
+    }
+    if (it->second->stamp != now) {
+      ++stats_.invalidations;
+      CG_COUNTER_INC("query.cache.invalidations");
+      return nullptr;
+    }
+    ++stats_.hits;
+    CG_COUNTER_INC("query.cache.hits");
+    return it->second;
+  }
+
+  DynamicOverlay<W>& overlay_;
+  QueryEngine<DynamicOverlay<W>, Queue> engine_;
+  mutable std::mutex mu_;
+  std::unordered_map<vertex_t, TreePtr> trees_;
+  Stats stats_;
+};
+
+}  // namespace cachegraph::query

@@ -1,0 +1,253 @@
+// The bounded early-exit Dijkstra core shared by every query shape,
+// templated on the priority-queue policy so the query path can be
+// ablated the way sssp::dijkstra is.
+//
+// Two queue policies:
+//
+//   IndexedQueue  — the paper's indexed heap (default pq::BinaryHeap,
+//                   any IndexedHeap with clear() works): one entry per
+//                   vertex, improvements are decrease_key. Early exit
+//                   leaves entries behind, so the O(size) clear() is
+//                   part of the scratch reset.
+//   LazyQueue     — dijkstra_lazy-style lazy deletion (Sach & Clifford
+//                   study queues without Update): improvements push
+//                   fresh entries, stale ones are skipped at
+//                   extraction. O(E) entries worst case, no position
+//                   index to maintain.
+//
+// Early-exit correctness rests on the classic Dijkstra invariant
+// (non-negative weights): extraction keys are nondecreasing, and a
+// vertex's key at first extraction is its final shortest distance.
+// Hence:
+//   - stop at target extraction  → its distance is exact;
+//   - stop after k extractions   → the settled set is a valid
+//     k-nearest set (every settled distance <= every unsettled one);
+//   - stop at first key > radius → exactly the vertices within the
+//     radius have settled, and none beyond it ever will be closer.
+// Settling order doubles as distance order, so `settled_order()` is
+// already sorted for k-nearest answers.
+//
+// The scratch reset stays O(touched): the touched list undoes dist/
+// parent/done marks, and the queue clears in O(entries remaining).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/concepts.hpp"
+#include "cachegraph/query/request.hpp"
+
+namespace cachegraph::query {
+
+/// Indexed-heap queue policy: insert-on-first-sight, decrease_key on
+/// improvement, nothing stale ever surfaces.
+template <Weight W, template <class, class> class HeapT = pq::BinaryHeap>
+class IndexedQueue {
+ public:
+  static constexpr bool kLazy = false;
+  using Heap = HeapT<W, memsim::NullMem>;
+  static_assert(pq::IndexedHeap<Heap>);
+
+  explicit IndexedQueue(vertex_t n) : heap_(n) {}
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  void insert(vertex_t v, W key) { heap_.insert(v, key); }
+  void improve(vertex_t v, W key) { heap_.decrease_key(v, key); }
+  [[nodiscard]] auto extract_min() { return heap_.extract_min(); }
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  Heap heap_;
+};
+
+/// Lazy-deletion queue policy: a plain array heap of {key, vertex}
+/// entries; improve() pushes a duplicate and the search loop discards
+/// entries whose vertex already settled.
+template <Weight W>
+class LazyQueue {
+ public:
+  static constexpr bool kLazy = true;
+
+  struct Entry {
+    W key;
+    vertex_t vertex;
+  };
+
+  explicit LazyQueue(vertex_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void insert(vertex_t v, W key) {
+    entries_.push_back(Entry{key, v});
+    std::push_heap(entries_.begin(), entries_.end(), Greater{});
+  }
+  void improve(vertex_t v, W key) { insert(v, key); }
+  Entry extract_min() {
+    std::pop_heap(entries_.begin(), entries_.end(), Greater{});
+    const Entry e = entries_.back();
+    entries_.pop_back();
+    return e;
+  }
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept { return a.key > b.key; }
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Early-exit bounds, all optional; the all-defaults value runs a full
+/// SSSP. Combined bounds stop at whichever triggers first.
+template <Weight W>
+struct Limits {
+  vertex_t target = kNoVertex;  ///< stop once this vertex settles
+  vertex_t k = 0;               ///< stop once this many settle (0 = no bound)
+  W radius = inf<W>();          ///< stop past this distance (inclusive)
+};
+
+/// Per-query reusable state (leased per worker by the engine, reset in
+/// O(touched) between queries).
+template <Weight W, class Queue = IndexedQueue<W>>
+class SearchScratch {
+ public:
+  explicit SearchScratch(vertex_t n)
+      : dist_(static_cast<std::size_t>(n), inf<W>()),
+        parent_(static_cast<std::size_t>(n), kNoVertex),
+        done_(static_cast<std::size_t>(n), 0),
+        queue_(n) {
+    touched_.reserve(static_cast<std::size_t>(n));
+    settled_order_.reserve(static_cast<std::size_t>(n));
+  }
+
+  /// dist[v]: exact for settled vertices, an upper bound for touched-
+  /// but-unsettled frontier vertices, inf untouched.
+  [[nodiscard]] const std::vector<W>& dist() const noexcept { return dist_; }
+  [[nodiscard]] const std::vector<vertex_t>& parent() const noexcept { return parent_; }
+  [[nodiscard]] bool settled(vertex_t v) const noexcept {
+    return done_[static_cast<std::size_t>(v)] != 0;
+  }
+  /// Every vertex with a non-inf dist (settled or frontier).
+  [[nodiscard]] std::span<const vertex_t> touched() const noexcept { return touched_; }
+  /// Settled vertices in settling order == nondecreasing distance
+  /// order — a k-nearest answer needs no sort.
+  [[nodiscard]] std::span<const vertex_t> settled_order() const noexcept {
+    return settled_order_;
+  }
+  [[nodiscard]] std::uint64_t relaxations() const noexcept { return relaxations_; }
+  [[nodiscard]] std::uint64_t stale_pops() const noexcept { return stale_pops_; }
+
+  /// Undo the previous query's marks — O(touched + queue remnant).
+  void reset() noexcept {
+    for (const vertex_t v : touched_) {
+      const auto u = static_cast<std::size_t>(v);
+      dist_[u] = inf<W>();
+      parent_[u] = kNoVertex;
+      done_[u] = 0;
+    }
+    touched_.clear();
+    settled_order_.clear();
+    queue_.clear();
+    relaxations_ = 0;
+    stale_pops_ = 0;
+  }
+
+ private:
+  template <class Q, graph::GraphRep G>
+  friend Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type>& lim,
+                        SearchScratch<typename G::weight_type, Q>& sc);
+
+  std::vector<W> dist_;
+  std::vector<vertex_t> parent_;
+  std::vector<char> done_;
+  std::vector<vertex_t> touched_;
+  std::vector<vertex_t> settled_order_;
+  Queue queue_;
+  std::uint64_t relaxations_ = 0;
+  std::uint64_t stale_pops_ = 0;
+};
+
+/// One bounded Dijkstra from `source` under `lim`, writing into `sc`
+/// (which is reset first). Requires non-negative edge weights.
+template <class Queue, graph::GraphRep G>
+Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type>& lim,
+               SearchScratch<typename G::weight_type, Queue>& sc) {
+  using W = typename G::weight_type;
+  sc.reset();
+  const auto us = static_cast<std::size_t>(source);
+  sc.dist_[us] = W{0};
+  sc.touched_.push_back(source);
+  sc.queue_.insert(source, W{0});
+
+  memsim::NullMem mem;
+  Outcome outcome = Outcome::exhausted;
+  bool clipped = false;  // did the radius prune drop any candidate?
+  while (!sc.queue_.empty()) {
+    const auto top = sc.queue_.extract_min();
+    const vertex_t u = top.vertex;
+    const auto uu = static_cast<std::size_t>(u);
+    if constexpr (Queue::kLazy) {
+      if (sc.done_[uu]) {
+        ++sc.stale_pops_;  // superseded by an earlier, shorter entry
+        continue;
+      }
+    }
+    // Keys extract in nondecreasing order: once one passes the radius,
+    // everything still queued is farther out. Do not settle u.
+    if (top.key > lim.radius) {
+      outcome = Outcome::radius_exceeded;
+      break;
+    }
+    sc.done_[uu] = 1;
+    sc.settled_order_.push_back(u);
+    if (u == lim.target) {
+      outcome = Outcome::target_settled;  // top.key is the exact answer
+      break;
+    }
+    if (lim.k != 0 && sc.settled_order_.size() >= static_cast<std::size_t>(lim.k)) {
+      outcome = Outcome::k_settled;
+      break;
+    }
+    const W du = top.key;
+    g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+      const auto tv = static_cast<std::size_t>(nb.to);
+      const W nd = sat_add(du, nb.weight);
+      if (nd >= sc.dist_[tv]) return;
+      CG_DCHECK(!sc.done_[tv], "negative edge weight in query search");
+      if (sc.done_[tv]) return;
+      // Radius prune: along any shortest path prefix distances are
+      // nondecreasing, so a vertex within the radius is never reached
+      // only through relaxations beyond it — dropping them shrinks the
+      // frontier without losing answers.
+      if (nd > lim.radius) {
+        clipped = true;
+        return;
+      }
+      if (is_inf(sc.dist_[tv])) {
+        sc.touched_.push_back(nb.to);
+        sc.queue_.insert(nb.to, nd);
+      } else {
+        sc.queue_.improve(nb.to, nd);
+      }
+      sc.dist_[tv] = nd;
+      sc.parent_[tv] = u;
+      ++sc.relaxations_;
+    });
+  }
+  // The prune keeps out-of-radius keys from ever entering the queue, so
+  // a bounded search drains rather than hitting the key check above;
+  // report the clip so callers can tell "ball smaller than component"
+  // from "whole component inside the radius".
+  if (outcome == Outcome::exhausted && clipped) outcome = Outcome::radius_exceeded;
+  CG_COUNTER_ADD("query.settled", sc.settled_order_.size());
+  CG_COUNTER_ADD("query.relaxations", sc.relaxations_);
+  CG_COUNTER_ADD("query.stale_pops", sc.stale_pops_);
+  return outcome;
+}
+
+}  // namespace cachegraph::query

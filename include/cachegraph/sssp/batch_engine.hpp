@@ -12,14 +12,14 @@
 //
 // Mechanics:
 //   - one `Scratch` per concurrently-running query, leased from a
-//     mutex-guarded free list (at most `pool.num_threads()` are ever
+//     parallel::LeasePool (at most `pool.num_threads()` are ever
 //     live, so the engine allocates that many and then never again);
 //   - queries run Dijkstra with *lazy insertion* into the indexed
-//     binary heap: only the source starts in the heap, a vertex is
+//     heap: only the source starts in the heap, a vertex is
 //     inserted on first improvement and decrease-keyed afterwards.
 //     Every inserted vertex is eventually extracted, so the heap
-//     drains itself back to empty — its vectors (reserved to capacity
-//     up front) are reused with zero steady-state allocation;
+//     drains itself back to empty — its storage (reserved to capacity
+//     up front) is reused with zero steady-state allocation;
 //   - `Scratch::reset()` undoes only the entries the previous query
 //     touched (O(touched), not O(N)) via an explicit touched list —
 //     on a sparse graph with unreachable regions a query pays only
@@ -28,6 +28,11 @@
 //     dist fixpoint is unique, independent of exploration order; the
 //     parent *pointers* may differ on ties but the parent-tree
 //     distances are equal).
+//
+// The engine is templated on the heap like `sssp::dijkstra`, so the
+// Section 2 priority-queue ablation can be rerun under batch scratch
+// reuse (bench_ablation_heaps' batched table); the default is the
+// paper's indexed binary heap.
 //
 // Observability: `sssp.batch.*` instrumentation counters (runs,
 // queries, settled, relaxations, scratch_allocs, scratch_reuses), a
@@ -49,7 +54,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -58,14 +62,19 @@
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/obs/trace.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/pq/binary_heap.hpp"
+#include "cachegraph/pq/concepts.hpp"
 
 namespace cachegraph::sssp {
 
-template <Weight W>
+template <Weight W, template <class, class> class HeapT = pq::BinaryHeap>
 class BatchEngine {
  public:
+  using Heap = HeapT<W, memsim::NullMem>;
+  static_assert(pq::IndexedHeap<Heap>);
+
   /// Per-query reusable state: dist/parent/done buffers, the indexed
   /// heap, and the touched list that makes reset O(touched).
   class Scratch {
@@ -110,7 +119,7 @@ class BatchEngine {
     std::vector<vertex_t> parent_;
     std::vector<char> done_;
     std::vector<vertex_t> touched_;
-    pq::BinaryHeap<W, memsim::NullMem> heap_;
+    Heap heap_;
     std::uint64_t settled_ = 0;
     std::uint64_t relaxations_ = 0;
   };
@@ -128,9 +137,8 @@ class BatchEngine {
   BatchEngine& operator=(const BatchEngine&) = delete;
 
   [[nodiscard]] Stats stats() const noexcept {
-    return Stats{queries_.load(std::memory_order_relaxed),
-                 scratch_allocs_.load(std::memory_order_relaxed),
-                 scratch_reuses_.load(std::memory_order_relaxed)};
+    const auto lp = scratch_pool_.stats();
+    return Stats{queries_.load(std::memory_order_relaxed), lp.allocs, lp.reuses};
   }
 
   /// Runs one Dijkstra per source as TaskPool tasks and calls
@@ -147,8 +155,14 @@ class BatchEngine {
       for (std::size_t i = 0; i < sources.size(); ++i) {
         const vertex_t s = sources[i];
         group.run([this, i, s, &sink] {
-          const Lease lease(*this);
-          Scratch& sc = lease.scratch();
+          const auto lease =
+              scratch_pool_.acquire([this] { return std::make_unique<Scratch>(n_); });
+          if (lease.reused()) {
+            CG_COUNTER_INC("sssp.batch.scratch_reuses");
+          } else {
+            CG_COUNTER_INC("sssp.batch.scratch_allocs");
+          }
+          Scratch& sc = lease.get();
           run_query(sc, s);
           sink(i, s, static_cast<const Scratch&>(sc));
         });
@@ -188,43 +202,6 @@ class BatchEngine {
   }
 
  private:
-  /// RAII lease of a Scratch from the free list. At most one Scratch
-  /// per concurrently-running task is ever live, so after warm-up every
-  /// lease is a reuse and the engine performs no further allocation.
-  class Lease {
-   public:
-    explicit Lease(BatchEngine& e) : engine_(e) {
-      {
-        const std::lock_guard<std::mutex> lock(e.free_mu_);
-        if (!e.free_.empty()) {
-          scratch_ = std::move(e.free_.back());
-          e.free_.pop_back();
-        }
-      }
-      if (scratch_) {
-        e.scratch_reuses_.fetch_add(1, std::memory_order_relaxed);
-        CG_COUNTER_INC("sssp.batch.scratch_reuses");
-      } else {
-        scratch_ = std::make_unique<Scratch>(e.n_);
-        e.scratch_allocs_.fetch_add(1, std::memory_order_relaxed);
-        CG_COUNTER_INC("sssp.batch.scratch_allocs");
-      }
-    }
-    ~Lease() {
-      const std::lock_guard<std::mutex> lock(engine_.free_mu_);
-      engine_.free_.push_back(std::move(scratch_));
-    }
-
-    Lease(const Lease&) = delete;
-    Lease& operator=(const Lease&) = delete;
-
-    [[nodiscard]] Scratch& scratch() const noexcept { return *scratch_; }
-
-   private:
-    BatchEngine& engine_;
-    std::unique_ptr<Scratch> scratch_;
-  };
-
   /// One Dijkstra with lazy heap insertion. The heap starts and ends
   /// empty; dist/parent/done are clean (reset() undid the previous
   /// query) except where this query writes and records in touched_.
@@ -267,11 +244,8 @@ class BatchEngine {
 
   const graph::AdjacencyArray<W>& g_;
   vertex_t n_;
-  std::mutex free_mu_;
-  std::vector<std::unique_ptr<Scratch>> free_;
+  parallel::LeasePool<Scratch> scratch_pool_;
   std::atomic<std::uint64_t> queries_{0};
-  std::atomic<std::uint64_t> scratch_allocs_{0};
-  std::atomic<std::uint64_t> scratch_reuses_{0};
 };
 
 }  // namespace cachegraph::sssp

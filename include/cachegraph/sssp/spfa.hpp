@@ -1,0 +1,122 @@
+// SPFA — Bellman-Ford with an explicit work queue (Shortest Path
+// Faster Algorithm). Same O(N*E) worst case and negative-edge support
+// as the round-based sssp::bellman_ford, but the per-round O(N) scan
+// for active vertices is replaced by a FIFO of exactly the vertices
+// whose distance changed: a pass that improves nothing costs nothing,
+// so the algorithm stops the moment distances stop changing.
+//
+// That matters for Johnson's reweighting stage, where the virtual
+// source makes *every* vertex active in round one and the frontier
+// then collapses: the queue tracks the shrinking frontier for free,
+// while the round-based variant keeps paying the O(N) scan. On graphs
+// whose negative edges are few, the queue drains in a handful of
+// passes — this was the serial scalability bottleneck of the batched
+// Johnson path (ROADMAP).
+//
+// Negative cycles: a shortest path visits each vertex at most once,
+// so a vertex dequeued more than N times can only mean a reachable
+// negative cycle; the search stops and reports it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::sssp {
+
+template <Weight W>
+struct SpfaResult {
+  std::vector<W> dist;
+  std::vector<vertex_t> parent;
+  bool negative_cycle = false;
+  std::uint64_t relaxations = 0;  ///< edge relaxations attempted
+};
+
+namespace detail {
+
+/// The shared SPFA core: runs from whatever dist/queue state the
+/// caller seeded (one source, or everything at once for potentials).
+template <graph::GraphRep G>
+void spfa_run(const G& g, SpfaResult<typename G::weight_type>& r,
+              std::deque<vertex_t>& queue, std::vector<char>& in_queue) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::uint32_t> dequeues(n, 0);
+  memsim::NullMem mem;
+
+  while (!queue.empty()) {
+    const vertex_t u = queue.front();
+    queue.pop_front();
+    const auto uu = static_cast<std::size_t>(u);
+    in_queue[uu] = 0;
+    if (++dequeues[uu] > n) {
+      r.negative_cycle = true;  // relaxed more often than any simple path allows
+      CG_COUNTER_INC("sssp.spfa.negative_cycles");
+      return;
+    }
+    const W du = r.dist[uu];
+    g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
+      const auto tv = static_cast<std::size_t>(nb.to);
+      const W nd = sat_add(du, nb.weight);
+      ++r.relaxations;
+      if (nd < r.dist[tv]) {
+        r.dist[tv] = nd;
+        r.parent[tv] = u;
+        if (!in_queue[tv]) {
+          in_queue[tv] = 1;
+          queue.push_back(nb.to);
+        }
+      }
+    });
+  }
+  CG_COUNTER_ADD("sssp.spfa.relaxations", r.relaxations);
+}
+
+}  // namespace detail
+
+/// Single-source shortest paths with negative edges allowed; sets
+/// `negative_cycle` (dist values are then meaningless) when one is
+/// reachable from the source.
+template <graph::GraphRep G>
+SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CG_CHECK(source >= 0 && static_cast<std::size_t>(source) < n, "source out of range");
+
+  SpfaResult<W> r;
+  r.dist.assign(n, inf<W>());
+  r.parent.assign(n, kNoVertex);
+  r.dist[static_cast<std::size_t>(source)] = W{0};
+
+  std::deque<vertex_t> queue{source};
+  std::vector<char> in_queue(n, 0);
+  in_queue[static_cast<std::size_t>(source)] = 1;
+  detail::spfa_run(g, r, queue, in_queue);
+  return r;
+}
+
+/// Johnson potentials: shortest distances from a virtual source with a
+/// zero-weight edge to every vertex — equivalently, every dist starts
+/// at 0 and every vertex starts queued. No augmented (n+1)-vertex graph
+/// is built, unlike the formulation the round-based BF stage used.
+/// Every potential is finite; `negative_cycle` means any cycle in g.
+template <graph::GraphRep G>
+SpfaResult<typename G::weight_type> spfa_potentials(const G& g) {
+  using W = typename G::weight_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  SpfaResult<W> r;
+  r.dist.assign(n, W{0});
+  r.parent.assign(n, kNoVertex);
+
+  std::deque<vertex_t> queue;
+  for (std::size_t v = 0; v < n; ++v) queue.push_back(static_cast<vertex_t>(v));
+  std::vector<char> in_queue(n, 1);
+  detail::spfa_run(g, r, queue, in_queue);
+  return r;
+}
+
+}  // namespace cachegraph::sssp

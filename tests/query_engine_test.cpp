@@ -1,0 +1,658 @@
+// The query subsystem: every request shape differential-tested against
+// a full-Dijkstra oracle across queue policies, representations, and
+// thread counts; early-exit working-set bounds; the dynamic overlay
+// against a rebuilt-from-scratch graph after randomized edge updates;
+// component stamps; and the result cache's invalidation protocol
+// (stale sources recompute, untouched components keep serving,
+// re-served trees bit-identical to fresh computation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/query/search_core.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::query {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::EdgeListGraph;
+using graph::random_digraph;
+
+template <Weight W, typename M>
+using FourAry = pq::DAryHeap<W, 4, M>;
+
+/// Materializes any GraphRep back into an edge list (the oracle runs
+/// on a from-scratch rebuild, sharing no state with the overlay).
+template <graph::GraphRep G>
+EdgeListGraph<typename G::weight_type> materialize(const G& g) {
+  EdgeListGraph<typename G::weight_type> out(g.num_vertices());
+  memsim::NullMem mem;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    g.for_neighbors(v, mem, [&](const auto& nb) { out.add_edge(v, nb.to, nb.weight); });
+  }
+  return out;
+}
+
+/// Graph with zero-weight edges and deliberate duplicate-weight ties.
+EdgeListGraph<int> adversarial_graph(vertex_t n, std::uint64_t seed) {
+  EdgeListGraph<int> el(n);
+  Rng rng(seed);
+  for (vertex_t i = 0; i < n; ++i) {
+    for (vertex_t j = 0; j < n; ++j) {
+      if (i != j && rng.chance(0.15)) {
+        // weights drawn from {0, 1, 1, 2, 2, 5}: plateaus and ties
+        constexpr int kW[] = {0, 1, 1, 2, 2, 5};
+        el.add_edge(i, j, kW[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+      }
+    }
+  }
+  return el;
+}
+
+// --------------------------------- request shapes vs oracle, per policy
+
+template <typename Q>
+class SearchPolicies : public ::testing::Test {};
+
+using QueuePolicies =
+    ::testing::Types<IndexedQueue<int>, IndexedQueue<int, FourAry>, LazyQueue<int>>;
+TYPED_TEST_SUITE(SearchPolicies, QueuePolicies);
+
+TYPED_TEST(SearchPolicies, PointToPointMatchesOracle) {
+  const auto el = random_digraph<int>(60, 0.08, 1201);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  for (vertex_t s = 0; s < 60; s += 9) {
+    const auto oracle = sssp::dijkstra(rep, s);
+    for (vertex_t t = 0; t < 60; t += 5) {
+      EXPECT_EQ(engine.distance(s, t), oracle.dist[static_cast<std::size_t>(t)])
+          << s << "->" << t;
+    }
+  }
+}
+
+TYPED_TEST(SearchPolicies, PointToPointOutcomeAndExactDistance) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 5);
+  el.add_edge(1, 2, 5);
+  // vertex 3 unreachable
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{PointToPoint{0, 2}, PointToPoint{0, 3},
+                                       PointToPoint{0, 0}};
+  const auto r = engine.run(reqs, pool);
+  EXPECT_EQ(r[0].outcome, Outcome::target_settled);
+  EXPECT_EQ(r[0].target_dist, 10);
+  EXPECT_EQ(r[1].outcome, Outcome::exhausted);  // drained without reaching 3
+  EXPECT_TRUE(is_inf(r[1].target_dist));
+  EXPECT_EQ(r[2].outcome, Outcome::target_settled);  // source settles first
+  EXPECT_EQ(r[2].target_dist, 0);
+  EXPECT_EQ(r[2].settled, 1u);
+}
+
+TYPED_TEST(SearchPolicies, KNearestIsASortedPrefixOfTheOracle) {
+  const auto el = random_digraph<int>(80, 0.06, 77);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  for (vertex_t s = 0; s < 80; s += 13) {
+    auto oracle = sssp::dijkstra(rep, s).dist;
+    std::vector<int> reach;
+    for (const int d : oracle) {
+      if (!is_inf(d)) reach.push_back(d);
+    }
+    std::sort(reach.begin(), reach.end());
+    for (const vertex_t k : {vertex_t{1}, vertex_t{4}, vertex_t{17},
+                             static_cast<vertex_t>(reach.size() + 10)}) {
+      const auto near = engine.k_nearest(s, k);
+      const std::size_t want = std::min<std::size_t>(static_cast<std::size_t>(k), reach.size());
+      ASSERT_EQ(near.size(), want) << "s=" << s << " k=" << k;
+      for (std::size_t i = 0; i < near.size(); ++i) {
+        // Distance multiset must match the sorted oracle prefix exactly
+        // (vertex identity may differ on ties; distances may not).
+        EXPECT_EQ(near[i].dist, reach[i]) << "s=" << s << " k=" << k << " i=" << i;
+        EXPECT_EQ(near[i].dist, oracle[static_cast<std::size_t>(near[i].vertex)]);
+        if (i > 0) {
+          EXPECT_GE(near[i].dist, near[i - 1].dist);  // settling order sorted
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(SearchPolicies, BoundedReturnsExactlyTheVerticesWithinRadius) {
+  const auto el = random_digraph<int>(80, 0.06, 313);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  for (vertex_t s = 0; s < 80; s += 11) {
+    const auto oracle = sssp::dijkstra(rep, s).dist;
+    for (const int radius : {0, 3, 25, 200}) {
+      std::set<vertex_t> expect;
+      for (vertex_t v = 0; v < 80; ++v) {
+        const int d = oracle[static_cast<std::size_t>(v)];
+        if (!is_inf(d) && d <= radius) expect.insert(v);
+      }
+      const auto got = engine.within(s, radius);
+      std::set<vertex_t> got_set;
+      for (const auto& item : got) {
+        got_set.insert(item.vertex);
+        EXPECT_EQ(item.dist, oracle[static_cast<std::size_t>(item.vertex)]);
+        EXPECT_LE(item.dist, radius);
+      }
+      EXPECT_EQ(got_set, expect) << "s=" << s << " radius=" << radius;
+    }
+  }
+}
+
+TYPED_TEST(SearchPolicies, FullSsspBitIdenticalToOracle) {
+  const auto el = random_digraph<int>(70, 0.1, 404);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  for (vertex_t s = 0; s < 70; s += 7) {
+    const auto tree = engine.full(s);
+    const auto oracle = sssp::dijkstra(rep, s);
+    ASSERT_EQ(tree.dist.size(), oracle.dist.size());
+    EXPECT_EQ(std::memcmp(tree.dist.data(), oracle.dist.data(),
+                          oracle.dist.size() * sizeof(int)),
+              0)
+        << "source " << s;
+  }
+}
+
+TYPED_TEST(SearchPolicies, AdversarialZeroWeightsAndTies) {
+  const auto el = adversarial_graph(40, 555);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, TypeParam> engine(rep);
+  for (vertex_t s = 0; s < 40; s += 3) {
+    const auto oracle = sssp::dijkstra(rep, s).dist;
+    const auto tree = engine.full(s);
+    EXPECT_EQ(tree.dist, oracle) << "source " << s;
+    for (vertex_t t = 0; t < 40; t += 7) {
+      EXPECT_EQ(engine.distance(s, t), oracle[static_cast<std::size_t>(t)]);
+    }
+    const auto within2 = engine.within(s, 2);
+    for (const auto& item : within2) {
+      EXPECT_EQ(item.dist, oracle[static_cast<std::size_t>(item.vertex)]);
+    }
+    // Zero-radius must still return the whole zero-weight plateau.
+    std::size_t plateau = 0;
+    for (const int d : oracle) plateau += (d == 0) ? 1u : 0u;
+    EXPECT_EQ(engine.within(s, 0).size(), plateau) << "source " << s;
+  }
+}
+
+TYPED_TEST(SearchPolicies, WorksOverAdjacencyListToo) {
+  const auto el = random_digraph<int>(48, 0.1, 808);
+  const AdjacencyList<int> list(el);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyList<int>, TypeParam> engine(list);
+  for (vertex_t s = 0; s < 48; s += 12) {
+    EXPECT_EQ(engine.full(s).dist, sssp::dijkstra(rep, s).dist);
+  }
+}
+
+// ----------------------------------------------- batch serving / threads
+
+TEST(QueryEngineBatch, MixedRequestsAcrossThreadCountsMatchOracle) {
+  const auto el = random_digraph<int>(100, 0.05, 2024);
+  const AdjacencyArray<int> rep(el);
+  std::vector<Request<int>> reqs;
+  Rng rng(9);
+  for (int i = 0; i < 64; ++i) {
+    const auto s = static_cast<vertex_t>(rng.uniform_int(0, 99));
+    switch (rng.uniform_int(0, 3)) {
+      case 0: reqs.push_back(PointToPoint{s, static_cast<vertex_t>(rng.uniform_int(0, 99))}); break;
+      case 1: reqs.push_back(KNearest{s, static_cast<vertex_t>(rng.uniform_int(1, 20))}); break;
+      case 2: reqs.push_back(Bounded<int>{s, static_cast<int>(rng.uniform_int(0, 60))}); break;
+      default: reqs.push_back(FullSSSP{s}); break;
+    }
+  }
+  for (int threads = 1; threads <= 8; ++threads) {
+    QueryEngine<AdjacencyArray<int>> engine(rep);
+    parallel::TaskPool pool(threads);
+    std::vector<std::uint64_t> settled(reqs.size(), 0);
+    engine.run(std::span<const Request<int>>(reqs), pool,
+               [&](std::size_t i, const Request<int>& req, const auto& resp, const auto& sc) {
+                 settled[i] = resp.settled;
+                 const auto oracle = sssp::dijkstra(rep, source_of(req));
+                 // Every touched vertex's dist is exact once settled;
+                 // verify all settled entries against the oracle.
+                 for (const vertex_t v : sc.settled_order()) {
+                   EXPECT_EQ(sc.dist()[static_cast<std::size_t>(v)],
+                             oracle.dist[static_cast<std::size_t>(v)])
+                       << "req " << i << " v " << v << " threads " << threads;
+                 }
+               });
+    const auto st = engine.stats();
+    EXPECT_EQ(st.requests, reqs.size());
+    EXPECT_LE(st.scratch_allocs, static_cast<std::uint64_t>(threads));
+    EXPECT_EQ(st.scratch_allocs + st.scratch_reuses, reqs.size());
+    // Determinism: per-request settled counts are thread-invariant for
+    // the indexed queue (one extraction per settled vertex).
+    QueryEngine<AdjacencyArray<int>> serial(rep);
+    parallel::TaskPool one(1);
+    const auto base = serial.run(std::span<const Request<int>>(reqs), one);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(settled[i], base[i].settled) << "req " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(QueryEngineBatch, EarlyExitSettlesStrictlyFewerOnSparseGraphs) {
+  const auto el = random_digraph<int>(400, 0.02, 31337);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(4);
+  const vertex_t s = 0;
+  const std::vector<Request<int>> reqs{FullSSSP{s}, KNearest{s, 8}, Bounded<int>{s, 3},
+                                       PointToPoint{s, 1}};
+  const auto r = engine.run(reqs, pool);
+  const std::uint64_t full = r[0].settled;
+  ASSERT_GT(full, 100u) << "graph too disconnected for the bound to mean anything";
+  EXPECT_LT(r[1].settled, full);  // k-nearest: at most 8 settle
+  EXPECT_EQ(r[1].settled, 8u);
+  EXPECT_LT(r[2].settled, full);  // bounded: only the radius-3 ball
+  EXPECT_EQ(r[1].outcome, Outcome::k_settled);
+  EXPECT_EQ(r[2].outcome, Outcome::radius_exceeded);
+  EXPECT_EQ(engine.stats().early_exits, 3u);  // all but the full run
+}
+
+TEST(QueryEngineBatch, ConcurrentSerialHelpersAreSafe) {
+  // serve() leases scratch under a mutex; hammer it from many threads
+  // (the TSan CI job runs this file at several thread counts).
+  const auto el = random_digraph<int>(64, 0.1, 616);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  std::vector<std::vector<int>> oracle;
+  for (vertex_t s = 0; s < 8; ++s) oracle.push_back(sssp::dijkstra(rep, s).dist);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto s = static_cast<vertex_t>(t);
+      for (int round = 0; round < 20; ++round) {
+        EXPECT_EQ(engine.full(s).dist, oracle[static_cast<std::size_t>(s)]);
+        EXPECT_EQ(engine.distance(s, static_cast<vertex_t>((t + 3) % 8)),
+                  oracle[static_cast<std::size_t>(s)][static_cast<std::size_t>((t + 3) % 8)]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(engine.stats().scratch_allocs, 8u);
+}
+
+TEST(QueryEngineBatch, ValidationRejectsBeforeAnyTaskRuns) {
+  const auto el = random_digraph<int>(10, 0.2, 5);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> bad_source{FullSSSP{10}};
+  EXPECT_THROW((void)engine.run(std::span<const Request<int>>(bad_source), pool),
+               PreconditionError);
+  const std::vector<Request<int>> bad_target{PointToPoint{0, -1}};
+  EXPECT_THROW((void)engine.run(std::span<const Request<int>>(bad_target), pool),
+               PreconditionError);
+  EXPECT_THROW((void)engine.k_nearest(0, 0), PreconditionError);
+  EXPECT_THROW((void)engine.within(0, -1), PreconditionError);
+  EXPECT_EQ(engine.stats().requests, 0u);
+}
+
+// ------------------------------------------------------- dynamic overlay
+
+/// Applies a random update sequence to both the overlay and a plain
+/// edge multiset model, then checks the overlay view and queries over
+/// it against a from-scratch rebuild of the model.
+TEST(DynamicOverlay, RandomizedUpdatesMatchFromScratchRebuild) {
+  const auto base_el = random_digraph<int>(48, 0.08, 4711);
+  const AdjacencyArray<int> base(base_el);
+  DynamicOverlay<int> overlay(base);
+  std::vector<graph::Edge<int>> model(base_el.edges().begin(), base_el.edges().end());
+
+  Rng rng(99);
+  for (int step = 0; step < 120; ++step) {
+    if (rng.chance(0.45) && !model.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(model.size()) - 1));
+      const auto e = model[pick];
+      ASSERT_TRUE(overlay.remove_edge(e.from, e.to)) << "step " << step;
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto u = static_cast<vertex_t>(rng.uniform_int(0, 47));
+      const auto v = static_cast<vertex_t>(rng.uniform_int(0, 47));
+      const auto w = static_cast<int>(rng.uniform_int(0, 30));
+      overlay.insert_edge(u, v, w);
+      model.push_back(graph::Edge<int>{u, v, w});
+    }
+
+    if (step % 20 != 19) continue;
+    EXPECT_EQ(overlay.num_edges(), static_cast<index_t>(model.size()));
+    // View equivalence: per-vertex neighbour multisets match the model.
+    EdgeListGraph<int> rebuilt(48);
+    for (const auto& e : model) rebuilt.add_edge(e.from, e.to, e.weight);
+    const AdjacencyArray<int> fresh(rebuilt);
+    memsim::NullMem mem;
+    for (vertex_t v = 0; v < 48; ++v) {
+      std::multiset<std::pair<vertex_t, int>> got, want;
+      overlay.for_neighbors(v, mem, [&](const auto& nb) { got.emplace(nb.to, nb.weight); });
+      for (const auto& nb : fresh.neighbors(v)) want.emplace(nb.to, nb.weight);
+      ASSERT_EQ(got, want) << "vertex " << v << " step " << step;
+    }
+    // Query equivalence: engine over the overlay == oracle over rebuild.
+    QueryEngine<DynamicOverlay<int>> engine(overlay);
+    for (vertex_t s = 0; s < 48; s += 11) {
+      const auto tree = engine.full(s);
+      const auto oracle = sssp::dijkstra(fresh, s);
+      EXPECT_EQ(std::memcmp(tree.dist.data(), oracle.dist.data(), 48 * sizeof(int)), 0)
+          << "source " << s << " step " << step;
+    }
+  }
+}
+
+TEST(DynamicOverlay, RemoveSemantics) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 3);
+  el.add_edge(0, 1, 5);  // parallel edge
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  EXPECT_FALSE(overlay.remove_edge(1, 0));  // absent direction
+  EXPECT_FALSE(overlay.remove_edge(2, 3));  // absent entirely
+  overlay.insert_edge(0, 1, 9);
+  EXPECT_EQ(overlay.num_edges(), 3);
+  // Removal prefers the spill, then the base; each call removes one.
+  EXPECT_TRUE(overlay.remove_edge(0, 1));
+  EXPECT_TRUE(overlay.remove_edge(0, 1));
+  EXPECT_TRUE(overlay.remove_edge(0, 1));
+  EXPECT_FALSE(overlay.remove_edge(0, 1));
+  EXPECT_EQ(overlay.num_edges(), 0);
+  memsim::NullMem mem;
+  int count = 0;
+  overlay.for_neighbors(0, mem, [&](const auto&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(DynamicOverlay, ComponentStampsIsolateUntouchedComponents) {
+  // Two components: {0,1,2} and {3,4,5}.
+  EdgeListGraph<int> el(6);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  el.add_edge(3, 4, 1);
+  el.add_edge(4, 5, 1);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  EXPECT_TRUE(overlay.connected(0, 2));
+  EXPECT_FALSE(overlay.connected(0, 3));
+
+  const auto a0 = overlay.stamp_of(0);
+  const auto b0 = overlay.stamp_of(3);
+  overlay.insert_edge(2, 0, 7);  // touches only component A
+  EXPECT_NE(overlay.stamp_of(0), a0);
+  EXPECT_EQ(overlay.stamp_of(3), b0);  // B untouched
+
+  // Bridging edge merges: both sides' stamps move.
+  const auto a1 = overlay.stamp_of(0);
+  overlay.insert_edge(2, 3, 1);
+  EXPECT_TRUE(overlay.connected(0, 5));
+  EXPECT_NE(overlay.stamp_of(0), a1);
+  EXPECT_NE(overlay.stamp_of(3), b0);
+  EXPECT_EQ(overlay.stamp_of(0), overlay.stamp_of(5));  // one component now
+
+  // Removing the bridge: stamps bump, partition stays conservative
+  // until rebuild, then splits — carrying stamps forward unchanged.
+  const auto merged = overlay.stamp_of(0);
+  ASSERT_TRUE(overlay.remove_edge(2, 3));
+  EXPECT_NE(overlay.stamp_of(0), merged);
+  EXPECT_TRUE(overlay.components_stale());
+  EXPECT_TRUE(overlay.connected(0, 5));  // conservative over-approximation
+  const auto before_a = overlay.stamp_of(0);
+  const auto before_b = overlay.stamp_of(5);
+  overlay.rebuild_components();
+  EXPECT_FALSE(overlay.components_stale());
+  EXPECT_FALSE(overlay.connected(0, 5));  // now precise
+  EXPECT_TRUE(overlay.connected(0, 2));
+  EXPECT_EQ(overlay.stamp_of(0), before_a);  // rebuild never bumps
+  EXPECT_EQ(overlay.stamp_of(5), before_b);
+}
+
+TEST(DynamicOverlay, RebuildPreservesEveryVertexStamp) {
+  // The rebuilt partition refines the conservative one, and each new
+  // component inherits the max member stamp — which equals every
+  // member's old stamp (they shared a conservative component). So
+  // stamp_of is invariant across rebuild for all vertices.
+  const auto el = random_digraph<int>(32, 0.06, 272);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  Rng rng(7);
+  std::vector<graph::Edge<int>> live(el.edges().begin(), el.edges().end());
+  for (int i = 0; i < 25 && !live.empty(); ++i) {
+    const auto pick =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+    ASSERT_TRUE(overlay.remove_edge(live[pick].from, live[pick].to));
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  std::vector<std::uint64_t> before(32);
+  for (vertex_t v = 0; v < 32; ++v) before[static_cast<std::size_t>(v)] = overlay.stamp_of(v);
+  overlay.rebuild_components();
+  for (vertex_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(overlay.stamp_of(v), before[static_cast<std::size_t>(v)]) << "v " << v;
+  }
+}
+
+// ---------------------------------------------------------- result cache
+
+TEST(ResultCache, HitsServeTheSameTreeWithoutRecompute) {
+  const auto el = random_digraph<int>(40, 0.1, 321);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  const auto t1 = cache.get_or_compute(3);
+  const auto t2 = cache.get_or_compute(3);
+  EXPECT_EQ(t1.get(), t2.get());  // literally the same tree object
+  const auto st = cache.stats();
+  EXPECT_EQ(st.recomputes, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(cache.get(3)->dist, sssp::dijkstra(base, 3).dist);
+}
+
+TEST(ResultCache, OnlyTouchedComponentSourcesRecompute) {
+  // Components A = {0..4} (a path), B = {5..9} (a path).
+  EdgeListGraph<int> el(10);
+  for (vertex_t v = 0; v < 4; ++v) el.add_edge(v, v + 1, 2);
+  for (vertex_t v = 5; v < 9; ++v) el.add_edge(v, v + 1, 2);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(4);
+  std::vector<vertex_t> sources(10);
+  std::iota(sources.begin(), sources.end(), vertex_t{0});
+
+  const auto first = cache.ensure(sources, pool);
+  EXPECT_EQ(first.misses, 10u);
+  EXPECT_EQ(first.recomputed, 10u);
+
+  const auto all_fresh = cache.ensure(sources, pool);
+  EXPECT_EQ(all_fresh.hits, 10u);
+  EXPECT_EQ(all_fresh.recomputed, 0u);
+
+  // Shortcut edge inside A: exactly A's five sources go stale.
+  overlay.insert_edge(0, 4, 1);
+  const auto after = cache.ensure(sources, pool);
+  EXPECT_EQ(after.hits, 5u);
+  EXPECT_EQ(after.invalidations, 5u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.recomputed, 5u);
+
+  // Every re-served tree bit-identical to a from-scratch oracle.
+  const auto rebuilt = materialize(overlay);
+  const AdjacencyArray<int> fresh(rebuilt);
+  for (const vertex_t s : sources) {
+    const auto tree = cache.get(s);
+    ASSERT_TRUE(tree) << "source " << s;
+    const auto oracle = sssp::dijkstra(fresh, s);
+    EXPECT_EQ(std::memcmp(tree->dist.data(), oracle.dist.data(), 10 * sizeof(int)), 0)
+        << "source " << s;
+  }
+  // B's trees were served from cache, not recomputed: dist to A stays inf.
+  EXPECT_TRUE(is_inf(cache.get(7)->dist[0]));
+}
+
+TEST(ResultCache, RandomizedUpdateSequencesStayBitIdenticalToFresh) {
+  // Four independent 9-vertex blocks: updates stay inside one block so
+  // the other components' cached trees must keep serving untouched.
+  EdgeListGraph<int> el(36);
+  {
+    Rng gen(626);
+    for (vertex_t block = 0; block < 4; ++block) {
+      const vertex_t lo = block * 9;
+      for (vertex_t i = 0; i < 9; ++i) {
+        for (vertex_t j = 0; j < 9; ++j) {
+          if (i != j && gen.chance(0.3)) {
+            el.add_edge(lo + i, lo + j, static_cast<int>(gen.uniform_int(1, 20)));
+          }
+        }
+      }
+    }
+  }
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(4);
+  std::vector<vertex_t> sources(36);
+  std::iota(sources.begin(), sources.end(), vertex_t{0});
+  std::vector<graph::Edge<int>> live(el.edges().begin(), el.edges().end());
+
+  Rng rng(1313);
+  std::uint64_t total_recomputed = 0;
+  for (int round = 0; round < 8; ++round) {
+    const int updates = static_cast<int>(rng.uniform_int(1, 4));
+    for (int u = 0; u < updates; ++u) {
+      if (rng.chance(0.4) && !live.empty()) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        ASSERT_TRUE(overlay.remove_edge(live[pick].from, live[pick].to));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto lo = static_cast<vertex_t>(9 * rng.uniform_int(0, 3));  // stay in-block
+        const auto a = static_cast<vertex_t>(lo + rng.uniform_int(0, 8));
+        const auto b = static_cast<vertex_t>(lo + rng.uniform_int(0, 8));
+        const auto w = static_cast<int>(rng.uniform_int(1, 20));
+        overlay.insert_edge(a, b, w);
+        live.push_back(graph::Edge<int>{a, b, w});
+      }
+    }
+    const auto report = cache.ensure(sources, pool);
+    EXPECT_EQ(report.hits + report.misses + report.invalidations, sources.size());
+    total_recomputed += report.recomputed;
+
+    EdgeListGraph<int> rebuilt(36);
+    for (const auto& e : live) rebuilt.add_edge(e.from, e.to, e.weight);
+    const AdjacencyArray<int> fresh(rebuilt);
+    for (const vertex_t s : sources) {
+      const auto tree = cache.get(s);
+      ASSERT_TRUE(tree) << "round " << round << " source " << s;
+      const auto oracle = sssp::dijkstra(fresh, s);
+      ASSERT_EQ(std::memcmp(tree->dist.data(), oracle.dist.data(), 36 * sizeof(int)), 0)
+          << "round " << round << " source " << s;
+    }
+  }
+  // The whole point: incremental maintenance re-ran far fewer searches
+  // than recompute-everything-every-round would have.
+  EXPECT_LT(total_recomputed, 8u * sources.size());
+}
+
+TEST(ResultCache, RebuildComponentsDoesNotInvalidate) {
+  const auto el = random_digraph<int>(24, 0.1, 911);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(2);
+  std::vector<vertex_t> sources(24);
+  std::iota(sources.begin(), sources.end(), vertex_t{0});
+  ASSERT_TRUE(overlay.remove_edge(el.edges()[0].from, el.edges()[0].to));
+  (void)cache.ensure(sources, pool);
+  overlay.rebuild_components();
+  const auto report = cache.ensure(sources, pool);
+  EXPECT_EQ(report.hits, sources.size());
+  EXPECT_EQ(report.recomputed, 0u);
+}
+
+// ------------------------------------------------- instrumented counters
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+TEST(QueryCounters, RequestKindsEarlyExitsAndWorkingSetBounds) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  const auto el = random_digraph<int>(200, 0.03, 77077);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{FullSSSP{0}, KNearest{0, 5}, Bounded<int>{0, 2},
+                                       PointToPoint{0, 1}};
+  const auto resp = engine.run(reqs, pool);
+  EXPECT_EQ(reg.value("query.runs"), 1u);
+  EXPECT_EQ(reg.value("query.requests.full_sssp"), 1u);
+  EXPECT_EQ(reg.value("query.requests.k_nearest"), 1u);
+  EXPECT_EQ(reg.value("query.requests.bounded"), 1u);
+  EXPECT_EQ(reg.value("query.requests.point_to_point"), 1u);
+  // query.settled sums all four searches; the early-exiting three must
+  // keep it well under four full sweeps.
+  std::uint64_t sum = 0;
+  for (const auto& r : resp) sum += r.settled;
+  EXPECT_EQ(reg.value("query.settled"), sum);
+  EXPECT_LT(reg.value("query.settled"), 4 * resp[0].settled);
+  EXPECT_EQ(reg.value("query.early_exits"), engine.stats().early_exits);
+  EXPECT_GT(reg.value("query.relaxations"), 0u);
+  EXPECT_EQ(reg.value("query.stale_pops"), 0u);  // indexed queue never pops stale
+}
+
+TEST(QueryCounters, LazyQueueReportsStalePops) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  const auto el = random_digraph<int>(80, 0.2, 1999);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>, LazyQueue<int>> engine(rep);
+  for (vertex_t s = 0; s < 10; ++s) (void)engine.full(s).dist;
+  EXPECT_GT(reg.value("query.stale_pops"), 0u);  // dense graph: duplicates certain
+}
+
+TEST(QueryCounters, CacheAndOverlayCounters) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  EdgeListGraph<int> el(6);
+  el.add_edge(0, 1, 1);
+  el.add_edge(3, 4, 1);
+  const AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(2);
+  const std::vector<vertex_t> sources{0, 3};
+  (void)cache.ensure(sources, pool);
+  (void)cache.ensure(sources, pool);
+  overlay.insert_edge(1, 0, 2);
+  (void)cache.ensure(sources, pool);
+  EXPECT_EQ(reg.value("query.cache.misses"), 2u);
+  EXPECT_EQ(reg.value("query.cache.hits"), 3u);           // 2 + untouched source 3
+  EXPECT_EQ(reg.value("query.cache.invalidations"), 1u);  // source 0 after insert
+  EXPECT_EQ(reg.value("query.overlay.inserts"), 1u);
+  overlay.rebuild_components();
+  EXPECT_EQ(reg.value("query.overlay.rebuilds"), 1u);
+}
+#endif
+
+}  // namespace
+}  // namespace cachegraph::query

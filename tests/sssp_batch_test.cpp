@@ -17,8 +17,12 @@
 #include "cachegraph/graph/generators.hpp"
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/pq/dary_heap.hpp"
+#include "cachegraph/pq/pairing_heap.hpp"
 #include "cachegraph/sssp/batch_engine.hpp"
+#include "cachegraph/sssp/bellman_ford.hpp"
 #include "cachegraph/sssp/dijkstra.hpp"
+#include "cachegraph/sssp/spfa.hpp"
 #include "test_util.hpp"
 
 namespace cachegraph::sssp {
@@ -307,6 +311,106 @@ TEST(BatchEngine, ScratchAllocationsAreBoundedAndStopAfterWarmUp) {
   EXPECT_EQ(steady.queries, 4u * sources.size());
 }
 
+// ------------------------------------------------- heap-templated engine
+
+template <Weight W, typename M>
+using FourAry = pq::DAryHeap<W, 4, M>;
+template <Weight W, typename M>
+using EightAry = pq::DAryHeap<W, 8, M>;
+
+TEST(BatchEngineHeaps, AlternateHeapsBitIdenticalToDefault) {
+  const auto el = random_digraph<int>(56, 0.12, 2468);
+  const AdjacencyArray<int> rep(el);
+  parallel::TaskPool pool(4);
+  const auto sources = all_sources(56);
+  BatchEngine<int> binary(rep);
+  const auto base = binary.run_batch(sources, pool);
+  BatchEngine<int, FourAry> four(rep);
+  BatchEngine<int, EightAry> eight(rep);
+  BatchEngine<int, pq::PairingHeap> pairing(rep);
+  const auto got4 = four.run_batch(sources, pool);
+  const auto got8 = eight.run_batch(sources, pool);
+  const auto gotp = pairing.run_batch(sources, pool);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(got4[i].dist, base[i].dist) << "4-ary, source " << i;
+    EXPECT_EQ(got8[i].dist, base[i].dist) << "8-ary, source " << i;
+    EXPECT_EQ(gotp[i].dist, base[i].dist) << "pairing, source " << i;
+  }
+  EXPECT_LE(four.stats().scratch_allocs, 4u);  // reuse holds per instantiation
+}
+
+// ----------------------------------------------------- SPFA Bellman-Ford
+
+TEST(Spfa, MatchesRoundBasedBellmanFordOnNegativeEdges) {
+  // Random graphs with negative (but acyclic-negative) weights: build a
+  // DAG so no negative cycle can appear, then compare exactly.
+  for (const std::uint64_t seed : {3u, 14u, 15u}) {
+    EdgeListGraph<int> el(30);
+    Rng rng(seed);
+    for (vertex_t i = 0; i < 30; ++i) {
+      for (vertex_t j = i + 1; j < 30; ++j) {
+        if (rng.chance(0.2)) el.add_edge(i, j, static_cast<int>(rng.uniform_int(-8, 15)));
+      }
+    }
+    const AdjacencyArray<int> rep(el);
+    for (vertex_t s = 0; s < 30; s += 6) {
+      const auto bf = bellman_ford(rep, s);
+      const auto sp = spfa(rep, s);
+      ASSERT_FALSE(bf.negative_cycle);
+      EXPECT_FALSE(sp.negative_cycle);
+      EXPECT_EQ(sp.dist, bf.dist) << "seed " << seed << " source " << s;
+    }
+  }
+}
+
+TEST(Spfa, DetectsNegativeCyclesLikeBellmanFord) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, -3);
+  el.add_edge(2, 1, 1);  // 1->2->1 sums to -2
+  el.add_edge(2, 3, 5);
+  const AdjacencyArray<int> rep(el);
+  EXPECT_TRUE(spfa(rep, 0).negative_cycle);
+  EXPECT_TRUE(bellman_ford(rep, 0).negative_cycle);
+  // Unreachable from 3: no cycle on any path from there.
+  EXPECT_FALSE(spfa(rep, 3).negative_cycle);
+}
+
+TEST(Spfa, PotentialsMatchVirtualSourceBellmanFord) {
+  // spfa_potentials must equal Bellman-Ford run from a virtual source
+  // with zero-weight edges to every vertex — which is just BF where
+  // every vertex starts at distance 0.
+  EdgeListGraph<int> el(12);
+  Rng rng(21);
+  for (vertex_t i = 0; i < 12; ++i) {
+    for (vertex_t j = i + 1; j < 12; ++j) {  // DAG: no cycle can go negative
+      if (rng.chance(0.3)) el.add_edge(i, j, static_cast<int>(rng.uniform_int(-6, 10)));
+    }
+  }
+  graph::EdgeListGraph<int> aug(13);
+  for (const auto& e : el.edges()) aug.add_edge(e.from, e.to, e.weight);
+  for (vertex_t v = 0; v < 12; ++v) aug.add_edge(12, v, 0);
+  const AdjacencyArray<int> aug_rep(aug);
+  const auto bf = bellman_ford(aug_rep, 12);
+  ASSERT_FALSE(bf.negative_cycle);
+  const AdjacencyArray<int> rep(el);
+  const auto pot = spfa_potentials(rep);
+  ASSERT_FALSE(pot.negative_cycle);
+  for (vertex_t v = 0; v < 12; ++v) {
+    EXPECT_EQ(pot.dist[static_cast<std::size_t>(v)], bf.dist[static_cast<std::size_t>(v)])
+        << "v " << v;
+  }
+}
+
+TEST(Spfa, EmptyAndSingleVertex) {
+  EdgeListGraph<int> single(1);
+  const AdjacencyArray<int> rep(single);
+  const auto r = spfa(rep, 0);
+  EXPECT_FALSE(r.negative_cycle);
+  EXPECT_EQ(r.dist, std::vector<int>{0});
+  EXPECT_FALSE(spfa_potentials(rep).negative_cycle);
+}
+
 #if defined(CACHEGRAPH_INSTRUMENT)
 TEST(BatchEngine, EmitsBatchAndParallelCounters) {
   auto& reg = obs::CounterRegistry::instance();
@@ -383,6 +487,45 @@ TEST(JohnsonBatch, LongLivedPoolServesManyCalls) {
     const auto el = negative_dag(20, seed);
     EXPECT_EQ(johnson(el, pool).dist, johnson(el).dist) << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------- streaming Johnson
+
+TEST(JohnsonStream, RowsMatchMaterializedJohnsonBitwise) {
+  const auto el = negative_dag(36, 23);
+  const auto full = johnson(el, 4);
+  ASSERT_FALSE(full.negative_cycle);
+  parallel::TaskPool pool(4);
+  std::vector<int> rows(36 * 36, 0);
+  std::vector<std::atomic<int>> seen(36);
+  const bool ok = johnson_stream(el, pool, [&](vertex_t s, std::span<const int> row) {
+    ASSERT_EQ(row.size(), 36u);
+    std::memcpy(rows.data() + static_cast<std::size_t>(s) * 36, row.data(), 36 * sizeof(int));
+    seen[static_cast<std::size_t>(s)].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(ok);
+  for (const auto& c : seen) EXPECT_EQ(c.load(), 1);  // each row exactly once
+  EXPECT_EQ(std::memcmp(rows.data(), full.dist.data(), rows.size() * sizeof(int)), 0);
+}
+
+TEST(JohnsonStream, NegativeCycleShortCircuitsWithoutRows) {
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, -4);
+  el.add_edge(2, 0, 2);
+  parallel::TaskPool pool(2);
+  int rows = 0;
+  const bool ok = johnson_stream(el, pool, [&](vertex_t, std::span<const int>) { ++rows; });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(rows, 0);
+}
+
+TEST(JohnsonStream, EmptyGraph) {
+  EdgeListGraph<int> el(0);
+  parallel::TaskPool pool(2);
+  int rows = 0;
+  EXPECT_TRUE(johnson_stream(el, pool, [&](vertex_t, std::span<const int>) { ++rows; }));
+  EXPECT_EQ(rows, 0);
 }
 
 // -------------------------------------------------- Johnson corner cases
