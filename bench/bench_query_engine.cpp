@@ -216,6 +216,83 @@ int main(int argc, char** argv) {
   std::cout << "\n-- link flaps: incremental ensure vs cold recompute --\n";
   t3.print(std::cout, opt.csv);
 
+  // ------------------------------------ scene 4: degraded-mode ladder
+  // 4x oversubscription: the in-flight cap equals the pool width and
+  // the batch is four times that. Each overload policy pays a
+  // different bill — block in latency, reject in refusals, shed in
+  // cancelled elders — and the reliability counters itemize it.
+  Table t4({"policy", "time (s)", "ok", "overloaded", "cancelled", "blocked", "rejected",
+            "shed"});
+  {
+    const auto el = graph::random_digraph<int>(n, 0.1, opt.seed);
+    const graph::AdjacencyArray<int> rep(el);
+    const int width = opt.threads > 0 ? opt.threads : hw;
+    parallel::TaskPool pool(width);
+    const std::size_t oversub = 4u * static_cast<std::size_t>(width);
+    std::vector<query::Request<int>> heavy;
+    Rng rng(opt.seed + 3);
+    for (std::size_t i = 0; i < oversub; ++i) {
+      heavy.push_back(query::FullSSSP{static_cast<vertex_t>(rng.uniform_int(0, n - 1))});
+    }
+    for (const auto policy : {query::OverloadPolicy::kBlock, query::OverloadPolicy::kReject,
+                              query::OverloadPolicy::kShed}) {
+      query::QueryEngine<graph::AdjacencyArray<int>> engine(rep);
+      engine.set_admission({.max_in_flight = static_cast<std::size_t>(width), .policy = policy});
+      const Params params{{"n", std::to_string(n)},
+                          {"policy", std::string(query::to_string(policy))},
+                          {"oversub", std::to_string(oversub)}};
+      std::uint64_t ok = 0, overloaded = 0, cancelled = 0;
+      const double ts = h.time_s("query_degraded", params, opt.reps, [&] {
+        ok = overloaded = cancelled = 0;
+        const auto out = engine.try_run(std::span<const query::Request<int>>(heavy), pool);
+        for (const auto& r : out) {
+          switch (r.status.code()) {
+            case reliability::StatusCode::kOk: ++ok; break;
+            case reliability::StatusCode::kOverloaded: ++overloaded; break;
+            case reliability::StatusCode::kCancelled: ++cancelled; break;
+            default: break;
+          }
+        }
+      });
+      const auto stats = engine.stats();
+      t4.add_row({std::string(query::to_string(policy)), fmt(ts, 3), fmt_count(ok),
+                  fmt_count(overloaded), fmt_count(cancelled), fmt_count(stats.blocked),
+                  fmt_count(stats.rejected), fmt_count(stats.shed)});
+    }
+  }
+  std::cout << "\n-- degraded mode: overload policies at 4x oversubscription --\n";
+  t4.print(std::cout, opt.csv);
+
+  // --------------------------- scene 5: cancellation-check overhead
+  // The poll is two atomic-ish loads every K settled vertices; this
+  // prices it against the poll-free legacy path on a full SSSP sweep
+  // (feeds the EXPERIMENTS.md overhead table).
+  Table t5({"check_every", "serve (s)", "overhead vs no-poll"});
+  {
+    const auto el = graph::random_digraph<int>(n, 0.1, opt.seed);
+    const graph::AdjacencyArray<int> rep(el);
+    query::QueryEngine<graph::AdjacencyArray<int>> engine(rep);
+    const query::Request<int> sweep{query::FullSSSP{0}};
+    const Params base_params{{"n", std::to_string(n)}, {"check_every", "off"}};
+    const double t_off = h.time_s("query_poll_off", base_params, opt.reps, [&] {
+      engine.serve(sweep, [](const auto&, const auto&) {});
+    });
+    t5.add_row({"off", fmt(t_off, 3), "1.00x"});
+    reliability::CancelToken never;  // armed but never fired: worst-case honest poll
+    for (const vertex_t k : {vertex_t{64}, vertex_t{256}, vertex_t{1024}}) {
+      typename query::QueryEngine<graph::AdjacencyArray<int>>::ServeOptions opts;
+      opts.cancel = &never;
+      opts.check_every = k;
+      const Params params{{"n", std::to_string(n)}, {"check_every", std::to_string(k)}};
+      const double tk = h.time_s("query_poll", params, opt.reps, [&] {
+        (void)engine.try_serve(sweep, opts);
+      });
+      t5.add_row({std::to_string(k), fmt(tk, 3), fmt_speedup(tk, t_off)});
+    }
+  }
+  std::cout << "\n-- cancellation-check overhead (armed token, never fired) --\n";
+  t5.print(std::cout, opt.csv);
+
   std::cout << "\n(host reports " << hw << " hardware thread(s); n=" << n << ", batch="
             << batch << ")\n";
   return 0;

@@ -1,0 +1,53 @@
+// FNV-1a 64-bit checksum — the integrity check for persisted state.
+//
+// Chosen over CRC32 for implementation transparency (eight lines, no
+// tables) and over cryptographic hashes because the threat model is
+// torn writes and bit rot, not adversaries. The streaming interface
+// lets snapshot save/load fold bytes in as they pass through the file
+// without buffering the payload twice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace cachegraph {
+
+class Fnv64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  void update(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = hash_;
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    hash_ = h;
+  }
+
+  /// Folds any trivially-copyable value in by its object bytes.
+  template <typename T>
+  void update_value(const T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(&v, sizeof(T));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+  void reset() noexcept { hash_ = kOffsetBasis; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// One-shot convenience.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  Fnv64 h;
+  h.update(data, size);
+  return h.digest();
+}
+
+}  // namespace cachegraph

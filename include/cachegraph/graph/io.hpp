@@ -1,8 +1,20 @@
 // DIMACS shortest-path format I/O ("p sp N M" header, "a u v w" arcs,
 // 1-based vertex ids) — the de-facto interchange format for graph
 // algorithm benchmarks, used by the examples to load/save inputs.
+//
+// Parsing is hardened against hostile input: every malformed line —
+// truncated fields, ids that overflow vertex_t, garbage tokens, a
+// negative or absurd edge count, arcs before the header — raises a
+// typed ParseError carrying the 1-based line number and the byte
+// offset of that line's start, and nothing the parser does before the
+// throw can allocate proportionally to a lied-about header (the
+// reserve hint is clamped). ParseError derives from PreconditionError
+// so existing catch sites keep working; new callers can catch the
+// derived type for the location fields.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +23,27 @@
 #include "cachegraph/graph/edge_list.hpp"
 
 namespace cachegraph::graph {
+
+/// A malformed-input rejection with the location that triggered it.
+/// Input data is production traffic, not a programmer error — but this
+/// derives from PreconditionError so legacy handlers still catch it.
+class ParseError : public PreconditionError {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::uint64_t byte_offset)
+      : PreconditionError(what + " (line " + std::to_string(line) + ", byte " +
+                          std::to_string(byte_offset) + ")"),
+        line_(line),
+        byte_offset_(byte_offset) {}
+
+  /// 1-based line number of the offending line.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  /// Byte offset of that line's first character in the stream.
+  [[nodiscard]] std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::size_t line_;
+  std::uint64_t byte_offset_;
+};
 
 template <Weight W>
 void write_dimacs(std::ostream& os, const EdgeListGraph<W>& g,
@@ -26,44 +59,63 @@ template <Weight W>
 [[nodiscard]] EdgeListGraph<W> read_dimacs(std::istream& is) {
   std::string line;
   std::size_t lineno = 0;
+  std::uint64_t line_start = 0;  // byte offset of the current line's start
+  std::uint64_t next_start = 0;
   vertex_t n = -1;
   index_t m_declared = 0;
   EdgeListGraph<W> g(0);
+  const auto fail = [&](const std::string& what) -> ParseError {
+    return ParseError(what, lineno, line_start);
+  };
   while (std::getline(is, line)) {
     ++lineno;
+    line_start = next_start;
+    next_start = line_start + line.size() + 1;  // getline consumed the '\n' too
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
     if (tag == 'p') {
+      if (n >= 0) throw fail("duplicate 'p' line");
       std::string kind;
       ls >> kind >> n >> m_declared;
-      CG_CHECK(!ls.fail() && n >= 0,
-               "malformed 'p' line (line " + std::to_string(lineno) + ")");
+      // Overflowing counts leave the stream failed — same rejection as
+      // garbage tokens.
+      if (ls.fail() || n < 0 || m_declared < 0) throw fail("malformed 'p' line");
       g = EdgeListGraph<W>(n);
-      g.reserve(static_cast<std::size_t>(m_declared));
+      // The header is unverified input: clamp the reserve hint so a
+      // lied-about edge count cannot force a huge allocation before
+      // the (cheap, streaming) arc parse catches the mismatch.
+      constexpr index_t kReserveCap = index_t{1} << 20;
+      g.reserve(static_cast<std::size_t>(std::min(m_declared, kReserveCap)));
     } else if (tag == 'a') {
-      CG_CHECK(n >= 0, "'a' line before 'p' line (line " + std::to_string(lineno) + ")");
+      if (n < 0) throw fail("'a' line before 'p' line");
       vertex_t u = 0, v = 0;
       W w{};
       ls >> u >> v >> w;
-      CG_CHECK(!ls.fail(), "malformed 'a' line (line " + std::to_string(lineno) + ")");
+      // Covers truncated arcs, non-numeric tokens, and ids/weights
+      // that overflow their type (operator>> sets failbit on all).
+      if (ls.fail()) throw fail("malformed 'a' line");
       // DIMACS ids are 1-based; anything outside [1, n] would silently
       // index out of the vertex range after the -1 shift.
-      CG_CHECK(u >= 1 && u <= n,
-               "arc tail " + std::to_string(u) + " out of range [1, " + std::to_string(n) +
-                   "] (line " + std::to_string(lineno) + ")");
-      CG_CHECK(v >= 1 && v <= n,
-               "arc head " + std::to_string(v) + " out of range [1, " + std::to_string(n) +
-                   "] (line " + std::to_string(lineno) + ")");
+      if (u < 1 || u > n) {
+        throw fail("arc tail " + std::to_string(u) + " out of range [1, " +
+                   std::to_string(n) + "]");
+      }
+      if (v < 1 || v > n) {
+        throw fail("arc head " + std::to_string(v) + " out of range [1, " +
+                   std::to_string(n) + "]");
+      }
       g.add_edge(u - 1, v - 1, w);
     } else {
-      CG_CHECK(false, "unknown DIMACS line tag '" + std::string(1, tag) + "' (line " +
-                          std::to_string(lineno) + ")");
+      throw fail("unknown DIMACS line tag '" + std::string(1, tag) + "'");
     }
   }
-  CG_CHECK(n >= 0, "missing 'p' line");
-  CG_CHECK(g.num_edges() == m_declared, "edge count does not match 'p' line");
+  if (n < 0) throw fail("missing 'p' line");
+  if (g.num_edges() != m_declared) {
+    throw fail("edge count " + std::to_string(g.num_edges()) + " does not match 'p' line (" +
+               std::to_string(m_declared) + ")");
+  }
   return g;
 }
 

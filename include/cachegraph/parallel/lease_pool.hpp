@@ -8,17 +8,32 @@
 // resident in whichever worker's cache used it last, which is the
 // whole point of reusing it.
 //
-// Threading contract: acquire() and lease destruction are safe from
-// any thread (the free list is mutex-guarded; the counters are
-// relaxed atomics). The pool must outlive its leases.
+// Capacity: set_capacity(k) caps the number of objects the pool will
+// ever build. try_acquire() then fails (empty optional) when the free
+// list is dry and the cap is reached — a *transient* condition the
+// serving layer reports as RESOURCE_EXHAUSTED for the caller to retry
+// (reliability/retry.hpp), instead of letting a traffic spike
+// translate into unbounded allocation. acquire() keeps the original
+// infallible contract for capacity-free pools. The kAlloc fault site
+// makes try_acquire fail as if allocation itself had — the chaos
+// suite's stand-in for a genuine bad_alloc.
+//
+// Threading contract: acquire()/try_acquire() and lease destruction
+// are safe from any thread (the free list is mutex-guarded; the
+// counters are relaxed atomics). set_capacity is a configuration call:
+// make it before traffic. The pool must outlive its leases.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
 
 namespace cachegraph::parallel {
 
@@ -31,22 +46,48 @@ class LeasePool {
   LeasePool& operator=(const LeasePool&) = delete;
 
   struct Stats {
-    std::uint64_t allocs = 0;  ///< objects ever built by make()
-    std::uint64_t reuses = 0;  ///< leases served from the free list
+    std::uint64_t allocs = 0;    ///< objects ever built by make()
+    std::uint64_t reuses = 0;    ///< leases served from the free list
+    std::uint64_t exhausted = 0; ///< try_acquire failures (cap or fault)
   };
 
   [[nodiscard]] Stats stats() const noexcept {
     return Stats{allocs_.load(std::memory_order_relaxed),
-                 reuses_.load(std::memory_order_relaxed)};
+                 reuses_.load(std::memory_order_relaxed),
+                 exhausted_.load(std::memory_order_relaxed)};
+  }
+
+  /// Caps the total number of objects ever built (0 = unbounded, the
+  /// default). Lowering the cap below the number already built only
+  /// prevents further builds; existing objects keep circulating.
+  void set_capacity(std::size_t cap) noexcept {
+    capacity_.store(cap, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
   }
 
   /// RAII lease: holds the object until scope exit, then returns it to
-  /// the free list. Not copyable or movable — construct it in place.
+  /// the free list. Movable (so try_acquire can hand it through an
+  /// optional); a moved-from lease returns nothing.
   class Lease {
    public:
-    ~Lease() {
-      const std::lock_guard<std::mutex> lock(pool_.mu_);
-      pool_.free_.push_back(std::move(obj_));
+    ~Lease() { release(); }
+
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          obj_(std::move(other.obj_)),
+          reused_(other.reused_) {}
+
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        obj_ = std::move(other.obj_);
+        reused_ = other.reused_;
+      }
+      return *this;
     }
 
     Lease(const Lease&) = delete;
@@ -58,18 +99,26 @@ class LeasePool {
 
    private:
     friend class LeasePool;
-    Lease(LeasePool& pool, std::unique_ptr<T> obj, bool reused) noexcept
+    Lease(LeasePool* pool, std::unique_ptr<T> obj, bool reused) noexcept
         : pool_(pool), obj_(std::move(obj)), reused_(reused) {}
 
-    LeasePool& pool_;
+    void release() noexcept {
+      if (pool_ == nullptr || obj_ == nullptr) return;
+      const std::lock_guard<std::mutex> lock(pool_->mu_);
+      pool_->free_.push_back(std::move(obj_));
+      pool_ = nullptr;
+    }
+
+    LeasePool* pool_ = nullptr;
     std::unique_ptr<T> obj_;
-    bool reused_;
+    bool reused_ = false;
   };
 
   /// Leases a free object, or builds one with `make()` (which must
-  /// return std::unique_ptr<T>) when the free list is empty.
+  /// return std::unique_ptr<T>) — failing (empty optional) when the
+  /// capacity cap forbids building or the kAlloc fault site fires.
   template <typename Make>
-  [[nodiscard]] Lease acquire(Make&& make) {
+  [[nodiscard]] std::optional<Lease> try_acquire(Make&& make) {
     std::unique_ptr<T> obj;
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -80,18 +129,41 @@ class LeasePool {
     }
     if (obj) {
       reuses_.fetch_add(1, std::memory_order_relaxed);
-      return Lease(*this, std::move(obj), /*reused=*/true);
+      return Lease(this, std::move(obj), /*reused=*/true);
+    }
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    // The cap check is advisory under concurrency (two racing builders
+    // may overshoot by one); the contract is "bounded", not "exact".
+    if (cap != 0 && allocs_.load(std::memory_order_relaxed) >= cap) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (CG_FAULT_FIRE(reliability::FaultSite::kAlloc)) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
     }
     obj = make();
     allocs_.fetch_add(1, std::memory_order_relaxed);
-    return Lease(*this, std::move(obj), /*reused=*/false);
+    return Lease(this, std::move(obj), /*reused=*/false);
+  }
+
+  /// The infallible original: requires an uncapped pool (use
+  /// try_acquire when a capacity or fault plan is in play).
+  template <typename Make>
+  [[nodiscard]] Lease acquire(Make&& make) {
+    auto lease = try_acquire(std::forward<Make>(make));
+    CG_CHECK(lease.has_value(),
+             "LeasePool::acquire on an exhausted pool — use try_acquire");
+    return std::move(*lease);
   }
 
  private:
   std::mutex mu_;
   std::vector<std::unique_ptr<T>> free_;
+  std::atomic<std::size_t> capacity_{0};
   std::atomic<std::uint64_t> allocs_{0};
   std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
 };
 
 }  // namespace cachegraph::parallel

@@ -18,6 +18,17 @@
 //   - idle workers sleep on a condition variable with a short timeout,
 //     so an idle pool costs (almost) no CPU.
 //
+// Exception safety: a task that throws can neither wedge nor kill the
+// pool. The TaskGroup wrapper catches anything escaping a task,
+// stores the *first* exception per group, and still performs the
+// completion decrement — so wait() always terminates, and then
+// rethrows the captured exception on the waiting thread (fork-join
+// semantics: the join observes the child's failure). Later exceptions
+// in the same group are counted (`parallel.exceptions`) and dropped,
+// like std::async once the first future is consumed. A group
+// destroyed without a wait() after a failure drains silently and
+// bumps `parallel.exceptions_dropped` — destructors must not throw.
+//
 // Observability: the pool tallies tasks spawned, successful steals, and
 // empty barrier polls in plain atomics (cumulative, see stats());
 // `flush_counters()` adds the delta since the last flush to the
@@ -35,6 +46,7 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,6 +63,7 @@ class TaskPool {
     std::uint64_t tasks_spawned = 0;
     std::uint64_t steals = 0;
     std::uint64_t barrier_waits = 0;
+    std::uint64_t exceptions = 0;  ///< tasks that exited by throwing
   };
 
   /// `num_threads <= 0` uses std::thread::hardware_concurrency(). The
@@ -69,9 +82,16 @@ class TaskPool {
   [[nodiscard]] Stats stats() const noexcept;
 
   /// Adds the tallies accumulated since the last flush to the counter
-  /// registry (parallel.tasks_spawned / .steals / .barrier_waits).
-  /// Call from one thread, outside any TaskGroup.
+  /// registry (parallel.tasks_spawned / .steals / .barrier_waits /
+  /// .exceptions). Call from one thread, outside any TaskGroup.
   void flush_counters();
+
+  /// Runs one pending task on the calling thread if any is available;
+  /// false when every deque is empty. For callers that must make
+  /// progress while waiting on something other than a TaskGroup (the
+  /// query engine's admission gate participates through this instead
+  /// of blocking a slot).
+  bool help_one() { return run_one(); }
 
  private:
   friend class TaskGroup;
@@ -99,28 +119,39 @@ class TaskPool {
   std::atomic<std::uint64_t> tasks_spawned_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> barrier_waits_{0};
+  std::atomic<std::uint64_t> exceptions_{0};
   Stats flushed_;  ///< high-water mark of the last flush (flush thread only)
 };
 
 /// Fork-join scope over a TaskPool. `run()` spawns a task; `wait()`
 /// (also called by the destructor) executes pool tasks until every task
-/// of *this* group has finished. Groups nest freely — tasks may create
-/// their own groups — which is exactly how the FWR recursion schedules
-/// its tile DAG.
+/// of *this* group has finished, then rethrows the first exception any
+/// of them raised. Groups nest freely — tasks may create their own
+/// groups — which is exactly how the FWR recursion schedules its tile
+/// DAG.
 class TaskGroup {
  public:
   explicit TaskGroup(TaskPool& pool) noexcept : pool_(pool) {}
-  ~TaskGroup() { wait(); }
+  /// Drains like wait() but never throws: an unobserved exception is
+  /// counted (parallel.exceptions_dropped) and discarded.
+  ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   void run(TaskPool::Task t);
+  /// Joins every task of this group, then rethrows the first captured
+  /// exception (clearing it — the group is reusable afterwards).
   void wait();
 
  private:
+  /// The join loop without the rethrow.
+  void drain() noexcept;
+
   TaskPool& pool_;
   std::atomic<std::size_t> pending_{0};
+  std::mutex exception_mu_;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace cachegraph::parallel

@@ -12,29 +12,64 @@
 // from a parallel::LeasePool and reset in O(touched), so a bounded
 // query pays only for the region it explored, and the scratch a
 // worker reuses is the one already resident in its cache. At most
-// `pool.num_threads()` scratches are ever allocated.
+// `pool.num_threads()` scratches are ever allocated (fewer when
+// set_scratch_capacity caps the pool).
+//
+// Two serving surfaces:
+//
+//   Legacy (run / serve / distance / …) — throwing validation
+//   (CG_CHECK), infallible scratch, no time bounds. Unchanged.
+//
+//   Hardened (try_serve / try_run) — every request resolves to a
+//   Response carrying a reliability::Status from the closed code set;
+//   nothing escapes as an exception. ServeOptions adds a cooperative
+//   cancel token, an absolute deadline, and the poll cadence; the
+//   engine gives each batched request its own CancelToken parented on
+//   the batch token so admission shedding can kill one victim while a
+//   batch cancel kills everything. Admission control (set_admission)
+//   bounds in-flight requests with a pluggable overload policy:
+//   kBlock (the submitting thread helps the pool until a slot frees),
+//   kReject (resolve OVERLOADED immediately), kShed (cancel the
+//   oldest in-flight victim — newest wins). Transient scratch-pool
+//   exhaustion is retried with exponential backoff (reliability/
+//   retry.hpp) bounded by the request deadline before it surfaces as
+//   RESOURCE_EXHAUSTED.
+//
+// Status contract for sinks: a terminated search (CANCELLED /
+// DEADLINE_EXCEEDED) still hands the sink the real scratch — every
+// settled distance in it is exact, a correct prefix of the answer. A
+// request that never searched (INVALID_ARGUMENT, OVERLOADED,
+// RESOURCE_EXHAUSTED, or an aborted task) gets a zero-vertex empty
+// scratch; check response.status before reading distances.
 //
 // The queue policy is a template parameter (indexed heap vs lazy
 // deletion) so the query path can be ablated under realistic request
 // mixes — bench_query_engine does exactly that.
 //
 // Observability: `query.*` counters (requests by kind, settled,
-// relaxations, stale_pops, early_exits), a per-batch
-// CG_TRACE_SPAN("query.run") plus one span per request named after
-// its kind, and a pool counter flush per batch.
+// relaxations, stale_pops, early_exits) plus `reliability.*` counters
+// (admission blocked/rejected/shed, cancelled / deadline_exceeded /
+// aborted / exhausted resolutions, retry attempts), a per-batch
+// CG_TRACE_SPAN("query.run") and one span per request named after its
+// kind, and a pool counter flush per batch.
 //
 // Threading contract: the graph view must stay unmodified while
 // requests run (mutate a DynamicOverlay only at quiescent points —
-// the ResultCache's revalidation flow). run() may be called from one
-// thread at a time per engine; the serial helpers (distance /
-// k_nearest / within / full) are safe from any thread, including
-// concurrently with each other.
+// the ResultCache's revalidation flow). run()/try_run() may be called
+// from one thread at a time per engine; the serial helpers (distance /
+// k_nearest / within / full / try_serve) are safe from any thread,
+// including concurrently with each other.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
+#include <string>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -47,8 +82,29 @@
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/request.hpp"
 #include "cachegraph/query/search_core.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
+#include "cachegraph/reliability/retry.hpp"
+#include "cachegraph/reliability/status.hpp"
 
 namespace cachegraph::query {
+
+/// What to do with a request that arrives while max_in_flight requests
+/// are already running.
+enum class OverloadPolicy {
+  kBlock,   ///< submitting thread helps drain the pool until a slot frees
+  kReject,  ///< resolve OVERLOADED immediately — fail fast, caller retries
+  kShed,    ///< cancel the oldest in-flight request to make room (newest wins)
+};
+
+[[nodiscard]] constexpr const char* to_string(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kReject: return "reject";
+    case OverloadPolicy::kShed: return "shed";
+  }
+  return "?";
+}
 
 template <graph::GraphRep G, class Queue = IndexedQueue<typename G::weight_type>>
 class QueryEngine {
@@ -62,15 +118,36 @@ class QueryEngine {
     Outcome outcome = Outcome::exhausted;
     std::uint64_t settled = 0;     ///< vertices with exact final distances
     W target_dist = inf<W>();      ///< PointToPoint answer; inf otherwise
+    reliability::Status status;    ///< definite resolution (OK = answered)
+  };
+
+  /// Time/cancellation bounds for the hardened surface. For try_run
+  /// these are *batch-level*: the deadline bounds every request in the
+  /// batch, and `cancel` is the parent of each request's own token.
+  struct ServeOptions {
+    reliability::Deadline deadline{};                  ///< absolute budget (none = unbounded)
+    const reliability::CancelToken* cancel = nullptr;  ///< caller-owned; must outlive the call
+    vertex_t check_every = kDefaultCheckEvery;         ///< poll cadence in settled vertices
+  };
+
+  /// Admission control: 0 = unbounded (the default — legacy behavior).
+  struct Admission {
+    std::size_t max_in_flight = 0;
+    OverloadPolicy policy = OverloadPolicy::kBlock;
   };
 
   /// Engine-lifetime tallies (atomic; readable any time).
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t settled = 0;
-    std::uint64_t early_exits = 0;     ///< requests that stopped before exhaustion
+    std::uint64_t early_exits = 0;     ///< answered before exhausting the component
     std::uint64_t scratch_allocs = 0;
     std::uint64_t scratch_reuses = 0;
+    std::uint64_t blocked = 0;         ///< admissions that waited for a slot
+    std::uint64_t rejected = 0;        ///< resolved OVERLOADED at admission
+    std::uint64_t shed = 0;            ///< victims cancelled to admit newer work
+    std::uint64_t aborted = 0;         ///< tasks that threw (resolved CANCELLED)
+    std::uint64_t lease_failures = 0;  ///< RESOURCE_EXHAUSTED after retries
   };
 
   explicit QueryEngine(const G& g) : g_(g), n_(g.num_vertices()) {}
@@ -82,10 +159,35 @@ class QueryEngine {
     const auto lp = scratch_pool_.stats();
     return Stats{requests_.load(std::memory_order_relaxed),
                  settled_.load(std::memory_order_relaxed),
-                 early_exits_.load(std::memory_order_relaxed), lp.allocs, lp.reuses};
+                 early_exits_.load(std::memory_order_relaxed),
+                 lp.allocs,
+                 lp.reuses,
+                 blocked_.load(std::memory_order_relaxed),
+                 rejected_.load(std::memory_order_relaxed),
+                 shed_.load(std::memory_order_relaxed),
+                 aborted_.load(std::memory_order_relaxed),
+                 lease_failures_.load(std::memory_order_relaxed)};
   }
 
   [[nodiscard]] const G& graph() const noexcept { return g_; }
+
+  // -------------------------------------------------------- configuration
+
+  /// Bounds concurrent requests in try_run. Configuration call — make
+  /// it before traffic.
+  void set_admission(Admission a) noexcept { admission_ = a; }
+  [[nodiscard]] Admission admission() const noexcept { return admission_; }
+
+  /// Caps the scratch pool (0 = unbounded). With a cap below the
+  /// worker count, excess concurrent requests see transient
+  /// RESOURCE_EXHAUSTED — the hardened surface retries with backoff,
+  /// acquire() in the legacy surface would trip CG_CHECK.
+  void set_scratch_capacity(std::size_t cap) noexcept { scratch_pool_.set_capacity(cap); }
+
+  /// Backoff schedule for transient scratch-lease failures on the
+  /// hardened surface (the per-request deadline overrides the
+  /// policy's own).
+  void set_lease_backoff(reliability::BackoffPolicy p) noexcept { lease_backoff_ = p; }
 
   // ------------------------------------------------------ batch serving
 
@@ -125,6 +227,125 @@ class QueryEngine {
         [&out](std::size_t i, const Request<W>&, const Response& r, const Scratch&) {
           out[i] = r;
         });
+    return out;
+  }
+
+  // -------------------------------------------- hardened batch serving
+
+  /// The non-throwing batch: every request resolves with a definite
+  /// status exactly once, whatever happens — validation failure,
+  /// deadline, cancellation, admission reject/shed, scratch
+  /// exhaustion, or a task that throws (resolved CANCELLED "task
+  /// aborted"). The only exception that can escape is one thrown by
+  /// `sink` itself; even then the group is drained first (no leaked
+  /// tasks) and the affected request is re-delivered once with a
+  /// CANCELLED status through a swallow-all sink call.
+  template <typename Sink>
+  void try_run(std::span<const Request<W>> requests, parallel::TaskPool& pool,
+               const ServeOptions& opts, Sink&& sink) {
+    CG_TRACE_SPAN("query.run");
+    const std::size_t m = requests.size();
+    // Stable-address per-request tokens, each parented on the batch
+    // token: shed cancels one, the caller's token cancels all.
+    std::vector<std::unique_ptr<reliability::CancelToken>> tokens;
+    tokens.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      tokens.push_back(std::make_unique<reliability::CancelToken>(opts.cancel));
+    }
+    std::vector<char> resolved(m, 0);  // distinct-index writes; read after wait()
+    std::mutex active_mu;
+    std::vector<std::size_t> active;  // admission order — front is the shed victim
+    std::atomic<std::size_t> in_flight{0};
+    const Admission adm = admission_;
+
+    std::vector<Response> pre(m);  // submitting-thread resolutions
+    {
+      parallel::TaskGroup group(pool);
+      for (std::size_t i = 0; i < m; ++i) {
+        const Request<W>& req = requests[i];
+        Response early;
+        early.status = preflight(req, opts, adm, pool, in_flight, active, active_mu, tokens);
+        if (!early.status.is_ok()) {
+          resolved[i] = 1;
+          pre[i] = early;
+          sink(i, req, static_cast<const Response&>(pre[i]), empty_);
+          continue;
+        }
+        in_flight.fetch_add(1, std::memory_order_relaxed);
+        {
+          const std::lock_guard<std::mutex> lock(active_mu);
+          active.push_back(i);
+        }
+        group.run([this, i, &req, &sink, &opts, &tokens, &resolved, &active, &active_mu,
+                   &in_flight] {
+          Response resp;
+          bool scratch_valid = false;
+          reliability::Status lease_status;
+          auto lease = acquire_scratch(opts.deadline, lease_status);
+          if (!lease) {
+            resp.status = lease_status;
+          } else {
+            ServeOptions per = opts;
+            per.cancel = tokens[i].get();
+            try {
+              resp = execute(req, lease->get(), per);
+              scratch_valid = true;
+            } catch (const std::exception& e) {
+              resp = Response{};
+              resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
+              note_abort();
+            } catch (...) {
+              resp = Response{};
+              resp.status = reliability::cancelled("task aborted: unknown exception");
+              note_abort();
+            }
+          }
+          // Bookkeeping before the sink: a throwing sink must not
+          // leak its admission slot or its shed-victim entry.
+          {
+            const std::lock_guard<std::mutex> lock(active_mu);
+            active.erase(std::find(active.begin(), active.end(), i));
+          }
+          in_flight.fetch_sub(1, std::memory_order_release);
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          sink(i, req, static_cast<const Response&>(resp),
+               scratch_valid ? static_cast<const Scratch&>(lease->get()) : empty_);
+          resolved[i] = 1;
+        });
+      }
+      try {
+        group.wait();
+      } catch (...) {
+        // A sink threw. The group is already drained (wait rethrows
+        // only after pending hits zero), so only re-delivery remains.
+        note_abort();
+      }
+    }
+    // Definite-status backfill: anything unresolved (a sink that threw
+    // mid-delivery) gets exactly one more delivery, swallow-all.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (resolved[i]) continue;
+      Response resp;
+      resp.status = reliability::cancelled("task aborted: sink threw during delivery");
+      try {
+        sink(i, requests[i], static_cast<const Response&>(resp), empty_);
+      } catch (...) {  // NOLINT(bugprone-empty-catch) — backfill is best-effort
+      }
+    }
+    CG_COUNTER_INC("query.runs");
+    pool.flush_counters();
+  }
+
+  /// Materialized hardened batch: one definite-status Response per
+  /// request, index-aligned.
+  [[nodiscard]] std::vector<Response> try_run(std::span<const Request<W>> requests,
+                                              parallel::TaskPool& pool,
+                                              const ServeOptions& opts = {}) {
+    std::vector<Response> out(requests.size());
+    try_run(requests, pool, opts,
+            [&out](std::size_t i, const Request<W>&, const Response& r, const Scratch&) {
+              out[i] = r;
+            });
     return out;
   }
 
@@ -196,6 +417,49 @@ class QueryEngine {
     fn(static_cast<const Response&>(resp), static_cast<const Scratch&>(sc));
   }
 
+  /// The non-throwing single request: always returns a Response with a
+  /// definite status; `fn(response, scratch)` fires exactly once (with
+  /// the empty scratch when no search ran — see the status contract in
+  /// the header comment). Thread-safe, no admission control (admission
+  /// bounds batches; a serial caller is its own backpressure).
+  template <typename Fn>
+  Response try_serve(const Request<W>& req, const ServeOptions& opts, Fn&& fn) {
+    Response resp;
+    resp.status = validate_status(req);
+    if (!resp.status.is_ok()) {
+      CG_COUNTER_INC("reliability.requests.invalid");
+      fn(static_cast<const Response&>(resp), empty_);
+      return resp;
+    }
+    reliability::Status lease_status;
+    auto lease = acquire_scratch(opts.deadline, lease_status);
+    if (!lease) {
+      resp.status = lease_status;
+      fn(static_cast<const Response&>(resp), empty_);
+      return resp;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      resp = execute(req, lease->get(), opts);
+      fn(static_cast<const Response&>(resp), static_cast<const Scratch&>(lease->get()));
+    } catch (const std::exception& e) {
+      resp = Response{};
+      resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
+      note_abort();
+      fn(static_cast<const Response&>(resp), empty_);
+    } catch (...) {
+      resp = Response{};
+      resp.status = reliability::cancelled("task aborted: unknown exception");
+      note_abort();
+      fn(static_cast<const Response&>(resp), empty_);
+    }
+    return resp;
+  }
+
+  Response try_serve(const Request<W>& req, const ServeOptions& opts = {}) {
+    return try_serve(req, opts, [](const Response&, const Scratch&) {});
+  }
+
  private:
   void validate(const Request<W>& req) const {
     const vertex_t s = source_of(req);
@@ -214,8 +478,134 @@ class QueryEngine {
         req);
   }
 
-  Response execute(const Request<W>& req, Scratch& sc) {
+  /// The same rules as validate(), as a value: a malformed request is
+  /// production traffic on the hardened surface, not a programmer
+  /// error.
+  [[nodiscard]] reliability::Status validate_status(const Request<W>& req) const {
+    const vertex_t s = source_of(req);
+    if (s < 0 || s >= n_) return reliability::invalid_argument("query source out of range");
+    return std::visit(
+        [this](const auto& r) -> reliability::Status {
+          using R = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<R, PointToPoint>) {
+            if (r.target < 0 || r.target >= n_) {
+              return reliability::invalid_argument("query target out of range");
+            }
+          } else if constexpr (std::is_same_v<R, KNearest>) {
+            if (r.k < 1) return reliability::invalid_argument("k_nearest needs k >= 1");
+          } else if constexpr (std::is_same_v<R, Bounded<W>>) {
+            if (r.radius < W{0}) {
+              return reliability::invalid_argument("bounded query needs a non-negative radius");
+            }
+          }
+          return {};
+        },
+        req);
+  }
+
+  /// Submitting-thread gate for one batched request: validation, batch
+  /// cancel/deadline, then admission. OK means "spawn it".
+  reliability::Status preflight(const Request<W>& req, const ServeOptions& opts,
+                                const Admission& adm, parallel::TaskPool& pool,
+                                std::atomic<std::size_t>& in_flight,
+                                std::vector<std::size_t>& active, std::mutex& active_mu,
+                                std::vector<std::unique_ptr<reliability::CancelToken>>& tokens) {
+    auto st = validate_status(req);
+    if (!st.is_ok()) {
+      CG_COUNTER_INC("reliability.requests.invalid");
+      return st;
+    }
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+      CG_COUNTER_INC("reliability.requests.cancelled");
+      return reliability::cancelled("batch cancelled before start");
+    }
+    if (opts.deadline.expired()) {
+      CG_COUNTER_INC("reliability.requests.deadline_exceeded");
+      return reliability::deadline_exceeded("batch budget spent before start");
+    }
+    if (adm.max_in_flight == 0 ||
+        in_flight.load(std::memory_order_acquire) < adm.max_in_flight) {
+      return {};
+    }
+    switch (adm.policy) {
+      case OverloadPolicy::kReject:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("reliability.admission.rejected");
+        return reliability::overloaded("admission: " + std::to_string(adm.max_in_flight) +
+                                       " requests already in flight");
+      case OverloadPolicy::kShed: {
+        // Oldest not-yet-shed victim: scanning past already-cancelled
+        // entries keeps the ladder moving — each overflow admission
+        // kills one distinct older request (newest wins).
+        const std::lock_guard<std::mutex> lock(active_mu);
+        for (const std::size_t victim : active) {
+          if (!tokens[victim]->cancelled()) {
+            tokens[victim]->cancel();  // resolves CANCELLED at its next poll
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            CG_COUNTER_INC("reliability.admission.shed");
+            break;
+          }
+        }
+        return {};  // admit over the cap; the victim's slot frees shortly
+      }
+      case OverloadPolicy::kBlock: {
+        blocked_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("reliability.admission.blocked");
+        while (in_flight.load(std::memory_order_acquire) >= adm.max_in_flight) {
+          if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+            CG_COUNTER_INC("reliability.requests.cancelled");
+            return reliability::cancelled("batch cancelled while blocked on admission");
+          }
+          if (opts.deadline.expired()) {
+            CG_COUNTER_INC("reliability.requests.deadline_exceeded");
+            return reliability::deadline_exceeded("batch budget spent while blocked on admission");
+          }
+          // Help drain the pool rather than spin — on a 1-thread pool
+          // this is the only way a slot ever frees.
+          if (!pool.help_one()) std::this_thread::yield();
+        }
+        return {};
+      }
+    }
+    return {};
+  }
+
+  /// Scratch lease with transient-failure retry, bounded by the
+  /// request deadline. Empty optional ⇒ `out` explains why
+  /// (RESOURCE_EXHAUSTED, or DEADLINE_EXCEEDED when the budget ran
+  /// out mid-retry).
+  [[nodiscard]] std::optional<typename parallel::LeasePool<Scratch>::Lease> acquire_scratch(
+      const reliability::Deadline& deadline, reliability::Status& out) {
+    std::optional<typename parallel::LeasePool<Scratch>::Lease> lease;
+    reliability::BackoffPolicy policy = lease_backoff_;
+    if (deadline.armed()) policy.deadline = deadline;
+    out = reliability::retry_status(
+        [&]() -> reliability::Status {
+          lease = scratch_pool_.try_acquire([this] { return std::make_unique<Scratch>(n_); });
+          if (lease) return {};
+          return reliability::resource_exhausted("scratch pool at capacity");
+        },
+        policy);
+    if (!lease && out.code() == reliability::StatusCode::kResourceExhausted) {
+      lease_failures_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("reliability.requests.exhausted");
+    }
+    return lease;
+  }
+
+  void note_abort() noexcept {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    CG_COUNTER_INC("reliability.requests.aborted");
+  }
+
+  Response execute(const Request<W>& req, Scratch& sc, const ServeOptions& opts = {}) {
+    if (CG_FAULT_FIRE(reliability::FaultSite::kTaskThrow)) {
+      throw reliability::InjectedFault("query.execute");
+    }
     Limits<W> lim;
+    lim.cancel = opts.cancel;
+    lim.deadline = opts.deadline;
+    lim.check_every = opts.check_every;
     vertex_t target = kNoVertex;
     std::visit(
         [&](const auto& r) {
@@ -244,8 +634,15 @@ class QueryEngine {
       // without reaching it, and dist() already says inf.
       resp.target_dist = sc.dist()[static_cast<std::size_t>(target)];
     }
+    if (resp.outcome == Outcome::cancelled) {
+      resp.status = reliability::cancelled("cancel token fired");
+      CG_COUNTER_INC("reliability.requests.cancelled");
+    } else if (resp.outcome == Outcome::deadline_exceeded) {
+      resp.status = reliability::deadline_exceeded("request budget spent");
+      CG_COUNTER_INC("reliability.requests.deadline_exceeded");
+    }
     settled_.fetch_add(resp.settled, std::memory_order_relaxed);
-    if (resp.outcome != Outcome::exhausted) {
+    if (resp.status.is_ok() && resp.outcome != Outcome::exhausted) {
       early_exits_.fetch_add(1, std::memory_order_relaxed);
       CG_COUNTER_INC("query.early_exits");
     }
@@ -254,10 +651,18 @@ class QueryEngine {
 
   const G& g_;
   vertex_t n_;
+  const Scratch empty_{0};  ///< zero-vertex scratch for failed requests
   parallel::LeasePool<Scratch> scratch_pool_;
+  Admission admission_{};
+  reliability::BackoffPolicy lease_backoff_{};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> settled_{0};
   std::atomic<std::uint64_t> early_exits_{0};
+  std::atomic<std::uint64_t> blocked_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> lease_failures_{0};
 };
 
 }  // namespace cachegraph::query

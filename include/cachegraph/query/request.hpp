@@ -68,12 +68,18 @@ template <Weight W>
   return std::visit(Visitor{}, r);
 }
 
-/// Why a search stopped.
+/// Why a search stopped. The first four are *answers* (the request's
+/// bound was met or the component drained); the last two are
+/// *terminations* — the search was told to stop before it could
+/// answer, and the scratch holds only a correct prefix (every settled
+/// distance is still exact; the request is simply unanswered).
 enum class Outcome {
-  exhausted,        ///< frontier drained — every reachable vertex settled
-  target_settled,   ///< PointToPoint: target extracted with final distance
-  k_settled,        ///< KNearest: k-th vertex settled
-  radius_exceeded,  ///< Bounded: the radius clipped the search short
+  exhausted,          ///< frontier drained — every reachable vertex settled
+  target_settled,     ///< PointToPoint: target extracted with final distance
+  k_settled,          ///< KNearest: k-th vertex settled
+  radius_exceeded,    ///< Bounded: the radius clipped the search short
+  cancelled,          ///< cancel token fired at a poll point
+  deadline_exceeded,  ///< deadline passed at a poll point (or on entry)
 };
 
 [[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
@@ -82,6 +88,8 @@ enum class Outcome {
     case Outcome::target_settled: return "target_settled";
     case Outcome::k_settled: return "k_settled";
     case Outcome::radius_exceeded: return "radius_exceeded";
+    case Outcome::cancelled: return "cancelled";
+    case Outcome::deadline_exceeded: return "deadline_exceeded";
   }
   return "?";
 }

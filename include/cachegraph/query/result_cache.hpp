@@ -22,27 +22,102 @@
 // Trees are handed out as shared_ptr<const Tree>: a reader can hold a
 // consistent tree across later updates and recomputes without locking.
 //
+// Persistence (save_snapshot / load_snapshot): the cache writes a
+// versioned, checksummed binary snapshot so a restarted service warms
+// from disk instead of recomputing every tree. Crash safety comes from
+// write-temp-then-atomic-rename — a crash mid-save leaves either the
+// old complete snapshot or a stray .tmp, never a torn file under the
+// real name. Load validates the trailing FNV-1a checksum over the
+// whole image *before* parsing a single field (truncation and bit rot
+// both surface as DATA_LOSS with the cache untouched — the caller
+// rebuilds cleanly on demand), then matches the snapshot's graph
+// fingerprint against the live overlay (a hash over the live edge
+// set); a mismatch is INVALID_ARGUMENT. Because a matching fingerprint
+// proves the edge set identical, loaded entries are restamped to the
+// *current* component stamps — stamps are process-local invalidation
+// tokens, not durable facts, and a tree's contents depend only on the
+// edge set. Format layout: DESIGN.md §11.
+//
 // Counters: query.cache.hits / query.cache.misses /
 // query.cache.invalidations (stale entries found), mirrored in plain
-// Stats for builds without CACHEGRAPH_INSTRUMENT.
+// Stats for builds without CACHEGRAPH_INSTRUMENT; snapshot traffic
+// under query.cache.snapshot_* and reliability.snapshot.data_loss.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cachegraph/common/check.hpp"
+#include "cachegraph/common/checksum.hpp"
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/dynamic_overlay.hpp"
 #include "cachegraph/query/engine.hpp"
 #include "cachegraph/query/request.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+#if defined(__unix__)
+#include <unistd.h>  // fsync — flush the temp image before the rename commits it
+#endif
 
 namespace cachegraph::query {
+
+/// Snapshot format tag: bump the trailing digits on any layout change
+/// so an old binary refuses a new file (and vice versa) instead of
+/// misparsing it.
+inline constexpr char kSnapshotMagic[8] = {'C', 'G', 'S', 'N', 'A', 'P', '0', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Encodes the weight type's identity (size | signedness | floatness)
+/// so an int32 snapshot never deserializes into a double cache.
+template <Weight W>
+[[nodiscard]] constexpr std::uint32_t snapshot_weight_kind() noexcept {
+  return static_cast<std::uint32_t>(sizeof(W)) |
+         (std::is_signed_v<W> ? 0x100U : 0U) |
+         (std::is_floating_point_v<W> ? 0x200U : 0U);
+}
+
+namespace snapshot_detail {
+
+template <typename T>
+void put(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+inline void put_bytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+/// Bounds-checked read; false means the image lied about its size
+/// (cannot happen after the checksum passes, but parse defensively).
+template <typename T>
+[[nodiscard]] bool get(const char*& p, const char* end, T& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (static_cast<std::size_t>(end - p) < sizeof(T)) return false;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return true;
+}
+
+[[nodiscard]] inline bool get_bytes(const char*& p, const char* end, void* dst,
+                                    std::size_t size) noexcept {
+  if (static_cast<std::size_t>(end - p) < size) return false;
+  std::memcpy(dst, p, size);
+  p += size;
+  return true;
+}
+
+}  // namespace snapshot_detail
 
 template <Weight W, class Queue = IndexedQueue<W>>
 class ResultCache {
@@ -170,7 +245,192 @@ class ResultCache {
     trees_.clear();
   }
 
+  // -------------------------------------------------------- persistence
+
+  /// Writes every cached tree to `path` (format: DESIGN.md §11) via a
+  /// sibling .tmp and an atomic rename. Call at a quiescent point (no
+  /// concurrent overlay mutation — the fingerprint walks the live edge
+  /// set). I/O failure returns RESOURCE_EXHAUSTED and leaves any
+  /// previous snapshot at `path` intact.
+  [[nodiscard]] reliability::Status save_snapshot(const std::filesystem::path& path) const {
+    // Snapshot the map under the lock; serialize outside it (TreePtrs
+    // keep the trees alive and immutable).
+    std::vector<std::pair<vertex_t, TreePtr>> entries;
+    {
+      const std::scoped_lock lock(mu_);
+      entries.assign(trees_.begin(), trees_.end());
+    }
+    const auto n = static_cast<std::size_t>(overlay_.num_vertices());
+
+    namespace sd = snapshot_detail;
+    std::string image;
+    sd::put_bytes(image, kSnapshotMagic, sizeof(kSnapshotMagic));
+    sd::put(image, kSnapshotVersion);
+    sd::put(image, snapshot_weight_kind<W>());
+    sd::put(image, static_cast<std::uint32_t>(overlay_.num_vertices()));
+    sd::put(image, std::uint32_t{0});  // reserved
+    sd::put(image, static_cast<std::uint64_t>(entries.size()));
+    sd::put(image, graph_fingerprint());
+    for (const auto& [source, tree] : entries) {
+      CG_DCHECK(tree->dist.size() == n && tree->parent.size() == n,
+                "cached tree size does not match the overlay");
+      sd::put(image, source);
+      sd::put(image, tree->stamp);
+      sd::put_bytes(image, tree->dist.data(), n * sizeof(W));
+      sd::put_bytes(image, tree->parent.data(), n * sizeof(vertex_t));
+    }
+    sd::put(image, fnv1a64(image.data(), image.size()));
+
+    // Write-temp + rename: the file under the real name is always a
+    // complete image (POSIX rename atomically replaces).
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+    if (f == nullptr) {
+      return reliability::resource_exhausted("snapshot save: cannot open " + tmp.string());
+    }
+    const bool wrote = std::fwrite(image.data(), 1, image.size(), f) == image.size();
+#if defined(__unix__)
+    const bool synced = wrote && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+#else
+    const bool synced = wrote && std::fflush(f) == 0;
+#endif
+    const bool closed = std::fclose(f) == 0;
+    if (!(wrote && synced && closed)) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return reliability::resource_exhausted("snapshot save: short write to " + tmp.string());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return reliability::resource_exhausted("snapshot save: rename failed: " + ec.message());
+    }
+    CG_COUNTER_INC("query.cache.snapshot_saves");
+    return {};
+  }
+
+  /// Replaces the cache contents with the snapshot at `path`. The
+  /// checksum is verified over the whole image before any field is
+  /// trusted: truncation or corruption returns DATA_LOSS, a snapshot
+  /// for a different graph / weight type / format version returns
+  /// INVALID_ARGUMENT — and in every failure case the in-memory cache
+  /// is left exactly as it was (rebuild by serving traffic). Loaded
+  /// entries are restamped against the live overlay (see header
+  /// comment), so a successful load serves hits immediately.
+  [[nodiscard]] reliability::Status load_snapshot(const std::filesystem::path& path) {
+    std::string image;
+    {
+      std::FILE* f = std::fopen(path.string().c_str(), "rb");
+      if (f == nullptr) {
+        return data_loss_status("cannot open " + path.string());
+      }
+      char buf[1 << 16];
+      std::size_t got = 0;
+      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) image.append(buf, got);
+      const bool read_ok = std::ferror(f) == 0;
+      std::fclose(f);
+      if (!read_ok) return data_loss_status("read error on " + path.string());
+    }
+
+    // Integrity first: nothing in the image is trusted until the
+    // trailing checksum over everything before it matches.
+    constexpr std::size_t kHeaderBytes = sizeof(kSnapshotMagic) + 4 * sizeof(std::uint32_t) +
+                                         2 * sizeof(std::uint64_t);
+    if (image.size() < kHeaderBytes + sizeof(std::uint64_t)) {
+      return data_loss_status("snapshot truncated: " + std::to_string(image.size()) + " bytes");
+    }
+    const std::size_t body = image.size() - sizeof(std::uint64_t);
+    std::uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, image.data() + body, sizeof(stored_sum));
+    if (fnv1a64(image.data(), body) != stored_sum) {
+      return data_loss_status("checksum mismatch in " + path.string());
+    }
+
+    namespace sd = snapshot_detail;
+    const char* p = image.data();
+    const char* const end = image.data() + body;
+    if (std::memcmp(p, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+      return data_loss_status("bad magic in " + path.string());
+    }
+    p += sizeof(kSnapshotMagic);
+    std::uint32_t version = 0, weight_kind = 0, file_n = 0, reserved = 0;
+    std::uint64_t entry_count = 0, fingerprint = 0;
+    if (!sd::get(p, end, version) || !sd::get(p, end, weight_kind) ||
+        !sd::get(p, end, file_n) || !sd::get(p, end, reserved) ||
+        !sd::get(p, end, entry_count) || !sd::get(p, end, fingerprint)) {
+      return data_loss_status("snapshot header truncated");
+    }
+    if (version != kSnapshotVersion) {
+      return reliability::invalid_argument("snapshot version " + std::to_string(version) +
+                                           " != " + std::to_string(kSnapshotVersion));
+    }
+    if (weight_kind != snapshot_weight_kind<W>()) {
+      return reliability::invalid_argument("snapshot weight type does not match this cache");
+    }
+    if (file_n != static_cast<std::uint32_t>(overlay_.num_vertices())) {
+      return reliability::invalid_argument("snapshot is for a " + std::to_string(file_n) +
+                                           "-vertex graph");
+    }
+    if (fingerprint != graph_fingerprint()) {
+      return reliability::invalid_argument("snapshot edge-set fingerprint does not match the "
+                                           "live overlay");
+    }
+
+    const auto n = static_cast<std::size_t>(overlay_.num_vertices());
+    std::unordered_map<vertex_t, TreePtr> loaded;
+    loaded.reserve(static_cast<std::size_t>(entry_count));
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+      vertex_t source = kNoVertex;
+      auto tree = std::make_shared<Tree>();
+      tree->dist.resize(n);
+      tree->parent.resize(n);
+      if (!sd::get(p, end, source) || !sd::get(p, end, tree->stamp) ||
+          !sd::get_bytes(p, end, tree->dist.data(), n * sizeof(W)) ||
+          !sd::get_bytes(p, end, tree->parent.data(), n * sizeof(vertex_t))) {
+        return data_loss_status("snapshot entry " + std::to_string(i) + " truncated");
+      }
+      if (source < 0 || source >= overlay_.num_vertices()) {
+        return data_loss_status("snapshot entry " + std::to_string(i) + " has a bad source");
+      }
+      // Restamp: the fingerprint proved the edge set identical, so the
+      // tree is exactly what a fresh compute would produce — fresh
+      // under the *current* stamp, whatever it was at save time.
+      tree->stamp = overlay_.stamp_of(source);
+      loaded[source] = std::move(tree);
+    }
+    if (p != end) return data_loss_status("snapshot has trailing bytes");
+
+    const std::scoped_lock lock(mu_);
+    trees_ = std::move(loaded);
+    CG_COUNTER_INC("query.cache.snapshot_loads");
+    return {};
+  }
+
+  /// Hash of the live edge set (every surviving base edge plus every
+  /// overlay insertion, per-vertex order). Two overlays agree iff a
+  /// snapshot from one is servable by the other.
+  [[nodiscard]] std::uint64_t graph_fingerprint() const {
+    Fnv64 h;
+    h.update_value(overlay_.num_vertices());
+    memsim::NullMem mem;
+    for (vertex_t v = 0; v < overlay_.num_vertices(); ++v) {
+      overlay_.for_neighbors(v, mem, [&](const graph::Neighbor<W>& nb) {
+        h.update_value(v);
+        h.update_value(nb.to);
+        h.update_value(nb.weight);
+      });
+    }
+    return h.digest();
+  }
+
  private:
+  [[nodiscard]] static reliability::Status data_loss_status(std::string msg) {
+    CG_COUNTER_INC("reliability.snapshot.data_loss");
+    return reliability::data_loss(std::move(msg));
+  }
+
   /// Requires mu_ held. Counts the outcome.
   [[nodiscard]] TreePtr lookup(vertex_t source, std::uint64_t now) {
     const auto it = trees_.find(source);

@@ -42,6 +42,8 @@
 #include "cachegraph/pq/binary_heap.hpp"
 #include "cachegraph/pq/concepts.hpp"
 #include "cachegraph/query/request.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
 
 namespace cachegraph::query {
 
@@ -102,13 +104,28 @@ class LazyQueue {
   std::vector<Entry> entries_;
 };
 
+/// Default cancellation/deadline poll cadence (settled vertices per
+/// poll). Polls cost an atomic flag load plus — for deadlines — a
+/// steady_clock read, so K trades termination latency against
+/// per-vertex overhead; EXPERIMENTS.md measures the ladder.
+inline constexpr vertex_t kDefaultCheckEvery = 256;
+
 /// Early-exit bounds, all optional; the all-defaults value runs a full
 /// SSSP. Combined bounds stop at whichever triggers first.
+///
+/// `cancel`/`deadline` make the search *interruptible*: both are
+/// polled once on entry (so a pre-cancelled token or a deadline at
+/// zero settles nothing) and then every `check_every` settled
+/// vertices. When neither is set, the loop carries no poll at all —
+/// the legacy full-speed path.
 template <Weight W>
 struct Limits {
   vertex_t target = kNoVertex;  ///< stop once this vertex settles
   vertex_t k = 0;               ///< stop once this many settle (0 = no bound)
   W radius = inf<W>();          ///< stop past this distance (inclusive)
+  const reliability::CancelToken* cancel = nullptr;  ///< cooperative stop flag
+  reliability::Deadline deadline{};                  ///< absolute time budget
+  vertex_t check_every = kDefaultCheckEvery;         ///< poll cadence (>= 1)
 };
 
 /// Per-query reusable state (leased per worker by the engine, reset in
@@ -179,6 +196,21 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
                SearchScratch<typename G::weight_type, Queue>& sc) {
   using W = typename G::weight_type;
   sc.reset();
+
+  // Entry poll: a pre-cancelled token or an already-spent deadline
+  // terminates before any work — "deadline at zero settles nothing"
+  // is part of the contract the status tests pin down.
+  const bool interruptible = lim.cancel != nullptr || lim.deadline.armed();
+  if (interruptible) {
+    CG_DCHECK(lim.check_every >= 1, "check_every must be positive");
+    if (lim.cancel != nullptr && lim.cancel->cancelled()) return Outcome::cancelled;
+    if (lim.deadline.armed() &&
+        (lim.deadline.expired() ||
+         CG_FAULT_FIRE(reliability::FaultSite::kForceTimeout))) {
+      return Outcome::deadline_exceeded;
+    }
+  }
+
   const auto us = static_cast<std::size_t>(source);
   sc.dist_[us] = W{0};
   sc.touched_.push_back(source);
@@ -186,7 +218,8 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
 
   memsim::NullMem mem;
   Outcome outcome = Outcome::exhausted;
-  bool clipped = false;  // did the radius prune drop any candidate?
+  bool clipped = false;          // did the radius prune drop any candidate?
+  vertex_t until_poll = lim.check_every;  // settled vertices until the next poll
   while (!sc.queue_.empty()) {
     const auto top = sc.queue_.extract_min();
     const vertex_t u = top.vertex;
@@ -212,6 +245,25 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
     if (lim.k != 0 && sc.settled_order_.size() >= static_cast<std::size_t>(lim.k)) {
       outcome = Outcome::k_settled;
       break;
+    }
+    // Periodic poll: every settled vertex already paid for a heap
+    // extraction and an edge scan, so one flag load (plus a clock read
+    // when a deadline is armed) every check_every of them is noise —
+    // the K-ladder in EXPERIMENTS.md quantifies it. Polling *after*
+    // settling keeps the invariant that everything in settled_order()
+    // is exact, even for a terminated search.
+    if (interruptible && --until_poll <= 0) {
+      until_poll = lim.check_every;
+      if (lim.cancel != nullptr && lim.cancel->cancelled()) {
+        outcome = Outcome::cancelled;
+        break;
+      }
+      if (lim.deadline.armed() &&
+          (lim.deadline.expired() ||
+           CG_FAULT_FIRE(reliability::FaultSite::kForceTimeout))) {
+        outcome = Outcome::deadline_exceeded;
+        break;
+      }
     }
     const W du = top.key;
     g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {

@@ -1,0 +1,95 @@
+// Cooperative cancellation and deadlines for the serving stack.
+//
+// Nothing here preempts anything: a CancelToken is a flag the *work*
+// polls at points it chooses (search_core checks every
+// `Limits::check_every` settled vertices), which is the only
+// cancellation model that composes with tight kernel loops — the
+// kernel decides how often it can afford a flag load, and the
+// worst-case cancellation latency is K settled vertices, measured in
+// EXPERIMENTS.md.
+//
+// Tokens chain: a token constructed with a parent reports cancelled
+// when either it or the parent fires. The query engine uses this to
+// give every in-flight request its own token (so the shed admission
+// policy can cancel one victim) parented on the caller's batch token
+// (so cancelling the batch cancels everything) — one pointer chase per
+// poll, no allocation, no registration list.
+//
+// A Deadline is an absolute steady_clock point (monotonic — wall-clock
+// jumps must not time out requests). Default-constructed means "none":
+// expired() is false forever and costs no clock read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace cachegraph::reliability {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A token that also reports cancelled whenever `parent` does. The
+  /// parent must outlive this token.
+  explicit CancelToken(const CancelToken* parent) noexcept : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// Re-arms this token (the parent's state is untouched). Only valid
+  /// at quiescent points — no work may be polling it concurrently.
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+  const CancelToken* parent_ = nullptr;
+};
+
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires, never reads the clock.
+  constexpr Deadline() = default;
+
+  [[nodiscard]] static Deadline at(clock::time_point when) noexcept {
+    Deadline d;
+    d.when_ = when;
+    d.armed_ = true;
+    return d;
+  }
+
+  /// `after(0ns)` is the deadline-at-zero: already expired on arrival.
+  [[nodiscard]] static Deadline after(clock::duration budget) noexcept {
+    return at(clock::now() + budget);
+  }
+
+  [[nodiscard]] static constexpr Deadline none() noexcept { return Deadline(); }
+
+  [[nodiscard]] constexpr bool armed() const noexcept { return armed_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return armed_ && clock::now() >= when_;
+  }
+
+  /// Time left; zero when expired, clock::duration::max() when none.
+  [[nodiscard]] clock::duration remaining() const noexcept {
+    if (!armed_) return clock::duration::max();
+    const auto now = clock::now();
+    return now >= when_ ? clock::duration::zero() : when_ - now;
+  }
+
+  [[nodiscard]] constexpr clock::time_point when() const noexcept { return when_; }
+
+ private:
+  clock::time_point when_{};
+  bool armed_ = false;
+};
+
+}  // namespace cachegraph::reliability

@@ -1,0 +1,144 @@
+// Deterministic, seeded fault injection for the chaos suite.
+//
+// A FaultInjector is armed with a FaultPlan (per-site probabilities +
+// a seed) and then consulted from fixed *sites* compiled into the
+// stack:
+//
+//   kAlloc          LeasePool::try_acquire — a would-be allocation
+//                   fails as if memory were exhausted
+//   kTaskThrow      QueryEngine::execute entry — the request's task
+//                   dies with InjectedFault mid-service
+//   kWorkerLatency  TaskPool's task wrapper — the worker stalls for
+//                   plan.latency_spins dummy iterations (a slow disk,
+//                   a page fault storm, a noisy neighbour)
+//   kForceTimeout   the search core's periodic deadline poll — the
+//                   clock "jumps" past the deadline
+//
+// Determinism: each site keeps a ticket counter; decision t at site s
+// is a pure function hash(seed, s, t) < p. Thread scheduling decides
+// which *request* draws ticket t, but the decision sequence per site
+// is identical for a given seed — so a chaos run's fault density is
+// reproducible even though its interleaving is not, which is exactly
+// what a termination/safety suite needs (assert invariants, not
+// schedules).
+//
+// The sites are compiled behind CACHEGRAPH_FAULT_INJECT (a CMake
+// option): when off, CG_FAULT_FIRE expands to a constant false and
+// CG_FAULT_LATENCY to nothing — the serving stack carries zero
+// residue. When on but disarmed (the default at runtime), each site
+// costs one relaxed atomic load.
+//
+// Threading contract: should_fire/maybe_latency are safe from any
+// thread; arm/disarm must be externally quiesced (no traffic in
+// flight) — they are test-harness controls, not a runtime API.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace cachegraph::reliability {
+
+enum class FaultSite : std::uint8_t {
+  kAlloc = 0,
+  kTaskThrow = 1,
+  kWorkerLatency = 2,
+  kForceTimeout = 3,
+};
+inline constexpr std::size_t kNumFaultSites = 4;
+
+[[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kAlloc: return "alloc";
+    case FaultSite::kTaskThrow: return "task_throw";
+    case FaultSite::kWorkerLatency: return "worker_latency";
+    case FaultSite::kForceTimeout: return "force_timeout";
+  }
+  return "?";
+}
+
+/// What the kTaskThrow site throws: a distinct type so tests can tell
+/// injected failures from real bugs.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double alloc_fail = 0.0;
+  double task_throw = 0.0;
+  double worker_latency = 0.0;
+  double force_timeout = 0.0;
+  std::uint32_t latency_spins = 20'000;  ///< dummy iterations per latency hit
+
+  [[nodiscard]] double probability(FaultSite s) const noexcept {
+    switch (s) {
+      case FaultSite::kAlloc: return alloc_fail;
+      case FaultSite::kTaskThrow: return task_throw;
+      case FaultSite::kWorkerLatency: return worker_latency;
+      case FaultSite::kForceTimeout: return force_timeout;
+    }
+    return 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  struct SiteStats {
+    std::uint64_t checks = 0;
+    std::uint64_t fires = 0;
+  };
+
+  /// The process-wide injector the CG_FAULT_* sites consult.
+  static FaultInjector& instance();
+
+  /// Installs `plan` and starts firing. Resets ticket counters so the
+  /// decision sequence restarts from ticket 0.
+  void arm(const FaultPlan& plan);
+  /// Stops firing (sites fall back to "never").
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Draws the next ticket for `site`; true when the fault fires.
+  [[nodiscard]] bool should_fire(FaultSite site) noexcept;
+
+  /// Burns plan.latency_spins iterations when the kWorkerLatency site
+  /// fires (no-op while disarmed).
+  void maybe_latency() noexcept;
+
+  [[nodiscard]] SiteStats stats(FaultSite site) const noexcept;
+  [[nodiscard]] std::uint64_t total_fires() const noexcept;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_;  ///< written while disarmed only
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> tickets_{};
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> fires_{};
+};
+
+}  // namespace cachegraph::reliability
+
+#if defined(CACHEGRAPH_FAULT_INJECT)
+
+/// True when the (armed) injector fires the next ticket at `site`.
+#define CG_FAULT_FIRE(site) \
+  (::cachegraph::reliability::FaultInjector::instance().should_fire(site))
+/// Injected worker stall (no-op unless armed and the site fires).
+#define CG_FAULT_LATENCY() \
+  ::cachegraph::reliability::FaultInjector::instance().maybe_latency()
+
+#else  // !CACHEGRAPH_FAULT_INJECT — sites vanish entirely.
+
+#define CG_FAULT_FIRE(site) false
+#define CG_FAULT_LATENCY() \
+  do {                     \
+  } while (false)
+
+#endif  // CACHEGRAPH_FAULT_INJECT

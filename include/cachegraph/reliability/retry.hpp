@@ -1,0 +1,133 @@
+// Retry with exponential backoff for transient failures.
+//
+// The engine reports RESOURCE_EXHAUSTED (scratch pool at capacity,
+// injected alloc fault) and OVERLOADED (admission reject) as statuses
+// rather than blocking, which moves the wait-or-give-up decision to
+// the caller — and this helper is that decision, packaged: retry while
+// the status is transient (see is_transient), sleeping
+// initial_delay · multiplier^attempt, capped at max_delay, with
+// deterministic seeded jitter so a thundering herd of identical
+// clients still decorrelates (and so tests can assert the exact
+// backoff schedule).
+//
+// The sleeper is a parameter: production uses sleep_for, tests pass a
+// recorder and run the full schedule in microseconds of real time. A
+// deadline bounds the whole loop — expiring between attempts returns
+// DEADLINE_EXCEEDED rather than sleeping past the budget.
+//
+// Works over both shapes of fallible call:
+//   Status        fn()   -> retry_status(...)  -> Status
+//   Expected<T>   fn()   -> retry(...)         -> Expected<T>
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::reliability {
+
+struct BackoffPolicy {
+  int max_attempts = 4;  ///< total calls, including the first
+  std::chrono::microseconds initial_delay{200};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_delay{50'000};
+  /// Each delay is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter], deterministically from `seed`.
+  double jitter = 0.25;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  Deadline deadline{};  ///< bounds the whole retry loop (none = unbounded)
+};
+
+namespace detail {
+
+/// The pure backoff schedule (attempt 0 ⇒ delay before attempt 1).
+[[nodiscard]] inline std::chrono::microseconds backoff_delay(const BackoffPolicy& p,
+                                                             int attempt, Rng& rng) {
+  double us = static_cast<double>(p.initial_delay.count());
+  for (int i = 0; i < attempt; ++i) us *= p.multiplier;
+  const double cap = static_cast<double>(p.max_delay.count());
+  if (us > cap) us = cap;
+  if (p.jitter > 0.0) {
+    us *= 1.0 - p.jitter + 2.0 * p.jitter * rng.uniform01();
+  }
+  return std::chrono::microseconds(static_cast<std::int64_t>(us));
+}
+
+}  // namespace detail
+
+/// The default sleeper.
+inline void sleep_for_backoff(std::chrono::microseconds d) {
+  std::this_thread::sleep_for(d);
+}
+
+/// Retries `fn` (returning Status) on transient failure. Returns the
+/// first non-transient status, the last transient one when attempts
+/// run out, or DEADLINE_EXCEEDED when the policy deadline expires
+/// between attempts.
+template <typename Fn, typename Sleep = void (*)(std::chrono::microseconds)>
+[[nodiscard]] Status retry_status(Fn&& fn, const BackoffPolicy& policy = {},
+                                  Sleep&& sleep = sleep_for_backoff) {
+  CG_CHECK(policy.max_attempts >= 1, "retry needs at least one attempt");
+  Rng rng(policy.seed);
+  Status last;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      CG_COUNTER_INC("reliability.retry.attempts");
+      const auto delay = detail::backoff_delay(policy, attempt - 1, rng);
+      {
+        CG_TRACE_SPAN("reliability.retry.backoff");
+        sleep(delay);
+      }
+      // The first attempt always runs; the deadline only stops retries.
+      if (policy.deadline.expired()) {
+        CG_COUNTER_INC("reliability.retry.deadline_giveups");
+        return deadline_exceeded("retry budget spent after " + std::to_string(attempt) +
+                                 " attempt(s); last: " + last.to_string());
+      }
+    }
+    last = fn();
+    if (!is_transient(last.code())) return last;
+  }
+  CG_COUNTER_INC("reliability.retry.giveups");
+  return last;
+}
+
+/// Expected<T> flavour: same schedule, first success or non-transient
+/// failure wins.
+template <typename Fn, typename Sleep = void (*)(std::chrono::microseconds)>
+[[nodiscard]] auto retry(Fn&& fn, const BackoffPolicy& policy = {},
+                         Sleep&& sleep = sleep_for_backoff) -> decltype(fn()) {
+  using Result = decltype(fn());
+  Result out = fn();
+  if (out.has_value() || !is_transient(out.status().code())) return out;
+  CG_CHECK(policy.max_attempts >= 1, "retry needs at least one attempt");
+  Rng rng(policy.seed);
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    CG_COUNTER_INC("reliability.retry.attempts");
+    const auto delay = detail::backoff_delay(policy, attempt - 1, rng);
+    {
+      CG_TRACE_SPAN("reliability.retry.backoff");
+      sleep(delay);
+    }
+    if (policy.deadline.expired()) {
+      CG_COUNTER_INC("reliability.retry.deadline_giveups");
+      return Result(deadline_exceeded("retry budget spent after " +
+                                      std::to_string(attempt) + " attempt(s); last: " +
+                                      out.status().to_string()));
+    }
+    out = fn();
+    if (out.has_value() || !is_transient(out.status().code())) return out;
+  }
+  CG_COUNTER_INC("reliability.retry.giveups");
+  return out;
+}
+
+}  // namespace cachegraph::reliability

@@ -1,0 +1,167 @@
+// cachegraph::reliability — the typed error model for the serving
+// stack.
+//
+// CG_CHECK stays what it always was: a programmer-error tripwire that
+// throws PreconditionError and should never fire in a healthy binary.
+// Everything that can go wrong *in production traffic* — a malformed
+// request, a deadline, a cancelled client, an overloaded engine, an
+// exhausted scratch pool, a corrupt snapshot — is not a programmer
+// error, and throwing for it makes every caller a try/catch chimney.
+// Those paths return values instead:
+//
+//   Status       a code from the closed set below plus a human message;
+//   Expected<T>  either a T or a non-OK Status (a poor man's
+//                std::expected — the toolchain floor here is C++20).
+//
+// The code set is deliberately small and closed (gRPC-style): every
+// query-path failure in this codebase maps onto one of these seven,
+// and tests enumerate them exhaustively. Codes, not messages, are the
+// contract — messages are for humans and logs.
+//
+//   kOk                 success
+//   kInvalidArgument    request refused by validation (also: snapshot
+//                       for a different graph / weight type)
+//   kDeadlineExceeded   per-request or batch budget ran out
+//   kCancelled          cancel token fired, a shed victim, or a task
+//                       aborted by an exception before completing
+//   kOverloaded         admission control rejected the request
+//   kResourceExhausted  transient allocation failure (scratch pool at
+//                       capacity, injected alloc fault, disk full) —
+//                       the retryable code, see retry.hpp
+//   kDataLoss           persisted state failed validation (truncated /
+//                       corrupt snapshot); caller must rebuild
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "cachegraph/common/check.hpp"
+
+namespace cachegraph::reliability {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDeadlineExceeded = 2,
+  kCancelled = 3,
+  kOverloaded = 4,
+  kResourceExhausted = 5,
+  kDataLoss = 6,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "?";
+}
+
+/// True for codes a caller may retry verbatim and reasonably expect a
+/// different answer (the condition is load, not the request itself).
+[[nodiscard]] constexpr bool is_transient(StatusCode c) noexcept {
+  return c == StatusCode::kResourceExhausted || c == StatusCode::kOverloaded;
+}
+
+class Status {
+ public:
+  /// Default-constructed Status is OK (so a Response's status field
+  /// starts in the success state and only failures need assignment).
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "DEADLINE_EXCEEDED: batch budget spent" — for logs and test output.
+  [[nodiscard]] std::string to_string() const {
+    std::string out = reliability::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  /// Codes are the contract; messages are not compared.
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory per code — call sites read as the outcome they report.
+[[nodiscard]] inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+[[nodiscard]] inline Status deadline_exceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+[[nodiscard]] inline Status cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+[[nodiscard]] inline Status overloaded(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
+}
+[[nodiscard]] inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+[[nodiscard]] inline Status data_loss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+
+/// Either a T or a non-OK Status. Constructing one from an OK status
+/// is a programmer error (an OK Expected must carry a value).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)), has_value_(true) {}  // NOLINT(google-explicit-constructor)
+
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    CG_CHECK(!status_.is_ok(), "Expected built from an OK status must carry a value");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return has_value_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value_; }
+
+  /// OK when a value is present, the failure otherwise.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() {
+    CG_CHECK(has_value_, "Expected::value() on a failed result");
+    return value_;
+  }
+  [[nodiscard]] const T& value() const {
+    CG_CHECK(has_value_, "Expected::value() on a failed result");
+    return value_;
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff has_value_
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace cachegraph::reliability

@@ -5,6 +5,7 @@
 
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/obs/trace.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
 
 namespace cachegraph::parallel {
 
@@ -94,7 +95,8 @@ void TaskPool::worker_loop(std::size_t id) {
 TaskPool::Stats TaskPool::stats() const noexcept {
   return Stats{tasks_spawned_.load(std::memory_order_relaxed),
                steals_.load(std::memory_order_relaxed),
-               barrier_waits_.load(std::memory_order_relaxed)};
+               barrier_waits_.load(std::memory_order_relaxed),
+               exceptions_.load(std::memory_order_relaxed)};
 }
 
 void TaskPool::flush_counters() {
@@ -106,7 +108,17 @@ void TaskPool::flush_counters() {
   CG_COUNTER_ADD("parallel.tasks_spawned", now.tasks_spawned - flushed_.tasks_spawned);
   CG_COUNTER_ADD("parallel.steals", now.steals - flushed_.steals);
   CG_COUNTER_ADD("parallel.barrier_waits", now.barrier_waits - flushed_.barrier_waits);
+  CG_COUNTER_ADD("parallel.exceptions", now.exceptions - flushed_.exceptions);
   flushed_ = now;
+}
+
+TaskGroup::~TaskGroup() {
+  drain();
+  if (first_exception_ != nullptr) {
+    // The group died without anyone calling wait(): the exception has
+    // no observer and destructors must not throw. Count, drop.
+    CG_COUNTER_INC("parallel.exceptions_dropped");
+  }
 }
 
 void TaskGroup::run(TaskPool::Task t) {
@@ -115,14 +127,26 @@ void TaskGroup::run(TaskPool::Task t) {
   pool_.submit([this, task = std::move(t)] {
     {
       CG_TRACE_SPAN("parallel.task");
-      task();
+      CG_FAULT_LATENCY();  // chaos: a stalled worker, not a lost task
+      try {
+        task();
+      } catch (...) {
+        // First exception per group wins the rethrow in wait(); the
+        // rest are tallied and dropped. The catch is what guarantees
+        // the completion decrement below always runs — an escaping
+        // exception would otherwise leave pending_ stuck forever
+        // (wedged wait()) or unwind into the worker loop (terminate).
+        pool_.exceptions_.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(exception_mu_);
+        if (first_exception_ == nullptr) first_exception_ = std::current_exception();
+      }
     }
     // Release: the waiter's acquire load of 0 must see the task's writes.
     pending_.fetch_sub(1, std::memory_order_release);
   });
 }
 
-void TaskGroup::wait() {
+void TaskGroup::drain() noexcept {
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (!pool_.run_one()) {
       // Nothing runnable — our tasks are in flight on other workers.
@@ -130,6 +154,19 @@ void TaskGroup::wait() {
       std::this_thread::yield();
     }
   }
+}
+
+void TaskGroup::wait() {
+  drain();
+  std::exception_ptr rethrow;
+  {
+    // No task of this group is running (pending_ hit 0), but lock
+    // anyway: wait() may race a *later* run() only through API misuse,
+    // and the lock keeps the exchange well-defined regardless.
+    const std::lock_guard<std::mutex> lock(exception_mu_);
+    rethrow = std::exchange(first_exception_, nullptr);
+  }
+  if (rethrow != nullptr) std::rethrow_exception(rethrow);
 }
 
 }  // namespace cachegraph::parallel

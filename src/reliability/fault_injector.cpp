@@ -1,0 +1,58 @@
+#include "cachegraph/reliability/fault_injector.hpp"
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::reliability {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  plan_ = plan;
+  for (auto& t : tickets_) t.store(0, std::memory_order_relaxed);
+  for (auto& f : fires_) f.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() { armed_.store(false, std::memory_order_release); }
+
+bool FaultInjector::should_fire(FaultSite site) noexcept {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  const auto s = static_cast<std::size_t>(site);
+  const double p = plan_.probability(site);
+  const std::uint64_t ticket = tickets_[s].fetch_add(1, std::memory_order_relaxed);
+  if (p <= 0.0) return false;
+  // Decision = pure function of (seed, site, ticket): expand through
+  // splitmix64 and take the top 53 bits as a uniform double.
+  SplitMix64 mix(plan_.seed ^ (static_cast<std::uint64_t>(s + 1) << 56) ^ ticket);
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  if (u >= p) return false;
+  fires_[s].fetch_add(1, std::memory_order_relaxed);
+  CG_COUNTER_INC("reliability.faults.injected");
+  return true;
+}
+
+void FaultInjector::maybe_latency() noexcept {
+  if (!should_fire(FaultSite::kWorkerLatency)) return;
+  // A dependency-chained spin the optimizer cannot elide: simulates a
+  // stalled worker without touching the scheduler.
+  volatile std::uint64_t sink = 0;
+  for (std::uint32_t i = 0; i < plan_.latency_spins; ++i) sink = sink + i;
+}
+
+FaultInjector::SiteStats FaultInjector::stats(FaultSite site) const noexcept {
+  const auto s = static_cast<std::size_t>(site);
+  return SiteStats{tickets_[s].load(std::memory_order_relaxed),
+                   fires_[s].load(std::memory_order_relaxed)};
+}
+
+std::uint64_t FaultInjector::total_fires() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& f : fires_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace cachegraph::reliability

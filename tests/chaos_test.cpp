@@ -1,0 +1,276 @@
+// The chaos suite: the serving stack under deterministic seeded fault
+// injection. Every scenario asserts the same three invariants the
+// tentpole demands, at thread counts 1 through 8:
+//
+//   1. termination — the batch returns (no wedged wait, no hang);
+//   2. definite status — every request resolves exactly once with a
+//      code from the closed set, never an exception to the caller;
+//   3. integrity — every OK answer equals the fault-free oracle, and
+//      the ResultCache never serves a tree that differs from a fresh
+//      compute (faults may abort work, never corrupt it).
+//
+// Faults are drawn per-site from seeded ticket streams (see
+// fault_injector.hpp), so a failing seed reproduces its fault density
+// exactly. The whole file compiles to skips when the sites are not
+// built in (CACHEGRAPH_FAULT_INJECT=OFF).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+
+namespace cachegraph::query {
+namespace {
+
+using namespace std::chrono_literals;
+using graph::AdjacencyArray;
+using graph::random_digraph;
+using reliability::FaultInjector;
+using reliability::FaultPlan;
+using reliability::FaultSite;
+using reliability::StatusCode;
+
+#if !defined(CACHEGRAPH_FAULT_INJECT)
+
+TEST(Chaos, SitesNotCompiledIn) {
+  GTEST_SKIP() << "built with CACHEGRAPH_FAULT_INJECT=OFF — no injection sites";
+}
+
+#else
+
+struct ArmedPlan {
+  explicit ArmedPlan(const FaultPlan& plan) { FaultInjector::instance().arm(plan); }
+  ~ArmedPlan() { FaultInjector::instance().disarm(); }
+};
+
+constexpr StatusCode kClosedSet[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument, StatusCode::kDeadlineExceeded,
+    StatusCode::kCancelled,    StatusCode::kOverloaded,      StatusCode::kResourceExhausted,
+    StatusCode::kDataLoss,
+};
+
+bool in_closed_set(StatusCode c) {
+  return std::find(std::begin(kClosedSet), std::end(kClosedSet), c) != std::end(kClosedSet);
+}
+
+/// A mixed request batch exercising all four shapes.
+std::vector<Request<int>> make_requests(vertex_t n, std::size_t count, std::uint64_t seed) {
+  std::vector<Request<int>> reqs;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = static_cast<vertex_t>(rng.uniform_int(0, n - 1));
+    switch (i % 4) {
+      case 0: reqs.push_back(PointToPoint{s, static_cast<vertex_t>(rng.uniform_int(0, n - 1))}); break;
+      case 1: reqs.push_back(KNearest{s, static_cast<vertex_t>(1 + rng.uniform_int(0, 15))}); break;
+      case 2: reqs.push_back(Bounded<int>{s, static_cast<int>(rng.uniform_int(1, 30))}); break;
+      default: reqs.push_back(FullSSSP{s}); break;
+    }
+  }
+  return reqs;
+}
+
+class ChaosThreads : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Threads, ChaosThreads, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ChaosThreads, EveryRequestResolvesDefinitelyUnderMixedFaults) {
+  const auto el = random_digraph<int>(300, 0.03, 99);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  engine.set_scratch_capacity(2);  // starve the pool so kAlloc + cap both bite
+  parallel::TaskPool pool(GetParam());
+  const auto reqs = make_requests(300, 64, 7u + static_cast<std::uint64_t>(GetParam()));
+
+  // Fault-free oracle answers for integrity checks. Blocking admission
+  // matched to the scratch capacity keeps executors from outnumbering
+  // leases, so the oracle is all-OK even on wide pools.
+  QueryEngine<AdjacencyArray<int>> oracle_engine(rep);
+  oracle_engine.set_scratch_capacity(2);
+  oracle_engine.set_admission({.max_in_flight = 2, .policy = OverloadPolicy::kBlock});
+  const auto oracle = oracle_engine.try_run(reqs, pool);
+  for (const auto& r : oracle) ASSERT_TRUE(r.status.is_ok());
+
+  FaultPlan plan;
+  plan.seed = 0xC0FFEEu + static_cast<std::uint64_t>(GetParam());
+  plan.alloc_fail = 0.15;
+  plan.task_throw = 0.15;
+  plan.worker_latency = 0.10;
+  plan.latency_spins = 5'000;
+  ArmedPlan armed(plan);
+
+  // Keep lease retries cheap under injected alloc failure.
+  reliability::BackoffPolicy lease;
+  lease.max_attempts = 2;
+  lease.initial_delay = 50us;
+  engine.set_lease_backoff(lease);
+
+  for (int round = 0; round < 4; ++round) {
+    const auto out = engine.try_run(reqs, pool);
+    ASSERT_EQ(out.size(), reqs.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_TRUE(in_closed_set(out[i].status.code()))
+          << "request " << i << ": " << out[i].status.to_string();
+      if (!out[i].status.is_ok()) continue;
+      // Integrity: a fault-era OK answer is a real answer.
+      EXPECT_EQ(out[i].outcome, oracle[i].outcome) << i;
+      EXPECT_EQ(out[i].settled, oracle[i].settled) << i;
+      EXPECT_EQ(out[i].target_dist, oracle[i].target_dist) << i;
+    }
+  }
+  EXPECT_GT(FaultInjector::instance().total_fires(), 0u)
+      << "the plan must actually have injected something";
+}
+
+TEST_P(ChaosThreads, ForcedTimeoutsResolveDeadlineExceededNotHang) {
+  const auto el = random_digraph<int>(200, 0.05, 17);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(GetParam());
+  const auto reqs = make_requests(200, 32, 11);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.force_timeout = 1.0;  // the entry poll fires on every armed deadline
+  ArmedPlan armed(plan);
+
+  typename QueryEngine<AdjacencyArray<int>>::ServeOptions opts;
+  opts.deadline = reliability::Deadline::after(1h);  // far future — only injection expires it
+  const auto out = engine.try_run(reqs, pool, opts);
+  ASSERT_EQ(out.size(), reqs.size());
+  for (const auto& r : out) {
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded) << r.status.to_string();
+    EXPECT_EQ(r.settled, 0u) << "the entry poll fires before any vertex settles";
+  }
+}
+
+TEST_P(ChaosThreads, AdmissionPoliciesStayDefiniteUnderFaults) {
+  const auto el = random_digraph<int>(400, 0.03, 23);
+  const AdjacencyArray<int> rep(el);
+  parallel::TaskPool pool(GetParam());
+  const auto reqs = make_requests(400, 48, 29);
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.task_throw = 0.2;
+  plan.worker_latency = 0.2;
+  plan.latency_spins = 10'000;
+
+  for (const auto policy :
+       {OverloadPolicy::kBlock, OverloadPolicy::kReject, OverloadPolicy::kShed}) {
+    QueryEngine<AdjacencyArray<int>> engine(rep);
+    engine.set_admission({.max_in_flight = 2, .policy = policy});
+    ArmedPlan armed(plan);
+    const auto out = engine.try_run(reqs, pool);
+    ASSERT_EQ(out.size(), reqs.size()) << to_string(policy);
+    for (const auto& r : out) {
+      ASSERT_TRUE(in_closed_set(r.status.code()))
+          << to_string(policy) << ": " << r.status.to_string();
+    }
+    if (policy == OverloadPolicy::kBlock) {
+      // Block never refuses: nothing may resolve OVERLOADED.
+      for (const auto& r : out) {
+        EXPECT_NE(r.status.code(), StatusCode::kOverloaded);
+      }
+    }
+  }
+}
+
+TEST(Chaos, ResultCacheNeverServesCorruptTrees) {
+  const auto el = random_digraph<int>(120, 0.06, 31);
+  const graph::AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(4);
+
+  std::vector<vertex_t> sources;
+  for (vertex_t s = 0; s < 120; s += 5) sources.push_back(s);
+
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.task_throw = 0.25;
+  plan.worker_latency = 0.15;
+  plan.latency_spins = 3'000;
+  {
+    ArmedPlan armed(plan);
+    for (int round = 0; round < 6; ++round) {
+      // The legacy batch path propagates injected task failures as
+      // exceptions; an aborted ensure() must leave the cache coherent.
+      try {
+        (void)cache.ensure(sources, pool);
+      } catch (const reliability::InjectedFault&) {
+        // expected under the plan — the round's results are discarded
+      }
+      // Touch a component so stamps move between rounds.
+      overlay.insert_edge(static_cast<vertex_t>(round), static_cast<vertex_t>(round + 50),
+                          1 + round);
+    }
+  }
+
+  // Fault-free from here: everything the cache serves must be
+  // bit-identical to a fresh compute on the current graph.
+  for (const vertex_t s : sources) {
+    const auto served = cache.get_or_compute(s);
+    DynamicOverlay<int> fresh_overlay(base);
+    // Replay the same mutations on the fresh overlay.
+    for (int round = 0; round < 6; ++round) {
+      fresh_overlay.insert_edge(static_cast<vertex_t>(round),
+                                static_cast<vertex_t>(round + 50), 1 + round);
+    }
+    ResultCache<int> fresh(fresh_overlay);
+    const auto truth = fresh.get_or_compute(s);
+    ASSERT_EQ(served->dist, truth->dist) << "source " << s;
+    ASSERT_EQ(served->parent, truth->parent) << "source " << s;
+  }
+}
+
+TEST(Chaos, SnapshotSurvivesFaultEraTrafficAndReloadsClean) {
+  const auto el = random_digraph<int>(80, 0.08, 41);
+  const graph::AdjacencyArray<int> base(el);
+  DynamicOverlay<int> overlay(base);
+  ResultCache<int> cache(overlay);
+  parallel::TaskPool pool(2);
+  std::vector<vertex_t> sources{0, 7, 14, 21, 28};
+
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.task_throw = 0.3;
+  {
+    ArmedPlan armed(plan);
+    for (int round = 0; round < 4; ++round) {
+      try {
+        (void)cache.ensure(sources, pool);
+      } catch (const reliability::InjectedFault&) {
+      }
+    }
+  }
+  // Make every source present (fault-free), snapshot, reload cold.
+  for (const vertex_t s : sources) (void)cache.get_or_compute(s);
+  const auto path = std::filesystem::temp_directory_path() / "cachegraph_chaos_snap.bin";
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+  DynamicOverlay<int> overlay2(base);
+  ResultCache<int> cache2(overlay2);
+  ASSERT_TRUE(cache2.load_snapshot(path).is_ok());
+  for (const vertex_t s : sources) {
+    const auto warm = cache2.get(s);
+    ASSERT_NE(warm, nullptr);
+    EXPECT_EQ(warm->dist, cache.get_or_compute(s)->dist);
+  }
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+}
+
+#endif  // CACHEGRAPH_FAULT_INJECT
+
+}  // namespace
+}  // namespace cachegraph::query

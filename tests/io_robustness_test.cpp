@@ -1,0 +1,100 @@
+// Malformed-input corpus for the DIMACS reader: every entry must be
+// rejected with a typed ParseError (carrying line number and byte
+// offset) — never a crash, a hang, a silent mis-parse, or an
+// allocation proportional to a lied-about header.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cachegraph/graph/io.hpp"
+
+namespace cachegraph::graph {
+namespace {
+
+ParseError capture(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)read_dimacs<int>(ss);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "input was accepted: " << text;
+  return ParseError("not reached", 0, 0);
+}
+
+TEST(IoRobustness, MalformedCorpusAllRejectTyped) {
+  // {input, why it is malformed}
+  const std::vector<std::pair<std::string, std::string>> corpus = {
+      {"", "empty stream"},
+      {"c only a comment\n", "no header"},
+      {"p sp\n", "truncated header"},
+      {"p sp 3\n", "header missing edge count"},
+      {"p sp -3 1\n", "negative vertex count"},
+      {"p sp 3 -1\n", "negative edge count"},
+      {"p sp three two\n", "non-numeric header"},
+      {"p sp 99999999999999999999 1\n", "vertex count overflows vertex_t"},
+      {"p sp 3 1\np sp 3 1\na 1 2 1\n", "duplicate header"},
+      {"a 1 2 5\n", "arc before header"},
+      {"p sp 3 1\na 1 2\n", "truncated arc"},
+      {"p sp 3 1\na 1\n", "arc missing head and weight"},
+      {"p sp 3 1\na one two three\n", "garbage arc tokens"},
+      {"p sp 3 1\na 99999999999999999999 1 1\n", "tail overflows vertex_t"},
+      {"p sp 3 1\na 1 2 99999999999999999999\n", "weight overflows int"},
+      {"p sp 3 1\na 0 2 5\n", "tail below 1-based range"},
+      {"p sp 3 1\na 4 2 5\n", "tail above range"},
+      {"p sp 3 1\na 1 -2 5\n", "negative head"},
+      {"p sp 3 2\na 1 2 5\n", "fewer arcs than declared"},
+      {"p sp 3 1\na 1 2 5\na 2 3 5\n", "more arcs than declared"},
+      {"q sp 3 1\n", "unknown line tag"},
+      {"\x01\x02\x03garbage\n", "binary garbage"},
+      {"p sp 3 99999999\na 1 2 5\n", "absurd declared edge count (reserve must clamp)"},
+  };
+  for (const auto& [text, why] : corpus) {
+    std::stringstream ss(text);
+    EXPECT_THROW((void)read_dimacs<int>(ss), ParseError) << why;
+  }
+}
+
+TEST(IoRobustness, ParseErrorCarriesLineAndByteOffset) {
+  // Line 1: "c header\n" (9 bytes). Line 2: "p sp 3 1\n" (9 bytes).
+  // Line 3 starts at byte 18 and holds the bad arc.
+  const ParseError e = capture("c header\np sp 3 1\na 9 2 5\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_EQ(e.byte_offset(), 18u);
+  EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  EXPECT_NE(std::string(e.what()).find("byte 18"), std::string::npos) << e.what();
+}
+
+TEST(IoRobustness, ParseErrorIsCatchableAsPreconditionError) {
+  // Compatibility contract: legacy handlers that catch the base class
+  // keep working.
+  std::stringstream ss("a 1 2 3\n");
+  EXPECT_THROW((void)read_dimacs<int>(ss), PreconditionError);
+}
+
+TEST(IoRobustness, ValidInputStillParsesAfterHardening) {
+  std::stringstream ss(
+      "c comments survive\n"
+      "\n"
+      "p sp 4 3\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n"
+      "a 4 1 2\n");
+  const auto g = read_dimacs<int>(ss);
+  EXPECT_EQ(g.num_vertices(), 4);
+  ASSERT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edges()[2], (Edge<int>{3, 0, 2}));
+}
+
+TEST(IoRobustness, OffsetAccountsForBlankAndCommentLines) {
+  // "c x\n" = 4 bytes, "\n" = 1 byte, "p sp 2 1\n" = 9 bytes → the bad
+  // line starts at byte 14 and is line 4.
+  const ParseError e = capture("c x\n\np sp 2 1\nz 1 1 1\n");
+  EXPECT_EQ(e.line(), 4u);
+  EXPECT_EQ(e.byte_offset(), 14u);
+}
+
+}  // namespace
+}  // namespace cachegraph::graph

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <set>
+#include <span>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -653,6 +656,312 @@ TEST(QueryCounters, CacheAndOverlayCounters) {
   EXPECT_EQ(reg.value("query.overlay.rebuilds"), 1u);
 }
 #endif
+
+// ------------------------------- hardened surface: every status path
+//
+// Exhaustive coverage of the closed status set through the public
+// API: OK, INVALID_ARGUMENT, DEADLINE_EXCEEDED (including the
+// deadline-at-zero edge), CANCELLED (before start, mid-search, and
+// mid-batch), OVERLOADED (admission reject), RESOURCE_EXHAUSTED
+// (scratch pool at capacity). DATA_LOSS is a persistence-layer code —
+// reliability_test covers it against the snapshot format.
+
+using reliability::CancelToken;
+using reliability::Deadline;
+using reliability::StatusCode;
+
+using IntEngine = QueryEngine<AdjacencyArray<int>>;
+
+TEST(QueryStatus, OkAnswersCarryOkStatusOnBothSurfaces) {
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 1, 2);
+  el.add_edge(1, 2, 2);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  const auto r = engine.try_serve(Request<int>{PointToPoint{0, 2}});
+  EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.outcome, Outcome::target_settled);
+  EXPECT_EQ(r.target_dist, 4);
+
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{FullSSSP{0}, KNearest{0, 2}};
+  for (const auto& resp : engine.try_run(reqs, pool)) {
+    EXPECT_TRUE(resp.status.is_ok()) << resp.status.to_string();
+  }
+}
+
+TEST(QueryStatus, InvalidArgumentsResolveWithoutThrowing) {
+  const auto el = random_digraph<int>(10, 0.2, 3);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  parallel::TaskPool pool(1);
+  const std::vector<Request<int>> bad{
+      PointToPoint{-1, 2},          // source below range
+      PointToPoint{99, 2},          // source above range
+      PointToPoint{0, 99},          // target out of range
+      KNearest{0, 0},               // k < 1
+      Bounded<int>{0, -5},          // negative radius
+  };
+  for (const auto& req : bad) {
+    const auto r = engine.try_serve(req);
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument) << r.status.to_string();
+    EXPECT_EQ(r.settled, 0u);
+  }
+  const auto out = engine.try_run(bad, pool);
+  for (const auto& r : out) {
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  }
+  // The legacy surface still treats the same requests as programmer
+  // errors (existing callers rely on the throw).
+  EXPECT_THROW((void)engine.distance(-1, 2), PreconditionError);
+}
+
+TEST(QueryStatus, DeadlineAtZeroSettlesNothing) {
+  const auto el = random_digraph<int>(100, 0.05, 5);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  IntEngine::ServeOptions opts;
+  opts.deadline = Deadline::after(std::chrono::nanoseconds{0});
+  std::uint64_t sink_settled = 99;
+  const auto r = engine.try_serve(Request<int>{FullSSSP{0}}, opts,
+                                  [&](const IntEngine::Response& resp, const auto&) {
+                                    sink_settled = resp.settled;
+                                  });
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded) << r.status.to_string();
+  EXPECT_EQ(r.outcome, Outcome::deadline_exceeded);
+  EXPECT_EQ(r.settled, 0u) << "the entry poll must fire before any work";
+  EXPECT_EQ(sink_settled, 0u);
+}
+
+TEST(QueryStatus, CancelBeforeStartSettlesNothing) {
+  const auto el = random_digraph<int>(100, 0.05, 7);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  CancelToken token;
+  token.cancel();
+  IntEngine::ServeOptions opts;
+  opts.cancel = &token;
+  const auto r = engine.try_serve(Request<int>{FullSSSP{0}}, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status.to_string();
+  EXPECT_EQ(r.settled, 0u);
+
+  // Batch flavour: a pre-cancelled batch token resolves every request
+  // CANCELLED on the submitting thread.
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{FullSSSP{0}, KNearest{1, 3}, PointToPoint{2, 3}};
+  const auto out = engine.try_run(reqs, pool, opts);
+  for (const auto& resp : out) {
+    EXPECT_EQ(resp.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(resp.settled, 0u);
+  }
+}
+
+TEST(QueryStatus, MidSearchCancelStopsAtAPollAndKeepsAnExactPrefix) {
+  // A long path graph: the search settles vertices in line order, so a
+  // cancel from another thread lands mid-run with near-certainty; the
+  // invariant checked is prefix exactness, not the stopping point.
+  constexpr vertex_t n = 200'000;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  CancelToken token;
+  IntEngine::ServeOptions opts;
+  opts.cancel = &token;
+  opts.check_every = 64;
+  std::thread canceller([&token] { token.cancel(); });
+  const auto r = engine.try_serve(
+      Request<int>{FullSSSP{0}}, opts, [&](const IntEngine::Response& resp, const auto& sc) {
+        // Every settled distance in the prefix is exact: on the path
+        // graph dist(v) == v.
+        std::uint64_t checked = 0;
+        for (const vertex_t v : sc.settled_order()) {
+          ASSERT_EQ(sc.dist()[static_cast<std::size_t>(v)], v);
+          ++checked;
+        }
+        EXPECT_EQ(checked, resp.settled);
+      });
+  canceller.join();
+  EXPECT_TRUE(r.status.code() == StatusCode::kCancelled || r.status.is_ok())
+      << r.status.to_string();
+  if (r.status.code() == StatusCode::kCancelled) {
+    EXPECT_EQ(r.outcome, Outcome::cancelled);
+    EXPECT_LT(r.settled, static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(QueryStatus, CancelMidBatchResolvesTheRestCancelled) {
+  constexpr vertex_t n = 20'000;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  parallel::TaskPool pool(1);
+  const std::vector<Request<int>> reqs(16, Request<int>{FullSSSP{0}});
+  CancelToken batch;
+  IntEngine::ServeOptions opts;
+  opts.cancel = &batch;
+  opts.check_every = 16;
+  // Every delivery cancels the batch: the first request(s) to finish
+  // resolve OK, everything after the flag fires resolves CANCELLED at
+  // its entry poll (or at preflight). At most two executors run
+  // concurrently here (one worker + the waiting submitter), so at
+  // least 14 of 16 must be CANCELLED.
+  int ok = 0, cancelled_n = 0;
+  engine.try_run(std::span<const Request<int>>(reqs), pool, opts,
+                 [&](std::size_t, const Request<int>&, const IntEngine::Response& r,
+                     const auto&) {
+                   batch.cancel();
+                   if (r.status.is_ok()) ++ok;
+                   if (r.status.code() == StatusCode::kCancelled) ++cancelled_n;
+                 });
+  EXPECT_EQ(ok + cancelled_n, 16);
+  EXPECT_GE(cancelled_n, 14);
+  EXPECT_GE(ok, 1) << "something must have finished to fire the cancel";
+}
+
+TEST(QueryStatus, BatchDeadlineBoundsEveryRequest) {
+  constexpr vertex_t n = 50'000;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs(12, Request<int>{FullSSSP{0}});
+  IntEngine::ServeOptions opts;
+  opts.deadline = Deadline::after(std::chrono::microseconds{200});
+  opts.check_every = 16;
+  const auto out = engine.try_run(reqs, pool, opts);
+  int timed_out = 0;
+  for (const auto& r : out) {
+    ASSERT_TRUE(r.status.is_ok() || r.status.code() == StatusCode::kDeadlineExceeded)
+        << r.status.to_string();
+    if (!r.status.is_ok()) ++timed_out;
+  }
+  EXPECT_GT(timed_out, 0) << "a 200us budget cannot cover 12 full 50k-vertex sweeps";
+}
+
+TEST(QueryStatus, AdmissionRejectResolvesOverloaded) {
+  constexpr vertex_t n = 60'000;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  engine.set_admission({.max_in_flight = 1, .policy = OverloadPolicy::kReject});
+  parallel::TaskPool pool(1);
+  const std::vector<Request<int>> reqs(8, Request<int>{FullSSSP{0}});
+  const auto out = engine.try_run(reqs, pool);
+  int ok = 0, rejected = 0;
+  for (const auto& r : out) {
+    ASSERT_TRUE(r.status.is_ok() || r.status.code() == StatusCode::kOverloaded)
+        << r.status.to_string();
+    (r.status.is_ok() ? ok : rejected)++;
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1) << "submission outruns a 50k-vertex sweep on one slot";
+  EXPECT_EQ(engine.stats().rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(QueryStatus, AdmissionBlockNeverRefusesAndAnswersStayExact) {
+  const auto el = random_digraph<int>(300, 0.04, 11);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  engine.set_admission({.max_in_flight = 2, .policy = OverloadPolicy::kBlock});
+  parallel::TaskPool pool(1);  // blocking must make progress even on one thread
+  std::vector<Request<int>> reqs;
+  for (vertex_t s = 0; s < 32; ++s) reqs.push_back(Request<int>{FullSSSP{s % 300}});
+  const auto out = engine.try_run(reqs, pool);
+  const auto oracle = sssp::dijkstra(rep, 0);
+  for (const auto& r : out) {
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  }
+  EXPECT_EQ(out[0].settled, [&] {
+    std::uint64_t c = 0;
+    for (const int d : oracle.dist) c += is_inf(d) ? 0u : 1u;
+    return c;
+  }());
+}
+
+TEST(QueryStatus, AdmissionShedCancelsTheOldestVictim) {
+  constexpr vertex_t n = 60'000;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  engine.set_admission({.max_in_flight = 1, .policy = OverloadPolicy::kShed});
+  parallel::TaskPool pool(1);
+  const std::vector<Request<int>> reqs(8, Request<int>{FullSSSP{0}});
+  IntEngine::ServeOptions opts;
+  opts.check_every = 16;  // victims must notice the shed quickly
+  const auto out = engine.try_run(reqs, pool, opts);
+  int ok = 0, cancelled_n = 0;
+  for (const auto& r : out) {
+    ASSERT_TRUE(r.status.is_ok() || r.status.code() == StatusCode::kCancelled)
+        << r.status.to_string();
+    (r.status.is_ok() ? ok : cancelled_n)++;
+  }
+  EXPECT_EQ(ok + cancelled_n, 8);
+  EXPECT_GE(engine.stats().shed, 1u) << "oversubscription must have shed someone";
+  EXPECT_GE(cancelled_n, 1);
+}
+
+TEST(QueryStatus, ScratchExhaustionIsResourceExhaustedAfterRetries) {
+  const auto el = random_digraph<int>(50, 0.1, 13);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  engine.set_scratch_capacity(1);
+  reliability::BackoffPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_delay = std::chrono::microseconds{10};
+  engine.set_lease_backoff(fast);
+  // Deterministic exhaustion: the serve() sink holds the only scratch
+  // while a nested try_serve asks for a second one.
+  IntEngine::Response nested;
+  engine.serve(Request<int>{FullSSSP{0}}, [&](const auto&, const auto&) {
+    nested = engine.try_serve(Request<int>{FullSSSP{1}});
+  });
+  EXPECT_EQ(nested.status.code(), StatusCode::kResourceExhausted) << nested.status.to_string();
+  EXPECT_EQ(engine.stats().lease_failures, 1u);
+}
+
+TEST(QueryStatus, ThrowingTaskResolvesCancelledAndBatchCompletes) {
+  const auto el = random_digraph<int>(60, 0.1, 17);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{FullSSSP{0}, FullSSSP{1}, FullSSSP{2}};
+  // A sink that throws is the one failure the engine cannot absorb
+  // in-place; the contract is re-delivery with CANCELLED, never a
+  // wedged batch or a lost request.
+  std::vector<int> deliveries(reqs.size(), 0);
+  std::vector<StatusCode> last(reqs.size(), StatusCode::kOk);
+  engine.try_run(std::span<const Request<int>>(reqs), pool, {},
+                 [&](std::size_t i, const Request<int>&, const IntEngine::Response& r,
+                     const auto&) {
+                   deliveries[static_cast<std::size_t>(i)]++;
+                   last[static_cast<std::size_t>(i)] = r.status.code();
+                   if (i == 1 && deliveries[1] == 1) throw std::runtime_error("sink bug");
+                 });
+  EXPECT_EQ(deliveries[0], 1);
+  EXPECT_EQ(deliveries[2], 1);
+  EXPECT_EQ(deliveries[1], 2) << "the throwing delivery is retried exactly once";
+  EXPECT_EQ(last[1], StatusCode::kCancelled);
+  EXPECT_TRUE(last[0] == StatusCode::kOk && last[2] == StatusCode::kOk);
+}
+
+TEST(QueryStatus, TryServeMatchesLegacyAnswersWhenNothingGoesWrong) {
+  const auto el = random_digraph<int>(120, 0.05, 19);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+  for (vertex_t s = 0; s < 120; s += 17) {
+    const auto legacy = sssp::dijkstra(rep, s);
+    for (vertex_t t = 0; t < 120; t += 23) {
+      const auto r = engine.try_serve(Request<int>{PointToPoint{s, t}});
+      ASSERT_TRUE(r.status.is_ok());
+      EXPECT_EQ(r.target_dist, legacy.dist[static_cast<std::size_t>(t)]) << s << "->" << t;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cachegraph::query

@@ -1,0 +1,561 @@
+// cachegraph::reliability unit coverage: the Status/Expected error
+// model, cancel tokens and deadlines, the deterministic backoff
+// schedule, TaskGroup exception capture (a throwing task can neither
+// wedge wait() nor kill the pool), LeasePool capacity, FaultInjector
+// determinism, and the ResultCache snapshot format — round trip,
+// truncation, bit-flip corruption, wrong-graph/wrong-weight refusal,
+// and the bit-identical rebuild after DATA_LOSS.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/common/checksum.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
+#include "cachegraph/reliability/retry.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::reliability {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOkAndCodesAreTheContract) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+
+  const Status a = deadline_exceeded("batch budget spent");
+  const Status b = deadline_exceeded("another message entirely");
+  EXPECT_EQ(a, b);  // codes compare, messages don't
+  EXPECT_EQ(a.to_string(), "DEADLINE_EXCEEDED: batch budget spent");
+  EXPECT_FALSE(a.is_ok());
+}
+
+TEST(Status, EveryCodeRoundTripsToString) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(to_string(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(to_string(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(to_string(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(Status, OnlyLoadConditionsAreTransient) {
+  EXPECT_TRUE(is_transient(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(is_transient(StatusCode::kOverloaded));
+  EXPECT_FALSE(is_transient(StatusCode::kOk));
+  EXPECT_FALSE(is_transient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(is_transient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_transient(StatusCode::kCancelled));
+  EXPECT_FALSE(is_transient(StatusCode::kDataLoss));
+}
+
+TEST(Expected, CarriesValueOrFailure) {
+  Expected<int> ok = 42;
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok.status().is_ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  Expected<int> bad = data_loss("snapshot checksum mismatch");
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW((void)bad.value(), PreconditionError);
+}
+
+TEST(Expected, RefusesOkStatusWithoutValue) {
+  EXPECT_THROW(Expected<int>(Status::ok()), PreconditionError);
+}
+
+// ------------------------------------------------- CancelToken/Deadline
+
+TEST(CancelToken, ParentChainPropagatesButNeverReverses) {
+  CancelToken batch;
+  CancelToken request(&batch);
+  EXPECT_FALSE(request.cancelled());
+  batch.cancel();
+  EXPECT_TRUE(request.cancelled()) << "parent cancel must reach the child";
+
+  CancelToken parent2;
+  CancelToken child2(&parent2);
+  CancelToken sibling(&parent2);
+  child2.cancel();
+  EXPECT_TRUE(child2.cancelled());
+  EXPECT_FALSE(parent2.cancelled()) << "child cancel must not climb to the parent";
+  EXPECT_FALSE(sibling.cancelled()) << "shed kills one victim, not its siblings";
+  child2.reset();
+  EXPECT_FALSE(child2.cancelled());
+}
+
+TEST(Deadline, DefaultNeverExpiresAndNeverReadsTheClock) {
+  const Deadline none;
+  EXPECT_FALSE(none.armed());
+  EXPECT_FALSE(none.expired());
+  EXPECT_EQ(none.remaining(), Deadline::clock::duration::max());
+}
+
+TEST(Deadline, AfterZeroIsExpiredOnArrival) {
+  const Deadline zero = Deadline::after(0ns);
+  EXPECT_TRUE(zero.armed());
+  EXPECT_TRUE(zero.expired());
+  EXPECT_EQ(zero.remaining(), Deadline::clock::duration::zero());
+}
+
+TEST(Deadline, FarFutureIsArmedButNotExpired) {
+  const Deadline far = Deadline::after(1h);
+  EXPECT_TRUE(far.armed());
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining(), 59min);
+}
+
+// ----------------------------------------------------------- retry
+
+TEST(Retry, BackoffScheduleIsDeterministicAndCapped) {
+  BackoffPolicy p;
+  p.initial_delay = 100us;
+  p.multiplier = 2.0;
+  p.max_delay = 350us;
+  p.jitter = 0.0;
+  Rng rng(p.seed);
+  EXPECT_EQ(detail::backoff_delay(p, 0, rng).count(), 100);
+  EXPECT_EQ(detail::backoff_delay(p, 1, rng).count(), 200);
+  EXPECT_EQ(detail::backoff_delay(p, 2, rng).count(), 350) << "cap binds";
+  EXPECT_EQ(detail::backoff_delay(p, 9, rng).count(), 350);
+
+  // With jitter, the same seed yields the same schedule — twice.
+  p.jitter = 0.25;
+  Rng r1(7), r2(7);
+  for (int a = 0; a < 5; ++a) {
+    const auto d1 = detail::backoff_delay(p, a, r1);
+    const auto d2 = detail::backoff_delay(p, a, r2);
+    EXPECT_EQ(d1.count(), d2.count());
+    const double base = std::min(100.0 * std::pow(2.0, a), 350.0);
+    EXPECT_GE(static_cast<double>(d1.count()), base * 0.75 - 1);
+    EXPECT_LE(static_cast<double>(d1.count()), base * 1.25 + 1);
+  }
+}
+
+TEST(Retry, TransientFailuresRetryUntilSuccess) {
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  BackoffPolicy p;
+  p.max_attempts = 5;
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return calls < 3 ? resource_exhausted("pool dry") : Status::ok();
+      },
+      p, [&](std::chrono::microseconds d) { slept.push_back(d); });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u) << "one sleep before each retry";
+}
+
+TEST(Retry, NonTransientFailureReturnsImmediately) {
+  int calls = 0;
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return invalid_argument("bad request");
+      },
+      {}, [](std::chrono::microseconds) { FAIL() << "must not sleep"; });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, GivesUpAfterMaxAttemptsWithLastStatus) {
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 3;
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return overloaded("still full");
+      },
+      p, [](std::chrono::microseconds) {});
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, DeadlineBoundsTheWholeLoop) {
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 100;
+  p.deadline = Deadline::after(0ns);  // expired before the second attempt
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return resource_exhausted("pool dry");
+      },
+      p, [](std::chrono::microseconds) {});
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1) << "no attempts after the budget is spent";
+}
+
+TEST(Retry, ExpectedFlavourReturnsFirstSuccess) {
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 4;
+  const Expected<int> out = retry(
+      [&]() -> Expected<int> {
+        ++calls;
+        if (calls < 2) return resource_exhausted("not yet");
+        return 99;
+      },
+      p, [](std::chrono::microseconds) {});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 99);
+  EXPECT_EQ(calls, 2);
+}
+
+// ------------------------------------------- TaskGroup exception model
+
+TEST(TaskGroupExceptions, ThrowingTaskRethrowsAtWaitAndPoolSurvives) {
+  parallel::TaskPool pool(2);
+  parallel::TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([i, &ran] {
+      if (i == 3) throw std::runtime_error("task 3 exploded");
+      ran.fetch_add(1);
+    });
+  }
+  // Regression: before exception capture, a throwing task skipped the
+  // pending-counter decrement and wait() spun forever (or the unwind
+  // reached the worker loop and called std::terminate).
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 7) << "the other tasks still ran to completion";
+  EXPECT_GE(pool.stats().exceptions, 1u);
+
+  // The group is reusable after the exception is observed...
+  std::atomic<bool> again{false};
+  group.run([&again] { again.store(true); });
+  group.wait();
+  EXPECT_TRUE(again.load());
+
+  // ...and so is the pool.
+  parallel::TaskGroup second(pool);
+  std::atomic<int> more{0};
+  for (int i = 0; i < 4; ++i) second.run([&more] { more.fetch_add(1); });
+  second.wait();
+  EXPECT_EQ(more.load(), 4);
+}
+
+TEST(TaskGroupExceptions, OnlyTheFirstExceptionIsKept) {
+  parallel::TaskPool pool(1);
+  parallel::TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) {
+    group.run([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  group.run([] {});
+  group.wait();  // the remaining four were counted, not rethrown
+  EXPECT_EQ(pool.stats().exceptions, 5u);
+}
+
+TEST(TaskGroupExceptions, DestructorDrainsUnobservedException) {
+  parallel::TaskPool pool(1);
+  {
+    parallel::TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("never waited on"); });
+    // No wait(): the destructor must drain and swallow, not terminate.
+  }
+  EXPECT_EQ(pool.stats().exceptions, 1u);
+}
+
+TEST(TaskPool, HelpOneRunsAQueuedTask) {
+  parallel::TaskPool pool(1);
+  // Saturate the single worker so a task sits queued.
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  parallel::TaskGroup group(pool);
+  group.run([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  group.run([&ran] { ran.fetch_add(1); });
+  // The caller can drain the queued task itself while the worker is
+  // stuck — the primitive admission blocking relies on.
+  while (!pool.help_one()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+  release.store(true);
+  group.wait();
+}
+
+// ------------------------------------------------- LeasePool capacity
+
+TEST(LeasePool, CapacityBoundsBuildsAndFreesRecirculate) {
+  parallel::LeasePool<int> pool;
+  pool.set_capacity(1);
+  const auto make = [] { return std::make_unique<int>(7); };
+  auto first = pool.try_acquire(make);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->reused());
+
+  auto second = pool.try_acquire(make);
+  EXPECT_FALSE(second.has_value()) << "cap of 1 with the object out on lease";
+  EXPECT_EQ(pool.stats().exhausted, 1u);
+
+  first.reset();  // returns the object to the free list
+  auto third = pool.try_acquire(make);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_TRUE(third->reused());
+  EXPECT_EQ(pool.stats().allocs, 1u);
+}
+
+TEST(LeasePool, AcquireTripsOnExhaustionInsteadOfReturning) {
+  parallel::LeasePool<int> pool;
+  pool.set_capacity(1);
+  const auto make = [] { return std::make_unique<int>(0); };
+  const auto held = pool.acquire(make);
+  EXPECT_THROW((void)pool.acquire(make), PreconditionError);
+}
+
+// --------------------------------------------------- FaultInjector
+
+#if defined(CACHEGRAPH_FAULT_INJECT)
+
+/// RAII disarm so a failed assertion can't leak an armed injector into
+/// later tests.
+struct ArmedPlan {
+  explicit ArmedPlan(const FaultPlan& plan) { FaultInjector::instance().arm(plan); }
+  ~ArmedPlan() { FaultInjector::instance().disarm(); }
+};
+
+TEST(FaultInjector, DecisionSequenceIsAPureFunctionOfSeedAndTicket) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.task_throw = 0.3;
+  std::vector<bool> run1, run2;
+  {
+    ArmedPlan armed(plan);
+    for (int i = 0; i < 200; ++i) {
+      run1.push_back(FaultInjector::instance().should_fire(FaultSite::kTaskThrow));
+    }
+  }
+  {
+    ArmedPlan armed(plan);  // re-arm resets tickets
+    for (int i = 0; i < 200; ++i) {
+      run2.push_back(FaultInjector::instance().should_fire(FaultSite::kTaskThrow));
+    }
+  }
+  EXPECT_EQ(run1, run2);
+  const auto fired = static_cast<std::size_t>(std::count(run1.begin(), run1.end(), true));
+  EXPECT_GT(fired, 30u);  // ~60 expected at p=0.3
+  EXPECT_LT(fired, 100u);
+}
+
+TEST(FaultInjector, ProbabilityEndpointsAndDisarmedAreExact) {
+  {
+    FaultPlan plan;
+    plan.alloc_fail = 1.0;
+    ArmedPlan armed(plan);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(FaultInjector::instance().should_fire(FaultSite::kAlloc));
+    }
+    EXPECT_FALSE(FaultInjector::instance().should_fire(FaultSite::kTaskThrow))
+        << "p=0 sites never fire even while armed";
+  }
+  EXPECT_FALSE(FaultInjector::instance().should_fire(FaultSite::kAlloc))
+      << "disarmed injector never fires";
+}
+
+TEST(FaultInjector, StatsCountChecksAndFires) {
+  FaultPlan plan;
+  plan.force_timeout = 0.5;
+  ArmedPlan armed(plan);
+  for (int i = 0; i < 100; ++i) {
+    (void)FaultInjector::instance().should_fire(FaultSite::kForceTimeout);
+  }
+  const auto st = FaultInjector::instance().stats(FaultSite::kForceTimeout);
+  EXPECT_EQ(st.checks, 100u);
+  EXPECT_GT(st.fires, 20u);
+  EXPECT_LT(st.fires, 80u);
+  EXPECT_GE(FaultInjector::instance().total_fires(), st.fires);
+}
+
+#endif  // CACHEGRAPH_FAULT_INJECT
+
+// --------------------------------------------------- snapshot format
+
+using query::DynamicOverlay;
+using query::ResultCache;
+
+struct SnapshotFixture : ::testing::Test {
+  SnapshotFixture()
+      : el(graph::random_digraph<int>(40, 0.12, 4242)), base(el), overlay(base), cache(overlay) {
+    path = std::filesystem::temp_directory_path() /
+           ("cachegraph_snap_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin");
+  }
+  ~SnapshotFixture() override {
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    std::filesystem::remove(path.string() + ".tmp", ignored);
+  }
+
+  graph::EdgeListGraph<int> el;
+  graph::AdjacencyArray<int> base;
+  DynamicOverlay<int> overlay;
+  ResultCache<int> cache;
+  std::filesystem::path path;
+};
+
+TEST_F(SnapshotFixture, RoundTripServesBitIdenticalTrees) {
+  std::vector<ResultCache<int>::TreePtr> originals;
+  for (vertex_t s = 0; s < 40; s += 7) originals.push_back(cache.get_or_compute(s));
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+
+  // A cold cache over an identical overlay warms from the file.
+  DynamicOverlay<int> overlay2(base);
+  ResultCache<int> cache2(overlay2);
+  ASSERT_TRUE(cache2.load_snapshot(path).is_ok());
+  EXPECT_EQ(cache2.size(), originals.size());
+
+  const auto before = cache2.stats();
+  std::size_t i = 0;
+  for (vertex_t s = 0; s < 40; s += 7, ++i) {
+    const auto t = cache2.get(s);
+    ASSERT_NE(t, nullptr) << "restamped entry must be fresh, source " << s;
+    EXPECT_EQ(t->dist, originals[i]->dist);
+    EXPECT_EQ(t->parent, originals[i]->parent);
+  }
+  EXPECT_EQ(cache2.stats().hits, before.hits + originals.size());
+  EXPECT_EQ(cache2.stats().recomputes, 0u) << "a warm load computes nothing";
+}
+
+TEST_F(SnapshotFixture, TruncationIsDataLossAndRebuildIsBitIdentical) {
+  const auto tree = cache.get_or_compute(3);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+
+  DynamicOverlay<int> overlay2(base);
+  ResultCache<int> cache2(overlay2);
+  const auto st = cache2.load_snapshot(path);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.to_string();
+  EXPECT_EQ(cache2.size(), 0u) << "failed load must leave the cache untouched";
+
+  // Clean rebuild: recomputing from the graph yields bit-identical data.
+  const auto rebuilt = cache2.get_or_compute(3);
+  EXPECT_EQ(rebuilt->dist, tree->dist);
+  EXPECT_EQ(rebuilt->parent, tree->parent);
+}
+
+TEST_F(SnapshotFixture, EveryFlippedByteIsCaughtByTheChecksum) {
+  (void)cache.get_or_compute(0);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  // Flip one byte at a spread of offsets (header, payload, checksum).
+  for (std::size_t off = 0; off < image.size(); off += 13) {
+    std::string bad = image;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    DynamicOverlay<int> overlay2(base);
+    ResultCache<int> cache2(overlay2);
+    const auto st = cache2.load_snapshot(path);
+    EXPECT_FALSE(st.is_ok()) << "flip at offset " << off << " must not load";
+    EXPECT_EQ(cache2.size(), 0u);
+  }
+}
+
+TEST_F(SnapshotFixture, SnapshotForADifferentGraphIsRefused) {
+  (void)cache.get_or_compute(0);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+
+  // Same vertex count, one extra edge: the fingerprint must differ.
+  auto el2 = el;
+  el2.add_edge(0, 39, 123);
+  graph::AdjacencyArray<int> base2(el2);
+  DynamicOverlay<int> overlay2(base2);
+  ResultCache<int> cache2(overlay2);
+  const auto st = cache2.load_snapshot(path);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.to_string();
+  EXPECT_EQ(cache2.size(), 0u);
+}
+
+TEST_F(SnapshotFixture, SnapshotForADifferentWeightTypeIsRefused) {
+  (void)cache.get_or_compute(0);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+
+  graph::EdgeListGraph<double> eld(40);
+  memsim::NullMem mem;
+  for (vertex_t v = 0; v < 40; ++v) {
+    base.for_neighbors(v, mem, [&](const auto& nb) {
+      eld.add_edge(v, nb.to, static_cast<double>(nb.weight));
+    });
+  }
+  graph::AdjacencyArray<double> based(eld);
+  DynamicOverlay<double> overlayd(based);
+  ResultCache<double> cached(overlayd);
+  const auto st = cached.load_snapshot(path);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.to_string();
+}
+
+TEST_F(SnapshotFixture, MissingFileIsDataLossNotACrash) {
+  const auto st = cache.load_snapshot(path.string() + ".does_not_exist");
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotFixture, SaveLeavesNoTempFileBehind) {
+  (void)cache.get_or_compute(0);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+}
+
+TEST_F(SnapshotFixture, StaleLoadedEntriesInvalidateOnMutation) {
+  (void)cache.get_or_compute(0);
+  ASSERT_TRUE(cache.save_snapshot(path).is_ok());
+  DynamicOverlay<int> overlay2(base);
+  ResultCache<int> cache2(overlay2);
+  ASSERT_TRUE(cache2.load_snapshot(path).is_ok());
+  // An edge update after the load must invalidate the loaded entry
+  // exactly like a computed one — restamping must not freeze it fresh.
+  overlay2.insert_edge(0, 1, 1);
+  EXPECT_EQ(cache2.get(0), nullptr) << "stamp moved, entry must be stale";
+}
+
+// --------------------------------------------------------- checksum
+
+TEST(Checksum, StreamingMatchesOneShotAndDetectsReorder) {
+  const std::string data = "the quick brown fox";
+  Fnv64 h;
+  h.update(data.data(), 5);
+  h.update(data.data() + 5, data.size() - 5);
+  EXPECT_EQ(h.digest(), fnv1a64(data.data(), data.size()));
+
+  const std::string swapped = "the quick brown xof";
+  EXPECT_NE(fnv1a64(swapped.data(), swapped.size()), fnv1a64(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace cachegraph::reliability
