@@ -18,11 +18,16 @@
 //      rounds of localized edge flaps: hit rate, invalidations, and
 //      the time ensure() takes vs recomputing every source cold.
 //
-// All scenes honour --json/--csv/--trace like every other bench.
+// All scenes honour --json/--csv/--trace like every other bench; with
+// an instrumented build the mix / flap / overload scenes also print
+// per-request-kind latency percentile tables from the telemetry
+// histograms (and --metrics exports them).
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <iostream>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +36,8 @@
 #include "cachegraph/benchlib/table.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/graph/generators.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/dynamic_overlay.hpp"
 #include "cachegraph/query/engine.hpp"
@@ -39,6 +46,48 @@
 namespace {
 
 using namespace cachegraph;
+
+/// Per-request-kind latency percentiles accumulated since the last
+/// mark(). The telemetry histograms run for the whole process, so a
+/// scene isolates its own tail by diffing snapshots (the same
+/// HistogramSnapshot::minus the tests oracle against).
+class LatencyScoreboard {
+ public:
+  LatencyScoreboard() { mark(); }
+
+  void mark() {
+    for (std::uint8_t k = 0; k < obs::kNumRequestKinds; ++k) base_[k] = snap(k);
+  }
+
+  /// Prints (and re-marks) — a no-op when nothing was recorded, which
+  /// is exactly the CACHEGRAPH_INSTRUMENT=OFF build.
+  void print(std::ostream& os, bool csv, const char* title) {
+    bench::Table t({"request kind", "count", "p50 (us)", "p90 (us)", "p99 (us)", "p99.9 (us)"});
+    bool any = false;
+    for (std::uint8_t k = 0; k < obs::kNumRequestKinds; ++k) {
+      const obs::HistogramSnapshot d = snap(k).minus(base_[k]);
+      if (d.count == 0) continue;
+      any = true;
+      t.add_row({obs::request_kind_name(k), bench::fmt_count(d.count), us(d.percentile(50)),
+                 us(d.percentile(90)), us(d.percentile(99)), us(d.percentile(99.9))});
+    }
+    mark();
+    if (!any) return;
+    os << "\n-- " << title << " --\n";
+    t.print(os, csv);
+  }
+
+ private:
+  [[nodiscard]] static std::string us(std::uint64_t ns) {
+    return bench::fmt(static_cast<double>(ns) / 1e3, 1);
+  }
+  [[nodiscard]] static obs::HistogramSnapshot snap(std::uint8_t k) {
+    return obs::MetricsRegistry::instance()
+        .histogram(std::string("query.latency_ns.") + obs::request_kind_name(k))
+        .snapshot();
+  }
+  std::array<obs::HistogramSnapshot, obs::kNumRequestKinds> base_{};
+};
 
 /// Deterministic 25/25/25/25 request mix over a graph of n vertices.
 std::vector<query::Request<int>> make_mix(vertex_t n, std::size_t count, std::uint64_t seed) {
@@ -74,6 +123,8 @@ int main(int argc, char** argv) {
   Harness h(std::cout, opt, "Extension: query engine",
             "concurrent bounded-search serving over the task pool",
             "early exit keeps the per-query working set a fraction of the graph");
+
+  LatencyScoreboard board;
 
   const auto n = static_cast<vertex_t>(opt.full ? 4096 : 1024);
   const std::size_t batch = opt.full ? 512 : 256;
@@ -133,6 +184,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n-- request mix vs full-SSSP-only batches --\n";
   t1.print(std::cout, opt.csv);
+  board.print(std::cout, opt.csv, "mix ladder: latency percentiles by request kind");
 
   // ------------------------------------------- scene 2: queue policies
   Table t2({"density", "indexed (s)", "lazy (s)", "indexed vs lazy"});
@@ -158,6 +210,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n-- queue policy under the same mix --\n";
   t2.print(std::cout, opt.csv);
+  board.mark();  // keep scene 2's records out of the flap-scene table
 
   // -------------------------------------- scene 3: incremental serving
   // Block-structured graph: flaps stay inside one block so the cache
@@ -215,6 +268,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n-- link flaps: incremental ensure vs cold recompute --\n";
   t3.print(std::cout, opt.csv);
+  board.print(std::cout, opt.csv, "flap scenes: latency percentiles by request kind");
 
   // ------------------------------------ scene 4: degraded-mode ladder
   // 4x oversubscription: the in-flight cap equals the pool width and
@@ -262,6 +316,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n-- degraded mode: overload policies at 4x oversubscription --\n";
   t4.print(std::cout, opt.csv);
+  board.print(std::cout, opt.csv, "overload ladder: latency percentiles by request kind");
 
   // --------------------------- scene 5: cancellation-check overhead
   // The poll is two atomic-ish loads every K settled vertices; this

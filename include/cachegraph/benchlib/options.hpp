@@ -14,11 +14,16 @@
 //   --tag LABEL   free-form label copied into the JSON record
 //   --trace PATH  write a Chrome trace_event JSON timeline of the run
 //                 (open in chrome://tracing or ui.perfetto.dev)
+//   --metrics PATH
+//                 write the MetricsRegistry Prometheus text exposition
+//                 to PATH at exit (and fold the JSON metrics export
+//                 into the --json report when both are given)
 //   --machine=M   cache preset for simulation benches
 //                 (pentium3 | ultrasparc3 | alpha21264 | mips |
 //                  simplescalar | modern)
 //
-// --json/--tag/--trace accept both "--flag value" and "--flag=value".
+// --json/--tag/--trace/--metrics accept both "--flag value" and
+// "--flag=value".
 // Integer payloads are parsed strictly (see parse_integer): "--reps=abc"
 // is a usage error, not a silent 1.
 #pragma once
@@ -56,9 +61,10 @@ struct Options {
   int threads = 0;  ///< parallel-bench worker count (0 = bench default)
   std::uint64_t seed = 42;
   std::string machine = "simplescalar";
-  std::string json;   ///< path for the JSON report ("" = none)
-  std::string tag;    ///< free-form label for the JSON report
-  std::string trace;  ///< path for the Chrome trace ("" = none)
+  std::string json;     ///< path for the JSON report ("" = none)
+  std::string tag;      ///< free-form label for the JSON report
+  std::string trace;    ///< path for the Chrome trace ("" = none)
+  std::string metrics;  ///< path for the Prometheus export ("" = none)
 
   [[nodiscard]] memsim::MachineConfig machine_config() const;
 };

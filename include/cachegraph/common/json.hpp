@@ -28,10 +28,15 @@ namespace cachegraph::json {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
+        // Every remaining control character (U+0000..U+001F) gets the
+        // \u form — RFC 8259 requires all of them escaped, not just
+        // the ones with short names.
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));

@@ -1,0 +1,119 @@
+// Always-on flight recorder: a fixed-size lock-free ring of the most
+// recent RequestRecords, so every bad outcome (deadline blown, request
+// shed, snapshot corrupt, injected fault) comes with its recent-history
+// context "for free" — no tracing session required.
+//
+// Ring mechanics (a seqlock per slot over plain atomic words):
+//   - writers claim a slot with head_.fetch_add (wait-free), bump the
+//     slot's sequence to odd (write in progress), store the record as
+//     10 relaxed atomic uint64 words, then bump the sequence to even
+//     with release order;
+//   - readers (dump()) read the sequence, copy the words, and re-read
+//     the sequence: a slot is kept only if both reads saw the same
+//     even value — a torn slot (writer mid-flight, or lapped by a
+//     faster writer) is simply skipped. Under extreme wrap pressure a
+//     dump may therefore contain fewer than capacity records; it never
+//     contains a torn one.
+// Every field is an atomic word, so the race between a lapping writer
+// and a reader is a *data-race-free* race — TSan-clean by
+// construction, resolved by the seqlock check.
+//
+// Auto-dump: arm_auto_dump(path) makes note() write a JSON dump (the
+// triggering record + the ring contents, crash-safe tmp+rename) when a
+// record resolves DEADLINE_EXCEEDED / OVERLOADED / DATA_LOSS or was
+// aborted by a thrown exception (the chaos suite's injected faults).
+// Dumps are rate-limited by min_interval so a storm of bad outcomes
+// costs one file write, not thousands; each dump also drops an instant
+// event into the installed TraceSession (if any) and bumps
+// `obs.flight_recorder.dumps`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cachegraph/obs/telemetry.hpp"
+
+namespace cachegraph::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 512;  // power of two
+  static constexpr std::size_t kWordsPerRecord = 10;
+
+  /// The process-wide recorder every serving layer notes into.
+  [[nodiscard]] static FlightRecorder& instance();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one request (always, good or bad). When armed and the
+  /// record is a dump trigger (see is_dump_trigger) and the rate limit
+  /// allows, writes the auto-dump as a side effect.
+  void note(const RequestRecord& rec) noexcept;
+
+  /// True for the outcomes that warrant a dump: DEADLINE_EXCEEDED,
+  /// OVERLOADED, DATA_LOSS, or any aborted (thrown-through) request.
+  [[nodiscard]] static bool is_dump_trigger(const RequestRecord& rec) noexcept;
+
+  /// Enables auto-dumps to `path` (overwritten per dump, crash-safe
+  /// tmp+rename), at most one per `min_interval`.
+  void arm_auto_dump(std::string path,
+                     std::chrono::milliseconds min_interval = std::chrono::milliseconds(100));
+  void disarm_auto_dump();
+
+  /// Stable records currently in the ring, oldest first (best-effort
+  /// under concurrent writes — see header comment).
+  [[nodiscard]] std::vector<RequestRecord> dump() const;
+
+  /// Writes {"trigger": ..., "recent": [...]} JSON. `trigger` may be
+  /// nullptr for a manual dump. The stream form always succeeds; the
+  /// file form is crash-safe (tmp+rename) and false on I/O failure.
+  void write_json(std::ostream& os, const RequestRecord* trigger) const;
+  [[nodiscard]] bool write_file(const std::string& path, const RequestRecord* trigger) const;
+
+  /// Auto-dumps performed so far (monotone; survives disarm).
+  [[nodiscard]] std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// Total records ever noted (monotone).
+  [[nodiscard]] std::uint64_t noted() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the ring (quiescent-point call, for tests).
+  void clear() noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = write in progress
+    std::array<std::atomic<std::uint64_t>, kWordsPerRecord> words{};
+  };
+
+  static void pack(const RequestRecord& rec, std::array<std::uint64_t, kWordsPerRecord>& w) noexcept;
+  static RequestRecord unpack(const std::array<std::uint64_t, kWordsPerRecord>& w) noexcept;
+  void maybe_auto_dump(const RequestRecord& rec) noexcept;
+
+  std::array<Slot, kCapacity> ring_{};
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dumps_{0};
+
+  mutable std::mutex arm_mu_;
+  std::string dump_path_;                     // empty = disarmed
+  std::chrono::milliseconds min_interval_{100};
+  std::chrono::steady_clock::time_point last_dump_{};
+  bool ever_dumped_ = false;
+
+  friend void note_request(const RequestRecord& rec) noexcept;
+};
+
+}  // namespace cachegraph::obs

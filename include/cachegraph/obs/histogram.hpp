@@ -1,0 +1,246 @@
+// Log-bucketed latency histogram (HdrHistogram-style) for the serving
+// telemetry layer.
+//
+// Bucket layout: values below kSubBucketCount (64) get unit-width
+// buckets (exact); every power-of-two octave above that is split into
+// kSubBucketsPerOctave (32) linear sub-buckets, so the relative error
+// of any recorded value is bounded by 1/32 ≈ 3.1%. The full uint64
+// range fits in kNumBuckets (1920) slots — small enough that a
+// snapshot is a cheap memcpy-sized copy and a merge is elementwise
+// addition.
+//
+// Concurrency: record() is lock-free and wait-free after warm-up.
+// Counts live in kShards per-thread-striped shards of relaxed atomics
+// (a thread picks its shard by its stable small integer id from
+// obs::current_tid()); shards are allocated lazily with a CAS so an
+// unused histogram costs one cache line. snapshot() merges the shards
+// with relaxed loads — increments are never lost (each is a real
+// atomic fetch_add), a snapshot concurrent with writers is simply a
+// linearization-point-free but complete-to-a-moment view, which is
+// all a metrics scrape needs.
+//
+// Percentiles are exact-count (nearest-rank over the true total) with
+// value resolution of one bucket: percentile(p) returns the inclusive
+// upper bound of the bucket containing the rank-p sample, clipped to
+// the recorded maximum — so percentile(100) is the exact max and any
+// returned quantile is >= the true one by at most one bucket width.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cachegraph::obs {
+
+/// Stable dense id for the calling thread (1, 2, 3, … in first-call
+/// order). Used to stripe histogram shards and to label trace events;
+/// never reused, so it also works as a Chrome-trace tid.
+[[nodiscard]] std::uint32_t current_tid() noexcept;
+
+namespace hist_detail {
+inline constexpr std::size_t kSubBucketCount = 64;      // unit-width low range
+inline constexpr std::size_t kSubBucketsPerOctave = 32; // linear slices per octave
+inline constexpr unsigned kSubBucketBits = 6;           // log2(kSubBucketCount)
+// Octaves with msb in [6, 63] each contribute kSubBucketsPerOctave.
+inline constexpr std::size_t kNumBuckets =
+    kSubBucketCount + (64 - kSubBucketBits) * kSubBucketsPerOctave;
+
+[[nodiscard]] constexpr std::size_t index_of(std::uint64_t v) noexcept {
+  if (v < kSubBucketCount) return static_cast<std::size_t>(v);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned shift = msb - (kSubBucketBits - 1);  // v >> shift ∈ [32, 64)
+  return kSubBucketCount +
+         static_cast<std::size_t>(msb - kSubBucketBits) * kSubBucketsPerOctave +
+         static_cast<std::size_t>((v >> shift) - kSubBucketsPerOctave);
+}
+
+/// Smallest value that lands in bucket `i`.
+[[nodiscard]] constexpr std::uint64_t bucket_min(std::size_t i) noexcept {
+  if (i < kSubBucketCount) return static_cast<std::uint64_t>(i);
+  const std::size_t octave = (i - kSubBucketCount) / kSubBucketsPerOctave;
+  const std::size_t slice = (i - kSubBucketCount) % kSubBucketsPerOctave;
+  const unsigned shift = static_cast<unsigned>(octave) + 1;
+  return static_cast<std::uint64_t>(kSubBucketsPerOctave + slice) << shift;
+}
+
+/// Largest value that lands in bucket `i` (inclusive; the top bucket
+/// ends at UINT64_MAX with no overflow).
+[[nodiscard]] constexpr std::uint64_t bucket_max(std::size_t i) noexcept {
+  if (i < kSubBucketCount) return static_cast<std::uint64_t>(i);
+  const std::size_t octave = (i - kSubBucketCount) / kSubBucketsPerOctave;
+  const unsigned shift = static_cast<unsigned>(octave) + 1;
+  return bucket_min(i) + ((std::uint64_t{1} << shift) - 1);
+}
+}  // namespace hist_detail
+
+/// A point-in-time merge of a histogram's shards (or of several
+/// histograms/snapshots — merge() is elementwise). Plain data: copy,
+/// diff, and query it freely off the hot path.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  ///< size LatencyHistogram::kNumBuckets
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min_seen = ~std::uint64_t{0};  ///< sentinel when count == 0
+  std::uint64_t max_seen = 0;
+
+  HistogramSnapshot() : counts(hist_detail::kNumBuckets, 0) {}
+
+  [[nodiscard]] std::uint64_t min() const noexcept { return count == 0 ? 0 : min_seen; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return count == 0 ? 0 : max_seen; }
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Adds another snapshot into this one (histogram merge: counts are
+  /// elementwise sums, extrema combine, totals add).
+  void merge(const HistogramSnapshot& other) {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    min_seen = std::min(min_seen, other.min_seen);
+    max_seen = std::max(max_seen, other.max_seen);
+  }
+
+  /// This snapshot minus an earlier one of the same histogram — the
+  /// interval view a bench scene uses to report one ladder rung.
+  /// Extrema are recomputed from the surviving buckets (bucket
+  /// resolution; exact extrema of an interval are not recoverable).
+  [[nodiscard]] HistogramSnapshot minus(const HistogramSnapshot& earlier) const {
+    HistogramSnapshot out;
+    out.count = count - earlier.count;
+    out.sum = sum - earlier.sum;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out.counts[i] = counts[i] - earlier.counts[i];
+      if (out.counts[i] != 0) {
+        out.min_seen = std::min(out.min_seen, hist_detail::bucket_min(i));
+        out.max_seen = std::max(out.max_seen, hist_detail::bucket_max(i));
+      }
+    }
+    return out;
+  }
+
+  /// Nearest-rank percentile, p in [0, 100]. Exact in count (ranks are
+  /// computed over the true total), bucket-resolution in value: returns
+  /// the inclusive upper bound of the rank's bucket, clipped to the
+  /// recorded max. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    if (count == 0) return 0;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    auto rank =
+        static_cast<std::uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count)));
+    rank = std::min(std::max<std::uint64_t>(rank, 1), count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      if (cum >= rank) return std::min(hist_detail::bucket_max(i), max_seen);
+    }
+    return max();  // unreachable when counts are consistent with count
+  }
+};
+
+/// The recording side: lock-free, thread-striped, merge-on-read.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = hist_detail::kNumBuckets;
+  static constexpr std::size_t kShards = 8;
+
+  LatencyHistogram() = default;
+  ~LatencyHistogram() {
+    for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+  }
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    return hist_detail::index_of(v);
+  }
+  [[nodiscard]] static constexpr std::uint64_t bucket_min(std::size_t i) noexcept {
+    return hist_detail::bucket_min(i);
+  }
+  [[nodiscard]] static constexpr std::uint64_t bucket_max(std::size_t i) noexcept {
+    return hist_detail::bucket_max(i);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Shard& sh = shard_for_this_thread();
+    sh.counts[hist_detail::index_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sh.count.fetch_add(1, std::memory_order_relaxed);
+    sh.sum.fetch_add(v, std::memory_order_relaxed);
+    atomic_min(sh.min_seen, v);
+    atomic_max(sh.max_seen, v);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    for (const auto& slot : shards_) {
+      const Shard* sh = slot.load(std::memory_order_acquire);
+      if (sh == nullptr) continue;
+      for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        out.counts[i] += sh->counts[i].load(std::memory_order_relaxed);
+      }
+      out.count += sh->count.load(std::memory_order_relaxed);
+      out.sum += sh->sum.load(std::memory_order_relaxed);
+      out.min_seen = std::min(out.min_seen, sh->min_seen.load(std::memory_order_relaxed));
+      out.max_seen = std::max(out.max_seen, sh->max_seen.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+
+  /// Zeroes every shard in place. Quiescent-point call (a concurrent
+  /// record() may land on either side of the wipe).
+  void reset() noexcept {
+    for (auto& slot : shards_) {
+      Shard* sh = slot.load(std::memory_order_acquire);
+      if (sh == nullptr) continue;
+      for (auto& c : sh->counts) c.store(0, std::memory_order_relaxed);
+      sh->count.store(0, std::memory_order_relaxed);
+      sh->sum.store(0, std::memory_order_relaxed);
+      sh->min_seen.store(~std::uint64_t{0}, std::memory_order_relaxed);
+      sh->max_seen.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> counts{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min_seen{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_seen{0};
+  };
+
+  static void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  Shard& shard_for_this_thread() noexcept {
+    auto& slot = shards_[current_tid() % kShards];
+    Shard* sh = slot.load(std::memory_order_acquire);
+    if (sh == nullptr) {
+      auto* fresh = new Shard();
+      if (slot.compare_exchange_strong(sh, fresh, std::memory_order_acq_rel)) {
+        sh = fresh;
+      } else {
+        delete fresh;  // another thread won the install race
+      }
+    }
+    return *sh;
+  }
+
+  std::array<std::atomic<Shard*>, kShards> shards_{};
+};
+
+}  // namespace cachegraph::obs

@@ -1,0 +1,125 @@
+// MetricsRegistry — the process-wide export surface for serving
+// telemetry: named latency histograms (obs/histogram.hpp), named
+// gauges (last-sample doubles), and, at render time, every
+// CounterRegistry counter — all in one scrape.
+//
+// Exporters:
+//   render_prometheus(os)  Prometheus text exposition (one # TYPE line
+//                          per metric; histograms as cumulative `le`
+//                          buckets + _sum/_count; names sanitized to
+//                          [a-zA-Z0-9_:], dots become underscores, and
+//                          counters get the conventional _total suffix)
+//   render_json(os)        one JSON object: counters, gauges, and per-
+//                          histogram {count, sum, min, max, mean, p50,
+//                          p90, p99, p999}
+// Both render from the same snapshots, so a scrape is consistent to a
+// moment per metric (not across metrics — this is a stats export, not
+// a transaction).
+//
+// File forms reuse the crash-safe tmp+fsync+rename idiom from the
+// ResultCache snapshot path (PR 5): a reader never observes a torn
+// file. configure_snapshots(path, interval) + poll_snapshot() give the
+// serving loop a pull-free exporter — the engine polls at batch
+// boundaries and the registry writes at most one JSON snapshot per
+// interval.
+//
+// Lookup contract mirrors CounterRegistry: histogram(name)/gauge(name)
+// return references with stable addresses for the registry's lifetime
+// (node-based map), so hot paths look up once and cache the reference;
+// the mutex guards only the name→slot map, never a record().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/obs/histogram.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::obs {
+
+/// Last-sample-wins metric (queue depth, hit rate, utilization).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Stable-address lookup-or-create (cache the reference on hot paths).
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  /// Name-sorted snapshots (histograms merged across shards).
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+
+  void render_prometheus(std::ostream& os) const;
+  void render_json(std::ostream& os) const;
+
+  /// Crash-safe file exports (write path + ".tmp", fsync, rename).
+  [[nodiscard]] reliability::Status write_prometheus_file(const std::string& path) const;
+  [[nodiscard]] reliability::Status write_json_file(const std::string& path) const;
+
+  /// Periodic snapshot writer: after this, poll_snapshot() writes the
+  /// JSON export to `path` at most once per `min_interval` (0 = every
+  /// poll). Call poll_snapshot() from serving-loop boundaries.
+  void configure_snapshots(std::string path,
+                           std::chrono::milliseconds min_interval = std::chrono::seconds(1));
+  void disable_snapshots();
+  void poll_snapshot();
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every histogram and gauge in place (references stay valid,
+  /// as with CounterRegistry::reset). Counters are not touched — they
+  /// belong to CounterRegistry.
+  void reset();
+
+  /// A metric name as Prometheus wants it: [a-zA-Z0-9_:], everything
+  /// else (the registry's dots included) becomes '_'; a leading digit
+  /// gets a '_' prefix.
+  [[nodiscard]] static std::string sanitize_name(std::string_view name);
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: stable addresses across inserts (same contract as
+  // CounterRegistry, for the same function-local-static caching).
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> hists_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+
+  mutable std::mutex snap_mu_;
+  std::string snap_path_;  // empty = disabled
+  std::chrono::milliseconds snap_interval_{1000};
+  std::chrono::steady_clock::time_point last_snap_{};
+  bool ever_snapped_ = false;
+  std::atomic<std::uint64_t> snapshots_written_{0};
+};
+
+namespace detail {
+/// The crash-safe write shared by the metrics exporters and the flight
+/// recorder: content → path+".tmp" (fflush + fsync) → rename(path).
+[[nodiscard]] reliability::Status write_file_atomic(const std::string& path,
+                                                   std::string_view content);
+}  // namespace detail
+
+}  // namespace cachegraph::obs

@@ -1,0 +1,91 @@
+// Per-request telemetry records — the shared vocabulary between the
+// serving layers (query::QueryEngine, sssp::BatchEngine, the
+// ResultCache) and the observability sinks (per-kind latency
+// histograms in the MetricsRegistry, the FlightRecorder ring, trace
+// child spans).
+//
+// A RequestRecord is one request's life in numbers: where the time
+// went (blocked on admission → queued → computing), how much work the
+// search did (settled / relaxations), how it resolved (Outcome +
+// Status code), and how close it ran to its deadline. The engines fill
+// one per request and hand it to note_request(), which fans it out to
+// every sink. Records are plain 64-bit-packable data so the flight
+// recorder can store them in a lock-free ring of atomic words.
+//
+// Compile-time gating: when CACHEGRAPH_INSTRUMENT is off,
+// kTelemetryEnabled is false and every engine-side telemetry block is
+// `if constexpr`-eliminated — no clock reads, no record construction,
+// no note_request() calls. The types and registries still compile (and
+// the exporters render valid, empty documents) so tooling built on
+// them keeps linking.
+#pragma once
+
+#include <cstdint>
+
+namespace cachegraph::obs {
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+inline constexpr bool kTelemetryEnabled = true;
+#else
+inline constexpr bool kTelemetryEnabled = false;
+#endif
+
+/// Request-kind index space shared by every sink. The first four match
+/// query::Request's variant order (kind_index_of); the rest are other
+/// serving surfaces that emit records.
+enum RequestKind : std::uint8_t {
+  kKindPointToPoint = 0,
+  kKindKNearest = 1,
+  kKindBounded = 2,
+  kKindFullSssp = 3,
+  kKindBatchSource = 4,     ///< one source of a BatchEngine::run_batch
+  kKindCacheSnapshot = 5,   ///< ResultCache snapshot load/save
+  kNumRequestKinds = 6,
+};
+
+/// Stable labels (histogram suffixes, dump fields). The first four are
+/// asserted against query::kind_of in the test suite.
+[[nodiscard]] constexpr const char* request_kind_name(std::uint8_t kind) noexcept {
+  switch (kind) {
+    case kKindPointToPoint: return "point_to_point";
+    case kKindKNearest: return "k_nearest";
+    case kKindBounded: return "bounded";
+    case kKindFullSssp: return "full_sssp";
+    case kKindBatchSource: return "batch_source";
+    case kKindCacheSnapshot: return "cache_snapshot";
+    default: return "unknown";
+  }
+}
+
+/// One request's telemetry. All durations in nanoseconds; vertex ids
+/// as signed 32-bit (-1 = none). Fits in 10 packed words (see
+/// flight_recorder.hpp for the layout).
+struct RequestRecord {
+  std::uint64_t id = 0;        ///< assigned by note_request (monotone, global)
+  std::uint8_t kind = kKindFullSssp;
+  std::uint8_t status_code = 0;   ///< reliability::StatusCode value
+  std::uint8_t outcome = 0;       ///< query::Outcome value (engines) or 0
+  bool aborted = false;           ///< task exited by throwing (incl. injected faults)
+  bool had_deadline = false;      ///< deadline_slack_ns is meaningful
+  std::uint32_t tid = 0;          ///< obs::current_tid() of the finishing thread
+  std::int32_t source = -1;
+  std::int32_t target = -1;
+  std::uint64_t admission_wait_ns = 0;  ///< submit → admitted (blocked/preflight)
+  std::uint64_t queue_wait_ns = 0;      ///< admitted → task started on a worker
+  std::uint64_t compute_ns = 0;         ///< inside the search core
+  std::uint64_t total_ns = 0;           ///< submit → resolved
+  std::uint64_t settled = 0;
+  std::uint64_t relaxations = 0;
+  std::int64_t deadline_slack_ns = 0;   ///< remaining budget at resolution (<0 = overran)
+};
+
+/// Fans one finished request out to every sink: per-kind latency
+/// histogram + time-split histograms in the MetricsRegistry, the
+/// flight-recorder ring (with auto-dump on bad outcomes), and the
+/// `obs.requests.recorded` counter. Assigns rec.id. Safe from any
+/// thread; never throws. Compiled to an empty function when
+/// CACHEGRAPH_INSTRUMENT is off (call sites are `if constexpr`-gated
+/// anyway).
+void note_request(const RequestRecord& rec) noexcept;
+
+}  // namespace cachegraph::obs

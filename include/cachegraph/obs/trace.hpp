@@ -12,6 +12,15 @@
 // (the newest installed one records); the install slot is atomic and
 // begin/end are mutex-guarded, so spans opened on task-pool workers or
 // inside an OpenMP region cannot corrupt the event list.
+//
+// Threads: every event carries the recording thread's stable id
+// (obs::current_tid()), so per-worker lanes separate in the viewer.
+// Threads that register a name via set_current_thread_name() (the
+// TaskPool names its workers "pool.worker-N") get an 'M'-phase
+// thread_name metadata event per session, which chrome://tracing and
+// Perfetto use to label the lane. complete(name, t0, t1) records an
+// 'X' (complete) event after the fact — how the query engine attaches
+// queue-wait child spans it only knows retrospectively.
 #pragma once
 
 #include <chrono>
@@ -20,16 +29,31 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cachegraph::obs {
 
+/// Stable dense id for the calling thread (declared in histogram.hpp,
+/// defined in trace.cpp — both layers stripe/label by it).
+[[nodiscard]] std::uint32_t current_tid() noexcept;
+
+/// Registers a display name for the calling thread; every TraceSession
+/// emits it as an 'M'-phase thread_name metadata event. Re-registering
+/// overwrites. Safe from any thread.
+void set_current_thread_name(std::string_view name);
+
+/// Snapshot of every registered (tid, name) pair.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>> thread_names();
+
 class TraceSession {
  public:
   struct Event {
-    char phase;        ///< 'B', 'E', or 'i' (instant)
+    char phase;        ///< 'B', 'E', 'i' (instant), or 'X' (complete)
     std::string name;
     double ts_us;      ///< microseconds since session start
+    std::uint32_t tid; ///< recording thread (obs::current_tid())
+    double dur_us;     ///< 'X' events only: span duration
   };
 
   /// Installs this session as the current recording target.
@@ -46,6 +70,10 @@ class TraceSession {
   void begin(std::string_view name);
   void end(std::string_view name);
   void instant(std::string_view name);
+  /// Records a complete ('X') event for a span measured elsewhere —
+  /// clamped to the session start when `t0` predates it.
+  void complete(std::string_view name, std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1);
 
   [[nodiscard]] std::size_t num_events() const;
   [[nodiscard]] std::vector<Event> events() const;
@@ -56,7 +84,7 @@ class TraceSession {
   bool write_file(const std::string& path) const;
 
  private:
-  void record(char phase, std::string_view name);
+  void record(char phase, std::string_view name, double dur_us = 0.0);
 
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mu_;

@@ -68,6 +68,22 @@ class LeasePool {
     return capacity_.load(std::memory_order_relaxed);
   }
 
+  /// Objects currently sitting on the free list (point-in-time).
+  [[nodiscard]] std::size_t available() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+  /// Objects currently out on lease: built-ever minus free. A
+  /// point-in-time utilization sample for the telemetry gauges (the
+  /// two reads are not atomic together; the value may be off by one
+  /// under concurrent release, which a gauge tolerates).
+  [[nodiscard]] std::size_t outstanding() const {
+    const auto built = static_cast<std::size_t>(allocs_.load(std::memory_order_relaxed));
+    const std::size_t free_now = available();
+    return built > free_now ? built - free_now : 0;
+  }
+
   /// RAII lease: holds the object until scope exit, then returns it to
   /// the free list. Movable (so try_acquire can hand it through an
   /// optional); a moved-from lease returns nothing.
@@ -158,7 +174,7 @@ class LeasePool {
   }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<T>> free_;
   std::atomic<std::size_t> capacity_{0};
   std::atomic<std::uint64_t> allocs_{0};

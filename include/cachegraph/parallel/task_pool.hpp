@@ -93,6 +93,12 @@ class TaskPool {
   /// of blocking a slot).
   bool help_one() { return run_one(); }
 
+  /// Tasks submitted but not yet picked up (a point-in-time sample —
+  /// the telemetry layer's pool.queue_depth gauge).
+  [[nodiscard]] std::size_t queued() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
 

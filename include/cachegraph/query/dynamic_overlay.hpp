@@ -190,6 +190,20 @@ class DynamicOverlay {
   /// Monotone counter bumped by every mutation.
   [[nodiscard]] std::uint64_t structure_version() const noexcept { return structure_version_; }
 
+  /// How many distinct components (under the current, possibly
+  /// conservative partition) have been touched by at least one edge
+  /// update — i.e. how much of a ResultCache over this overlay is
+  /// exposed to invalidation. O(n) union-find walk: sample it at batch
+  /// boundaries (the telemetry gauge does), don't poll it per query.
+  [[nodiscard]] std::size_t dirty_components() const {
+    const auto n = static_cast<std::size_t>(num_vertices());
+    std::size_t dirty = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (uf_.find(v) == v && comp_version_[v] > 0) ++dirty;
+    }
+    return dirty;
+  }
+
   /// Recomputes the weak-component partition from the live edge set
   /// (removals can split components; union-find alone cannot). Each
   /// new component inherits the maximum stamp among its members'

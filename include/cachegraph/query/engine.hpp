@@ -53,6 +53,17 @@
 // CG_TRACE_SPAN("query.run") and one span per request named after its
 // kind, and a pool counter flush per batch.
 //
+// Serving telemetry (CACHEGRAPH_INSTRUMENT builds; compiled out
+// otherwise): every resolved request emits an obs::RequestRecord —
+// admission-wait / queue-wait / compute time splits, settled and
+// relaxation counts, outcome + status, deadline slack — fanned out by
+// obs::note_request to the per-kind latency histograms in the
+// MetricsRegistry and the always-on FlightRecorder ring; traced runs
+// additionally get a retrospective "queue_wait" child span ('X' event)
+// per request. Batch boundaries sample the gauges (pool queue depth,
+// in-flight requests, scratch-lease utilization) and poll the periodic
+// metrics snapshot writer.
+//
 // Threading contract: the graph view must stay unmodified while
 // requests run (mutate a DynamicOverlay only at quiescent points —
 // the ResultCache's revalidation flow). run()/try_run() may be called
@@ -63,6 +74,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -77,6 +89,8 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/graph/concepts.hpp"
 #include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/obs/trace.hpp"
 #include "cachegraph/parallel/lease_pool.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
@@ -199,15 +213,28 @@ class QueryEngine {
   void run(std::span<const Request<W>> requests, parallel::TaskPool& pool, Sink&& sink) {
     CG_TRACE_SPAN("query.run");
     for (const auto& req : requests) validate(req);
+    std::vector<tel_clock::time_point> t_submit;
+    if constexpr (obs::kTelemetryEnabled) t_submit.resize(requests.size());
     {
       parallel::TaskGroup group(pool);
       for (std::size_t i = 0; i < requests.size(); ++i) {
         const Request<W>& req = requests[i];
-        group.run([this, i, &req, &sink] {
+        if constexpr (obs::kTelemetryEnabled) t_submit[i] = tel_clock::now();
+        group.run([this, i, &req, &sink, &t_submit] {
+          tel_clock::time_point t_start{}, e0{}, e1{};
+          if constexpr (obs::kTelemetryEnabled) t_start = tel_clock::now();
           const auto lease =
               scratch_pool_.acquire([this] { return std::make_unique<Scratch>(n_); });
           Scratch& sc = lease.get();
+          if constexpr (obs::kTelemetryEnabled) e0 = tel_clock::now();
           const Response resp = execute(req, sc);
+          if constexpr (obs::kTelemetryEnabled) {
+            e1 = tel_clock::now();
+            // No admission gate on the legacy surface: submit == admit,
+            // so the record's admission wait is zero by construction.
+            finish_telemetry(req, resp, &sc, ServeOptions{}, /*aborted=*/false, t_submit[i],
+                             t_submit[i], t_start, e0, e1);
+          }
           sink(i, req, resp, static_cast<const Scratch&>(sc));
         });
       }
@@ -216,6 +243,7 @@ class QueryEngine {
     requests_.fetch_add(requests.size(), std::memory_order_relaxed);
     CG_COUNTER_INC("query.runs");
     pool.flush_counters();
+    if constexpr (obs::kTelemetryEnabled) sample_gauges(pool);
   }
 
   /// Materialized overload: just the per-request summaries (the sink
@@ -259,27 +287,49 @@ class QueryEngine {
     const Admission adm = admission_;
 
     std::vector<Response> pre(m);  // submitting-thread resolutions
+    std::vector<tel_clock::time_point> t_submit, t_admit;
+    if constexpr (obs::kTelemetryEnabled) {
+      t_submit.resize(m);
+      t_admit.resize(m);
+    }
     {
       parallel::TaskGroup group(pool);
       for (std::size_t i = 0; i < m; ++i) {
         const Request<W>& req = requests[i];
+        if constexpr (obs::kTelemetryEnabled) t_submit[i] = tel_clock::now();
         Response early;
         early.status = preflight(req, opts, adm, pool, in_flight, active, active_mu, tokens);
         if (!early.status.is_ok()) {
           resolved[i] = 1;
           pre[i] = early;
+          if constexpr (obs::kTelemetryEnabled) {
+            // Never ran: the whole life was spent (blocked) in
+            // preflight, which finish_telemetry books as admission wait.
+            finish_telemetry(req, early, nullptr, opts, /*aborted=*/false, t_submit[i], {}, {},
+                             {}, {});
+          }
           sink(i, req, static_cast<const Response&>(pre[i]), empty_);
           continue;
         }
-        in_flight.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t now_in_flight = in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+        if constexpr (obs::kTelemetryEnabled) {
+          t_admit[i] = tel_clock::now();
+          static obs::Gauge& g_in_flight = obs::MetricsRegistry::instance().gauge("query.in_flight");
+          g_in_flight.set(static_cast<double>(now_in_flight));
+        } else {
+          (void)now_in_flight;
+        }
         {
           const std::lock_guard<std::mutex> lock(active_mu);
           active.push_back(i);
         }
         group.run([this, i, &req, &sink, &opts, &tokens, &resolved, &active, &active_mu,
-                   &in_flight] {
+                   &in_flight, &t_submit, &t_admit] {
           Response resp;
           bool scratch_valid = false;
+          bool aborted = false;
+          tel_clock::time_point t_start{}, e0{}, e1{};
+          if constexpr (obs::kTelemetryEnabled) t_start = tel_clock::now();
           reliability::Status lease_status;
           auto lease = acquire_scratch(opts.deadline, lease_status);
           if (!lease) {
@@ -287,6 +337,7 @@ class QueryEngine {
           } else {
             ServeOptions per = opts;
             per.cancel = tokens[i].get();
+            if constexpr (obs::kTelemetryEnabled) e0 = tel_clock::now();
             try {
               resp = execute(req, lease->get(), per);
               scratch_valid = true;
@@ -294,11 +345,20 @@ class QueryEngine {
               resp = Response{};
               resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
               note_abort();
+              aborted = true;
             } catch (...) {
               resp = Response{};
               resp.status = reliability::cancelled("task aborted: unknown exception");
               note_abort();
+              aborted = true;
             }
+            if constexpr (obs::kTelemetryEnabled) e1 = tel_clock::now();
+          }
+          if constexpr (obs::kTelemetryEnabled) {
+            finish_telemetry(req, resp, scratch_valid ? &lease->get() : nullptr, opts, aborted,
+                             t_submit[i], t_admit[i], t_start, e0, e1);
+          } else {
+            (void)aborted;
           }
           // Bookkeeping before the sink: a throwing sink must not
           // leak its admission slot or its shed-victim entry.
@@ -334,6 +394,7 @@ class QueryEngine {
     }
     CG_COUNTER_INC("query.runs");
     pool.flush_counters();
+    if constexpr (obs::kTelemetryEnabled) sample_gauges(pool);
   }
 
   /// Materialized hardened batch: one definite-status Response per
@@ -424,10 +485,17 @@ class QueryEngine {
   /// bounds batches; a serial caller is its own backpressure).
   template <typename Fn>
   Response try_serve(const Request<W>& req, const ServeOptions& opts, Fn&& fn) {
+    tel_clock::time_point t_submit{}, e0{}, e1{};
+    if constexpr (obs::kTelemetryEnabled) t_submit = tel_clock::now();
+    bool aborted = false;
+    bool searched = false;
     Response resp;
     resp.status = validate_status(req);
     if (!resp.status.is_ok()) {
       CG_COUNTER_INC("reliability.requests.invalid");
+      if constexpr (obs::kTelemetryEnabled) {
+        finish_telemetry(req, resp, nullptr, opts, false, t_submit, {}, {}, {}, {});
+      }
       fn(static_cast<const Response&>(resp), empty_);
       return resp;
     }
@@ -435,23 +503,48 @@ class QueryEngine {
     auto lease = acquire_scratch(opts.deadline, lease_status);
     if (!lease) {
       resp.status = lease_status;
+      if constexpr (obs::kTelemetryEnabled) {
+        finish_telemetry(req, resp, nullptr, opts, false, t_submit, {}, {}, {}, {});
+      }
       fn(static_cast<const Response&>(resp), empty_);
       return resp;
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kTelemetryEnabled) e0 = tel_clock::now();
     try {
       resp = execute(req, lease->get(), opts);
+      searched = true;
+      if constexpr (obs::kTelemetryEnabled) {
+        e1 = tel_clock::now();
+        // Serial surface: no queue, no admission — submit is admit is
+        // start, so the record's waits are zero and compute dominates.
+        finish_telemetry(req, resp, &lease->get(), opts, false, t_submit, t_submit, t_submit,
+                         e0, e1);
+      }
       fn(static_cast<const Response&>(resp), static_cast<const Scratch&>(lease->get()));
     } catch (const std::exception& e) {
       resp = Response{};
       resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
       note_abort();
+      aborted = true;
       fn(static_cast<const Response&>(resp), empty_);
     } catch (...) {
       resp = Response{};
       resp.status = reliability::cancelled("task aborted: unknown exception");
       note_abort();
+      aborted = true;
       fn(static_cast<const Response&>(resp), empty_);
+    }
+    if constexpr (obs::kTelemetryEnabled) {
+      if (aborted && !searched) {
+        // execute() itself threw (the search never resolved); the
+        // success path above already recorded resolved requests.
+        if (e1 == tel_clock::time_point{}) e1 = tel_clock::now();
+        finish_telemetry(req, resp, nullptr, opts, true, t_submit, t_submit, t_submit, e0, e1);
+      }
+    } else {
+      (void)aborted;
+      (void)searched;
     }
     return resp;
   }
@@ -596,6 +689,69 @@ class QueryEngine {
   void note_abort() noexcept {
     aborted_.fetch_add(1, std::memory_order_relaxed);
     CG_COUNTER_INC("reliability.requests.aborted");
+  }
+
+  using tel_clock = std::chrono::steady_clock;
+
+  /// Builds one finished request's RequestRecord and fans it out
+  /// (histograms + flight recorder via obs::note_request, plus a
+  /// retrospective queue-wait child span when a trace session is
+  /// installed). Zero time_points mean "that stage never happened":
+  /// admit == {} books the whole submit→now interval as admission wait
+  /// (the request died in preflight), e0 == e1 == {} means no search
+  /// ran. Call sites are `if constexpr (obs::kTelemetryEnabled)`-gated.
+  void finish_telemetry(const Request<W>& req, const Response& resp, const Scratch* sc,
+                        const ServeOptions& opts, bool aborted, tel_clock::time_point submit,
+                        tel_clock::time_point admit, tel_clock::time_point start,
+                        tel_clock::time_point e0, tel_clock::time_point e1) {
+    const auto now = tel_clock::now();
+    const auto ns = [](tel_clock::duration d) -> std::uint64_t {
+      const auto v = std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+      return v <= 0 ? 0 : static_cast<std::uint64_t>(v);
+    };
+    obs::RequestRecord rec;
+    rec.kind = kind_index_of(req);
+    rec.source = static_cast<std::int32_t>(source_of(req));
+    if (const auto* p = std::get_if<PointToPoint>(&req)) {
+      rec.target = static_cast<std::int32_t>(p->target);
+    }
+    rec.status_code = static_cast<std::uint8_t>(resp.status.code());
+    rec.outcome = static_cast<std::uint8_t>(resp.outcome);
+    rec.aborted = aborted;
+    rec.settled = resp.settled;
+    rec.relaxations = sc != nullptr ? sc->relaxations() : 0;
+    rec.admission_wait_ns =
+        admit == tel_clock::time_point{} ? ns(now - submit) : ns(admit - submit);
+    if (start != tel_clock::time_point{} && admit != tel_clock::time_point{}) {
+      rec.queue_wait_ns = ns(start - admit);
+    }
+    rec.compute_ns = ns(e1 - e0);
+    rec.total_ns = ns(now - submit);
+    if (opts.deadline.armed()) {
+      rec.had_deadline = true;
+      rec.deadline_slack_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(opts.deadline.when() - now)
+              .count();
+    }
+    obs::note_request(rec);
+    if (auto* session = obs::TraceSession::current()) {
+      if (admit != tel_clock::time_point{} && start != tel_clock::time_point{} &&
+          start > admit) {
+        session->complete("queue_wait", admit, start);
+      }
+    }
+  }
+
+  /// Batch-boundary gauge sample + periodic-snapshot poll.
+  void sample_gauges(parallel::TaskPool& pool) {
+    auto& mr = obs::MetricsRegistry::instance();
+    static obs::Gauge& g_depth = mr.gauge("parallel.pool.queue_depth");
+    static obs::Gauge& g_out = mr.gauge("query.scratch.outstanding");
+    static obs::Gauge& g_free = mr.gauge("query.scratch.available");
+    g_depth.set(static_cast<double>(pool.queued()));
+    g_out.set(static_cast<double>(scratch_pool_.outstanding()));
+    g_free.set(static_cast<double>(scratch_pool_.available()));
+    mr.poll_snapshot();
   }
 
   Response execute(const Request<W>& req, Scratch& sc, const ServeOptions& opts = {}) {

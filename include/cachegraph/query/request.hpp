@@ -16,6 +16,7 @@
 //   FullSSSP{source}              run to exhaustion (the batch case)
 #pragma once
 
+#include <cstdint>
 #include <variant>
 
 #include "cachegraph/common/types.hpp"
@@ -54,6 +55,14 @@ using Request = std::variant<PointToPoint, KNearest, Bounded<W>, FullSSSP>;
 template <Weight W>
 [[nodiscard]] constexpr vertex_t source_of(const Request<W>& r) noexcept {
   return std::visit([](const auto& req) { return req.source; }, r);
+}
+
+/// Dense request-kind index in variant-alternative order — the
+/// telemetry layer's histogram/record key (matches obs::RequestKind's
+/// first four values; telemetry_test asserts the label tables agree).
+template <Weight W>
+[[nodiscard]] constexpr std::uint8_t kind_index_of(const Request<W>& r) noexcept {
+  return static_cast<std::uint8_t>(r.index());
 }
 
 /// Stable span/counter label per request shape.

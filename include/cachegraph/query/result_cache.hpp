@@ -44,6 +44,7 @@
 // under query.cache.snapshot_* and reliability.snapshot.data_loss.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -59,6 +60,8 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/checksum.hpp"
 #include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/dynamic_overlay.hpp"
 #include "cachegraph/query/engine.hpp"
@@ -199,6 +202,8 @@ class ResultCache {
   /// re-convergence path: after edge updates, only sources whose
   /// component stamp moved are re-run.
   EnsureReport ensure(std::span<const vertex_t> sources, parallel::TaskPool& pool) {
+    [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+    if constexpr (obs::kTelemetryEnabled) t0 = std::chrono::steady_clock::now();
     EnsureReport report;
     std::vector<vertex_t> stale;
     std::vector<std::uint64_t> stamps;  // read before compute, stored after
@@ -217,7 +222,10 @@ class ResultCache {
       }
     }
     report.recomputed = stale.size();
-    if (stale.empty()) return report;
+    if (stale.empty()) {
+      note_ensure(t0);
+      return report;
+    }
 
     std::vector<Request<W>> requests;
     requests.reserve(stale.size());
@@ -233,9 +241,12 @@ class ResultCache {
                   computed[i] = std::move(tree);
                 });
 
-    const std::scoped_lock lock(mu_);
-    stats_.recomputes += stale.size();
-    for (std::size_t i = 0; i < stale.size(); ++i) trees_[stale[i]] = std::move(computed[i]);
+    {
+      const std::scoped_lock lock(mu_);
+      stats_.recomputes += stale.size();
+      for (std::size_t i = 0; i < stale.size(); ++i) trees_[stale[i]] = std::move(computed[i]);
+    }
+    note_ensure(t0);
     return report;
   }
 
@@ -319,7 +330,29 @@ class ResultCache {
   /// is left exactly as it was (rebuild by serving traffic). Loaded
   /// entries are restamped against the live overlay (see header
   /// comment), so a successful load serves hits immediately.
+  ///
+  /// Telemetry: a failed load is exactly the event the flight recorder
+  /// exists for, so every non-OK status emits a RequestRecord (kind
+  /// cache_snapshot) — a DATA_LOSS code trips the recorder's auto-dump.
   [[nodiscard]] reliability::Status load_snapshot(const std::filesystem::path& path) {
+    [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+    if constexpr (obs::kTelemetryEnabled) t0 = std::chrono::steady_clock::now();
+    const reliability::Status st = load_snapshot_impl(path);
+    if constexpr (obs::kTelemetryEnabled) {
+      if (!st.is_ok()) {
+        obs::RequestRecord rec;
+        rec.kind = obs::kKindCacheSnapshot;
+        rec.status_code = static_cast<std::uint8_t>(st.code());
+        rec.total_ns = elapsed_ns(t0);
+        obs::note_request(rec);
+      }
+      sample_telemetry_gauges();
+    }
+    return st;
+  }
+
+ private:
+  [[nodiscard]] reliability::Status load_snapshot_impl(const std::filesystem::path& path) {
     std::string image;
     {
       std::FILE* f = std::fopen(path.string().c_str(), "rb");
@@ -408,6 +441,7 @@ class ResultCache {
     return {};
   }
 
+ public:
   /// Hash of the live edge set (every surviving base edge plus every
   /// overlay insertion, per-vertex order). Two overlays agree iff a
   /// snapshot from one is servable by the other.
@@ -429,6 +463,45 @@ class ResultCache {
   [[nodiscard]] static reliability::Status data_loss_status(std::string msg) {
     CG_COUNTER_INC("reliability.snapshot.data_loss");
     return reliability::data_loss(std::move(msg));
+  }
+
+  [[nodiscard]] static std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  }
+
+  /// ensure() telemetry: batch latency histogram + the cache-health
+  /// gauges, sampled once per batch (dirty_components walks the whole
+  /// union-find). Compiled out with the rest of the layer.
+  void note_ensure([[maybe_unused]] std::chrono::steady_clock::time_point t0) {
+    if constexpr (obs::kTelemetryEnabled) {
+      static obs::LatencyHistogram& ensure_ns =
+          obs::MetricsRegistry::instance().histogram("query.cache.ensure_ns");
+      ensure_ns.record(elapsed_ns(t0));
+      sample_telemetry_gauges();
+    }
+  }
+
+  /// Point-in-time cache health for the scrape: lifetime hit rate
+  /// (hits over all lookups, 0 until the first lookup) and how many
+  /// overlay components have ever been dirtied.
+  void sample_telemetry_gauges() {
+    if constexpr (obs::kTelemetryEnabled) {
+      Stats s;
+      {
+        const std::scoped_lock lock(mu_);
+        s = stats_;
+      }
+      auto& mr = obs::MetricsRegistry::instance();
+      static obs::Gauge& hit_rate = mr.gauge("query.cache.hit_rate");
+      static obs::Gauge& dirty = mr.gauge("query.overlay.dirty_components");
+      const std::uint64_t lookups = s.hits + s.misses + s.invalidations;
+      if (lookups > 0) {
+        hit_rate.set(static_cast<double>(s.hits) / static_cast<double>(lookups));
+      }
+      dirty.set(static_cast<double>(overlay_.dirty_components()));
+    }
   }
 
   /// Requires mu_ held. Counts the outcome.

@@ -52,6 +52,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -61,6 +62,7 @@
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/obs/trace.hpp"
 #include "cachegraph/parallel/lease_pool.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
@@ -163,7 +165,24 @@ class BatchEngine {
             CG_COUNTER_INC("sssp.batch.scratch_allocs");
           }
           Scratch& sc = lease.get();
+          [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+          if constexpr (obs::kTelemetryEnabled) t0 = std::chrono::steady_clock::now();
           run_query(sc, s);
+          if constexpr (obs::kTelemetryEnabled) {
+            // One record per source: the compute time IS the total here
+            // (batch sources have no admission or queue-wait split of
+            // their own — the TaskPool span covers scheduling).
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            const auto raw = std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+            obs::RequestRecord rec;
+            rec.kind = obs::kKindBatchSource;
+            rec.source = static_cast<std::int32_t>(s);
+            rec.compute_ns = raw > 0 ? static_cast<std::uint64_t>(raw) : 0;
+            rec.total_ns = rec.compute_ns;
+            rec.settled = sc.settled();
+            rec.relaxations = sc.relaxations();
+            obs::note_request(rec);
+          }
           sink(i, s, static_cast<const Scratch&>(sc));
         });
       }

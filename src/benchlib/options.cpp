@@ -86,13 +86,15 @@ Options parse_options(int argc, char** argv) {
       o.machine = std::string(arg.substr(10));
     } else if (parse_string_flag("--json", argc, argv, i, o.json) ||
                parse_string_flag("--tag", argc, argv, i, o.tag) ||
-               parse_string_flag("--trace", argc, argv, i, o.trace)) {
+               parse_string_flag("--trace", argc, argv, i, o.trace) ||
+               parse_string_flag("--metrics", argc, argv, i, o.metrics)) {
       // handled
     } else if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: " << argv[0]
           << " [--full] [--csv] [--stats] [--reps=N] [--seed=N] [--threads=N]\n"
              "       [--machine=NAME] [--json PATH] [--tag LABEL] [--trace PATH]\n"
+             "       [--metrics PATH]\n"
              "\n"
              "  --full         paper-scale problem sizes (default: quick sizes)\n"
              "  --csv          machine-readable table output\n"
@@ -108,7 +110,10 @@ Options parse_options(int argc, char** argv) {
              "                 counters, and simulated cache stats where applicable\n"
              "  --tag LABEL    free-form label copied into the JSON report\n"
              "  --trace PATH   write a Chrome trace_event timeline (open in\n"
-             "                 chrome://tracing or https://ui.perfetto.dev)\n";
+             "                 chrome://tracing or https://ui.perfetto.dev)\n"
+             "  --metrics PATH write the telemetry registry's Prometheus text\n"
+             "                 exposition to PATH at exit (with --json, the JSON\n"
+             "                 metrics export is folded into the report too)\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";

@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "cachegraph/benchlib/table.hpp"
 #include "cachegraph/common/json.hpp"
+#include "cachegraph/obs/metrics.hpp"
 
 namespace cachegraph::bench {
 
@@ -30,7 +32,13 @@ Harness::Harness(std::ostream& os, const Options& opt, std::string exhibit, std:
   // Counters accrue between measurements too (e.g. during a simulated
   // run that ends in sim()); start each exhibit from zero.
   obs::CounterRegistry::instance().reset();
-  if (!opt_.trace.empty()) trace_ = std::make_unique<obs::TraceSession>();
+  if (!opt_.trace.empty()) {
+    // Label the driving thread's lane; pool workers name themselves on
+    // startup. On a 1-worker pool the caller is the only lane, so this
+    // keeps the trace from showing bare tids.
+    obs::set_current_thread_name("bench.main");
+    trace_ = std::make_unique<obs::TraceSession>();
+  }
 }
 
 Harness::~Harness() {
@@ -160,6 +168,14 @@ bool Harness::write_json_report() const {
     w.end_object();
   }
   w.end_array();
+  if (!opt_.metrics.empty()) {
+    // The full metrics export (histogram percentiles included) rides
+    // along in the report when the caller opted into --metrics —
+    // CI's smoke job asserts percentile monotonicity on this.
+    std::ostringstream metrics_json;
+    obs::MetricsRegistry::instance().render_json(metrics_json);
+    w.key("metrics").raw(metrics_json.str());
+  }
   w.end_object();
   f << "\n";
   return static_cast<bool>(f);
@@ -178,6 +194,14 @@ void Harness::finish() {
           << " — open in chrome://tracing or https://ui.perfetto.dev)\n";
     } else {
       std::cerr << "cannot write trace to " << opt_.trace << "\n";
+    }
+  }
+  if (!opt_.metrics.empty()) {
+    const auto st = obs::MetricsRegistry::instance().write_prometheus_file(opt_.metrics);
+    if (st.is_ok()) {
+      os_ << "(metrics written to " << opt_.metrics << ")\n";
+    } else {
+      std::cerr << "cannot write metrics to " << opt_.metrics << ": " << st.message() << "\n";
     }
   }
 }

@@ -1,0 +1,196 @@
+#include "cachegraph/obs/flight_recorder.hpp"
+
+#include <sstream>
+
+#include "cachegraph/common/json.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/trace.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder rec;
+  return rec;
+}
+
+// Record ⇄ 10-word wire layout. Word 1 packs the small fields:
+//   bits  0..7   kind          bits  8..15  status_code
+//   bits 16..23  outcome       bit  24      aborted
+//   bit  25      had_deadline  bits 32..63  tid
+void FlightRecorder::pack(const RequestRecord& rec,
+                          std::array<std::uint64_t, kWordsPerRecord>& w) noexcept {
+  w[0] = rec.id;
+  w[1] = static_cast<std::uint64_t>(rec.kind) |
+         (static_cast<std::uint64_t>(rec.status_code) << 8) |
+         (static_cast<std::uint64_t>(rec.outcome) << 16) |
+         (static_cast<std::uint64_t>(rec.aborted ? 1 : 0) << 24) |
+         (static_cast<std::uint64_t>(rec.had_deadline ? 1 : 0) << 25) |
+         (static_cast<std::uint64_t>(rec.tid) << 32);
+  w[2] = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.source))) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.target)) << 32);
+  w[3] = rec.admission_wait_ns;
+  w[4] = rec.queue_wait_ns;
+  w[5] = rec.compute_ns;
+  w[6] = rec.total_ns;
+  w[7] = rec.settled;
+  w[8] = rec.relaxations;
+  w[9] = static_cast<std::uint64_t>(rec.deadline_slack_ns);
+}
+
+RequestRecord FlightRecorder::unpack(const std::array<std::uint64_t, kWordsPerRecord>& w) noexcept {
+  RequestRecord rec;
+  rec.id = w[0];
+  rec.kind = static_cast<std::uint8_t>(w[1] & 0xff);
+  rec.status_code = static_cast<std::uint8_t>((w[1] >> 8) & 0xff);
+  rec.outcome = static_cast<std::uint8_t>((w[1] >> 16) & 0xff);
+  rec.aborted = ((w[1] >> 24) & 1) != 0;
+  rec.had_deadline = ((w[1] >> 25) & 1) != 0;
+  rec.tid = static_cast<std::uint32_t>(w[1] >> 32);
+  rec.source = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[2] & 0xffffffffull));
+  rec.target = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[2] >> 32));
+  rec.admission_wait_ns = w[3];
+  rec.queue_wait_ns = w[4];
+  rec.compute_ns = w[5];
+  rec.total_ns = w[6];
+  rec.settled = w[7];
+  rec.relaxations = w[8];
+  rec.deadline_slack_ns = static_cast<std::int64_t>(w[9]);
+  return rec;
+}
+
+bool FlightRecorder::is_dump_trigger(const RequestRecord& rec) noexcept {
+  using reliability::StatusCode;
+  const auto code = static_cast<StatusCode>(rec.status_code);
+  return rec.aborted || code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kOverloaded || code == StatusCode::kDataLoss;
+}
+
+void FlightRecorder::note(const RequestRecord& rec) noexcept {
+  std::array<std::uint64_t, kWordsPerRecord> w;
+  pack(rec, w);
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket % kCapacity];
+  // Seqlock write: odd while the words are in flux, even once stable.
+  // The sequence is derived from the ticket's lap (not read-modify-
+  // write), so a reader knows exactly which value marks slot `ticket`
+  // as stable and a lapping writer is detected by value, not parity
+  // alone. Every word is an atomic, so even a pathological lap race is
+  // data-race-free; the seq check discards the torn copy.
+  const std::uint64_t lap = ticket / kCapacity + 1;
+  slot.seq.store(2 * lap - 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kWordsPerRecord; ++i) {
+    slot.words[i].store(w[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * lap, std::memory_order_release);
+  if (is_dump_trigger(rec)) maybe_auto_dump(rec);
+}
+
+void FlightRecorder::arm_auto_dump(std::string path, std::chrono::milliseconds min_interval) {
+  const std::lock_guard<std::mutex> lock(arm_mu_);
+  dump_path_ = std::move(path);
+  min_interval_ = min_interval;
+  ever_dumped_ = false;
+}
+
+void FlightRecorder::disarm_auto_dump() {
+  const std::lock_guard<std::mutex> lock(arm_mu_);
+  dump_path_.clear();
+}
+
+void FlightRecorder::maybe_auto_dump(const RequestRecord& rec) noexcept {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(arm_mu_);
+    if (dump_path_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (ever_dumped_ && now - last_dump_ < min_interval_) return;
+    ever_dumped_ = true;
+    last_dump_ = now;
+    path = dump_path_;
+  }
+  // Bad outcomes are rare and rate-limited; the file write happens on
+  // the resolving thread, never throws out (write_file is noexcept in
+  // effect: Status-returning I/O inside, swallow-all here).
+  try {
+    if (write_file(path, &rec)) {
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* s = TraceSession::current()) s->instant("flight_recorder.dump");
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — dumps are best-effort
+  }
+}
+
+std::vector<RequestRecord> FlightRecorder::dump() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = head < kCapacity ? head : kCapacity;
+  std::vector<RequestRecord> out;
+  out.reserve(n);
+  for (std::uint64_t t = head - n; t < head; ++t) {
+    const Slot& slot = ring_[t % kCapacity];
+    const std::uint64_t want = 2 * (t / kCapacity + 1);  // "ticket t is stable here"
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;  // mid-write or lapped
+    std::array<std::uint64_t, kWordsPerRecord> w;
+    for (std::size_t i = 0; i < kWordsPerRecord; ++i) {
+      w[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;  // lapped mid-copy
+    out.push_back(unpack(w));
+  }
+  return out;
+}
+
+namespace {
+void write_record(json::Writer& w, const RequestRecord& rec) {
+  w.begin_object();
+  w.key("id").value(rec.id);
+  w.key("kind").value(request_kind_name(rec.kind));
+  w.key("status").value(
+      reliability::to_string(static_cast<reliability::StatusCode>(rec.status_code)));
+  w.key("outcome").value(static_cast<std::uint64_t>(rec.outcome));
+  w.key("aborted").value(rec.aborted);
+  w.key("tid").value(static_cast<std::uint64_t>(rec.tid));
+  w.key("source").value(static_cast<std::int64_t>(rec.source));
+  w.key("target").value(static_cast<std::int64_t>(rec.target));
+  w.key("admission_wait_ns").value(rec.admission_wait_ns);
+  w.key("queue_wait_ns").value(rec.queue_wait_ns);
+  w.key("compute_ns").value(rec.compute_ns);
+  w.key("total_ns").value(rec.total_ns);
+  w.key("settled").value(rec.settled);
+  w.key("relaxations").value(rec.relaxations);
+  if (rec.had_deadline) w.key("deadline_slack_ns").value(rec.deadline_slack_ns);
+  w.end_object();
+}
+}  // namespace
+
+void FlightRecorder::write_json(std::ostream& os, const RequestRecord* trigger) const {
+  json::Writer w(os);
+  w.begin_object();
+  if (trigger != nullptr) {
+    w.key("trigger");
+    write_record(w, *trigger);
+  }
+  w.key("recent").begin_array();
+  for (const RequestRecord& rec : dump()) write_record(w, rec);
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+bool FlightRecorder::write_file(const std::string& path, const RequestRecord* trigger) const {
+  std::ostringstream os;
+  write_json(os, trigger);
+  return detail::write_file_atomic(path, os.str()).is_ok();
+}
+
+void FlightRecorder::clear() noexcept {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : ring_) {
+    slot.seq.store(0, std::memory_order_relaxed);
+    for (auto& word : slot.words) word.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cachegraph::obs

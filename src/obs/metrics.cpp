@@ -1,0 +1,210 @@
+#include "cachegraph/obs/metrics.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "cachegraph/common/json.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace cachegraph::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), std::make_unique<LatencyHistogram>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> MetricsRegistry::histograms() const {
+  // Collect the (stable) pointers under the lock, merge shards outside
+  // it: snapshotting walks kShards * kNumBuckets atomics per histogram
+  // and must not stall a concurrent histogram() lookup.
+  std::vector<std::pair<std::string, const LatencyHistogram*>> items;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items.reserve(hists_.size());
+    for (const auto& [name, h] : hists_) items.emplace_back(name, h.get());
+  }
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(items.size());
+  for (const auto& [name, h] : items) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::string MetricsRegistry::sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name.front())) != 0) {
+    out += '_';
+  }
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  // Counters (CounterRegistry is the system of record for monotone
+  // event counts; the conventional _total suffix marks them).
+  for (const auto& [name, v] : CounterRegistry::instance().snapshot()) {
+    const std::string p = "cachegraph_" + sanitize_name(name) + "_total";
+    os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges()) {
+    const std::string p = "cachegraph_" + sanitize_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, snap] : histograms()) {
+    const std::string p = "cachegraph_" + sanitize_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    // Cumulative `le` buckets, only at occupied slots (the full 1920
+    // would drown a scrape); `le` is each bucket's inclusive max.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (snap.counts[i] == 0) continue;
+      cum += snap.counts[i];
+      os << p << "_bucket{le=\"" << LatencyHistogram::bucket_max(i) << "\"} " << cum << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    os << p << "_sum " << snap.sum << "\n";
+    os << p << "_count " << snap.count << "\n";
+  }
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  json::Writer w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : CounterRegistry::instance().snapshot()) {
+    w.key(name).value(v);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges()) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, snap] : histograms()) {
+    w.key(name).begin_object();
+    w.key("count").value(snap.count);
+    w.key("sum").value(snap.sum);
+    w.key("min").value(snap.min());
+    w.key("max").value(snap.max());
+    w.key("mean").value(snap.mean());
+    w.key("p50").value(snap.percentile(50));
+    w.key("p90").value(snap.percentile(90));
+    w.key("p99").value(snap.percentile(99));
+    w.key("p999").value(snap.percentile(99.9));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+namespace detail {
+reliability::Status write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return reliability::resource_exhausted("cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fflush(f) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) {
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return reliability::resource_exhausted("I/O failure writing " + path);
+  }
+  return {};
+}
+}  // namespace detail
+
+reliability::Status MetricsRegistry::write_prometheus_file(const std::string& path) const {
+  std::ostringstream os;
+  render_prometheus(os);
+  return detail::write_file_atomic(path, os.str());
+}
+
+reliability::Status MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ostringstream os;
+  render_json(os);
+  os << "\n";
+  return detail::write_file_atomic(path, os.str());
+}
+
+void MetricsRegistry::configure_snapshots(std::string path, std::chrono::milliseconds min_interval) {
+  const std::lock_guard<std::mutex> lock(snap_mu_);
+  snap_path_ = std::move(path);
+  snap_interval_ = min_interval;
+  ever_snapped_ = false;
+}
+
+void MetricsRegistry::disable_snapshots() {
+  const std::lock_guard<std::mutex> lock(snap_mu_);
+  snap_path_.clear();
+}
+
+void MetricsRegistry::poll_snapshot() {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(snap_mu_);
+    if (snap_path_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (ever_snapped_ && now - last_snap_ < snap_interval_) return;
+    ever_snapped_ = true;
+    last_snap_ = now;
+    path = snap_path_;
+  }
+  // Best-effort: a snapshot that cannot be written must not take the
+  // serving loop down; the failure surfaces as a missing/stale file.
+  if (write_json_file(path).is_ok()) {
+    snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, h] : hists_) h->reset();
+  for (auto& [name, g] : gauges_) g->set(0.0);
+}
+
+}  // namespace cachegraph::obs

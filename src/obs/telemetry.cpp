@@ -1,0 +1,63 @@
+#include "cachegraph/obs/telemetry.hpp"
+
+#include <array>
+#include <atomic>
+#include <string>
+
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/flight_recorder.hpp"
+#include "cachegraph/obs/histogram.hpp"
+#include "cachegraph/obs/metrics.hpp"
+
+namespace cachegraph::obs {
+
+namespace {
+
+/// Per-kind total-latency histograms, resolved once (the registry's
+/// stable-address contract makes caching the references safe, same as
+/// CG_COUNTER_ADD's function-local statics).
+LatencyHistogram& kind_latency(std::uint8_t kind) {
+  static std::array<LatencyHistogram*, kNumRequestKinds>* table = [] {
+    auto* t = new std::array<LatencyHistogram*, kNumRequestKinds>();
+    auto& reg = MetricsRegistry::instance();
+    for (std::uint8_t k = 0; k < kNumRequestKinds; ++k) {
+      (*t)[k] = &reg.histogram(std::string("query.latency_ns.") + request_kind_name(k));
+    }
+    return t;
+  }();
+  const std::uint8_t slot = kind < kNumRequestKinds ? kind : static_cast<std::uint8_t>(kKindFullSssp);
+  return *(*table)[slot];
+}
+
+}  // namespace
+
+void note_request(const RequestRecord& rec) noexcept {
+  try {
+    RequestRecord stamped = rec;
+    if (stamped.id == 0) {
+      stamped.id =
+          FlightRecorder::instance().next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stamped.tid == 0) stamped.tid = current_tid();
+
+    kind_latency(stamped.kind).record(stamped.total_ns);
+    auto& reg = MetricsRegistry::instance();
+    if (stamped.kind <= kKindFullSssp) {
+      // Engine requests carry meaningful time splits; batch sources and
+      // snapshot events only have a total.
+      static LatencyHistogram& queue_wait = reg.histogram("query.queue_wait_ns");
+      static LatencyHistogram& compute = reg.histogram("query.compute_ns");
+      queue_wait.record(stamped.queue_wait_ns);
+      compute.record(stamped.compute_ns);
+      if (stamped.admission_wait_ns > 0) {
+        static LatencyHistogram& admission = reg.histogram("query.admission_wait_ns");
+        admission.record(stamped.admission_wait_ns);
+      }
+    }
+    CG_COUNTER_INC("obs.requests.recorded");
+    FlightRecorder::instance().note(stamped);
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — telemetry must never take a request down
+  }
+}
+
+}  // namespace cachegraph::obs

@@ -1,7 +1,9 @@
 #include "cachegraph/obs/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <map>
 
 #include "cachegraph/common/json.hpp"
 
@@ -16,7 +18,36 @@ std::atomic<TraceSession*>& current_slot() noexcept {
   static std::atomic<TraceSession*> current{nullptr};
   return current;
 }
+
+// tid → display name, populated by set_current_thread_name. Guarded by
+// its own mutex (registration and write_json are both cold paths).
+struct ThreadNameRegistry {
+  std::mutex mu;
+  std::map<std::uint32_t, std::string> names;
+};
+ThreadNameRegistry& thread_name_registry() {
+  static auto* reg = new ThreadNameRegistry();  // leaked: outlives exiting threads
+  return *reg;
+}
 }  // namespace
+
+std::uint32_t current_tid() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_current_thread_name(std::string_view name) {
+  auto& reg = thread_name_registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.names[current_tid()] = std::string(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+  auto& reg = thread_name_registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return {reg.names.begin(), reg.names.end()};
+}
 
 TraceSession::TraceSession() : start_(std::chrono::steady_clock::now()) {
   prev_ = current_slot().load(std::memory_order_relaxed);
@@ -29,17 +60,27 @@ TraceSession* TraceSession::current() noexcept {
   return current_slot().load(std::memory_order_acquire);
 }
 
-void TraceSession::record(char phase, std::string_view name) {
+void TraceSession::record(char phase, std::string_view name, double dur_us) {
   const double ts_us =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
           .count();
   const std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{phase, std::string(name), ts_us});
+  events_.push_back(Event{phase, std::string(name), ts_us, current_tid(), dur_us});
 }
 
 void TraceSession::begin(std::string_view name) { record('B', name); }
 void TraceSession::end(std::string_view name) { record('E', name); }
 void TraceSession::instant(std::string_view name) { record('i', name); }
+
+void TraceSession::complete(std::string_view name, std::chrono::steady_clock::time_point t0,
+                            std::chrono::steady_clock::time_point t1) {
+  if (t1 < t0) t1 = t0;
+  if (t0 < start_) t0 = start_;  // span began before the session did
+  const double ts_us = std::chrono::duration<double, std::micro>(t0 - start_).count();
+  const double dur_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'X', std::string(name), ts_us, current_tid(), dur_us});
+}
 
 std::size_t TraceSession::num_events() const {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -56,14 +97,28 @@ void TraceSession::write_json(std::ostream& os) const {
   json::Writer w(os);
   w.begin_object();
   w.key("traceEvents").begin_array();
+  // Thread-name metadata first ('M' phase): viewers label each tid's
+  // lane with args.name instead of the bare number.
+  for (const auto& [tid, name] : thread_names()) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::uint64_t>(tid));
+    w.key("args").begin_object();
+    w.key("name").value(name);
+    w.end_object();
+    w.end_object();
+  }
   for (const Event& e : events_) {
     w.begin_object();
     w.key("name").value(e.name);
     w.key("cat").value("cachegraph");
     w.key("ph").value(std::string_view(&e.phase, 1));
     w.key("pid").value(1);
-    w.key("tid").value(1);
+    w.key("tid").value(static_cast<std::uint64_t>(e.tid));
     w.key("ts").value(e.ts_us);
+    if (e.phase == 'X') w.key("dur").value(e.dur_us);
     if (e.phase == 'i') w.key("s").value("t");  // instant scope: thread
     w.end_object();
   }

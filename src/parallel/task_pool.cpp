@@ -80,6 +80,7 @@ bool TaskPool::run_one() {
 void TaskPool::worker_loop(std::size_t id) {
   tls_pool = this;
   tls_slot = id;
+  obs::set_current_thread_name("pool.worker-" + std::to_string(id));
   while (!stop_.load(std::memory_order_acquire)) {
     if (!run_one()) {
       std::unique_lock<std::mutex> lock(idle_mu_);

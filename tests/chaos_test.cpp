@@ -18,18 +18,23 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "cachegraph/common/rng.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/graph/generators.hpp"
+#include "cachegraph/obs/flight_recorder.hpp"
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/dynamic_overlay.hpp"
 #include "cachegraph/query/engine.hpp"
 #include "cachegraph/query/result_cache.hpp"
 #include "cachegraph/reliability/fault_injector.hpp"
 #include "cachegraph/sssp/dijkstra.hpp"
+#include "test_util.hpp"
 
 namespace cachegraph::query {
 namespace {
@@ -152,6 +157,70 @@ TEST_P(ChaosThreads, ForcedTimeoutsResolveDeadlineExceededNotHang) {
     EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded) << r.status.to_string();
     EXPECT_EQ(r.settled, 0u) << "the entry poll fires before any vertex settles";
   }
+}
+
+TEST(Chaos, ForcedTimeoutLeavesAFlightRecorderDump) {
+#if !defined(CACHEGRAPH_INSTRUMENT)
+  GTEST_SKIP() << "built with CACHEGRAPH_INSTRUMENT=OFF — engines emit no telemetry records";
+#else
+  // The blackbox contract: an injected timeout must leave behind a
+  // crash-safe dump that names the timed-out request and carries its
+  // time splits — no tracing session, no scrape loop, just the
+  // always-on recorder.
+  const auto el = random_digraph<int>(120, 0.05, 23);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "chaos_flight_dump.json").string();
+  std::filesystem::remove(path);
+  const std::uint64_t dumps_before = fr.dumps();
+  fr.arm_auto_dump(path, std::chrono::milliseconds(0));
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.force_timeout = 1.0;  // the entry poll fires on every armed deadline
+  ArmedPlan armed(plan);
+
+  typename QueryEngine<AdjacencyArray<int>>::ServeOptions opts;
+  opts.deadline = reliability::Deadline::after(1h);  // far future — only injection expires it
+  const auto r = engine.try_serve(Request<int>{PointToPoint{3, 9}}, opts);
+  fr.disarm_auto_dump();
+  ASSERT_EQ(r.status.code(), StatusCode::kDeadlineExceeded) << r.status.to_string();
+
+  // The ring holds the timed-out request with its identity intact.
+  const auto records = fr.dump();
+  ASSERT_FALSE(records.empty());
+  const obs::RequestRecord& rec = records.back();
+  EXPECT_EQ(rec.kind, obs::kKindPointToPoint);
+  EXPECT_EQ(rec.source, 3);
+  EXPECT_EQ(rec.target, 9);
+  EXPECT_EQ(static_cast<StatusCode>(rec.status_code), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(rec.had_deadline);
+
+  // And the auto-dump wrote a valid JSON file naming it, time splits
+  // and deadline slack included.
+  EXPECT_EQ(fr.dumps(), dumps_before + 1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+  EXPECT_NE(text.find("\"trigger\""), std::string::npos);
+  EXPECT_NE(text.find("DEADLINE_EXCEEDED"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"point_to_point\""), std::string::npos);
+  EXPECT_NE(text.find("\"source\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"target\":9"), std::string::npos);
+  EXPECT_NE(text.find("\"queue_wait_ns\":"), std::string::npos);
+  EXPECT_NE(text.find("\"compute_ns\":"), std::string::npos);
+  EXPECT_NE(text.find("\"total_ns\":"), std::string::npos);
+  EXPECT_NE(text.find("\"deadline_slack_ns\":"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  fr.clear();
+#endif
 }
 
 TEST_P(ChaosThreads, AdmissionPoliciesStayDefiniteUnderFaults) {

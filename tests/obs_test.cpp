@@ -3,8 +3,10 @@
 // the json::Writer underneath all of them.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/obs/perf_counters.hpp"
 #include "cachegraph/obs/trace.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
 #include "test_util.hpp"
 
 namespace cachegraph {
@@ -271,6 +274,135 @@ TEST(JsonWriter, EscapeHandlesSpecials) {
   EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json::escape("a\nb"), "a\\nb");
   EXPECT_EQ(json::escape(std::string_view("\x1f", 1)), "\\u001f");
+  // RFC 8259 short forms for the two controls that used to fall
+  // through to raw bytes.
+  EXPECT_EQ(json::escape("\b"), "\\b");
+  EXPECT_EQ(json::escape("\f"), "\\f");
+}
+
+namespace {
+/// Test-local inverse of json::escape, enough to round-trip what
+/// escape emits (short forms + \uXXXX for ASCII).
+std::string unescape(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const unsigned code = static_cast<unsigned>(std::stoul(std::string(s.substr(i + 1, 4)), nullptr, 16));
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+}  // namespace
+
+TEST(JsonWriter, EscapeRoundTripsEveryControlChar) {
+  // All 32 control characters must escape (RFC 8259) and round-trip
+  // exactly; the document carrying them must stay valid JSON.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string original(1, static_cast<char>(c));
+    const std::string escaped = json::escape(original);
+    EXPECT_GE(escaped.size(), 2u) << "control 0x" << std::hex << c << " left unescaped";
+    EXPECT_EQ(unescape(escaped), original) << "control 0x" << std::hex << c;
+
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object();
+    w.key("v").value(original);
+    w.end_object();
+    EXPECT_TRUE(testutil::json_is_valid(os.str())) << os.str();
+  }
+  // And a mixed payload straddling the short forms and \u fallbacks.
+  const std::string mixed = "a\x01\b\f\n\r\t\x1f z";
+  EXPECT_EQ(unescape(json::escape(mixed)), mixed);
+}
+
+// ---- Trace thread metadata and complete events ----------------------
+
+TEST(Trace, ThreadNameMetadataEventsAreEmitted) {
+  obs::set_current_thread_name("obs-test-main");
+  bool found = false;
+  for (const auto& [tid, name] : obs::thread_names()) {
+    if (tid == obs::current_tid() && name == "obs-test-main") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  obs::TraceSession session;
+  session.instant("tick");
+  std::ostringstream os;
+  session.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+  // One 'M' thread_name metadata record labels this thread's lane.
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos) << text;
+  EXPECT_NE(text.find("obs-test-main"), std::string::npos) << text;
+}
+
+TEST(Trace, PoolWorkersGetNamedLanes) {
+  // TaskPool names its workers on startup; with >= 2 threads at least
+  // worker 1 must appear in the registry.
+  {
+    parallel::TaskPool pool(2);
+    parallel::TaskGroup group(pool);
+    group.run([] {});
+    group.wait();
+    // wait() may have run the task inline on this thread before the
+    // workers were ever scheduled; joining the pool guarantees each
+    // worker executed its naming preamble.
+  }
+  bool found = false;
+  for (const auto& [tid, name] : obs::thread_names()) {
+    if (name.rfind("pool.worker-", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, CompleteEventsCarryDuration) {
+  obs::TraceSession session;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(250);
+  session.complete("retro_span", t0, t1);
+  ASSERT_EQ(session.num_events(), 1u);
+  const auto events = session.events();
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].name, "retro_span");
+  EXPECT_NEAR(events[0].dur_us, 250.0, 1.0);
+  EXPECT_EQ(events[0].tid, obs::current_tid());
+
+  std::ostringstream os;
+  session.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"dur\":"), std::string::npos) << text;
+}
+
+TEST(Trace, CompleteClampsInvertedAndPreSessionTimes) {
+  obs::TraceSession session;
+  const auto now = std::chrono::steady_clock::now();
+  // t1 before t0: duration clamps to zero rather than going negative.
+  session.complete("inverted", now, now - std::chrono::milliseconds(5));
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_GE(events[0].ts_us, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,812 @@
+// Tests for the serving-telemetry layer: the log-bucketed latency
+// histogram (bucket boundaries, merge semantics, percentiles against a
+// sorted-vector oracle), the MetricsRegistry exporters (Prometheus
+// exposition validated line by line, JSON validity), the flight
+// recorder (pack/unpack fidelity, wraparound, concurrent-writer
+// stress, auto-dump), and the engine integrations that feed them.
+//
+// The histogram / recorder / registry classes are functional in every
+// build; only the engine-side *emission* is compiled out when
+// CACHEGRAPH_INSTRUMENT is off, so the integration tests assert
+// presence when it is on and absence when it is off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/obs/flight_recorder.hpp"
+#include "cachegraph/obs/histogram.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/sssp/batch_engine.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::LatencyHistogram;
+namespace hd = obs::hist_detail;
+
+// ---- bucket layout ---------------------------------------------------
+
+TEST(HistogramBuckets, LowRangeIsExact) {
+  for (std::uint64_t v = 0; v < hd::kSubBucketCount; ++v) {
+    EXPECT_EQ(hd::index_of(v), v);
+    EXPECT_EQ(hd::bucket_min(v), v);
+    EXPECT_EQ(hd::bucket_max(v), v);
+  }
+}
+
+TEST(HistogramBuckets, BoundariesTileTheFullRange) {
+  // Buckets must partition [0, 2^64): min(i) lands in i, max(i) lands
+  // in i, and max(i) + 1 == min(i + 1). This is the merge-boundary
+  // contract — two histograms agree on which bucket any value owns.
+  for (std::size_t i = 0; i < hd::kNumBuckets; ++i) {
+    EXPECT_EQ(hd::index_of(hd::bucket_min(i)), i) << "min of bucket " << i;
+    EXPECT_EQ(hd::index_of(hd::bucket_max(i)), i) << "max of bucket " << i;
+    if (i + 1 < hd::kNumBuckets) {
+      EXPECT_EQ(hd::bucket_max(i) + 1, hd::bucket_min(i + 1)) << "gap after bucket " << i;
+    }
+  }
+  // The top bucket ends exactly at UINT64_MAX (no overflow).
+  EXPECT_EQ(hd::bucket_max(hd::kNumBuckets - 1), ~std::uint64_t{0});
+  EXPECT_EQ(hd::index_of(~std::uint64_t{0}), hd::kNumBuckets - 1);
+}
+
+TEST(HistogramBuckets, RelativeErrorIsBoundedByOneThirtySecond) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(64, std::int64_t{1} << 50));
+    const std::size_t idx = hd::index_of(v);
+    const double err = static_cast<double>(hd::bucket_max(idx) - v) / static_cast<double>(v);
+    EXPECT_LE(err, 1.0 / 32.0) << "value " << v;
+  }
+}
+
+// ---- percentiles vs sorted-vector oracle -----------------------------
+
+std::uint64_t oracle_percentile(std::vector<std::uint64_t> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<std::uint64_t>(sorted.size());
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::min(std::max(p, 0.0), 100.0) / 100.0 * static_cast<double>(n)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), n);
+  return sorted[rank - 1];
+}
+
+void expect_percentiles_match_oracle(const std::vector<std::uint64_t>& values,
+                                     const char* label) {
+  LatencyHistogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size()) << label;
+
+  std::uint64_t prev = 0;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t got = snap.percentile(p);
+    const std::uint64_t want = oracle_percentile(values, p);
+    // Same bucket as the true nearest-rank sample, never below it.
+    EXPECT_EQ(hd::index_of(got), hd::index_of(want))
+        << label << " p" << p << ": got " << got << " want " << want;
+    EXPECT_GE(got, want) << label << " p" << p;
+    EXPECT_GE(got, prev) << label << " p" << p << " broke monotonicity";
+    prev = got;
+  }
+  // p100 is the exact max (clip to max_seen).
+  EXPECT_EQ(snap.percentile(100), *std::max_element(values.begin(), values.end())) << label;
+}
+
+TEST(HistogramPercentiles, MatchSortedOracleAcrossDistributions) {
+  constexpr std::size_t kN = 4000;
+  Rng rng(17);
+
+  std::vector<std::uint64_t> uniform;
+  for (std::size_t i = 0; i < kN; ++i) {
+    uniform.push_back(static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000)));
+  }
+  expect_percentiles_match_oracle(uniform, "uniform");
+
+  std::vector<std::uint64_t> heavy_tail;  // latency-shaped: log-uniform octaves
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto octave = static_cast<unsigned>(rng.uniform_int(0, 40));
+    heavy_tail.push_back((std::uint64_t{1} << octave) +
+                         static_cast<std::uint64_t>(rng.uniform_int(0, 1000)));
+  }
+  expect_percentiles_match_oracle(heavy_tail, "heavy_tail");
+
+  std::vector<std::uint64_t> bimodal;  // fast path + slow path
+  for (std::size_t i = 0; i < kN; ++i) {
+    bimodal.push_back(static_cast<std::uint64_t>(
+        rng.chance(0.9) ? rng.uniform_int(100, 200) : rng.uniform_int(50'000, 90'000)));
+  }
+  expect_percentiles_match_oracle(bimodal, "bimodal");
+
+  const std::vector<std::uint64_t> constant(kN, 4242);
+  expect_percentiles_match_oracle(constant, "constant");
+
+  const std::vector<std::uint64_t> single{7};
+  expect_percentiles_match_oracle(single, "single");
+}
+
+TEST(HistogramPercentiles, EmptySnapshotIsAllZeroes) {
+  const HistogramSnapshot snap = LatencyHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.percentile(50), 0u);
+  EXPECT_EQ(snap.min(), 0u);
+  EXPECT_EQ(snap.max(), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+// ---- merge / diff ----------------------------------------------------
+
+TEST(HistogramMerge, EqualsSingleCombinedHistogram) {
+  Rng rng(23);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    combined.record(v);
+    (i % 2 == 0 ? a : b).record(v);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot want = combined.snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.min(), want.min());
+  EXPECT_EQ(merged.max(), want.max());
+  EXPECT_EQ(merged.counts, want.counts);
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(merged.percentile(p), want.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramMerge, BucketBoundaryValuesStayInTheirBuckets) {
+  // Values straddling the unit/octave seam and octave-internal slice
+  // edges: merging must preserve exact per-bucket counts (the merge is
+  // elementwise, so this is really asserting both sides bucket alike).
+  const std::vector<std::uint64_t> edges{63,   64,   65,   95,   96,
+                                         127,  128,  (1u << 20) - 1, 1u << 20,
+                                         (1u << 20) + (1u << 15)};
+  LatencyHistogram a, b;
+  for (const std::uint64_t v : edges) {
+    a.record(v);
+    b.record(v);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  for (const std::uint64_t v : edges) {
+    EXPECT_EQ(merged.counts[hd::index_of(v)] % 2, 0u) << v;
+    EXPECT_GE(merged.counts[hd::index_of(v)], 2u) << v;
+  }
+  EXPECT_EQ(merged.count, 2 * edges.size());
+  // 63 and 64 are distinct buckets (the unit/octave seam).
+  EXPECT_NE(hd::index_of(63), hd::index_of(64));
+  EXPECT_EQ(hd::index_of(64), hd::index_of(65));  // first octave slice spans 2
+}
+
+TEST(HistogramDiff, MinusIsolatesAnInterval) {
+  Rng rng(29);
+  LatencyHistogram h;
+  LatencyHistogram only_b;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(static_cast<std::uint64_t>(rng.uniform_int(0, 5000)));
+  }
+  const HistogramSnapshot s1 = h.snapshot();
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(10'000, 50'000));
+    h.record(v);
+    only_b.record(v);
+  }
+  const HistogramSnapshot d = h.snapshot().minus(s1);
+  const HistogramSnapshot want = only_b.snapshot();
+  EXPECT_EQ(d.count, want.count);
+  EXPECT_EQ(d.sum, want.sum);
+  EXPECT_EQ(d.counts, want.counts);
+  // The diff's extrema are recomputed at bucket resolution (exact
+  // interval extrema are not recoverable), so percentiles agree to the
+  // bucket, not the nanosecond.
+  for (const double p : {50.0, 99.0}) {
+    EXPECT_EQ(hd::index_of(d.percentile(p)), hd::index_of(want.percentile(p))) << "p" << p;
+  }
+  EXPECT_EQ(hd::index_of(d.min()), hd::index_of(want.min()));
+  EXPECT_EQ(hd::index_of(d.max()), hd::index_of(want.max()));
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  // Shards are per-thread striped relaxed atomics; increments must
+  // never be dropped. Run under TSan in CI.
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kIters + i));
+        if (i % 1024 == 0) (void)h.snapshot();  // scrape concurrent with writers
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.min(), 0u);
+  EXPECT_EQ(snap.max(), static_cast<std::uint64_t>(kThreads) * kIters - 1);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Histogram, ResetZeroesInPlace) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(200);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  h.record(5);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+// ---- request-kind vocabulary ----------------------------------------
+
+TEST(Telemetry, KindTablesAgreeWithQueryLabels) {
+  // obs::RequestKind's first four values mirror query::Request's
+  // variant order; the label tables must never drift apart.
+  const std::vector<query::Request<int>> shapes{
+      query::PointToPoint{0, 1}, query::KNearest{0, 2}, query::Bounded<int>{0, 3},
+      query::FullSSSP{0}};
+  for (const auto& r : shapes) {
+    EXPECT_STREQ(obs::request_kind_name(query::kind_index_of(r)), query::kind_of(r));
+  }
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindBatchSource), "batch_source");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindCacheSnapshot), "cache_snapshot");
+  EXPECT_STREQ(obs::request_kind_name(obs::kNumRequestKinds), "unknown");
+}
+
+// ---- flight recorder -------------------------------------------------
+
+obs::RequestRecord make_record(std::uint64_t id) {
+  obs::RequestRecord rec;
+  rec.id = id;
+  rec.kind = obs::kKindPointToPoint;
+  rec.status_code = static_cast<std::uint8_t>(reliability::StatusCode::kDeadlineExceeded);
+  rec.outcome = static_cast<std::uint8_t>(query::Outcome::deadline_exceeded);
+  rec.aborted = false;
+  rec.had_deadline = true;
+  rec.tid = 7;
+  rec.source = 42;
+  rec.target = 99;
+  rec.admission_wait_ns = 11;
+  rec.queue_wait_ns = 22;
+  rec.compute_ns = 33;
+  rec.total_ns = 66;
+  rec.settled = 123;
+  rec.relaxations = 456;
+  rec.deadline_slack_ns = -789;  // overran — must survive the uint64 packing
+  return rec;
+}
+
+TEST(FlightRecorder, NoteThenDumpRoundTripsEveryField) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.note(make_record(1001));
+  const auto records = fr.dump();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::RequestRecord& r = records[0];
+  EXPECT_EQ(r.id, 1001u);
+  EXPECT_EQ(r.kind, obs::kKindPointToPoint);
+  EXPECT_EQ(static_cast<reliability::StatusCode>(r.status_code),
+            reliability::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(static_cast<query::Outcome>(r.outcome), query::Outcome::deadline_exceeded);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_TRUE(r.had_deadline);
+  EXPECT_EQ(r.tid, 7u);
+  EXPECT_EQ(r.source, 42);
+  EXPECT_EQ(r.target, 99);
+  EXPECT_EQ(r.admission_wait_ns, 11u);
+  EXPECT_EQ(r.queue_wait_ns, 22u);
+  EXPECT_EQ(r.compute_ns, 33u);
+  EXPECT_EQ(r.total_ns, 66u);
+  EXPECT_EQ(r.settled, 123u);
+  EXPECT_EQ(r.relaxations, 456u);
+  EXPECT_EQ(r.deadline_slack_ns, -789);
+  fr.clear();
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheNewestRecords) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  constexpr std::uint64_t kOverfill = obs::FlightRecorder::kCapacity + 137;
+  for (std::uint64_t i = 1; i <= kOverfill; ++i) {
+    obs::RequestRecord rec;
+    rec.id = i;
+    rec.kind = obs::kKindFullSssp;
+    fr.note(rec);
+  }
+  EXPECT_EQ(fr.noted(), kOverfill);
+  const auto records = fr.dump();
+  ASSERT_EQ(records.size(), obs::FlightRecorder::kCapacity);
+  // Oldest-first, exactly the last kCapacity ids.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, kOverfill - obs::FlightRecorder::kCapacity + 1 + i);
+  }
+  fr.clear();
+  EXPECT_TRUE(fr.dump().empty());
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStayCoherent) {
+  // Writers lap the ring while a reader dumps; the per-slot seqlock
+  // must never hand back a torn record. Every surviving record has an
+  // id whose low bits equal its settled field (the writer invariant),
+  // which a torn read would break. Run under TSan in CI.
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&fr, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::RequestRecord rec;
+        rec.id = static_cast<std::uint64_t>(t) * kPerThread + static_cast<std::uint64_t>(i) + 1;
+        rec.kind = obs::kKindBounded;
+        rec.settled = rec.id;
+        rec.relaxations = ~rec.id;
+        fr.note(rec);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&fr, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& rec : fr.dump()) {
+        ASSERT_EQ(rec.settled, rec.id);
+        ASSERT_EQ(rec.relaxations, ~rec.id);
+        ASSERT_EQ(rec.kind, obs::kKindBounded);
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(fr.noted(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  fr.clear();
+}
+
+TEST(FlightRecorder, IsDumpTriggerMatchesBadOutcomes) {
+  using reliability::StatusCode;
+  obs::RequestRecord rec;
+  rec.status_code = static_cast<std::uint8_t>(StatusCode::kOk);
+  EXPECT_FALSE(obs::FlightRecorder::is_dump_trigger(rec));
+  rec.status_code = static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(obs::FlightRecorder::is_dump_trigger(rec));
+  rec.status_code = static_cast<std::uint8_t>(StatusCode::kOverloaded);
+  EXPECT_TRUE(obs::FlightRecorder::is_dump_trigger(rec));
+  rec.status_code = static_cast<std::uint8_t>(StatusCode::kDataLoss);
+  EXPECT_TRUE(obs::FlightRecorder::is_dump_trigger(rec));
+  rec.status_code = static_cast<std::uint8_t>(StatusCode::kCancelled);
+  EXPECT_FALSE(obs::FlightRecorder::is_dump_trigger(rec));
+  rec.aborted = true;  // a thrown-through request always dumps
+  EXPECT_TRUE(obs::FlightRecorder::is_dump_trigger(rec));
+}
+
+TEST(FlightRecorder, AutoDumpWritesTriggerAndRecentJson) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "flight_dump.json").string();
+  std::filesystem::remove(path);
+  const std::uint64_t dumps_before = fr.dumps();
+  fr.arm_auto_dump(path, std::chrono::milliseconds(0));
+
+  obs::RequestRecord ok;
+  ok.id = 1;
+  ok.kind = obs::kKindKNearest;
+  fr.note(ok);  // OK outcome: no dump
+  EXPECT_EQ(fr.dumps(), dumps_before);
+
+  fr.note(make_record(2));  // DEADLINE_EXCEEDED: dump fires
+  EXPECT_EQ(fr.dumps(), dumps_before + 1);
+  fr.disarm_auto_dump();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_TRUE(testutil::json_is_valid(text)) << text;
+  // The dump names the timed-out request and carries its time splits.
+  EXPECT_NE(text.find("\"trigger\""), std::string::npos);
+  EXPECT_NE(text.find("\"recent\""), std::string::npos);
+  EXPECT_NE(text.find("DEADLINE_EXCEEDED"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"point_to_point\""), std::string::npos);
+  EXPECT_NE(text.find("\"source\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"queue_wait_ns\":22"), std::string::npos);
+  EXPECT_NE(text.find("\"compute_ns\":33"), std::string::npos);
+  EXPECT_NE(text.find("\"deadline_slack_ns\":-789"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << "tmp file must not survive";
+  fr.clear();
+}
+
+TEST(FlightRecorder, RateLimitCollapsesADumpStorm) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "flight_storm.json").string();
+  const std::uint64_t dumps_before = fr.dumps();
+  fr.arm_auto_dump(path, std::chrono::hours(1));
+  for (int i = 0; i < 50; ++i) fr.note(make_record(static_cast<std::uint64_t>(i) + 1));
+  EXPECT_EQ(fr.dumps(), dumps_before + 1) << "storm must cost one file write";
+  fr.disarm_auto_dump();
+  fr.clear();
+}
+
+// ---- metrics registry and exporters ---------------------------------
+
+TEST(MetricsRegistry, SanitizeNamesForPrometheus) {
+  using obs::MetricsRegistry;
+  EXPECT_EQ(MetricsRegistry::sanitize_name("query.latency_ns.p2p"), "query_latency_ns_p2p");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("a:b"), "a:b");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("sp ace-dash"), "sp_ace_dash");
+}
+
+TEST(MetricsRegistry, GaugeAndHistogramLookupsAreStable) {
+  auto& mr = obs::MetricsRegistry::instance();
+  auto& g1 = mr.gauge("telemetry_test.gauge");
+  auto& g2 = mr.gauge("telemetry_test.gauge");
+  EXPECT_EQ(&g1, &g2);
+  g1.set(0.75);
+  EXPECT_EQ(g2.value(), 0.75);
+  auto& h1 = mr.histogram("telemetry_test.hist");
+  auto& h2 = mr.histogram("telemetry_test.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+/// Line-by-line check of the Prometheus text exposition format:
+/// comment lines are "# TYPE <name> <counter|gauge|histogram>", sample
+/// lines are "<name>[{le="<x>"}] <value>", names match
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, histogram buckets are cumulative and end
+/// with +Inf == _count.
+void validate_prometheus(const std::string& text) {
+  const auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    if (std::isdigit(static_cast<unsigned char>(name[0])) != 0) return false;
+    for (const char c : name) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != ':') return false;
+    }
+    return true;
+  };
+  std::istringstream in(text);
+  std::string line;
+  std::string cur_hist;           // histogram currently being emitted
+  std::uint64_t last_cum = 0;     // its running cumulative count
+  bool saw_inf = false;
+  std::uint64_t inf_count = 0;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    ASSERT_FALSE(line.empty()) << "blank line " << lineno;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string name, type, extra;
+      ASSERT_TRUE(static_cast<bool>(ls >> name >> type)) << line;
+      EXPECT_FALSE(static_cast<bool>(ls >> extra)) << line;
+      EXPECT_TRUE(valid_name(name)) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+      if (type == "histogram") {
+        cur_hist = name;
+        last_cum = 0;
+        saw_inf = false;
+        inf_count = 0;
+      } else {
+        cur_hist.clear();
+      }
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    {
+      // Value must parse as a number (integers, decimals, inf forms).
+      std::istringstream vs(value);
+      double d = 0;
+      EXPECT_TRUE(static_cast<bool>(vs >> d)) << line;
+    }
+    const std::size_t brace = name.find('{');
+    std::string le;
+    if (brace != std::string::npos) {
+      const std::string labels = name.substr(brace);
+      name = name.substr(0, brace);
+      ASSERT_TRUE(labels.size() > 7 && labels.rfind("{le=\"", 0) == 0 &&
+                  labels.substr(labels.size() - 2) == "\"}")
+          << line;
+      le = labels.substr(5, labels.size() - 7);
+    }
+    EXPECT_TRUE(valid_name(name)) << line;
+    if (!cur_hist.empty() && name == cur_hist + "_bucket") {
+      const auto cum = static_cast<std::uint64_t>(std::stoull(value));
+      EXPECT_GE(cum, last_cum) << "buckets must be cumulative: " << line;
+      last_cum = cum;
+      if (le == "+Inf") {
+        saw_inf = true;
+        inf_count = cum;
+      }
+    } else if (!cur_hist.empty() && name == cur_hist + "_count") {
+      EXPECT_TRUE(saw_inf) << cur_hist << " missing +Inf bucket";
+      EXPECT_EQ(static_cast<std::uint64_t>(std::stoull(value)), inf_count)
+          << cur_hist << ": +Inf bucket must equal _count";
+      cur_hist.clear();
+    } else {
+      EXPECT_TRUE(le.empty()) << "le label outside a histogram: " << line;
+    }
+  }
+}
+
+TEST(MetricsRegistry, PrometheusExpositionIsGrammatical) {
+  auto& mr = obs::MetricsRegistry::instance();
+  auto& h = mr.histogram("telemetry_test.render_ns");
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    h.record(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 22)));
+  }
+  mr.gauge("telemetry_test.depth").set(3.5);
+  std::ostringstream os;
+  mr.render_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE cachegraph_telemetry_test_render_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("cachegraph_telemetry_test_depth 3.5"), std::string::npos);
+  validate_prometheus(text);
+}
+
+TEST(MetricsRegistry, JsonExportIsValidWithMonotonePercentiles) {
+  auto& mr = obs::MetricsRegistry::instance();
+  auto& h = mr.histogram("telemetry_test.json_ns");
+  Rng rng(37);
+  for (int i = 0; i < 300; ++i) {
+    h.record(static_cast<std::uint64_t>(rng.uniform_int(10, 1 << 18)));
+  }
+  std::ostringstream os;
+  mr.render_json(os);
+  EXPECT_TRUE(testutil::json_is_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"telemetry_test.json_ns\""), std::string::npos);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_LE(snap.percentile(50), snap.percentile(90));
+  EXPECT_LE(snap.percentile(90), snap.percentile(99));
+  EXPECT_LE(snap.percentile(99), snap.percentile(99.9));
+  EXPECT_LE(snap.percentile(99.9), snap.max());
+}
+
+TEST(MetricsRegistry, FileExportsAreCrashSafe) {
+  auto& mr = obs::MetricsRegistry::instance();
+  const auto dir = std::filesystem::path(testing::TempDir());
+  const std::string prom = (dir / "metrics.prom").string();
+  const std::string json = (dir / "metrics.json").string();
+  EXPECT_TRUE(mr.write_prometheus_file(prom).is_ok());
+  EXPECT_TRUE(mr.write_json_file(json).is_ok());
+  EXPECT_TRUE(std::filesystem::exists(prom));
+  EXPECT_TRUE(std::filesystem::exists(json));
+  EXPECT_FALSE(std::filesystem::exists(prom + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(json + ".tmp"));
+  // Unwritable target: status error, no file, no stray tmp.
+  const std::string bad = (dir / "no_such_dir" / "metrics.prom").string();
+  EXPECT_FALSE(mr.write_prometheus_file(bad).is_ok());
+  EXPECT_FALSE(std::filesystem::exists(bad));
+}
+
+TEST(MetricsRegistry, SnapshotWriterHonoursTheInterval) {
+  auto& mr = obs::MetricsRegistry::instance();
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "metrics_snap.json").string();
+  const std::uint64_t before = mr.snapshots_written();
+  mr.configure_snapshots(path, std::chrono::hours(1));
+  mr.poll_snapshot();
+  mr.poll_snapshot();
+  mr.poll_snapshot();
+  EXPECT_EQ(mr.snapshots_written(), before + 1) << "interval must rate-limit";
+  mr.configure_snapshots(path, std::chrono::milliseconds(0));
+  mr.poll_snapshot();
+  mr.poll_snapshot();
+  EXPECT_EQ(mr.snapshots_written(), before + 3) << "zero interval writes every poll";
+  mr.disable_snapshots();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(testutil::json_is_valid(ss.str()));
+}
+
+// ---- engine integration ---------------------------------------------
+
+using graph::AdjacencyArray;
+using graph::EdgeListGraph;
+using graph::random_digraph;
+using IntEngine = query::QueryEngine<AdjacencyArray<int>>;
+
+TEST(TelemetryIntegration, DeadlineExceededRequestFeedsRecorderAndDumps) {
+  const auto el = random_digraph<int>(100, 0.05, 5);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "deadline_dump.json").string();
+  std::filesystem::remove(path);
+  const std::uint64_t dumps_before = fr.dumps();
+  fr.arm_auto_dump(path, std::chrono::milliseconds(0));
+
+  IntEngine::ServeOptions opts;
+  opts.deadline = reliability::Deadline::after(std::chrono::nanoseconds{0});
+  const auto r = engine.try_serve(query::Request<int>{query::FullSSSP{7}}, opts);
+  fr.disarm_auto_dump();
+  ASSERT_EQ(r.status.code(), reliability::StatusCode::kDeadlineExceeded);
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+  // The blown deadline must be in the ring — kind, source, status, and
+  // deadline flag intact — and must have auto-dumped a file naming it.
+  const auto records = fr.dump();
+  ASSERT_FALSE(records.empty());
+  const obs::RequestRecord& rec = records.back();
+  EXPECT_EQ(rec.kind, obs::kKindFullSssp);
+  EXPECT_EQ(rec.source, 7);
+  EXPECT_EQ(static_cast<reliability::StatusCode>(rec.status_code),
+            reliability::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(rec.had_deadline);
+  EXPECT_LE(rec.deadline_slack_ns, 0) << "a blown deadline has no slack left";
+  EXPECT_GT(rec.id, 0u);
+
+  EXPECT_EQ(fr.dumps(), dumps_before + 1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(testutil::json_is_valid(ss.str()));
+  EXPECT_NE(ss.str().find("DEADLINE_EXCEEDED"), std::string::npos);
+  EXPECT_NE(ss.str().find("\"kind\":\"full_sssp\""), std::string::npos);
+  EXPECT_NE(ss.str().find("\"source\":7"), std::string::npos);
+#else
+  // Uninstrumented: the engine must emit nothing at all.
+  EXPECT_EQ(fr.noted(), 0u);
+  EXPECT_EQ(fr.dumps(), dumps_before);
+  EXPECT_FALSE(std::filesystem::exists(path));
+#endif
+  fr.clear();
+}
+
+TEST(TelemetryIntegration, ServedRequestsLandInPerKindHistograms) {
+  EdgeListGraph<int> el(4);
+  el.add_edge(0, 1, 1);
+  el.add_edge(1, 2, 1);
+  el.add_edge(2, 3, 1);
+  const AdjacencyArray<int> rep(el);
+  IntEngine engine(rep);
+
+  auto& mr = obs::MetricsRegistry::instance();
+  const auto before_p2p = mr.histogram("query.latency_ns.point_to_point").snapshot();
+  const auto before_compute = mr.histogram("query.compute_ns").snapshot();
+  const auto r = engine.try_serve(query::Request<int>{query::PointToPoint{0, 3}});
+  ASSERT_TRUE(r.status.is_ok());
+  const auto after_p2p = mr.histogram("query.latency_ns.point_to_point").snapshot();
+  const auto after_compute = mr.histogram("query.compute_ns").snapshot();
+#if defined(CACHEGRAPH_INSTRUMENT)
+  EXPECT_EQ(after_p2p.minus(before_p2p).count, 1u);
+  EXPECT_EQ(after_compute.minus(before_compute).count, 1u);
+#else
+  EXPECT_EQ(after_p2p.count, before_p2p.count);
+  EXPECT_EQ(after_compute.count, before_compute.count);
+#endif
+}
+
+TEST(TelemetryIntegration, BatchAndCacheSurfacesEmitTheirKinds) {
+  const auto el = random_digraph<int>(64, 0.1, 9);
+  const AdjacencyArray<int> rep(el);
+  parallel::TaskPool pool(2);
+  auto& mr = obs::MetricsRegistry::instance();
+
+  const auto before_batch = mr.histogram("query.latency_ns.batch_source").snapshot();
+  sssp::BatchEngine<int> batch(rep);
+  const std::vector<vertex_t> sources{0, 1, 2, 3};
+  (void)batch.run_batch(sources, pool);
+
+  query::DynamicOverlay<int> overlay(rep);
+  query::ResultCache<int> cache(overlay);
+  const auto before_ensure = mr.histogram("query.cache.ensure_ns").snapshot();
+  (void)cache.ensure(sources, pool);
+  overlay.insert_edge(0, 1, 5);
+  (void)cache.ensure(sources, pool);
+
+  const auto d_batch =
+      mr.histogram("query.latency_ns.batch_source").snapshot().minus(before_batch);
+  const auto d_ensure = mr.histogram("query.cache.ensure_ns").snapshot().minus(before_ensure);
+#if defined(CACHEGRAPH_INSTRUMENT)
+  EXPECT_EQ(d_batch.count, sources.size());
+  EXPECT_EQ(d_ensure.count, 2u);
+  // The cache gauges were sampled at the ensure boundary.
+  bool saw_hit_rate = false, saw_dirty = false;
+  for (const auto& [name, v] : mr.gauges()) {
+    if (name == "query.cache.hit_rate") saw_hit_rate = true;
+    if (name == "query.overlay.dirty_components" && v >= 1.0) saw_dirty = true;
+  }
+  EXPECT_TRUE(saw_hit_rate);
+  EXPECT_TRUE(saw_dirty) << "the flapped component must count as dirty";
+#else
+  EXPECT_EQ(d_batch.count, 0u);
+  EXPECT_EQ(d_ensure.count, 0u);
+#endif
+}
+
+TEST(TelemetryIntegration, CorruptSnapshotLoadEmitsDataLossRecord) {
+  const auto el = random_digraph<int>(16, 0.2, 13);
+  const AdjacencyArray<int> rep(el);
+  query::DynamicOverlay<int> overlay(rep);
+  query::ResultCache<int> cache(overlay);
+
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "corrupt_snapshot.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a snapshot, far too short for the header";
+  }
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const auto st = cache.load_snapshot(path);
+  EXPECT_EQ(st.code(), reliability::StatusCode::kDataLoss) << st.to_string();
+#if defined(CACHEGRAPH_INSTRUMENT)
+  const auto records = fr.dump();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().kind, obs::kKindCacheSnapshot);
+  EXPECT_EQ(static_cast<reliability::StatusCode>(records.back().status_code),
+            reliability::StatusCode::kDataLoss);
+#else
+  EXPECT_EQ(fr.noted(), 0u);
+#endif
+  fr.clear();
+}
+
+TEST(TelemetryIntegration, OverlayDirtyComponentCountTracksMutations) {
+  // 3 disjoint 2-vertex components.
+  EdgeListGraph<int> el(6);
+  el.add_edge(0, 1, 1);
+  el.add_edge(2, 3, 1);
+  el.add_edge(4, 5, 1);
+  const AdjacencyArray<int> rep(el);
+  query::DynamicOverlay<int> overlay(rep);
+  EXPECT_EQ(overlay.dirty_components(), 0u);
+  overlay.insert_edge(0, 1, 2);
+  EXPECT_EQ(overlay.dirty_components(), 1u);
+  overlay.insert_edge(4, 5, 2);
+  EXPECT_EQ(overlay.dirty_components(), 2u);
+  overlay.insert_edge(1, 2, 2);  // merges two components, one of them dirty
+  EXPECT_EQ(overlay.dirty_components(), 2u);
+}
+
+}  // namespace
+}  // namespace cachegraph
