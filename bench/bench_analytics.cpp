@@ -1,0 +1,226 @@
+// Extension bench: the cachegraph::analytics frontier engine and its
+// propagation-blocking push phase.
+//
+// Three scenes:
+//
+//   1. PageRank ladder — size x threads x binned/unbinned wall-clock
+//      through the QueryEngine typed-request surface, with the max
+//      elementwise drift between the two modes (reassociation only —
+//      analytics_test pins it at ~1e-12).
+//
+//   2. Kernel suite — WCC / BFS-from-set / triangle counting at the
+//      largest size, direct vs binned where the toggle exists, with
+//      the aux answer (components / reached / triangles) to show both
+//      modes agree bit-for-bit.
+//
+//   3. memsim push A/B — the cache argument itself: one simulated
+//      push iteration, direct scatter vs propagation blocking, on the
+//      selected machine model. Below the LLC the modes tie; beyond it
+//      the binned drain keeps its accumulator slice resident and the
+//      LLC miss count drops (the inequality analytics_test pins).
+//
+// All scenes honour --json/--csv/--trace like every other bench.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/analytics/push_sim.hpp"
+#include "cachegraph/benchlib/options.hpp"
+#include "cachegraph/benchlib/report.hpp"
+#include "cachegraph/benchlib/table.hpp"
+#include "cachegraph/benchlib/workloads.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/engine.hpp"
+
+namespace {
+
+using namespace cachegraph;
+
+/// O(E) uniform sparse digraph — random_digraph is O(n^2) and the
+/// analytics ladder needs sizes well beyond the simulated LLC.
+graph::EdgeListGraph<int> sparse_random(vertex_t n, int out_degree, std::uint64_t seed) {
+  graph::EdgeListGraph<int> el(n);
+  Rng rng(seed);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (int d = 0; d < out_degree; ++d) {
+      el.add_edge(u, static_cast<vertex_t>(rng.uniform_int(0, n - 1)),
+                  static_cast<int>(rng.uniform_int(1, 100)));
+    }
+  }
+  return el;
+}
+
+using Engine = query::QueryEngine<graph::AdjacencyArray<int>>;
+
+/// Run one analytics request through the engine and hand back aux.
+std::uint64_t run_one(Engine& engine, parallel::TaskPool& pool, const query::Request<int>& req) {
+  std::uint64_t aux = 0;
+  engine.run(std::span<const query::Request<int>>(&req, 1), pool,
+             [&](std::size_t, const auto&, const auto& r, const auto&) { aux = r.aux; });
+  return aux;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cachegraph::bench;
+  const Options opt = parse_options(argc, argv);
+
+  Harness h(std::cout, opt, "Extension: analytics engine",
+            "frontier kernels with a propagation-blocking push phase",
+            "binning destination updates into LLC-sized segments cuts LLC misses beyond the LLC");
+
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> ladder;
+  if (opt.threads > 0) {
+    ladder.push_back(opt.threads);
+  } else {
+    for (int t = 1; t <= hw; t *= 2) ladder.push_back(t);
+  }
+  const int deg = 8;
+  const memsim::MachineConfig machine = opt.machine_config();
+
+  // -------------------------------------------- scene 1: PageRank ladder
+  // Fixed iteration count (tol = 0) so direct and binned do identical
+  // arithmetic and the wall-clock column is a pure push-phase A/B.
+  std::vector<vertex_t> sizes =
+      opt.full ? std::vector<vertex_t>{16384, 65536} : std::vector<vertex_t>{4096, 16384};
+  Table t1({"n", "threads", "direct (s)", "binned (s)", "binned speedup", "iters", "max drift"});
+  for (const vertex_t n : sizes) {
+    const auto el = sparse_random(n, deg, opt.seed);
+    const graph::AdjacencyArray<int> rep(el);
+    std::vector<double> direct(static_cast<std::size_t>(n));
+    std::vector<double> binned(static_cast<std::size_t>(n));
+    const query::Request<int> rd{query::PageRank{
+        .damping = 0.85, .max_iters = 10, .tol = 0.0, .binned = false, .out = direct}};
+    const query::Request<int> rb{query::PageRank{
+        .damping = 0.85, .max_iters = 10, .tol = 0.0, .binned = true, .out = binned}};
+
+    for (const int threads : ladder) {
+      parallel::TaskPool pool(threads);
+      Engine engine(rep);
+      engine.set_llc_machine(machine);
+      const Params params{{"n", std::to_string(n)},
+                          {"deg", std::to_string(deg)},
+                          {"threads", std::to_string(threads)}};
+      std::uint64_t iters = 0;
+      const double td = h.time_s("pagerank_direct", params, opt.reps,
+                                 [&] { iters = run_one(engine, pool, rd); });
+      const double tb = h.time_s("pagerank_binned", params, opt.reps,
+                                 [&] { (void)run_one(engine, pool, rb); });
+      double drift = 0.0;
+      for (std::size_t v = 0; v < direct.size(); ++v) {
+        drift = std::max(drift, std::abs(direct[v] - binned[v]));
+      }
+      t1.add_row({std::to_string(n), std::to_string(threads), fmt(td, 3), fmt(tb, 3),
+                  fmt_speedup(td, tb), std::to_string(iters), fmt(drift, 15)});
+    }
+  }
+  std::cout << "\n-- PageRank push phase: direct scatter vs propagation blocking --\n";
+  t1.print(std::cout, opt.csv);
+
+  // ----------------------------------------------- scene 2: kernel suite
+  // WCC and BFS are claim-deterministic, so the binned column is the
+  // differential oracle: the aux answers must match exactly.
+  Table t2({"kernel", "threads", "direct (s)", "binned (s)", "answer (aux)", "modes agree"});
+  {
+    const vertex_t n = sizes.back();
+    const auto el = sparse_random(n, deg, opt.seed + 1);
+    const graph::AdjacencyArray<int> rep(el);
+    const std::vector<vertex_t> seeds{0, n / 3, n / 2};
+    std::vector<vertex_t> labels_a(static_cast<std::size_t>(n));
+    std::vector<vertex_t> labels_b(static_cast<std::size_t>(n));
+    std::vector<vertex_t> depth_a(static_cast<std::size_t>(n));
+    std::vector<vertex_t> depth_b(static_cast<std::size_t>(n));
+
+    for (const int threads : ladder) {
+      parallel::TaskPool pool(threads);
+      Engine engine(rep);
+      engine.set_llc_machine(machine);
+      const Params params{{"n", std::to_string(n)},
+                          {"deg", std::to_string(deg)},
+                          {"threads", std::to_string(threads)}};
+      const std::string tl = std::to_string(threads);
+
+      std::uint64_t aux_d = 0, aux_b = 0;
+      const query::Request<int> wd{query::Wcc{.binned = false, .out = labels_a}};
+      const query::Request<int> wb{query::Wcc{.binned = true, .out = labels_b}};
+      const double wtd = h.time_s("wcc_direct", params, opt.reps,
+                                  [&] { aux_d = run_one(engine, pool, wd); });
+      const double wtb = h.time_s("wcc_binned", params, opt.reps,
+                                  [&] { aux_b = run_one(engine, pool, wb); });
+      t2.add_row({"wcc", tl, fmt(wtd, 3), fmt(wtb, 3), fmt_count(aux_d),
+                  aux_d == aux_b && labels_a == labels_b ? "yes" : "NO"});
+
+      const query::Request<int> bd{
+          query::BfsFromSet{.sources = seeds, .binned = false, .out = depth_a}};
+      const query::Request<int> bb{
+          query::BfsFromSet{.sources = seeds, .binned = true, .out = depth_b}};
+      const double btd = h.time_s("bfs_direct", params, opt.reps,
+                                  [&] { aux_d = run_one(engine, pool, bd); });
+      const double btb = h.time_s("bfs_binned", params, opt.reps,
+                                  [&] { aux_b = run_one(engine, pool, bb); });
+      t2.add_row({"bfs_from_set", tl, fmt(btd, 3), fmt(btb, 3), fmt_count(aux_d),
+                  aux_d == aux_b && depth_a == depth_b ? "yes" : "NO"});
+
+      const query::Request<int> tc{query::TriangleCount{}};
+      const double ttd = h.time_s("triangles", params, opt.reps,
+                                  [&] { aux_d = run_one(engine, pool, tc); });
+      t2.add_row({"triangle_count", tl, fmt(ttd, 3), "-", fmt_count(aux_d), "-"});
+    }
+  }
+  std::cout << "\n-- kernel suite (binned column doubles as the differential oracle) --\n";
+  t2.print(std::cout, opt.csv);
+
+  // --------------------------------------------- scene 3: memsim push A/B
+  // One simulated push iteration per mode. The accumulator is n
+  // doubles; once it outgrows the machine's LLC the direct scatter
+  // misses on nearly every edge while the binned drain stays inside
+  // its slice.
+  const std::size_t llc_bytes =
+      machine.has_l3() ? machine.l3.size_bytes : machine.l2.size_bytes;
+  Table t3({"n", "acc (KiB)", "bins", "direct LLC miss", "binned LLC miss", "miss ratio",
+            "direct mem lines", "binned mem lines"});
+  // Sizes scale with the selected machine so the ladder brackets its
+  // LLC: accumulator at LLC/4 (binning is pure overhead), at the LLC,
+  // and at 8x (16x with --full) beyond it, where blocking pays off.
+  const auto at_llc = static_cast<vertex_t>(llc_bytes / sizeof(double));
+  std::vector<vertex_t> sim_sizes{at_llc / 4, at_llc, 8 * at_llc};
+  if (opt.full) sim_sizes.push_back(16 * at_llc);
+  for (const vertex_t n : sim_sizes) {
+    const auto el = sparse_random(n, deg, opt.seed + 2);
+    const graph::AdjacencyArray<int> rep(el);
+    const auto layout = analytics::BinLayout::from_machine(n, sizeof(double), machine);
+    const Params params{{"n", std::to_string(n)}, {"deg", std::to_string(deg)}};
+    const auto direct = sim_on_rep(h, "push_direct", params, rep, machine,
+                                   [&](const auto& r, memsim::SimMem& mem) {
+                                     analytics::sim_push_iteration(r, false, layout, mem);
+                                   });
+    const auto binned = sim_on_rep(h, "push_binned", params, rep, machine,
+                                   [&](const auto& r, memsim::SimMem& mem) {
+                                     analytics::sim_push_iteration(r, true, layout, mem);
+                                   });
+    const std::uint64_t dm = machine.has_l3() ? direct.l3.misses : direct.l2.misses;
+    const std::uint64_t bm = machine.has_l3() ? binned.l3.misses : binned.l2.misses;
+    t3.add_row({std::to_string(n),
+                std::to_string(static_cast<std::size_t>(n) * sizeof(double) / 1024),
+                std::to_string(layout.num_bins()), fmt_count(dm), fmt_count(bm),
+                bm == 0 ? "-" : fmt(static_cast<double>(dm) / static_cast<double>(bm), 2),
+                fmt_count(direct.memory_traffic_lines()),
+                fmt_count(binned.memory_traffic_lines())});
+  }
+  std::cout << "\n-- simulated push iteration: LLC misses, direct vs binned ("
+            << machine.name << ", LLC " << llc_bytes / 1024 << " KiB) --\n";
+  t3.print(std::cout, opt.csv);
+
+  std::cout << "\n(host reports " << hw << " hardware thread(s); out-degree " << deg << ")\n";
+  return 0;
+}

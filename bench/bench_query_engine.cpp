@@ -18,6 +18,11 @@
 //      rounds of localized edge flaps: hit rate, invalidations, and
 //      the time ensure() takes vs recomputing every source cold.
 //
+// Plus an overload ladder, an analytics-kind mix (PageRank / WCC /
+// BFS-from-set / triangles through the same hardened batch surface,
+// so their latency histograms share the scoreboard), and the
+// cancellation-poll overhead scene.
+//
 // All scenes honour --json/--csv/--trace like every other bench; with
 // an instrumented build the mix / flap / overload scenes also print
 // per-request-kind latency percentile tables from the telemetry
@@ -318,7 +323,50 @@ int main(int argc, char** argv) {
   t4.print(std::cout, opt.csv);
   board.print(std::cout, opt.csv, "overload ladder: latency percentiles by request kind");
 
-  // --------------------------- scene 5: cancellation-check overhead
+  // ------------------------------------ scene 5: analytics request mix
+  // The frontier kinds through the same hardened surface as the search
+  // shapes: one batch mixing PageRank (both push modes), WCC, BFS-from-
+  // set, and triangle counting, so their per-kind latency histograms
+  // land in the scoreboard next to the search kinds'.
+  Table t6({"threads", "time (s)", "ok", "pagerank", "wcc", "bfs", "triangles"});
+  {
+    const auto el = graph::random_digraph<int>(n, 0.02, opt.seed);
+    const graph::AdjacencyArray<int> rep(el);
+    const std::vector<vertex_t> seeds{0, n / 2, n - 1};
+    std::vector<double> ranks_a(static_cast<std::size_t>(n));
+    std::vector<double> ranks_b(static_cast<std::size_t>(n));
+    std::vector<vertex_t> labels(static_cast<std::size_t>(n));
+    std::vector<vertex_t> depths(static_cast<std::size_t>(n));
+    std::vector<query::Request<int>> reqs;
+    reqs.push_back(query::PageRank{
+        .damping = 0.85, .max_iters = 10, .tol = 0.0, .binned = false, .out = ranks_a});
+    reqs.push_back(query::PageRank{
+        .damping = 0.85, .max_iters = 10, .tol = 0.0, .binned = true, .out = ranks_b});
+    reqs.push_back(query::Wcc{.binned = false, .out = labels});
+    reqs.push_back(query::BfsFromSet{.sources = seeds, .binned = true, .out = depths});
+    reqs.push_back(query::TriangleCount{});
+
+    for (const int threads : ladder) {
+      parallel::TaskPool pool(threads);
+      query::QueryEngine<graph::AdjacencyArray<int>> engine(rep);
+      const Params params{{"n", std::to_string(n)}, {"threads", std::to_string(threads)}};
+      std::uint64_t ok = 0;
+      std::array<std::uint64_t, 4> aux{};
+      const double ta = h.time_s("query_analytics_mix", params, opt.reps, [&] {
+        ok = 0;
+        const auto out = engine.try_run(std::span<const query::Request<int>>(reqs), pool);
+        for (const auto& r : out) ok += r.status.is_ok() ? 1u : 0u;
+        aux = {out[0].aux, out[2].aux, out[3].aux, out[4].aux};
+      });
+      t6.add_row({std::to_string(threads), fmt(ta, 3), fmt_count(ok), fmt_count(aux[0]),
+                  fmt_count(aux[1]), fmt_count(aux[2]), fmt_count(aux[3])});
+    }
+  }
+  std::cout << "\n-- analytics mix: frontier kinds through the hardened batch surface --\n";
+  t6.print(std::cout, opt.csv);
+  board.print(std::cout, opt.csv, "analytics mix: latency percentiles by request kind");
+
+  // --------------------------- scene 6: cancellation-check overhead
   // The poll is two atomic-ish loads every K settled vertices; this
   // prices it against the poll-free legacy path on a full SSSP sweep
   // (feeds the EXPERIMENTS.md overhead table).

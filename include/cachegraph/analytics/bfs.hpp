@@ -1,0 +1,133 @@
+// Level-synchronous multi-source BFS over the directed graph.
+//
+// out[v] becomes the hop depth from the nearest seed (kNoVertex when
+// unreached). Rounds are levels, so depths are deterministic no
+// matter the visit order — which makes the binned and direct push
+// phases bit-identical:
+//
+//   direct  CAS-claim depth[dest] from kNoVertex to d+1; the winning
+//           thread enqueues dest (the claim IS the dedup)
+//   binned  buffer dest ids per LLC-sized bin during the frontier
+//           scan (depths read-only), then drain bin-at-a-time: the
+//           first update to an unvisited dest inside its bin sets the
+//           depth and enqueues, later duplicates see it visited
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::analytics {
+
+struct BfsParams {
+  bool binned = false;
+};
+
+struct BfsStats {
+  Stop stop = Stop::done;
+  std::uint32_t rounds = 0;       ///< levels expanded (max depth assigned)
+  std::uint64_t reached = 0;      ///< vertices with a finite depth
+};
+
+template <graph::GraphRep G>
+BfsStats bfs_from_set(const G& g, Scratch& sc, const BfsParams& p,
+                      std::span<const vertex_t> sources, std::span<vertex_t> out,
+                      parallel::TaskPool* pool, const Budget& budget) {
+  const vertex_t n = g.num_vertices();
+  CG_CHECK(out.size() == static_cast<std::size_t>(n),
+           "bfs_from_set: out span must have num_vertices entries");
+  BfsStats stats;
+  const auto un = static_cast<std::size_t>(n);
+  const std::size_t shards = shard_count(pool);
+  sc.prepare(n, shards);
+  if (p.binned) {
+    sc.dest_bins().configure(BinLayout::pick(n, sizeof(vertex_t), sc.llc_bytes()), shards);
+  }
+
+  for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v) out[v] = kNoVertex;
+  });
+  for (const vertex_t s : sources) {
+    CG_CHECK(s >= 0 && s < n, "bfs_from_set: source out of range");
+    auto& slot = out[static_cast<std::size_t>(s)];
+    if (slot == kNoVertex) {
+      slot = 0;
+      sc.frontier().push_back(s);
+    }
+  }
+  stats.reached = sc.frontier().size();
+
+  memsim::NullMem mem;
+  const auto make_local = [] { return std::make_unique<std::vector<vertex_t>>(); };
+  vertex_t depth = 0;
+  while (!sc.frontier().empty()) {
+    if (const Stop s = budget.poll(); s != Stop::done) {
+      stats.stop = s;
+      break;
+    }
+    const vertex_t next_depth = depth + 1;
+    const std::size_t fsize = sc.frontier().size();
+    if (!p.binned) {
+      for_shards(pool, fsize, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+        auto local = sc.locals().acquire(make_local);
+        for (std::size_t i = b; i < e; ++i) {
+          g.for_neighbors(sc.frontier()[i], mem, [&](const auto& nb) {
+            std::atomic_ref<vertex_t> slot(out[static_cast<std::size_t>(nb.to)]);
+            vertex_t expected = kNoVertex;
+            if (slot.load(std::memory_order_relaxed) == kNoVertex &&
+                slot.compare_exchange_strong(expected, next_depth, std::memory_order_relaxed)) {
+              local.get().push_back(nb.to);
+            }
+          });
+        }
+        sc.merge_local(local.get());
+      });
+    } else {
+      auto& bins = sc.dest_bins();
+      bins.clear_all();
+      for_shards(pool, fsize, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          g.for_neighbors(sc.frontier()[i], mem, [&](const auto& nb) {
+            if (out[static_cast<std::size_t>(nb.to)] == kNoVertex) {
+              bins.append(s, nb.to, nb.to);
+            }
+          });
+        }
+      });
+      const std::size_t nbins = bins.bins();
+      for_shards(pool, nbins, nbins < shards ? nbins : shards,
+                 [&](std::size_t, std::size_t b, std::size_t e) {
+                   auto local = sc.locals().acquire(make_local);
+                   for (std::size_t bin = b; bin < e; ++bin) {
+                     for (std::size_t s = 0; s < shards; ++s) {
+                       for (const vertex_t dest : bins.bin(s, bin)) {
+                         auto& slot = out[static_cast<std::size_t>(dest)];
+                         if (slot == kNoVertex) {
+                           slot = next_depth;
+                           local.get().push_back(dest);
+                         }
+                       }
+                     }
+                   }
+                   sc.merge_local(local.get());
+                 });
+    }
+    stats.reached += sc.next().size();
+    sc.advance_round();
+    if (!sc.frontier().empty()) ++stats.rounds;
+    depth = next_depth;
+  }
+  CG_COUNTER_ADD("analytics.bfs.rounds", stats.rounds);
+  return stats;
+}
+
+}  // namespace cachegraph::analytics

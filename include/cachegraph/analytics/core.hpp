@@ -1,0 +1,330 @@
+// cachegraph::analytics — shared machinery for the frontier/worklist
+// engine: round budgets (cancellation + deadline polled once per
+// round), lock-free claim/merge primitives for per-worker private
+// next-frontiers, the LLC-sized destination binning used by the
+// propagation-blocking push phase, and the reusable Scratch that keeps
+// every kernel zero-allocation in steady state.
+//
+// The design follows "Making Caches Work for Graph Analytics"
+// (PAPERS.md): a push-phase kernel's destination writes are the random
+// part of its traffic, so we partition destinations into segments
+// whose accumulator slice fits in (half) the LLC, buffer (dest,
+// contribution) updates per bin in contiguous per-shard arrays during
+// the walk, then drain bin-at-a-time — both phases stream. The
+// unbinned (direct, atomic) path stays available at runtime as the
+// differential oracle.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/memsim/config.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/fault_injector.hpp"
+
+namespace cachegraph::analytics {
+
+/// Why a kernel returned. `done` means converged/complete; the other
+/// two mean the per-round poll tripped and the output spans hold an
+/// unspecified (but type-valid) partial state.
+enum class Stop : std::uint8_t {
+  done = 0,
+  cancelled = 1,
+  deadline = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Stop s) noexcept {
+  switch (s) {
+    case Stop::done: return "done";
+    case Stop::cancelled: return "cancelled";
+    case Stop::deadline: return "deadline";
+  }
+  return "?";
+}
+
+/// Cooperative interruption budget, polled once per frontier round
+/// (rounds are the natural poll cadence for level-synchronous kernels:
+/// cheap, and every poll point is a barrier so partial state is
+/// well-formed). Mirrors query::Limits' entry-poll semantics: an
+/// already-cancelled token or spent deadline stops before round 0.
+struct Budget {
+  const reliability::CancelToken* cancel = nullptr;
+  reliability::Deadline deadline{};
+
+  [[nodiscard]] Stop poll() const noexcept {
+    if (cancel != nullptr && cancel->cancelled()) return Stop::cancelled;
+    if (deadline.armed() &&
+        (deadline.expired() || CG_FAULT_FIRE(reliability::FaultSite::kForceTimeout))) {
+      return Stop::deadline;
+    }
+    return Stop::done;
+  }
+};
+
+/// fetch_add for doubles via CAS on an atomic_ref — the direct
+/// (unbinned) push phase's accumulator update. Relaxed is enough: the
+/// round-end TaskGroup::wait() is the ordering barrier.
+inline void atomic_add(double& slot, double delta) noexcept {
+  std::atomic_ref<double> ref(slot);
+  double cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+/// Lower `slot` to min(slot, value); returns true iff this call
+/// lowered it (the claim signal for WCC's next-frontier).
+inline bool atomic_fetch_min(vertex_t& slot, vertex_t value) noexcept {
+  std::atomic_ref<vertex_t> ref(slot);
+  vertex_t cur = ref.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+/// One-shot claim flag (0 -> 1); exactly one claimant wins per round.
+inline bool atomic_claim(std::uint8_t& flag) noexcept {
+  std::atomic_ref<std::uint8_t> ref(flag);
+  std::uint8_t expected = 0;
+  return ref.load(std::memory_order_relaxed) == 0 &&
+         ref.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+}
+
+/// Number of static shards a kernel partitions its work (and its bin
+/// buffers) into. Modest oversubscription smooths imbalance from
+/// skewed degree ranges without multiplying bin-buffer memory.
+[[nodiscard]] inline std::size_t shard_count(parallel::TaskPool* pool) noexcept {
+  if (pool == nullptr) return 1;
+  const int threads = pool->num_threads() <= 0 ? 1 : pool->num_threads();
+  return threads == 1 ? 1 : static_cast<std::size_t>(threads) * 2;
+}
+
+/// Run fn(shard, begin, end) over [0, total) split into `shards`
+/// contiguous ranges — as pool tasks when a pool is given (the caller
+/// blocks in TaskGroup::wait(), which participates in stealing), or as
+/// plain calls when pool is null / there is one shard. Shards with an
+/// empty range are skipped; fn must tolerate any shard subset.
+template <typename Fn>
+void for_shards(parallel::TaskPool* pool, std::size_t total, std::size_t shards, Fn&& fn) {
+  CG_CHECK(shards > 0, "for_shards: shards must be positive");
+  if (total == 0) return;
+  const std::size_t chunk = (total + shards - 1) / shards;
+  if (pool == nullptr || shards == 1 || total <= chunk) {
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards && begin < total; ++s, begin += chunk) {
+      const std::size_t end = begin + chunk < total ? begin + chunk : total;
+      fn(s, begin, end);
+    }
+    return;
+  }
+  parallel::TaskGroup group(*pool);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards && begin < total; ++s, begin += chunk) {
+    const std::size_t end = begin + chunk < total ? begin + chunk : total;
+    group.run([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  group.wait();
+}
+
+/// Destination partitioning for propagation blocking: bins are
+/// contiguous id ranges of 2^bin_bits vertices, sized so one bin's
+/// accumulator slice fits in half the LLC (the other half is left for
+/// the bin buffer being drained and the graph stream).
+struct BinLayout {
+  std::uint32_t bin_bits = 0;
+  vertex_t n = 0;
+
+  /// Choose bin_bits for `n` destinations whose accumulator entry is
+  /// `entry_bytes` wide against a last-level cache of `llc_bytes`.
+  [[nodiscard]] static BinLayout pick(vertex_t n, std::size_t entry_bytes,
+                                      std::size_t llc_bytes) noexcept {
+    BinLayout layout;
+    layout.n = n;
+    if (entry_bytes == 0) entry_bytes = 1;
+    const std::size_t budget = llc_bytes / 2;
+    std::size_t dests = budget / entry_bytes;
+    if (dests < 1) dests = 1;
+    // Round down to a power of two so bin_of() is a shift.
+    const auto width = static_cast<std::uint32_t>(std::bit_width(dests));
+    layout.bin_bits = width == 0 ? 0 : width - 1;
+    if (layout.bin_bits > 30) layout.bin_bits = 30;
+    return layout;
+  }
+
+  /// Layout from a memsim machine description: the LLC is L3 when the
+  /// machine has one, else L2.
+  [[nodiscard]] static BinLayout from_machine(vertex_t n, std::size_t entry_bytes,
+                                              const memsim::MachineConfig& machine) noexcept {
+    const std::size_t llc =
+        machine.has_l3() ? machine.l3.size_bytes : machine.l2.size_bytes;
+    return pick(n, entry_bytes, llc);
+  }
+
+  [[nodiscard]] std::size_t num_bins() const noexcept {
+    if (n <= 0) return 1;
+    return ((static_cast<std::size_t>(n) - 1) >> bin_bits) + 1;
+  }
+
+  [[nodiscard]] std::size_t bin_of(vertex_t v) const noexcept {
+    return static_cast<std::size_t>(static_cast<std::uint32_t>(v)) >> bin_bits;
+  }
+};
+
+/// Per-shard, per-bin contiguous update buffers. Phase 1 appends into
+/// buffers_[shard][bin] with no synchronization (shards own their
+/// rows); phase 2 assigns bins to tasks, each draining its bin across
+/// all shards — destinations within a bin are touched by exactly one
+/// task, so the drain needs no atomics. configure() keeps capacity
+/// across requests, so steady-state appends never allocate.
+template <typename Update>
+class BinShards {
+ public:
+  void configure(const BinLayout& layout, std::size_t shards) {
+    layout_ = layout;
+    const std::size_t bins = layout.num_bins();
+    if (buffers_.size() < shards) buffers_.resize(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (buffers_[s].size() < bins) buffers_[s].resize(bins);
+      for (auto& bin : buffers_[s]) bin.clear();
+    }
+    shards_ = shards;
+    bins_ = bins;
+  }
+
+  void append(std::size_t shard, vertex_t dest, Update u) {
+    buffers_[shard][layout_.bin_of(dest)].push_back(u);
+  }
+
+  void clear_all() noexcept {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      for (std::size_t b = 0; b < bins_; ++b) buffers_[s][b].clear();
+    }
+  }
+
+  [[nodiscard]] const BinLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+
+  [[nodiscard]] std::vector<Update>& bin(std::size_t shard, std::size_t b) noexcept {
+    return buffers_[shard][b];
+  }
+  [[nodiscard]] const std::vector<Update>& bin(std::size_t shard, std::size_t b) const noexcept {
+    return buffers_[shard][b];
+  }
+
+ private:
+  BinLayout layout_{};
+  std::vector<std::vector<std::vector<Update>>> buffers_;
+  std::size_t shards_ = 0;
+  std::size_t bins_ = 0;
+};
+
+/// A (dest, PageRank contribution) buffered update.
+struct RankUpdate {
+  vertex_t dest = 0;
+  double contrib = 0.0;
+};
+
+/// A (dest, candidate component label) buffered update.
+struct LabelUpdate {
+  vertex_t dest = 0;
+  vertex_t label = 0;
+};
+
+/// Reusable per-request working state for every analytics kernel.
+/// prepare() sizes the dense arrays for the graph at hand; all
+/// std::vector growth sticks, so a Scratch leased across requests of
+/// the same graph reaches zero allocation in steady state (the
+/// LeasePool stats in QueryEngine expose reuse counts).
+class Scratch {
+ public:
+  void prepare(vertex_t n, std::size_t shards) {
+    const auto un = static_cast<std::size_t>(n);
+    if (claimed_.size() < un) claimed_.resize(un);
+    std::fill(claimed_.begin(), claimed_.begin() + static_cast<std::ptrdiff_t>(un), 0);
+    partial_.assign(shards, 0.0);
+    upartial_.assign(shards, 0);
+    frontier_.clear();
+    next_.clear();
+    shards_ = shards;
+  }
+
+  /// Dense double working arrays (PageRank rank/next).
+  void prepare_values(vertex_t n) {
+    const auto un = static_cast<std::size_t>(n);
+    value_a_.assign(un, 0.0);
+    value_b_.assign(un, 0.0);
+  }
+
+  [[nodiscard]] std::vector<double>& value_a() noexcept { return value_a_; }
+  [[nodiscard]] std::vector<double>& value_b() noexcept { return value_b_; }
+  [[nodiscard]] std::vector<vertex_t>& frontier() noexcept { return frontier_; }
+  [[nodiscard]] std::vector<vertex_t>& next() noexcept { return next_; }
+  [[nodiscard]] std::vector<std::uint8_t>& claimed() noexcept { return claimed_; }
+  [[nodiscard]] std::vector<double>& partials() noexcept { return partial_; }
+  [[nodiscard]] std::vector<std::uint64_t>& upartials() noexcept { return upartial_; }
+  [[nodiscard]] BinShards<RankUpdate>& rank_bins() noexcept { return rank_bins_; }
+  [[nodiscard]] BinShards<LabelUpdate>& label_bins() noexcept { return label_bins_; }
+  [[nodiscard]] BinShards<vertex_t>& dest_bins() noexcept { return dest_bins_; }
+
+  /// A worker-local frontier segment: leased per shard-task, appended
+  /// without synchronization, then bulk-merged (one lock per shard per
+  /// round). Capacity persists through the pool, so steady-state
+  /// rounds don't allocate.
+  [[nodiscard]] parallel::LeasePool<std::vector<vertex_t>>& locals() noexcept { return locals_; }
+
+  /// Merge a local frontier segment into next() and recycle it.
+  void merge_local(std::vector<vertex_t>& local) {
+    if (local.empty()) return;
+    const std::scoped_lock lock(merge_mutex_);
+    next_.insert(next_.end(), local.begin(), local.end());
+    local.clear();
+  }
+
+  /// Swap next into frontier and clear the claim flags of the new
+  /// frontier's members (O(|frontier|), not O(n)).
+  void advance_round() noexcept {
+    frontier_.swap(next_);
+    next_.clear();
+    for (const vertex_t v : frontier_) claimed_[static_cast<std::size_t>(v)] = 0;
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  /// LLC budget driving BinLayout::pick for the propagation-blocking
+  /// modes. Defaults to a conservative 2 MiB; QueryEngine forwards its
+  /// configured memsim machine here.
+  void set_llc_bytes(std::size_t bytes) noexcept {
+    llc_bytes_ = bytes == 0 ? kDefaultLlcBytes : bytes;
+  }
+  [[nodiscard]] std::size_t llc_bytes() const noexcept { return llc_bytes_; }
+
+  static constexpr std::size_t kDefaultLlcBytes = 2u << 20;
+
+ private:
+  std::vector<double> value_a_;
+  std::vector<double> value_b_;
+  std::vector<vertex_t> frontier_;
+  std::vector<vertex_t> next_;
+  std::vector<std::uint8_t> claimed_;
+  std::vector<double> partial_;
+  std::vector<std::uint64_t> upartial_;
+  BinShards<RankUpdate> rank_bins_;
+  BinShards<LabelUpdate> label_bins_;
+  BinShards<vertex_t> dest_bins_;
+  parallel::LeasePool<std::vector<vertex_t>> locals_;
+  std::mutex merge_mutex_;
+  std::size_t shards_ = 1;
+  std::size_t llc_bytes_ = kDefaultLlcBytes;
+};
+
+}  // namespace cachegraph::analytics

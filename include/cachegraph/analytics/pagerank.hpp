@@ -1,0 +1,160 @@
+// PageRank by synchronous power iteration, push formulation.
+//
+// Each iteration: every vertex u pushes damping * rank[u] / outdeg(u)
+// to its out-neighbors' next-rank accumulators; dangling vertices
+// (outdeg 0) donate their mass uniformly. The pull side of the
+// iteration (base term, dangling sum, L1 delta) streams both arrays —
+// cache-friendly already. The push side's destination writes are the
+// random traffic, and the two modes differ exactly there:
+//
+//   direct  atomic add straight into next[dest] — random writes across
+//           the whole accumulator (the differential oracle)
+//   binned  propagation blocking: append (dest, contribution) to the
+//           dest's LLC-sized bin (sequential writes), then drain
+//           bin-at-a-time with plain adds (bounded working set)
+//
+// Both modes do identical arithmetic per edge; they differ only in
+// accumulation order, so results agree to floating-point
+// reassociation (the differential tests bound the drift).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/analytics/workspace.hpp"
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::analytics {
+
+struct PageRankParams {
+  double damping = 0.85;
+  std::uint32_t max_iters = 50;
+  double tol = 1e-9;  ///< L1 convergence threshold; 0 = always run max_iters
+  bool binned = false;
+};
+
+struct PageRankStats {
+  Stop stop = Stop::done;
+  std::uint32_t iterations = 0;
+  double delta = 0.0;  ///< L1 change of the final iteration
+};
+
+template <graph::GraphRep G>
+PageRankStats pagerank(const G& g, Workspace<G>& ws, Scratch& sc, const PageRankParams& p,
+                       std::span<double> out, parallel::TaskPool* pool, const Budget& budget) {
+  const vertex_t n = g.num_vertices();
+  CG_CHECK(out.size() == static_cast<std::size_t>(n),
+           "pagerank: out span must have num_vertices entries");
+  PageRankStats stats;
+  if (n == 0) return stats;
+
+  const auto un = static_cast<std::size_t>(n);
+  const std::vector<index_t>& deg = ws.out_degrees();
+  const std::size_t shards = shard_count(pool);
+  sc.prepare(n, shards);
+  sc.prepare_values(n);
+  std::vector<double>* rank = &sc.value_a();
+  std::vector<double>* next = &sc.value_b();
+  if (p.binned) {
+    sc.rank_bins().configure(BinLayout::pick(n, sizeof(double), sc.llc_bytes()), shards);
+  }
+
+  const double init = 1.0 / static_cast<double>(n);
+  for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v) (*rank)[v] = init;
+  });
+
+  memsim::NullMem mem;
+  for (std::uint32_t iter = 0; iter < p.max_iters; ++iter) {
+    if (const Stop s = budget.poll(); s != Stop::done) {
+      stats.stop = s;
+      break;
+    }
+    // Dangling mass (streaming reduce over rank + degrees).
+    for_shards(pool, un, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+      double acc = 0.0;
+      for (std::size_t v = b; v < e; ++v) {
+        if (deg[v] == 0) acc += (*rank)[v];
+      }
+      sc.partials()[s] = acc;
+    });
+    double dangling = 0.0;
+    for (const double d : sc.partials()) dangling += d;
+    const double base =
+        (1.0 - p.damping) / static_cast<double>(n) + p.damping * dangling / static_cast<double>(n);
+    for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t v = b; v < e; ++v) (*next)[v] = base;
+    });
+
+    // Push phase — the propagation-blocking A/B.
+    if (!p.binned) {
+      for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t v = b; v < e; ++v) {
+          if (deg[v] == 0) continue;
+          const double contrib = p.damping * (*rank)[v] / static_cast<double>(deg[v]);
+          g.for_neighbors(static_cast<vertex_t>(v), mem, [&](const auto& nb) {
+            atomic_add((*next)[static_cast<std::size_t>(nb.to)], contrib);
+          });
+        }
+      });
+    } else {
+      auto& bins = sc.rank_bins();
+      bins.clear_all();
+      for_shards(pool, un, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+        for (std::size_t v = b; v < e; ++v) {
+          if (deg[v] == 0) continue;
+          const double contrib = p.damping * (*rank)[v] / static_cast<double>(deg[v]);
+          g.for_neighbors(static_cast<vertex_t>(v), mem, [&](const auto& nb) {
+            bins.append(s, nb.to, RankUpdate{nb.to, contrib});
+          });
+        }
+      });
+      const std::size_t nbins = bins.bins();
+      for_shards(pool, nbins, nbins < shards ? nbins : shards,
+                 [&](std::size_t, std::size_t b, std::size_t e) {
+                   for (std::size_t bin = b; bin < e; ++bin) {
+                     for (std::size_t s = 0; s < shards; ++s) {
+                       for (const RankUpdate& u : bins.bin(s, bin)) {
+                         (*next)[static_cast<std::size_t>(u.dest)] += u.contrib;
+                       }
+                     }
+                   }
+                 });
+    }
+
+    // L1 delta (streaming reduce), then swap.
+    for_shards(pool, un, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+      double acc = 0.0;
+      for (std::size_t v = b; v < e; ++v) acc += std::fabs((*next)[v] - (*rank)[v]);
+      sc.partials()[s] = acc;
+    });
+    double delta = 0.0;
+    for (const double d : sc.partials()) delta += d;
+    std::swap(rank, next);
+    ++stats.iterations;
+    stats.delta = delta;
+    if (p.tol > 0.0 && delta <= p.tol) break;
+  }
+
+  for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v) out[v] = (*rank)[v];
+  });
+  CG_COUNTER_ADD("analytics.pagerank.iterations", stats.iterations);
+  const std::uint64_t pushed = static_cast<std::uint64_t>(g.num_edges()) * stats.iterations;
+  // Two call sites: the counter macro binds its slot statically per use.
+  if (p.binned) {
+    CG_COUNTER_ADD("analytics.push.binned_edges", pushed);
+  } else {
+    CG_COUNTER_ADD("analytics.push.direct_edges", pushed);
+  }
+  return stats;
+}
+
+}  // namespace cachegraph::analytics

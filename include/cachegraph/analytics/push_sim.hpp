@@ -1,0 +1,98 @@
+// memsim twin of the PageRank push phase — the propagation-blocking
+// A/B exhibit.
+//
+// Replays the exact logical access pattern of one push iteration
+// through a MemPolicy so CacheHierarchy can price both modes on any
+// machine model:
+//
+//   direct  stream rank[] and the adjacency, scatter one
+//           read-modify-write into next[dest] per edge — at n beyond
+//           the LLC almost every scatter misses
+//   binned  phase 1 streams rank[]/adjacency and *appends* each
+//           update to its destination bin (sequential writes at
+//           num_bins rolling cursors); phase 2 streams each bin's
+//           updates back and applies them to an accumulator slice
+//           sized to fit the LLC — the random writes never leave it
+//
+// The replay is serial (memsim hierarchies are single-stream by
+// design) and arithmetic-free: only the access sequence matters.
+// bench_analytics records both SimStats; analytics_test pins the
+// inequality (binned L2+L3 misses < direct) at sizes beyond the LLC.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::analytics {
+
+template <graph::GraphRep G, memsim::MemPolicy Mem>
+void sim_push_iteration(const G& g, bool binned, const BinLayout& layout, Mem& mem) {
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return;
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<double> rank(un, 0.0);
+  std::vector<double> next(un, 0.0);
+  if constexpr (Mem::tracing) {
+    g.map_buffers(mem);
+    mem.map_buffer(rank.data(), rank.size() * sizeof(double));
+    mem.map_buffer(next.data(), next.size() * sizeof(double));
+  }
+
+  if (!binned) {
+    for (vertex_t u = 0; u < n; ++u) {
+      mem.read(&rank[static_cast<std::size_t>(u)]);
+      g.for_neighbors(u, mem, [&](const auto& nb) {
+        const auto dest = static_cast<std::size_t>(nb.to);
+        mem.read(&next[dest]);
+        mem.write(&next[dest]);
+      });
+    }
+    return;
+  }
+
+  // Bin storage as one flat (dest, contrib) array with per-bin
+  // regions, so phase-1 appends are sequential within each bin.
+  memsim::NullMem null;
+  const std::size_t bins = layout.num_bins();
+  std::vector<index_t> bin_edges(bins + 1, 0);
+  for (vertex_t u = 0; u < n; ++u) {
+    g.for_neighbors(u, null,
+                    [&](const auto& nb) { ++bin_edges[layout.bin_of(nb.to) + 1]; });
+  }
+  std::partial_sum(bin_edges.begin(), bin_edges.end(), bin_edges.begin());
+  std::vector<RankUpdate> buffer(static_cast<std::size_t>(bin_edges[bins]));
+  if constexpr (Mem::tracing) {
+    mem.map_buffer(buffer.data(), buffer.size() * sizeof(RankUpdate));
+  }
+
+  // Phase 1: walk, append each update at its bin's cursor.
+  std::vector<index_t> cursor(bin_edges.begin(), bin_edges.end() - 1);
+  for (vertex_t u = 0; u < n; ++u) {
+    mem.read(&rank[static_cast<std::size_t>(u)]);
+    g.for_neighbors(u, mem, [&](const auto& nb) {
+      const std::size_t bin = layout.bin_of(nb.to);
+      const auto pos = static_cast<std::size_t>(cursor[bin]++);
+      buffer[pos] = RankUpdate{nb.to, 0.0};
+      mem.write(&buffer[pos]);
+    });
+  }
+
+  // Phase 2: drain bin-at-a-time; the accumulator slice stays hot.
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    for (auto pos = static_cast<std::size_t>(bin_edges[bin]);
+         pos < static_cast<std::size_t>(bin_edges[bin + 1]); ++pos) {
+      mem.read(&buffer[pos]);
+      const auto dest = static_cast<std::size_t>(buffer[pos].dest);
+      mem.read(&next[dest]);
+      mem.write(&next[dest]);
+    }
+  }
+}
+
+}  // namespace cachegraph::analytics

@@ -1,0 +1,150 @@
+// Weakly-connected components by frontier-driven min-label
+// propagation over the symmetrized CSR.
+//
+// labels start at vertex ids; each round, every frontier vertex
+// pushes its label to neighbors with a larger one, and any vertex
+// whose label drops joins the next frontier (claimed exactly once via
+// a per-round flag). Labels only decrease, so the fixed point —
+// label[v] == min vertex id in v's component — is deterministic, and
+// the binned and direct push phases are bit-identical by
+// construction:
+//
+//   direct  atomic fetch-min straight into labels[] (the oracle)
+//   binned  buffer (dest, label) per LLC-sized destination bin during
+//           the scan (labels are read-only in that phase), then drain
+//           bin-at-a-time with plain min-writes — bins partition the
+//           destinations, so no two drain tasks share a vertex
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/analytics/workspace.hpp"
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/obs/counters.hpp"
+
+namespace cachegraph::analytics {
+
+struct WccParams {
+  bool binned = false;
+};
+
+struct WccStats {
+  Stop stop = Stop::done;
+  std::uint32_t rounds = 0;
+  vertex_t components = 0;  ///< valid when stop == done
+};
+
+template <graph::GraphRep G>
+WccStats wcc(const G& g, Workspace<G>& ws, Scratch& sc, const WccParams& p,
+             std::span<vertex_t> out, parallel::TaskPool* pool, const Budget& budget) {
+  const vertex_t n = g.num_vertices();
+  CG_CHECK(out.size() == static_cast<std::size_t>(n),
+           "wcc: out span must have num_vertices entries");
+  WccStats stats;
+  if (n == 0) return stats;
+
+  const UndirectedCsr& und = ws.undirected();
+  const auto un = static_cast<std::size_t>(n);
+  const std::size_t shards = shard_count(pool);
+  sc.prepare(n, shards);
+  if (p.binned) {
+    sc.label_bins().configure(BinLayout::pick(n, sizeof(vertex_t), sc.llc_bytes()), shards);
+  }
+
+  for_shards(pool, un, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v) out[v] = static_cast<vertex_t>(v);
+  });
+  sc.frontier().resize(un);
+  for (std::size_t v = 0; v < un; ++v) sc.frontier()[v] = static_cast<vertex_t>(v);
+
+  const auto make_local = [] { return std::make_unique<std::vector<vertex_t>>(); };
+  while (!sc.frontier().empty()) {
+    if (const Stop s = budget.poll(); s != Stop::done) {
+      stats.stop = s;
+      break;
+    }
+    const std::size_t fsize = sc.frontier().size();
+    if (!p.binned) {
+      for_shards(pool, fsize, shards, [&](std::size_t, std::size_t b, std::size_t e) {
+        auto local = sc.locals().acquire(make_local);
+        for (std::size_t i = b; i < e; ++i) {
+          const vertex_t u = sc.frontier()[i];
+          const vertex_t lu =
+              std::atomic_ref<vertex_t>(out[static_cast<std::size_t>(u)])
+                  .load(std::memory_order_relaxed);
+          for (const vertex_t w : und.neighbors(u)) {
+            if (atomic_fetch_min(out[static_cast<std::size_t>(w)], lu) &&
+                atomic_claim(sc.claimed()[static_cast<std::size_t>(w)])) {
+              local.get().push_back(w);
+            }
+          }
+        }
+        sc.merge_local(local.get());
+      });
+    } else {
+      auto& bins = sc.label_bins();
+      bins.clear_all();
+      // Phase 1: scan the frontier, labels read-only, bin the pushes.
+      for_shards(pool, fsize, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const vertex_t u = sc.frontier()[i];
+          const vertex_t lu = out[static_cast<std::size_t>(u)];
+          for (const vertex_t w : und.neighbors(u)) {
+            if (lu < out[static_cast<std::size_t>(w)]) {
+              bins.append(s, w, LabelUpdate{w, lu});
+            }
+          }
+        }
+      });
+      // Phase 2: drain bin-at-a-time; bins partition destinations, so
+      // plain reads/writes suffice inside one drain task.
+      const std::size_t nbins = bins.bins();
+      for_shards(pool, nbins, nbins < shards ? nbins : shards,
+                 [&](std::size_t, std::size_t b, std::size_t e) {
+                   auto local = sc.locals().acquire(make_local);
+                   for (std::size_t bin = b; bin < e; ++bin) {
+                     for (std::size_t s = 0; s < shards; ++s) {
+                       for (const LabelUpdate& u : bins.bin(s, bin)) {
+                         auto& slot = out[static_cast<std::size_t>(u.dest)];
+                         if (u.label < slot) {
+                           slot = u.label;
+                           auto& flag = sc.claimed()[static_cast<std::size_t>(u.dest)];
+                           if (flag == 0) {
+                             flag = 1;
+                             local.get().push_back(u.dest);
+                           }
+                         }
+                       }
+                     }
+                   }
+                   sc.merge_local(local.get());
+                 });
+    }
+    sc.advance_round();
+    ++stats.rounds;
+  }
+
+  if (stats.stop == Stop::done) {
+    for_shards(pool, un, shards, [&](std::size_t s, std::size_t b, std::size_t e) {
+      std::uint64_t roots = 0;
+      for (std::size_t v = b; v < e; ++v) {
+        if (out[v] == static_cast<vertex_t>(v)) ++roots;
+      }
+      sc.upartials()[s] = roots;
+    });
+    std::uint64_t components = 0;
+    for (const std::uint64_t c : sc.upartials()) components += c;
+    stats.components = static_cast<vertex_t>(components);
+  }
+  CG_COUNTER_ADD("analytics.wcc.rounds", stats.rounds);
+  return stats;
+}
+
+}  // namespace cachegraph::analytics

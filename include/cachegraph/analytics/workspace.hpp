@@ -1,0 +1,235 @@
+// Derived graph views the analytics kernels run over, built lazily
+// from any GraphRep and cached per engine:
+//
+//   out_degrees()  out-degree per vertex (PageRank contribution split)
+//   undirected()   symmetrized, deduplicated, self-loop-free CSR
+//                  (WCC label propagation, triangle counting)
+//   forward()      degree-ordered oriented adjacency in rank space
+//                  (the standard triangle-counting orientation: each
+//                  edge points from lower to higher (degree, id) rank,
+//                  so every triangle is counted exactly once and the
+//                  per-vertex forward lists stay short on skewed
+//                  degree distributions)
+//
+// All three are O(V + E) to build and live in flat arrays — the
+// paper's layout discipline applied to the analytics side. Builds are
+// serial (one-time per graph version) and guarded so concurrent
+// requests share one build; invalidate() forces a rebuild after the
+// underlying graph mutates.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+
+namespace cachegraph::analytics {
+
+/// Flat symmetrized CSR: neighbors(v) is sorted, self-loop-free, and
+/// duplicate-free regardless of how many parallel arcs the source
+/// graph carries between a pair.
+class UndirectedCsr {
+ public:
+  template <graph::GraphRep G>
+  void build(const G& g) {
+    memsim::NullMem mem;
+    const vertex_t n = g.num_vertices();
+    const auto un = static_cast<std::size_t>(n);
+    std::vector<index_t> count(un + 1, 0);
+    for (vertex_t u = 0; u < n; ++u) {
+      g.for_neighbors(u, mem, [&](const auto& nb) {
+        if (nb.to == u) return;  // self-loops carry no connectivity
+        ++count[static_cast<std::size_t>(u) + 1];
+        ++count[static_cast<std::size_t>(nb.to) + 1];
+      });
+    }
+    std::partial_sum(count.begin(), count.end(), count.begin());
+    std::vector<vertex_t> raw(static_cast<std::size_t>(count[un]));
+    std::vector<index_t> cursor(count.begin(), count.end() - 1);
+    for (vertex_t u = 0; u < n; ++u) {
+      g.for_neighbors(u, mem, [&](const auto& nb) {
+        if (nb.to == u) return;
+        raw[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = nb.to;
+        raw[static_cast<std::size_t>(cursor[static_cast<std::size_t>(nb.to)]++)] = u;
+      });
+    }
+    // Sort + dedup each row, then compact into the final arrays.
+    offsets_.assign(un + 1, 0);
+    for (std::size_t u = 0; u < un; ++u) {
+      const auto first = raw.begin() + static_cast<std::ptrdiff_t>(count[u]);
+      const auto last = raw.begin() + static_cast<std::ptrdiff_t>(count[u + 1]);
+      std::sort(first, last);
+      offsets_[u + 1] = offsets_[u] + static_cast<index_t>(std::unique(first, last) - first);
+    }
+    adj_.resize(static_cast<std::size_t>(offsets_[un]));
+    for (std::size_t u = 0; u < un; ++u) {
+      const auto first = raw.begin() + static_cast<std::ptrdiff_t>(count[u]);
+      const auto row = static_cast<std::size_t>(offsets_[u + 1] - offsets_[u]);
+      std::copy(first, first + static_cast<std::ptrdiff_t>(row),
+                adj_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]));
+    }
+    n_ = n;
+  }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+
+  /// Undirected (deduplicated) edge count.
+  [[nodiscard]] index_t num_edges() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back() / 2;
+  }
+
+  [[nodiscard]] index_t degree(vertex_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    return {adj_.data() + offsets_[u], static_cast<std::size_t>(degree(v))};
+  }
+
+ private:
+  std::vector<index_t> offsets_;
+  std::vector<vertex_t> adj_;
+  vertex_t n_ = 0;
+};
+
+/// Oriented adjacency in rank space for triangle counting: vertex v's
+/// rank is its position when sorted by (undirected degree, id), and
+/// forward(r) lists the *ranks* of v's higher-ranked neighbors,
+/// sorted — so the counting loop is pure sorted-list intersection
+/// with no indirection back through vertex ids.
+class ForwardCsr {
+ public:
+  void build(const UndirectedCsr& und) {
+    const vertex_t n = und.num_vertices();
+    const auto un = static_cast<std::size_t>(n);
+    std::vector<vertex_t> order(un);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](vertex_t a, vertex_t b) {
+      const index_t da = und.degree(a);
+      const index_t db = und.degree(b);
+      return da != db ? da < db : a < b;
+    });
+    rank_.assign(un, 0);
+    for (std::size_t i = 0; i < un; ++i) {
+      rank_[static_cast<std::size_t>(order[i])] = static_cast<vertex_t>(i);
+    }
+    offsets_.assign(un + 1, 0);
+    for (vertex_t v = 0; v < n; ++v) {
+      const vertex_t rv = rank_[static_cast<std::size_t>(v)];
+      index_t fwd = 0;
+      for (const vertex_t w : und.neighbors(v)) {
+        if (rank_[static_cast<std::size_t>(w)] > rv) ++fwd;
+      }
+      offsets_[static_cast<std::size_t>(rv) + 1] = fwd;
+    }
+    std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+    adj_.resize(static_cast<std::size_t>(offsets_[un]));
+    for (vertex_t v = 0; v < n; ++v) {
+      const auto rv = static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]);
+      auto cursor = static_cast<std::size_t>(offsets_[rv]);
+      for (const vertex_t w : und.neighbors(v)) {
+        const vertex_t rw = rank_[static_cast<std::size_t>(w)];
+        if (rw > static_cast<vertex_t>(rv)) adj_[cursor++] = rw;
+      }
+      std::sort(adj_.begin() + static_cast<std::ptrdiff_t>(offsets_[rv]),
+                adj_.begin() + static_cast<std::ptrdiff_t>(cursor));
+    }
+    n_ = n;
+  }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+
+  [[nodiscard]] std::span<const vertex_t> forward(vertex_t rank) const noexcept {
+    const auto r = static_cast<std::size_t>(rank);
+    return {adj_.data() + offsets_[r],
+            static_cast<std::size_t>(offsets_[r + 1] - offsets_[r])};
+  }
+
+ private:
+  std::vector<index_t> offsets_;
+  std::vector<vertex_t> adj_;
+  std::vector<vertex_t> rank_;
+  vertex_t n_ = 0;
+};
+
+/// Lazily-built, engine-cached derived views. Thread-safe: concurrent
+/// requests race to one mutex-guarded build; readers after the build
+/// see an immutable structure (the atomic flag is the publish point).
+template <graph::GraphRep G>
+class Workspace {
+ public:
+  explicit Workspace(const G& g) noexcept : g_(&g) {}
+
+  [[nodiscard]] const std::vector<index_t>& out_degrees() {
+    ensure(kDegrees);
+    return degrees_;
+  }
+
+  [[nodiscard]] const UndirectedCsr& undirected() {
+    ensure(kUndirected);
+    return und_;
+  }
+
+  [[nodiscard]] const ForwardCsr& forward() {
+    ensure(kForward);
+    return fwd_;
+  }
+
+  /// Drop every cached view (call after the underlying graph mutates,
+  /// from a quiescent point — no requests in flight).
+  void invalidate() noexcept { built_.store(0, std::memory_order_release); }
+
+ private:
+  enum : unsigned { kDegrees = 1, kUndirected = 2, kForward = 4 };
+
+  void ensure(unsigned want) {
+    if ((built_.load(std::memory_order_acquire) & want) == want) return;
+    const std::scoped_lock lock(build_mutex_);
+    unsigned built = built_.load(std::memory_order_relaxed);
+    if ((built & want) == want) return;
+    if ((want & kDegrees) != 0 && (built & kDegrees) == 0) {
+      build_degrees();
+      built |= kDegrees;
+    }
+    if ((want & (kUndirected | kForward)) != 0 && (built & kUndirected) == 0) {
+      und_.build(*g_);
+      built |= kUndirected;
+    }
+    if ((want & kForward) != 0 && (built & kForward) == 0) {
+      fwd_.build(und_);
+      built |= kForward;
+    }
+    built_.store(built, std::memory_order_release);
+  }
+
+  void build_degrees() {
+    memsim::NullMem mem;
+    const vertex_t n = g_->num_vertices();
+    degrees_.assign(static_cast<std::size_t>(n), 0);
+    for (vertex_t u = 0; u < n; ++u) {
+      index_t d = 0;
+      g_->for_neighbors(u, mem, [&](const auto&) { ++d; });
+      degrees_[static_cast<std::size_t>(u)] = d;
+    }
+  }
+
+  const G* g_;
+  std::vector<index_t> degrees_;
+  UndirectedCsr und_;
+  ForwardCsr fwd_;
+  std::mutex build_mutex_;
+  std::atomic<unsigned> built_{0};
+};
+
+}  // namespace cachegraph::analytics

@@ -59,14 +59,17 @@ struct Reweighted {
 };
 
 template <Weight W>
-Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g) {
+Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g, sssp::SpfaScratch& scratch) {
   Reweighted<W> rw;
 
   // 1. SPFA with all-zero initial potentials — exactly the shortest
   //    distances from a virtual source wired to every vertex with
-  //    weight 0, without building that augmented graph.
+  //    weight 0, without building that augmented graph. The scratch is
+  //    the caller's: reweighting batch after batch re-seeds the same
+  //    FIFO/flag/count arrays instead of allocating three O(n) buffers
+  //    per call (sssp_batch_test pins the steady state at zero grows).
   const graph::AdjacencyArray<W> rep(g);
-  auto bf = sssp::spfa_potentials(rep);
+  auto bf = sssp::spfa_potentials(rep, scratch);
   if (bf.negative_cycle) {
     rw.negative_cycle = true;
     return rw;
@@ -83,6 +86,12 @@ Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g) {
     rw.graph.add_edge(e.from, e.to, w);
   }
   return rw;
+}
+
+template <Weight W>
+Reweighted<W> johnson_reweight(const graph::EdgeListGraph<W>& g) {
+  sssp::SpfaScratch scratch;
+  return johnson_reweight(g, scratch);
 }
 
 }  // namespace detail
@@ -118,13 +127,16 @@ JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g) {
 /// TaskPool tasks through sssp::BatchEngine. Each completed source
 /// writes its own row of the matrix (rows are disjoint, so no locking),
 /// and only the vertices the query actually reached are visited.
-/// The result is bit-identical to the serial overload.
+/// The result is bit-identical to the serial overload. The scratch
+/// overload keeps the reweighting stage allocation-free across
+/// repeated batches (hand the same SpfaScratch to every call).
 template <Weight W>
-JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g, parallel::TaskPool& pool) {
+JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g, parallel::TaskPool& pool,
+                         sssp::SpfaScratch& scratch) {
   const vertex_t n = g.num_vertices();
   JohnsonResult<W> out;
 
-  const auto rw = detail::johnson_reweight(g);
+  const auto rw = detail::johnson_reweight(g, scratch);
   if (rw.negative_cycle) {
     out.negative_cycle = true;
     return out;
@@ -148,6 +160,12 @@ JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g, parallel::TaskPool& p
     }
   });
   return out;
+}
+
+template <Weight W>
+JohnsonResult<W> johnson(const graph::EdgeListGraph<W>& g, parallel::TaskPool& pool) {
+  sssp::SpfaScratch scratch;
+  return johnson(g, pool, scratch);
 }
 
 /// Batched Johnson's over a freshly spun-up pool of `threads` slots.

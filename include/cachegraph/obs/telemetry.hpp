@@ -31,8 +31,10 @@ inline constexpr bool kTelemetryEnabled = false;
 #endif
 
 /// Request-kind index space shared by every sink. The first four match
-/// query::Request's variant order (kind_index_of); the rest are other
-/// serving surfaces that emit records.
+/// query::Request's variant order (kind_index_of); the analytics kinds
+/// are the frontier engine's request shapes (query::kind_index_of maps
+/// their variant slots here — engine.hpp static_asserts the mapping);
+/// the rest are other serving surfaces that emit records.
 enum RequestKind : std::uint8_t {
   kKindPointToPoint = 0,
   kKindKNearest = 1,
@@ -40,11 +42,15 @@ enum RequestKind : std::uint8_t {
   kKindFullSssp = 3,
   kKindBatchSource = 4,     ///< one source of a BatchEngine::run_batch
   kKindCacheSnapshot = 5,   ///< ResultCache snapshot load/save
-  kNumRequestKinds = 6,
+  kKindPageRank = 6,        ///< analytics: PageRank power iteration
+  kKindWcc = 7,             ///< analytics: weakly-connected components
+  kKindBfsFromSet = 8,      ///< analytics: multi-source BFS hop depths
+  kKindTriangleCount = 9,   ///< analytics: global triangle count
+  kNumRequestKinds = 10,
 };
 
-/// Stable labels (histogram suffixes, dump fields). The first four are
-/// asserted against query::kind_of in the test suite.
+/// Stable labels (histogram suffixes, dump fields). The query-request
+/// kinds are asserted against query::kind_of in the test suite.
 [[nodiscard]] constexpr const char* request_kind_name(std::uint8_t kind) noexcept {
   switch (kind) {
     case kKindPointToPoint: return "point_to_point";
@@ -53,6 +59,10 @@ enum RequestKind : std::uint8_t {
     case kKindFullSssp: return "full_sssp";
     case kKindBatchSource: return "batch_source";
     case kKindCacheSnapshot: return "cache_snapshot";
+    case kKindPageRank: return "pagerank";
+    case kKindWcc: return "wcc";
+    case kKindBfsFromSet: return "bfs_from_set";
+    case kKindTriangleCount: return "triangle_count";
     default: return "unknown";
   }
 }

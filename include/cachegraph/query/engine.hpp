@@ -7,6 +7,16 @@
 // graph view is any GraphRep — the immutable AdjacencyArray for a
 // static service, or a DynamicOverlay when edges churn.
 //
+// The analytics kinds (PageRank / Wcc / BfsFromSet / TriangleCount)
+// ride the same surfaces: validated the same way, admitted the same
+// way, resolved with the same Status set, recorded in the same
+// per-kind histograms. They dispatch to cachegraph::analytics frontier
+// kernels over a second leased-scratch pool; on the batch surfaces the
+// kernel parallelizes on the same TaskPool that runs the request
+// (nested TaskGroups are safe — wait() participates), while the serial
+// surfaces run them single-threaded. set_llc_bytes/set_llc_machine
+// size the propagation-blocking bins for the `binned` request toggle.
+//
 // Cache discipline (the reason this layer exists, per "Making Caches
 // Work for Graph Analytics"): per-query scratch is leased per worker
 // from a parallel::LeasePool and reset in O(touched), so a bounded
@@ -86,8 +96,15 @@
 #include <variant>
 #include <vector>
 
+#include "cachegraph/analytics/bfs.hpp"
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/analytics/pagerank.hpp"
+#include "cachegraph/analytics/triangles.hpp"
+#include "cachegraph/analytics/wcc.hpp"
+#include "cachegraph/analytics/workspace.hpp"
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/memsim/config.hpp"
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/obs/metrics.hpp"
 #include "cachegraph/obs/telemetry.hpp"
@@ -102,6 +119,13 @@
 #include "cachegraph/reliability/status.hpp"
 
 namespace cachegraph::query {
+
+// The analytics kinds' variant slots must land on their obs
+// histogram slots (telemetry_test pins the label tables too).
+static_assert(kind_index_of(Request<std::int32_t>{PageRank{}}) == obs::kKindPageRank);
+static_assert(kind_index_of(Request<std::int32_t>{Wcc{}}) == obs::kKindWcc);
+static_assert(kind_index_of(Request<std::int32_t>{BfsFromSet{}}) == obs::kKindBfsFromSet);
+static_assert(kind_index_of(Request<std::int32_t>{TriangleCount{}}) == obs::kKindTriangleCount);
 
 /// What to do with a request that arrives while max_in_flight requests
 /// are already running.
@@ -133,6 +157,10 @@ class QueryEngine {
     std::uint64_t settled = 0;     ///< vertices with exact final distances
     W target_dist = inf<W>();      ///< PointToPoint answer; inf otherwise
     reliability::Status status;    ///< definite resolution (OK = answered)
+    /// Analytics scalar answer: PageRank iterations run, WCC component
+    /// count, BFS vertices reached, or the triangle count. 0 for the
+    /// search kinds.
+    std::uint64_t aux = 0;
   };
 
   /// Time/cancellation bounds for the hardened surface. For try_run
@@ -164,7 +192,7 @@ class QueryEngine {
     std::uint64_t lease_failures = 0;  ///< RESOURCE_EXHAUSTED after retries
   };
 
-  explicit QueryEngine(const G& g) : g_(g), n_(g.num_vertices()) {}
+  explicit QueryEngine(const G& g) : g_(g), n_(g.num_vertices()), ws_(g) {}
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -203,6 +231,20 @@ class QueryEngine {
   /// policy's own).
   void set_lease_backoff(reliability::BackoffPolicy p) noexcept { lease_backoff_ = p; }
 
+  /// LLC budget driving the analytics propagation-blocking bin layout
+  /// (default 2 MiB). Configuration call — make it before traffic.
+  void set_llc_bytes(std::size_t bytes) noexcept { llc_bytes_ = bytes; }
+
+  /// Same, from a memsim machine model (L3 when present, else L2).
+  void set_llc_machine(const memsim::MachineConfig& machine) noexcept {
+    llc_bytes_ = machine.has_l3() ? machine.l3.size_bytes : machine.l2.size_bytes;
+  }
+
+  /// Drops the cached analytics views (degrees, symmetrized CSR,
+  /// triangle orientation). Call after mutating a DynamicOverlay, at a
+  /// quiescent point — the same contract as the graph view itself.
+  void refresh_analytics() noexcept { ws_.invalidate(); }
+
   // ------------------------------------------------------ batch serving
 
   /// Runs every request as a TaskPool task; `sink(index, request,
@@ -220,14 +262,14 @@ class QueryEngine {
       for (std::size_t i = 0; i < requests.size(); ++i) {
         const Request<W>& req = requests[i];
         if constexpr (obs::kTelemetryEnabled) t_submit[i] = tel_clock::now();
-        group.run([this, i, &req, &sink, &t_submit] {
+        group.run([this, i, &req, &sink, &t_submit, &pool] {
           tel_clock::time_point t_start{}, e0{}, e1{};
           if constexpr (obs::kTelemetryEnabled) t_start = tel_clock::now();
           const auto lease =
               scratch_pool_.acquire([this] { return std::make_unique<Scratch>(n_); });
           Scratch& sc = lease.get();
           if constexpr (obs::kTelemetryEnabled) e0 = tel_clock::now();
-          const Response resp = execute(req, sc);
+          const Response resp = execute(req, sc, ServeOptions{}, &pool);
           if constexpr (obs::kTelemetryEnabled) {
             e1 = tel_clock::now();
             // No admission gate on the legacy surface: submit == admit,
@@ -324,7 +366,7 @@ class QueryEngine {
           active.push_back(i);
         }
         group.run([this, i, &req, &sink, &opts, &tokens, &resolved, &active, &active_mu,
-                   &in_flight, &t_submit, &t_admit] {
+                   &in_flight, &t_submit, &t_admit, &pool] {
           Response resp;
           bool scratch_valid = false;
           bool aborted = false;
@@ -339,7 +381,7 @@ class QueryEngine {
             per.cancel = tokens[i].get();
             if constexpr (obs::kTelemetryEnabled) e0 = tel_clock::now();
             try {
-              resp = execute(req, lease->get(), per);
+              resp = execute(req, lease->get(), per, &pool);
               scratch_valid = true;
             } catch (const std::exception& e) {
               resp = Response{};
@@ -555,17 +597,33 @@ class QueryEngine {
 
  private:
   void validate(const Request<W>& req) const {
-    const vertex_t s = source_of(req);
-    CG_CHECK(s >= 0 && s < n_, "query source out of range");
     std::visit(
         [this](const auto& r) {
           using R = std::decay_t<decltype(r)>;
+          if constexpr (requires { r.source; }) {
+            CG_CHECK(r.source >= 0 && r.source < n_, "query source out of range");
+          }
           if constexpr (std::is_same_v<R, PointToPoint>) {
             CG_CHECK(r.target >= 0 && r.target < n_, "query target out of range");
           } else if constexpr (std::is_same_v<R, KNearest>) {
             CG_CHECK(r.k >= 1, "k_nearest needs k >= 1");
           } else if constexpr (std::is_same_v<R, Bounded<W>>) {
             CG_CHECK(r.radius >= W{0}, "bounded query needs a non-negative radius");
+          } else if constexpr (std::is_same_v<R, PageRank>) {
+            CG_CHECK(r.damping > 0.0 && r.damping < 1.0, "pagerank damping must be in (0, 1)");
+            CG_CHECK(r.max_iters >= 1, "pagerank needs max_iters >= 1");
+            CG_CHECK(r.tol >= 0.0, "pagerank tol must be non-negative");
+            CG_CHECK(r.out.size() == static_cast<std::size_t>(n_),
+                     "pagerank out span must have num_vertices entries");
+          } else if constexpr (std::is_same_v<R, Wcc>) {
+            CG_CHECK(r.out.size() == static_cast<std::size_t>(n_),
+                     "wcc out span must have num_vertices entries");
+          } else if constexpr (std::is_same_v<R, BfsFromSet>) {
+            CG_CHECK(r.out.size() == static_cast<std::size_t>(n_),
+                     "bfs_from_set out span must have num_vertices entries");
+            for (const vertex_t src : r.sources) {
+              CG_CHECK(src >= 0 && src < n_, "bfs_from_set source out of range");
+            }
           }
         },
         req);
@@ -575,11 +633,14 @@ class QueryEngine {
   /// production traffic on the hardened surface, not a programmer
   /// error.
   [[nodiscard]] reliability::Status validate_status(const Request<W>& req) const {
-    const vertex_t s = source_of(req);
-    if (s < 0 || s >= n_) return reliability::invalid_argument("query source out of range");
     return std::visit(
         [this](const auto& r) -> reliability::Status {
           using R = std::decay_t<decltype(r)>;
+          if constexpr (requires { r.source; }) {
+            if (r.source < 0 || r.source >= n_) {
+              return reliability::invalid_argument("query source out of range");
+            }
+          }
           if constexpr (std::is_same_v<R, PointToPoint>) {
             if (r.target < 0 || r.target >= n_) {
               return reliability::invalid_argument("query target out of range");
@@ -589,6 +650,34 @@ class QueryEngine {
           } else if constexpr (std::is_same_v<R, Bounded<W>>) {
             if (r.radius < W{0}) {
               return reliability::invalid_argument("bounded query needs a non-negative radius");
+            }
+          } else if constexpr (std::is_same_v<R, PageRank>) {
+            if (!(r.damping > 0.0 && r.damping < 1.0)) {
+              return reliability::invalid_argument("pagerank damping must be in (0, 1)");
+            }
+            if (r.max_iters < 1) {
+              return reliability::invalid_argument("pagerank needs max_iters >= 1");
+            }
+            if (!(r.tol >= 0.0)) {
+              return reliability::invalid_argument("pagerank tol must be non-negative");
+            }
+            if (r.out.size() != static_cast<std::size_t>(n_)) {
+              return reliability::invalid_argument(
+                  "pagerank out span must have num_vertices entries");
+            }
+          } else if constexpr (std::is_same_v<R, Wcc>) {
+            if (r.out.size() != static_cast<std::size_t>(n_)) {
+              return reliability::invalid_argument("wcc out span must have num_vertices entries");
+            }
+          } else if constexpr (std::is_same_v<R, BfsFromSet>) {
+            if (r.out.size() != static_cast<std::size_t>(n_)) {
+              return reliability::invalid_argument(
+                  "bfs_from_set out span must have num_vertices entries");
+            }
+            for (const vertex_t src : r.sources) {
+              if (src < 0 || src >= n_) {
+                return reliability::invalid_argument("bfs_from_set source out of range");
+              }
             }
           }
           return {};
@@ -754,10 +843,12 @@ class QueryEngine {
     mr.poll_snapshot();
   }
 
-  Response execute(const Request<W>& req, Scratch& sc, const ServeOptions& opts = {}) {
+  Response execute(const Request<W>& req, Scratch& sc, const ServeOptions& opts = {},
+                   parallel::TaskPool* pool = nullptr) {
     if (CG_FAULT_FIRE(reliability::FaultSite::kTaskThrow)) {
       throw reliability::InjectedFault("query.execute");
     }
+    if (is_analytics(req)) return execute_analytics(req, sc, opts, pool);
     Limits<W> lim;
     lim.cancel = opts.cancel;
     lim.deadline = opts.deadline;
@@ -775,7 +866,7 @@ class QueryEngine {
           } else if constexpr (std::is_same_v<R, Bounded<W>>) {
             lim.radius = r.radius;
             CG_COUNTER_INC("query.requests.bounded");
-          } else {
+          } else if constexpr (std::is_same_v<R, FullSSSP>) {
             CG_COUNTER_INC("query.requests.full_sssp");
           }
         },
@@ -805,10 +896,74 @@ class QueryEngine {
     return resp;
   }
 
+  /// The analytics kinds: frontier kernels over leased
+  /// analytics::Scratch, parallel when the batch surface hands its
+  /// pool through (serial on serve/try_serve — a serial caller is its
+  /// own parallelism budget). The request's cancel/deadline are polled
+  /// once per frontier round; `check_every` does not apply (rounds are
+  /// the poll cadence). The search scratch is reset so sinks see no
+  /// stale distances riding along with an analytics response.
+  Response execute_analytics(const Request<W>& req, Scratch& sc, const ServeOptions& opts,
+                             parallel::TaskPool* pool) {
+    sc.reset();
+    const obs::TraceSpan span(kind_of(req));
+    const analytics::Budget budget{opts.cancel, opts.deadline};
+    const auto lease =
+        analytics_pool_.acquire([] { return std::make_unique<analytics::Scratch>(); });
+    analytics::Scratch& asc = lease.get();
+    asc.set_llc_bytes(llc_bytes_);
+
+    Response resp;
+    analytics::Stop stop = analytics::Stop::done;
+    if (const auto* pr = std::get_if<PageRank>(&req)) {
+      CG_COUNTER_INC("query.requests.pagerank");
+      const analytics::PageRankParams params{pr->damping, pr->max_iters, pr->tol, pr->binned};
+      const auto st = analytics::pagerank(g_, ws_, asc, params, pr->out, pool, budget);
+      stop = st.stop;
+      resp.aux = st.iterations;
+      resp.settled = stop == analytics::Stop::done ? static_cast<std::uint64_t>(n_) : 0;
+    } else if (const auto* wc = std::get_if<Wcc>(&req)) {
+      CG_COUNTER_INC("query.requests.wcc");
+      const analytics::WccParams params{wc->binned};
+      const auto st = analytics::wcc(g_, ws_, asc, params, wc->out, pool, budget);
+      stop = st.stop;
+      resp.aux = static_cast<std::uint64_t>(st.components);
+      resp.settled = stop == analytics::Stop::done ? static_cast<std::uint64_t>(n_) : 0;
+    } else if (const auto* bf = std::get_if<BfsFromSet>(&req)) {
+      CG_COUNTER_INC("query.requests.bfs_from_set");
+      const analytics::BfsParams params{bf->binned};
+      const auto st = analytics::bfs_from_set(g_, asc, params, bf->sources, bf->out, pool, budget);
+      stop = st.stop;
+      resp.aux = st.reached;
+      resp.settled = stop == analytics::Stop::done ? st.reached : 0;
+    } else {
+      CG_COUNTER_INC("query.requests.triangle_count");
+      const auto st = analytics::triangles(g_, ws_, asc, pool, budget);
+      stop = st.stop;
+      resp.aux = st.triangles;
+      resp.settled = stop == analytics::Stop::done ? static_cast<std::uint64_t>(n_) : 0;
+    }
+
+    if (stop == analytics::Stop::cancelled) {
+      resp.outcome = Outcome::cancelled;
+      resp.status = reliability::cancelled("cancel token fired");
+      CG_COUNTER_INC("reliability.requests.cancelled");
+    } else if (stop == analytics::Stop::deadline) {
+      resp.outcome = Outcome::deadline_exceeded;
+      resp.status = reliability::deadline_exceeded("request budget spent");
+      CG_COUNTER_INC("reliability.requests.deadline_exceeded");
+    }
+    settled_.fetch_add(resp.settled, std::memory_order_relaxed);
+    return resp;
+  }
+
   const G& g_;
   vertex_t n_;
   const Scratch empty_{0};  ///< zero-vertex scratch for failed requests
   parallel::LeasePool<Scratch> scratch_pool_;
+  analytics::Workspace<G> ws_;
+  parallel::LeasePool<analytics::Scratch> analytics_pool_;
+  std::size_t llc_bytes_ = analytics::Scratch::kDefaultLlcBytes;
   Admission admission_{};
   reliability::BackoffPolicy lease_backoff_{};
   std::atomic<std::uint64_t> requests_{0};

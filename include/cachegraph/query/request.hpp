@@ -14,9 +14,18 @@
 //   KNearest{source, k}           stop when k vertices settle
 //   Bounded<W>{source, radius}    stop when the frontier passes radius
 //   FullSSSP{source}              run to exhaustion (the batch case)
+//
+// The analytics kinds (PageRank, Wcc, BfsFromSet, TriangleCount) ride
+// the same variant: frontier/worklist kernels from
+// cachegraph::analytics served with the identical deadline /
+// cancellation / admission / telemetry plumbing. They write dense
+// per-vertex results into caller-owned spans (the Response stays
+// fixed-size); `binned` selects the propagation-blocking push phase,
+// with the unbinned path as the differential oracle.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <variant>
 
 #include "cachegraph/common/types.hpp"
@@ -49,20 +58,75 @@ struct FullSSSP {
   vertex_t source = 0;
 };
 
-template <Weight W>
-using Request = std::variant<PointToPoint, KNearest, Bounded<W>, FullSSSP>;
+/// PageRank by synchronous power iteration over the directed graph.
+/// Dangling mass is redistributed uniformly; `out` must be a span of
+/// exactly num_vertices doubles (the final ranks, summing to ~1).
+/// Stops on max_iters or when the L1 delta between iterations drops
+/// to `tol` (tol == 0 always runs max_iters — the differential mode).
+struct PageRank {
+  double damping = 0.85;
+  std::uint32_t max_iters = 50;
+  double tol = 1e-9;
+  bool binned = false;  ///< propagation-blocking push phase
+  std::span<double> out{};
+};
+
+/// Weakly-connected components by min-label propagation over the
+/// symmetrized graph. `out[v]` becomes the smallest vertex id in v's
+/// component — deterministic, so binned and unbinned are bit-identical.
+struct Wcc {
+  bool binned = false;
+  std::span<vertex_t> out{};
+};
+
+/// Multi-source BFS over directed out-edges: `out[v]` is the hop depth
+/// from the nearest seed (kNoVertex if unreached). Depths are
+/// level-deterministic, so binned and unbinned are bit-identical.
+struct BfsFromSet {
+  std::span<const vertex_t> sources{};
+  bool binned = false;
+  std::span<vertex_t> out{};
+};
+
+/// Global triangle count over the symmetrized simple graph (self-loops
+/// and parallel edges ignored). The count lands in Response::aux.
+struct TriangleCount {};
 
 template <Weight W>
-[[nodiscard]] constexpr vertex_t source_of(const Request<W>& r) noexcept {
-  return std::visit([](const auto& req) { return req.source; }, r);
+using Request = std::variant<PointToPoint, KNearest, Bounded<W>, FullSSSP,  //
+                             PageRank, Wcc, BfsFromSet, TriangleCount>;
+
+/// True for the frontier-analytics kinds (dense whole-graph kernels
+/// dispatched to cachegraph::analytics instead of the search core).
+template <Weight W>
+[[nodiscard]] constexpr bool is_analytics(const Request<W>& r) noexcept {
+  return r.index() >= 4;
 }
 
-/// Dense request-kind index in variant-alternative order — the
-/// telemetry layer's histogram/record key (matches obs::RequestKind's
-/// first four values; telemetry_test asserts the label tables agree).
+/// The request's source vertex where the shape has one; analytics
+/// kinds are source-free and report 0 (telemetry records only).
+template <Weight W>
+[[nodiscard]] constexpr vertex_t source_of(const Request<W>& r) noexcept {
+  return std::visit(
+      [](const auto& req) -> vertex_t {
+        if constexpr (requires { req.source; }) {
+          return req.source;
+        } else {
+          return vertex_t{0};
+        }
+      },
+      r);
+}
+
+/// Dense request-kind index — the telemetry layer's histogram/record
+/// key (obs::RequestKind). The search shapes map identity to the first
+/// four values; the analytics shapes skip over obs's batch_source /
+/// cache_snapshot slots (telemetry_test asserts the label tables
+/// agree).
 template <Weight W>
 [[nodiscard]] constexpr std::uint8_t kind_index_of(const Request<W>& r) noexcept {
-  return static_cast<std::uint8_t>(r.index());
+  const auto idx = static_cast<std::uint8_t>(r.index());
+  return idx < 4 ? idx : static_cast<std::uint8_t>(idx + 2);
 }
 
 /// Stable span/counter label per request shape.
@@ -73,6 +137,10 @@ template <Weight W>
     constexpr const char* operator()(const KNearest&) const { return "k_nearest"; }
     constexpr const char* operator()(const Bounded<W>&) const { return "bounded"; }
     constexpr const char* operator()(const FullSSSP&) const { return "full_sssp"; }
+    constexpr const char* operator()(const PageRank&) const { return "pagerank"; }
+    constexpr const char* operator()(const Wcc&) const { return "wcc"; }
+    constexpr const char* operator()(const BfsFromSet&) const { return "bfs_from_set"; }
+    constexpr const char* operator()(const TriangleCount&) const { return "triangle_count"; }
   };
   return std::visit(Visitor{}, r);
 }

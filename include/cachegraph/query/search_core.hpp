@@ -87,21 +87,36 @@ class LazyQueue {
   void insert(vertex_t v, W key) {
     entries_.push_back(Entry{key, v});
     std::push_heap(entries_.begin(), entries_.end(), Greater{});
+    if (entries_.size() > peak_entries_) peak_entries_ = entries_.size();
   }
   void improve(vertex_t v, W key) { insert(v, key); }
   Entry extract_min() {
+    // std::pop_heap on an empty range is UB (it dereferences begin());
+    // the search loop guards with empty(), but direct users get a
+    // diagnosable precondition failure instead of a silent corruption.
+    CG_CHECK(!entries_.empty(), "LazyQueue::extract_min on an empty queue");
     std::pop_heap(entries_.begin(), entries_.end(), Greater{});
     const Entry e = entries_.back();
     entries_.pop_back();
     return e;
   }
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept {
+    entries_.clear();
+    peak_entries_ = 0;
+  }
+
+  /// High-water entry count since the last clear(). Duplicates make
+  /// this O(E) in the worst case — the number the queue-policy
+  /// ablation needs to see duplicate pressure (query.lazy.peak_entries
+  /// records the per-search max).
+  [[nodiscard]] std::size_t peak_entries() const noexcept { return peak_entries_; }
 
  private:
   struct Greater {
     bool operator()(const Entry& a, const Entry& b) const noexcept { return a.key > b.key; }
   };
   std::vector<Entry> entries_;
+  std::size_t peak_entries_ = 0;
 };
 
 /// Default cancellation/deadline poll cadence (settled vertices per
@@ -299,6 +314,12 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
   CG_COUNTER_ADD("query.settled", sc.settled_order_.size());
   CG_COUNTER_ADD("query.relaxations", sc.relaxations_);
   CG_COUNTER_ADD("query.stale_pops", sc.stale_pops_);
+  if constexpr (Queue::kLazy) {
+    // Duplicate pressure: the lazy queue's entry high-water mark is
+    // O(E) where the indexed heap's is O(V) — the ablation's whole
+    // trade-off in one number.
+    CG_COUNTER_MAX("query.lazy.peak_entries", sc.queue_.peak_entries());
+  }
   return outcome;
 }
 

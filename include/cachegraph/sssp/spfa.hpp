@@ -13,15 +13,46 @@
 // passes — this was the serial scalability bottleneck of the batched
 // Johnson path (ROADMAP).
 //
-// Negative cycles: a shortest path visits each vertex at most once,
-// so a vertex dequeued more than N times can only mean a reachable
-// negative cycle; the search stops and reports it.
+// Allocation discipline: all working state (the FIFO ring, the
+// in-queue flags, the per-vertex dequeue counts) lives in an
+// SpfaScratch the caller can hoist across runs — Johnson reweighting
+// over repeated batches re-seeds the same arrays instead of
+// reallocating three O(n) buffers per call. The in-queue invariant
+// (a vertex is queued at most once) caps occupancy at n, so the FIFO
+// is a fixed ring, not a deque — no per-node allocation, no chunk
+// pointer chasing.
+//
+// Negative-cycle bound (the `dequeue_limit` proof). Partition the run
+// into FIFO passes: pass 0 is the initial queue; pass k+1 is what was
+// enqueued while draining pass k. By induction, after pass k drains,
+// dist[v] is at most the best seed-to-v walk using <= k+1 edges. A
+// vertex is dequeued at most once per pass (it is queued at most
+// once). Without a reachable negative cycle every shortest walk is a
+// simple path (<= n-1 edges), so pass n-1 drains with no improvement
+// and pass n is empty:
+//
+//   spfa(source):  the source is dequeued once (its dist can only
+//     improve via a negative cycle through it); any other vertex
+//     first appears in pass 1 and can be dequeued in passes 1..n-1 —
+//     at most n-1 dequeues (max(n-1, 1) to cover n == 1).
+//   spfa_potentials: models the (n+1)-vertex virtual-source graph —
+//     every vertex is seeded in pass 0 and can be dequeued in passes
+//     0..n-1 — at most n dequeues. A plain negative chain really does
+//     reach n dequeues legitimately (sssp_batch_test pins it), so the
+//     single-source bound would false-positive here: the two
+//     formulations need different limits.
+//
+// Exceeding the limit therefore certifies a reachable negative cycle,
+// exactly one pass earlier than the old uniform `> n` check allowed
+// for the single-source form.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "cachegraph/common/check.hpp"
 #include "cachegraph/graph/concepts.hpp"
 #include "cachegraph/obs/counters.hpp"
 
@@ -35,29 +66,98 @@ struct SpfaResult {
   std::uint64_t relaxations = 0;  ///< edge relaxations attempted
 };
 
+/// Caller-hoistable working state: a fixed-capacity FIFO ring (the
+/// in-queue invariant bounds occupancy at n), the in-queue flags, and
+/// the per-vertex dequeue counts. prepare() re-seeds in place; growth
+/// only happens when a larger graph arrives, so repeated runs at one
+/// size are allocation-free (stats() is the regression hook).
+class SpfaScratch {
+ public:
+  struct Stats {
+    std::uint64_t prepares = 0;  ///< runs seeded through this scratch
+    std::uint64_t grows = 0;     ///< prepares that had to (re)allocate
+    std::uint64_t reuses = 0;    ///< prepares served entirely in place
+  };
+
+  void prepare(std::size_t n) {
+    ++stats_.prepares;
+    if (ring_.size() < n) {
+      ring_.resize(n);
+      in_queue_.resize(n);
+      dequeues_.resize(n);
+      ++stats_.grows;
+      CG_COUNTER_INC("sssp.spfa.scratch_grows");
+    } else {
+      ++stats_.reuses;
+      CG_COUNTER_INC("sssp.spfa.scratch_reuses");
+    }
+    std::fill(in_queue_.begin(), in_queue_.begin() + static_cast<std::ptrdiff_t>(n), char{0});
+    std::fill(dequeues_.begin(), dequeues_.begin() + static_cast<std::ptrdiff_t>(n), 0u);
+    cap_ = n;
+    head_ = 0;
+    count_ = 0;
+  }
+
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool queue_empty() const noexcept { return count_ == 0; }
+
+  /// Enqueue v if it is not already queued.
+  void enqueue(vertex_t v) noexcept {
+    const auto uv = static_cast<std::size_t>(v);
+    if (in_queue_[uv] != 0) return;
+    in_queue_[uv] = 1;
+    std::size_t tail = head_ + count_;
+    if (tail >= cap_) tail -= cap_;
+    ring_[tail] = v;
+    ++count_;
+  }
+
+  [[nodiscard]] vertex_t dequeue() noexcept {
+    const vertex_t v = ring_[head_];
+    ++head_;
+    if (head_ >= cap_) head_ = 0;
+    --count_;
+    in_queue_[static_cast<std::size_t>(v)] = 0;
+    return v;
+  }
+
+  /// Post-increment dequeue count for v.
+  [[nodiscard]] std::uint32_t count_dequeue(vertex_t v) noexcept {
+    return ++dequeues_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::vector<vertex_t> ring_;
+  std::vector<char> in_queue_;
+  std::vector<std::uint32_t> dequeues_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  Stats stats_;
+};
+
 namespace detail {
 
 /// The shared SPFA core: runs from whatever dist/queue state the
 /// caller seeded (one source, or everything at once for potentials).
+/// `dequeue_limit` is the formulation-specific maximum legitimate
+/// dequeues per vertex (see the header proof); exceeding it reports a
+/// negative cycle.
 template <graph::GraphRep G>
-void spfa_run(const G& g, SpfaResult<typename G::weight_type>& r,
-              std::deque<vertex_t>& queue, std::vector<char>& in_queue) {
+void spfa_run(const G& g, SpfaResult<typename G::weight_type>& r, SpfaScratch& scratch,
+              std::uint32_t dequeue_limit) {
   using W = typename G::weight_type;
-  const auto n = static_cast<std::size_t>(g.num_vertices());
-  std::vector<std::uint32_t> dequeues(n, 0);
   memsim::NullMem mem;
 
-  while (!queue.empty()) {
-    const vertex_t u = queue.front();
-    queue.pop_front();
-    const auto uu = static_cast<std::size_t>(u);
-    in_queue[uu] = 0;
-    if (++dequeues[uu] > n) {
+  while (!scratch.queue_empty()) {
+    const vertex_t u = scratch.dequeue();
+    if (scratch.count_dequeue(u) > dequeue_limit) {
       r.negative_cycle = true;  // relaxed more often than any simple path allows
       CG_COUNTER_INC("sssp.spfa.negative_cycles");
       return;
     }
-    const W du = r.dist[uu];
+    const W du = r.dist[static_cast<std::size_t>(u)];
     g.for_neighbors(u, mem, [&](const graph::Neighbor<W>& nb) {
       const auto tv = static_cast<std::size_t>(nb.to);
       const W nd = sat_add(du, nb.weight);
@@ -65,10 +165,7 @@ void spfa_run(const G& g, SpfaResult<typename G::weight_type>& r,
       if (nd < r.dist[tv]) {
         r.dist[tv] = nd;
         r.parent[tv] = u;
-        if (!in_queue[tv]) {
-          in_queue[tv] = 1;
-          queue.push_back(nb.to);
-        }
+        scratch.enqueue(nb.to);
       }
     });
   }
@@ -79,9 +176,10 @@ void spfa_run(const G& g, SpfaResult<typename G::weight_type>& r,
 
 /// Single-source shortest paths with negative edges allowed; sets
 /// `negative_cycle` (dist values are then meaningless) when one is
-/// reachable from the source.
+/// reachable from the source. The scratch overload reuses the
+/// caller's buffers (zero allocation once warm).
 template <graph::GraphRep G>
-SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source) {
+SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source, SpfaScratch& scratch) {
   using W = typename G::weight_type;
   const auto n = static_cast<std::size_t>(g.num_vertices());
   CG_CHECK(source >= 0 && static_cast<std::size_t>(source) < n, "source out of range");
@@ -91,11 +189,18 @@ SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source) {
   r.parent.assign(n, kNoVertex);
   r.dist[static_cast<std::size_t>(source)] = W{0};
 
-  std::deque<vertex_t> queue{source};
-  std::vector<char> in_queue(n, 0);
-  in_queue[static_cast<std::size_t>(source)] = 1;
-  detail::spfa_run(g, r, queue, in_queue);
+  scratch.prepare(n);
+  scratch.enqueue(source);
+  // Single-source bound: max(n-1, 1) legitimate dequeues per vertex.
+  const auto limit = static_cast<std::uint32_t>(n > 2 ? n - 1 : 1);
+  detail::spfa_run(g, r, scratch, limit);
   return r;
+}
+
+template <graph::GraphRep G>
+SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source) {
+  SpfaScratch scratch;
+  return spfa(g, source, scratch);
 }
 
 /// Johnson potentials: shortest distances from a virtual source with a
@@ -104,7 +209,7 @@ SpfaResult<typename G::weight_type> spfa(const G& g, vertex_t source) {
 /// is built, unlike the formulation the round-based BF stage used.
 /// Every potential is finite; `negative_cycle` means any cycle in g.
 template <graph::GraphRep G>
-SpfaResult<typename G::weight_type> spfa_potentials(const G& g) {
+SpfaResult<typename G::weight_type> spfa_potentials(const G& g, SpfaScratch& scratch) {
   using W = typename G::weight_type;
   const auto n = static_cast<std::size_t>(g.num_vertices());
 
@@ -112,11 +217,19 @@ SpfaResult<typename G::weight_type> spfa_potentials(const G& g) {
   r.dist.assign(n, W{0});
   r.parent.assign(n, kNoVertex);
 
-  std::deque<vertex_t> queue;
-  for (std::size_t v = 0; v < n; ++v) queue.push_back(static_cast<vertex_t>(v));
-  std::vector<char> in_queue(n, 1);
-  detail::spfa_run(g, r, queue, in_queue);
+  scratch.prepare(n);
+  for (std::size_t v = 0; v < n; ++v) scratch.enqueue(static_cast<vertex_t>(v));
+  // Virtual-source ((n+1)-vertex) bound: n legitimate dequeues per
+  // vertex — a plain negative chain reaches it, so no tighter limit
+  // is sound here.
+  detail::spfa_run(g, r, scratch, static_cast<std::uint32_t>(n));
   return r;
+}
+
+template <graph::GraphRep G>
+SpfaResult<typename G::weight_type> spfa_potentials(const G& g) {
+  SpfaScratch scratch;
+  return spfa_potentials(g, scratch);
 }
 
 }  // namespace cachegraph::sssp

@@ -1,0 +1,731 @@
+// cachegraph::analytics — differential tests for the frontier engine:
+// every kernel against a naive serial oracle, across representations
+// (AdjacencyArray / AdjacencyList), thread counts {serial, 1, 2, 4, 8},
+// and both push modes. The propagation-blocking invariants are pinned
+// exactly: binned WCC / BFS / triangles are bit-identical to the
+// direct (atomic) path; binned PageRank agrees to floating-point
+// reassociation. Adversarial shapes: dangling vertices, self-loops,
+// parallel edges, disconnected components, empty and single-vertex
+// graphs. The memsim exhibit pins the point of the whole exercise —
+// binned LLC misses < direct once the accumulator outgrows the LLC —
+// and the engine-integration tests cover the typed request kinds,
+// validation, and deadline/cancel resolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "cachegraph/analytics/bfs.hpp"
+#include "cachegraph/analytics/core.hpp"
+#include "cachegraph/analytics/pagerank.hpp"
+#include "cachegraph/analytics/push_sim.hpp"
+#include "cachegraph/analytics/triangles.hpp"
+#include "cachegraph/analytics/wcc.hpp"
+#include "cachegraph/analytics/workspace.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/adjacency_list.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/memsim/hierarchy.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "test_util.hpp"
+
+namespace cachegraph::analytics {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::AdjacencyList;
+using graph::EdgeListGraph;
+using graph::random_digraph;
+
+// ------------------------------------------------------ graph builders
+
+/// Self-loops, parallel edges, dangling vertices, and an isolated
+/// island — everything the kernels must shrug off.
+EdgeListGraph<int> adversarial(vertex_t n, std::uint64_t seed) {
+  EdgeListGraph<int> el(n);
+  Rng rng(seed);
+  for (vertex_t i = 0; i < n; ++i) {
+    if (rng.chance(0.15)) el.add_edge(i, i, 1);  // self-loop
+    for (vertex_t j = 0; j < n; ++j) {
+      if (i == j || j >= n - 2) continue;  // last two vertices stay isolated
+      if (i >= n - 2) continue;
+      if (rng.chance(0.12)) {
+        el.add_edge(i, j, 1);
+        if (rng.chance(0.3)) el.add_edge(i, j, 1);  // parallel arc
+      }
+    }
+  }
+  return el;
+}
+
+/// Sparse O(E) builder (random_digraph is O(n^2) — too slow at the
+/// sizes the memsim exhibit needs).
+EdgeListGraph<int> sparse_random(vertex_t n, int out_degree, std::uint64_t seed) {
+  EdgeListGraph<int> el(n);
+  Rng rng(seed);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (int k = 0; k < out_degree; ++k) {
+      el.add_edge(u, static_cast<vertex_t>(rng.uniform_int(0, n - 1)), 1);
+    }
+  }
+  return el;
+}
+
+// ------------------------------------------------------ serial oracles
+
+std::vector<double> oracle_pagerank(const EdgeListGraph<int>& el, double damping,
+                                    std::uint32_t iters) {
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  std::vector<std::size_t> deg(n, 0);
+  for (const auto& e : el.edges()) ++deg[static_cast<std::size_t>(e.from)];
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (deg[v] == 0) dangling += rank[v];
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (const auto& e : el.edges()) {
+      const auto u = static_cast<std::size_t>(e.from);
+      next[static_cast<std::size_t>(e.to)] += damping * rank[u] / static_cast<double>(deg[u]);
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+std::vector<vertex_t> oracle_wcc(const EdgeListGraph<int>& el) {
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (const auto& e : el.edges()) {
+    const std::size_t a = find(static_cast<std::size_t>(e.from));
+    const std::size_t b = find(static_cast<std::size_t>(e.to));
+    if (a != b) parent[a < b ? b : a] = a < b ? a : b;
+  }
+  std::vector<vertex_t> label(n);
+  // Min vertex id per component: roots are already component minima
+  // because every union keeps the smaller id as the root.
+  for (std::size_t v = 0; v < n; ++v) label[v] = static_cast<vertex_t>(find(v));
+  return label;
+}
+
+std::vector<vertex_t> oracle_bfs(const EdgeListGraph<int>& el,
+                                 std::span<const vertex_t> sources) {
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  std::vector<std::vector<vertex_t>> adj(n);
+  for (const auto& e : el.edges()) {
+    adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+  std::vector<vertex_t> depth(n, kNoVertex);
+  std::queue<vertex_t> q;
+  for (const vertex_t s : sources) {
+    if (depth[static_cast<std::size_t>(s)] == kNoVertex) {
+      depth[static_cast<std::size_t>(s)] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const vertex_t u = q.front();
+    q.pop();
+    for (const vertex_t w : adj[static_cast<std::size_t>(u)]) {
+      if (depth[static_cast<std::size_t>(w)] == kNoVertex) {
+        depth[static_cast<std::size_t>(w)] = depth[static_cast<std::size_t>(u)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::uint64_t oracle_triangles(const EdgeListGraph<int>& el) {
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  // Dense symmetric boolean adjacency, self-loops dropped.
+  std::vector<char> adj(n * n, 0);
+  for (const auto& e : el.edges()) {
+    if (e.from == e.to) continue;
+    adj[static_cast<std::size_t>(e.from) * n + static_cast<std::size_t>(e.to)] = 1;
+    adj[static_cast<std::size_t>(e.to) * n + static_cast<std::size_t>(e.from)] = 1;
+  }
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (adj[i * n + j] == 0) continue;
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (adj[i * n + k] != 0 && adj[j * n + k] != 0) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// ------------------------------------------------------ kernel drivers
+
+/// Thread counts the sweeps run at; 0 means "no pool" (the serial
+/// in-line path every kernel must also support).
+constexpr int kThreadLadder[] = {0, 1, 2, 4, 8};
+
+template <typename Fn>
+void with_pool(int threads, Fn&& fn) {
+  if (threads == 0) {
+    fn(nullptr);
+  } else {
+    parallel::TaskPool pool(threads);
+    fn(&pool);
+  }
+}
+
+// --------------------------------------------------------- PageRank
+
+TEST(PageRank, MatchesOracleAcrossLayoutsThreadsAndModes) {
+  const auto el = random_digraph<int>(60, 0.08, 4001);
+  const auto expect = oracle_pagerank(el, 0.85, 20);
+  const AdjacencyArray<int> array(el);
+  const AdjacencyList<int> list(el);
+  PageRankParams params;
+  params.max_iters = 20;
+  params.tol = 0.0;  // fixed iteration count: comparable across modes
+  const auto check = [&](const auto& rep, int threads, bool binned) {
+    Workspace<std::decay_t<decltype(rep)>> ws(rep);
+    Scratch sc;
+    std::vector<double> out(60, -1.0);
+    PageRankParams p = params;
+    p.binned = binned;
+    with_pool(threads, [&](parallel::TaskPool* pool) {
+      const auto st = pagerank(rep, ws, sc, p, out, pool, Budget{});
+      EXPECT_EQ(st.stop, Stop::done);
+      EXPECT_EQ(st.iterations, 20u);
+    });
+    double sum = 0.0;
+    for (std::size_t v = 0; v < 60; ++v) {
+      EXPECT_NEAR(out[v], expect[v], 1e-9) << "threads=" << threads << " binned=" << binned
+                                           << " v=" << v;
+      sum += out[v];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);  // mass conserved (dangling handled)
+  };
+  for (const int threads : kThreadLadder) {
+    for (const bool binned : {false, true}) {
+      check(array, threads, binned);
+      check(list, threads, binned);
+    }
+  }
+}
+
+TEST(PageRank, BinnedDriftFromDirectIsReassociationOnly) {
+  const auto el = adversarial(50, 555);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  PageRankParams p;
+  p.max_iters = 30;
+  p.tol = 0.0;
+  std::vector<double> direct(50), binned(50);
+  parallel::TaskPool pool(4);
+  p.binned = false;
+  (void)pagerank(rep, ws, sc, p, direct, &pool, Budget{});
+  p.binned = true;
+  (void)pagerank(rep, ws, sc, p, binned, &pool, Budget{});
+  for (std::size_t v = 0; v < 50; ++v) {
+    EXPECT_NEAR(direct[v], binned[v], 1e-12) << "v=" << v;
+  }
+}
+
+TEST(PageRank, ConvergesUnderToleranceAndReportsDelta) {
+  const auto el = random_digraph<int>(40, 0.1, 77);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  PageRankParams p;
+  p.max_iters = 500;
+  p.tol = 1e-12;
+  std::vector<double> out(40);
+  const auto st = pagerank(rep, ws, sc, p, out, nullptr, Budget{});
+  EXPECT_EQ(st.stop, Stop::done);
+  EXPECT_LT(st.iterations, 500u);  // converged well before the cap
+  EXPECT_LE(st.delta, 1e-12);
+}
+
+TEST(PageRank, AllDanglingGraphIsUniform) {
+  // No edges at all: every vertex keeps exactly 1/n each iteration.
+  EdgeListGraph<int> el(8);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  PageRankParams p;
+  p.max_iters = 5;
+  p.tol = 0.0;
+  std::vector<double> out(8);
+  (void)pagerank(rep, ws, sc, p, out, nullptr, Budget{});
+  for (const double r : out) EXPECT_NEAR(r, 1.0 / 8.0, 1e-15);
+}
+
+// -------------------------------------------------------------- WCC
+
+TEST(Wcc, BitIdenticalToUnionFindAcrossLayoutsThreadsAndModes) {
+  for (const std::uint64_t seed : {9u, 10u}) {
+    const auto el = adversarial(48, seed);
+    const auto expect = oracle_wcc(el);
+    const AdjacencyArray<int> array(el);
+    const AdjacencyList<int> list(el);
+    const auto check = [&](const auto& rep, int threads, bool binned) {
+      Workspace<std::decay_t<decltype(rep)>> ws(rep);
+      Scratch sc;
+      std::vector<vertex_t> out(48, -7);
+      WccParams p;
+      p.binned = binned;
+      with_pool(threads, [&](parallel::TaskPool* pool) {
+        const auto st = wcc(rep, ws, sc, p, out, pool, Budget{});
+        EXPECT_EQ(st.stop, Stop::done);
+        vertex_t roots = 0;
+        for (std::size_t v = 0; v < 48; ++v) {
+          roots += out[v] == static_cast<vertex_t>(v) ? 1 : 0;
+        }
+        EXPECT_EQ(st.components, roots);
+      });
+      EXPECT_EQ(out, expect) << "seed=" << seed << " threads=" << threads
+                             << " binned=" << binned;
+    };
+    for (const int threads : kThreadLadder) {
+      for (const bool binned : {false, true}) {
+        check(array, threads, binned);
+        check(list, threads, binned);
+      }
+    }
+  }
+}
+
+TEST(Wcc, DirectedEdgesStillConnectWeakly) {
+  // a->c and b->c: all three weakly connected even though nothing is
+  // reachable from c (the kernel must run over the symmetrized CSR,
+  // not the directed push lists).
+  EdgeListGraph<int> el(3);
+  el.add_edge(0, 2, 1);
+  el.add_edge(1, 2, 1);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  std::vector<vertex_t> out(3);
+  const auto st = wcc(rep, ws, sc, WccParams{}, out, nullptr, Budget{});
+  EXPECT_EQ(out, (std::vector<vertex_t>{0, 0, 0}));
+  EXPECT_EQ(st.components, 1);
+}
+
+TEST(Wcc, IsolatedVerticesAreTheirOwnComponents) {
+  EdgeListGraph<int> el(5);
+  el.add_edge(3, 4, 1);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  std::vector<vertex_t> out(5);
+  const auto st = wcc(rep, ws, sc, WccParams{}, out, nullptr, Budget{});
+  EXPECT_EQ(out, (std::vector<vertex_t>{0, 1, 2, 3, 3}));
+  EXPECT_EQ(st.components, 4);
+}
+
+// -------------------------------------------------------------- BFS
+
+TEST(Bfs, MatchesQueueOracleAcrossThreadsAndModes) {
+  const auto el = adversarial(56, 33);
+  const std::vector<vertex_t> sources{0, 7, 7, 21};  // duplicate seed on purpose
+  const auto expect = oracle_bfs(el, sources);
+  const AdjacencyArray<int> array(el);
+  const AdjacencyList<int> list(el);
+  const auto check = [&](const auto& rep, int threads, bool binned) {
+    Scratch sc;
+    std::vector<vertex_t> out(56, -9);
+    BfsParams p;
+    p.binned = binned;
+    with_pool(threads, [&](parallel::TaskPool* pool) {
+      const auto st = bfs_from_set(rep, sc, p, sources, out, pool, Budget{});
+      EXPECT_EQ(st.stop, Stop::done);
+      std::uint64_t reached = 0;
+      for (const vertex_t d : out) reached += d != kNoVertex ? 1u : 0u;
+      EXPECT_EQ(st.reached, reached);
+    });
+    EXPECT_EQ(out, expect) << "threads=" << threads << " binned=" << binned;
+  };
+  for (const int threads : kThreadLadder) {
+    for (const bool binned : {false, true}) {
+      check(array, threads, binned);
+      check(list, threads, binned);
+    }
+  }
+}
+
+TEST(Bfs, EmptySourceSetReachesNothing) {
+  const auto el = random_digraph<int>(10, 0.3, 1);
+  const AdjacencyArray<int> rep(el);
+  Scratch sc;
+  std::vector<vertex_t> out(10);
+  const auto st = bfs_from_set(rep, sc, BfsParams{}, {}, out, nullptr, Budget{});
+  EXPECT_EQ(st.reached, 0u);
+  EXPECT_EQ(st.rounds, 0u);
+  for (const vertex_t d : out) EXPECT_EQ(d, kNoVertex);
+}
+
+TEST(Bfs, SourceOutOfRangeTrips) {
+  const auto el = random_digraph<int>(4, 0.3, 2);
+  const AdjacencyArray<int> rep(el);
+  Scratch sc;
+  std::vector<vertex_t> out(4);
+  const std::vector<vertex_t> bad{0, 4};
+  EXPECT_THROW((void)bfs_from_set(rep, sc, BfsParams{}, bad, out, nullptr, Budget{}),
+               PreconditionError);
+}
+
+// -------------------------------------------------------- triangles
+
+TEST(Triangles, MatchesBruteForceOracle) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto el = adversarial(30, seed);
+    const std::uint64_t expect = oracle_triangles(el);
+    const AdjacencyArray<int> rep(el);
+    Workspace<AdjacencyArray<int>> ws(rep);
+    for (const int threads : kThreadLadder) {
+      Scratch sc;
+      with_pool(threads, [&](parallel::TaskPool* pool) {
+        EXPECT_EQ(triangles(rep, ws, sc, pool, Budget{}).triangles, expect)
+            << "seed=" << seed << " threads=" << threads;
+      });
+    }
+  }
+}
+
+TEST(Triangles, KnownShapes) {
+  // K4 has exactly 4 triangles; self-loops and parallel/antiparallel
+  // arcs must not inflate the count.
+  EdgeListGraph<int> el(4);
+  for (vertex_t i = 0; i < 4; ++i) {
+    el.add_edge(i, i, 1);  // self-loop on every vertex
+    for (vertex_t j = 0; j < 4; ++j) {
+      if (i != j) el.add_edge(i, j, 1);  // both directions = parallel after symmetrize
+    }
+  }
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  EXPECT_EQ(triangles(rep, ws, sc, nullptr, Budget{}).triangles, 4u);
+}
+
+// ----------------------------------------- empty / tiny graph sweeps
+
+TEST(Kernels, EmptyAndSingleVertexGraphs) {
+  for (const vertex_t n : {vertex_t{0}, vertex_t{1}}) {
+    EdgeListGraph<int> el(n);
+    const AdjacencyArray<int> rep(el);
+    Workspace<AdjacencyArray<int>> ws(rep);
+    Scratch sc;
+    const auto un = static_cast<std::size_t>(n);
+    std::vector<double> pr(un);
+    std::vector<vertex_t> labels(un);
+    std::vector<vertex_t> depths(un);
+    EXPECT_EQ(pagerank(rep, ws, sc, PageRankParams{}, pr, nullptr, Budget{}).stop, Stop::done);
+    EXPECT_EQ(wcc(rep, ws, sc, WccParams{}, labels, nullptr, Budget{}).components, n);
+    const std::vector<vertex_t> seeds(un, 0);  // seed vertex 0 when it exists
+    EXPECT_EQ(bfs_from_set(rep, sc, BfsParams{}, seeds, depths, nullptr, Budget{}).reached, un);
+    EXPECT_EQ(triangles(rep, ws, sc, nullptr, Budget{}).triangles, 0u);
+    if (n == 1) {
+      EXPECT_NEAR(pr[0], 1.0, 1e-15);
+      EXPECT_EQ(labels[0], 0);
+      EXPECT_EQ(depths[0], 0);
+    }
+  }
+}
+
+// ----------------------------------------------------- budget stops
+
+TEST(Budgets, PreCancelledTokenStopsBeforeRoundZero) {
+  const auto el = random_digraph<int>(30, 0.2, 8);
+  const AdjacencyArray<int> rep(el);
+  Workspace<AdjacencyArray<int>> ws(rep);
+  Scratch sc;
+  reliability::CancelToken token;
+  token.cancel();
+  const Budget budget{&token, {}};
+  std::vector<double> pr(30);
+  std::vector<vertex_t> labels(30);
+  EXPECT_EQ(pagerank(rep, ws, sc, PageRankParams{}, pr, nullptr, budget).stop, Stop::cancelled);
+  EXPECT_EQ(wcc(rep, ws, sc, WccParams{}, labels, nullptr, budget).stop, Stop::cancelled);
+  EXPECT_EQ(triangles(rep, ws, sc, nullptr, budget).stop, Stop::cancelled);
+}
+
+TEST(Budgets, SpentDeadlineStopsBeforeRoundZero) {
+  const auto el = random_digraph<int>(30, 0.2, 8);
+  const AdjacencyArray<int> rep(el);
+  Scratch sc;
+  Budget budget;
+  budget.deadline = reliability::Deadline::after(std::chrono::nanoseconds{0});
+  std::vector<vertex_t> depths(30);
+  const std::vector<vertex_t> seeds{0};
+  const auto st = bfs_from_set(rep, sc, BfsParams{}, seeds, depths, nullptr, budget);
+  EXPECT_EQ(st.stop, Stop::deadline);
+  EXPECT_EQ(st.rounds, 0u);
+}
+
+// -------------------------------------------------------- bin layout
+
+TEST(BinLayout, PickRespectsTheLlcBudgetAndCoversAllDestinations) {
+  const auto layout = BinLayout::pick(10000, sizeof(double), 1u << 16);  // 64 KiB LLC
+  // One bin's accumulator slice must fit in half the LLC.
+  EXPECT_LE((std::size_t{1} << layout.bin_bits) * sizeof(double), (1u << 16) / 2);
+  // Bins partition [0, n): every vertex lands in a valid bin.
+  const std::size_t bins = layout.num_bins();
+  for (const vertex_t v : {vertex_t{0}, vertex_t{4095}, vertex_t{4096}, vertex_t{9999}}) {
+    EXPECT_LT(layout.bin_of(v), bins);
+  }
+  EXPECT_EQ(layout.bin_of(0), 0u);
+  // Degenerate budgets still yield a usable layout.
+  const auto tiny = BinLayout::pick(100, sizeof(double), 0);
+  EXPECT_GE(tiny.num_bins(), 1u);
+  EXPECT_LT(tiny.bin_of(99), tiny.num_bins());
+}
+
+// --------------------------------------------------- memsim exhibit
+
+TEST(PushSim, BinnedPushMissesFewerLlcLinesBeyondTheLlc) {
+  // 16 Ki vertices of double accumulator = 128 KiB against an 8 KiB
+  // L2 (the LLC of this tiny machine): the direct scatter misses on
+  // nearly every edge, propagation blocking keeps the drain slice
+  // resident. This is Figure 2 of the propagation-blocking paper in
+  // miniature, and the inequality the whole tentpole exists for.
+  memsim::MachineConfig tiny;
+  tiny.name = "tiny";
+  tiny.l1 = memsim::CacheConfig{1024, 64, 2};
+  tiny.l2 = memsim::CacheConfig{8192, 64, 4};
+  tiny.l3 = memsim::CacheConfig{0, 64, 16};  // no L3: L2 is the LLC
+  constexpr vertex_t n = 16384;
+  const auto el = sparse_random(n, 8, 321);
+  const AdjacencyArray<int> rep(el);
+  const auto layout = BinLayout::pick(n, sizeof(double), tiny.l2.size_bytes);
+  EXPECT_GT(layout.num_bins(), 1u);  // the accumulator genuinely outgrows the LLC
+
+  memsim::CacheHierarchy direct_h(tiny);
+  memsim::SimMem direct_mem(direct_h);
+  sim_push_iteration(rep, /*binned=*/false, layout, direct_mem);
+  const auto direct = direct_h.stats();
+
+  memsim::CacheHierarchy binned_h(tiny);
+  memsim::SimMem binned_mem(binned_h);
+  sim_push_iteration(rep, /*binned=*/true, layout, binned_mem);
+  const auto binned = binned_h.stats();
+
+  EXPECT_LT(binned.l2.misses, direct.l2.misses);
+  EXPECT_LT(binned.memory_traffic_lines(), direct.memory_traffic_lines());
+}
+
+// ------------------------------------------------ engine integration
+
+using query::BfsFromSet;
+using query::PageRank;
+using query::QueryEngine;
+using query::Request;
+using query::TriangleCount;
+using query::Wcc;
+using reliability::StatusCode;
+
+TEST(EngineAnalytics, TypedRequestsAnswerWithAuxAcrossSurfaces) {
+  const auto el = adversarial(44, 17);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(4);
+
+  std::vector<double> ranks(44);
+  std::vector<vertex_t> labels(44);
+  std::vector<vertex_t> depths(44);
+  const std::vector<vertex_t> seeds{0, 5};
+
+  PageRank pr;
+  pr.max_iters = 15;
+  pr.tol = 0.0;
+  pr.binned = true;
+  pr.out = std::span<double>(ranks);
+  Wcc wc;
+  wc.out = std::span<vertex_t>(labels);
+  BfsFromSet bf;
+  bf.sources = std::span<const vertex_t>(seeds);
+  bf.binned = true;
+  bf.out = std::span<vertex_t>(depths);
+  const std::vector<Request<int>> reqs{pr, wc, bf, TriangleCount{}};
+
+  const auto resp = engine.run(reqs, pool);
+  ASSERT_EQ(resp.size(), 4u);
+  for (const auto& r : resp) EXPECT_TRUE(r.status.is_ok());
+
+  EXPECT_EQ(resp[0].aux, 15u);  // PageRank iterations
+  double sum = 0.0;
+  for (const double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  const auto wcc_expect = oracle_wcc(el);
+  EXPECT_EQ(labels, wcc_expect);
+  std::uint64_t components = 0;
+  for (std::size_t v = 0; v < 44; ++v) {
+    components += wcc_expect[v] == static_cast<vertex_t>(v) ? 1u : 0u;
+  }
+  EXPECT_EQ(resp[1].aux, components);
+
+  const auto bfs_expect = oracle_bfs(el, seeds);
+  EXPECT_EQ(depths, bfs_expect);
+  std::uint64_t reached = 0;
+  for (const vertex_t d : bfs_expect) reached += d != kNoVertex ? 1u : 0u;
+  EXPECT_EQ(resp[2].aux, reached);
+
+  EXPECT_EQ(resp[3].aux, oracle_triangles(el));
+
+  // The serial legacy surface answers identically (null pool path).
+  std::fill(labels.begin(), labels.end(), -1);
+  engine.serve(Request<int>{wc}, [&](const auto& r, const auto&) {
+    EXPECT_TRUE(r.status.is_ok());
+    EXPECT_EQ(r.aux, components);
+  });
+  EXPECT_EQ(labels, wcc_expect);
+}
+
+TEST(EngineAnalytics, ValidationRejectsMalformedAnalyticsRequests) {
+  const auto el = random_digraph<int>(10, 0.2, 3);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+
+  std::vector<double> short_out(5);  // wrong size: needs 10
+  PageRank bad_span;
+  bad_span.out = std::span<double>(short_out);
+  EXPECT_EQ(engine.try_serve(Request<int>{bad_span}, {}).status.code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<double> ranks(10);
+  PageRank bad_damping;
+  bad_damping.damping = 1.5;
+  bad_damping.out = std::span<double>(ranks);
+  EXPECT_EQ(engine.try_serve(Request<int>{bad_damping}, {}).status.code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<vertex_t> depths(10);
+  const std::vector<vertex_t> bad_seed{10};
+  BfsFromSet bad_source;
+  bad_source.sources = std::span<const vertex_t>(bad_seed);
+  bad_source.out = std::span<vertex_t>(depths);
+  EXPECT_EQ(engine.try_serve(Request<int>{bad_source}, {}).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // The throwing surface enforces the same rules.
+  std::vector<vertex_t> short_labels(3);
+  Wcc bad_wcc;
+  bad_wcc.out = std::span<vertex_t>(short_labels);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{bad_wcc};
+  EXPECT_THROW((void)engine.run(reqs, pool), PreconditionError);
+}
+
+TEST(EngineAnalytics, DeadlineAndCancelResolveWithPartialStateDiscarded) {
+  const auto el = random_digraph<int>(40, 0.1, 12);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+
+  std::vector<vertex_t> labels(40);
+  Wcc wc;
+  wc.out = std::span<vertex_t>(labels);
+  typename QueryEngine<AdjacencyArray<int>>::ServeOptions opts;
+  opts.deadline = reliability::Deadline::after(std::chrono::nanoseconds{0});
+  auto resp = engine.try_serve(Request<int>{wc}, opts);
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.settled, 0u);
+
+  reliability::CancelToken token;
+  token.cancel();
+  typename QueryEngine<AdjacencyArray<int>>::ServeOptions copts;
+  copts.cancel = &token;
+  std::vector<double> ranks(40);
+  PageRank pr;
+  pr.out = std::span<double>(ranks);
+  resp = engine.try_serve(Request<int>{pr}, copts);
+  EXPECT_EQ(resp.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(resp.settled, 0u);
+}
+
+TEST(EngineAnalytics, LlcConfigurationFeedsTheBinLayout) {
+  // Shrinking the configured LLC must not change answers — only the
+  // internal bin geometry (bit-identity is the invariant that makes
+  // the knob safe to tune in production).
+  const auto el = adversarial(64, 99);
+  const AdjacencyArray<int> rep(el);
+  const auto expect = oracle_wcc(el);
+  for (const std::size_t llc : {std::size_t{1} << 8, std::size_t{1} << 12, std::size_t{1} << 22}) {
+    QueryEngine<AdjacencyArray<int>> engine(rep);
+    engine.set_llc_bytes(llc);
+    std::vector<vertex_t> labels(64);
+    Wcc wc;
+    wc.binned = true;
+    wc.out = std::span<vertex_t>(labels);
+    parallel::TaskPool pool(4);
+    const std::vector<Request<int>> reqs{wc};
+    const auto resp = engine.run(reqs, pool);
+    EXPECT_TRUE(resp[0].status.is_ok());
+    EXPECT_EQ(labels, expect) << "llc=" << llc;
+  }
+  // And the machine-model setter picks the L2 when there is no L3.
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  memsim::MachineConfig m;
+  m.l2 = memsim::CacheConfig{1u << 14, 64, 4};
+  m.l3 = memsim::CacheConfig{0, 64, 16};
+  engine.set_llc_machine(m);
+  std::vector<vertex_t> labels(64);
+  Wcc wc;
+  wc.binned = true;
+  wc.out = std::span<vertex_t>(labels);
+  parallel::TaskPool pool(2);
+  const std::vector<Request<int>> reqs{wc};
+  (void)engine.run(reqs, pool);
+  EXPECT_EQ(labels, expect);
+}
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+TEST(EngineAnalytics, EmitsPerKindAndPushCounters) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  const auto el = random_digraph<int>(32, 0.1, 6);
+  const AdjacencyArray<int> rep(el);
+  QueryEngine<AdjacencyArray<int>> engine(rep);
+  parallel::TaskPool pool(2);
+  std::vector<double> ranks(32);
+  PageRank direct;
+  direct.max_iters = 5;
+  direct.tol = 0.0;
+  direct.out = std::span<double>(ranks);
+  PageRank binned = direct;
+  binned.binned = true;
+  std::vector<vertex_t> labels(32);
+  Wcc wc;
+  wc.out = std::span<vertex_t>(labels);
+  const std::vector<Request<int>> reqs{direct, binned, wc, TriangleCount{}};
+  (void)engine.run(reqs, pool);
+  EXPECT_EQ(reg.value("query.requests.pagerank"), 2u);
+  EXPECT_EQ(reg.value("query.requests.wcc"), 1u);
+  EXPECT_EQ(reg.value("query.requests.triangle_count"), 1u);
+  const auto edges = static_cast<std::uint64_t>(rep.num_edges());
+  EXPECT_EQ(reg.value("analytics.push.direct_edges"), edges * 5u);
+  EXPECT_EQ(reg.value("analytics.push.binned_edges"), edges * 5u);
+  EXPECT_EQ(reg.value("analytics.pagerank.iterations"), 10u);
+  EXPECT_GT(reg.value("analytics.wcc.rounds"), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace cachegraph::analytics

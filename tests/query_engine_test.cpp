@@ -211,6 +211,33 @@ TYPED_TEST(SearchPolicies, WorksOverAdjacencyListToo) {
   }
 }
 
+// ------------------------------------------- LazyQueue hardening
+
+TEST(LazyQueueHardening, ExtractMinOnEmptyThrowsInsteadOfUB) {
+  // std::pop_heap on an empty range is UB; the hardened queue must
+  // refuse with a diagnosable precondition failure — both when fresh
+  // and when drained back to empty.
+  LazyQueue<int> q(4);
+  EXPECT_THROW((void)q.extract_min(), PreconditionError);
+  q.insert(2, 7);
+  EXPECT_EQ(q.extract_min().vertex, 2);
+  EXPECT_THROW((void)q.extract_min(), PreconditionError);
+}
+
+TEST(LazyQueueHardening, PeakEntriesIsTheDuplicateHighWater) {
+  LazyQueue<int> q(8);
+  q.insert(0, 5);
+  q.insert(1, 4);
+  q.improve(0, 3);  // lazy deletion: duplicates pile up
+  q.improve(1, 2);
+  EXPECT_EQ(q.peak_entries(), 4u);
+  (void)q.extract_min();
+  (void)q.extract_min();
+  EXPECT_EQ(q.peak_entries(), 4u);  // high-water survives pops
+  q.clear();
+  EXPECT_EQ(q.peak_entries(), 0u);  // per-search reset
+}
+
 // ----------------------------------------------- batch serving / threads
 
 TEST(QueryEngineBatch, MixedRequestsAcrossThreadCountsMatchOracle) {
@@ -631,6 +658,10 @@ TEST(QueryCounters, LazyQueueReportsStalePops) {
   QueryEngine<AdjacencyArray<int>, LazyQueue<int>> engine(rep);
   for (vertex_t s = 0; s < 10; ++s) (void)engine.full(s).dist;
   EXPECT_GT(reg.value("query.stale_pops"), 0u);  // dense graph: duplicates certain
+  // The O(E) entry high-water of the lazy queue is recorded per search
+  // (max across the batch); stale pops certify duplicates existed, so
+  // the peak must exceed the plain frontier's minimum of one.
+  EXPECT_GT(reg.value("query.lazy.peak_entries"), 1u);
 }
 
 TEST(QueryCounters, CacheAndOverlayCounters) {

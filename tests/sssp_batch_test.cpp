@@ -411,6 +411,122 @@ TEST(Spfa, EmptyAndSingleVertex) {
   EXPECT_FALSE(spfa_potentials(rep).negative_cycle);
 }
 
+TEST(Spfa, SourceOutOfRangeThrows) {
+  EdgeListGraph<int> el(3);
+  const AdjacencyArray<int> rep(el);
+  EXPECT_THROW((void)spfa(rep, 3), PreconditionError);
+  EXPECT_THROW((void)spfa(rep, -1), PreconditionError);
+}
+
+// ------------------------------------------- SPFA dequeue-bound audit
+//
+// The single-source limit is max(n-1, 1) and the potentials limit is n
+// (spfa.hpp header proof). These tests drive each formulation to its
+// exact worst legitimate dequeue count — one more dequeue and the
+// bound would fire — so any future "tightening" that false-positives
+// trips here, and the cycle tests pin that real cycles still trip.
+
+TEST(Spfa, SingleSourceWorstCaseHitsBoundWithoutFalsePositive) {
+  // Direct 0->j weight-0 edges in *descending* j order force the FIFO
+  // to drain the chain back-to-front, so the -1 chain 0->1->...->n-1
+  // re-improves the tail one pass per hop: vertex n-1 is legitimately
+  // dequeued exactly n-1 times (values 0, -1, ..., -(n-2)).
+  constexpr vertex_t n = 9;
+  EdgeListGraph<int> el(n);
+  for (vertex_t j = n - 1; j >= 2; --j) el.add_edge(0, j, 0);
+  el.add_edge(0, 1, -1);
+  for (vertex_t i = 1; i + 1 < n; ++i) el.add_edge(i, i + 1, -1);
+  const AdjacencyArray<int> rep(el);
+  const auto r = spfa(rep, 0);
+  ASSERT_FALSE(r.negative_cycle) << "bound fired on a cycle-free graph";
+  for (vertex_t v = 0; v < n; ++v) {
+    EXPECT_EQ(r.dist[static_cast<std::size_t>(v)], -static_cast<int>(v)) << "v " << v;
+  }
+  EXPECT_EQ(r.dist, bellman_ford(rep, 0).dist);
+}
+
+TEST(Spfa, PotentialsWorstCaseNeedsTheFullNDequeues) {
+  // Backwards chain (n-1)->(n-2)->...->0, weight -1, all vertices
+  // seeded at 0: each pass lowers the low end by one more hop, so
+  // vertex 0 is legitimately dequeued in every pass 0..n-1 — exactly
+  // n times. This is why spfa_potentials cannot share the tighter
+  // single-source limit: n-1 would flag this cycle-free graph.
+  constexpr vertex_t n = 8;
+  EdgeListGraph<int> el(n);
+  for (vertex_t i = n - 1; i >= 1; --i) el.add_edge(i, i - 1, -1);
+  const AdjacencyArray<int> rep(el);
+  const auto pot = spfa_potentials(rep);
+  ASSERT_FALSE(pot.negative_cycle) << "potentials bound fired on a cycle-free graph";
+  for (vertex_t v = 0; v < n; ++v) {
+    EXPECT_EQ(pot.dist[static_cast<std::size_t>(v)], -static_cast<int>(n - 1 - v)) << "v " << v;
+  }
+}
+
+TEST(Spfa, CycleAtTheEndOfTheWorstCaseCascadeStillTrips) {
+  // The single-source worst case plus a -1 back edge closing a
+  // negative 2-cycle at the chain's tail: the pump only spins after
+  // the full cascade has already spent the legitimate dequeue budget,
+  // so detection rides on the *last* admissible pass being counted
+  // correctly.
+  constexpr vertex_t n = 9;
+  EdgeListGraph<int> el(n);
+  for (vertex_t j = n - 1; j >= 2; --j) el.add_edge(0, j, 0);
+  el.add_edge(0, 1, -1);
+  for (vertex_t i = 1; i + 1 < n; ++i) el.add_edge(i, i + 1, -1);
+  el.add_edge(n - 1, n - 2, -1);  // (n-2)->(n-1)->(n-2) sums to -2
+  const AdjacencyArray<int> rep(el);
+  EXPECT_TRUE(spfa(rep, 0).negative_cycle);
+  EXPECT_TRUE(spfa_potentials(rep).negative_cycle);
+
+  // Padding with isolated vertices raises n (and both limits) but the
+  // pump still overruns them — the flag must survive a looser bound.
+  EdgeListGraph<int> padded(n + 6);
+  for (const auto& e : el.edges()) padded.add_edge(e.from, e.to, e.weight);
+  const AdjacencyArray<int> padded_rep(padded);
+  EXPECT_TRUE(spfa(padded_rep, 0).negative_cycle);
+  EXPECT_TRUE(spfa_potentials(padded_rep).negative_cycle);
+}
+
+// ------------------------------------------------- SPFA scratch reuse
+
+TEST(Spfa, ScratchStopsAllocatingAfterWarmUp) {
+  const auto big = random_digraph<int>(50, 0.1, 77);
+  const auto small = random_digraph<int>(20, 0.2, 78);
+  const AdjacencyArray<int> big_rep(big);
+  const AdjacencyArray<int> small_rep(small);
+
+  SpfaScratch scratch;
+  const auto baseline = spfa_potentials(big_rep);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(spfa_potentials(big_rep, scratch).dist, baseline.dist) << "round " << round;
+  }
+  auto st = scratch.stats();
+  EXPECT_EQ(st.prepares, 5u);
+  EXPECT_EQ(st.grows, 1u);  // first call sizes the arrays, then zero allocation
+  EXPECT_EQ(st.reuses, 4u);
+
+  // Smaller graphs ride the existing capacity; the single-source
+  // overload shares the same scratch.
+  EXPECT_EQ(spfa_potentials(small_rep, scratch).dist, spfa_potentials(small_rep).dist);
+  EXPECT_EQ(spfa(small_rep, 0, scratch).dist, spfa(small_rep, 0).dist);
+  st = scratch.stats();
+  EXPECT_EQ(st.grows, 1u);
+  EXPECT_EQ(st.reuses, 6u);
+}
+
+#if defined(CACHEGRAPH_INSTRUMENT)
+TEST(Spfa, ScratchCountersMirrorStats) {
+  auto& reg = obs::CounterRegistry::instance();
+  reg.reset();
+  const auto el = random_digraph<int>(30, 0.1, 5);
+  const AdjacencyArray<int> rep(el);
+  SpfaScratch scratch;
+  for (int i = 0; i < 3; ++i) (void)spfa_potentials(rep, scratch);
+  EXPECT_EQ(reg.value("sssp.spfa.scratch_grows"), 1u);
+  EXPECT_EQ(reg.value("sssp.spfa.scratch_reuses"), 2u);
+}
+#endif
+
 #if defined(CACHEGRAPH_INSTRUMENT)
 TEST(BatchEngine, EmitsBatchAndParallelCounters) {
   auto& reg = obs::CounterRegistry::instance();

@@ -273,16 +273,22 @@ TEST(Histogram, ResetZeroesInPlace) {
 // ---- request-kind vocabulary ----------------------------------------
 
 TEST(Telemetry, KindTablesAgreeWithQueryLabels) {
-  // obs::RequestKind's first four values mirror query::Request's
-  // variant order; the label tables must never drift apart.
+  // obs::RequestKind mirrors query::Request's variant order (with the
+  // two non-variant batch/cache kinds spliced between the search and
+  // analytics blocks); the label tables must never drift apart.
   const std::vector<query::Request<int>> shapes{
-      query::PointToPoint{0, 1}, query::KNearest{0, 2}, query::Bounded<int>{0, 3},
-      query::FullSSSP{0}};
+      query::PointToPoint{0, 1}, query::KNearest{0, 2},       query::Bounded<int>{0, 3},
+      query::FullSSSP{0},        query::PageRank{},           query::Wcc{},
+      query::BfsFromSet{},       query::TriangleCount{}};
   for (const auto& r : shapes) {
     EXPECT_STREQ(obs::request_kind_name(query::kind_index_of(r)), query::kind_of(r));
   }
   EXPECT_STREQ(obs::request_kind_name(obs::kKindBatchSource), "batch_source");
   EXPECT_STREQ(obs::request_kind_name(obs::kKindCacheSnapshot), "cache_snapshot");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindPageRank), "pagerank");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindWcc), "wcc");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindBfsFromSet), "bfs_from_set");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindTriangleCount), "triangle_count");
   EXPECT_STREQ(obs::request_kind_name(obs::kNumRequestKinds), "unknown");
 }
 
