@@ -1,0 +1,58 @@
+// Crash-durable file commits — the one place the write-tmp + fsync +
+// atomic-rename discipline lives.
+//
+// The rename alone is not crash-durable: POSIX rename() atomically
+// replaces the *name*, but the directory entry itself lives in the
+// parent directory's data, and a crash between the rename and the next
+// directory flush can roll the rename back — leaving the old file (or
+// nothing) under the real name even though the writer saw rename()
+// succeed. Durability needs a second fsync, on the parent directory fd,
+// after the rename. Every atomic writer in this codebase (ResultCache
+// snapshots, metrics/flight-recorder exports, the blocked graph store)
+// funnels through these helpers so the directory fsync cannot be
+// forgotten in one of them.
+//
+//   write_file_durable(path, content)  tmp → write → fsync(file) →
+//                                      rename → fsync(parent dir)
+//   commit_rename(tmp, path)           the tail of that sequence, for
+//                                      writers that stream their own
+//                                      tmp file (the blocked store
+//                                      writer); the tmp must already
+//                                      be written and fsync'd
+//   fsync_parent_dir(path)             just the directory flush
+//
+// Failure mapping: all I/O failures are RESOURCE_EXHAUSTED (transient,
+// retryable — disk full, permissions, a vanished directory). On any
+// failure the tmp file is removed and a previous file at `path` is
+// left intact (commit_rename can fail only before the rename takes
+// effect or after it is already durable-in-progress; the partial
+// states are "old complete file" or "new complete file", never torn).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::io {
+
+/// fsync the directory containing `path` (or `path` itself when it is
+/// a directory), making a prior rename inside it durable. No-op
+/// success on platforms without directory fsync.
+[[nodiscard]] reliability::Status fsync_parent_dir(const std::filesystem::path& path);
+
+/// Atomically and durably moves `tmp` over `path`: rename, then fsync
+/// the parent directory. `tmp` must already be fully written and
+/// fsync'd by the caller. On failure `tmp` is removed.
+[[nodiscard]] reliability::Status commit_rename(const std::filesystem::path& tmp,
+                                                const std::filesystem::path& path);
+
+/// The whole discipline for in-memory content: write `content` to
+/// `path + ".tmp"`, fsync it, rename over `path`, fsync the parent
+/// directory. A reader never observes a torn file and a crash at any
+/// point leaves either the old complete file or the new one.
+[[nodiscard]] reliability::Status write_file_durable(const std::string& path,
+                                                     std::string_view content);
+
+}  // namespace cachegraph::io

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <istream>
 #include <ostream>
@@ -45,13 +46,35 @@ class ParseError : public PreconditionError {
   std::uint64_t byte_offset_;
 };
 
+namespace detail {
+
+/// Weight formatting for write_dimacs. Streaming a floating weight
+/// through `os << w` truncates to the default 6 significant digits, so
+/// write → read was lossy; std::to_chars emits the shortest decimal
+/// that parses back to exactly the same value (the same policy
+/// json::Writer uses for numbers).
+template <Weight W>
+void write_weight(std::ostream& os, W w) {
+  if constexpr (std::is_floating_point_v<W>) {
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), w);
+    os.write(buf, res.ptr - buf);
+  } else {
+    os << w;
+  }
+}
+
+}  // namespace detail
+
 template <Weight W>
 void write_dimacs(std::ostream& os, const EdgeListGraph<W>& g,
                   const std::string& comment = {}) {
   if (!comment.empty()) os << "c " << comment << '\n';
   os << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
   for (const auto& e : g.edges()) {
-    os << "a " << (e.from + 1) << ' ' << (e.to + 1) << ' ' << e.weight << '\n';
+    os << "a " << (e.from + 1) << ' ' << (e.to + 1) << ' ';
+    detail::write_weight(os, e.weight);
+    os << '\n';
   }
 }
 
@@ -71,6 +94,11 @@ template <Weight W>
     ++lineno;
     line_start = next_start;
     next_start = line_start + line.size() + 1;  // getline consumed the '\n' too
+    // CRLF input: getline stops at '\n', leaving the '\r' on the line.
+    // Strip it *after* the offset bookkeeping above (the '\r' is a real
+    // byte in the stream) so a DOS-saved file parses like a Unix one
+    // instead of turning every blank line into an unknown tag '\r'.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream ls(line);
     char tag = 0;

@@ -1,0 +1,104 @@
+// Block I/O level for the simulated memory hierarchy.
+//
+// The CacheHierarchy predicts LLC misses for the in-memory layouts;
+// BlockIoSim extends the same idea one level down — DRAM : SSD instead
+// of cache : DRAM. It models the store's BlockCache exactly: the same
+// shard hash, the same per-shard frame split, the same per-shard LRU.
+// Replaying a serial block-access trace through BlockIoSim therefore
+// predicts the real cache's fault count *exactly* (pinned for by a
+// differential test), and lets experiments sweep frame budgets without
+// re-running I/O.
+//
+// The sharding helpers below are the single source of truth for how
+// block ids map to shards and how a frame budget splits across them —
+// store::BlockCache uses these same functions, so the model and the
+// implementation cannot drift apart silently.
+//
+// Not thread-safe: like the rest of memsim this is a single-threaded
+// model. OutOfCoreGraph serializes access() calls when a sim is
+// attached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cachegraph::memsim {
+
+/// Shards the concurrent BlockCache defaults to (diminishing lock
+/// contention returns past this for the query-mix workloads).
+inline constexpr std::size_t kDefaultBlockShards = 8;
+
+/// Resolves a requested shard count against a frame budget: 0 means
+/// "auto" (kDefaultBlockShards), and shards never exceed frames so a
+/// 1-frame budget is a single LRU, not 8 shards of nothing.
+[[nodiscard]] constexpr std::size_t resolve_block_shards(std::size_t frames,
+                                                         std::size_t requested) noexcept {
+  std::size_t s = requested == 0 ? kDefaultBlockShards : requested;
+  if (s > frames) s = frames;
+  return s == 0 ? 1 : s;
+}
+
+[[nodiscard]] constexpr std::size_t block_shard_of(std::uint32_t block_id,
+                                                   std::size_t shards) noexcept {
+  return block_id % shards;
+}
+
+/// Frames owned by shard `shard` out of a `frames` total: the integer
+/// split that hands the remainder to the lowest-numbered shards.
+[[nodiscard]] constexpr std::size_t block_shard_frames(std::size_t frames, std::size_t shards,
+                                                       std::size_t shard) noexcept {
+  return frames / shards + (shard < frames % shards ? 1 : 0);
+}
+
+/// Sharded fully-associative LRU over block ids — the "disk level" of
+/// the simulated hierarchy. An access either hits resident state or
+/// faults (and possibly evicts).
+class BlockIoSim {
+ public:
+  struct Config {
+    std::size_t frames = 64;  ///< total frame budget across all shards
+    std::size_t shards = 0;   ///< 0 = auto (resolve_block_shards)
+  };
+
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      return accesses == 0 ? 0.0
+                           : static_cast<double>(accesses - faults) /
+                                 static_cast<double>(accesses);
+    }
+    [[nodiscard]] std::string to_json() const;
+  };
+
+  explicit BlockIoSim(Config cfg);
+
+  /// Records one block access (the moment the real cache would pin).
+  void access(std::uint32_t block_id);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+
+  /// Drops all residency and zeroes the stats (cold-start replay).
+  void reset();
+
+ private:
+  struct Shard {
+    std::size_t capacity = 0;
+    std::list<std::uint32_t> lru;  // front = MRU, back = next victim
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> where;
+  };
+
+  std::vector<Shard> shards_;
+  std::size_t frames_;
+  Stats stats_;
+};
+
+}  // namespace cachegraph::memsim

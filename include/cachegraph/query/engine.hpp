@@ -383,6 +383,12 @@ class QueryEngine {
             try {
               resp = execute(req, lease->get(), per, &pool);
               scratch_valid = true;
+            } catch (const reliability::DataLossError& e) {
+              // An out-of-core graph hit a corrupt/unreadable block
+              // mid-scan: the stored data is damaged, not the request.
+              resp = Response{};
+              resp.status = reliability::data_loss(e.what());
+              CG_COUNTER_INC("reliability.requests.data_loss");
             } catch (const std::exception& e) {
               resp = Response{};
               resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
@@ -530,6 +536,7 @@ class QueryEngine {
     tel_clock::time_point t_submit{}, e0{}, e1{};
     if constexpr (obs::kTelemetryEnabled) t_submit = tel_clock::now();
     bool aborted = false;
+    bool data_lost = false;
     bool searched = false;
     Response resp;
     resp.status = validate_status(req);
@@ -564,6 +571,13 @@ class QueryEngine {
                          e0, e1);
       }
       fn(static_cast<const Response&>(resp), static_cast<const Scratch&>(lease->get()));
+    } catch (const reliability::DataLossError& e) {
+      // Same mapping as the parallel surface: corrupt block → DATA_LOSS.
+      resp = Response{};
+      resp.status = reliability::data_loss(e.what());
+      CG_COUNTER_INC("reliability.requests.data_loss");
+      data_lost = true;
+      fn(static_cast<const Response&>(resp), empty_);
     } catch (const std::exception& e) {
       resp = Response{};
       resp.status = reliability::cancelled(std::string("task aborted: ") + e.what());
@@ -578,14 +592,16 @@ class QueryEngine {
       fn(static_cast<const Response&>(resp), empty_);
     }
     if constexpr (obs::kTelemetryEnabled) {
-      if (aborted && !searched) {
+      if ((aborted || data_lost) && !searched) {
         // execute() itself threw (the search never resolved); the
         // success path above already recorded resolved requests.
         if (e1 == tel_clock::time_point{}) e1 = tel_clock::now();
-        finish_telemetry(req, resp, nullptr, opts, true, t_submit, t_submit, t_submit, e0, e1);
+        finish_telemetry(req, resp, nullptr, opts, aborted, t_submit, t_submit, t_submit, e0,
+                         e1);
       }
     } else {
       (void)aborted;
+      (void)data_lost;
       (void)searched;
     }
     return resp;

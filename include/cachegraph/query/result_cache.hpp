@@ -57,6 +57,7 @@
 #include <utility>
 #include <vector>
 
+#include "cachegraph/common/atomic_file.hpp"
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/common/checksum.hpp"
 #include "cachegraph/obs/counters.hpp"
@@ -67,10 +68,6 @@
 #include "cachegraph/query/engine.hpp"
 #include "cachegraph/query/request.hpp"
 #include "cachegraph/reliability/status.hpp"
-
-#if defined(__unix__)
-#include <unistd.h>  // fsync — flush the temp image before the rename commits it
-#endif
 
 namespace cachegraph::query {
 
@@ -292,31 +289,12 @@ class ResultCache {
     }
     sd::put(image, fnv1a64(image.data(), image.size()));
 
-    // Write-temp + rename: the file under the real name is always a
-    // complete image (POSIX rename atomically replaces).
-    const std::filesystem::path tmp = path.string() + ".tmp";
-    std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
-    if (f == nullptr) {
-      return reliability::resource_exhausted("snapshot save: cannot open " + tmp.string());
-    }
-    const bool wrote = std::fwrite(image.data(), 1, image.size(), f) == image.size();
-#if defined(__unix__)
-    const bool synced = wrote && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-#else
-    const bool synced = wrote && std::fflush(f) == 0;
-#endif
-    const bool closed = std::fclose(f) == 0;
-    if (!(wrote && synced && closed)) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      return reliability::resource_exhausted("snapshot save: short write to " + tmp.string());
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      return reliability::resource_exhausted("snapshot save: rename failed: " + ec.message());
+    // Durable commit via the shared helper: write-temp + fsync + rename
+    // + parent-directory fsync. The rename alone kept readers safe from
+    // torn files but was not crash-durable — without the directory
+    // fsync a crash after "success" could roll the rename back.
+    if (reliability::Status st = io::write_file_durable(path.string(), image); !st.is_ok()) {
+      return reliability::resource_exhausted("snapshot save: " + st.message());
     }
     CG_COUNTER_INC("query.cache.snapshot_saves");
     return {};

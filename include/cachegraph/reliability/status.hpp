@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -123,6 +124,18 @@ class Status {
 [[nodiscard]] inline Status data_loss(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
 }
+
+/// The exception form of kDataLoss, for the one place a Status cannot
+/// flow: inside `for_neighbors`-style iteration, whose signature is
+/// shared with in-memory graphs that cannot fail. OutOfCoreGraph
+/// throws this when a block fails its read or checksum mid-scan; the
+/// hardened query surfaces (try_serve / try_run) catch it and map it
+/// back to a DATA_LOSS Status, so the exception never crosses the
+/// serving boundary. The message names the failing block id.
+class DataLossError : public std::runtime_error {
+ public:
+  explicit DataLossError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Either a T or a non-OK Status. Constructing one from an OK status
 /// is a programmer error (an OK Expected must carry a value).

@@ -56,11 +56,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "cachegraph/common/check.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/concepts.hpp"
 #include "cachegraph/obs/counters.hpp"
 #include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/obs/trace.hpp"
@@ -71,11 +73,14 @@
 
 namespace cachegraph::sssp {
 
-template <Weight W, template <class, class> class HeapT = pq::BinaryHeap>
+template <Weight W, template <class, class> class HeapT = pq::BinaryHeap,
+          graph::GraphRep G = graph::AdjacencyArray<W>>
 class BatchEngine {
  public:
   using Heap = HeapT<W, memsim::NullMem>;
   static_assert(pq::IndexedHeap<Heap>);
+  static_assert(std::is_same_v<typename G::weight_type, W>,
+                "BatchEngine weight must match the graph's weight type");
 
   /// Per-query reusable state: dist/parent/done buffers, the indexed
   /// heap, and the touched list that makes reset O(touched).
@@ -133,7 +138,7 @@ class BatchEngine {
     std::uint64_t scratch_reuses = 0;  ///< leases served from the free list
   };
 
-  explicit BatchEngine(const graph::AdjacencyArray<W>& g) : g_(g), n_(g.num_vertices()) {}
+  explicit BatchEngine(const G& g) : g_(g), n_(g.num_vertices()) {}
 
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
@@ -261,7 +266,7 @@ class BatchEngine {
     CG_COUNTER_ADD("sssp.batch.relaxations", sc.relaxations_);
   }
 
-  const graph::AdjacencyArray<W>& g_;
+  const G& g_;
   vertex_t n_;
   parallel::LeasePool<Scratch> scratch_pool_;
   std::atomic<std::uint64_t> queries_{0};

@@ -1,0 +1,204 @@
+// BlockCache — a sharded, pinning pool of DRAM frames over a
+// BlockSource.
+//
+// This is the DRAM:SSD replay of the paper's cache:DRAM thesis: the
+// frame budget is the "cache size", a block fault is the "miss", and
+// the blocked layout's whole-vertex runs are what make one fault serve
+// a whole neighbor scan. The design follows the CAVE-style concurrent
+// block cache (see PAPERS.md / SNIPPETS.md): a fixed frame budget is
+// split across shards (block id % shards), each shard owning its own
+// mutex, LRU list, and residency map, so concurrent faults on
+// different shards never contend.
+//
+// Pinning protocol:
+//   - pin(id) returns an RAII BlockRef; while any ref to a block is
+//     alive its frame cannot be evicted or reused.
+//   - a miss inserts a "filling" placeholder, drops the shard lock for
+//     the duration of the read + checksum verify (I/O never holds a
+//     lock), then publishes the frame and wakes waiters. Concurrent
+//     pins of the same block wait on the shard condvar instead of
+//     issuing duplicate reads.
+//   - when every frame in a shard is pinned or filling, a fault blocks
+//     on the condvar until an unpin or a completed fill frees one.
+//     This is deadlock-free as long as callers never hold a pin while
+//     faulting another block in the same shard — OutOfCoreGraph's
+//     iteration unpins block b before pinning b+1 for exactly this
+//     reason.
+//
+// Failure mapping: a short read, a checksum mismatch, or a block-id
+// mismatch is DATA_LOSS naming the block id — the fill is abandoned,
+// the placeholder removed, and waiters re-dispatched, so one corrupt
+// block poisons requests that touch it and nothing else.
+//
+// The frame budget/shard split and the shard hash are shared with
+// memsim::BlockIoSim (same header), so the simulator's fault counts
+// match this cache exactly on serial traces.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cachegraph/memsim/block_io.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/store/block_source.hpp"
+#include "cachegraph/store/format.hpp"
+
+namespace cachegraph::store {
+
+class BlockCache;
+
+/// RAII pin on one cached block: while alive, the frame's bytes are
+/// immutable and resident. Cheap to move, not copyable; destruction
+/// unpins (and may wake a fault waiting for a free frame).
+class BlockRef {
+ public:
+  BlockRef() = default;
+  BlockRef(BlockRef&& other) noexcept { swap(other); }
+  BlockRef& operator=(BlockRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  BlockRef(const BlockRef&) = delete;
+  BlockRef& operator=(const BlockRef&) = delete;
+  ~BlockRef() { release(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return cache_ != nullptr; }
+  [[nodiscard]] std::uint32_t id() const noexcept { return header().block_id; }
+  [[nodiscard]] const BlockHeader& header() const noexcept {
+    return *reinterpret_cast<const BlockHeader*>(data_);
+  }
+  /// First payload byte (record 0 of this block). 16-byte aligned.
+  [[nodiscard]] const std::byte* payload() const noexcept { return data_ + sizeof(BlockHeader); }
+
+  void release() noexcept;
+
+ private:
+  friend class BlockCache;
+  BlockRef(BlockCache* cache, std::uint32_t shard, std::uint32_t frame,
+           const std::byte* data) noexcept
+      : cache_(cache), shard_(shard), frame_(frame), data_(data) {}
+  void swap(BlockRef& other) noexcept {
+    std::swap(cache_, other.cache_);
+    std::swap(shard_, other.shard_);
+    std::swap(frame_, other.frame_);
+    std::swap(data_, other.data_);
+  }
+
+  BlockCache* cache_ = nullptr;
+  std::uint32_t shard_ = 0;
+  std::uint32_t frame_ = 0;
+  const std::byte* data_ = nullptr;
+};
+
+class BlockCache {
+ public:
+  struct Config {
+    std::size_t capacity_blocks = 64;  ///< total frame budget (clamped to num_blocks)
+    std::size_t shards = 0;            ///< 0 = auto (memsim::resolve_block_shards)
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t fill_failures = 0;
+    std::uint64_t pinned_high_water = 0;
+    std::uint64_t pinned_now = 0;
+    std::size_t cached_blocks = 0;
+    std::size_t capacity_blocks = 0;
+    std::size_t shards = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// `source` must outlive the cache. `num_blocks` bounds valid ids and
+  /// clamps the frame budget (never more frames than blocks exist).
+  BlockCache(BlockSource& source, std::uint32_t block_bytes, std::uint32_t num_blocks,
+             Config cfg);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Pins block `block_id`, faulting it in through the source on a
+  /// miss. Blocks when the shard has no evictable frame. Fails with
+  /// DATA_LOSS (naming the block) when the block cannot be read or
+  /// fails verification.
+  [[nodiscard]] reliability::Expected<BlockRef> pin(std::uint32_t block_id);
+
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  /// Pushes the current stats into obs::MetricsRegistry gauges
+  /// (store.cache.*) — the serving loop calls this on its metrics tick.
+  void publish_gauges() const;
+
+  [[nodiscard]] std::size_t capacity_blocks() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::uint32_t block_bytes() const noexcept { return block_bytes_; }
+
+ private:
+  friend class BlockRef;
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Frame {
+    enum class State : std::uint8_t { kEmpty, kFilling, kValid };
+    std::unique_ptr<std::byte[]> data;
+    std::uint32_t block_id = kNoBlock;
+    State state = State::kEmpty;
+    std::uint32_t pins = 0;
+    std::uint32_t lru_prev = kNone;
+    std::uint32_t lru_next = kNone;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Frame> frames;
+    std::unordered_map<std::uint32_t, std::uint32_t> resident;  // block -> frame
+    std::uint32_t lru_head = kNone;  // next victim
+    std::uint32_t lru_tail = kNone;  // most recently unpinned
+    std::vector<std::uint32_t> free_frames;
+  };
+
+  void unpin(std::uint32_t shard, std::uint32_t frame) noexcept;
+  void lru_remove(Shard& sh, std::uint32_t idx) noexcept;
+  void lru_push_tail(Shard& sh, std::uint32_t idx) noexcept;
+  [[nodiscard]] std::uint32_t lru_pop_head(Shard& sh) noexcept;
+  void note_pin() noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  BlockSource& source_;
+  std::uint32_t block_bytes_;
+  std::uint32_t num_blocks_;
+  std::size_t capacity_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> fill_failures_{0};
+  mutable std::atomic<std::uint64_t> pinned_now_{0};
+  mutable std::atomic<std::uint64_t> pinned_high_water_{0};
+};
+
+inline void BlockRef::release() noexcept {
+  if (cache_ != nullptr) {
+    cache_->unpin(shard_, frame_);
+    cache_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+}  // namespace cachegraph::store

@@ -1,0 +1,66 @@
+// BlockSource — the seam between the block cache and the bytes.
+//
+// A BlockSource knows how to fetch block `i` of a blocked graph file
+// into a caller-provided frame; it does not parse, checksum, or cache
+// anything (the BlockCache owns verification and residency). Two
+// backends implement it:
+//
+//   PreadSource  one fd, positional reads (::pread) — no shared file
+//                offset, so concurrent faults from different cache
+//                shards need no lock. The OS page cache still helps,
+//                but residency is explicitly bounded by the
+//                BlockCache's frame budget.
+//   MmapSource   maps the whole file once and memcpy's the block out
+//                of the mapping — the kernel faults pages lazily, so
+//                cold blocks cost page faults instead of syscalls and
+//                hot blocks cost a plain copy.
+//
+// Both are created through make_block_source so callers select a
+// backend by enum (bench and tests sweep both). On platforms without
+// mmap the factory returns INVALID_ARGUMENT for Backend::kMmap rather
+// than silently degrading.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::store {
+
+enum class Backend : std::uint8_t {
+  kPread,  ///< positional reads on one shared fd
+  kMmap,   ///< whole-file mapping, copy out of the map
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) noexcept {
+  return b == Backend::kPread ? "pread" : "mmap";
+}
+
+/// Fetches raw blocks by id. Implementations must be safe to call from
+/// multiple threads concurrently (the sharded cache faults in
+/// parallel). Failures are DATA_LOSS: from the store's point of view a
+/// block that cannot be read is a block that is gone.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  /// Reads block `block_id` into `dst` (exactly block_bytes long).
+  [[nodiscard]] virtual reliability::Status read_block(std::uint32_t block_id,
+                                                       std::span<std::byte> dst) noexcept = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Opens `path`'s block region: blocks live at
+/// [data_offset + i * block_bytes, ...) for i in [0, num_blocks).
+/// The caller (BlockedFile::open) has already validated the header and
+/// footer; the source only checks that the file is long enough.
+[[nodiscard]] reliability::Expected<std::unique_ptr<BlockSource>> make_block_source(
+    const std::filesystem::path& path, Backend backend, std::uint64_t data_offset,
+    std::uint32_t block_bytes, std::uint32_t num_blocks);
+
+}  // namespace cachegraph::store

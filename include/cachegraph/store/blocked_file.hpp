@@ -1,0 +1,127 @@
+// BlockedFile — the validated, open handle on a blocked graph file.
+//
+// open() reads and verifies the header and footer once, loads the
+// RAM-resident index (CSR offsets, vertex → block, block → record
+// range), and opens the chosen BlockSource backend. After a
+// successful open the navigation metadata is trusted: every block id
+// and record range the reader will ever ask for has been
+// cross-checked against the header, so the only failures left are
+// per-block ones at fault time (caught by the BlockCache's checksum).
+//
+// Failure mapping at open:
+//   INVALID_ARGUMENT  not this format, wrong version, or a weight
+//                     type mismatch (an int32 file opened as double) —
+//                     the file may be fine, the request is wrong
+//   DATA_LOSS         truncation, checksum mismatch, or an index that
+//                     contradicts itself — the file is damaged and
+//                     must be rewritten
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/store/block_source.hpp"
+#include "cachegraph/store/format.hpp"
+
+namespace cachegraph::store {
+
+namespace detail {
+
+/// The weight-agnostic part of an opened file: everything except the
+/// record-size checks lives in block_source.cpp so it compiles once.
+struct RawBlockedFile {
+  FileHeader header{};
+  std::vector<index_t> offsets;           // (n + 1) CSR offsets
+  std::vector<std::uint32_t> start_block; // vertex -> first block (kNoBlock if deg 0)
+  std::vector<BlockIndexEntry> blocks;    // block -> {first_record, first_vertex, count}
+  std::unique_ptr<BlockSource> source;
+};
+
+[[nodiscard]] reliability::Expected<RawBlockedFile> open_raw(const std::filesystem::path& path,
+                                                             Backend backend);
+
+}  // namespace detail
+
+template <Weight W>
+class BlockedFile {
+ public:
+  [[nodiscard]] static reliability::Expected<std::unique_ptr<BlockedFile>> open(
+      const std::filesystem::path& path, Backend backend) {
+    auto raw = detail::open_raw(path, backend);
+    if (!raw) return raw.status();
+    if (raw->header.weight_kind != weight_kind<W>()) {
+      return reliability::invalid_argument(
+          "blocked file " + path.string() + " holds weight kind " +
+          std::to_string(raw->header.weight_kind) + ", not " +
+          std::to_string(weight_kind<W>()));
+    }
+    // Record-size-aware bound: a block's payload must fit its frame.
+    // open_raw validated everything weight-agnostic already.
+    const std::size_t capacity = block_capacity_records<W>(raw->header.block_bytes);
+    for (const BlockIndexEntry& e : raw->blocks) {
+      if (e.record_count > capacity) {
+        return reliability::data_loss("blocked file " + path.string() +
+                                      " footer inconsistent: a block claims " +
+                                      std::to_string(e.record_count) +
+                                      " records, payload capacity is " +
+                                      std::to_string(capacity));
+      }
+    }
+    return std::unique_ptr<BlockedFile>(new BlockedFile(std::move(*raw)));
+  }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return static_cast<vertex_t>(raw_.header.num_vertices); }
+  [[nodiscard]] index_t num_records() const noexcept { return raw_.header.num_records; }
+  [[nodiscard]] std::uint32_t block_bytes() const noexcept { return raw_.header.block_bytes; }
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept { return raw_.header.num_blocks; }
+
+  [[nodiscard]] index_t record_offset(vertex_t v) const noexcept {
+    return raw_.offsets[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] index_t out_degree(vertex_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    return raw_.offsets[u + 1] - raw_.offsets[u];
+  }
+  [[nodiscard]] std::uint32_t start_block(vertex_t v) const noexcept {
+    return raw_.start_block[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const BlockIndexEntry& block_entry(std::uint32_t b) const noexcept {
+    return raw_.blocks[b];
+  }
+  [[nodiscard]] const index_t* offsets_data() const noexcept { return raw_.offsets.data(); }
+
+  [[nodiscard]] BlockSource& source() const noexcept { return *raw_.source; }
+
+  /// RAM-resident navigation metadata (the part that is not the cache).
+  [[nodiscard]] std::size_t metadata_bytes() const noexcept {
+    return raw_.offsets.size() * sizeof(index_t) +
+           raw_.start_block.size() * sizeof(std::uint32_t) +
+           raw_.blocks.size() * sizeof(BlockIndexEntry);
+  }
+
+  /// Registers the RAM-resident index with a tracing memory model
+  /// (block payloads live in cache frames and are modeled by
+  /// memsim::BlockIoSim instead).
+  template <typename Mem>
+  void map_buffers(Mem& mem) const {
+    mem.map_buffer(raw_.offsets.data(), raw_.offsets.size() * sizeof(index_t));
+    if (!raw_.start_block.empty()) {
+      mem.map_buffer(raw_.start_block.data(), raw_.start_block.size() * sizeof(std::uint32_t));
+    }
+    if (!raw_.blocks.empty()) {
+      mem.map_buffer(raw_.blocks.data(), raw_.blocks.size() * sizeof(BlockIndexEntry));
+    }
+  }
+
+ private:
+  explicit BlockedFile(detail::RawBlockedFile raw) : raw_(std::move(raw)) {}
+
+  detail::RawBlockedFile raw_;
+};
+
+}  // namespace cachegraph::store

@@ -1,0 +1,127 @@
+// cachegraph::store — the binary blocked on-disk format for
+// AdjacencyArray (the paper's thesis one level down the hierarchy:
+// contiguous whole-vertex neighbor runs, packed into fixed-size
+// blocks, so a DRAM-resident block cache streams neighbor records off
+// SSD the way a cache line streams them out of DRAM).
+//
+// File layout (all integers little-endian host order — this is a
+// same-architecture serving format like the ResultCache snapshot, not
+// an interchange format; the header's weight_kind and magic refuse
+// foreign files):
+//
+//   [FileHeader:64]                          checksummed
+//   [Block 0][Block 1]...[Block B-1]         each exactly block_bytes
+//   [footer: offsets  (n+1) * int64]         the CSR offsets array
+//   [        start_block  n * uint32]        vertex -> block of its run
+//   [        BlockIndexEntry * B]            block -> {first record, range}
+//   [footer checksum: fnv1a64 over the footer bytes]
+//
+// Each block: [BlockHeader:32][payload: record_count * sizeof
+// Neighbor<W>][zero padding to block_bytes]. A block holds whole-
+// vertex neighbor runs for a contiguous vertex range; the writer
+// starts a new block rather than split a run — except when a single
+// vertex's run exceeds one block's payload capacity, in which case the
+// run *continues* across consecutive blocks (record-granularity split,
+// detectable as first_record_b > offsets[first_vertex_b]).
+//
+// Integrity: the header and footer checksums are verified at open();
+// each block's checksum is verified at fault time, once per fill. The
+// block checksum is the *first* field of the block and covers every
+// byte after it — header fields, payload, and padding — so a flipped
+// bit anywhere in the block (or a pread that landed in the wrong
+// place, caught by the block_id field) surfaces as DATA_LOSS naming
+// the block id, never as a wrong neighbor record.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+
+namespace cachegraph::store {
+
+/// Format tag: bump the trailing digits on any layout change so an old
+/// binary refuses a new file (and vice versa) instead of misparsing it.
+inline constexpr char kStoreMagic[8] = {'C', 'G', 'B', 'L', 'K', 'S', '0', '1'};
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/// "This vertex's run starts nowhere" (degree 0): never dereferenced.
+inline constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+/// Encodes the weight type's identity (size | signedness | floatness)
+/// so an int32 file never deserializes into a double graph. Same
+/// encoding as the ResultCache snapshot's weight kind.
+template <Weight W>
+[[nodiscard]] constexpr std::uint32_t weight_kind() noexcept {
+  return static_cast<std::uint32_t>(sizeof(W)) | (std::is_signed_v<W> ? 0x100U : 0U) |
+         (std::is_floating_point_v<W> ? 0x200U : 0U);
+}
+
+#pragma pack(push, 1)
+
+/// 64 bytes at file offset 0. `header_checksum` is FNV-1a over the 56
+/// bytes preceding it.
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t weight_kind;
+  std::int64_t num_vertices;
+  std::int64_t num_records;
+  std::uint32_t block_bytes;
+  std::uint32_t num_blocks;
+  std::uint64_t reserved[2];
+  std::uint64_t header_checksum;
+};
+static_assert(sizeof(FileHeader) == 64);
+
+/// 32 bytes at the start of every block. `block_checksum` is FNV-1a
+/// over bytes [8, block_bytes) of the block — everything after the
+/// checksum field itself — so no header field or payload byte escapes
+/// verification. `block_id` is the block's own index (a pread that
+/// lands in the wrong place fails the identity check even if the
+/// foreign block's checksum is internally consistent). `first_record`
+/// is the global record index of the payload's first record (the CSR
+/// coordinate system): a block's payload covers global records
+/// [first_record, first_record + record_count).
+struct BlockHeader {
+  std::uint64_t block_checksum;
+  std::uint32_t block_id;
+  std::uint32_t first_vertex;  ///< vertex owning the first payload record
+  std::uint32_t vertex_count;  ///< distinct vertices with >=1 record here
+  std::uint32_t record_count;
+  std::uint64_t first_record;
+};
+static_assert(sizeof(BlockHeader) == 32);
+
+/// One footer entry per block (block id implicit by position) — the
+/// RAM-resident index the reader navigates with, so locating a run
+/// never touches a block it will not read.
+struct BlockIndexEntry {
+  std::int64_t first_record;
+  std::uint32_t first_vertex;
+  std::uint32_t record_count;
+};
+static_assert(sizeof(BlockIndexEntry) == 16);
+
+#pragma pack(pop)
+
+/// Payload capacity of one block.
+[[nodiscard]] constexpr std::size_t block_payload_bytes(std::size_t block_bytes) noexcept {
+  return block_bytes - sizeof(BlockHeader);
+}
+
+/// Records of W that fit in one block's payload.
+template <Weight W>
+[[nodiscard]] constexpr std::size_t block_capacity_records(std::size_t block_bytes) noexcept {
+  return block_payload_bytes(block_bytes) / sizeof(graph::Neighbor<W>);
+}
+
+/// Smallest block size the writer accepts: room for the header plus at
+/// least one record of the widest supported weight (double: 12 bytes,
+/// padded to 16 by Neighbor's alignment).
+inline constexpr std::size_t kMinBlockBytes = 64;
+inline constexpr std::size_t kDefaultBlockBytes = 1u << 16;  ///< 64 KiB
+
+}  // namespace cachegraph::store

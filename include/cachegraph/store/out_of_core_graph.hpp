@@ -1,0 +1,172 @@
+// OutOfCoreGraph — an AdjacencyArray that does not fit in RAM.
+//
+// Satisfies the same GraphRep surface as the in-memory layouts
+// (`for_neighbors`, `map_buffers`, `footprint_bytes`), so search_core,
+// QueryEngine, BatchEngine, and the analytics Workspace compose with
+// it unchanged. Neighbor scans fault blocks on demand through a
+// BlockCache; the RAM-resident footer index (CSR offsets + vertex →
+// block) makes every scan touch exactly the blocks holding the run.
+//
+// Pins are scoped to one block at a time: a run spanning blocks
+// b, b+1, ... unpins b before pinning b+1, which is what makes a
+// 1-frame cache budget deadlock-free (see block_cache.hpp).
+//
+// Error model: `for_neighbors` shares its signature with in-memory
+// graphs, which cannot fail — so a block that cannot be read or fails
+// verification throws reliability::DataLossError (naming the block).
+// The hardened query surfaces (try_serve / try_run) catch it and
+// return a DATA_LOSS Status; a corrupt block therefore poisons the
+// requests that touch it, never the answer.
+//
+// When a memsim::BlockIoSim is attached, every pin is mirrored into
+// the simulator (serialized by an internal mutex); on a serial
+// workload with matching budget/shards the simulated fault count
+// equals the cache's real miss count exactly.
+#pragma once
+
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/memsim/block_io.hpp"
+#include "cachegraph/memsim/mem_policy.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/store/block_cache.hpp"
+#include "cachegraph/store/blocked_file.hpp"
+
+namespace cachegraph::store {
+
+template <Weight W>
+class OutOfCoreGraph {
+ public:
+  using weight_type = W;
+
+  /// `file` and `cache` must outlive the graph; the cache must be
+  /// built over `file.source()` with `file.block_bytes()`.
+  OutOfCoreGraph(const BlockedFile<W>& file, BlockCache& cache) noexcept
+      : file_(&file), cache_(&cache) {}
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return file_->num_vertices(); }
+  [[nodiscard]] index_t num_edges() const noexcept { return file_->num_records(); }
+  [[nodiscard]] index_t out_degree(vertex_t v) const noexcept { return file_->out_degree(v); }
+  [[nodiscard]] index_t record_offset(vertex_t v) const noexcept {
+    return file_->record_offset(v);
+  }
+
+  /// Mirror every pin into `sim` (pass nullptr to detach). The mirror
+  /// is mutex-serialized; attach only for single-threaded replays
+  /// where the predicted fault count is meaningful.
+  void attach_sim(memsim::BlockIoSim* sim) noexcept { sim_ = sim; }
+
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t v, Mem& mem, Fn&& fn) const {
+    const index_t r0 = file_->record_offset(v);
+    const index_t r1 = file_->record_offset(v + 1);
+    mem.read(file_->offsets_data() + v);
+    mem.read(file_->offsets_data() + v + 1);
+    if (r0 == r1) return;
+    std::uint32_t b = file_->start_block(v);
+    index_t rec = r0;
+    while (rec < r1) {
+      const BlockRef ref = pin_checked(b);  // unpinned before the next iteration's pin
+      const BlockIndexEntry& e = file_->block_entry(b);
+      const index_t block_end = e.first_record + e.record_count;
+      const index_t take = (r1 < block_end ? r1 : block_end) - rec;
+      const auto* p =
+          reinterpret_cast<const graph::Neighbor<W>*>(ref.payload()) + (rec - e.first_record);
+      for (index_t i = 0; i < take; ++i) {
+        mem.read(p + i);
+        fn(p[i]);
+      }
+      rec += take;
+      ++b;
+    }
+  }
+
+  /// Scratch for the span surface: holds the pin (single-block runs)
+  /// or an assembled copy (runs spanning blocks). Reuse across calls;
+  /// each call invalidates the previous span.
+  struct PinnedRun {
+    BlockRef ref;
+    std::vector<graph::Neighbor<W>> scratch;
+  };
+
+  /// The `neighbors(v)` span surface of AdjacencyArray, with the pin's
+  /// lifetime made explicit: the span is valid while `run` is alive
+  /// and unmodified. Single-block runs are zero-copy views into the
+  /// cached frame; spanning runs are assembled into `run.scratch`.
+  [[nodiscard]] std::span<const graph::Neighbor<W>> neighbors(vertex_t v, PinnedRun& run) const {
+    run.ref.release();
+    const index_t r0 = file_->record_offset(v);
+    const index_t r1 = file_->record_offset(v + 1);
+    if (r0 == r1) return {};
+    std::uint32_t b = file_->start_block(v);
+    {
+      BlockRef ref = pin_checked(b);
+      const BlockIndexEntry& e = file_->block_entry(b);
+      if (r1 <= e.first_record + e.record_count) {  // whole run in one block
+        const auto* p = reinterpret_cast<const graph::Neighbor<W>*>(ref.payload()) +
+                        (r0 - e.first_record);
+        run.ref = std::move(ref);
+        return {p, static_cast<std::size_t>(r1 - r0)};
+      }
+    }
+    run.scratch.clear();
+    run.scratch.reserve(static_cast<std::size_t>(r1 - r0));
+    memsim::NullMem mem;
+    for_neighbors(v, mem, [&](const graph::Neighbor<W>& nb) { run.scratch.push_back(nb); });
+    return {run.scratch.data(), run.scratch.size()};
+  }
+
+  /// Registers the RAM-resident index with a tracing memory model;
+  /// block payloads are modeled by BlockIoSim, not the DRAM hierarchy.
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    if constexpr (Mem::tracing) {
+      file_->map_buffers(mem);
+    }
+  }
+
+  /// Resident bytes: navigation metadata plus the cache's frame budget
+  /// — the point of the exercise is that this is much smaller than the
+  /// file.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return file_->metadata_bytes() +
+           cache_->capacity_blocks() * std::size_t{cache_->block_bytes()};
+  }
+
+  [[nodiscard]] const BlockedFile<W>& file() const noexcept { return *file_; }
+  [[nodiscard]] BlockCache& cache() const noexcept { return *cache_; }
+
+ private:
+  [[nodiscard]] BlockRef pin_checked(std::uint32_t b) const {
+    if (sim_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(sim_mu_);
+      sim_->access(b);
+    }
+    auto ref = cache_->pin(b);
+    if (!ref) throw reliability::DataLossError(ref.status().message());
+    // Defense in depth: the frame's own header must agree with the
+    // (independently checksummed) footer index before we address
+    // records through it.
+    const BlockHeader& h = ref->header();
+    const BlockIndexEntry& e = file_->block_entry(b);
+    if (h.first_record != static_cast<std::uint64_t>(e.first_record) ||
+        h.record_count != e.record_count) {
+      throw reliability::DataLossError("block " + std::to_string(b) +
+                                       " header disagrees with the footer index");
+    }
+    return std::move(*ref);
+  }
+
+  const BlockedFile<W>* file_;
+  BlockCache* cache_;
+  memsim::BlockIoSim* sim_ = nullptr;
+  mutable std::mutex sim_mu_;
+};
+
+}  // namespace cachegraph::store

@@ -1,0 +1,210 @@
+// write_blocked — serializes an AdjacencyArray into the blocked
+// on-disk format (format.hpp).
+//
+// Packing policy: blocks hold whole-vertex neighbor runs. A run that
+// does not fit in the current block's remaining payload starts a new
+// block (padding the old one with zeros) — locality over density,
+// exactly the paper's trade. The one exception is a run larger than an
+// entire block's payload: it spans consecutive blocks at record
+// granularity, because the alternative (unbounded block size) would
+// break the fixed frame budget.
+//
+// Durability: the file streams to `path + ".tmp"`, is fsync'd, then
+// commits via io::commit_rename (rename + parent-directory fsync) —
+// the same discipline as ResultCache snapshots, so a crash leaves
+// either the previous complete file or the new one, never a torn mix.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "cachegraph/common/atomic_file.hpp"
+#include "cachegraph/common/checksum.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/store/format.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace cachegraph::store {
+
+struct WriteOptions {
+  std::size_t block_bytes = kDefaultBlockBytes;
+};
+
+namespace detail {
+
+/// The packing plan: everything the header and footer need, computed
+/// before a single byte is written.
+struct PackPlan {
+  std::vector<std::uint32_t> start_block;   // vertex -> first block of its run
+  std::vector<BlockIndexEntry> blocks;      // block -> {first_record, first_vertex, count}
+  std::vector<std::uint32_t> vertex_count;  // block -> distinct vertices with records here
+};
+
+template <Weight W>
+[[nodiscard]] PackPlan pack_blocks(const graph::AdjacencyArray<W>& g, std::size_t capacity) {
+  PackPlan plan;
+  const vertex_t n = g.num_vertices();
+  plan.start_block.assign(static_cast<std::size_t>(n), kNoBlock);
+
+  std::size_t cur_count = 0;  // records in the currently open block
+  bool open = false;
+  const auto open_block = [&](index_t first_record, vertex_t first_vertex) {
+    plan.blocks.push_back(BlockIndexEntry{first_record, static_cast<std::uint32_t>(first_vertex),
+                                          0});
+    plan.vertex_count.push_back(0);
+    cur_count = 0;
+    open = true;
+  };
+  const auto close_block = [&] {
+    plan.blocks.back().record_count = static_cast<std::uint32_t>(cur_count);
+    open = false;
+  };
+
+  for (vertex_t v = 0; v < n; ++v) {
+    const auto deg = static_cast<std::size_t>(g.out_degree(v));
+    if (deg == 0) continue;  // start_block stays kNoBlock
+    if (open && cur_count + deg > capacity) close_block();
+    if (!open) open_block(g.record_offset(v), v);
+    plan.start_block[static_cast<std::size_t>(v)] =
+        static_cast<std::uint32_t>(plan.blocks.size() - 1);
+    ++plan.vertex_count.back();
+    std::size_t rem = deg;
+    std::size_t take = std::min(rem, capacity - cur_count);
+    cur_count += take;
+    rem -= take;
+    while (rem > 0) {  // oversized run: continue into fresh blocks
+      close_block();
+      open_block(g.record_offset(v) + static_cast<index_t>(deg - rem), v);
+      ++plan.vertex_count.back();
+      take = std::min(rem, capacity);
+      cur_count = take;
+      rem -= take;
+    }
+  }
+  if (open) close_block();
+  return plan;
+}
+
+inline void append_bytes(std::vector<std::byte>& out, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+}  // namespace detail
+
+/// Writes `g` to `path` in the blocked format. INVALID_ARGUMENT for an
+/// unusable block size; RESOURCE_EXHAUSTED for I/O failures (tmp file
+/// removed, any previous file at `path` left intact).
+template <Weight W>
+[[nodiscard]] reliability::Status write_blocked(const std::filesystem::path& path,
+                                                const graph::AdjacencyArray<W>& g,
+                                                WriteOptions opt = {}) {
+  if (opt.block_bytes < kMinBlockBytes || opt.block_bytes > (1u << 30)) {
+    return reliability::invalid_argument("block_bytes out of range: " +
+                                         std::to_string(opt.block_bytes));
+  }
+  const std::size_t capacity = block_capacity_records<W>(opt.block_bytes);
+  if (capacity == 0) {
+    return reliability::invalid_argument("block_bytes too small for one record");
+  }
+
+  detail::PackPlan plan = detail::pack_blocks(g, capacity);
+  if (plan.blocks.size() >= kNoBlock) {
+    return reliability::invalid_argument("graph needs too many blocks for this block size");
+  }
+
+  const vertex_t n = g.num_vertices();
+  FileHeader header{};
+  std::memcpy(header.magic, kStoreMagic, sizeof(header.magic));
+  header.version = kStoreVersion;
+  header.weight_kind = weight_kind<W>();
+  header.num_vertices = n;
+  header.num_records = g.num_edges();
+  header.block_bytes = static_cast<std::uint32_t>(opt.block_bytes);
+  header.num_blocks = static_cast<std::uint32_t>(plan.blocks.size());
+  header.header_checksum = fnv1a64(&header, sizeof(header) - sizeof(header.header_checksum));
+
+  const std::string tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return reliability::resource_exhausted("cannot open " + tmp + " for writing");
+  }
+  const auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return reliability::resource_exhausted(what + " writing " + path.string());
+  };
+  const auto put = [&](const void* data, std::size_t size) {
+    return std::fwrite(data, 1, size, f) == size;
+  };
+
+  if (!put(&header, sizeof(header))) return fail("I/O failure");
+
+  // Blocks: assembled one at a time in a reusable buffer so the writer
+  // streams in O(block_bytes) memory regardless of graph size.
+  std::vector<std::byte> block(opt.block_bytes);
+  const std::span<const graph::Neighbor<W>> records = g.records();
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    const BlockIndexEntry& e = plan.blocks[b];
+    std::memset(block.data(), 0, block.size());
+    BlockHeader bh{};
+    bh.block_id = static_cast<std::uint32_t>(b);
+    bh.first_vertex = e.first_vertex;
+    bh.vertex_count = plan.vertex_count[b];
+    bh.record_count = e.record_count;
+    bh.first_record = static_cast<std::uint64_t>(e.first_record);
+    std::memcpy(block.data() + sizeof(BlockHeader),
+                records.data() + e.first_record,
+                std::size_t{e.record_count} * sizeof(graph::Neighbor<W>));
+    std::memcpy(block.data(), &bh, sizeof(bh));
+    const std::uint64_t sum = fnv1a64(block.data() + sizeof(bh.block_checksum),
+                                      block.size() - sizeof(bh.block_checksum));
+    std::memcpy(block.data(), &sum, sizeof(sum));
+    if (!put(block.data(), block.size())) return fail("I/O failure");
+  }
+
+  // Footer: offsets, start_block, block index, then its checksum.
+  std::vector<std::byte> footer;
+  footer.reserve(static_cast<std::size_t>(n + 1) * sizeof(index_t) +
+                 static_cast<std::size_t>(n) * sizeof(std::uint32_t) +
+                 plan.blocks.size() * sizeof(BlockIndexEntry));
+  for (vertex_t v = 0; v <= n; ++v) {
+    const index_t off = g.record_offset(v);
+    detail::append_bytes(footer, &off, sizeof(off));
+  }
+  if (n > 0) {
+    detail::append_bytes(footer, plan.start_block.data(),
+                         plan.start_block.size() * sizeof(std::uint32_t));
+  }
+  if (!plan.blocks.empty()) {
+    detail::append_bytes(footer, plan.blocks.data(),
+                         plan.blocks.size() * sizeof(BlockIndexEntry));
+  }
+  const std::uint64_t footer_sum = fnv1a64(footer.data(), footer.size());
+  if (!put(footer.data(), footer.size()) || !put(&footer_sum, sizeof(footer_sum))) {
+    return fail("I/O failure");
+  }
+
+  bool ok = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = ::fsync(fileno(f)) == 0 && ok;
+#endif
+  if (!ok) return fail("flush/fsync failure");
+  if (std::fclose(f) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return reliability::resource_exhausted("close failure writing " + path.string());
+  }
+  return io::commit_rename(tmp, path);
+}
+
+}  // namespace cachegraph::store

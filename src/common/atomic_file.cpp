@@ -1,0 +1,69 @@
+#include "cachegraph/common/atomic_file.hpp"
+
+#include <cstdio>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace cachegraph::io {
+
+reliability::Status fsync_parent_dir(const std::filesystem::path& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return reliability::resource_exhausted("cannot open directory " + dir.string() +
+                                           " for fsync");
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    return reliability::resource_exhausted("fsync failed on directory " + dir.string());
+  }
+#else
+  (void)path;  // no directory fsync on this platform; rename is best effort
+#endif
+  return {};
+}
+
+reliability::Status commit_rename(const std::filesystem::path& tmp,
+                                  const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return reliability::resource_exhausted("rename " + tmp.string() + " -> " + path.string() +
+                                           " failed: " + ec.message());
+  }
+  // The rename is visible; the directory fsync makes it durable. A
+  // failure here leaves a complete, correctly-named file — report it
+  // (the caller's durability promise is broken) but nothing to undo.
+  return fsync_parent_dir(path);
+}
+
+reliability::Status write_file_durable(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return reliability::resource_exhausted("cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fflush(f) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = ::fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return reliability::resource_exhausted("I/O failure writing " + path);
+  }
+  return commit_rename(tmp, path);
+}
+
+}  // namespace cachegraph::io

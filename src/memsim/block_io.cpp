@@ -1,0 +1,57 @@
+#include "cachegraph/memsim/block_io.hpp"
+
+#include <sstream>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/json.hpp"
+
+namespace cachegraph::memsim {
+
+std::string BlockIoSim::Stats::to_json() const {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("accesses").value(accesses);
+  w.key("faults").value(faults);
+  w.key("evictions").value(evictions);
+  w.key("hit_rate").value(hit_rate());
+  w.end_object();
+  return os.str();
+}
+
+BlockIoSim::BlockIoSim(Config cfg) : frames_(cfg.frames) {
+  CG_CHECK(cfg.frames >= 1, "BlockIoSim needs at least one frame");
+  const std::size_t shards = resolve_block_shards(cfg.frames, cfg.shards);
+  shards_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_[s].capacity = block_shard_frames(cfg.frames, shards, s);
+  }
+}
+
+void BlockIoSim::access(std::uint32_t block_id) {
+  Shard& sh = shards_[block_shard_of(block_id, shards_.size())];
+  ++stats_.accesses;
+  const auto it = sh.where.find(block_id);
+  if (it != sh.where.end()) {
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // re-anchor as MRU
+    return;
+  }
+  ++stats_.faults;
+  if (sh.lru.size() >= sh.capacity) {
+    ++stats_.evictions;
+    sh.where.erase(sh.lru.back());
+    sh.lru.pop_back();
+  }
+  sh.lru.push_front(block_id);
+  sh.where.emplace(block_id, sh.lru.begin());
+}
+
+void BlockIoSim::reset() {
+  for (Shard& sh : shards_) {
+    sh.lru.clear();
+    sh.where.clear();
+  }
+  stats_ = Stats{};
+}
+
+}  // namespace cachegraph::memsim

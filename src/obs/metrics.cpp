@@ -1,16 +1,11 @@
 #include "cachegraph/obs/metrics.hpp"
 
 #include <cctype>
-#include <cstdio>
-#include <filesystem>
 #include <sstream>
 
+#include "cachegraph/common/atomic_file.hpp"
 #include "cachegraph/common/json.hpp"
 #include "cachegraph/obs/counters.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
 
 namespace cachegraph::obs {
 
@@ -133,28 +128,11 @@ void MetricsRegistry::render_json(std::ostream& os) const {
 
 namespace detail {
 reliability::Status write_file_atomic(const std::string& path, std::string_view content) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return reliability::resource_exhausted("cannot open " + tmp + " for writing");
-  }
-  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  ok = std::fflush(f) == 0 && ok;
-#if defined(__unix__) || defined(__APPLE__)
-  ok = fsync(fileno(f)) == 0 && ok;
-#endif
-  ok = std::fclose(f) == 0 && ok;
-  if (ok) {
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    ok = !ec;
-  }
-  if (!ok) {
-    std::error_code ec;
-    std::filesystem::remove(tmp, ec);
-    return reliability::resource_exhausted("I/O failure writing " + path);
-  }
-  return {};
+  // One durable-write discipline for the whole codebase (tmp + fsync +
+  // rename + parent-dir fsync) — the local implementation this used to
+  // carry skipped the directory fsync, so a crash right after "success"
+  // could silently roll the rename back.
+  return io::write_file_durable(path, content);
 }
 }  // namespace detail
 

@@ -1,0 +1,230 @@
+#include "cachegraph/store/block_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/checksum.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/metrics.hpp"
+
+namespace cachegraph::store {
+namespace {
+
+/// Reads + verifies one block into `dst`. All failures are DATA_LOSS
+/// naming the block id — the caller reports them verbatim.
+[[nodiscard]] reliability::Status fill_frame(BlockSource& source, std::uint32_t block_id,
+                                             std::byte* dst, std::uint32_t block_bytes) {
+  if (reliability::Status st = source.read_block(block_id, {dst, block_bytes}); !st.is_ok()) {
+    return st;
+  }
+  BlockHeader hdr;  // NOLINT(cppcoreguidelines-pro-type-member-init) — memcpy fills it
+  std::memcpy(&hdr, dst, sizeof(hdr));
+  const std::uint64_t computed =
+      fnv1a64(dst + sizeof(hdr.block_checksum), block_bytes - sizeof(hdr.block_checksum));
+  if (computed != hdr.block_checksum) {
+    return reliability::data_loss("block " + std::to_string(block_id) +
+                                  " failed checksum verification (stored " +
+                                  std::to_string(hdr.block_checksum) + ", computed " +
+                                  std::to_string(computed) + ")");
+  }
+  if (hdr.block_id != block_id) {
+    return reliability::data_loss("block " + std::to_string(block_id) +
+                                  ": header identifies block " + std::to_string(hdr.block_id));
+  }
+  return {};
+}
+
+}  // namespace
+
+BlockCache::BlockCache(BlockSource& source, std::uint32_t block_bytes, std::uint32_t num_blocks,
+                       Config cfg)
+    : source_(source), block_bytes_(block_bytes), num_blocks_(num_blocks) {
+  CG_CHECK(block_bytes >= kMinBlockBytes, "block_bytes below minimum");
+  capacity_ = std::max<std::size_t>(1, cfg.capacity_blocks);
+  if (num_blocks > 0) capacity_ = std::min<std::size_t>(capacity_, num_blocks);
+  const std::size_t shards = memsim::resolve_block_shards(capacity_, cfg.shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    const std::size_t frames = memsim::block_shard_frames(capacity_, shards, s);
+    sh->frames.resize(frames);
+    sh->free_frames.reserve(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+      sh->frames[i].data = std::make_unique<std::byte[]>(block_bytes);
+      sh->free_frames.push_back(static_cast<std::uint32_t>(i));
+    }
+    shards_.push_back(std::move(sh));
+  }
+}
+
+void BlockCache::lru_remove(Shard& sh, std::uint32_t idx) noexcept {
+  Frame& f = sh.frames[idx];
+  if (f.lru_prev != kNone) {
+    sh.frames[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    sh.lru_head = f.lru_next;
+  }
+  if (f.lru_next != kNone) {
+    sh.frames[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    sh.lru_tail = f.lru_prev;
+  }
+  f.lru_prev = f.lru_next = kNone;
+}
+
+void BlockCache::lru_push_tail(Shard& sh, std::uint32_t idx) noexcept {
+  Frame& f = sh.frames[idx];
+  f.lru_prev = sh.lru_tail;
+  f.lru_next = kNone;
+  if (sh.lru_tail != kNone) {
+    sh.frames[sh.lru_tail].lru_next = idx;
+  } else {
+    sh.lru_head = idx;
+  }
+  sh.lru_tail = idx;
+}
+
+std::uint32_t BlockCache::lru_pop_head(Shard& sh) noexcept {
+  const std::uint32_t idx = sh.lru_head;
+  lru_remove(sh, idx);
+  return idx;
+}
+
+void BlockCache::note_pin() noexcept {
+  const std::uint64_t now = pinned_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t high = pinned_high_water_.load(std::memory_order_relaxed);
+  while (now > high &&
+         !pinned_high_water_.compare_exchange_weak(high, now, std::memory_order_relaxed)) {
+  }
+  CG_COUNTER_MAX("store.cache.pinned_high_water", now);
+}
+
+reliability::Expected<BlockRef> BlockCache::pin(std::uint32_t block_id) {
+  CG_CHECK(block_id < num_blocks_, "BlockCache::pin: block id out of range");
+  const auto si = static_cast<std::uint32_t>(memsim::block_shard_of(block_id, shards_.size()));
+  Shard& sh = *shards_[si];
+  std::unique_lock<std::mutex> lock(sh.mu);
+  for (;;) {
+    const auto it = sh.resident.find(block_id);
+    if (it != sh.resident.end()) {
+      const std::uint32_t idx = it->second;
+      Frame& f = sh.frames[idx];
+      if (f.state == Frame::State::kFilling) {
+        sh.cv.wait(lock);  // another thread's read is in flight; no duplicate I/O
+        continue;
+      }
+      if (f.pins == 0) lru_remove(sh, idx);
+      ++f.pins;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("store.cache.hits");
+      note_pin();
+      return BlockRef(this, si, idx, f.data.get());
+    }
+
+    // Miss: claim a frame — free first, then the LRU victim, else wait
+    // for an unpin/fill to free one (see the header's deadlock note).
+    std::uint32_t idx = kNone;
+    if (!sh.free_frames.empty()) {
+      idx = sh.free_frames.back();
+      sh.free_frames.pop_back();
+    } else if (sh.lru_head != kNone) {
+      idx = lru_pop_head(sh);
+      Frame& victim = sh.frames[idx];
+      sh.resident.erase(victim.block_id);
+      victim.block_id = kNoBlock;
+      victim.state = Frame::State::kEmpty;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("store.cache.evictions");
+    } else {
+      sh.cv.wait(lock);
+      continue;
+    }
+
+    Frame& f = sh.frames[idx];
+    f.block_id = block_id;
+    f.state = Frame::State::kFilling;
+    f.pins = 0;
+    sh.resident.emplace(block_id, idx);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CG_COUNTER_INC("store.cache.misses");
+
+    lock.unlock();  // I/O and checksum verification never hold the shard lock
+    reliability::Status st = fill_frame(source_, block_id, f.data.get(), block_bytes_);
+    lock.lock();
+
+    if (st.is_ok()) {
+      f.state = Frame::State::kValid;
+      f.pins = 1;
+      sh.cv.notify_all();
+      note_pin();
+      return BlockRef(this, si, idx, f.data.get());
+    }
+    // Abandon the fill: waiters re-dispatch (and will fail the same
+    // way themselves), the frame returns to the free pool.
+    sh.resident.erase(block_id);
+    f.block_id = kNoBlock;
+    f.state = Frame::State::kEmpty;
+    sh.free_frames.push_back(idx);
+    fill_failures_.fetch_add(1, std::memory_order_relaxed);
+    CG_COUNTER_INC("store.cache.fill_failures");
+    sh.cv.notify_all();
+    return st;
+  }
+}
+
+void BlockCache::unpin(std::uint32_t shard, std::uint32_t frame) noexcept {
+  Shard& sh = *shards_[shard];
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  Frame& f = sh.frames[frame];
+  CG_DCHECK(f.pins > 0, "unpin of an unpinned frame");
+  if (--f.pins == 0) {
+    lru_push_tail(sh, frame);
+    sh.cv.notify_all();  // a fault may be waiting for an evictable frame
+  }
+  pinned_now_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.fill_failures = fill_failures_.load(std::memory_order_relaxed);
+  st.pinned_now = pinned_now_.load(std::memory_order_relaxed);
+  st.pinned_high_water = pinned_high_water_.load(std::memory_order_relaxed);
+  st.capacity_blocks = capacity_;
+  st.shards = shards_.size();
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mu);
+    for (const Frame& f : sh->frames) {
+      if (f.state == Frame::State::kValid) ++st.cached_blocks;
+    }
+  }
+  return st;
+}
+
+void BlockCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  fill_failures_.store(0, std::memory_order_relaxed);
+  pinned_high_water_.store(pinned_now_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+void BlockCache::publish_gauges() const {
+  const Stats st = stats();
+  auto& mr = obs::MetricsRegistry::instance();
+  static obs::Gauge& g_capacity = mr.gauge("store.cache.capacity_blocks");
+  static obs::Gauge& g_cached = mr.gauge("store.cache.cached_blocks");
+  static obs::Gauge& g_pinned = mr.gauge("store.cache.pinned");
+  static obs::Gauge& g_hit_rate = mr.gauge("store.cache.hit_rate");
+  g_capacity.set(static_cast<double>(st.capacity_blocks));
+  g_cached.set(static_cast<double>(st.cached_blocks));
+  g_pinned.set(static_cast<double>(st.pinned_now));
+  g_hit_rate.set(st.hit_rate());
+}
+
+}  // namespace cachegraph::store

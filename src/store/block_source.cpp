@@ -1,0 +1,190 @@
+#include "cachegraph/store/block_source.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define CACHEGRAPH_HAVE_UNIX_IO 1
+#else
+#define CACHEGRAPH_HAVE_UNIX_IO 0
+#endif
+
+namespace cachegraph::store {
+namespace {
+
+[[nodiscard]] reliability::Status short_file_error(const std::filesystem::path& path,
+                                                   std::uint64_t need, std::uint64_t got) {
+  return reliability::data_loss("blocked file " + path.string() + " truncated: need " +
+                                std::to_string(need) + " bytes for block region, file has " +
+                                std::to_string(got));
+}
+
+#if CACHEGRAPH_HAVE_UNIX_IO
+
+class PreadSource final : public BlockSource {
+ public:
+  PreadSource(int fd, std::uint64_t data_offset, std::uint32_t block_bytes) noexcept
+      : fd_(fd), data_offset_(data_offset), block_bytes_(block_bytes) {}
+
+  ~PreadSource() override { ::close(fd_); }
+
+  PreadSource(const PreadSource&) = delete;
+  PreadSource& operator=(const PreadSource&) = delete;
+
+  reliability::Status read_block(std::uint32_t block_id,
+                                 std::span<std::byte> dst) noexcept override {
+    if (dst.size() != block_bytes_) {
+      return reliability::invalid_argument("frame size does not match block_bytes");
+    }
+    const auto base =
+        static_cast<off_t>(data_offset_ + std::uint64_t{block_id} * block_bytes_);
+    std::size_t done = 0;
+    while (done < dst.size()) {
+      const ssize_t n = ::pread(fd_, dst.data() + done, dst.size() - done,
+                                base + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return reliability::data_loss("pread failed on block " + std::to_string(block_id) +
+                                      ": " + std::strerror(errno));
+      }
+      if (n == 0) {
+        return reliability::data_loss("pread hit EOF inside block " + std::to_string(block_id) +
+                                      " (file truncated under us)");
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return {};
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "pread"; }
+
+ private:
+  int fd_;
+  std::uint64_t data_offset_;
+  std::uint32_t block_bytes_;
+};
+
+class MmapSource final : public BlockSource {
+ public:
+  MmapSource(const std::byte* map, std::size_t map_bytes, std::uint64_t data_offset,
+             std::uint32_t block_bytes) noexcept
+      : map_(map), map_bytes_(map_bytes), data_offset_(data_offset), block_bytes_(block_bytes) {}
+
+  ~MmapSource() override {
+    ::munmap(const_cast<std::byte*>(map_), map_bytes_);  // NOLINT(cppcoreguidelines-pro-type-const-cast)
+  }
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  reliability::Status read_block(std::uint32_t block_id,
+                                 std::span<std::byte> dst) noexcept override {
+    if (dst.size() != block_bytes_) {
+      return reliability::invalid_argument("frame size does not match block_bytes");
+    }
+    const std::uint64_t off = data_offset_ + std::uint64_t{block_id} * block_bytes_;
+    std::memcpy(dst.data(), map_ + off, dst.size());
+    return {};
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "mmap"; }
+
+ private:
+  const std::byte* map_;
+  std::size_t map_bytes_;
+  std::uint64_t data_offset_;
+  std::uint32_t block_bytes_;
+};
+
+#else  // !CACHEGRAPH_HAVE_UNIX_IO
+
+// Portable fallback: one FILE* guarded by a mutex. Correct, serial.
+class PreadSource final : public BlockSource {
+ public:
+  PreadSource(std::FILE* f, std::uint64_t data_offset, std::uint32_t block_bytes) noexcept
+      : f_(f), data_offset_(data_offset), block_bytes_(block_bytes) {}
+
+  ~PreadSource() override { std::fclose(f_); }
+
+  PreadSource(const PreadSource&) = delete;
+  PreadSource& operator=(const PreadSource&) = delete;
+
+  reliability::Status read_block(std::uint32_t block_id,
+                                 std::span<std::byte> dst) noexcept override {
+    if (dst.size() != block_bytes_) {
+      return reliability::invalid_argument("frame size does not match block_bytes");
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto off =
+        static_cast<long>(data_offset_ + std::uint64_t{block_id} * block_bytes_);
+    if (std::fseek(f_, off, SEEK_SET) != 0 ||
+        std::fread(dst.data(), 1, dst.size(), f_) != dst.size()) {
+      return reliability::data_loss("read failed on block " + std::to_string(block_id));
+    }
+    return {};
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "pread"; }
+
+ private:
+  std::FILE* f_;
+  std::mutex mu_;
+  std::uint64_t data_offset_;
+  std::uint32_t block_bytes_;
+};
+
+#endif  // CACHEGRAPH_HAVE_UNIX_IO
+
+}  // namespace
+
+reliability::Expected<std::unique_ptr<BlockSource>> make_block_source(
+    const std::filesystem::path& path, Backend backend, std::uint64_t data_offset,
+    std::uint32_t block_bytes, std::uint32_t num_blocks) {
+  std::error_code ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return reliability::data_loss("cannot stat blocked file " + path.string() + ": " +
+                                  ec.message());
+  }
+  const std::uint64_t need = data_offset + std::uint64_t{block_bytes} * num_blocks;
+  if (file_bytes < need) return short_file_error(path, need, file_bytes);
+
+#if CACHEGRAPH_HAVE_UNIX_IO
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return reliability::data_loss("cannot open blocked file " + path.string() + ": " +
+                                  std::strerror(errno));
+  }
+  if (backend == Backend::kPread) {
+    return std::unique_ptr<BlockSource>(new PreadSource(fd, data_offset, block_bytes));
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(file_bytes), PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return reliability::data_loss("mmap failed on " + path.string() + ": " +
+                                  std::strerror(errno));
+  }
+  return std::unique_ptr<BlockSource>(new MmapSource(static_cast<const std::byte*>(map),
+                                                     static_cast<std::size_t>(file_bytes),
+                                                     data_offset, block_bytes));
+#else
+  if (backend == Backend::kMmap) {
+    return reliability::invalid_argument("mmap backend is not available on this platform");
+  }
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) {
+    return reliability::data_loss("cannot open blocked file " + path.string());
+  }
+  return std::unique_ptr<BlockSource>(new PreadSource(f, data_offset, block_bytes));
+#endif
+}
+
+}  // namespace cachegraph::store

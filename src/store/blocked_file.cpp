@@ -1,0 +1,147 @@
+#include "cachegraph/store/blocked_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <system_error>
+
+#include "cachegraph/common/checksum.hpp"
+
+namespace cachegraph::store::detail {
+namespace {
+
+[[nodiscard]] reliability::Status damaged(const std::filesystem::path& path,
+                                          const std::string& what) {
+  return reliability::data_loss("blocked file " + path.string() + " " + what);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+reliability::Expected<RawBlockedFile> open_raw(const std::filesystem::path& path,
+                                               Backend backend) {
+  std::error_code ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return reliability::data_loss("cannot stat blocked file " + path.string() + ": " +
+                                  ec.message());
+  }
+
+  FilePtr f(std::fopen(path.string().c_str(), "rb"));
+  if (!f) return reliability::data_loss("cannot open blocked file " + path.string());
+
+  RawBlockedFile raw;
+  if (std::fread(&raw.header, 1, sizeof(raw.header), f.get()) != sizeof(raw.header)) {
+    return damaged(path, "truncated: shorter than the file header");
+  }
+  const FileHeader& h = raw.header;
+  if (std::memcmp(h.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return reliability::invalid_argument(path.string() + " is not a blocked graph file");
+  }
+  if (h.version != kStoreVersion) {
+    return reliability::invalid_argument("blocked file " + path.string() + " is version " +
+                                         std::to_string(h.version) + ", expected " +
+                                         std::to_string(kStoreVersion));
+  }
+  const std::uint64_t computed =
+      fnv1a64(&h, sizeof(h) - sizeof(h.header_checksum));
+  if (computed != h.header_checksum) {
+    return damaged(path, "header failed checksum verification");
+  }
+  if (h.num_vertices < 0 || h.num_records < 0 || h.block_bytes < kMinBlockBytes ||
+      h.num_blocks >= kNoBlock) {
+    return damaged(path, "header fields out of range");
+  }
+
+  const auto n = static_cast<std::uint64_t>(h.num_vertices);
+  const std::uint64_t footer_bytes = (n + 1) * sizeof(index_t) + n * sizeof(std::uint32_t) +
+                                     std::uint64_t{h.num_blocks} * sizeof(BlockIndexEntry);
+  const std::uint64_t expected_bytes = sizeof(FileHeader) +
+                                       std::uint64_t{h.block_bytes} * h.num_blocks +
+                                       footer_bytes + sizeof(std::uint64_t);
+  if (file_bytes != expected_bytes) {
+    return damaged(path, "truncated: expected " + std::to_string(expected_bytes) +
+                             " bytes, found " + std::to_string(file_bytes));
+  }
+
+  // Footer: read as one blob, verify its trailing checksum, then parse.
+  const std::uint64_t footer_start =
+      sizeof(FileHeader) + std::uint64_t{h.block_bytes} * h.num_blocks;
+  if (std::fseek(f.get(), static_cast<long>(footer_start), SEEK_SET) != 0) {
+    return damaged(path, "footer seek failed");
+  }
+  std::vector<std::byte> footer(static_cast<std::size_t>(footer_bytes));
+  std::uint64_t stored_sum = 0;
+  if (std::fread(footer.data(), 1, footer.size(), f.get()) != footer.size() ||
+      std::fread(&stored_sum, 1, sizeof(stored_sum), f.get()) != sizeof(stored_sum)) {
+    return damaged(path, "truncated inside the footer");
+  }
+  if (fnv1a64(footer.data(), footer.size()) != stored_sum) {
+    return damaged(path, "footer failed checksum verification");
+  }
+
+  raw.offsets.resize(static_cast<std::size_t>(n + 1));
+  raw.start_block.resize(static_cast<std::size_t>(n));
+  raw.blocks.resize(h.num_blocks);
+  const std::byte* p = footer.data();
+  std::memcpy(raw.offsets.data(), p, raw.offsets.size() * sizeof(index_t));
+  p += raw.offsets.size() * sizeof(index_t);
+  if (n > 0) {
+    std::memcpy(raw.start_block.data(), p, raw.start_block.size() * sizeof(std::uint32_t));
+    p += raw.start_block.size() * sizeof(std::uint32_t);
+  }
+  if (h.num_blocks > 0) {
+    std::memcpy(raw.blocks.data(), p, raw.blocks.size() * sizeof(BlockIndexEntry));
+  }
+
+  // Index invariants: after these checks the navigation metadata can be
+  // trusted blindly (no bounds checks on the hot path).
+  if (raw.offsets.front() != 0 || raw.offsets.back() != h.num_records) {
+    return damaged(path, "footer inconsistent: offsets do not span the record array");
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (raw.offsets[v] > raw.offsets[v + 1]) {
+      return damaged(path, "footer inconsistent: offsets not monotone");
+    }
+    const bool isolated = raw.offsets[v] == raw.offsets[v + 1];
+    if (isolated != (raw.start_block[v] == kNoBlock) ||
+        (!isolated && raw.start_block[v] >= h.num_blocks)) {
+      return damaged(path, "footer inconsistent: vertex -> block map out of range");
+    }
+  }
+  index_t covered = 0;
+  for (std::uint32_t b = 0; b < h.num_blocks; ++b) {
+    const BlockIndexEntry& e = raw.blocks[b];
+    if (e.first_record != covered || e.record_count == 0 ||
+        e.first_vertex >= h.num_vertices) {
+      return damaged(path, "footer inconsistent: block index does not tile the records");
+    }
+    covered += e.record_count;
+  }
+  if (covered != h.num_records) {
+    return damaged(path, "footer inconsistent: block index does not cover all records");
+  }
+  // Every non-isolated vertex's run must begin inside its start block.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t b = raw.start_block[v];
+    if (b == kNoBlock) continue;
+    const BlockIndexEntry& e = raw.blocks[b];
+    if (raw.offsets[v] < e.first_record ||
+        raw.offsets[v] >= e.first_record + e.record_count) {
+      return damaged(path, "footer inconsistent: vertex run outside its start block");
+    }
+  }
+
+  f.reset();  // the BlockSource reopens the file itself
+  auto source = make_block_source(path, backend, sizeof(FileHeader), h.block_bytes,
+                                  h.num_blocks);
+  if (!source) return source.status();
+  raw.source = std::move(*source);
+  return raw;
+}
+
+}  // namespace cachegraph::store::detail

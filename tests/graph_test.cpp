@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/graph/adjacency_list.hpp"
@@ -127,6 +128,90 @@ TEST(AdjacencyArrayTest, FootprintIsLinearInNAndE) {
   const std::size_t expected = 501 * sizeof(index_t) +
                                static_cast<std::size_t>(g.num_edges()) * sizeof(Neighbor<int>);
   EXPECT_EQ(a.footprint_bytes(), expected);
+}
+
+// Edge cases the blocked store serializer must preserve exactly —
+// each checked differentially against EdgeListGraph iteration.
+
+namespace {
+template <Weight W>
+void expect_matches_edge_list(const EdgeListGraph<W>& g) {
+  const AdjacencyArray<W> a(g);
+  ASSERT_EQ(a.num_vertices(), g.num_vertices());
+  ASSERT_EQ(a.num_edges(), g.num_edges());
+  // Per-vertex insertion-ordered runs == the edge list filtered by tail.
+  memsim::NullMem mem;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    std::vector<Neighbor<W>> want;
+    for (const auto& e : g.edges()) {
+      if (e.from == v) want.push_back(Neighbor<W>{e.to, e.weight});
+    }
+    std::vector<Neighbor<W>> got_span(a.neighbors(v).begin(), a.neighbors(v).end());
+    std::vector<Neighbor<W>> got_iter;
+    a.for_neighbors(v, mem, [&](const Neighbor<W>& nb) { got_iter.push_back(nb); });
+    ASSERT_EQ(got_span.size(), want.size()) << "vertex " << v;
+    EXPECT_EQ(got_span, want) << "vertex " << v;
+    EXPECT_EQ(got_iter, want) << "vertex " << v;
+  }
+}
+}  // namespace
+
+TEST(AdjacencyArrayTest, EmptyGraphHasNoVerticesOrRecords) {
+  const EdgeListGraph<int> g(0);
+  const AdjacencyArray<int> a(g);
+  EXPECT_EQ(a.num_vertices(), 0);
+  EXPECT_EQ(a.num_edges(), 0);
+  EXPECT_TRUE(a.records().empty());
+  expect_matches_edge_list(g);
+}
+
+TEST(AdjacencyArrayTest, IsolatedVerticesHaveEmptyRuns) {
+  // Only vertex 3 has out-edges; 0,1,2,4,5 are isolated (some are
+  // targets, which must not give them records).
+  EdgeListGraph<int> g(6);
+  g.add_edge(3, 0, 7);
+  g.add_edge(3, 5, 9);
+  const AdjacencyArray<int> a(g);
+  for (const vertex_t v : {0, 1, 2, 4, 5}) {
+    EXPECT_EQ(a.out_degree(v), 0) << v;
+    EXPECT_TRUE(a.neighbors(v).empty()) << v;
+  }
+  EXPECT_EQ(a.out_degree(3), 2);
+  expect_matches_edge_list(g);
+}
+
+TEST(AdjacencyArrayTest, SingleVertexWithHugeRun) {
+  // One vertex owning a run far larger than any store block payload
+  // (the run-spans-blocks case); every record must survive in order.
+  constexpr vertex_t kN = 2000;
+  EdgeListGraph<int> g(kN);
+  for (vertex_t v = 1; v < kN; ++v) g.add_edge(0, v, v * 3);
+  const AdjacencyArray<int> a(g);
+  ASSERT_EQ(a.out_degree(0), kN - 1);
+  const auto nb = a.neighbors(0);
+  for (vertex_t v = 1; v < kN; ++v) {
+    EXPECT_EQ(nb[static_cast<std::size_t>(v - 1)], (Neighbor<int>{v, v * 3}));
+  }
+  expect_matches_edge_list(g);
+}
+
+TEST(AdjacencyArrayTest, DuplicateArcsAreAllPreserved) {
+  // DIMACS allows parallel arcs, including identical ones; the CSR
+  // build must keep every copy in insertion order, not dedupe.
+  EdgeListGraph<int> g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 1, 8);
+  g.add_edge(2, 2, 1);  // self-loop, twice
+  g.add_edge(2, 2, 1);
+  const AdjacencyArray<int> a(g);
+  EXPECT_EQ(a.out_degree(0), 3);
+  EXPECT_EQ(a.out_degree(2), 2);
+  const auto nb0 = a.neighbors(0);
+  EXPECT_EQ(nb0[0], (Neighbor<int>{1, 5}));
+  EXPECT_EQ(nb0[1], (Neighbor<int>{1, 5}));
+  EXPECT_EQ(nb0[2], (Neighbor<int>{1, 8}));
+  expect_matches_edge_list(g);
 }
 
 // ------------------------------------------------------ list specifics

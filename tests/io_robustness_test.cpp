@@ -4,6 +4,8 @@
 // allocation proportional to a lied-about header.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -94,6 +96,153 @@ TEST(IoRobustness, OffsetAccountsForBlankAndCommentLines) {
   const ParseError e = capture("c x\n\np sp 2 1\nz 1 1 1\n");
   EXPECT_EQ(e.line(), 4u);
   EXPECT_EQ(e.byte_offset(), 14u);
+}
+
+// --- CRLF corpus -----------------------------------------------------
+//
+// A DOS-saved file must parse exactly like its Unix twin. The historic
+// bug: getline stops at '\n' and leaves the '\r' on the line, so a
+// blank CRLF line ("\r\n" → line "\r") was dispatched as unknown tag
+// '\r' and the whole file rejected.
+
+TEST(IoRobustness, CrlfFileParsesLikeUnixFile) {
+  const std::string unix_text =
+      "c comment\n"
+      "\n"
+      "p sp 4 3\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n"
+      "a 4 1 2\n";
+  std::string dos_text;
+  for (const char c : unix_text) {
+    if (c == '\n') dos_text += '\r';
+    dos_text += c;
+  }
+  std::stringstream su(unix_text), sd(dos_text);
+  const auto gu = read_dimacs<int>(su);
+  const auto gd = read_dimacs<int>(sd);
+  ASSERT_EQ(gd.num_vertices(), gu.num_vertices());
+  ASSERT_EQ(gd.num_edges(), gu.num_edges());
+  for (index_t i = 0; i < gu.num_edges(); ++i) {
+    EXPECT_EQ(gd.edges()[static_cast<std::size_t>(i)],
+              gu.edges()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(IoRobustness, CrlfBlankLineIsNotAnUnknownTag) {
+  // The minimal repro of the original bug: "\r\n" alone used to throw
+  // "unknown DIMACS line tag".
+  std::stringstream ss("p sp 2 1\r\n\r\na 1 2 9\r\n");
+  const auto g = read_dimacs<int>(ss);
+  EXPECT_EQ(g.num_vertices(), 2);
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edges()[0], (Edge<int>{0, 1, 9}));
+}
+
+TEST(IoRobustness, CrlfByteOffsetsCountTheCarriageReturn) {
+  // The '\r' is a real stream byte: offsets must account for it even
+  // though it is stripped before dispatch. "c x\r\n" = 5 bytes,
+  // "p sp 2 1\r\n" = 10 → the bad line is line 3 at byte 15.
+  const ParseError e = capture("c x\r\np sp 2 1\r\nz 1 1 1\r\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_EQ(e.byte_offset(), 15u);
+}
+
+TEST(IoRobustness, CrlfMalformedLinesStillReject) {
+  const std::vector<std::string> corpus = {
+      "p sp 3 1\r\na 1 2\r\n",    // truncated arc
+      "p sp 3 1\r\na 4 2 5\r\n",  // tail out of range
+      "q sp 3 1\r\n",             // unknown tag survives the strip
+  };
+  for (const auto& text : corpus) {
+    std::stringstream ss(text);
+    EXPECT_THROW((void)read_dimacs<int>(ss), ParseError) << text;
+  }
+}
+
+// --- Floating round-trip ---------------------------------------------
+//
+// write_dimacs used to stream weights at the default 6-digit ostream
+// precision, so write → read silently perturbed double weights. The
+// writer now emits std::to_chars shortest-round-trip decimals.
+
+TEST(IoRobustness, DoubleWeightsRoundTripBitExact) {
+  const std::vector<double> adversarial = {
+      0.1,
+      1.0 / 3.0,
+      2.0 / 3.0,
+      1e-300,               // deep underflow territory
+      4.9406564584124654e-324,  // smallest subnormal
+      1.7976931348623157e308,   // DBL_MAX
+      3.141592653589793,
+      2.2250738585072014e-308,  // DBL_MIN (and the famous strtod hang value)
+      1.0000000000000002,       // 1 + ulp
+      123456789.123456789,
+      9007199254740993.0,  // above 2^53
+      0.0,
+  };
+  EdgeListGraph<double> g(static_cast<vertex_t>(adversarial.size()));
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    g.add_edge(static_cast<vertex_t>(i), 0, adversarial[i]);
+  }
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const auto back = read_dimacs<double>(ss);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    const double got = back.edges()[i].weight;
+    EXPECT_EQ(std::memcmp(&got, &adversarial[i], sizeof(double)), 0)
+        << "weight " << i << " perturbed: wrote " << adversarial[i] << ", read " << got;
+  }
+}
+
+TEST(IoRobustness, FloatWeightsRoundTripBitExact) {
+  const std::vector<float> adversarial = {
+      0.1f, 1.0f / 3.0f, 1.4e-45f /* smallest subnormal */, 3.4028235e38f /* FLT_MAX */,
+      1.0000001f, 0.0f,
+  };
+  EdgeListGraph<float> g(static_cast<vertex_t>(adversarial.size()));
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    g.add_edge(static_cast<vertex_t>(i), 0, adversarial[i]);
+  }
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const auto back = read_dimacs<float>(ss);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    const float got = back.edges()[i].weight;
+    EXPECT_EQ(std::memcmp(&got, &adversarial[i], sizeof(float)), 0)
+        << "weight " << i << " perturbed";
+  }
+}
+
+TEST(IoRobustness, ManyRandomDoublesRoundTrip) {
+  // Shortest-round-trip is a per-value guarantee; hammer it across a
+  // spread of magnitudes rather than a hand-picked list.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  EdgeListGraph<double> g(512);
+  std::vector<double> want;
+  for (int i = 0; i < 512; ++i) {
+    const double mantissa = static_cast<double>(next()) / 1.8446744073709552e19;
+    const int exponent = static_cast<int>(next() % 601) - 300;
+    const double w = std::ldexp(mantissa, exponent);
+    want.push_back(w);
+    g.add_edge(static_cast<vertex_t>(i), 0, w);
+  }
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const auto back = read_dimacs<double>(ss);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const double got = back.edges()[i].weight;
+    EXPECT_EQ(std::memcmp(&got, &want[i], sizeof(double)), 0) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,655 @@
+// cachegraph::store — the out-of-core blocked graph store.
+//
+// The load-bearing contract: every answer computed through an
+// OutOfCoreGraph is memcmp-equal to the in-memory AdjacencyArray
+// answer, across both read backends, cache budgets from one frame to
+// all-resident, and thread counts — and a corrupted or truncated file
+// surfaces DATA_LOSS naming the block, never a wrong answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachegraph/analytics/pagerank.hpp"
+#include "cachegraph/analytics/wcc.hpp"
+#include "cachegraph/common/atomic_file.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/generators.hpp"
+#include "cachegraph/memsim/block_io.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/sssp/batch_engine.hpp"
+#include "cachegraph/sssp/dijkstra.hpp"
+#include "cachegraph/store/block_cache.hpp"
+#include "cachegraph/store/blocked_file.hpp"
+#include "cachegraph/store/out_of_core_graph.hpp"
+#include "cachegraph/store/writer.hpp"
+
+namespace cachegraph {
+namespace {
+
+using graph::AdjacencyArray;
+using graph::EdgeListGraph;
+using graph::Neighbor;
+using reliability::StatusCode;
+using store::Backend;
+
+constexpr Backend kBackends[] = {Backend::kPread, Backend::kMmap};
+
+std::filesystem::path temp_file(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cachegraph_store_test";
+  std::filesystem::create_directories(dir);
+  return dir / (std::string(info->test_suite_name()) + "_" + info->name() + "_" + name);
+}
+
+/// An opened out-of-core view plus its owning parts.
+struct OnDisk {
+  std::unique_ptr<store::BlockedFile<int>> file;
+  std::unique_ptr<store::BlockCache> cache;
+  std::unique_ptr<store::OutOfCoreGraph<int>> graph;
+};
+
+OnDisk open_graph(const std::filesystem::path& path, Backend backend, std::size_t budget,
+                  std::size_t shards = 0) {
+  OnDisk d;
+  auto file = store::BlockedFile<int>::open(path, backend);
+  EXPECT_TRUE(file.has_value()) << file.status().to_string();
+  d.file = std::move(file.value());
+  d.cache = std::make_unique<store::BlockCache>(
+      d.file->source(), d.file->block_bytes(), d.file->num_blocks(),
+      store::BlockCache::Config{budget, shards});
+  d.graph = std::make_unique<store::OutOfCoreGraph<int>>(*d.file, *d.cache);
+  return d;
+}
+
+/// Budgets the acceptance criteria sweep: one frame, 10%, 50%, all.
+std::vector<std::size_t> budget_ladder(std::uint32_t num_blocks) {
+  const auto pct = [&](std::size_t p) -> std::size_t {
+    return std::max<std::size_t>(1, num_blocks * p / 100);
+  };
+  return {1, pct(10), pct(50), std::max<std::uint32_t>(1, num_blocks)};
+}
+
+void expect_identical_reads(const AdjacencyArray<int>& mem_rep,
+                            const store::OutOfCoreGraph<int>& ooc) {
+  ASSERT_EQ(ooc.num_vertices(), mem_rep.num_vertices());
+  ASSERT_EQ(ooc.num_edges(), mem_rep.num_edges());
+  memsim::NullMem mem;
+  for (vertex_t v = 0; v < mem_rep.num_vertices(); ++v) {
+    const auto want = mem_rep.neighbors(v);
+    std::vector<Neighbor<int>> got;
+    ooc.for_neighbors(v, mem, [&](const Neighbor<int>& nb) { got.push_back(nb); });
+    ASSERT_EQ(got.size(), want.size()) << "vertex " << v;
+    if (!want.empty()) {
+      ASSERT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(Neighbor<int>)), 0)
+          << "vertex " << v;
+    }
+    // Scoped per vertex: a PinnedRun held across the next vertex's
+    // for_neighbors fault would hold a pin while faulting — the one
+    // thing the deadlock-freedom contract forbids (and a 1-frame
+    // budget would in fact deadlock).
+    typename store::OutOfCoreGraph<int>::PinnedRun run;
+    const auto span = ooc.neighbors(v, run);
+    ASSERT_EQ(span.size(), want.size()) << "vertex " << v;
+    if (!want.empty()) {
+      ASSERT_EQ(std::memcmp(span.data(), want.data(), want.size() * sizeof(Neighbor<int>)), 0)
+          << "vertex " << v << " (span surface)";
+    }
+  }
+}
+
+void flip_byte(const std::filesystem::path& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+// ------------------------------------------------------ format basics
+
+TEST(StoreFormat, WriteOpenRoundTripsMetadata) {
+  const auto el = graph::random_digraph<int>(300, 0.03, 77);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("meta.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 1024;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp")) << "tmp must not survive";
+
+  for (const Backend be : kBackends) {
+    auto file = store::BlockedFile<int>::open(path, be);
+    ASSERT_TRUE(file.has_value()) << file.status().to_string();
+    EXPECT_EQ((*file)->num_vertices(), rep.num_vertices());
+    EXPECT_EQ((*file)->num_records(), rep.num_edges());
+    EXPECT_EQ((*file)->block_bytes(), 1024u);
+    EXPECT_GT((*file)->num_blocks(), 1u);
+    for (vertex_t v = 0; v <= rep.num_vertices(); ++v) {
+      EXPECT_EQ((*file)->record_offset(v), rep.record_offset(v));
+    }
+  }
+}
+
+TEST(StoreFormat, RejectsBadBlockSizes) {
+  const AdjacencyArray<int> rep{EdgeListGraph<int>(2)};
+  const auto path = temp_file("bad.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 16;  // below minimum
+  EXPECT_EQ(store::write_blocked(path, rep, opt).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreFormat, EmptyGraphRoundTrips) {
+  const AdjacencyArray<int> rep{EdgeListGraph<int>(0)};
+  const auto path = temp_file("empty.cgb");
+  ASSERT_TRUE(store::write_blocked(path, rep).is_ok());
+  auto d = open_graph(path, Backend::kPread, 4);
+  EXPECT_EQ(d.graph->num_vertices(), 0);
+  EXPECT_EQ(d.graph->num_edges(), 0);
+  EXPECT_EQ(d.file->num_blocks(), 0u);
+}
+
+TEST(StoreFormat, OverwriteReplacesPreviousFile) {
+  const auto path = temp_file("overwrite.cgb");
+  const AdjacencyArray<int> small{graph::random_digraph<int>(20, 0.2, 1)};
+  const AdjacencyArray<int> big{graph::random_digraph<int>(200, 0.05, 2)};
+  ASSERT_TRUE(store::write_blocked(path, big).is_ok());
+  ASSERT_TRUE(store::write_blocked(path, small).is_ok());
+  auto d = open_graph(path, Backend::kPread, 4);
+  EXPECT_EQ(d.graph->num_vertices(), 20);
+  expect_identical_reads(small, *d.graph);
+}
+
+// ------------------------------------- differential: raw neighbor reads
+
+TEST(StoreDifferential, NeighborReadsAcrossBackendsAndBudgets) {
+  const auto el = graph::random_digraph<int>(400, 0.03, 901);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("diff.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;  // small blocks: plenty of faults and refills
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  for (const Backend be : kBackends) {
+    auto probe = store::BlockedFile<int>::open(path, be);
+    ASSERT_TRUE(probe.has_value());
+    for (const std::size_t budget : budget_ladder((*probe)->num_blocks())) {
+      auto d = open_graph(path, be, budget);
+      expect_identical_reads(rep, *d.graph);
+      const auto st = d.cache->stats();
+      EXPECT_GT(st.misses, 0u);
+      EXPECT_EQ(st.pinned_now, 0u) << "all pins released";
+    }
+  }
+}
+
+TEST(StoreDifferential, EdgeCaseGraphs) {
+  // The AdjacencyArray edge cases the serializer must preserve: empty,
+  // isolated vertices, an oversized run spanning blocks, duplicate arcs.
+  std::vector<EdgeListGraph<int>> graphs;
+  graphs.emplace_back(0);
+  {
+    EdgeListGraph<int> g(6);  // only vertex 3 has out-edges
+    g.add_edge(3, 0, 7);
+    g.add_edge(3, 5, 9);
+    graphs.push_back(std::move(g));
+  }
+  {
+    EdgeListGraph<int> g(300);  // vertex 0's run >> one 256-byte block
+    for (vertex_t v = 1; v < 300; ++v) g.add_edge(0, v, v);
+    g.add_edge(150, 0, 1);
+    graphs.push_back(std::move(g));
+  }
+  {
+    EdgeListGraph<int> g(3);  // duplicate + parallel arcs and self-loops
+    g.add_edge(0, 1, 5);
+    g.add_edge(0, 1, 5);
+    g.add_edge(0, 1, 8);
+    g.add_edge(2, 2, 1);
+    g.add_edge(2, 2, 1);
+    graphs.push_back(std::move(g));
+  }
+  int idx = 0;
+  for (const auto& el : graphs) {
+    const AdjacencyArray<int> rep(el);
+    const auto path = temp_file("edge" + std::to_string(idx++) + ".cgb");
+    store::WriteOptions opt;
+    opt.block_bytes = 256;
+    ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+    for (const Backend be : kBackends) {
+      auto d = open_graph(path, be, 2);
+      expect_identical_reads(rep, *d.graph);
+    }
+  }
+}
+
+TEST(StoreDifferential, OversizedRunSpansBlocksAndOneFrameSuffices) {
+  // A single vertex whose run needs many blocks must stream through a
+  // one-frame cache (pins are scoped per block — the deadlock-freedom
+  // contract).
+  EdgeListGraph<int> el(4000);
+  for (vertex_t v = 1; v < 4000; ++v) el.add_edge(0, v, v ^ 5);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("span.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 256;  // 28 records per block → ~143 blocks for one run
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto d = open_graph(path, Backend::kPread, 1);
+  EXPECT_EQ(d.cache->capacity_blocks(), 1u);
+  EXPECT_EQ(d.cache->num_shards(), 1u) << "1-frame budget must collapse to one shard";
+  expect_identical_reads(rep, *d.graph);
+  EXPECT_GE(d.cache->stats().evictions, d.file->num_blocks() - 1);
+}
+
+// ----------------------------------- differential: engines & analytics
+
+TEST(StoreDifferential, QueryEngineAnswersMatchInMemoryAcrossThreads) {
+  const auto el = graph::random_digraph<int>(220, 0.04, 555);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("engine.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+
+  std::vector<query::Request<int>> reqs;
+  for (vertex_t s = 0; s < 220; s += 7) {
+    reqs.emplace_back(query::FullSSSP{s});
+    reqs.emplace_back(query::PointToPoint{s, static_cast<vertex_t>((s * 13 + 1) % 220)});
+    reqs.emplace_back(query::KNearest{s, 12});
+    reqs.emplace_back(query::Bounded<int>{s, 40});
+  }
+  const std::size_t m = reqs.size();
+
+  // Oracle: the in-memory engine, serial.
+  query::QueryEngine<AdjacencyArray<int>> mem_engine(rep);
+  std::vector<std::vector<int>> want_dist(m);
+  std::vector<std::vector<vertex_t>> want_parent(m);
+  {
+    parallel::TaskPool one(1);
+    mem_engine.run(std::span<const query::Request<int>>(reqs), one,
+                   [&](std::size_t i, const query::Request<int>&, const auto&, const auto& sc) {
+                     want_dist[i] = sc.dist();
+                     want_parent[i] = sc.parent();
+                   });
+  }
+
+  for (const Backend be : kBackends) {
+    auto probe = store::BlockedFile<int>::open(path, be);
+    ASSERT_TRUE(probe.has_value());
+    for (const std::size_t budget : budget_ladder((*probe)->num_blocks())) {
+      for (const int threads : {1, 2, 4, 8}) {
+        auto d = open_graph(path, be, budget);
+        query::QueryEngine<store::OutOfCoreGraph<int>> engine(*d.graph);
+        parallel::TaskPool pool(threads);
+        std::vector<char> checked(m, 0);
+        engine.run(std::span<const query::Request<int>>(reqs), pool,
+                   [&](std::size_t i, const query::Request<int>&, const auto& resp,
+                       const auto& sc) {
+                     EXPECT_TRUE(resp.status.is_ok());
+                     EXPECT_EQ(std::memcmp(sc.dist().data(), want_dist[i].data(),
+                                           want_dist[i].size() * sizeof(int)),
+                               0)
+                         << "request " << i;
+                     EXPECT_EQ(std::memcmp(sc.parent().data(), want_parent[i].data(),
+                                           want_parent[i].size() * sizeof(vertex_t)),
+                               0)
+                         << "request " << i;
+                     checked[i] = 1;
+                   });
+        for (std::size_t i = 0; i < m; ++i) {
+          EXPECT_TRUE(checked[i]) << "request " << i << " never delivered";
+        }
+        EXPECT_EQ(d.cache->stats().pinned_now, 0u)
+            << "backend=" << backend_name(be) << " budget=" << budget
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(StoreDifferential, BatchEngineMatchesInMemory) {
+  const auto el = graph::random_digraph<int>(200, 0.05, 4242);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("batch.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+
+  std::vector<vertex_t> sources;
+  for (vertex_t s = 0; s < 200; s += 11) sources.push_back(s);
+  const std::size_t m = sources.size();
+
+  sssp::BatchEngine<int> mem_engine(rep);
+  std::vector<std::vector<int>> want(m);
+  {
+    parallel::TaskPool one(1);
+    mem_engine.run_batch(sources, one,
+                         [&](std::size_t i, vertex_t, const auto& sc) { want[i] = sc.dist(); });
+  }
+
+  auto d = open_graph(path, Backend::kPread, 8);
+  sssp::BatchEngine<int, pq::BinaryHeap, store::OutOfCoreGraph<int>> engine(*d.graph);
+  parallel::TaskPool pool(4);
+  std::vector<char> checked(m, 0);
+  engine.run_batch(sources, pool, [&](std::size_t i, vertex_t, const auto& sc) {
+    EXPECT_EQ(std::memcmp(sc.dist().data(), want[i].data(), want[i].size() * sizeof(int)), 0)
+        << "source index " << i;
+    checked[i] = 1;
+  });
+  for (std::size_t i = 0; i < m; ++i) EXPECT_TRUE(checked[i]);
+}
+
+TEST(StoreDifferential, AnalyticsMatchInMemory) {
+  const auto el = graph::random_digraph<int>(150, 0.05, 31337);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("analytics.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto d = open_graph(path, Backend::kMmap, 6);
+
+  analytics::PageRankParams pr;
+  pr.max_iters = 15;
+  pr.tol = 0.0;
+  std::vector<double> want_rank(150, -1.0), got_rank(150, -2.0);
+  {
+    analytics::Workspace<AdjacencyArray<int>> ws(rep);
+    analytics::Scratch sc;
+    (void)analytics::pagerank(rep, ws, sc, pr, want_rank, nullptr, analytics::Budget{});
+  }
+  {
+    analytics::Workspace<store::OutOfCoreGraph<int>> ws(*d.graph);
+    analytics::Scratch sc;
+    (void)analytics::pagerank(*d.graph, ws, sc, pr, got_rank, nullptr, analytics::Budget{});
+  }
+  EXPECT_EQ(std::memcmp(got_rank.data(), want_rank.data(), 150 * sizeof(double)), 0)
+      << "pagerank must be bit-identical, not just close";
+
+  std::vector<vertex_t> want_cc(150, -7), got_cc(150, -8);
+  {
+    analytics::Workspace<AdjacencyArray<int>> ws(rep);
+    analytics::Scratch sc;
+    (void)analytics::wcc(rep, ws, sc, {}, want_cc, nullptr, analytics::Budget{});
+  }
+  {
+    analytics::Workspace<store::OutOfCoreGraph<int>> ws(*d.graph);
+    analytics::Scratch sc;
+    (void)analytics::wcc(*d.graph, ws, sc, {}, got_cc, nullptr, analytics::Budget{});
+  }
+  EXPECT_EQ(got_cc, want_cc);
+}
+
+// --------------------------------------------------- cache mechanics
+
+TEST(BlockCache, ColdScanMissesThenResidentScanHits) {
+  const auto el = graph::random_digraph<int>(200, 0.05, 9);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("lru.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto d = open_graph(path, Backend::kPread, SIZE_MAX);  // clamped to num_blocks
+  EXPECT_EQ(d.cache->capacity_blocks(), d.file->num_blocks());
+
+  memsim::NullMem mem;
+  const auto scan = [&] {
+    for (vertex_t v = 0; v < rep.num_vertices(); ++v) {
+      d.graph->for_neighbors(v, mem, [](const Neighbor<int>&) {});
+    }
+  };
+  scan();
+  auto st = d.cache->stats();
+  EXPECT_EQ(st.misses, d.file->num_blocks());
+  EXPECT_EQ(st.evictions, 0u);
+  const auto hits_after_cold = st.hits;
+  scan();
+  st = d.cache->stats();
+  EXPECT_EQ(st.misses, d.file->num_blocks()) << "warm scan must not fault";
+  EXPECT_GT(st.hits, hits_after_cold);
+  EXPECT_EQ(st.cached_blocks, d.file->num_blocks());
+  EXPECT_GE(st.pinned_high_water, 1u);
+  EXPECT_EQ(st.pinned_now, 0u);
+
+  d.cache->publish_gauges();
+  auto& mr = obs::MetricsRegistry::instance();
+  EXPECT_EQ(mr.gauge("store.cache.capacity_blocks").value(),
+            static_cast<double>(d.file->num_blocks()));
+  EXPECT_GT(mr.gauge("store.cache.hit_rate").value(), 0.0);
+}
+
+TEST(BlockCache, TinyBudgetEvictsAndStaysCorrect) {
+  const auto el = graph::random_digraph<int>(200, 0.05, 10);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("evict.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto d = open_graph(path, Backend::kPread, 2);
+  expect_identical_reads(rep, *d.graph);
+  expect_identical_reads(rep, *d.graph);  // second pass: evictions galore
+  const auto st = d.cache->stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_GT(st.misses, st.hits == 0 ? 0u : 0u);
+}
+
+TEST(BlockIoSim, PredictsCacheFaultsExactly) {
+  const auto el = graph::random_digraph<int>(300, 0.04, 2024);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("sim.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto probe = store::BlockedFile<int>::open(path, Backend::kPread);
+  ASSERT_TRUE(probe.has_value());
+  const std::uint32_t blocks = (*probe)->num_blocks();
+
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                                   static_cast<std::size_t>(blocks)}) {
+    auto d = open_graph(path, Backend::kPread, budget);
+    memsim::BlockIoSim sim({d.cache->capacity_blocks(), d.cache->num_shards()});
+    ASSERT_EQ(sim.shards(), d.cache->num_shards());
+    d.graph->attach_sim(&sim);
+    memsim::NullMem mem;
+    // A mixed workload: two full scans plus strided revisits.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (vertex_t v = 0; v < rep.num_vertices(); ++v) {
+        d.graph->for_neighbors(v, mem, [](const Neighbor<int>&) {});
+      }
+    }
+    for (vertex_t v = 0; v < rep.num_vertices(); v += 17) {
+      d.graph->for_neighbors(v, mem, [](const Neighbor<int>&) {});
+    }
+    const auto cache_stats = d.cache->stats();
+    const auto sim_stats = sim.stats();
+    EXPECT_EQ(sim_stats.accesses, cache_stats.hits + cache_stats.misses) << "budget " << budget;
+    EXPECT_EQ(sim_stats.faults, cache_stats.misses) << "budget " << budget;
+    EXPECT_EQ(sim_stats.evictions, cache_stats.evictions) << "budget " << budget;
+  }
+}
+
+// ------------------------------------------------- corruption handling
+
+TEST(StoreCorruption, TruncatedFileIsDataLossAtOpen) {
+  const AdjacencyArray<int> rep{graph::random_digraph<int>(100, 0.05, 3)};
+  const auto path = temp_file("trunc.cgb");
+  ASSERT_TRUE(store::write_blocked(path, rep).is_ok());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  for (const Backend be : kBackends) {
+    const auto file = store::BlockedFile<int>::open(path, be);
+    ASSERT_FALSE(file.has_value());
+    EXPECT_EQ(file.status().code(), StatusCode::kDataLoss) << file.status().to_string();
+  }
+}
+
+TEST(StoreCorruption, CorruptFooterIsDataLossAtOpen) {
+  const AdjacencyArray<int> rep{graph::random_digraph<int>(100, 0.05, 4)};
+  const auto path = temp_file("footer.cgb");
+  ASSERT_TRUE(store::write_blocked(path, rep).is_ok());
+  flip_byte(path, std::filesystem::file_size(path) - 64);
+  const auto file = store::BlockedFile<int>::open(path, Backend::kPread);
+  ASSERT_FALSE(file.has_value());
+  EXPECT_EQ(file.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreCorruption, CorruptHeaderChecksumIsDataLossWrongMagicIsInvalid) {
+  const AdjacencyArray<int> rep{graph::random_digraph<int>(50, 0.1, 5)};
+  const auto path = temp_file("header.cgb");
+  ASSERT_TRUE(store::write_blocked(path, rep).is_ok());
+  flip_byte(path, 20);  // inside the header, after the magic
+  auto file = store::BlockedFile<int>::open(path, Backend::kPread);
+  ASSERT_FALSE(file.has_value());
+  EXPECT_EQ(file.status().code(), StatusCode::kDataLoss);
+
+  flip_byte(path, 20);  // restore
+  flip_byte(path, 0);   // break the magic
+  file = store::BlockedFile<int>::open(path, Backend::kPread);
+  ASSERT_FALSE(file.has_value());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreCorruption, WrongWeightKindIsInvalidArgument) {
+  const AdjacencyArray<int> rep{graph::random_digraph<int>(50, 0.1, 6)};
+  const auto path = temp_file("kind.cgb");
+  ASSERT_TRUE(store::write_blocked(path, rep).is_ok());
+  const auto file = store::BlockedFile<double>::open(path, Backend::kPread);
+  ASSERT_FALSE(file.has_value());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreCorruption, CorruptBlockIsDataLossNamingTheBlockNeverAWrongAnswer) {
+  const auto el = graph::random_digraph<int>(150, 0.04, 7);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("block.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+
+  // Corrupt the block holding vertex 42's run (payload byte).
+  std::uint32_t victim = store::kNoBlock;
+  {
+    auto probe = store::BlockedFile<int>::open(path, Backend::kPread);
+    ASSERT_TRUE(probe.has_value());
+    for (vertex_t v = 42; v < 150; ++v) {
+      if ((victim = (*probe)->start_block(v)) != store::kNoBlock) break;
+    }
+    ASSERT_NE(victim, store::kNoBlock);
+  }
+  flip_byte(path, sizeof(store::FileHeader) + std::uint64_t{victim} * 512 + 40);
+
+  for (const Backend be : kBackends) {
+    auto d = open_graph(path, be, 8);
+    query::QueryEngine<store::OutOfCoreGraph<int>> engine(*d.graph);
+    std::size_t data_loss_seen = 0;
+    for (vertex_t s = 0; s < 150; s += 3) {
+      const auto r = engine.try_serve(
+          query::Request<int>{query::FullSSSP{s}}, {},
+          [&](const auto& resp, const auto& sc) {
+            if (!resp.status.is_ok()) return;
+            // Any OK answer must be the exact in-memory answer.
+            const auto oracle = sssp::dijkstra(rep, s);
+            EXPECT_EQ(std::memcmp(sc.dist().data(), oracle.dist.data(),
+                                  oracle.dist.size() * sizeof(int)),
+                      0)
+                << "source " << s;
+          });
+      if (!r.status.is_ok()) {
+        EXPECT_EQ(r.status.code(), StatusCode::kDataLoss) << r.status.to_string();
+        EXPECT_NE(r.status.message().find("block " + std::to_string(victim)),
+                  std::string::npos)
+            << "message must name the block: " << r.status.message();
+        ++data_loss_seen;
+      }
+    }
+    EXPECT_GT(data_loss_seen, 0u) << "the corrupt block was never touched — weak test";
+    EXPECT_EQ(d.cache->stats().pinned_now, 0u) << "failed fills must not leak pins";
+  }
+}
+
+TEST(StoreCorruption, DirectIterationThrowsDataLossError) {
+  const auto el = graph::random_digraph<int>(60, 0.2, 8);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("throw.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  flip_byte(path, sizeof(store::FileHeader) + 100);  // block 0 payload
+  auto d = open_graph(path, Backend::kPread, 4);
+  memsim::NullMem mem;
+  vertex_t first_nonempty = 0;
+  while (rep.out_degree(first_nonempty) == 0) ++first_nonempty;
+  EXPECT_THROW(
+      d.graph->for_neighbors(first_nonempty, mem, [](const Neighbor<int>&) {}),
+      reliability::DataLossError);
+}
+
+// ------------------------------------------------------- concurrency
+
+TEST(StoreConcurrency, RawPinHammerServesConsistentBytes) {
+  const auto el = graph::random_digraph<int>(300, 0.04, 11);
+  const AdjacencyArray<int> rep(el);
+  const auto path = temp_file("hammer.cgb");
+  store::WriteOptions opt;
+  opt.block_bytes = 512;
+  ASSERT_TRUE(store::write_blocked(path, rep, opt).is_ok());
+  auto d = open_graph(path, Backend::kPread, 4);  // far fewer frames than blocks
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      memsim::NullMem mem;
+      std::uint64_t state = std::uint64_t{0x243f6a8885a308d3u} + static_cast<std::uint64_t>(t);
+      for (int iter = 0; iter < 400; ++iter) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        const auto v = static_cast<vertex_t>(state % 300);
+        const auto want = rep.neighbors(v);
+        std::size_t i = 0;
+        d.graph->for_neighbors(v, mem, [&](const Neighbor<int>& nb) {
+          if (i >= want.size() || std::memcmp(&nb, &want[i], sizeof(nb)) != 0) {
+            failed.store(true);
+          }
+          ++i;
+        });
+        if (i != want.size()) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  const auto st = d.cache->stats();
+  EXPECT_EQ(st.pinned_now, 0u);
+  EXPECT_GT(st.hits + st.misses, 0u);
+}
+
+// --------------------------------------------- durable write helper
+
+TEST(AtomicFile, WriteFileDurableCommitsAtomically) {
+  const auto path = temp_file("durable.txt");
+  ASSERT_TRUE(io::write_file_durable(path.string(), "first").is_ok());
+  ASSERT_TRUE(io::write_file_durable(path.string(), "second longer content").is_ok());
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::ifstream in(path);
+  std::string got((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, "second longer content");
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryFails) {
+  const auto path = temp_file("no_such_dir") / "sub" / "x.txt";
+  const auto st = io::write_file_durable(path.string(), "content");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace cachegraph
