@@ -82,6 +82,12 @@ class Harness {
   /// counters accumulated since the previous measurement).
   void sim(const std::string& variant, Params params, const memsim::SimStats& stats);
 
+  /// Records a timing-free data point: the params ARE the payload.
+  /// For results a scene computed itself (percentiles from a traffic
+  /// run, counts, derived ratios) that downstream JSON consumers
+  /// should see as first-class records.
+  void note(const std::string& variant, Params params);
+
   /// True iff hardware perf counters opened on this host.
   [[nodiscard]] bool perf_available() const noexcept;
 

@@ -25,6 +25,16 @@ class UnionFind {
     return x;
   }
 
+  /// Read-only root walk: same root as find(), no path compression, so
+  /// concurrent const readers never write. Mutation-free lookups (the
+  /// overlay's stamp checks on the serving hot path) use this; the
+  /// amortized-inverse-Ackermann bound still holds because every
+  /// unite() compresses through the mutating find().
+  [[nodiscard]] std::size_t find_root(std::size_t x) const noexcept {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
   /// Returns true if the sets were distinct (i.e. a merge happened).
   bool unite(std::size_t a, std::size_t b) noexcept {
     a = find(a);
@@ -38,6 +48,10 @@ class UnionFind {
 
   [[nodiscard]] bool connected(std::size_t a, std::size_t b) noexcept {
     return find(a) == find(b);
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) const noexcept {
+    return find_root(a) == find_root(b);
   }
 
   [[nodiscard]] std::size_t component_size(std::size_t x) noexcept { return size_[find(x)]; }

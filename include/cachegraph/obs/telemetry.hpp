@@ -46,7 +46,8 @@ enum RequestKind : std::uint8_t {
   kKindWcc = 7,             ///< analytics: weakly-connected components
   kKindBfsFromSet = 8,      ///< analytics: multi-source BFS hop depths
   kKindTriangleCount = 9,   ///< analytics: global triangle count
-  kNumRequestKinds = 10,
+  kKindMultiTarget = 10,    ///< bounded search until a target *set* settles
+  kNumRequestKinds = 11,
 };
 
 /// Stable labels (histogram suffixes, dump fields). The query-request
@@ -63,6 +64,7 @@ enum RequestKind : std::uint8_t {
     case kKindWcc: return "wcc";
     case kKindBfsFromSet: return "bfs_from_set";
     case kKindTriangleCount: return "triangle_count";
+    case kKindMultiTarget: return "multi_target";
     default: return "unknown";
   }
 }

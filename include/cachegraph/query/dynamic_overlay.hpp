@@ -172,16 +172,21 @@ class DynamicOverlay {
   /// Invalidation token for v's component: changes whenever an edge
   /// update could have changed any distance from a source in that
   /// component (conservatively — it may also change when none did).
+  /// Mutation-free (non-compressing root walk), so any number of
+  /// concurrent readers are safe as long as mutations are quiesced —
+  /// the serving router's cached-portal path reads this from every
+  /// traffic worker at once.
   [[nodiscard]] std::uint64_t stamp_of(vertex_t v) const {
-    return comp_version_[uf_.find(static_cast<std::size_t>(v))];
+    return comp_version_[uf_.find_root(static_cast<std::size_t>(v))];
   }
 
   /// Weak connectivity under the current (possibly conservative)
   /// partition: true whenever the live edges connect u and v, but
   /// after removals may also be true when they no longer do (until
-  /// rebuild_components()).
+  /// rebuild_components()). Mutation-free, like stamp_of.
   [[nodiscard]] bool connected(vertex_t u, vertex_t v) const {
-    return uf_.connected(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
+    return uf_.find_root(static_cast<std::size_t>(u)) ==
+           uf_.find_root(static_cast<std::size_t>(v));
   }
 
   /// True after a removal until the next rebuild_components().
@@ -199,7 +204,7 @@ class DynamicOverlay {
     const auto n = static_cast<std::size_t>(num_vertices());
     std::size_t dirty = 0;
     for (std::size_t v = 0; v < n; ++v) {
-      if (uf_.find(v) == v && comp_version_[v] > 0) ++dirty;
+      if (uf_.find_root(v) == v && comp_version_[v] > 0) ++dirty;
     }
     return dirty;
   }
@@ -239,7 +244,7 @@ class DynamicOverlay {
   std::uint64_t structure_version_ = 0;
   bool components_stale_ = false;
 
-  mutable UnionFind uf_;  ///< find() path-halves — see threading contract
+  UnionFind uf_;  ///< const readers walk roots without compressing
   std::vector<std::uint64_t> comp_version_;  ///< meaningful at UF roots
 };
 

@@ -126,6 +126,8 @@ static_assert(kind_index_of(Request<std::int32_t>{PageRank{}}) == obs::kKindPage
 static_assert(kind_index_of(Request<std::int32_t>{Wcc{}}) == obs::kKindWcc);
 static_assert(kind_index_of(Request<std::int32_t>{BfsFromSet{}}) == obs::kKindBfsFromSet);
 static_assert(kind_index_of(Request<std::int32_t>{TriangleCount{}}) == obs::kKindTriangleCount);
+static_assert(kind_index_of(Request<std::int32_t>{MultiTarget{}}) == obs::kKindMultiTarget);
+static_assert(!is_analytics(Request<std::int32_t>{MultiTarget{}}));
 
 /// What to do with a request that arrives while max_in_flight requests
 /// are already running.
@@ -142,6 +144,20 @@ enum class OverloadPolicy {
     case OverloadPolicy::kShed: return "shed";
   }
   return "?";
+}
+
+/// Deadline-aware kBlock: true once `now` has passed the halfway point
+/// between `enter` (when blocking began) and the request's deadline.
+/// Past that point less than half the budget remains for the search
+/// itself, so continuing to queue is throwing good time after bad —
+/// the request sheds to OVERLOADED while the caller can still retry
+/// elsewhere, instead of limping to a near-certain DEADLINE_EXCEEDED.
+/// An unarmed deadline never exhausts (legacy unbounded blocking).
+[[nodiscard]] inline bool block_budget_exhausted(
+    std::chrono::steady_clock::time_point enter, const reliability::Deadline& deadline,
+    std::chrono::steady_clock::time_point now) noexcept {
+  if (!deadline.armed()) return false;
+  return now - enter >= (deadline.when() - enter) / 2;
 }
 
 template <graph::GraphRep G, class Queue = IndexedQueue<typename G::weight_type>>
@@ -190,6 +206,7 @@ class QueryEngine {
     std::uint64_t shed = 0;            ///< victims cancelled to admit newer work
     std::uint64_t aborted = 0;         ///< tasks that threw (resolved CANCELLED)
     std::uint64_t lease_failures = 0;  ///< RESOURCE_EXHAUSTED after retries
+    std::uint64_t deadline_rejects = 0;  ///< kBlock shed: half the budget spent queueing
   };
 
   explicit QueryEngine(const G& g) : g_(g), n_(g.num_vertices()), ws_(g) {}
@@ -208,7 +225,8 @@ class QueryEngine {
                  rejected_.load(std::memory_order_relaxed),
                  shed_.load(std::memory_order_relaxed),
                  aborted_.load(std::memory_order_relaxed),
-                 lease_failures_.load(std::memory_order_relaxed)};
+                 lease_failures_.load(std::memory_order_relaxed),
+                 deadline_rejects_.load(std::memory_order_relaxed)};
   }
 
   [[nodiscard]] const G& graph() const noexcept { return g_; }
@@ -640,6 +658,11 @@ class QueryEngine {
             for (const vertex_t src : r.sources) {
               CG_CHECK(src >= 0 && src < n_, "bfs_from_set source out of range");
             }
+          } else if constexpr (std::is_same_v<R, MultiTarget>) {
+            CG_CHECK(!r.targets.empty(), "multi_target needs at least one target");
+            for (const vertex_t t : r.targets) {
+              CG_CHECK(t >= 0 && t < n_, "multi_target target out of range");
+            }
           }
         },
         req);
@@ -693,6 +716,15 @@ class QueryEngine {
             for (const vertex_t src : r.sources) {
               if (src < 0 || src >= n_) {
                 return reliability::invalid_argument("bfs_from_set source out of range");
+              }
+            }
+          } else if constexpr (std::is_same_v<R, MultiTarget>) {
+            if (r.targets.empty()) {
+              return reliability::invalid_argument("multi_target needs at least one target");
+            }
+            for (const vertex_t t : r.targets) {
+              if (t < 0 || t >= n_) {
+                return reliability::invalid_argument("multi_target target out of range");
               }
             }
           }
@@ -749,6 +781,7 @@ class QueryEngine {
       case OverloadPolicy::kBlock: {
         blocked_.fetch_add(1, std::memory_order_relaxed);
         CG_COUNTER_INC("reliability.admission.blocked");
+        const auto enter = std::chrono::steady_clock::now();
         while (in_flight.load(std::memory_order_acquire) >= adm.max_in_flight) {
           if (opts.cancel != nullptr && opts.cancel->cancelled()) {
             CG_COUNTER_INC("reliability.requests.cancelled");
@@ -757,6 +790,16 @@ class QueryEngine {
           if (opts.deadline.expired()) {
             CG_COUNTER_INC("reliability.requests.deadline_exceeded");
             return reliability::deadline_exceeded("batch budget spent while blocked on admission");
+          }
+          // Deadline-aware blocking: once half the budget has gone to
+          // queueing, the search that would follow is already starved —
+          // shed to OVERLOADED (retryable) instead of blocking on
+          // toward a certain DEADLINE_EXCEEDED (not).
+          if (block_budget_exhausted(enter, opts.deadline, std::chrono::steady_clock::now())) {
+            deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+            CG_COUNTER_INC("reliability.admission.deadline_rejected");
+            return reliability::overloaded(
+                "admission: half the deadline budget spent blocked");
           }
           // Help drain the pool rather than spin — on a 1-thread pool
           // this is the only way a slot ever frees.
@@ -884,6 +927,9 @@ class QueryEngine {
             CG_COUNTER_INC("query.requests.bounded");
           } else if constexpr (std::is_same_v<R, FullSSSP>) {
             CG_COUNTER_INC("query.requests.full_sssp");
+          } else if constexpr (std::is_same_v<R, MultiTarget>) {
+            lim.targets = r.targets;
+            CG_COUNTER_INC("query.requests.multi_target");
           }
         },
         req);
@@ -990,6 +1036,7 @@ class QueryEngine {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> aborted_{0};
   std::atomic<std::uint64_t> lease_failures_{0};
+  std::atomic<std::uint64_t> deadline_rejects_{0};
 };
 
 }  // namespace cachegraph::query

@@ -14,6 +14,8 @@
 //   KNearest{source, k}           stop when k vertices settle
 //   Bounded<W>{source, radius}    stop when the frontier passes radius
 //   FullSSSP{source}              run to exhaustion (the batch case)
+//   MultiTarget{source, targets}  stop when a *set* of targets settles
+//                                 (the router's boundary-stitch probe)
 //
 // The analytics kinds (PageRank, Wcc, BfsFromSet, TriangleCount) ride
 // the same variant: frontier/worklist kernels from
@@ -92,15 +94,30 @@ struct BfsFromSet {
 /// and parallel edges ignored). The count lands in Response::aux.
 struct TriangleCount {};
 
+/// Exact distances from source to *every* vertex in `targets`: the
+/// bounded search stops once the whole set has settled (or the
+/// component drains first, leaving the unreachable ones at inf). One
+/// search amortizes the settled prefix across all targets — the
+/// router's boundary stitching asks exactly this question (source →
+/// every exit vertex of a shard). `targets` must stay alive for the
+/// duration of the call; duplicates are allowed and counted once.
+struct MultiTarget {
+  vertex_t source = 0;
+  std::span<const vertex_t> targets{};
+};
+
 template <Weight W>
 using Request = std::variant<PointToPoint, KNearest, Bounded<W>, FullSSSP,  //
-                             PageRank, Wcc, BfsFromSet, TriangleCount>;
+                             PageRank, Wcc, BfsFromSet, TriangleCount,      //
+                             MultiTarget>;
 
 /// True for the frontier-analytics kinds (dense whole-graph kernels
 /// dispatched to cachegraph::analytics instead of the search core).
+/// MultiTarget sits *after* the analytics block (appended to keep the
+/// first eight indices stable) and is a search shape.
 template <Weight W>
 [[nodiscard]] constexpr bool is_analytics(const Request<W>& r) noexcept {
-  return r.index() >= 4;
+  return r.index() >= 4 && r.index() <= 7;
 }
 
 /// The request's source vertex where the shape has one; analytics
@@ -126,7 +143,7 @@ template <Weight W>
 template <Weight W>
 [[nodiscard]] constexpr std::uint8_t kind_index_of(const Request<W>& r) noexcept {
   const auto idx = static_cast<std::uint8_t>(r.index());
-  return idx < 4 ? idx : static_cast<std::uint8_t>(idx + 2);
+  return idx < 4 ? idx : static_cast<std::uint8_t>(idx + 2);  // 8 → kKindMultiTarget (10)
 }
 
 /// Stable span/counter label per request shape.
@@ -141,6 +158,7 @@ template <Weight W>
     constexpr const char* operator()(const Wcc&) const { return "wcc"; }
     constexpr const char* operator()(const BfsFromSet&) const { return "bfs_from_set"; }
     constexpr const char* operator()(const TriangleCount&) const { return "triangle_count"; }
+    constexpr const char* operator()(const MultiTarget&) const { return "multi_target"; }
   };
   return std::visit(Visitor{}, r);
 }
@@ -157,6 +175,7 @@ enum class Outcome {
   radius_exceeded,    ///< Bounded: the radius clipped the search short
   cancelled,          ///< cancel token fired at a poll point
   deadline_exceeded,  ///< deadline passed at a poll point (or on entry)
+  targets_settled,    ///< MultiTarget: every distinct target extracted
 };
 
 [[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
@@ -167,6 +186,7 @@ enum class Outcome {
     case Outcome::radius_exceeded: return "radius_exceeded";
     case Outcome::cancelled: return "cancelled";
     case Outcome::deadline_exceeded: return "deadline_exceeded";
+    case Outcome::targets_settled: return "targets_settled";
   }
   return "?";
 }

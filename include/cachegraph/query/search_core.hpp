@@ -138,6 +138,9 @@ struct Limits {
   vertex_t target = kNoVertex;  ///< stop once this vertex settles
   vertex_t k = 0;               ///< stop once this many settle (0 = no bound)
   W radius = inf<W>();          ///< stop past this distance (inclusive)
+  /// Stop once *every* vertex in this set settles (empty = no bound;
+  /// duplicates counted once). The span must outlive the search.
+  std::span<const vertex_t> targets{};
   const reliability::CancelToken* cancel = nullptr;  ///< cooperative stop flag
   reliability::Deadline deadline{};                  ///< absolute time budget
   vertex_t check_every = kDefaultCheckEvery;         ///< poll cadence (>= 1)
@@ -152,6 +155,7 @@ class SearchScratch {
       : dist_(static_cast<std::size_t>(n), inf<W>()),
         parent_(static_cast<std::size_t>(n), kNoVertex),
         done_(static_cast<std::size_t>(n), 0),
+        is_target_(static_cast<std::size_t>(n), 0),
         queue_(n) {
     touched_.reserve(static_cast<std::size_t>(n));
     settled_order_.reserve(static_cast<std::size_t>(n));
@@ -197,6 +201,7 @@ class SearchScratch {
   std::vector<W> dist_;
   std::vector<vertex_t> parent_;
   std::vector<char> done_;
+  std::vector<char> is_target_;  ///< MultiTarget marks; zeroed before search returns
   std::vector<vertex_t> touched_;
   std::vector<vertex_t> settled_order_;
   Queue queue_;
@@ -223,6 +228,20 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
         (lim.deadline.expired() ||
          CG_FAULT_FIRE(reliability::FaultSite::kForceTimeout))) {
       return Outcome::deadline_exceeded;
+    }
+  }
+
+  // Mark the multi-target set; counting only 0→1 flips dedupes
+  // repeated entries so `pending` is the number of *distinct* targets.
+  // Marks are erased again at the single exit below, so the scratch's
+  // is_target_ array stays all-zero between searches without touching
+  // reset().
+  vertex_t pending = 0;
+  for (const vertex_t t : lim.targets) {
+    auto& mark = sc.is_target_[static_cast<std::size_t>(t)];
+    if (mark == 0) {
+      mark = 1;
+      ++pending;
     }
   }
 
@@ -256,6 +275,13 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
     if (u == lim.target) {
       outcome = Outcome::target_settled;  // top.key is the exact answer
       break;
+    }
+    if (pending > 0 && sc.is_target_[uu] != 0) {
+      sc.is_target_[uu] = 0;  // settled targets unmark themselves
+      if (--pending == 0) {
+        outcome = Outcome::targets_settled;  // whole set now exact
+        break;
+      }
     }
     if (lim.k != 0 && sc.settled_order_.size() >= static_cast<std::size_t>(lim.k)) {
       outcome = Outcome::k_settled;
@@ -311,6 +337,11 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
   // report the clip so callers can tell "ball smaller than component"
   // from "whole component inside the radius".
   if (outcome == Outcome::exhausted && clipped) outcome = Outcome::radius_exceeded;
+  // Erase whatever marks survive (unsettled targets, or the whole set
+  // after an early termination) so the next search starts clean.
+  if (!lim.targets.empty()) {
+    for (const vertex_t t : lim.targets) sc.is_target_[static_cast<std::size_t>(t)] = 0;
+  }
   CG_COUNTER_ADD("query.settled", sc.settled_order_.size());
   CG_COUNTER_ADD("query.relaxations", sc.relaxations_);
   CG_COUNTER_ADD("query.stale_pops", sc.stale_pops_);

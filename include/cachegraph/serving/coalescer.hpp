@@ -1,0 +1,151 @@
+// serving::Coalescer — concurrent-duplicate suppression for full-SSSP
+// computes.
+//
+// Zipf-shaped source popularity (the traffic driver's model, and every
+// production request log) means the same hot source is asked for by
+// many tenants *at the same time*. The ResultCache already dedupes
+// across time; the coalescer dedupes across concurrency: the first
+// thread to ask for a source becomes the *leader* and computes, every
+// thread that asks while the flight is open becomes a *follower* and
+// waits on the flight's condition variable; the leader publishes one
+// shared immutable tree to all of them and retires the flight. N
+// concurrent identical requests cost one search — stats().computes is
+// the proof the tests pin.
+//
+// The flight table holds only open flights (this is not a cache — the
+// ResultCache/shard layer owns reuse across time), so memory is
+// bounded by concurrency, not by key space. The leader computes on its
+// own thread, so there is no executor to deadlock: followers wait on a
+// leader that is by construction making progress. A follower's
+// deadline is honored while waiting (DEADLINE_EXCEEDED without
+// cancelling the leader — others may still want the result); its
+// cancel token is checked on entry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/serving/shard.hpp"
+
+namespace cachegraph::serving {
+
+template <Weight W>
+class Coalescer {
+ public:
+  /// One immutable full single-source tree over global vertex ids.
+  struct Tree {
+    std::vector<W> dist;
+    std::vector<vertex_t> parent;
+  };
+  using TreePtr = std::shared_ptr<const Tree>;
+
+  struct Result {
+    reliability::Status status;
+    TreePtr tree;      ///< null on any non-OK status
+    bool leader = false;  ///< true when this call ran the compute
+  };
+
+  struct Stats {
+    std::uint64_t computes = 0;  ///< flights led (searches actually run)
+    std::uint64_t joined = 0;    ///< calls that attached to an open flight
+    std::uint64_t timeouts = 0;  ///< followers whose deadline expired waiting
+  };
+
+  /// The tree for `source`: leads a new flight (running `compute`,
+  /// which must return {OK, tree} or {error, null}) or joins the open
+  /// one. `compute` is invoked exactly once per flight however many
+  /// callers pile on.
+  template <typename ComputeFn>
+  [[nodiscard]] Result get(vertex_t source, const CallOptions& opts, ComputeFn&& compute) {
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+      return Result{reliability::cancelled("cancelled before coalesced compute"), nullptr, false};
+    }
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = flights_.find(source);
+      if (it == flights_.end()) {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(source, flight);
+        leader = true;
+      } else {
+        flight = it->second;
+        ++joined_;
+      }
+    }
+    if (leader) {
+      if (on_compute_) on_compute_();
+      ++computes_;
+      CG_COUNTER_INC("serving.coalesce.computes");
+      std::pair<reliability::Status, TreePtr> r = compute();
+      {
+        const std::lock_guard<std::mutex> lock(flight->mu);
+        flight->status = r.first;
+        flight->tree = r.second;
+        flight->done = true;
+      }
+      {
+        // Retire before notifying: late arrivals start a fresh flight
+        // instead of racing the wakeup.
+        const std::lock_guard<std::mutex> lock(mu_);
+        flights_.erase(source);
+      }
+      flight->cv.notify_all();
+      return Result{r.first, r.second, true};
+    }
+    CG_COUNTER_INC("serving.coalesce.joined");
+    std::unique_lock<std::mutex> lk(flight->mu);
+    if (opts.deadline.armed()) {
+      if (!flight->cv.wait_until(lk, opts.deadline.when(), [&] { return flight->done; })) {
+        ++timeouts_;
+        CG_COUNTER_INC("serving.coalesce.timeouts");
+        return Result{reliability::deadline_exceeded("deadline expired waiting on coalesced "
+                                                     "compute"),
+                      nullptr, false};
+      }
+    } else {
+      flight->cv.wait(lk, [&] { return flight->done; });
+    }
+    return Result{flight->status, flight->tree, false};
+  }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{computes_.load(std::memory_order_relaxed),
+                 joined_.load(std::memory_order_relaxed),
+                 timeouts_.load(std::memory_order_relaxed)};
+  }
+
+  /// Test hook: runs on the leader thread after the flight opens and
+  /// before the compute — a hook that blocks until stats().joined hits
+  /// N-1 turns "probably concurrent" into "provably N-way coalesced".
+  void set_compute_hook(std::function<void()> hook) { on_compute_ = std::move(hook); }
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    reliability::Status status;
+    TreePtr tree;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<vertex_t, std::shared_ptr<Flight>> flights_;
+  std::function<void()> on_compute_;
+  std::atomic<std::uint64_t> computes_{0};
+  std::atomic<std::uint64_t> joined_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace cachegraph::serving

@@ -1,0 +1,72 @@
+// serving::Partition — the vertex→shard map for the sharded front-end.
+//
+// Contiguous equal-width ranges: shard s owns [s*width, min(n,(s+1)*
+// width)). Contiguity is the point, not a simplification — the paper's
+// lesson is that a *dense range* of vertices is a working set a cache
+// level can hold, and a contiguous slice of the CSR keeps each shard's
+// local adjacency runs, scratch arrays, and block-cache frames packed
+// over one address range. shard_of() is one divide, local ids are one
+// subtract, and a shard's slice of any global per-vertex array is a
+// subspan — no indirection tables on any hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+
+namespace cachegraph::serving {
+
+class Partition {
+ public:
+  /// Splits `n` vertices into `shards` contiguous ranges of equal
+  /// width ceil(n/shards); the last range absorbs the remainder (and
+  /// may be empty when shards > n — its engine just never sees
+  /// traffic).
+  Partition(vertex_t n, std::uint32_t shards) : n_(n), shards_(shards) {
+    CG_CHECK(n >= 0, "partition needs a non-negative vertex count");
+    CG_CHECK(shards >= 1, "partition needs at least one shard");
+    width_ = n == 0 ? 1 : (n + static_cast<vertex_t>(shards) - 1) / static_cast<vertex_t>(shards);
+    if (width_ == 0) width_ = 1;
+  }
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t num_shards() const noexcept { return shards_; }
+
+  /// Owning shard of global vertex v.
+  [[nodiscard]] std::uint32_t shard_of(vertex_t v) const noexcept {
+    const auto s = static_cast<std::uint32_t>(v / width_);
+    return s < shards_ ? s : shards_ - 1;
+  }
+
+  /// First global vertex of shard s.
+  [[nodiscard]] vertex_t begin(std::uint32_t s) const noexcept {
+    const vertex_t b = static_cast<vertex_t>(s) * width_;
+    return b < n_ ? b : n_;
+  }
+
+  /// One past the last global vertex of shard s.
+  [[nodiscard]] vertex_t end(std::uint32_t s) const noexcept {
+    const vertex_t e = (static_cast<vertex_t>(s) + 1) * width_;
+    return e < n_ ? e : n_;
+  }
+
+  [[nodiscard]] vertex_t size(std::uint32_t s) const noexcept { return end(s) - begin(s); }
+
+  /// Global → shard-local id (caller guarantees v belongs to s).
+  [[nodiscard]] vertex_t local_id(std::uint32_t s, vertex_t v) const noexcept {
+    return v - begin(s);
+  }
+
+  /// Shard-local → global id.
+  [[nodiscard]] vertex_t global_id(std::uint32_t s, vertex_t lv) const noexcept {
+    return begin(s) + lv;
+  }
+
+ private:
+  vertex_t n_;
+  std::uint32_t shards_;
+  vertex_t width_;
+};
+
+}  // namespace cachegraph::serving

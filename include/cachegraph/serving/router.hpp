@@ -1,0 +1,635 @@
+// serving::Router — the sharded multi-tenant front door.
+//
+// One Router owns S shards (see shard.hpp), a StitchedView over them,
+// a QueryEngine over that view, a Coalescer, and a per-tenant
+// admission layer. Requests dispatch by kind:
+//
+//   PointToPoint      → boundary-stitch portal search (below)
+//   FullSSSP          → coalesced compute over the stitched view
+//   everything else   → the stitched-view engine directly (k-nearest,
+//                       bounded, multi-target, and the analytics kinds
+//                       are whole-frontier shapes; sharding buys them
+//                       locality, not a smaller algorithm)
+//
+// ## Boundary stitching (the point-to-point fast path)
+//
+// Every s→t walk decomposes uniquely into maximal intra-shard segments
+// joined by cut edges. Each segment starts at s or at a cut-edge head
+// ("entry") and ends at a cut-edge tail ("exit") or at t, and — being
+// maximal — stays inside one shard, so its minimal cost is an
+// *intra-shard* shortest distance, exactly what a shard-local search
+// computes. Define the portal graph: nodes are {s, t} ∪ entries, with
+// an arc x→y of weight dloc(x, e) + w(e→y) for every exit e reachable
+// from x inside x's shard and every cut edge e→y, plus x→t of weight
+// dloc(x, t) when t shares x's shard. By the decomposition, walks
+// s⇝t in the original graph and in the portal graph have matching
+// costs in both directions, so the portal shortest path *is* the
+// global shortest path — serving_test pins this against the
+// single-engine oracle across shard counts, including paths that
+// re-cross the cut repeatedly.
+//
+// The portal search runs Dijkstra over portal nodes, computing each
+// popped node's dloc row on demand: a MultiTarget probe to the shard's
+// exits (stops the instant the set settles), or — for entry nodes when
+// `cache_portals` is on — the shard ResultCache's full local tree
+// (hot entries amortize to a lookup, and component stamps invalidate
+// them across intra-shard mutations for free; cached computes are not
+// deadline-interruptible, so latency-critical setups turn it off).
+//
+// ## Tenants
+//
+// add_tenant() registers a quota: max in-flight requests and an
+// OverloadPolicy. kReject resolves OVERLOADED immediately; kShed
+// cancels the tenant's own oldest in-flight request (newest wins,
+// blast radius confined to the offender); kBlock waits for a slot —
+// but sheds to OVERLOADED once half the request's deadline budget has
+// been spent queueing (block_budget_exhausted — the same rule the
+// QueryEngine admission gate applies).
+//
+// Threading contract: try_serve and the typed helpers are safe from
+// any thread concurrently. insert_edge / remove_edge / add_tenant /
+// enable_out_of_core require quiescence (no requests in flight).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
+#include "cachegraph/parallel/lease_pool.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/serving/coalescer.hpp"
+#include "cachegraph/serving/partition.hpp"
+#include "cachegraph/serving/shard.hpp"
+#include "cachegraph/serving/stitched_view.hpp"
+
+namespace cachegraph::serving {
+
+template <Weight W, class Queue = query::IndexedQueue<W>>
+class Router {
+ public:
+  using ShardT = Shard<W, Queue>;
+  using View = StitchedView<W, Queue>;
+  using StitchedEngine = query::QueryEngine<View, Queue>;
+  using Tree = typename Coalescer<W>::Tree;
+  using TreePtr = typename Coalescer<W>::TreePtr;
+
+  struct Config {
+    std::uint32_t shards = 1;
+    int shard_pool_threads = 1;  ///< each shard's private TaskPool size
+    bool cache_portals = true;   ///< entry rows via shard ResultCaches
+    vertex_t check_every = query::kDefaultCheckEvery;
+  };
+
+  struct NearItem {
+    vertex_t vertex;
+    W dist;
+    friend bool operator==(const NearItem&, const NearItem&) = default;
+  };
+
+  /// One request's resolution. `tree` is set for FullSSSP only (the
+  /// coalesced shared answer); k-nearest/bounded payloads come from
+  /// the typed helpers, analytics dense outputs land in the request's
+  /// own out spans.
+  struct RouteResult {
+    reliability::Status status;
+    query::Outcome outcome = query::Outcome::exhausted;
+    W target_dist = inf<W>();  ///< PointToPoint answer
+    std::uint64_t settled = 0;  ///< portal pops (p2p) or engine settled count
+    std::uint64_t aux = 0;      ///< analytics scalar (see QueryEngine::Response)
+    TreePtr tree;
+  };
+
+  struct TenantQuota {
+    std::size_t max_in_flight = 0;  ///< 0 = unbounded
+    query::OverloadPolicy policy = query::OverloadPolicy::kBlock;
+  };
+
+  struct TenantStats {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t overloaded = 0;         ///< quota rejections (incl. kBlock budget sheds)
+    std::uint64_t blocked = 0;            ///< admissions that waited for a slot
+    std::uint64_t shed_victims = 0;       ///< own requests cancelled by kShed
+    std::uint64_t deadline_rejects = 0;   ///< kBlock sheds at the half-budget mark
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t portal_pops = 0;       ///< boundary states settled across all p2p
+    std::uint64_t portal_probes = 0;     ///< uncached MultiTarget rows computed
+    std::uint64_t portal_tree_hits = 0;  ///< rows served from shard ResultCaches
+  };
+
+  Router(const graph::AdjacencyArray<W>& global, Config cfg = {})
+      : cfg_(cfg), part_(global.num_vertices(), cfg.shards) {
+    shards_.reserve(cfg.shards);
+    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+      shards_.push_back(std::make_unique<ShardT>(global, part_, s, cfg.shard_pool_threads));
+    }
+    view_ = std::make_unique<View>(part_, shards_);
+    stitched_ = std::make_unique<StitchedEngine>(*view_);
+  }
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] const Partition& partition() const noexcept { return part_; }
+  [[nodiscard]] ShardT& shard(std::uint32_t s) noexcept { return *shards_[s]; }
+  [[nodiscard]] StitchedEngine& stitched_engine() noexcept { return *stitched_; }
+  [[nodiscard]] Coalescer<W>& coalescer() noexcept { return coalescer_; }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{requests_.load(std::memory_order_relaxed),
+                 portal_pops_.load(std::memory_order_relaxed),
+                 portal_probes_.load(std::memory_order_relaxed),
+                 portal_tree_hits_.load(std::memory_order_relaxed)};
+  }
+
+  // ----------------------------------------------------------- tenants
+
+  /// Registers a tenant; the returned id is the `tenant` argument of
+  /// try_serve. Configuration call — make it before traffic.
+  std::uint32_t add_tenant(std::string name, TenantQuota quota) {
+    tenants_.push_back(std::make_unique<TenantState>());
+    tenants_.back()->name = std::move(name);
+    tenants_.back()->quota = quota;
+    return static_cast<std::uint32_t>(tenants_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t num_tenants() const noexcept { return tenants_.size(); }
+
+  [[nodiscard]] TenantStats tenant_stats(std::uint32_t tenant) const {
+    const TenantState& ts = *tenants_[tenant];
+    return TenantStats{ts.requests.load(std::memory_order_relaxed),
+                       ts.ok.load(std::memory_order_relaxed),
+                       ts.overloaded.load(std::memory_order_relaxed),
+                       ts.blocked.load(std::memory_order_relaxed),
+                       ts.shed_victims.load(std::memory_order_relaxed),
+                       ts.deadline_rejects.load(std::memory_order_relaxed)};
+  }
+
+  // ------------------------------------------------------------ serving
+
+  /// The multi-tenant front door: quota gate, then dispatch by kind.
+  /// Every request resolves with a definite status; nothing throws.
+  RouteResult try_serve(std::uint32_t tenant, const query::Request<W>& req,
+                        const CallOptions& opts = {}) {
+    [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+    if constexpr (obs::kTelemetryEnabled) t0 = std::chrono::steady_clock::now();
+    RouteResult out;
+    if (tenant >= tenants_.size()) {
+      out.status = reliability::invalid_argument("unknown tenant id " + std::to_string(tenant));
+      return out;
+    }
+    TenantState& ts = *tenants_[tenant];
+    ts.requests.fetch_add(1, std::memory_order_relaxed);
+    CG_COUNTER_INC("serving.requests");
+    out.status = admit(ts, opts);
+    if (!out.status.is_ok()) {
+      note_latency(ts, req, t0);
+      return out;
+    }
+    ts.in_flight.fetch_add(1, std::memory_order_acq_rel);
+    reliability::CancelToken token(opts.cancel);
+    {
+      const std::lock_guard<std::mutex> lock(ts.mu);
+      ts.active.push_back(&token);
+    }
+    CallOptions inner = opts;
+    inner.cancel = &token;
+    out = dispatch(req, inner);
+    {
+      const std::lock_guard<std::mutex> lock(ts.mu);
+      ts.active.erase(std::find(ts.active.begin(), ts.active.end(), &token));
+    }
+    ts.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    if (out.status.is_ok()) ts.ok.fetch_add(1, std::memory_order_relaxed);
+    note_latency(ts, req, t0);
+    return out;
+  }
+
+  /// Kind dispatch without a tenant gate — the single-tenant / trusted
+  /// surface (tests, tools, warmup).
+  RouteResult dispatch(const query::Request<W>& req, const CallOptions& opts = {}) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (const auto* p = std::get_if<query::PointToPoint>(&req)) {
+      return point_to_point(p->source, p->target, opts);
+    }
+    if (const auto* f = std::get_if<query::FullSSSP>(&req)) {
+      return full_sssp(f->source, opts);
+    }
+    return serve_stitched(req, opts);
+  }
+
+  /// Exact global shortest distance source→target by boundary
+  /// stitching (see the header proof sketch). OK with target_dist =
+  /// inf means genuinely unreachable.
+  RouteResult point_to_point(vertex_t source, vertex_t target, const CallOptions& opts = {}) {
+    RouteResult out;
+    const vertex_t n = part_.num_vertices();
+    if (source < 0 || source >= n || target < 0 || target >= n) {
+      out.status = reliability::invalid_argument("query endpoint out of range");
+      return out;
+    }
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+      out.outcome = query::Outcome::cancelled;
+      out.status = reliability::cancelled("cancel token fired");
+      return out;
+    }
+    if (opts.deadline.expired()) {
+      out.outcome = query::Outcome::deadline_exceeded;
+      out.status = reliability::deadline_exceeded("request budget spent");
+      return out;
+    }
+    CG_COUNTER_INC("serving.requests.point_to_point");
+
+    auto lease = portal_pool_.acquire(
+        [this] { return std::make_unique<PortalScratch>(part_.num_vertices()); });
+    PortalScratch& ps = lease.get();
+    ps.reset();
+    ps.relax(source, W{0});
+    std::uint64_t pops = 0;
+    while (!ps.heap.empty()) {
+      const auto top = ps.pop();
+      const vertex_t x = top.vertex;
+      if (ps.done[static_cast<std::size_t>(x)]) continue;  // stale lazy entry
+      ps.done[static_cast<std::size_t>(x)] = 1;
+      ++pops;
+      if (x == target) {
+        out.outcome = query::Outcome::target_settled;
+        out.target_dist = top.key;
+        break;
+      }
+      // Poll between portal pops: each pop is a whole shard-local
+      // search, so per-pop is the natural (coarse) cadence.
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        out.outcome = query::Outcome::cancelled;
+        out.status = reliability::cancelled("cancel token fired");
+        break;
+      }
+      if (opts.deadline.expired()) {
+        out.outcome = query::Outcome::deadline_exceeded;
+        out.status = reliability::deadline_exceeded("request budget spent");
+        break;
+      }
+      if (auto st = expand_portal(x, top.key, source, target, opts, ps); !st.is_ok()) {
+        out.status = st;
+        out.outcome = st.code() == reliability::StatusCode::kCancelled
+                          ? query::Outcome::cancelled
+                      : st.code() == reliability::StatusCode::kDeadlineExceeded
+                          ? query::Outcome::deadline_exceeded
+                          : out.outcome;
+        break;
+      }
+    }
+    // Drained without settling the target ⇒ unreachable: an answer,
+    // not an error (outcome stays exhausted, dist stays inf).
+    out.settled = pops;
+    portal_pops_.fetch_add(pops, std::memory_order_relaxed);
+    CG_COUNTER_ADD("serving.portal.pops", pops);
+    return out;
+  }
+
+  /// The coalesced full tree from `source` over the whole stitched
+  /// graph. Concurrent identical sources share one compute.
+  RouteResult full_sssp(vertex_t source, const CallOptions& opts = {}) {
+    RouteResult out;
+    CG_COUNTER_INC("serving.requests.full_sssp");
+    auto res = coalescer_.get(source, opts, [&]() -> std::pair<reliability::Status, TreePtr> {
+      auto tree = std::make_shared<Tree>();
+      typename StitchedEngine::ServeOptions so = to_serve_options(opts);
+      const auto resp = stitched_->try_serve(
+          query::Request<W>{query::FullSSSP{source}}, so, [&](const auto& r, const auto& sc) {
+            if (!r.status.is_ok()) return;
+            tree->dist = sc.dist();
+            tree->parent = sc.parent();
+          });
+      if (!resp.status.is_ok()) return {resp.status, nullptr};
+      return {reliability::Status{}, TreePtr(std::move(tree))};
+    });
+    out.status = res.status;
+    out.tree = res.tree;
+    if (out.tree != nullptr) out.settled = out.tree->dist.size();
+    if (!out.status.is_ok()) {
+      out.outcome = out.status.code() == reliability::StatusCode::kCancelled
+                        ? query::Outcome::cancelled
+                    : out.status.code() == reliability::StatusCode::kDeadlineExceeded
+                        ? query::Outcome::deadline_exceeded
+                        : out.outcome;
+    }
+    return out;
+  }
+
+  /// Convenience: the exact distance (inf when unreachable; CG_CHECKs
+  /// on a non-OK status — use point_to_point for fallible serving).
+  [[nodiscard]] W distance(vertex_t source, vertex_t target) {
+    const RouteResult r = point_to_point(source, target);
+    CG_CHECK(r.status.is_ok(), "distance() on a failed route");
+    return r.target_dist;
+  }
+
+  /// K-nearest over the stitched graph, (dist, vertex)-sorted so the
+  /// answer is comparison-stable across shard layouts even at distance
+  /// ties on the k-th place... (ties beyond k still depend on settle
+  /// order, exactly as in the single-engine surface).
+  reliability::Status k_nearest(vertex_t source, vertex_t k, std::vector<NearItem>& out,
+                                const CallOptions& opts = {}) {
+    out.clear();
+    typename StitchedEngine::ServeOptions so = to_serve_options(opts);
+    const auto resp = stitched_->try_serve(
+        query::Request<W>{query::KNearest{source, k}}, so, [&](const auto& r, const auto& sc) {
+          if (!r.status.is_ok()) return;
+          out.reserve(sc.settled_order().size());
+          for (const vertex_t v : sc.settled_order()) {
+            out.push_back(NearItem{v, sc.dist()[static_cast<std::size_t>(v)]});
+          }
+        });
+    return resp.status;
+  }
+
+  /// Every vertex within `radius`, nearest first (same contract).
+  reliability::Status within(vertex_t source, W radius, std::vector<NearItem>& out,
+                             const CallOptions& opts = {}) {
+    out.clear();
+    typename StitchedEngine::ServeOptions so = to_serve_options(opts);
+    const auto resp = stitched_->try_serve(
+        query::Request<W>{query::Bounded<W>{source, radius}}, so,
+        [&](const auto& r, const auto& sc) {
+          if (!r.status.is_ok()) return;
+          out.reserve(sc.settled_order().size());
+          for (const vertex_t v : sc.settled_order()) {
+            out.push_back(NearItem{v, sc.dist()[static_cast<std::size_t>(v)]});
+          }
+        });
+    return resp.status;
+  }
+
+  // --------------------------------------------------------- mutations
+
+  /// Inserts a directed edge (intra- or cross-shard; the owning shard
+  /// routes it to its overlay or its cut list). Quiescent-point call.
+  /// Shard ResultCache stamps invalidate affected portal rows; the
+  /// stitched engine's analytics views rebuild lazily.
+  void insert_edge(vertex_t u, vertex_t v, W w) {
+    const std::uint32_t s = part_.shard_of(u);
+    shards_[s]->insert_edge(u - shards_[s]->begin(), v, w, part_);
+    stitched_->refresh_analytics();
+  }
+
+  /// Removes one live directed edge; false when absent. Quiescent.
+  bool remove_edge(vertex_t u, vertex_t v) {
+    const std::uint32_t s = part_.shard_of(u);
+    const bool removed = shards_[s]->remove_edge(u - shards_[s]->begin(), v, part_);
+    if (removed) stitched_->refresh_analytics();
+    return removed;
+  }
+
+ private:
+  struct TenantState {
+    std::string name;
+    TenantQuota quota;
+    std::atomic<std::size_t> in_flight{0};
+    std::mutex mu;
+    std::vector<reliability::CancelToken*> active;  ///< admission order
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> blocked{0};
+    std::atomic<std::uint64_t> shed_victims{0};
+    std::atomic<std::uint64_t> deadline_rejects{0};
+  };
+
+  /// Lazy-heap Dijkstra state over portal nodes, leased per request
+  /// and reset in O(touched).
+  struct PortalScratch {
+    struct Entry {
+      W key;
+      vertex_t vertex;
+    };
+    struct Greater {
+      bool operator()(const Entry& a, const Entry& b) const noexcept { return a.key > b.key; }
+    };
+
+    explicit PortalScratch(vertex_t n)
+        : dist(static_cast<std::size_t>(n), inf<W>()), done(static_cast<std::size_t>(n), 0) {}
+
+    void reset() noexcept {
+      for (const vertex_t v : touched) {
+        dist[static_cast<std::size_t>(v)] = inf<W>();
+        done[static_cast<std::size_t>(v)] = 0;
+      }
+      touched.clear();
+      heap.clear();
+    }
+
+    void relax(vertex_t v, W nd) {
+      auto& dv = dist[static_cast<std::size_t>(v)];
+      if (nd >= dv) return;
+      if (is_inf(dv)) touched.push_back(v);
+      dv = nd;
+      heap.push_back(Entry{nd, v});
+      std::push_heap(heap.begin(), heap.end(), Greater{});
+    }
+
+    Entry pop() {
+      std::pop_heap(heap.begin(), heap.end(), Greater{});
+      const Entry e = heap.back();
+      heap.pop_back();
+      return e;
+    }
+
+    std::vector<W> dist;
+    std::vector<char> done;
+    std::vector<vertex_t> touched;
+    std::vector<Entry> heap;
+    std::vector<vertex_t> targets_buf;  ///< exit probe target list
+    std::vector<W> dists_buf;           ///< probe answer row
+  };
+
+  /// Settle portal node x at distance dx: compute its shard-local
+  /// distance row and relax every cut edge (and the in-shard target).
+  [[nodiscard]] reliability::Status expand_portal(vertex_t x, W dx, vertex_t source,
+                                                  vertex_t target, const CallOptions& opts,
+                                                  PortalScratch& ps) {
+    const std::uint32_t s = part_.shard_of(x);
+    ShardT& sh = *shards_[s];
+    const vertex_t lx = x - sh.begin();
+    const std::span<const vertex_t> exits = sh.exits();
+    const bool target_here = part_.shard_of(target) == s;
+    const vertex_t lt = target_here ? target - sh.begin() : kNoVertex;
+
+    if (exits.empty() && !target_here) return {};  // dead-end shard
+
+    const auto relax_row = [&](auto dist_of) {
+      for (const vertex_t e : exits) {
+        const W dloc = dist_of(e);
+        if (is_inf(dloc)) continue;
+        const W at_exit = sat_add(dx, dloc);
+        for (const auto& nb : sh.cut(e)) ps.relax(nb.to, sat_add(at_exit, nb.weight));
+      }
+      if (target_here) {
+        const W dt = dist_of(lt);
+        if (!is_inf(dt)) ps.relax(target, sat_add(dx, dt));
+      }
+    };
+
+    // Entry nodes (every portal node except the query's own source)
+    // are shared across queries — worth a cached full local tree. The
+    // source is query-private; probe it with a bounded MultiTarget.
+    if (cfg_.cache_portals && x != source) {
+      const auto tree = sh.local_tree(lx);
+      portal_tree_hits_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("serving.portal.tree_rows");
+      relax_row([&](vertex_t lv) { return tree->dist[static_cast<std::size_t>(lv)]; });
+      return {};
+    }
+    ps.targets_buf.assign(exits.begin(), exits.end());
+    if (target_here) ps.targets_buf.push_back(lt);
+    ps.dists_buf.assign(ps.targets_buf.size(), inf<W>());
+    portal_probes_.fetch_add(1, std::memory_order_relaxed);
+    CG_COUNTER_INC("serving.portal.probes");
+    if (auto st = sh.local_dists(lx, ps.targets_buf, opts, ps.dists_buf); !st.is_ok()) {
+      return st;
+    }
+    relax_row([&](vertex_t lv) {
+      // The probe row is exit-aligned; the (optional) target rides at
+      // the back.
+      if (lv == lt && target_here) return ps.dists_buf.back();
+      const auto it = std::lower_bound(exits.begin(), exits.end(), lv);
+      return ps.dists_buf[static_cast<std::size_t>(it - exits.begin())];
+    });
+    return {};
+  }
+
+  RouteResult serve_stitched(const query::Request<W>& req, const CallOptions& opts) {
+    typename StitchedEngine::ServeOptions so = to_serve_options(opts);
+    const auto resp = stitched_->try_serve(req, so);
+    RouteResult out;
+    out.status = resp.status;
+    out.outcome = resp.outcome;
+    out.target_dist = resp.target_dist;
+    out.settled = resp.settled;
+    out.aux = resp.aux;
+    return out;
+  }
+
+  [[nodiscard]] typename StitchedEngine::ServeOptions to_serve_options(
+      const CallOptions& opts) const {
+    typename StitchedEngine::ServeOptions so;
+    so.deadline = opts.deadline;
+    so.cancel = opts.cancel;
+    so.check_every = opts.check_every != 0 ? opts.check_every : cfg_.check_every;
+    return so;
+  }
+
+  /// The per-tenant admission gate (mirrors QueryEngine::preflight's
+  /// policy semantics, scoped to one tenant's quota).
+  [[nodiscard]] reliability::Status admit(TenantState& ts, const CallOptions& opts) {
+    const TenantQuota q = ts.quota;
+    if (q.max_in_flight == 0 ||
+        ts.in_flight.load(std::memory_order_acquire) < q.max_in_flight) {
+      return {};
+    }
+    switch (q.policy) {
+      case query::OverloadPolicy::kReject:
+        ts.overloaded.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("serving.tenant.rejected");
+        return reliability::overloaded("tenant '" + ts.name + "' quota: " +
+                                       std::to_string(q.max_in_flight) + " in flight");
+      case query::OverloadPolicy::kShed: {
+        const std::lock_guard<std::mutex> lock(ts.mu);
+        for (reliability::CancelToken* victim : ts.active) {
+          if (!victim->cancelled()) {
+            victim->cancel();
+            ts.shed_victims.fetch_add(1, std::memory_order_relaxed);
+            CG_COUNTER_INC("serving.tenant.shed");
+            break;
+          }
+        }
+        return {};  // admit over the cap; the victim resolves shortly
+      }
+      case query::OverloadPolicy::kBlock: {
+        ts.blocked.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("serving.tenant.blocked");
+        const auto enter = std::chrono::steady_clock::now();
+        while (ts.in_flight.load(std::memory_order_acquire) >= q.max_in_flight) {
+          if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+            return reliability::cancelled("cancelled while blocked on tenant quota");
+          }
+          if (opts.deadline.expired()) {
+            return reliability::deadline_exceeded(
+                "deadline spent while blocked on tenant quota");
+          }
+          if (query::block_budget_exhausted(enter, opts.deadline,
+                                            std::chrono::steady_clock::now())) {
+            ts.deadline_rejects.fetch_add(1, std::memory_order_relaxed);
+            ts.overloaded.fetch_add(1, std::memory_order_relaxed);
+            CG_COUNTER_INC("serving.tenant.deadline_rejected");
+            return reliability::overloaded("tenant '" + ts.name +
+                                           "' quota: half the deadline budget spent blocked");
+          }
+          std::this_thread::yield();
+        }
+        return {};
+      }
+    }
+    return {};
+  }
+
+  /// Per-tenant-per-kind latency histogram
+  /// (serving.latency_ns.t<id>.<kind>). Compiled out when
+  /// CACHEGRAPH_INSTRUMENT is off — the traffic driver keeps its own
+  /// always-on histograms for the bench surface.
+  void note_latency([[maybe_unused]] TenantState& ts, [[maybe_unused]] const query::Request<W>& req,
+                    [[maybe_unused]] std::chrono::steady_clock::time_point t0) {
+    if constexpr (obs::kTelemetryEnabled) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      auto& hist = obs::MetricsRegistry::instance().histogram(
+          "serving.latency_ns.t" + std::to_string(tenant_index_of(ts)) + "." +
+          query::kind_of(req));
+      hist.record(ns <= 0 ? 0 : static_cast<std::uint64_t>(ns));
+    }
+  }
+
+  [[nodiscard]] std::size_t tenant_index_of(const TenantState& ts) const noexcept {
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      if (tenants_[i].get() == &ts) return i;
+    }
+    return 0;
+  }
+
+  Config cfg_;
+  Partition part_;
+  std::vector<std::unique_ptr<ShardT>> shards_;
+  std::unique_ptr<View> view_;
+  std::unique_ptr<StitchedEngine> stitched_;
+  Coalescer<W> coalescer_;
+  parallel::LeasePool<PortalScratch> portal_pool_;
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> portal_pops_{0};
+  std::atomic<std::uint64_t> portal_probes_{0};
+  std::atomic<std::uint64_t> portal_tree_hits_{0};
+};
+
+}  // namespace cachegraph::serving

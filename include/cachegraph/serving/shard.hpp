@@ -1,0 +1,271 @@
+// serving::Shard — one vertex-range slice of the graph with a private
+// serving stack: local CSR + DynamicOverlay, a QueryEngine and
+// ResultCache of its own (inside the cache), a private TaskPool, and
+// optionally an out-of-core mirror (blocked file + per-shard
+// BlockCache + OutOfCoreGraph) for slices too big to keep resident.
+//
+// The shard stores its slice in *local ids* (global - begin), so every
+// per-vertex array — dist, parent, done marks, the local CSR offsets —
+// is sized to the slice, not the graph. That is the paper's
+// partitioning argument applied to serving state: a query that stays
+// inside one shard touches working sets proportional to the shard, and
+// the scratch a shard's engine leases is the one already hot in the
+// core that serves it.
+//
+// Edges are split at construction:
+//   - intra-shard edges (both endpoints owned) go into the local CSR
+//     that the overlay, engine, and cache serve;
+//   - cut edges (tail owned, head elsewhere) live in per-vertex spill
+//     lists with *global* heads — the router's stitching walks them,
+//     local searches never see them.
+// `exits()` lists the local vertices with at least one cut edge — the
+// target set of every boundary-stitch probe (see router.hpp).
+//
+// Threading contract: local_dists / engine() / cache() calls are safe
+// concurrently (they ride QueryEngine::try_serve and the ResultCache's
+// own locking); mutations (insert/remove edge, cut-edge edits,
+// enable_out_of_core) require quiescence, same as DynamicOverlay.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/graph/edge_list.hpp"
+#include "cachegraph/parallel/task_pool.hpp"
+#include "cachegraph/query/dynamic_overlay.hpp"
+#include "cachegraph/query/engine.hpp"
+#include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/serving/partition.hpp"
+#include "cachegraph/store/block_cache.hpp"
+#include "cachegraph/store/blocked_file.hpp"
+#include "cachegraph/store/out_of_core_graph.hpp"
+#include "cachegraph/store/writer.hpp"
+
+namespace cachegraph::serving {
+
+/// Deadline/cancellation bounds threaded through the router into each
+/// shard-local search (mirrors QueryEngine::ServeOptions, which is a
+/// nested type and therefore differs between the in-memory and
+/// out-of-core engine instantiations).
+struct CallOptions {
+  reliability::Deadline deadline{};
+  const reliability::CancelToken* cancel = nullptr;
+  vertex_t check_every = query::kDefaultCheckEvery;
+};
+
+template <Weight W, class Queue = query::IndexedQueue<W>>
+class Shard {
+ public:
+  using Overlay = query::DynamicOverlay<W>;
+  using Engine = query::QueryEngine<Overlay, Queue>;
+  using Cache = query::ResultCache<W, Queue>;
+
+  /// Builds shard `id` of `part` from the global graph. `pool_threads`
+  /// sizes the shard's private TaskPool (1 = no extra threads; the
+  /// pool then only structures cache warmups on the calling thread).
+  Shard(const graph::AdjacencyArray<W>& global, const Partition& part, std::uint32_t id,
+        int pool_threads = 1)
+      : id_(id), begin_(part.begin(id)), n_local_(part.size(id)), pool_(pool_threads) {
+    graph::EdgeListGraph<W> local(n_local_ == 0 ? 1 : n_local_);
+    cut_.resize(static_cast<std::size_t>(n_local_));
+    for (vertex_t lv = 0; lv < n_local_; ++lv) {
+      for (const auto& nb : global.neighbors(begin_ + lv)) {
+        if (part.shard_of(nb.to) == id_) {
+          local.add_edge(lv, nb.to - begin_, nb.weight);
+        } else {
+          cut_[static_cast<std::size_t>(lv)].push_back(graph::Neighbor<W>{nb.to, nb.weight});
+          ++num_cut_edges_;
+        }
+      }
+    }
+    local_csr_ = std::make_unique<graph::AdjacencyArray<W>>(local);
+    overlay_ = std::make_unique<Overlay>(*local_csr_);
+    cache_ = std::make_unique<Cache>(*overlay_);
+    rebuild_exits();
+  }
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] vertex_t begin() const noexcept { return begin_; }
+  [[nodiscard]] vertex_t num_local() const noexcept { return n_local_; }
+  [[nodiscard]] index_t num_cut_edges() const noexcept { return num_cut_edges_; }
+
+  [[nodiscard]] Overlay& overlay() noexcept { return *overlay_; }
+  [[nodiscard]] const Overlay& overlay() const noexcept { return *overlay_; }
+  [[nodiscard]] Engine& engine() noexcept { return cache_->engine(); }
+  [[nodiscard]] Cache& cache() noexcept { return *cache_; }
+  [[nodiscard]] parallel::TaskPool& pool() noexcept { return pool_; }
+
+  /// Local vertices with at least one cut edge, ascending — the target
+  /// set of every boundary-stitch probe into this shard.
+  [[nodiscard]] std::span<const vertex_t> exits() const noexcept { return exits_; }
+
+  /// Cut edges leaving local vertex `lv` (heads are global ids).
+  [[nodiscard]] std::span<const graph::Neighbor<W>> cut(vertex_t lv) const noexcept {
+    return cut_[static_cast<std::size_t>(lv)];
+  }
+
+  [[nodiscard]] bool out_of_core() const noexcept { return ooc_graph_ != nullptr; }
+
+  /// Block-cache stats of the out-of-core mirror (zeros when in-memory).
+  [[nodiscard]] store::BlockCache::Stats block_cache_stats() const {
+    return ooc_cache_ != nullptr ? ooc_cache_->stats() : store::BlockCache::Stats{};
+  }
+
+  // ----------------------------------------------------- local searches
+
+  /// Exact *intra-shard* distances from `from_local` to each
+  /// `targets_local[i]`, written to `dists_out[i]` (inf where locally
+  /// unreachable). One MultiTarget search — it stops the moment the
+  /// whole set settles. On a non-OK status `dists_out` is untouched.
+  /// Runs on the out-of-core engine when the mirror is enabled (same
+  /// CSR content, so answers are identical; block faults surface as
+  /// DATA_LOSS like every store read).
+  [[nodiscard]] reliability::Status local_dists(vertex_t from_local,
+                                                std::span<const vertex_t> targets_local,
+                                                const CallOptions& opts,
+                                                std::span<W> dists_out) {
+    CG_DCHECK(dists_out.size() == targets_local.size(), "dists_out must match targets");
+    if (ooc_engine_ != nullptr) {
+      return run_multi(*ooc_engine_, from_local, targets_local, opts, dists_out);
+    }
+    return run_multi(cache_->engine(), from_local, targets_local, opts, dists_out);
+  }
+
+  /// The cached full local tree from `from_local` (computed now if
+  /// missing or stale — not deadline-bounded; see router.hpp on when
+  /// the cached portal path is appropriate). Stamp-invalidation makes
+  /// this never-stale across intra-shard mutations for free.
+  [[nodiscard]] typename Cache::TreePtr local_tree(vertex_t from_local) {
+    return cache_->get_or_compute(from_local);
+  }
+
+  // --------------------------------------------------------- mutations
+
+  /// Inserts a directed edge from owned vertex `lu`; `global_v` may be
+  /// owned (intra — goes through the overlay, bumping component
+  /// stamps) or foreign (cut — appended to the spill list, `lu`
+  /// becomes an exit). Quiescent-point call. Unsupported while the
+  /// out-of-core mirror is enabled (the blocked file is immutable).
+  void insert_edge(vertex_t lu, vertex_t global_v, W w, const Partition& part) {
+    CG_CHECK(ooc_graph_ == nullptr, "mutations require the in-memory shard mode");
+    if (part.shard_of(global_v) == id_) {
+      overlay_->insert_edge(lu, global_v - begin_, w);
+    } else {
+      cut_[static_cast<std::size_t>(lu)].push_back(graph::Neighbor<W>{global_v, w});
+      ++num_cut_edges_;
+      const auto it = std::lower_bound(exits_.begin(), exits_.end(), lu);
+      if (it == exits_.end() || *it != lu) exits_.insert(it, lu);
+    }
+  }
+
+  /// Removes one live directed edge `lu` → `global_v` (intra or cut).
+  /// Returns false when no such edge exists. Quiescent-point call.
+  bool remove_edge(vertex_t lu, vertex_t global_v, const Partition& part) {
+    CG_CHECK(ooc_graph_ == nullptr, "mutations require the in-memory shard mode");
+    if (part.shard_of(global_v) == id_) {
+      return overlay_->remove_edge(lu, global_v - begin_);
+    }
+    auto& spill = cut_[static_cast<std::size_t>(lu)];
+    for (std::size_t i = 0; i < spill.size(); ++i) {
+      if (spill[i].to == global_v) {
+        spill.erase(spill.begin() + static_cast<std::ptrdiff_t>(i));
+        --num_cut_edges_;
+        if (spill.empty()) {
+          const auto it = std::lower_bound(exits_.begin(), exits_.end(), lu);
+          if (it != exits_.end() && *it == lu) exits_.erase(it);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------- out-of-core
+
+  /// Writes the shard's local CSR to `<dir>/shard<id>.cgb` and serves
+  /// all further local searches through an OutOfCoreGraph over a
+  /// private BlockCache of `budget_blocks` frames — each shard gets
+  /// its own failure domain and its own cache budget, the ROADMAP
+  /// follow-on from the store PR. Requires a pristine overlay (fold
+  /// mutations into a fresh build first). Quiescent-point call.
+  [[nodiscard]] reliability::Status enable_out_of_core(const std::filesystem::path& dir,
+                                                       std::size_t block_bytes,
+                                                       std::size_t budget_blocks) {
+    CG_CHECK(overlay_->structure_version() == 0,
+             "enable_out_of_core requires an unmutated overlay");
+    const std::filesystem::path path = dir / ("shard" + std::to_string(id_) + ".cgb");
+    store::WriteOptions wo;
+    wo.block_bytes = block_bytes;
+    if (auto st = store::write_blocked(path, *local_csr_, wo); !st.is_ok()) return st;
+    auto file = store::BlockedFile<W>::open(path, store::Backend::kPread);
+    if (!file) return file.status();
+    ooc_file_ = std::move(*file);
+    ooc_cache_ = std::make_unique<store::BlockCache>(
+        ooc_file_->source(), ooc_file_->block_bytes(), ooc_file_->num_blocks(),
+        store::BlockCache::Config{budget_blocks, 0});
+    ooc_graph_ = std::make_unique<store::OutOfCoreGraph<W>>(*ooc_file_, *ooc_cache_);
+    ooc_engine_ = std::make_unique<query::QueryEngine<store::OutOfCoreGraph<W>, Queue>>(
+        *ooc_graph_);
+    return {};
+  }
+
+ private:
+  template <class Eng>
+  [[nodiscard]] reliability::Status run_multi(Eng& eng, vertex_t from_local,
+                                              std::span<const vertex_t> targets_local,
+                                              const CallOptions& opts, std::span<W> dists_out) {
+    typename Eng::ServeOptions so;
+    so.deadline = opts.deadline;
+    so.cancel = opts.cancel;
+    so.check_every = opts.check_every;
+    const query::Request<W> req{query::MultiTarget{from_local, targets_local}};
+    const auto resp = eng.try_serve(req, so, [&](const auto& r, const auto& sc) {
+      if (!r.status.is_ok()) return;
+      // OK ⇒ targets_settled or exhausted, and in both cases every
+      // target's dist entry is final (settled ⇒ exact, untouched ⇒
+      // genuinely unreachable inside this shard).
+      for (std::size_t i = 0; i < targets_local.size(); ++i) {
+        dists_out[i] = sc.dist()[static_cast<std::size_t>(targets_local[i])];
+      }
+    });
+    return resp.status;
+  }
+
+  void rebuild_exits() {
+    exits_.clear();
+    for (vertex_t lv = 0; lv < n_local_; ++lv) {
+      if (!cut_[static_cast<std::size_t>(lv)].empty()) exits_.push_back(lv);
+    }
+  }
+
+  std::uint32_t id_;
+  vertex_t begin_;
+  vertex_t n_local_;
+  parallel::TaskPool pool_;
+  std::unique_ptr<graph::AdjacencyArray<W>> local_csr_;
+  std::unique_ptr<Overlay> overlay_;
+  std::unique_ptr<Cache> cache_;
+  std::vector<std::vector<graph::Neighbor<W>>> cut_;  ///< heads are global
+  std::vector<vertex_t> exits_;                       ///< local ids, ascending
+  index_t num_cut_edges_ = 0;
+
+  std::unique_ptr<store::BlockedFile<W>> ooc_file_;
+  std::unique_ptr<store::BlockCache> ooc_cache_;
+  std::unique_ptr<store::OutOfCoreGraph<W>> ooc_graph_;
+  std::unique_ptr<query::QueryEngine<store::OutOfCoreGraph<W>, Queue>> ooc_engine_;
+};
+
+}  // namespace cachegraph::serving

@@ -1,0 +1,85 @@
+// serving::StitchedView — the shards re-presented as one GraphRep.
+//
+// for_neighbors(v) asks v's owning shard: first the intra-shard run
+// (the shard overlay enumerates it over local ids; the view remaps
+// heads back to global on the fly), then the cut edges (stored with
+// global heads already). The edge *set* is exactly the original
+// graph's (plus any overlay mutations), so any algorithm over this
+// view computes the same answer as over the unsharded graph —
+// distances, components, depths, and triangle counts identically;
+// only enumeration order differs (intra before cut), which matters
+// solely for float reassociation in PageRank-style sums.
+//
+// This is what lets the router serve k-nearest / bounded / full-SSSP /
+// analytics kinds through one ordinary QueryEngine while point-to-
+// point takes the portal fast path: correctness never depends on the
+// stitching algebra, only latency does. It is also the differential
+// anchor — serving_test drives the same requests through this view
+// and the single-engine oracle and requires identical answers.
+//
+// Same threading contract as the shards: reads are concurrent-safe,
+// mutations (through Router) must be quiesced.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/graph/concepts.hpp"
+#include "cachegraph/serving/partition.hpp"
+#include "cachegraph/serving/shard.hpp"
+
+namespace cachegraph::serving {
+
+template <Weight W, class Queue = query::IndexedQueue<W>>
+class StitchedView {
+ public:
+  using weight_type = W;
+
+  StitchedView(const Partition& part, std::vector<std::unique_ptr<Shard<W, Queue>>>& shards)
+      : part_(&part), shards_(&shards) {}
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return part_->num_vertices(); }
+
+  [[nodiscard]] index_t num_edges() const noexcept {
+    index_t total = 0;
+    for (const auto& sh : *shards_) total += sh->overlay().num_edges() + sh->num_cut_edges();
+    return total;
+  }
+
+  template <memsim::MemPolicy Mem, typename Fn>
+  void for_neighbors(vertex_t v, Mem& mem, Fn&& fn) const {
+    const std::uint32_t s = part_->shard_of(v);
+    Shard<W, Queue>& sh = *(*shards_)[s];
+    const vertex_t lv = v - sh.begin();
+    const vertex_t base = sh.begin();
+    sh.overlay().for_neighbors(lv, mem, [&](const graph::Neighbor<W>& nb) {
+      fn(graph::Neighbor<W>{nb.to + base, nb.weight});
+    });
+    for (const auto& nb : sh.cut(lv)) {
+      mem.read(&nb);
+      fn(nb);
+    }
+  }
+
+  template <memsim::MemPolicy Mem>
+  void map_buffers(Mem& mem) const {
+    for (const auto& sh : *shards_) sh->overlay().map_buffers(mem);
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& sh : *shards_) {
+      total += sh->overlay().footprint_bytes() +
+               static_cast<std::size_t>(sh->num_cut_edges()) * sizeof(graph::Neighbor<W>);
+    }
+    return total;
+  }
+
+ private:
+  const Partition* part_;
+  std::vector<std::unique_ptr<Shard<W, Queue>>>* shards_;
+};
+
+}  // namespace cachegraph::serving

@@ -1,0 +1,386 @@
+// serving::TrafficDriver — a replayable open-loop load generator for
+// the sharded front-end.
+//
+// Two cleanly separated halves:
+//
+//  1. build_schedule(config, n) is PURE: seed → the complete request
+//     list (arrival offset, tenant, kind, source/target/k/radius),
+//     byte-for-byte reproducible on any machine. Per tenant it draws
+//     exponential interarrivals at the profile's rate (Poisson
+//     arrivals, the standard open-loop model), a request kind from the
+//     profile's mix weights, and sources from a Zipf distribution over
+//     a seed-permuted vertex order — hot sources exist (they are what
+//     the coalescer and result caches exploit) but *which* vertices
+//     are hot is seed-dependent, not structure-dependent. traffic_test
+//     pins replay equality.
+//
+//  2. run(router, config, schedule) is the OPEN LOOP: a dispatcher
+//     walks the schedule on the wall clock and hands each arrival to a
+//     worker pool the moment it is due — arrivals never wait for
+//     completions, so queueing delay is real and the recorded latency
+//     (completion time minus *scheduled arrival*) is the number a
+//     closed-loop harness structurally cannot measure (coordinated
+//     omission). Per-(tenant, kind) latencies land in driver-owned
+//     LatencyHistograms — always on, independent of the
+//     CACHEGRAPH_INSTRUMENT build flag, because they are the bench
+//     deliverable, not telemetry.
+//
+// The report carries nearest-rank p50/p99/p99.9 per tenant per kind
+// plus terminal-status tallies; bench_query_engine's traffic scene
+// emits the rows into its JSON for the CI smoke to assert on.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/common/types.hpp"
+#include "cachegraph/obs/histogram.hpp"
+#include "cachegraph/query/request.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/serving/router.hpp"
+
+namespace cachegraph::serving {
+
+/// Zipf(skew) sampler over `n` ranks, each mapped to a vertex through
+/// a seeded Fisher-Yates permutation. pick() is a binary search over
+/// the precomputed CDF — O(log n), no rejection.
+class ZipfPicker {
+ public:
+  ZipfPicker(vertex_t n, double skew, Rng& rng) : perm_(static_cast<std::size_t>(n)) {
+    CG_CHECK(n > 0, "zipf needs at least one vertex");
+    cdf_.resize(static_cast<std::size_t>(n));
+    double cum = 0.0;
+    for (std::size_t r = 0; r < cdf_.size(); ++r) {
+      cum += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      cdf_[r] = cum;
+    }
+    for (double& c : cdf_) c /= cum;
+    std::iota(perm_.begin(), perm_.end(), vertex_t{0});
+    shuffle(perm_.begin(), perm_.end(), rng);
+  }
+
+  [[nodiscard]] vertex_t pick(Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto rank = static_cast<std::size_t>(
+        it == cdf_.end() ? cdf_.size() - 1 : static_cast<std::size_t>(it - cdf_.begin()));
+    return perm_[rank];
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<vertex_t> perm_;
+};
+
+/// The request shapes the driver generates (a serving-mix subset of
+/// query::Request — analytics kinds are batch work, not traffic).
+enum class TrafficKind : std::uint8_t { kPointToPoint = 0, kKNearest, kBounded, kFullSssp };
+inline constexpr std::size_t kNumTrafficKinds = 4;
+
+[[nodiscard]] constexpr const char* to_string(TrafficKind k) noexcept {
+  switch (k) {
+    case TrafficKind::kPointToPoint: return "point_to_point";
+    case TrafficKind::kKNearest: return "k_nearest";
+    case TrafficKind::kBounded: return "bounded";
+    case TrafficKind::kFullSssp: return "full_sssp";
+  }
+  return "?";
+}
+
+template <Weight W>
+struct TenantProfile {
+  std::string name;
+  double rate_hz = 100.0;    ///< Poisson arrival rate
+  double zipf_skew = 1.0;    ///< source popularity skew (0 = uniform)
+  /// Kind mix (relative weights; zero drops the kind from the mix).
+  double weight_p2p = 1.0;
+  double weight_k_nearest = 0.0;
+  double weight_bounded = 0.0;
+  double weight_full_sssp = 0.0;
+  vertex_t k = 8;            ///< k for generated KNearest requests
+  W radius = W{4};           ///< radius for generated Bounded requests
+  std::chrono::nanoseconds deadline{0};  ///< per-request budget; 0 = none
+};
+
+template <Weight W>
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  std::chrono::nanoseconds duration{std::chrono::milliseconds(100)};
+  std::vector<TenantProfile<W>> tenants;
+};
+
+/// One scheduled arrival. Plain data, equality-comparable — the replay
+/// contract is schedule == schedule for equal (config, n).
+template <Weight W>
+struct ScheduledRequest {
+  std::uint64_t at_ns = 0;  ///< offset from traffic start
+  std::uint32_t tenant = 0;
+  TrafficKind kind = TrafficKind::kPointToPoint;
+  vertex_t source = 0;
+  vertex_t target = 0;  ///< p2p only
+  vertex_t k = 0;       ///< k-nearest only
+  W radius = W{0};      ///< bounded only
+
+  friend bool operator==(const ScheduledRequest&, const ScheduledRequest&) = default;
+};
+
+/// Deterministically expands a config into the full arrival list over
+/// `n` vertices, sorted by arrival time (ties broken by tenant then
+/// kind — total order, so the merge is reproducible too).
+template <Weight W>
+[[nodiscard]] std::vector<ScheduledRequest<W>> build_schedule(const TrafficConfig<W>& cfg,
+                                                              vertex_t n) {
+  CG_CHECK(n > 0, "traffic needs a non-empty graph");
+  std::vector<ScheduledRequest<W>> out;
+  const auto horizon = static_cast<double>(cfg.duration.count());
+  for (std::uint32_t t = 0; t < cfg.tenants.size(); ++t) {
+    const TenantProfile<W>& tp = cfg.tenants[t];
+    if (tp.rate_hz <= 0.0) continue;
+    // Independent per-tenant stream: tenants can be added or removed
+    // without perturbing each other's draws.
+    Rng rng(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+    const ZipfPicker sources(n, tp.zipf_skew, rng);
+    const double wsum =
+        tp.weight_p2p + tp.weight_k_nearest + tp.weight_bounded + tp.weight_full_sssp;
+    CG_CHECK(wsum > 0.0, "tenant '" + tp.name + "' has an all-zero kind mix");
+    const double cut_p2p = tp.weight_p2p / wsum;
+    const double cut_kn = cut_p2p + tp.weight_k_nearest / wsum;
+    const double cut_bd = cut_kn + tp.weight_bounded / wsum;
+    double t_ns = 0.0;
+    for (;;) {
+      // Exponential interarrival at rate_hz; uniform01() < 1 so the
+      // log argument stays positive.
+      t_ns += -std::log(1.0 - rng.uniform01()) / tp.rate_hz * 1e9;
+      if (t_ns >= horizon) break;
+      ScheduledRequest<W> req;
+      req.at_ns = static_cast<std::uint64_t>(t_ns);
+      req.tenant = t;
+      req.source = sources.pick(rng);
+      const double u = rng.uniform01();
+      if (u < cut_p2p) {
+        req.kind = TrafficKind::kPointToPoint;
+        req.target = static_cast<vertex_t>(rng.below(static_cast<std::uint64_t>(n)));
+      } else if (u < cut_kn) {
+        req.kind = TrafficKind::kKNearest;
+        req.k = tp.k;
+      } else if (u < cut_bd) {
+        req.kind = TrafficKind::kBounded;
+        req.radius = tp.radius;
+      } else {
+        req.kind = TrafficKind::kFullSssp;
+      }
+      out.push_back(req);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+  });
+  return out;
+}
+
+template <Weight W, class Queue = query::IndexedQueue<W>>
+class TrafficDriver {
+ public:
+  struct Row {
+    std::uint32_t tenant;
+    std::string tenant_name;
+    TrafficKind kind;
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t other = 0;
+  };
+
+  struct Report {
+    std::vector<Row> rows;  ///< tenant-major, kind-minor; count > 0 only
+    std::uint64_t total_requests = 0;
+    std::uint64_t total_ok = 0;
+  };
+
+  /// Registers cfg's tenants on `router` (quota from `quotas[i]` when
+  /// provided), plays `schedule` open-loop with `workers` service
+  /// threads, and reports per-(tenant, kind) latency percentiles.
+  /// Latency is completion − scheduled arrival: service time PLUS the
+  /// queueing the open loop makes visible.
+  static Report run(Router<W, Queue>& router, const TrafficConfig<W>& cfg,
+                    const std::vector<ScheduledRequest<W>>& schedule, int workers,
+                    const std::vector<typename Router<W, Queue>::TenantQuota>& quotas = {}) {
+    CG_CHECK(workers >= 1, "traffic needs at least one worker");
+    const std::size_t nt = cfg.tenants.size();
+    std::vector<std::uint32_t> tenant_ids(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+      tenant_ids[t] = router.add_tenant(
+          cfg.tenants[t].name, t < quotas.size()
+                                   ? quotas[t]
+                                   : typename Router<W, Queue>::TenantQuota{});
+    }
+
+    Cells cells(nt);
+    Dispatch dispatch;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    const auto start = std::chrono::steady_clock::now();
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] { worker_loop(router, cfg, schedule, tenant_ids, start,
+                                          dispatch, cells); });
+    }
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const auto due = start + std::chrono::nanoseconds(schedule[i].at_ns);
+      std::this_thread::sleep_until(due);
+      {
+        const std::lock_guard<std::mutex> lock(dispatch.mu);
+        dispatch.ready.push_back(i);
+      }
+      dispatch.cv.notify_one();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(dispatch.mu);
+      dispatch.done = true;
+    }
+    dispatch.cv.notify_all();
+    for (auto& th : pool) th.join();
+
+    Report rep;
+    rep.total_requests = schedule.size();
+    for (std::size_t t = 0; t < nt; ++t) {
+      for (std::size_t k = 0; k < kNumTrafficKinds; ++k) {
+        const Cell& cell = *cells.grid[t * kNumTrafficKinds + k];
+        const obs::HistogramSnapshot snap = cell.latency.snapshot();
+        if (snap.count == 0) continue;
+        Row row;
+        row.tenant = static_cast<std::uint32_t>(t);
+        row.tenant_name = cfg.tenants[t].name;
+        row.kind = static_cast<TrafficKind>(k);
+        row.count = snap.count;
+        row.p50_ns = snap.percentile(50.0);
+        row.p99_ns = snap.percentile(99.0);
+        row.p999_ns = snap.percentile(99.9);
+        row.max_ns = snap.max();
+        row.ok = cell.ok.load(std::memory_order_relaxed);
+        row.overloaded = cell.overloaded.load(std::memory_order_relaxed);
+        row.deadline_exceeded = cell.deadline.load(std::memory_order_relaxed);
+        row.cancelled = cell.cancelled.load(std::memory_order_relaxed);
+        row.other = cell.other.load(std::memory_order_relaxed);
+        rep.total_ok += row.ok;
+        rep.rows.push_back(std::move(row));
+      }
+    }
+    return rep;
+  }
+
+ private:
+  struct Cell {
+    obs::LatencyHistogram latency;
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> deadline{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> other{0};
+  };
+
+  struct Cells {
+    explicit Cells(std::size_t tenants) {
+      grid.reserve(tenants * kNumTrafficKinds);
+      for (std::size_t i = 0; i < tenants * kNumTrafficKinds; ++i) {
+        grid.push_back(std::make_unique<Cell>());
+      }
+    }
+    std::vector<std::unique_ptr<Cell>> grid;  ///< tenant-major
+  };
+
+  struct Dispatch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::size_t> ready;  ///< schedule indices due now
+    bool done = false;
+  };
+
+  static void worker_loop(Router<W, Queue>& router, const TrafficConfig<W>& cfg,
+                          const std::vector<ScheduledRequest<W>>& schedule,
+                          const std::vector<std::uint32_t>& tenant_ids,
+                          std::chrono::steady_clock::time_point start, Dispatch& dispatch,
+                          Cells& cells) {
+    for (;;) {
+      std::size_t i;
+      {
+        std::unique_lock<std::mutex> lk(dispatch.mu);
+        dispatch.cv.wait(lk, [&] { return !dispatch.ready.empty() || dispatch.done; });
+        if (dispatch.ready.empty()) return;
+        i = dispatch.ready.front();
+        dispatch.ready.pop_front();
+      }
+      const ScheduledRequest<W>& sreq = schedule[i];
+      const TenantProfile<W>& tp = cfg.tenants[sreq.tenant];
+      CallOptions opts;
+      if (tp.deadline.count() > 0) {
+        // Budget from the *scheduled* arrival: time spent queued
+        // behind the open loop counts against the request, exactly as
+        // a client-side deadline would.
+        opts.deadline = reliability::Deadline::at(
+            start + std::chrono::nanoseconds(sreq.at_ns) + tp.deadline);
+      }
+      const auto result = router.try_serve(tenant_ids[sreq.tenant], to_request(sreq), opts);
+      const auto lat = std::chrono::steady_clock::now() -
+                       (start + std::chrono::nanoseconds(sreq.at_ns));
+      Cell& cell = *cells.grid[static_cast<std::size_t>(sreq.tenant) * kNumTrafficKinds +
+                               static_cast<std::size_t>(sreq.kind)];
+      const auto lat_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(lat).count();
+      cell.latency.record(lat_ns <= 0 ? 0 : static_cast<std::uint64_t>(lat_ns));
+      switch (result.status.code()) {
+        case reliability::StatusCode::kOk:
+          cell.ok.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case reliability::StatusCode::kOverloaded:
+          cell.overloaded.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case reliability::StatusCode::kDeadlineExceeded:
+          cell.deadline.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case reliability::StatusCode::kCancelled:
+          cell.cancelled.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          cell.other.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] static query::Request<W> to_request(const ScheduledRequest<W>& s) {
+    switch (s.kind) {
+      case TrafficKind::kPointToPoint:
+        return query::Request<W>{query::PointToPoint{s.source, s.target}};
+      case TrafficKind::kKNearest:
+        return query::Request<W>{query::KNearest{s.source, s.k}};
+      case TrafficKind::kBounded:
+        return query::Request<W>{query::Bounded<W>{s.source, s.radius}};
+      case TrafficKind::kFullSssp:
+        return query::Request<W>{query::FullSSSP{s.source}};
+    }
+    return query::Request<W>{query::FullSSSP{s.source}};
+  }
+};
+
+}  // namespace cachegraph::serving

@@ -90,6 +90,14 @@ void Harness::sim(const std::string& variant, Params params, const memsim::SimSt
   records_.push_back(std::move(rec));
 }
 
+void Harness::note(const std::string& variant, Params params) {
+  BenchRecord rec;
+  rec.variant = variant;
+  rec.params = std::move(params);
+  rec.counters = obs::CounterRegistry::instance().snapshot(/*nonzero_only=*/true);
+  records_.push_back(std::move(rec));
+}
+
 void Harness::print_stats_table() const {
   Table t({"variant", "params", "best (s)", "median (s)", "mean (s)", "stddev (s)", "reps"});
   bool any = false;

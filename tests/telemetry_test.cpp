@@ -279,7 +279,7 @@ TEST(Telemetry, KindTablesAgreeWithQueryLabels) {
   const std::vector<query::Request<int>> shapes{
       query::PointToPoint{0, 1}, query::KNearest{0, 2},       query::Bounded<int>{0, 3},
       query::FullSSSP{0},        query::PageRank{},           query::Wcc{},
-      query::BfsFromSet{},       query::TriangleCount{}};
+      query::BfsFromSet{},       query::TriangleCount{},      query::MultiTarget{0, {}}};
   for (const auto& r : shapes) {
     EXPECT_STREQ(obs::request_kind_name(query::kind_index_of(r)), query::kind_of(r));
   }
@@ -289,6 +289,9 @@ TEST(Telemetry, KindTablesAgreeWithQueryLabels) {
   EXPECT_STREQ(obs::request_kind_name(obs::kKindWcc), "wcc");
   EXPECT_STREQ(obs::request_kind_name(obs::kKindBfsFromSet), "bfs_from_set");
   EXPECT_STREQ(obs::request_kind_name(obs::kKindTriangleCount), "triangle_count");
+  EXPECT_STREQ(obs::request_kind_name(obs::kKindMultiTarget), "multi_target");
+  EXPECT_EQ(query::kind_index_of(query::Request<int>{query::MultiTarget{0, {}}}),
+            obs::kKindMultiTarget);
   EXPECT_STREQ(obs::request_kind_name(obs::kNumRequestKinds), "unknown");
 }
 
