@@ -233,9 +233,20 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
 
   // Mark the multi-target set; counting only 0→1 flips dedupes
   // repeated entries so `pending` is the number of *distinct* targets.
-  // Marks are erased again at the single exit below, so the scratch's
-  // is_target_ array stays all-zero between searches without touching
-  // reset().
+  // The guard erases the marks at EVERY exit — including the unwind
+  // when the backing graph throws mid-scan (an out-of-core block read
+  // surfacing DataLossError). reset() cannot undo marks (it tracks
+  // touched vertices, not targets), and a leased scratch with stale
+  // marks mis-counts the next search's `pending`: settling a stale
+  // mark drains it early and the search reports targets_settled with
+  // the real targets still at inf — silent data loss dressed as OK.
+  struct MarkGuard {
+    SearchScratch<W, Queue>& sc;
+    std::span<const vertex_t> targets;
+    ~MarkGuard() {
+      for (const vertex_t t : targets) sc.is_target_[static_cast<std::size_t>(t)] = 0;
+    }
+  } mark_guard{sc, lim.targets};
   vertex_t pending = 0;
   for (const vertex_t t : lim.targets) {
     auto& mark = sc.is_target_[static_cast<std::size_t>(t)];
@@ -337,11 +348,6 @@ Outcome search(const G& g, vertex_t source, const Limits<typename G::weight_type
   // report the clip so callers can tell "ball smaller than component"
   // from "whole component inside the radius".
   if (outcome == Outcome::exhausted && clipped) outcome = Outcome::radius_exceeded;
-  // Erase whatever marks survive (unsettled targets, or the whole set
-  // after an early termination) so the next search starts clean.
-  if (!lim.targets.empty()) {
-    for (const vertex_t t : lim.targets) sc.is_target_[static_cast<std::size_t>(t)] = 0;
-  }
   CG_COUNTER_ADD("query.settled", sc.settled_order_.size());
   CG_COUNTER_ADD("query.relaxations", sc.relaxations_);
   CG_COUNTER_ADD("query.stale_pops", sc.stale_pops_);

@@ -12,8 +12,13 @@
 //
 // The sleeper is a parameter: production uses sleep_for, tests pass a
 // recorder and run the full schedule in microseconds of real time. A
-// deadline bounds the whole loop — expiring between attempts returns
-// DEADLINE_EXCEEDED rather than sleeping past the budget.
+// deadline bounds the whole loop — it is checked *before* each sleep
+// (an expired budget never sleeps at all) and each sleep is clamped to
+// the remaining budget, so the loop can overrun the deadline by at
+// most one fn() call, never by a backoff delay. An optional
+// CancelToken on the policy is polled at the same points: a fired
+// token resolves CANCELLED immediately instead of sleeping through
+// the rest of the schedule.
 //
 // Works over both shapes of fallible call:
 //   Status        fn()   -> retry_status(...)  -> Status
@@ -44,6 +49,9 @@ struct BackoffPolicy {
   double jitter = 0.25;
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
   Deadline deadline{};  ///< bounds the whole retry loop (none = unbounded)
+  /// Polled before each sleep and between attempts; fired ⇒ CANCELLED
+  /// immediately. Must outlive the retry call. Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 namespace detail {
@@ -61,6 +69,31 @@ namespace detail {
   return std::chrono::microseconds(static_cast<std::int64_t>(us));
 }
 
+/// The scheduled delay, clamped to the deadline's remaining budget so
+/// a sleep can never outlive the loop's time budget.
+[[nodiscard]] inline std::chrono::microseconds clamp_to_deadline(
+    std::chrono::microseconds delay, const Deadline& deadline) {
+  if (!deadline.armed()) return delay;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::microseconds>(deadline.remaining());
+  return delay < left ? delay : left;
+}
+
+[[nodiscard]] inline bool cancel_fired(const BackoffPolicy& p) {
+  return p.cancel != nullptr && p.cancel->cancelled();
+}
+
+[[nodiscard]] inline Status cancelled_status(int attempts_done, const Status& last) {
+  return cancelled("retry cancelled after " + std::to_string(attempts_done) +
+                   " attempt(s); last: " + last.to_string());
+}
+
+[[nodiscard]] inline Status deadline_status(int attempts_done, const Status& last) {
+  CG_COUNTER_INC("reliability.retry.deadline_giveups");
+  return deadline_exceeded("retry budget spent after " + std::to_string(attempts_done) +
+                           " attempt(s); last: " + last.to_string());
+}
+
 }  // namespace detail
 
 /// The default sleeper.
@@ -70,8 +103,9 @@ inline void sleep_for_backoff(std::chrono::microseconds d) {
 
 /// Retries `fn` (returning Status) on transient failure. Returns the
 /// first non-transient status, the last transient one when attempts
-/// run out, or DEADLINE_EXCEEDED when the policy deadline expires
-/// between attempts.
+/// run out, DEADLINE_EXCEEDED when the policy deadline expires between
+/// attempts (checked before sleeping, and each sleep is clamped to the
+/// remaining budget), or CANCELLED when the policy token fires.
 template <typename Fn, typename Sleep = void (*)(std::chrono::microseconds)>
 [[nodiscard]] Status retry_status(Fn&& fn, const BackoffPolicy& policy = {},
                                   Sleep&& sleep = sleep_for_backoff) {
@@ -81,17 +115,19 @@ template <typename Fn, typename Sleep = void (*)(std::chrono::microseconds)>
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       CG_COUNTER_INC("reliability.retry.attempts");
-      const auto delay = detail::backoff_delay(policy, attempt - 1, rng);
+      // The first attempt always runs; cancel/deadline only stop
+      // retries — and they do so *before* the backoff sleep, so a
+      // spent budget never sleeps at all.
+      if (detail::cancel_fired(policy)) return detail::cancelled_status(attempt, last);
+      if (policy.deadline.expired()) return detail::deadline_status(attempt, last);
+      const auto delay = detail::clamp_to_deadline(
+          detail::backoff_delay(policy, attempt - 1, rng), policy.deadline);
       {
         CG_TRACE_SPAN("reliability.retry.backoff");
         sleep(delay);
       }
-      // The first attempt always runs; the deadline only stops retries.
-      if (policy.deadline.expired()) {
-        CG_COUNTER_INC("reliability.retry.deadline_giveups");
-        return deadline_exceeded("retry budget spent after " + std::to_string(attempt) +
-                                 " attempt(s); last: " + last.to_string());
-      }
+      if (detail::cancel_fired(policy)) return detail::cancelled_status(attempt, last);
+      if (policy.deadline.expired()) return detail::deadline_status(attempt, last);
     }
     last = fn();
     if (!is_transient(last.code())) return last;
@@ -112,16 +148,23 @@ template <typename Fn, typename Sleep = void (*)(std::chrono::microseconds)>
   Rng rng(policy.seed);
   for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
     CG_COUNTER_INC("reliability.retry.attempts");
-    const auto delay = detail::backoff_delay(policy, attempt - 1, rng);
+    if (detail::cancel_fired(policy)) {
+      return Result(detail::cancelled_status(attempt, out.status()));
+    }
+    if (policy.deadline.expired()) {
+      return Result(detail::deadline_status(attempt, out.status()));
+    }
+    const auto delay = detail::clamp_to_deadline(
+        detail::backoff_delay(policy, attempt - 1, rng), policy.deadline);
     {
       CG_TRACE_SPAN("reliability.retry.backoff");
       sleep(delay);
     }
+    if (detail::cancel_fired(policy)) {
+      return Result(detail::cancelled_status(attempt, out.status()));
+    }
     if (policy.deadline.expired()) {
-      CG_COUNTER_INC("reliability.retry.deadline_giveups");
-      return Result(deadline_exceeded("retry budget spent after " +
-                                      std::to_string(attempt) + " attempt(s); last: " +
-                                      out.status().to_string()));
+      return Result(detail::deadline_status(attempt, out.status()));
     }
     out = fn();
     if (out.has_value() || !is_transient(out.status().code())) return out;

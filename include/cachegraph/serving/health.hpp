@@ -1,0 +1,245 @@
+// Per-replica health state machine: a circuit breaker for shard
+// replicas.
+//
+//              failure            quarantine_after
+//   healthy ──────────▶ suspect ──────consecutive────▶ quarantined
+//      ▲                   │                               │
+//      │      success      │                 probation elapses
+//      ├───────────────────┘                               │
+//      │                                                   ▼
+//      │        probe succeeds                          probing
+//      └────────────────────────────────────────────────(half-open,
+//                probe fails ⇒ re-quarantined,           one ticket)
+//                probation doubles
+//
+// The machine never sees requests — the Router reports outcomes
+// (`on_success` / `on_failure`) and asks permission to probe
+// (`try_begin_probe`). Quarantine carries a probation interval with
+// deterministic seeded exponential backoff (base · multiplier^(k-1),
+// capped, jittered from the seed so two replicas quarantined in the
+// same tick don't probe in the same tick). Half-open is a single CAS
+// ticket: exactly one request probes a quarantined replica per
+// probation window; everyone else keeps treating it as down until the
+// probe reports.
+//
+// All time is passed in explicitly (steady_clock::time_point), so
+// tests drive the machine with a synthetic clock and pin the exact
+// probation schedule.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/common/rng.hpp"
+#include "cachegraph/reliability/status.hpp"
+
+namespace cachegraph::serving {
+
+enum class ReplicaState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+  kProbing = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(ReplicaState s) noexcept {
+  switch (s) {
+    case ReplicaState::kHealthy: return "healthy";
+    case ReplicaState::kSuspect: return "suspect";
+    case ReplicaState::kQuarantined: return "quarantined";
+    case ReplicaState::kProbing: return "probing";
+  }
+  return "?";
+}
+
+struct HealthConfig {
+  /// Consecutive failures before healthy → suspect (suspect still
+  /// serves; it is a leading indicator for gauges/dashboards).
+  int suspect_after = 1;
+  /// Consecutive failures before quarantine (traffic stops).
+  int quarantine_after = 3;
+  /// First probation interval; doubles (×multiplier) per consecutive
+  /// quarantine, capped at probation_max, jittered ±probation_jitter.
+  std::chrono::milliseconds probation_base{50};
+  double probation_multiplier = 2.0;
+  std::chrono::milliseconds probation_max{2000};
+  double probation_jitter = 0.25;
+};
+
+/// Which status codes indict the *replica* (as opposed to the client
+/// or the request): corrupt blocks, timeouts, exhausted scratch, shed
+/// load, and aborted tasks. CANCELLED and INVALID_ARGUMENT never do —
+/// the Router additionally exempts DEADLINE_EXCEEDED when the client's
+/// real deadline had in fact expired (see Router::probe_replicated).
+[[nodiscard]] constexpr bool replica_fault_code(reliability::StatusCode c) noexcept {
+  using reliability::StatusCode;
+  return c == StatusCode::kDataLoss || c == StatusCode::kDeadlineExceeded ||
+         c == StatusCode::kResourceExhausted || c == StatusCode::kOverloaded;
+}
+
+class ReplicaHealth {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  struct Transition {
+    ReplicaState from;
+    ReplicaState to;
+    reliability::StatusCode cause;
+  };
+
+  struct Stats {
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t recoveries = 0;
+    int consecutive_failures = 0;
+  };
+
+  ReplicaHealth(const HealthConfig& cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {
+    CG_CHECK(cfg.suspect_after >= 1, "suspect_after must be >= 1");
+    CG_CHECK(cfg.quarantine_after >= cfg.suspect_after,
+             "quarantine_after must be >= suspect_after");
+    CG_CHECK(cfg.probation_multiplier >= 1.0, "probation multiplier must be >= 1");
+  }
+
+  ReplicaHealth(const ReplicaHealth&) = delete;
+  ReplicaHealth& operator=(const ReplicaHealth&) = delete;
+
+  [[nodiscard]] ReplicaState state() const {
+    std::lock_guard lk(mu_);
+    return state_;
+  }
+
+  /// True when ordinary traffic may be routed here (healthy or
+  /// suspect). Probing replicas serve only their one probe.
+  [[nodiscard]] bool available() const {
+    std::lock_guard lk(mu_);
+    return state_ == ReplicaState::kHealthy || state_ == ReplicaState::kSuspect;
+  }
+
+  /// True when a request *could* reach this replica at `now`: it is
+  /// available, or quarantined with probation elapsed and no probe in
+  /// flight (so the next pick() would claim the half-open ticket).
+  [[nodiscard]] bool reachable(clock::time_point now) const {
+    std::lock_guard lk(mu_);
+    if (state_ == ReplicaState::kHealthy || state_ == ReplicaState::kSuspect) return true;
+    return state_ == ReplicaState::kQuarantined && now >= probation_until_;
+  }
+
+  /// A served request completed OK. Suspect heals; a probe (or stray
+  /// traffic that reached a quarantined replica) recovers it.
+  std::optional<Transition> on_success() {
+    std::lock_guard lk(mu_);
+    ++stats_.successes;
+    stats_.consecutive_failures = 0;
+    switch (state_) {
+      case ReplicaState::kHealthy:
+        return std::nullopt;
+      case ReplicaState::kSuspect:
+        return set_locked(ReplicaState::kHealthy, reliability::StatusCode::kOk);
+      case ReplicaState::kProbing:
+      case ReplicaState::kQuarantined:
+        probe_inflight_ = false;
+        ++stats_.recoveries;
+        return set_locked(ReplicaState::kHealthy, reliability::StatusCode::kOk);
+    }
+    return std::nullopt;
+  }
+
+  /// A served request failed with a replica-indicting code.
+  std::optional<Transition> on_failure(reliability::StatusCode cause, clock::time_point now) {
+    std::lock_guard lk(mu_);
+    ++stats_.failures;
+    if (state_ == ReplicaState::kProbing) {
+      // Failed probe: back to quarantine, probation doubles.
+      probe_inflight_ = false;
+      return quarantine_locked(cause, now);
+    }
+    if (state_ == ReplicaState::kQuarantined) return std::nullopt;
+    ++stats_.consecutive_failures;
+    if (stats_.consecutive_failures >= cfg_.quarantine_after) {
+      return quarantine_locked(cause, now);
+    }
+    if (state_ == ReplicaState::kHealthy &&
+        stats_.consecutive_failures >= cfg_.suspect_after) {
+      return set_locked(ReplicaState::kSuspect, cause);
+    }
+    return std::nullopt;
+  }
+
+  /// Claim the half-open probe ticket: true iff quarantined, probation
+  /// has elapsed at `now`, and nobody else holds the ticket. The
+  /// caller MUST follow up with on_success / on_failure /
+  /// abandon_probe, or the replica stays half-open forever.
+  [[nodiscard]] bool try_begin_probe(clock::time_point now) {
+    std::lock_guard lk(mu_);
+    if (state_ != ReplicaState::kQuarantined || now < probation_until_ || probe_inflight_) {
+      return false;
+    }
+    probe_inflight_ = true;
+    state_ = ReplicaState::kProbing;
+    ++stats_.probes;
+    return true;
+  }
+
+  /// The probe resolved with a code that indicts nobody (client
+  /// cancel, genuine deadline): return the ticket without doubling
+  /// probation.
+  void abandon_probe() {
+    std::lock_guard lk(mu_);
+    if (state_ != ReplicaState::kProbing) return;
+    probe_inflight_ = false;
+    state_ = ReplicaState::kQuarantined;
+  }
+
+  [[nodiscard]] clock::time_point probation_until() const {
+    std::lock_guard lk(mu_);
+    return probation_until_;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+
+ private:
+  std::optional<Transition> set_locked(ReplicaState to, reliability::StatusCode cause) {
+    const ReplicaState from = state_;
+    state_ = to;
+    return Transition{from, to, cause};
+  }
+
+  std::optional<Transition> quarantine_locked(reliability::StatusCode cause,
+                                              clock::time_point now) {
+    stats_.consecutive_failures = 0;
+    ++stats_.quarantines;
+    double ms = static_cast<double>(cfg_.probation_base.count());
+    for (std::uint64_t k = 1; k < stats_.quarantines; ++k) {
+      ms *= cfg_.probation_multiplier;
+      if (ms >= static_cast<double>(cfg_.probation_max.count())) break;
+    }
+    const double cap = static_cast<double>(cfg_.probation_max.count());
+    if (ms > cap) ms = cap;
+    if (cfg_.probation_jitter > 0.0) {
+      ms *= 1.0 - cfg_.probation_jitter + 2.0 * cfg_.probation_jitter * rng_.uniform01();
+    }
+    probation_until_ =
+        now + std::chrono::duration_cast<clock::duration>(std::chrono::duration<double, std::milli>(ms));
+    return set_locked(ReplicaState::kQuarantined, cause);
+  }
+
+  HealthConfig cfg_;
+  Rng rng_;
+  mutable std::mutex mu_;
+  ReplicaState state_ = ReplicaState::kHealthy;
+  bool probe_inflight_ = false;
+  clock::time_point probation_until_{};
+  Stats stats_;
+};
+
+}  // namespace cachegraph::serving

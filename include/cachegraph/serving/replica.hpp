@@ -1,0 +1,289 @@
+// serving::ReplicaSet — R bit-identical replicas of one shard, plus
+// the health machinery that decides which one serves.
+//
+// Each replica is a full private Shard (engine, overlay, result cache,
+// TaskPool, optionally its own out-of-core store + block-cache
+// budget): separate failure domains all the way down to the file. The
+// replicas are deterministic functions of (global CSR, partition,
+// shard id), so their local CSRs, overlays, cached trees, and blocked
+// files are bit-identical — which is the whole consistency argument:
+// ANY replica's answer is THE answer, and failover can never change a
+// result, only whether one is produced. Differential tests pin this
+// (serving_test ReplicaBitIdentity); mutations preserve it because
+// insert/remove fan out to every replica at the same quiescent point.
+//
+// Routing policy (mechanism here, policy in Router):
+//   - pick(tried, now): first available replica (healthy/suspect),
+//     preferring the current primary for cache locality; when none is
+//     available, a quarantined replica whose probation has elapsed may
+//     be claimed as a half-open probe (one CAS ticket per window).
+//   - report(idx, code, ...): feeds the outcome back into the health
+//     machine; quarantine/recovery transitions publish a state gauge,
+//     bump counters, advance the primary off sick replicas, and note a
+//     FlightRecorder record (quarantines are exactly the "what just
+//     happened" moments the black box exists for).
+//   - reachable(now): degraded-mode hint — false means no replica can
+//     serve *right now* (all quarantined, probation pending or probe
+//     ticket taken), so the Router prunes this shard like a dead end
+//     and answers that need it fail fast instead of hanging.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cachegraph/common/check.hpp"
+#include "cachegraph/graph/adjacency_array.hpp"
+#include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/flight_recorder.hpp"
+#include "cachegraph/obs/metrics.hpp"
+#include "cachegraph/obs/telemetry.hpp"
+#include "cachegraph/reliability/status.hpp"
+#include "cachegraph/serving/health.hpp"
+#include "cachegraph/serving/partition.hpp"
+#include "cachegraph/serving/scrubber.hpp"
+#include "cachegraph/serving/shard.hpp"
+
+namespace cachegraph::serving {
+
+template <Weight W, class Queue = query::IndexedQueue<W>>
+class ReplicaSet {
+ public:
+  using ShardT = Shard<W, Queue>;
+  using clock = std::chrono::steady_clock;
+
+  /// A routing decision: which replica, and whether this request is
+  /// the half-open probe of a quarantined one.
+  struct Pick {
+    std::uint32_t index;
+    bool probe;
+  };
+
+  static constexpr std::uint32_t kMaxReplicas = 32;  ///< pick() uses a 32-bit tried mask
+
+  ReplicaSet(const graph::AdjacencyArray<W>& global, const Partition& part,
+             std::uint32_t shard_id, std::uint32_t replicas, int pool_threads,
+             const HealthConfig& health_cfg, std::uint64_t seed) {
+    CG_CHECK(replicas >= 1 && replicas <= kMaxReplicas, "1..32 replicas per shard");
+    shard_id_ = shard_id;
+    replicas_.reserve(replicas);
+    health_.reserve(replicas);
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      replicas_.push_back(std::make_unique<ShardT>(global, part, shard_id, pool_threads));
+      // Distinct deterministic probation streams per replica.
+      const std::uint64_t mix =
+          seed ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{shard_id} * kMaxReplicas + r + 1));
+      health_.push_back(std::make_unique<ReplicaHealth>(health_cfg, mix));
+    }
+  }
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_id() const noexcept { return shard_id_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+
+  [[nodiscard]] ShardT& replica(std::uint32_t r) noexcept { return *replicas_[r]; }
+  [[nodiscard]] const ShardT& replica(std::uint32_t r) const noexcept { return *replicas_[r]; }
+  [[nodiscard]] ReplicaHealth& health(std::uint32_t r) noexcept { return *health_[r]; }
+
+  /// The current primary — what non-probing read paths (the stitched
+  /// whole-graph view) use. Advanced off replicas as they quarantine.
+  [[nodiscard]] std::uint32_t current_index() const noexcept {
+    return current_.load(std::memory_order_acquire) % size();
+  }
+  [[nodiscard]] ShardT& current_shard() noexcept { return *replicas_[current_index()]; }
+  [[nodiscard]] const ShardT& current_shard() const noexcept {
+    return *replicas_[current_index()];
+  }
+
+  /// Picks a replica for one attempt, skipping indices in `tried`
+  /// (bitmask). Prefers the primary, then siblings in order; when no
+  /// replica is available, tries to claim a half-open probe on a
+  /// quarantined one whose probation has elapsed. nullopt = nothing
+  /// can serve right now.
+  [[nodiscard]] std::optional<Pick> pick(std::uint32_t tried, clock::time_point now) {
+    const std::uint32_t n = size();
+    const std::uint32_t cur = current_.load(std::memory_order_acquire);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::uint32_t i = (cur + k) % n;
+      if ((tried & (1u << i)) != 0) continue;
+      if (health_[i]->available()) return Pick{i, false};
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if ((tried & (1u << i)) != 0) continue;
+      if (health_[i]->try_begin_probe(now)) return Pick{i, true};
+    }
+    return std::nullopt;
+  }
+
+  /// Feeds an attempt's outcome back. `neutral` marks resolutions that
+  /// indict nobody (client cancel, genuinely-expired client deadline,
+  /// invalid argument): they release a probe ticket without moving the
+  /// state machine.
+  void report(std::uint32_t idx, reliability::StatusCode code, bool probe, bool neutral,
+              clock::time_point now) {
+    std::optional<ReplicaHealth::Transition> tr;
+    if (neutral) {
+      if (probe) health_[idx]->abandon_probe();
+      return;
+    }
+    if (code == reliability::StatusCode::kOk) {
+      tr = health_[idx]->on_success();
+    } else if (replica_fault_code(code) || code == reliability::StatusCode::kCancelled) {
+      // kCancelled without a fired client token = a task aborted by a
+      // thrown fault inside this replica — that indicts the replica.
+      tr = health_[idx]->on_failure(code, now);
+    } else if (probe) {
+      health_[idx]->abandon_probe();
+    }
+    if (tr) publish(idx, *tr);
+  }
+
+  /// Degraded-mode hint: can any replica serve a request arriving now
+  /// (available, or probe-able)? False ⇒ the Router treats this shard
+  /// as a dead end and fails requests that need it, fast.
+  [[nodiscard]] bool reachable(clock::time_point now) const {
+    for (const auto& h : health_) {
+      if (h->reachable(now)) return true;
+    }
+    return false;
+  }
+
+  // --------------------------------------------------------- mutations
+
+  /// Mutations fan out to every replica at the same quiescent point —
+  /// this is what keeps the replicas bit-identical for free.
+  void insert_edge(vertex_t lu, vertex_t global_v, W w, const Partition& part) {
+    for (auto& r : replicas_) r->insert_edge(lu, global_v, w, part);
+  }
+
+  bool remove_edge(vertex_t lu, vertex_t global_v, const Partition& part) {
+    bool removed = false;
+    for (auto& r : replicas_) removed = r->remove_edge(lu, global_v, part) || removed;
+    return removed;
+  }
+
+  // ------------------------------------------------------- out-of-core
+
+  /// Enables the out-of-core mirror on every replica, each in its own
+  /// subdirectory `<dir>/r<i>/` — separate files, so one replica's
+  /// media corruption cannot touch a sibling's copy (and the scrubber
+  /// has a sibling to repair from).
+  [[nodiscard]] reliability::Status enable_out_of_core(const std::filesystem::path& dir,
+                                                       std::size_t block_bytes,
+                                                       std::size_t budget_blocks) {
+    for (std::uint32_t r = 0; r < size(); ++r) {
+      // Two-step concat: GCC 12's -Wrestrict false-fires on
+      // operator+(const char*, string&&) inlined through path::/.
+      std::string leaf = "r";
+      leaf += std::to_string(r);
+      const std::filesystem::path sub = dir / leaf;
+      std::error_code ec;
+      std::filesystem::create_directories(sub, ec);
+      if (ec) return reliability::resource_exhausted("cannot create " + sub.string());
+      if (auto st = replicas_[r]->enable_out_of_core(sub, block_bytes, budget_blocks);
+          !st.is_ok()) {
+        return st;
+      }
+    }
+    return {};
+  }
+
+  /// Scrub targets for every out-of-core replica, siblings wired up
+  /// for repair. Empty when the set is in-memory.
+  [[nodiscard]] std::vector<BlockScrubber::Target> scrub_targets() const {
+    std::vector<BlockScrubber::Target> out;
+    for (std::uint32_t r = 0; r < size(); ++r) {
+      const auto* file = replicas_[r]->ooc_file();
+      if (file == nullptr) continue;
+      BlockScrubber::Target t;
+      t.path = replicas_[r]->ooc_path();
+      t.block_bytes = static_cast<std::uint32_t>(file->block_bytes());
+      t.num_blocks = static_cast<std::uint32_t>(file->num_blocks());
+      for (std::uint32_t s = 0; s < size(); ++s) {
+        if (s != r && replicas_[s]->ooc_file() != nullptr) {
+          t.siblings.push_back(replicas_[s]->ooc_path());
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  // ----------------------------------------------------------- obs
+
+  struct Stats {
+    std::uint64_t quarantines = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t probes = 0;
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    for (const auto& h : health_) {
+      const auto hs = h->stats();
+      s.quarantines += hs.quarantines;
+      s.recoveries += hs.recoveries;
+      s.probes += hs.probes;
+    }
+    return s;
+  }
+
+ private:
+  void publish(std::uint32_t idx, const ReplicaHealth::Transition& tr) {
+    obs::MetricsRegistry::instance()
+        .gauge("serving.replica.s" + std::to_string(shard_id_) + ".r" + std::to_string(idx) +
+               ".state")
+        .set(static_cast<std::int64_t>(tr.to));
+    if (tr.to == ReplicaState::kQuarantined) {
+      CG_COUNTER_INC("serving.replica.quarantines");
+      advance_current(idx);
+      // Quarantines are black-box moments: note one record so an armed
+      // FlightRecorder dumps the ring (DATA_LOSS/DEADLINE/OVERLOADED
+      // causes are dump triggers). source = shard, target = replica.
+      if constexpr (obs::kTelemetryEnabled) {
+        obs::RequestRecord rec;
+        rec.kind = obs::kKindMultiTarget;
+        rec.status_code = static_cast<std::uint8_t>(tr.cause);
+        rec.aborted = true;
+        rec.source = static_cast<std::int32_t>(shard_id_);
+        rec.target = static_cast<std::int32_t>(idx);
+        obs::FlightRecorder::instance().note(rec);
+      }
+    } else if (tr.from == ReplicaState::kProbing && tr.to == ReplicaState::kHealthy) {
+      CG_COUNTER_INC("serving.replica.recoveries");
+    }
+  }
+
+  /// Moves the primary off `sick` to the first available sibling (if
+  /// any — all-quarantined keeps it in place; reads through it still
+  /// produce correct bytes, health just reports the set unreachable).
+  void advance_current(std::uint32_t sick) {
+    const std::uint32_t n = size();
+    std::uint32_t cur = current_.load(std::memory_order_acquire);
+    if (cur % n != sick) return;
+    for (std::uint32_t k = 1; k < n; ++k) {
+      const std::uint32_t i = (sick + k) % n;
+      if (health_[i]->available()) {
+        current_.store(i, std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  std::uint32_t shard_id_ = 0;
+  std::vector<std::unique_ptr<ShardT>> replicas_;
+  std::vector<std::unique_ptr<ReplicaHealth>> health_;
+  std::atomic<std::uint32_t> current_{0};
+};
+
+}  // namespace cachegraph::serving

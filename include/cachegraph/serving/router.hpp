@@ -46,6 +46,28 @@
 // been spent queueing (block_budget_exhausted — the same rule the
 // QueryEngine admission gate applies).
 //
+// ## Replication (cfg.replicas > 1)
+//
+// Each shard slot becomes a ReplicaSet of R bit-identical Shards with
+// per-replica circuit breakers (see replica.hpp / health.hpp). Portal
+// rows are served by a healthy replica; a replica-indicting failure
+// (DATA_LOSS, phantom timeout, aborted task) fails over to a sibling
+// *within the request's remaining deadline*, each failover charged to
+// a token-bucket RetryBudget so a sick shard cannot double the fleet's
+// offered load (retry.hpp's storm argument, applied to replicas).
+// `cfg.hedge` additionally hedges probe rows: the primary runs on a
+// helper thread, and if it hasn't answered within the probe-latency
+// histogram's p99 (cfg.hedge_delay until enough samples), a budgeted
+// second attempt races it on a sibling — first success wins, the loser
+// is cancelled through its own child CancelToken.
+//
+// Degraded mode: a shard whose replicas are all quarantined is pruned
+// like a dead end; requests whose answer would then be uncertain (the
+// pruned shard might have offered a shorter path) resolve OVERLOADED
+// ("unavailable") immediately rather than hanging or guessing, while
+// routes that settle before ever touching the dead shard still
+// succeed exactly. Whole-graph kinds fail fast when any set is down.
+//
 // Threading contract: try_serve and the typed helpers are safe from
 // any thread concurrently. insert_edge / remove_edge / add_tenant /
 // enable_out_of_core require quiescence (no requests in flight).
@@ -54,9 +76,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -68,15 +94,20 @@
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/obs/counters.hpp"
+#include "cachegraph/obs/histogram.hpp"
 #include "cachegraph/obs/metrics.hpp"
 #include "cachegraph/obs/telemetry.hpp"
 #include "cachegraph/parallel/lease_pool.hpp"
 #include "cachegraph/query/engine.hpp"
 #include "cachegraph/query/request.hpp"
 #include "cachegraph/reliability/cancel.hpp"
+#include "cachegraph/reliability/retry_budget.hpp"
 #include "cachegraph/reliability/status.hpp"
 #include "cachegraph/serving/coalescer.hpp"
+#include "cachegraph/serving/health.hpp"
 #include "cachegraph/serving/partition.hpp"
+#include "cachegraph/serving/replica.hpp"
+#include "cachegraph/serving/scrubber.hpp"
 #include "cachegraph/serving/shard.hpp"
 #include "cachegraph/serving/stitched_view.hpp"
 
@@ -86,6 +117,7 @@ template <Weight W, class Queue = query::IndexedQueue<W>>
 class Router {
  public:
   using ShardT = Shard<W, Queue>;
+  using SetT = ReplicaSet<W, Queue>;
   using View = StitchedView<W, Queue>;
   using StitchedEngine = query::QueryEngine<View, Queue>;
   using Tree = typename Coalescer<W>::Tree;
@@ -96,6 +128,15 @@ class Router {
     int shard_pool_threads = 1;  ///< each shard's private TaskPool size
     bool cache_portals = true;   ///< entry rows via shard ResultCaches
     vertex_t check_every = query::kDefaultCheckEvery;
+
+    // Replication + failure-domain hardening (see header).
+    std::uint32_t replicas = 1;                 ///< replicas per shard
+    HealthConfig health{};                      ///< per-replica circuit breaker
+    reliability::RetryBudget::Config retry_budget{};  ///< failover/hedge token bucket
+    bool hedge = false;                         ///< hedge probe rows to a sibling
+    std::chrono::microseconds hedge_delay{500}; ///< until the histogram has samples
+    std::uint32_t hedge_min_samples = 32;       ///< probes before p99-derived delay
+    std::uint64_t health_seed = 0x5eedULL;      ///< probation-jitter determinism
   };
 
   struct NearItem {
@@ -136,15 +177,25 @@ class Router {
     std::uint64_t portal_pops = 0;       ///< boundary states settled across all p2p
     std::uint64_t portal_probes = 0;     ///< uncached MultiTarget rows computed
     std::uint64_t portal_tree_hits = 0;  ///< rows served from shard ResultCaches
+    std::uint64_t failovers = 0;         ///< attempts retried on a sibling replica
+    std::uint64_t hedges = 0;            ///< secondary probes launched
+    std::uint64_t hedge_wins = 0;        ///< hedges that beat a failed primary
+    std::uint64_t unavailable = 0;       ///< requests failed fast on a dead shard
+    std::uint64_t quarantines = 0;       ///< replica quarantine transitions (all sets)
+    std::uint64_t recoveries = 0;        ///< probe recoveries (all sets)
   };
 
   Router(const graph::AdjacencyArray<W>& global, Config cfg = {})
-      : cfg_(cfg), part_(global.num_vertices(), cfg.shards) {
-    shards_.reserve(cfg.shards);
+      : cfg_(cfg),
+        part_(global.num_vertices(), cfg.shards),
+        retry_budget_(cfg.retry_budget) {
+    replica_sets_.reserve(cfg.shards);
     for (std::uint32_t s = 0; s < cfg.shards; ++s) {
-      shards_.push_back(std::make_unique<ShardT>(global, part_, s, cfg.shard_pool_threads));
+      replica_sets_.push_back(std::make_unique<SetT>(global, part_, s, cfg.replicas,
+                                                     cfg.shard_pool_threads, cfg.health,
+                                                     cfg.health_seed));
     }
-    view_ = std::make_unique<View>(part_, shards_);
+    view_ = std::make_unique<View>(part_, replica_sets_);
     stitched_ = std::make_unique<StitchedEngine>(*view_);
   }
 
@@ -152,15 +203,61 @@ class Router {
   Router& operator=(const Router&) = delete;
 
   [[nodiscard]] const Partition& partition() const noexcept { return part_; }
-  [[nodiscard]] ShardT& shard(std::uint32_t s) noexcept { return *shards_[s]; }
+  /// Replica 0 of shard `s` — the single-replica surface older callers
+  /// (and geometry lookups) use; all replicas are bit-identical.
+  [[nodiscard]] ShardT& shard(std::uint32_t s) noexcept { return replica_sets_[s]->replica(0); }
+  [[nodiscard]] SetT& replica_set(std::uint32_t s) noexcept { return *replica_sets_[s]; }
+  [[nodiscard]] reliability::RetryBudget& retry_budget() noexcept { return retry_budget_; }
   [[nodiscard]] StitchedEngine& stitched_engine() noexcept { return *stitched_; }
   [[nodiscard]] Coalescer<W>& coalescer() noexcept { return coalescer_; }
 
-  [[nodiscard]] Stats stats() const noexcept {
-    return Stats{requests_.load(std::memory_order_relaxed),
-                 portal_pops_.load(std::memory_order_relaxed),
-                 portal_probes_.load(std::memory_order_relaxed),
-                 portal_tree_hits_.load(std::memory_order_relaxed)};
+  /// Enables the out-of-core mirror on every replica of every shard,
+  /// under `<dir>/s<shard>/r<replica>/`. Quiescent-point call.
+  [[nodiscard]] reliability::Status enable_out_of_core(const std::filesystem::path& dir,
+                                                       std::size_t block_bytes,
+                                                       std::size_t budget_blocks) {
+    for (auto& rs : replica_sets_) {
+      // Two-step concat dodges GCC 12's -Wrestrict false positive on
+      // operator+(const char*, string&&) under path::/.
+      std::string leaf = "s";
+      leaf += std::to_string(rs->shard_id());
+      const auto sub = dir / leaf;
+      if (auto st = rs->enable_out_of_core(sub, block_bytes, budget_blocks); !st.is_ok()) {
+        return st;
+      }
+    }
+    return {};
+  }
+
+  /// Scrub targets for every out-of-core replica file, siblings wired
+  /// for repair — feed these to a BlockScrubber.
+  [[nodiscard]] std::vector<BlockScrubber::Target> scrub_targets() const {
+    std::vector<BlockScrubber::Target> out;
+    for (const auto& rs : replica_sets_) {
+      auto t = rs->scrub_targets();
+      out.insert(out.end(), std::make_move_iterator(t.begin()),
+                 std::make_move_iterator(t.end()));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    Stats st{requests_.load(std::memory_order_relaxed),
+             portal_pops_.load(std::memory_order_relaxed),
+             portal_probes_.load(std::memory_order_relaxed),
+             portal_tree_hits_.load(std::memory_order_relaxed),
+             failovers_.load(std::memory_order_relaxed),
+             hedges_.load(std::memory_order_relaxed),
+             hedge_wins_.load(std::memory_order_relaxed),
+             unavailable_.load(std::memory_order_relaxed),
+             0,
+             0};
+    for (const auto& rs : replica_sets_) {
+      const auto s = rs->stats();
+      st.quarantines += s.quarantines;
+      st.recoveries += s.recoveries;
+    }
+    return st;
   }
 
   // ----------------------------------------------------------- tenants
@@ -260,6 +357,20 @@ class Router {
       return out;
     }
     CG_COUNTER_INC("serving.requests.point_to_point");
+    {
+      // Degraded mode, fast path: a request whose endpoints live in a
+      // dead shard can never resolve — fail it now, not after a walk.
+      const auto now = std::chrono::steady_clock::now();
+      for (const vertex_t v : {source, target}) {
+        const std::uint32_t s = part_.shard_of(v);
+        if (!replica_sets_[s]->reachable(now)) {
+          out.status = shard_unavailable_status(s);
+          unavailable_.fetch_add(1, std::memory_order_relaxed);
+          CG_COUNTER_INC("serving.unavailable");
+          return out;
+        }
+      }
+    }
 
     auto lease = portal_pool_.acquire(
         [this] { return std::make_unique<PortalScratch>(part_.num_vertices()); });
@@ -301,7 +412,19 @@ class Router {
       }
     }
     // Drained without settling the target ⇒ unreachable: an answer,
-    // not an error (outcome stays exhausted, dist stays inf).
+    // not an error (outcome stays exhausted, dist stays inf) — unless
+    // the search pruned a dead shard along the way. Then nothing can
+    // be certified (neither a settled distance's optimality nor
+    // unreachability: the pruned shard might have offered a shorter /
+    // the only path), so the honest resolution is "unavailable".
+    if (out.status.is_ok() && ps.degraded) {
+      out.outcome = query::Outcome::exhausted;
+      out.target_dist = inf<W>();
+      out.status = reliability::overloaded(
+          "route unavailable: a required shard has all replicas quarantined");
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("serving.unavailable");
+    }
     out.settled = pops;
     portal_pops_.fetch_add(pops, std::memory_order_relaxed);
     CG_COUNTER_ADD("serving.portal.pops", pops);
@@ -313,6 +436,10 @@ class Router {
   RouteResult full_sssp(vertex_t source, const CallOptions& opts = {}) {
     RouteResult out;
     CG_COUNTER_INC("serving.requests.full_sssp");
+    if (auto st = whole_graph_guard(); !st.is_ok()) {
+      out.status = st;
+      return out;
+    }
     auto res = coalescer_.get(source, opts, [&]() -> std::pair<reliability::Status, TreePtr> {
       auto tree = std::make_shared<Tree>();
       typename StitchedEngine::ServeOptions so = to_serve_options(opts);
@@ -353,6 +480,7 @@ class Router {
   reliability::Status k_nearest(vertex_t source, vertex_t k, std::vector<NearItem>& out,
                                 const CallOptions& opts = {}) {
     out.clear();
+    if (auto st = whole_graph_guard(); !st.is_ok()) return st;
     typename StitchedEngine::ServeOptions so = to_serve_options(opts);
     const auto resp = stitched_->try_serve(
         query::Request<W>{query::KNearest{source, k}}, so, [&](const auto& r, const auto& sc) {
@@ -369,6 +497,7 @@ class Router {
   reliability::Status within(vertex_t source, W radius, std::vector<NearItem>& out,
                              const CallOptions& opts = {}) {
     out.clear();
+    if (auto st = whole_graph_guard(); !st.is_ok()) return st;
     typename StitchedEngine::ServeOptions so = to_serve_options(opts);
     const auto resp = stitched_->try_serve(
         query::Request<W>{query::Bounded<W>{source, radius}}, so,
@@ -390,14 +519,15 @@ class Router {
   /// stitched engine's analytics views rebuild lazily.
   void insert_edge(vertex_t u, vertex_t v, W w) {
     const std::uint32_t s = part_.shard_of(u);
-    shards_[s]->insert_edge(u - shards_[s]->begin(), v, w, part_);
+    replica_sets_[s]->insert_edge(u - replica_sets_[s]->replica(0).begin(), v, w, part_);
     stitched_->refresh_analytics();
   }
 
   /// Removes one live directed edge; false when absent. Quiescent.
   bool remove_edge(vertex_t u, vertex_t v) {
     const std::uint32_t s = part_.shard_of(u);
-    const bool removed = shards_[s]->remove_edge(u - shards_[s]->begin(), v, part_);
+    const bool removed =
+        replica_sets_[s]->remove_edge(u - replica_sets_[s]->replica(0).begin(), v, part_);
     if (removed) stitched_->refresh_analytics();
     return removed;
   }
@@ -438,6 +568,7 @@ class Router {
       }
       touched.clear();
       heap.clear();
+      degraded = false;
     }
 
     void relax(vertex_t v, W nd) {
@@ -462,19 +593,79 @@ class Router {
     std::vector<Entry> heap;
     std::vector<vertex_t> targets_buf;  ///< exit probe target list
     std::vector<W> dists_buf;           ///< probe answer row
+    bool degraded = false;  ///< a dead (all-quarantined) shard was pruned
   };
 
+  [[nodiscard]] reliability::Status shard_unavailable_status(std::uint32_t s) const {
+    return reliability::overloaded("shard " + std::to_string(s) +
+                                   " unavailable: all replicas quarantined");
+  }
+
+  /// Did this status resolve by the *client's* intent (their cancel,
+  /// their genuinely spent deadline, their bad argument)? Such
+  /// resolutions end the request — they indict no replica and justify
+  /// no failover.
+  [[nodiscard]] static bool client_resolution(const reliability::Status& st,
+                                              const CallOptions& opts) {
+    switch (st.code()) {
+      case reliability::StatusCode::kInvalidArgument:
+        return true;
+      case reliability::StatusCode::kCancelled:
+        return opts.cancel != nullptr && opts.cancel->cancelled();
+      case reliability::StatusCode::kDeadlineExceeded:
+        return opts.deadline.expired();
+      default:
+        return false;
+    }
+  }
+
+  void report_attempt(SetT& rs, std::uint32_t idx, bool probe, const reliability::Status& st,
+                      const CallOptions& opts) {
+    rs.report(idx, st.code(), probe, client_resolution(st, opts),
+              std::chrono::steady_clock::now());
+  }
+
+  /// The cached-portal fetch is the one replica call that can *throw*
+  /// (get_or_compute runs the compute inline; an injected fault or a
+  /// store fault escapes as an exception) — fence it into a Status so
+  /// the failover loop can treat it like any failed attempt.
+  [[nodiscard]] reliability::Status fetch_tree(ShardT& sh, vertex_t lx,
+                                               typename ShardT::Cache::TreePtr& out) {
+    try {
+      out = sh.local_tree(lx);
+      return {};
+    } catch (const reliability::DataLossError& e) {
+      return reliability::data_loss(e.what());
+    } catch (const std::exception& e) {
+      return reliability::cancelled(std::string("portal tree compute aborted: ") + e.what());
+    }
+  }
+
+  /// Hedge delay: the probe-latency p99 once the histogram has enough
+  /// samples, the configured fallback before that.
+  [[nodiscard]] std::chrono::steady_clock::duration hedge_delay() const {
+    const auto snap = probe_hist_.snapshot();
+    if (snap.count >= cfg_.hedge_min_samples) {
+      return std::chrono::nanoseconds(snap.percentile(99.0));
+    }
+    return cfg_.hedge_delay;
+  }
+
   /// Settle portal node x at distance dx: compute its shard-local
-  /// distance row and relax every cut edge (and the in-shard target).
+  /// distance row on a healthy replica (failing over / hedging per
+  /// config) and relax every cut edge (and the in-shard target).
   [[nodiscard]] reliability::Status expand_portal(vertex_t x, W dx, vertex_t source,
                                                   vertex_t target, const CallOptions& opts,
                                                   PortalScratch& ps) {
     const std::uint32_t s = part_.shard_of(x);
-    ShardT& sh = *shards_[s];
-    const vertex_t lx = x - sh.begin();
-    const std::span<const vertex_t> exits = sh.exits();
+    SetT& rs = *replica_sets_[s];
+    // Geometry (begin/exits/cut lists) is identical across replicas —
+    // read it from replica 0; only distance rows route by health.
+    ShardT& sh0 = rs.replica(0);
+    const vertex_t lx = x - sh0.begin();
+    const std::span<const vertex_t> exits = sh0.exits();
     const bool target_here = part_.shard_of(target) == s;
-    const vertex_t lt = target_here ? target - sh.begin() : kNoVertex;
+    const vertex_t lt = target_here ? target - sh0.begin() : kNoVertex;
 
     if (exits.empty() && !target_here) return {};  // dead-end shard
 
@@ -483,7 +674,7 @@ class Router {
         const W dloc = dist_of(e);
         if (is_inf(dloc)) continue;
         const W at_exit = sat_add(dx, dloc);
-        for (const auto& nb : sh.cut(e)) ps.relax(nb.to, sat_add(at_exit, nb.weight));
+        for (const auto& nb : sh0.cut(e)) ps.relax(nb.to, sat_add(at_exit, nb.weight));
       }
       if (target_here) {
         const W dt = dist_of(lt);
@@ -491,35 +682,198 @@ class Router {
       }
     };
 
-    // Entry nodes (every portal node except the query's own source)
-    // are shared across queries — worth a cached full local tree. The
-    // source is query-private; probe it with a bounded MultiTarget.
-    if (cfg_.cache_portals && x != source) {
-      const auto tree = sh.local_tree(lx);
-      portal_tree_hits_.fetch_add(1, std::memory_order_relaxed);
-      CG_COUNTER_INC("serving.portal.tree_rows");
-      relax_row([&](vertex_t lv) { return tree->dist[static_cast<std::size_t>(lv)]; });
-      return {};
+    const bool cached = cfg_.cache_portals && x != source;
+    std::uint32_t tried = 0;
+    reliability::Status last;
+    for (;;) {
+      const auto pick = rs.pick(tried, std::chrono::steady_clock::now());
+      if (!pick) {
+        if (tried == 0) {
+          // Degraded mode: every replica quarantined — prune this
+          // shard like a dead end; point_to_point resolves the
+          // uncertainty at the end of the walk.
+          ps.degraded = true;
+          return {};
+        }
+        return last;  // every reachable replica was tried and failed
+      }
+      tried |= 1u << pick->index;
+
+      reliability::Status st;
+      if (cached) {
+        // Entry nodes (every portal node except the query's own
+        // source) are shared across queries — worth a cached full
+        // local tree.
+        typename ShardT::Cache::TreePtr tree;
+        st = fetch_tree(rs.replica(pick->index), lx, tree);
+        report_attempt(rs, pick->index, pick->probe, st, opts);
+        if (st.is_ok()) {
+          retry_budget_.on_success();
+          portal_tree_hits_.fetch_add(1, std::memory_order_relaxed);
+          CG_COUNTER_INC("serving.portal.tree_rows");
+          relax_row([&](vertex_t lv) { return tree->dist[static_cast<std::size_t>(lv)]; });
+          return {};
+        }
+      } else {
+        // The source is query-private; probe it with a bounded
+        // MultiTarget (optionally hedged). probe_attempt reports every
+        // participating replica itself.
+        st = probe_attempt(rs, *pick, tried, lx, lt, target_here, exits, opts, ps);
+        if (st.is_ok()) {
+          retry_budget_.on_success();
+          relax_row([&](vertex_t lv) {
+            // The probe row is exit-aligned; the (optional) target
+            // rides at the back.
+            if (lv == lt && target_here) return ps.dists_buf.back();
+            const auto it = std::lower_bound(exits.begin(), exits.end(), lv);
+            return ps.dists_buf[static_cast<std::size_t>(it - exits.begin())];
+          });
+          return {};
+        }
+      }
+      last = st;
+      if (client_resolution(st, opts)) return st;
+      // Failing over costs a retry-budget token — when the bucket is
+      // dry the request resolves with what it has (no retry storms).
+      if (!retry_budget_.try_acquire()) return st;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("serving.failovers");
     }
+  }
+
+  /// One probe attempt against `pick`, hedged to a sibling when
+  /// configured. On OK, ps.dists_buf holds the winning row. Health
+  /// reporting for every participating replica happens here.
+  [[nodiscard]] reliability::Status probe_attempt(SetT& rs, const typename SetT::Pick& pick,
+                                                  std::uint32_t& tried, vertex_t lx,
+                                                  vertex_t lt, bool target_here,
+                                                  std::span<const vertex_t> exits,
+                                                  const CallOptions& opts, PortalScratch& ps) {
     ps.targets_buf.assign(exits.begin(), exits.end());
     if (target_here) ps.targets_buf.push_back(lt);
     ps.dists_buf.assign(ps.targets_buf.size(), inf<W>());
     portal_probes_.fetch_add(1, std::memory_order_relaxed);
     CG_COUNTER_INC("serving.portal.probes");
-    if (auto st = sh.local_dists(lx, ps.targets_buf, opts, ps.dists_buf); !st.is_ok()) {
+
+    // Hedge only from a regular pick (never spend a half-open probe
+    // ticket on a race) and only when a second replica is available.
+    std::optional<typename SetT::Pick> second;
+    if (cfg_.hedge && !pick.probe && rs.size() > 1) {
+      second = rs.pick(tried | (1u << pick.index), std::chrono::steady_clock::now());
+      if (second && second->probe) {
+        rs.health(second->index).abandon_probe();
+        second.reset();
+      }
+    }
+    if (!second) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto st = rs.replica(pick.index).local_dists(lx, ps.targets_buf, opts, ps.dists_buf);
+      probe_hist_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                               t0)
+              .count()));
+      report_attempt(rs, pick.index, pick.probe, st, opts);
       return st;
     }
-    relax_row([&](vertex_t lv) {
-      // The probe row is exit-aligned; the (optional) target rides at
-      // the back.
-      if (lv == lt && target_here) return ps.dists_buf.back();
-      const auto it = std::lower_bound(exits.begin(), exits.end(), lv);
-      return ps.dists_buf[static_cast<std::size_t>(it - exits.begin())];
+    return hedged_probe(rs, pick, *second, tried, lx, opts, ps);
+  }
+
+  /// The hedged race: primary runs on a helper thread; if it has not
+  /// answered within hedge_delay(), a budgeted secondary races it on
+  /// the caller thread. First success wins; the loser is cancelled
+  /// through its own child token (parented on the request token, so a
+  /// client cancel still stops both legs).
+  [[nodiscard]] reliability::Status hedged_probe(SetT& rs, const typename SetT::Pick& primary,
+                                                 const typename SetT::Pick& second,
+                                                 std::uint32_t& tried, vertex_t lx,
+                                                 const CallOptions& opts, PortalScratch& ps) {
+    reliability::CancelToken ptok(opts.cancel);
+    reliability::CancelToken stok(opts.cancel);
+    std::vector<W> prow(ps.dists_buf.size(), inf<W>());
+    reliability::Status pst;
+    std::mutex m;
+    std::condition_variable cv;
+    bool pdone = false;
+    std::thread pt([&] {
+      CallOptions po = opts;
+      po.cancel = &ptok;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto st = rs.replica(primary.index).local_dists(lx, ps.targets_buf, po, prow);
+      probe_hist_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                               t0)
+              .count()));
+      if (st.is_ok()) stok.cancel();  // beat the hedge: cancel it
+      {
+        const std::lock_guard<std::mutex> lk(m);
+        pst = std::move(st);
+        pdone = true;
+      }
+      cv.notify_all();
     });
+    bool launch;
+    {
+      std::unique_lock<std::mutex> lk(m);
+      launch = !cv.wait_for(lk, hedge_delay(), [&] { return pdone; });
+    }
+    reliability::Status sst;
+    bool sran = false;
+    if (launch && retry_budget_.try_acquire()) {
+      hedges_.fetch_add(1, std::memory_order_relaxed);
+      CG_COUNTER_INC("serving.hedges");
+      tried |= 1u << second.index;
+      CallOptions so = opts;
+      so.cancel = &stok;
+      sst = rs.replica(second.index).local_dists(lx, ps.targets_buf, so, ps.dists_buf);
+      sran = true;
+      if (sst.is_ok()) ptok.cancel();  // won the race: cancel the primary
+    }
+    pt.join();
+    if (sran) {
+      // A loser cancelled *by the race* indicts nobody.
+      const bool s_loser = pst.is_ok() && sst.code() == reliability::StatusCode::kCancelled;
+      rs.report(second.index, sst.code(), false,
+                s_loser || client_resolution(sst, opts), std::chrono::steady_clock::now());
+    }
+    const bool p_loser =
+        sran && sst.is_ok() && pst.code() == reliability::StatusCode::kCancelled;
+    rs.report(primary.index, pst.code(), primary.probe,
+              p_loser || client_resolution(pst, opts), std::chrono::steady_clock::now());
+    if (sran && sst.is_ok()) {
+      if (!pst.is_ok()) {
+        hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("serving.hedge_wins");
+      }
+      return {};  // ps.dists_buf already holds the secondary's row
+    }
+    if (pst.is_ok()) {
+      std::copy(prow.begin(), prow.end(), ps.dists_buf.begin());
+      return {};
+    }
+    return pst;  // both legs failed; the primary's status is as good as any
+  }
+
+  /// Whole-graph kinds (stitched serves, coalesced trees) need every
+  /// shard: when any set is unreachable, fail fast — the answer would
+  /// either be wrong (missing a subgraph) or hang on faults.
+  [[nodiscard]] reliability::Status whole_graph_guard() {
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& rs : replica_sets_) {
+      if (!rs->reachable(now)) {
+        unavailable_.fetch_add(1, std::memory_order_relaxed);
+        CG_COUNTER_INC("serving.unavailable");
+        return shard_unavailable_status(rs->shard_id());
+      }
+    }
     return {};
   }
 
   RouteResult serve_stitched(const query::Request<W>& req, const CallOptions& opts) {
+    if (auto st = whole_graph_guard(); !st.is_ok()) {
+      RouteResult out;
+      out.status = st;
+      return out;
+    }
     typename StitchedEngine::ServeOptions so = to_serve_options(opts);
     const auto resp = stitched_->try_serve(req, so);
     RouteResult out;
@@ -620,16 +974,26 @@ class Router {
 
   Config cfg_;
   Partition part_;
-  std::vector<std::unique_ptr<ShardT>> shards_;
+  std::vector<std::unique_ptr<SetT>> replica_sets_;
   std::unique_ptr<View> view_;
   std::unique_ptr<StitchedEngine> stitched_;
   Coalescer<W> coalescer_;
   parallel::LeasePool<PortalScratch> portal_pool_;
   std::vector<std::unique_ptr<TenantState>> tenants_;
+  reliability::RetryBudget retry_budget_;
+  /// Probe latency samples feeding the p99 hedge delay. Always-on (a
+  /// plain member, not a registry histogram) so hedging works — and
+  /// the uninstrumented build's "no registry samples" invariant holds
+  /// — with CACHEGRAPH_INSTRUMENT off.
+  obs::LatencyHistogram probe_hist_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> portal_pops_{0};
   std::atomic<std::uint64_t> portal_probes_{0};
   std::atomic<std::uint64_t> portal_tree_hits_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
 };
 
 }  // namespace cachegraph::serving

@@ -124,6 +124,16 @@ class Shard {
     return ooc_cache_ != nullptr ? ooc_cache_->stats() : store::BlockCache::Stats{};
   }
 
+  /// Path of the blocked file backing the out-of-core mirror (empty
+  /// when in-memory) — the scrubber's walk target.
+  [[nodiscard]] const std::filesystem::path& ooc_path() const noexcept { return ooc_path_; }
+
+  /// The open blocked file (null when in-memory): block geometry for
+  /// the scrubber.
+  [[nodiscard]] const store::BlockedFile<W>* ooc_file() const noexcept {
+    return ooc_file_.get();
+  }
+
   // ----------------------------------------------------- local searches
 
   /// Exact *intra-shard* distances from `from_local` to each
@@ -212,6 +222,7 @@ class Shard {
     if (auto st = store::write_blocked(path, *local_csr_, wo); !st.is_ok()) return st;
     auto file = store::BlockedFile<W>::open(path, store::Backend::kPread);
     if (!file) return file.status();
+    ooc_path_ = path;
     ooc_file_ = std::move(*file);
     ooc_cache_ = std::make_unique<store::BlockCache>(
         ooc_file_->source(), ooc_file_->block_bytes(), ooc_file_->num_blocks(),
@@ -262,6 +273,7 @@ class Shard {
   std::vector<vertex_t> exits_;                       ///< local ids, ascending
   index_t num_cut_edges_ = 0;
 
+  std::filesystem::path ooc_path_;
   std::unique_ptr<store::BlockedFile<W>> ooc_file_;
   std::unique_ptr<store::BlockCache> ooc_cache_;
   std::unique_ptr<store::OutOfCoreGraph<W>> ooc_graph_;

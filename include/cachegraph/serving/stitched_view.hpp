@@ -17,6 +17,13 @@
 // anchor — serving_test drives the same requests through this view
 // and the single-engine oracle and requires identical answers.
 //
+// Replication: each shard slot is a ReplicaSet; reads go through the
+// set's *current* primary replica (advanced off quarantined replicas
+// by the health machinery). All replicas are bit-identical, so which
+// one answers can never change the bytes — only availability. The
+// view reads in-memory overlays (never the out-of-core mirror), so a
+// replica's disk corruption cannot surface here.
+//
 // Same threading contract as the shards: reads are concurrent-safe,
 // mutations (through Router) must be quiesced.
 #pragma once
@@ -28,6 +35,7 @@
 #include "cachegraph/common/types.hpp"
 #include "cachegraph/graph/concepts.hpp"
 #include "cachegraph/serving/partition.hpp"
+#include "cachegraph/serving/replica.hpp"
 #include "cachegraph/serving/shard.hpp"
 
 namespace cachegraph::serving {
@@ -36,22 +44,26 @@ template <Weight W, class Queue = query::IndexedQueue<W>>
 class StitchedView {
  public:
   using weight_type = W;
+  using SetT = ReplicaSet<W, Queue>;
 
-  StitchedView(const Partition& part, std::vector<std::unique_ptr<Shard<W, Queue>>>& shards)
-      : part_(&part), shards_(&shards) {}
+  StitchedView(const Partition& part, std::vector<std::unique_ptr<SetT>>& sets)
+      : part_(&part), sets_(&sets) {}
 
   [[nodiscard]] vertex_t num_vertices() const noexcept { return part_->num_vertices(); }
 
   [[nodiscard]] index_t num_edges() const noexcept {
     index_t total = 0;
-    for (const auto& sh : *shards_) total += sh->overlay().num_edges() + sh->num_cut_edges();
+    for (const auto& rs : *sets_) {
+      const auto& sh = rs->current_shard();
+      total += sh.overlay().num_edges() + sh.num_cut_edges();
+    }
     return total;
   }
 
   template <memsim::MemPolicy Mem, typename Fn>
   void for_neighbors(vertex_t v, Mem& mem, Fn&& fn) const {
     const std::uint32_t s = part_->shard_of(v);
-    Shard<W, Queue>& sh = *(*shards_)[s];
+    Shard<W, Queue>& sh = (*sets_)[s]->current_shard();
     const vertex_t lv = v - sh.begin();
     const vertex_t base = sh.begin();
     sh.overlay().for_neighbors(lv, mem, [&](const graph::Neighbor<W>& nb) {
@@ -65,21 +77,22 @@ class StitchedView {
 
   template <memsim::MemPolicy Mem>
   void map_buffers(Mem& mem) const {
-    for (const auto& sh : *shards_) sh->overlay().map_buffers(mem);
+    for (const auto& rs : *sets_) rs->current_shard().overlay().map_buffers(mem);
   }
 
   [[nodiscard]] std::size_t footprint_bytes() const noexcept {
     std::size_t total = 0;
-    for (const auto& sh : *shards_) {
-      total += sh->overlay().footprint_bytes() +
-               static_cast<std::size_t>(sh->num_cut_edges()) * sizeof(graph::Neighbor<W>);
+    for (const auto& rs : *sets_) {
+      const auto& sh = rs->current_shard();
+      total += sh.overlay().footprint_bytes() +
+               static_cast<std::size_t>(sh.num_cut_edges()) * sizeof(graph::Neighbor<W>);
     }
     return total;
   }
 
  private:
   const Partition* part_;
-  std::vector<std::unique_ptr<Shard<W, Queue>>>* shards_;
+  std::vector<std::unique_ptr<SetT>>* sets_;
 };
 
 }  // namespace cachegraph::serving

@@ -16,12 +16,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cachegraph/common/rng.hpp"
@@ -33,6 +35,8 @@
 #include "cachegraph/query/engine.hpp"
 #include "cachegraph/query/result_cache.hpp"
 #include "cachegraph/reliability/fault_injector.hpp"
+#include "cachegraph/serving/router.hpp"
+#include "cachegraph/serving/scrubber.hpp"
 #include "cachegraph/sssp/dijkstra.hpp"
 #include "test_util.hpp"
 
@@ -337,6 +341,126 @@ TEST(Chaos, SnapshotSurvivesFaultEraTrafficAndReloadsClean) {
   }
   std::error_code ignored;
   std::filesystem::remove(path, ignored);
+}
+
+// ------------------------------------- replicated serving under chaos
+
+/// Flips a checksum-covered byte in every block of one replica's
+/// blocked file — full-file media corruption, repairable from a
+/// sibling because the replicas' files are bit-identical.
+void corrupt_replica_file(const serving::BlockScrubber::Target& t) {
+  std::fstream f(t.path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good()) << t.path;
+  for (std::uint32_t b = 0; b < t.num_blocks; ++b) {
+    const auto off =
+        static_cast<std::streamoff>(t.data_offset + std::uint64_t{b} * t.block_bytes + 17);
+    f.seekg(off);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(off);
+    f.write(&c, 1);
+  }
+}
+
+class ChaosReplicaThreads : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Threads, ChaosReplicaThreads, ::testing::Values(1, 2, 4));
+
+TEST_P(ChaosReplicaThreads, ReplicatedRouterStaysExactUnderCorruptionAndTimeouts) {
+  // The replicated router's chaos differential: replica 0 of EVERY
+  // shard fully corrupt on disk, forced timeouts firing on ~30% of
+  // armed entry polls on top, concurrent clients. The invariants are
+  // the suite's usual three — termination, closed-set statuses, and
+  // every OK answer equal to the fault-free oracle (failover may
+  // change whether an answer is produced, never which one) — plus the
+  // replication-specific aftermath: the corrupt files scrub-repair
+  // from their siblings, traffic failed over while they were sick, and
+  // no block pin leaks across any of it.
+  using RouterT = serving::Router<int>;
+  constexpr vertex_t n = 64;
+  const auto el = random_digraph<int>(n, 0.09, 2026, 1, 9);
+  const AdjacencyArray<int> rep(el);
+  const auto oracle = sssp::dijkstra(rep, 0);
+
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    for (const std::uint32_t replicas : {2u, 3u}) {
+      RouterT::Config cfg;
+      cfg.shards = shards;
+      cfg.replicas = replicas;
+      cfg.cache_portals = false;        // every probe touches the blocked files
+      cfg.health.probation_base = 1ms;  // quarantined replicas re-probe promptly
+      RouterT router(rep, cfg);
+      const auto dir = std::filesystem::temp_directory_path() /
+                       ("cachegraph_chaos_replica_" + std::to_string(shards) + "_" +
+                        std::to_string(replicas) + "_" + std::to_string(GetParam()));
+      std::filesystem::remove_all(dir);
+      ASSERT_TRUE(router.enable_out_of_core(dir, 256, 4).is_ok());
+      for (const auto& t : router.scrub_targets()) {
+        if (t.path.string().find("/r0/") != std::string::npos) corrupt_replica_file(t);
+      }
+
+      FaultPlan plan;
+      plan.seed = 0xD15C0ull + shards * 8 + replicas;
+      plan.force_timeout = 0.3;
+      std::atomic<int> bad{0};
+      {
+        ArmedPlan armed(plan);
+        auto worker = [&](int wid) {
+          serving::CallOptions opts;
+          opts.deadline = reliability::Deadline::after(1h);  // only injection expires it
+          for (int i = 0; i < 48; ++i) {
+            const auto t = static_cast<vertex_t>((wid * 17 + i * 5) % n);
+            const auto r = router.point_to_point(0, t, opts);
+            // gtest assertions are main-thread only — count, assert after join.
+            if (!in_closed_set(r.status.code())) bad.fetch_add(1);
+            if (r.status.is_ok() && r.target_dist != oracle.dist[static_cast<std::size_t>(t)]) {
+              bad.fetch_add(1);
+            }
+          }
+        };
+        std::vector<std::thread> clients;
+        for (int w = 0; w < GetParam(); ++w) clients.emplace_back(worker, w);
+        for (auto& th : clients) th.join();
+      }
+      EXPECT_EQ(bad.load(), 0)
+          << "an out-of-closed-set status or a wrong OK answer escaped the fault era";
+      EXPECT_GT(router.stats().failovers, 0u)
+          << shards << " shards x " << replicas << " replicas";
+
+      // Repair the media fault from the sibling copies, then verify a
+      // second pass finds the files clean.
+      serving::BlockScrubber scrubber;
+      for (auto t : router.scrub_targets()) scrubber.add_target(std::move(t));
+      scrubber.scrub_all();
+      const auto s1 = scrubber.stats();
+      EXPECT_GT(s1.repaired, 0u);
+      EXPECT_EQ(s1.repair_failed, 0u);
+      scrubber.scrub_all();
+      const auto s2 = scrubber.stats();
+      EXPECT_EQ(s2.corrupt, s1.corrupt) << "second pass found new corruption";
+
+      // Fault-free aftermath: exact answers once probation elapses
+      // (bounded retry — the health machine needs a probe to recover).
+      for (vertex_t t = 0; t < n; t += 7) {
+        RouterT::RouteResult r;
+        for (int tries = 0; tries < 400; ++tries) {
+          r = router.point_to_point(0, t);
+          if (r.status.is_ok()) break;
+          std::this_thread::sleep_for(5ms);
+        }
+        ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+        EXPECT_EQ(r.target_dist, oracle.dist[static_cast<std::size_t>(t)]) << t;
+      }
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        auto& rs = router.replica_set(s);
+        for (std::uint32_t rr = 0; rr < rs.size(); ++rr) {
+          EXPECT_EQ(rs.replica(rr).block_cache_stats().pinned_now, 0u)
+              << "leaked pin on shard " << s << " replica " << rr;
+        }
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
 }
 
 #endif  // CACHEGRAPH_FAULT_INJECT

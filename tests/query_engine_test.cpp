@@ -1060,6 +1060,60 @@ TEST(MultiTarget, ValidationRejectsEmptySetAndOutOfRangeTargets) {
             StatusCode::kInvalidArgument);
 }
 
+// A rep whose neighbor scan throws DataLossError at one vertex — the
+// shape of an out-of-core graph hitting a corrupt block mid-search.
+namespace {
+struct PoisonedRep {
+  using weight_type = int;
+  const AdjacencyArray<int>* inner;
+  vertex_t poison = kNoVertex;
+  [[nodiscard]] vertex_t num_vertices() const { return inner->num_vertices(); }
+  [[nodiscard]] index_t num_edges() const { return inner->num_edges(); }
+  template <class Mem, class Fn>
+  void for_neighbors(vertex_t u, Mem& mem, Fn&& fn) const {
+    if (u == poison) throw reliability::DataLossError("poisoned block");
+    inner->for_neighbors(u, mem, std::forward<Fn>(fn));
+  }
+  template <class Mem>
+  void map_buffers(Mem& mem) const {
+    inner->map_buffers(mem);
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const { return inner->footprint_bytes(); }
+};
+}  // namespace
+
+TEST(MultiTarget, TargetMarksDoNotSurviveAThrowingScan) {
+  // Regression: target marks used to be erased only on the normal
+  // return path, so a search aborted by a thrown DataLossError leaked
+  // them into the leased scratch. The NEXT search then mis-counted
+  // `pending` — settling a stale mark drained it early and the search
+  // reported targets_settled while the real targets sat at inf: silent
+  // data loss dressed up as an OK answer.
+  constexpr vertex_t n = 100;
+  EdgeListGraph<int> el(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) el.add_edge(v, v + 1, 1);
+  const AdjacencyArray<int> rep(el);
+  SearchScratch<int> sc(n);
+
+  // First search: marks {5, 7}, then throws while scanning vertex 3 —
+  // before either target settles, so both marks would leak.
+  const PoisonedRep poisoned{&rep, 3};
+  const std::vector<vertex_t> leaked{5, 7};
+  Limits<int> lim1;
+  lim1.targets = leaked;
+  EXPECT_THROW((void)search<IndexedQueue<int>>(poisoned, 0, lim1, sc),
+               reliability::DataLossError);
+
+  // Second search on the SAME scratch against the healthy rep: its
+  // target (90) is past the stale marks, which sit right on the path.
+  const std::vector<vertex_t> real{90};
+  Limits<int> lim2;
+  lim2.targets = real;
+  const auto out = search<IndexedQueue<int>>(rep, 0, lim2, sc);
+  EXPECT_EQ(out, Outcome::targets_settled);
+  EXPECT_EQ(sc.dist()[90], 90);  // stale-mark bug: inf, terminated at 5
+}
+
 // ------------------------------------ deadline-aware kBlock admission
 
 TEST(BlockBudget, PredicateShedsAtExactlyHalfTheBudget) {

@@ -26,9 +26,11 @@
 #include "cachegraph/parallel/task_pool.hpp"
 #include "cachegraph/query/dynamic_overlay.hpp"
 #include "cachegraph/query/result_cache.hpp"
+#include "cachegraph/query/snapshotter.hpp"
 #include "cachegraph/reliability/cancel.hpp"
 #include "cachegraph/reliability/fault_injector.hpp"
 #include "cachegraph/reliability/retry.hpp"
+#include "cachegraph/reliability/retry_budget.hpp"
 #include "cachegraph/reliability/status.hpp"
 
 namespace cachegraph::reliability {
@@ -212,6 +214,140 @@ TEST(Retry, DeadlineBoundsTheWholeLoop) {
       p, [](std::chrono::microseconds) {});
   EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(calls, 1) << "no attempts after the budget is spent";
+}
+
+TEST(Retry, SleepIsClampedToTheRemainingDeadline) {
+  // Regression: the backoff sleep used to run to its full scheduled
+  // length even when the deadline's remaining budget was shorter, so a
+  // 5ms-deadline call could sleep a full 1s backoff before noticing.
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  BackoffPolicy p;
+  p.max_attempts = 3;
+  p.initial_delay = 1s;
+  p.jitter = 0.0;
+  p.deadline = Deadline::after(5ms);
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return resource_exhausted("pool dry");
+      },
+      p, [&](std::chrono::microseconds d) { slept.push_back(d); });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_GE(calls, 1);
+  ASSERT_FALSE(slept.empty()) << "the unexpired deadline still allows retries";
+  for (const auto d : slept) {
+    EXPECT_LE(d.count(), 5000) << "sleep must be clamped to the remaining budget";
+  }
+}
+
+TEST(Retry, ExpiredDeadlineNeverReachesTheSleeper) {
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 100;
+  p.initial_delay = 1s;
+  p.deadline = Deadline::after(0ns);
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return overloaded("full");
+      },
+      p, [](std::chrono::microseconds) { FAIL() << "a spent budget must not sleep"; });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, PreFiredCancelResolvesCancelledWithoutSleeping) {
+  CancelToken tok;
+  tok.cancel();
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 10;
+  p.cancel = &tok;
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return resource_exhausted("pool dry");
+      },
+      p, [](std::chrono::microseconds) { FAIL() << "cancelled retries must not sleep"; });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1) << "the first attempt always runs; only retries are cancellable";
+}
+
+TEST(Retry, CancelDuringBackoffStopsTheSchedule) {
+  CancelToken tok;
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 10;
+  p.cancel = &tok;
+  const Status st = retry_status(
+      [&] {
+        ++calls;
+        return resource_exhausted("pool dry");
+      },
+      p, [&](std::chrono::microseconds) { tok.cancel(); });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1) << "the token fired mid-sleep; no further attempts";
+}
+
+TEST(Retry, ExpectedFlavourHonoursCancelAndDeadline) {
+  CancelToken tok;
+  tok.cancel();
+  int calls = 0;
+  BackoffPolicy p;
+  p.max_attempts = 5;
+  p.cancel = &tok;
+  const Expected<int> out = retry(
+      [&]() -> Expected<int> {
+        ++calls;
+        return resource_exhausted("not yet");
+      },
+      p, [](std::chrono::microseconds) { FAIL() << "must not sleep"; });
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  BackoffPolicy pd;
+  pd.max_attempts = 5;
+  pd.initial_delay = 1s;
+  pd.jitter = 0.0;
+  pd.deadline = Deadline::after(3ms);
+  std::vector<std::chrono::microseconds> slept;
+  const Expected<int> out2 = retry(
+      [&]() -> Expected<int> {
+        ++calls;
+        return resource_exhausted("not yet");
+      },
+      pd, [&](std::chrono::microseconds d) { slept.push_back(d); });
+  EXPECT_FALSE(out2.has_value());
+  for (const auto d : slept) EXPECT_LE(d.count(), 3000);
+}
+
+// ----------------------------------------------------- RetryBudget
+
+TEST(RetryBudget, DrainsToZeroThenDenies) {
+  RetryBudget budget({.capacity = 3.0, .refill_per_success = 0.0});
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_FALSE(budget.try_acquire()) << "bucket of 3 grants exactly 3";
+  EXPECT_FALSE(budget.try_acquire());
+  EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
+  EXPECT_EQ(budget.stats().granted, 3u);
+  EXPECT_EQ(budget.stats().denied, 2u);
+}
+
+TEST(RetryBudget, SuccessesRefillAndSaturateAtCapacity) {
+  RetryBudget budget({.capacity = 2.0, .refill_per_success = 0.5});
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_FALSE(budget.try_acquire());
+  budget.on_success();
+  EXPECT_FALSE(budget.try_acquire()) << "half a token is not a token";
+  budget.on_success();
+  EXPECT_TRUE(budget.try_acquire()) << "two successes earn one retry at refill 0.5";
+  for (int i = 0; i < 100; ++i) budget.on_success();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0) << "refill saturates at capacity";
 }
 
 TEST(Retry, ExpectedFlavourReturnsFirstSuccess) {
@@ -542,6 +678,56 @@ TEST_F(SnapshotFixture, StaleLoadedEntriesInvalidateOnMutation) {
   // exactly like a computed one — restamping must not freeze it fresh.
   overlay2.insert_edge(0, 1, 1);
   EXPECT_EQ(cache2.get(0), nullptr) << "stamp moved, entry must be stale";
+}
+
+// ----------------------------------------------- CacheSnapshotter
+
+TEST_F(SnapshotFixture, SnapshotterPollFollowsTheSyntheticClock) {
+  (void)cache.get_or_compute(5);
+  query::CacheSnapshotter<int> snap(cache, {path, 100ms});
+  using clock = query::CacheSnapshotter<int>::clock;
+  const auto t0 = clock::time_point{} + 1h;  // fabricated; never reads the real clock
+  EXPECT_TRUE(snap.poll(t0)) << "the first poll always writes";
+  EXPECT_FALSE(snap.poll(t0 + 50ms)) << "inside the interval: no write";
+  EXPECT_FALSE(snap.poll(t0 + 99ms));
+  EXPECT_TRUE(snap.poll(t0 + 100ms)) << "interval elapsed: write";
+  EXPECT_FALSE(snap.poll(t0 + 150ms));
+  EXPECT_TRUE(snap.poll(t0 + 250ms));
+  EXPECT_EQ(snap.stats().snapshots, 3u);
+  EXPECT_EQ(snap.stats().failures, 0u);
+
+  // The periodic writes are real durable snapshots: a cold cache warms
+  // from the last one.
+  DynamicOverlay<int> overlay2(base);
+  ResultCache<int> cache2(overlay2);
+  ASSERT_TRUE(cache2.load_snapshot(path).is_ok());
+  EXPECT_EQ(cache2.size(), 1u);
+}
+
+TEST_F(SnapshotFixture, SnapshotterBackgroundThreadWritesAndJoinsCleanly) {
+  (void)cache.get_or_compute(2);
+  query::CacheSnapshotter<int> snap(cache, {path, 2ms});
+  EXPECT_FALSE(snap.running());
+  snap.start();
+  EXPECT_TRUE(snap.running());
+  // Wait for at least one timer firing instead of assuming scheduling.
+  for (int i = 0; i < 500 && snap.stats().snapshots == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  snap.stop();
+  EXPECT_FALSE(snap.running());
+  EXPECT_GE(snap.stats().snapshots, 1u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  snap.stop();  // idempotent
+}
+
+TEST_F(SnapshotFixture, SnapshotterCountsFailuresWithoutDying) {
+  const auto bad = path.parent_path() / "cachegraph_no_such_dir" / "snap.bin";
+  query::CacheSnapshotter<int> snap(cache, {bad, 100ms});
+  const auto st = snap.snapshot_now();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(snap.stats().failures, 1u);
+  EXPECT_EQ(snap.stats().snapshots, 0u);
 }
 
 // --------------------------------------------------------- checksum

@@ -13,13 +13,23 @@
 // identical full-SSSP asks ran exactly one search, and the tenant
 // quota policies (reject / shed / block-with-half-budget-shed) resolve
 // the way engine.hpp's admission ladder promises.
+//
+// Replication coverage: the ReplicaHealth circuit breaker driven on a
+// synthetic clock, bit-identity across replicas (including the
+// on-disk blocked files), degraded mode (an all-quarantined shard
+// fails the requests that need it, fast, and only those), the retry
+// budget bounding failovers exactly, the scrubber repairing disk
+// corruption from a sibling, and hedged probes agreeing with the
+// oracle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,8 +37,10 @@
 #include "cachegraph/graph/adjacency_array.hpp"
 #include "cachegraph/graph/generators.hpp"
 #include "cachegraph/query/engine.hpp"
+#include "cachegraph/serving/health.hpp"
 #include "cachegraph/serving/partition.hpp"
 #include "cachegraph/serving/router.hpp"
+#include "cachegraph/serving/scrubber.hpp"
 
 namespace cachegraph {
 namespace {
@@ -500,6 +512,426 @@ TEST(TenantQuota, UnknownTenantIsInvalidArgument) {
   Router<int> router(csr, {});
   const auto r = router.try_serve(99, query::Request<int>{query::FullSSSP{0}});
   EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- replica health
+
+using serving::HealthConfig;
+using serving::ReplicaHealth;
+using serving::ReplicaState;
+using HealthClock = ReplicaHealth::clock;
+
+TEST(ReplicaHealthMachine, WalksTheFullCircuitOnASyntheticClock) {
+  HealthConfig cfg;
+  cfg.suspect_after = 1;
+  cfg.quarantine_after = 2;
+  cfg.probation_base = std::chrono::milliseconds(100);
+  cfg.probation_multiplier = 2.0;
+  cfg.probation_max = std::chrono::milliseconds(1000);
+  cfg.probation_jitter = 0.0;  // exact schedule
+  ReplicaHealth h(cfg, 7);
+  const auto t0 = HealthClock::time_point{} + std::chrono::hours(1);
+  using reliability::StatusCode;
+  using std::chrono::milliseconds;
+
+  EXPECT_EQ(h.state(), ReplicaState::kHealthy);
+  // One failure: suspect — a leading indicator that still serves.
+  auto tr = h.on_failure(StatusCode::kDataLoss, t0);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->to, ReplicaState::kSuspect);
+  EXPECT_TRUE(h.available());
+  // Success heals it.
+  tr = h.on_success();
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->to, ReplicaState::kHealthy);
+
+  // Two consecutive failures: quarantined, probation = base exactly.
+  (void)h.on_failure(StatusCode::kDeadlineExceeded, t0);
+  tr = h.on_failure(StatusCode::kDeadlineExceeded, t0);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->to, ReplicaState::kQuarantined);
+  EXPECT_FALSE(h.available());
+  EXPECT_FALSE(h.reachable(t0));
+  EXPECT_EQ(h.probation_until(), t0 + milliseconds(100));
+
+  // Half-open is one CAS ticket per window.
+  EXPECT_FALSE(h.try_begin_probe(t0 + milliseconds(50))) << "probation not elapsed";
+  EXPECT_TRUE(h.reachable(t0 + milliseconds(100)));
+  EXPECT_TRUE(h.try_begin_probe(t0 + milliseconds(100)));
+  EXPECT_EQ(h.state(), ReplicaState::kProbing);
+  EXPECT_FALSE(h.try_begin_probe(t0 + milliseconds(100))) << "ticket already claimed";
+
+  // Failed probe: re-quarantined and the probation doubles.
+  tr = h.on_failure(StatusCode::kDataLoss, t0 + milliseconds(100));
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->to, ReplicaState::kQuarantined);
+  EXPECT_EQ(h.probation_until(), t0 + milliseconds(100) + milliseconds(200));
+
+  // A neutral resolution returns the ticket without doubling.
+  ASSERT_TRUE(h.try_begin_probe(t0 + milliseconds(300)));
+  const auto before = h.probation_until();
+  h.abandon_probe();
+  EXPECT_EQ(h.state(), ReplicaState::kQuarantined);
+  EXPECT_EQ(h.probation_until(), before);
+
+  // Successful probe: recovered.
+  ASSERT_TRUE(h.try_begin_probe(t0 + milliseconds(300)));
+  tr = h.on_success();
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->to, ReplicaState::kHealthy);
+  const auto st = h.stats();
+  EXPECT_EQ(st.quarantines, 2u);
+  EXPECT_EQ(st.probes, 3u);
+  EXPECT_EQ(st.recoveries, 1u);
+}
+
+TEST(ReplicaHealthMachine, ProbationScheduleIsDeterministicPerSeed) {
+  HealthConfig cfg;  // default jitter 0.25 — the point of the test
+  cfg.quarantine_after = 1;
+  const auto t0 = HealthClock::time_point{} + std::chrono::hours(1);
+  ReplicaHealth a(cfg, 42), b(cfg, 42);
+  for (int round = 0; round < 4; ++round) {
+    (void)a.on_failure(reliability::StatusCode::kDataLoss, t0);
+    (void)b.on_failure(reliability::StatusCode::kDataLoss, t0);
+    EXPECT_EQ(a.probation_until(), b.probation_until()) << "round " << round;
+    const auto later = a.probation_until() + std::chrono::hours(1);
+    ASSERT_TRUE(a.try_begin_probe(later));
+    ASSERT_TRUE(b.try_begin_probe(later));
+  }
+}
+
+// --------------------------------------------------- replica identity
+
+/// Flips one byte inside every block of an out-of-core file. Offset 17
+/// lands past the checksum-first field of the BlockHeader, so every
+/// block fails verification afterwards.
+void corrupt_all_blocks(const serving::BlockScrubber::Target& t) {
+  std::fstream f(t.path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open()) << t.path;
+  for (std::uint32_t b = 0; b < t.num_blocks; ++b) {
+    const auto off =
+        static_cast<std::streamoff>(t.data_offset + std::uint64_t{b} * t.block_bytes + 17);
+    f.seekg(off);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(off);
+    f.write(&c, 1);
+  }
+}
+
+std::string file_bytes(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(ReplicaBitIdentity, ReplicasServeIdenticalTreesAcrossMutations) {
+  const auto el = graph::random_digraph<int>(32, 0.15, 63, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  Router<int> router(csr, {.shards = 2, .replicas = 3});
+
+  const auto check_identical = [&] {
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      auto& rs = router.replica_set(s);
+      for (vertex_t lx = 0; lx < rs.replica(0).num_local(); lx += 3) {
+        const auto t0 = rs.replica(0).local_tree(lx);
+        for (std::uint32_t r = 1; r < rs.size(); ++r) {
+          const auto tr = rs.replica(r).local_tree(lx);
+          ASSERT_EQ(tr->dist, t0->dist) << "shard " << s << " replica " << r;
+          ASSERT_EQ(tr->parent, t0->parent);
+        }
+      }
+    }
+  };
+  check_identical();
+  // Mutations fan out to every replica at the same quiescent point, so
+  // identity survives them.
+  router.insert_edge(0, 31, 2);
+  router.insert_edge(3, 4, 1);
+  EXPECT_TRUE(router.remove_edge(0, 31));
+  check_identical();
+}
+
+TEST(ReplicaBitIdentity, OutOfCoreReplicaFilesAreByteIdentical) {
+  const auto el = graph::random_digraph<int>(40, 0.12, 19, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  const auto dir = std::filesystem::temp_directory_path() / "cg_replica_identity";
+  std::filesystem::remove_all(dir);
+  Router<int> router(csr, {.shards = 2, .replicas = 3});
+  ASSERT_TRUE(router.enable_out_of_core(dir, 256, 4).is_ok());
+
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    auto& rs = router.replica_set(s);
+    const auto ref = file_bytes(rs.replica(0).ooc_path());
+    ASSERT_FALSE(ref.empty());
+    for (std::uint32_t r = 1; r < rs.size(); ++r) {
+      EXPECT_EQ(file_bytes(rs.replica(r).ooc_path()), ref)
+          << "shard " << s << " replica " << r << " file differs";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplicaBitIdentity, ReplicatedRouterMatchesOracleAcrossShardCounts) {
+  const auto el = graph::random_digraph<int>(36, 0.12, 83, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  const vertex_t n = csr.num_vertices();
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    for (const std::uint32_t replicas : {2u, 3u}) {
+      Router<int> router(csr, {.shards = shards, .replicas = replicas});
+      for (vertex_t s = 0; s < n; s += 5) {
+        const std::vector<int> want = oracle_dists(csr, s);
+        for (vertex_t t = 0; t < n; ++t) {
+          ASSERT_EQ(router.distance(s, t), want[static_cast<std::size_t>(t)])
+              << "shards=" << shards << " replicas=" << replicas;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ degraded mode
+
+/// Line graph 0→1→…→31 under Partition(32, 4): shard 1 owns 8..15 and
+/// every path from the left half to the right half must cross it.
+struct DegradedFixture : ::testing::Test {
+  DegradedFixture() : el(32) {
+    for (vertex_t v = 0; v + 1 < 32; ++v) el.add_edge(v, v + 1, 1);
+    csr = std::make_unique<AdjacencyArray<int>>(el);
+    Router<int>::Config cfg;
+    cfg.shards = 4;
+    cfg.replicas = 2;
+    cfg.health.probation_base = std::chrono::minutes(10);  // quarantine holds
+    cfg.health.probation_jitter = 0.0;
+    router = std::make_unique<Router<int>>(*csr, cfg);
+  }
+
+  /// Drives every replica of shard `s` into quarantine through the
+  /// same report() path the Router uses.
+  void kill_shard(std::uint32_t s) {
+    auto& rs = router->replica_set(s);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint32_t r = 0; r < rs.size(); ++r) {
+      for (int k = 0; k < 3; ++k) {
+        rs.report(r, StatusCode::kDataLoss, false, false, now);
+      }
+      EXPECT_EQ(rs.health(r).state(), ReplicaState::kQuarantined);
+    }
+    EXPECT_FALSE(rs.reachable(now));
+  }
+
+  void revive_shard(std::uint32_t s) {
+    auto& rs = router->replica_set(s);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint32_t r = 0; r < rs.size(); ++r) {
+      rs.report(r, StatusCode::kOk, false, false, now);
+      EXPECT_EQ(rs.health(r).state(), ReplicaState::kHealthy);
+    }
+  }
+
+  EdgeListGraph<int> el;
+  std::unique_ptr<AdjacencyArray<int>> csr;
+  std::unique_ptr<Router<int>> router;
+};
+
+TEST_F(DegradedFixture, RequestsAvoidingTheDeadShardStillSucceedExactly) {
+  kill_shard(1);
+  // Entirely inside shard 0: the target settles before any shard-1
+  // portal pops, so the answer is exact — not merely "lucky".
+  for (vertex_t t = 0; t < 8; ++t) {
+    const auto r = router->point_to_point(0, t);
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_EQ(r.target_dist, static_cast<int>(t));
+  }
+  // Entirely inside the right half (shards 2..3): shard 1 is upstream
+  // of nothing on these routes.
+  const auto r = router->point_to_point(16, 31);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.target_dist, 15);
+}
+
+TEST_F(DegradedFixture, RequestsNeedingTheDeadShardFailFastAndDefinitely) {
+  kill_shard(1);
+  // Target inside the dead shard: rejected at the door.
+  EXPECT_EQ(router->point_to_point(0, 10).status.code(), StatusCode::kOverloaded);
+  // Source inside it too.
+  EXPECT_EQ(router->point_to_point(10, 20).status.code(), StatusCode::kOverloaded);
+  // Path *through* it: the stitch search prunes the dead shard and the
+  // honest resolution is unavailable — never OK-with-infinity, which
+  // would assert "no path exists" when one does.
+  const auto through = router->point_to_point(0, 31);
+  EXPECT_EQ(through.status.code(), StatusCode::kOverloaded) << through.status.to_string();
+
+  // Whole-graph kinds need every shard: fail fast up front.
+  EXPECT_EQ(router->full_sssp(0).status.code(), StatusCode::kOverloaded);
+  std::vector<Router<int>::NearItem> near;
+  EXPECT_EQ(router->k_nearest(0, 4, near, {}).code(), StatusCode::kOverloaded);
+  EXPECT_EQ(router->within(0, 5, near, {}).code(), StatusCode::kOverloaded);
+
+  const auto st = router->stats();
+  EXPECT_GE(st.unavailable, 5u);
+  EXPECT_EQ(st.quarantines, 2u);
+}
+
+TEST_F(DegradedFixture, RecoveryRestoresExactAnswersEndToEnd) {
+  kill_shard(1);
+  ASSERT_EQ(router->point_to_point(0, 31).status.code(), StatusCode::kOverloaded);
+  revive_shard(1);
+  const auto r = router->point_to_point(0, 31);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.target_dist, 31);
+  const auto full = router->full_sssp(0);
+  ASSERT_TRUE(full.status.is_ok());
+  for (vertex_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(full.tree->dist[static_cast<std::size_t>(v)], static_cast<int>(v));
+  }
+}
+
+// -------------------------------------------- retry budget starvation
+
+TEST(ReplicaFailover, RetryBudgetBoundsFailoversExactly) {
+  const auto el = graph::random_digraph<int>(32, 0.15, 29, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  const auto dir = std::filesystem::temp_directory_path() / "cg_budget_starvation";
+  std::filesystem::remove_all(dir);
+
+  Router<int>::Config cfg;
+  cfg.shards = 2;
+  cfg.replicas = 2;
+  cfg.cache_portals = false;  // probes must ride the out-of-core engine
+  cfg.health.quarantine_after = 1000;  // replicas stay available, keep failing
+  cfg.retry_budget.capacity = 3.0;
+  cfg.retry_budget.refill_per_success = 0.0;
+  Router<int> router(csr, cfg);
+  ASSERT_TRUE(router.enable_out_of_core(dir, 256, 4).is_ok());
+
+  // Both replicas of shard 0 are corrupt on disk: every probe of shard
+  // 0 resolves DATA_LOSS, so each request wants one failover.
+  for (const auto& t : router.scrub_targets()) {
+    if (t.path.string().find("/s0/") != std::string::npos) corrupt_all_blocks(t);
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    const auto r = router.point_to_point(0, 5);
+    EXPECT_EQ(r.status.code(), StatusCode::kDataLoss) << r.status.to_string();
+  }
+  const auto st = router.stats();
+  EXPECT_EQ(st.failovers, 3u) << "a bucket of 3 with zero refill grants exactly 3 failovers";
+  EXPECT_GT(router.retry_budget().stats().denied, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------- scrubber
+
+TEST(Scrubber, RepairsACorruptReplicaFromItsSibling) {
+  const auto el = graph::random_digraph<int>(40, 0.12, 47, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  const vertex_t n = csr.num_vertices();
+  const auto dir = std::filesystem::temp_directory_path() / "cg_scrubber_repair";
+  std::filesystem::remove_all(dir);
+
+  Router<int>::Config cfg;
+  cfg.shards = 2;
+  cfg.replicas = 2;
+  cfg.cache_portals = false;
+  cfg.health.probation_base = std::chrono::minutes(10);
+  Router<int> router(csr, cfg);
+  ASSERT_TRUE(router.enable_out_of_core(dir, 256, 4).is_ok());
+
+  const auto targets = router.scrub_targets();
+  ASSERT_EQ(targets.size(), 4u);  // 2 shards × 2 replicas
+  // Corrupt replica 0 of shard 0 only — its sibling stays good.
+  const auto it = std::find_if(targets.begin(), targets.end(), [](const auto& t) {
+    return t.path.string().find("/s0/r0/") != std::string::npos;
+  });
+  ASSERT_NE(it, targets.end());
+  corrupt_all_blocks(*it);
+
+  // Traffic still resolves exactly, via failover to the sibling.
+  const std::vector<int> want = oracle_dists(csr, 0);
+  for (vertex_t t = 0; t < n; ++t) {
+    EXPECT_EQ(router.distance(0, t), want[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_GT(router.stats().failovers, 0u);
+
+  // The scrubber finds every corrupt block and repairs each from the
+  // sibling's bit-identical file.
+  serving::BlockScrubber scrubber;
+  for (auto t : targets) scrubber.add_target(std::move(t));
+  scrubber.scrub_all();
+  const auto s1 = scrubber.stats();
+  EXPECT_EQ(s1.corrupt, static_cast<std::uint64_t>(it->num_blocks));
+  EXPECT_EQ(s1.repaired, s1.corrupt);
+  EXPECT_EQ(s1.repair_failed, 0u);
+
+  // A second pass over the repaired file finds nothing.
+  scrubber.scrub_all();
+  const auto s2 = scrubber.stats();
+  EXPECT_EQ(s2.corrupt, s1.corrupt);
+  EXPECT_EQ(s2.scanned, s1.scanned * 2);
+
+  // And the repaired replica serves correct bytes again.
+  for (vertex_t s = 0; s < n; s += 7) {
+    const std::vector<int> w = oracle_dists(csr, s);
+    for (vertex_t t = 0; t < n; ++t) {
+      EXPECT_EQ(router.distance(s, t), w[static_cast<std::size_t>(t)]);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Scrubber, BackgroundThreadPatrolsAtTheConfiguredRate) {
+  const auto el = graph::random_digraph<int>(24, 0.15, 11, 1, 5);
+  const AdjacencyArray<int> csr(el);
+  const auto dir = std::filesystem::temp_directory_path() / "cg_scrubber_bg";
+  std::filesystem::remove_all(dir);
+  Router<int> router(csr, {.shards = 1, .replicas = 2});
+  ASSERT_TRUE(router.enable_out_of_core(dir, 256, 4).is_ok());
+
+  serving::BlockScrubber scrubber({.blocks_per_pass = 2,
+                                   .pass_interval = std::chrono::milliseconds(1)});
+  for (auto t : router.scrub_targets()) scrubber.add_target(std::move(t));
+  scrubber.start();
+  EXPECT_TRUE(scrubber.running());
+  for (int i = 0; i < 500 && scrubber.stats().passes < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scrubber.stop();
+  EXPECT_FALSE(scrubber.running());
+  const auto st = scrubber.stats();
+  EXPECT_GE(st.passes, 3u);
+  EXPECT_GT(st.scanned, 0u);
+  EXPECT_EQ(st.corrupt, 0u) << "a clean deployment scrubs clean";
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------- hedging
+
+TEST(Hedging, HedgedProbesLaunchAndAnswersStayExact) {
+  const auto el = graph::random_digraph<int>(40, 0.12, 71, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  const vertex_t n = csr.num_vertices();
+
+  Router<int>::Config cfg;
+  cfg.shards = 2;
+  cfg.replicas = 2;
+  cfg.cache_portals = false;  // every row is a probe — maximal hedging surface
+  cfg.hedge = true;
+  cfg.hedge_delay = std::chrono::microseconds(0);  // hedge immediately
+  cfg.hedge_min_samples = 1u << 30;                // pin the configured delay
+  cfg.retry_budget.capacity = 10000.0;
+  Router<int> router(csr, cfg);
+
+  for (vertex_t s = 0; s < n; s += 3) {
+    const std::vector<int> want = oracle_dists(csr, s);
+    for (vertex_t t = 0; t < n; ++t) {
+      ASSERT_EQ(router.distance(s, t), want[static_cast<std::size_t>(t)])
+          << "hedged answer diverged at " << s << "→" << t;
+    }
+  }
+  const auto st = router.stats();
+  EXPECT_GT(st.hedges, 0u) << "zero-delay hedging must actually hedge";
+  EXPECT_EQ(st.quarantines, 0u) << "race-loser cancellations must not indict replicas";
 }
 
 }  // namespace

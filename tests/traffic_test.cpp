@@ -173,5 +173,38 @@ TEST(TrafficRun, QuotaPressureSurfacesAsOverloadedNotLostRequests) {
             router.tenant_stats(1).requests - router.tenant_stats(1).ok);
 }
 
+TEST(TrafficRun, ReplicatedRouterWithHedgingResolvesEveryArrival) {
+  // The open-loop driver against the replicated + hedged configuration:
+  // every arrival still resolves exactly once, all of them OK (no
+  // faults are injected here — this pins that replication and hedging
+  // are invisible to a healthy workload), and the percentile
+  // invariants hold row by row.
+  const auto el = graph::random_digraph<int>(64, 0.08, 55, 1, 9);
+  const AdjacencyArray<int> csr(el);
+  Router<int>::Config rcfg;
+  rcfg.shards = 2;
+  rcfg.replicas = 2;
+  rcfg.hedge = true;
+  rcfg.hedge_delay = std::chrono::microseconds(0);  // hedge every probe
+  rcfg.hedge_min_samples = 1u << 30;                // never switch to p99 pacing
+  Router<int> router(csr, rcfg);
+  const auto cfg = two_tenant_config(8);
+  const auto sched = build_schedule(cfg, csr.num_vertices());
+  ASSERT_FALSE(sched.empty());
+
+  const auto report = TrafficDriver<int>::run(router, cfg, sched, 2);
+  EXPECT_EQ(report.total_requests, sched.size());
+  EXPECT_EQ(report.total_ok, sched.size());
+  std::uint64_t resolved = 0;
+  for (const auto& row : report.rows) {
+    resolved += row.count;
+    EXPECT_LE(row.p50_ns, row.p99_ns);
+    EXPECT_LE(row.p99_ns, row.p999_ns);
+  }
+  EXPECT_EQ(resolved, sched.size());
+  const auto st = router.stats();
+  EXPECT_EQ(st.quarantines, 0u);  // a healthy fleet never trips the breaker
+}
+
 }  // namespace
 }  // namespace cachegraph
